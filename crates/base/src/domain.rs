@@ -1,0 +1,103 @@
+//! Ordered domains over which intervals and range sets are formed.
+//!
+//! The `range` constructor applies to every type in `BASE ∪ TIME`
+//! (Sec 3.2.3). The adjacency predicate `r-adjacent` has an extra clause
+//! for *discrete* domains such as `int`: intervals `[a,b]` and `[b+2,c]`
+//! are *not* adjacent, but `[a,b]` and `[b+1,c]` are, because no domain
+//! element lies strictly between `b` and `b+1`. [`Domain::successor`]
+//! captures exactly that.
+
+use crate::instant::Instant;
+use crate::real::Real;
+use crate::text::Text;
+
+/// A totally ordered domain usable as the point type of intervals.
+pub trait Domain: Ord + Clone {
+    /// For discrete domains: the smallest element strictly greater than
+    /// `self`, or `None` at the top of the domain. Continuous (dense)
+    /// domains return `None` always — then no gap `e_u < s_v` can ever be
+    /// empty, and the discrete adjacency clause never fires.
+    fn successor(&self) -> Option<Self> {
+        None
+    }
+
+    /// `true` iff the domain is discrete (has meaningful successors).
+    fn is_discrete() -> bool {
+        false
+    }
+}
+
+impl Domain for Real {}
+
+impl Domain for Instant {}
+
+impl Domain for Text {}
+
+impl Domain for i64 {
+    fn successor(&self) -> Option<i64> {
+        self.checked_add(1)
+    }
+    fn is_discrete() -> bool {
+        true
+    }
+}
+
+impl Domain for bool {
+    fn successor(&self) -> Option<bool> {
+        if *self {
+            None
+        } else {
+            Some(true)
+        }
+    }
+    fn is_discrete() -> bool {
+        true
+    }
+}
+
+/// `true` iff some domain element lies strictly between `a` and `b`
+/// (assuming `a < b`). This decides the last clause of `r-adjacent`.
+pub fn has_element_between<S: Domain>(a: &S, b: &S) -> bool {
+    if !S::is_discrete() {
+        // Dense domain: any non-empty open interval contains elements.
+        return a < b;
+    }
+    match a.successor() {
+        Some(succ) => succ < *b,
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::real::r;
+
+    #[test]
+    fn int_successors() {
+        assert_eq!(3i64.successor(), Some(4));
+        assert_eq!(i64::MAX.successor(), None);
+        assert!(i64::is_discrete());
+    }
+
+    #[test]
+    fn real_is_dense() {
+        assert_eq!(r(1.0).successor(), None);
+        assert!(!Real::is_discrete());
+        assert!(has_element_between(&r(1.0), &r(1.0000001)));
+        assert!(!has_element_between(&r(1.0), &r(1.0)));
+    }
+
+    #[test]
+    fn int_between() {
+        assert!(!has_element_between(&1i64, &2i64)); // nothing between 1 and 2
+        assert!(has_element_between(&1i64, &3i64)); // 2 is between
+    }
+
+    #[test]
+    fn bool_domain() {
+        assert_eq!(false.successor(), Some(true));
+        assert_eq!(true.successor(), None);
+        assert!(!has_element_between(&false, &true));
+    }
+}

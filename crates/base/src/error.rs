@@ -1,0 +1,87 @@
+//! Error types shared by all carrier-set constructors.
+//!
+//! Every domain definition in Section 3 of the paper is a set comprehension
+//! with side conditions. Constructors in this workspace return
+//! [`InvariantViolation`] when a side condition fails, carrying the clause
+//! that was violated so tests can assert on the precise reason.
+
+use std::fmt;
+
+/// A representation invariant of a discrete carrier set was violated.
+///
+/// The `clause` string names the paper-level condition, e.g.
+/// `"interval: s <= e"` or `"region: faces must be edge-disjoint"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    clause: &'static str,
+    detail: String,
+}
+
+impl InvariantViolation {
+    /// Create a violation for a named clause with no extra detail.
+    pub fn new(clause: &'static str) -> Self {
+        InvariantViolation {
+            clause,
+            detail: String::new(),
+        }
+    }
+
+    /// Create a violation for a named clause with human-readable detail.
+    pub fn with_detail(clause: &'static str, detail: impl Into<String>) -> Self {
+        InvariantViolation {
+            clause,
+            detail: detail.into(),
+        }
+    }
+
+    /// The paper-level condition that failed.
+    pub fn clause(&self) -> &'static str {
+        self.clause
+    }
+
+    /// Extra context for the failure (may be empty).
+    pub fn detail(&self) -> &str {
+        &self.detail
+    }
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.detail.is_empty() {
+            write!(f, "invariant violated: {}", self.clause)
+        } else {
+            write!(f, "invariant violated: {} ({})", self.clause, self.detail)
+        }
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// Convenience result alias used by all `try_new` constructors.
+pub type Result<T> = std::result::Result<T, InvariantViolation>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_without_detail() {
+        let e = InvariantViolation::new("interval: s <= e");
+        assert_eq!(e.to_string(), "invariant violated: interval: s <= e");
+        assert_eq!(e.clause(), "interval: s <= e");
+        assert_eq!(e.detail(), "");
+    }
+
+    #[test]
+    fn display_with_detail() {
+        let e = InvariantViolation::with_detail("real: NaN", "got NaN from 0.0/0.0");
+        assert!(e.to_string().contains("real: NaN"));
+        assert!(e.to_string().contains("0.0/0.0"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&InvariantViolation::new("x"));
+    }
+}

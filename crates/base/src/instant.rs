@@ -1,0 +1,155 @@
+//! The discrete time type `instant` (Sec 3.2.1): `Instant = real`.
+//!
+//! Time is isomorphic to the real numbers; [`Instant`] is a newtype over
+//! [`Real`] so that time values cannot be accidentally mixed with plain
+//! reals in operation signatures, while still supporting the arithmetic
+//! needed by unit evaluation (`ι((x0,x1,y0,y1), t) = (x0 + x1·t, …)`).
+
+use crate::real::Real;
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A point on the (continuous) time axis.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Instant(Real);
+
+impl Instant {
+    /// Time zero — a convenient origin for examples and generators.
+    pub const ZERO: Instant = Instant(Real::ZERO);
+
+    /// Construct from a `Real`.
+    #[inline]
+    pub fn new(v: Real) -> Instant {
+        Instant(v)
+    }
+
+    /// Construct from a raw `f64` (panics on NaN).
+    #[inline]
+    pub fn from_f64(v: f64) -> Instant {
+        Instant(Real::new(v))
+    }
+
+    /// The underlying real value.
+    #[inline]
+    pub fn value(self) -> Real {
+        self.0
+    }
+
+    /// The underlying `f64`.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0.get()
+    }
+
+    /// Midpoint between two instants.
+    #[inline]
+    pub fn midpoint(self, other: Instant) -> Instant {
+        Instant(Real::new((self.as_f64() + other.as_f64()) / 2.0))
+    }
+
+    /// Smaller of two instants.
+    #[inline]
+    pub fn min(self, other: Instant) -> Instant {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Larger of two instants.
+    #[inline]
+    pub fn max(self, other: Instant) -> Instant {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Debug for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<f64> for Instant {
+    #[inline]
+    fn from(v: f64) -> Instant {
+        Instant::from_f64(v)
+    }
+}
+
+impl From<Real> for Instant {
+    #[inline]
+    fn from(v: Real) -> Instant {
+        Instant(v)
+    }
+}
+
+/// Duration between instants is a plain `Real` (the model has no separate
+/// duration type).
+impl Sub for Instant {
+    type Output = Real;
+    #[inline]
+    fn sub(self, rhs: Instant) -> Real {
+        self.0 - rhs.0
+    }
+}
+
+impl Add<Real> for Instant {
+    type Output = Instant;
+    #[inline]
+    fn add(self, rhs: Real) -> Instant {
+        Instant(self.0 + rhs)
+    }
+}
+
+impl Sub<Real> for Instant {
+    type Output = Instant;
+    #[inline]
+    fn sub(self, rhs: Real) -> Instant {
+        Instant(self.0 - rhs)
+    }
+}
+
+/// Shorthand constructor used pervasively in tests and examples.
+#[inline]
+pub fn t(v: f64) -> Instant {
+    Instant::from_f64(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::real::r;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        assert!(t(1.0) < t(2.0));
+        assert_eq!(t(2.0) - t(0.5), r(1.5));
+        assert_eq!(t(2.0) + r(1.0), t(3.0));
+        assert_eq!(t(2.0) - r(1.0), t(1.0));
+    }
+
+    #[test]
+    fn midpoint_min_max() {
+        assert_eq!(t(1.0).midpoint(t(3.0)), t(2.0));
+        assert_eq!(t(1.0).min(t(3.0)), t(1.0));
+        assert_eq!(t(1.0).max(t(3.0)), t(3.0));
+    }
+
+    #[test]
+    fn conversions() {
+        let i: Instant = 4.5.into();
+        assert_eq!(i.as_f64(), 4.5);
+        assert_eq!(i.value(), r(4.5));
+    }
+}

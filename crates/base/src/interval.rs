@@ -1,0 +1,476 @@
+//! Intervals over an ordered domain (Sec 3.2.3).
+//!
+//! `Interval(S) = {(s, e, lc, rc) | s,e ∈ S, lc,rc ∈ bool, s ≤ e,
+//! (s = e) ⇒ (lc = rc = true)}` — an interval is its end points plus two
+//! closedness flags. This module also implements the paper's
+//! `r-disjoint` / `disjoint` / `r-adjacent` / `adjacent` predicates
+//! verbatim, including the discrete-domain clause of `r-adjacent`.
+
+use crate::domain::{has_element_between, Domain};
+use crate::error::{InvariantViolation, Result};
+use crate::instant::Instant;
+use crate::real::Real;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An interval `(s, e, lc, rc)` over domain `S`.
+///
+/// ```
+/// use mob_base::{t, Interval};
+///
+/// let a = Interval::closed(t(0.0), t(1.0));      // [0, 1]
+/// let b = Interval::open_closed(t(1.0), t(2.0)); // (1, 2]
+/// assert!(a.disjoint(&b));
+/// assert!(a.adjacent(&b)); // they fit together exactly
+/// assert_eq!(a.union_merged(&b).unwrap(), Interval::closed(t(0.0), t(2.0)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval<S> {
+    s: S,
+    e: S,
+    lc: bool,
+    rc: bool,
+}
+
+/// Time intervals — the unit-interval type of the sliced representation.
+pub type TimeInterval = Interval<Instant>;
+
+impl<S: Domain> Interval<S> {
+    /// Construct with full control over the flags.
+    ///
+    /// Enforces `s ≤ e` and `(s = e) ⇒ lc ∧ rc`.
+    pub fn try_new(s: S, e: S, lc: bool, rc: bool) -> Result<Interval<S>> {
+        match s.cmp(&e) {
+            Ordering::Greater => Err(InvariantViolation::new("interval: s <= e")),
+            Ordering::Equal if !(lc && rc) => Err(InvariantViolation::new(
+                "interval: (s = e) => (lc = rc = true)",
+            )),
+            _ => Ok(Interval { s, e, lc, rc }),
+        }
+    }
+
+    /// Construct, panicking on invalid bounds. For trusted call sites.
+    #[track_caller]
+    pub fn new(s: S, e: S, lc: bool, rc: bool) -> Interval<S> {
+        Interval::try_new(s, e, lc, rc).expect("invalid interval")
+    }
+
+    /// The closed interval `[s, e]`.
+    #[track_caller]
+    pub fn closed(s: S, e: S) -> Interval<S> {
+        Interval::new(s, e, true, true)
+    }
+
+    /// The open interval `(s, e)`. Requires `s < e`.
+    #[track_caller]
+    pub fn open(s: S, e: S) -> Interval<S> {
+        Interval::new(s, e, false, false)
+    }
+
+    /// The half-open interval `[s, e)`. Requires `s < e`.
+    #[track_caller]
+    pub fn closed_open(s: S, e: S) -> Interval<S> {
+        Interval::new(s, e, true, false)
+    }
+
+    /// The half-open interval `(s, e]`. Requires `s < e`.
+    #[track_caller]
+    pub fn open_closed(s: S, e: S) -> Interval<S> {
+        Interval::new(s, e, false, true)
+    }
+
+    /// The degenerate point interval `[v, v]`.
+    pub fn point(v: S) -> Interval<S> {
+        Interval {
+            s: v.clone(),
+            e: v,
+            lc: true,
+            rc: true,
+        }
+    }
+
+    /// Left end point.
+    #[inline]
+    pub fn start(&self) -> &S {
+        &self.s
+    }
+
+    /// Right end point.
+    #[inline]
+    pub fn end(&self) -> &S {
+        &self.e
+    }
+
+    /// `lc`: whether the left end point belongs to the interval.
+    #[inline]
+    pub fn left_closed(&self) -> bool {
+        self.lc
+    }
+
+    /// `rc`: whether the right end point belongs to the interval.
+    #[inline]
+    pub fn right_closed(&self) -> bool {
+        self.rc
+    }
+
+    /// `true` for the degenerate `[v, v]` interval.
+    #[inline]
+    pub fn is_point(&self) -> bool {
+        self.s == self.e
+    }
+
+    /// Membership in `σ(i)` — the full semantics of the interval.
+    pub fn contains(&self, v: &S) -> bool {
+        let after_start = match v.cmp(&self.s) {
+            Ordering::Greater => true,
+            Ordering::Equal => self.lc,
+            Ordering::Less => false,
+        };
+        let before_end = match v.cmp(&self.e) {
+            Ordering::Less => true,
+            Ordering::Equal => self.rc,
+            Ordering::Greater => false,
+        };
+        after_start && before_end
+    }
+
+    /// Membership in `σ'(i)` — the open part `{u | s < u < e}` only.
+    pub fn contains_open(&self, v: &S) -> bool {
+        *v > self.s && *v < self.e
+    }
+
+    /// `true` if every point of `other` lies in `self`.
+    pub fn contains_interval(&self, other: &Interval<S>) -> bool {
+        let left_ok = match other.s.cmp(&self.s) {
+            Ordering::Greater => true,
+            Ordering::Equal => self.lc || !other.lc,
+            Ordering::Less => false,
+        };
+        let right_ok = match other.e.cmp(&self.e) {
+            Ordering::Less => true,
+            Ordering::Equal => self.rc || !other.rc,
+            Ordering::Greater => false,
+        };
+        left_ok && right_ok
+    }
+
+    /// The paper's `r-disjoint(u, v)`:
+    /// `e_u < s_v ∨ (e_u = s_v ∧ ¬(rc_u ∧ lc_v))`.
+    pub fn r_disjoint(&self, v: &Interval<S>) -> bool {
+        self.e < v.s || (self.e == v.s && !(self.rc && v.lc))
+    }
+
+    /// The paper's `disjoint(u, v)`.
+    pub fn disjoint(&self, v: &Interval<S>) -> bool {
+        self.r_disjoint(v) || v.r_disjoint(self)
+    }
+
+    /// `true` iff the intervals share at least one point.
+    pub fn intersects(&self, v: &Interval<S>) -> bool {
+        !self.disjoint(v)
+    }
+
+    /// The paper's `r-adjacent(u, v)`: disjoint and meeting either exactly
+    /// at a shared end point (with exactly one side closed) or across an
+    /// empty gap of the discrete domain.
+    pub fn r_adjacent(&self, v: &Interval<S>) -> bool {
+        self.disjoint(v)
+            && ((self.e == v.s && (self.rc || v.lc))
+                || (self.e < v.s
+                    && self.rc
+                    && v.lc
+                    && !has_element_between(&self.e, &v.s)))
+    }
+
+    /// The paper's `adjacent(u, v)`.
+    pub fn adjacent(&self, v: &Interval<S>) -> bool {
+        self.r_adjacent(v) || v.r_adjacent(self)
+    }
+
+    /// Intersection of two intervals, or `None` if disjoint.
+    pub fn intersection(&self, v: &Interval<S>) -> Option<Interval<S>> {
+        if self.disjoint(v) {
+            return None;
+        }
+        let (s, lc) = match self.s.cmp(&v.s) {
+            Ordering::Greater => (self.s.clone(), self.lc),
+            Ordering::Less => (v.s.clone(), v.lc),
+            Ordering::Equal => (self.s.clone(), self.lc && v.lc),
+        };
+        let (e, rc) = match self.e.cmp(&v.e) {
+            Ordering::Less => (self.e.clone(), self.rc),
+            Ordering::Greater => (v.e.clone(), v.rc),
+            Ordering::Equal => (self.e.clone(), self.rc && v.rc),
+        };
+        // Intersection of non-disjoint intervals is always a valid interval.
+        Some(Interval::new(s, e, lc, rc))
+    }
+
+    /// Union of two intervals that overlap or are adjacent (so the result
+    /// is a single interval); `None` if they are separated.
+    pub fn union_merged(&self, v: &Interval<S>) -> Option<Interval<S>> {
+        if self.disjoint(v) && !self.adjacent(v) {
+            return None;
+        }
+        let (s, lc) = match self.s.cmp(&v.s) {
+            Ordering::Less => (self.s.clone(), self.lc),
+            Ordering::Greater => (v.s.clone(), v.lc),
+            Ordering::Equal => (self.s.clone(), self.lc || v.lc),
+        };
+        let (e, rc) = match self.e.cmp(&v.e) {
+            Ordering::Greater => (self.e.clone(), self.rc),
+            Ordering::Less => (v.e.clone(), v.rc),
+            Ordering::Equal => (self.e.clone(), self.rc || v.rc),
+        };
+        Some(Interval::new(s, e, lc, rc))
+    }
+
+    /// Set difference `self \ v` as zero, one or two intervals.
+    pub fn difference(&self, v: &Interval<S>) -> Vec<Interval<S>> {
+        if self.disjoint(v) {
+            return vec![self.clone()];
+        }
+        let mut out = Vec::with_capacity(2);
+        // Left remainder: points of self strictly before v's start (plus
+        // v.s itself when v is left-open).
+        let left_end_closed = !v.lc;
+        let keep_left = match self.s.cmp(&v.s) {
+            Ordering::Less => true,
+            Ordering::Equal => self.lc && left_end_closed,
+            Ordering::Greater => false,
+        };
+        if keep_left {
+            if self.s == v.s {
+                out.push(Interval::point(self.s.clone()));
+            } else if let Ok(iv) =
+                Interval::try_new(self.s.clone(), v.s.clone(), self.lc, left_end_closed)
+            {
+                if !iv.is_point() || (iv.lc && iv.rc) {
+                    out.push(iv);
+                }
+            }
+        }
+        // Right remainder symmetric.
+        let right_start_closed = !v.rc;
+        let keep_right = match self.e.cmp(&v.e) {
+            Ordering::Greater => true,
+            Ordering::Equal => self.rc && right_start_closed,
+            Ordering::Less => false,
+        };
+        if keep_right {
+            if self.e == v.e {
+                out.push(Interval::point(self.e.clone()));
+            } else if let Ok(iv) =
+                Interval::try_new(v.e.clone(), self.e.clone(), right_start_closed, self.rc)
+            {
+                out.push(iv);
+            }
+        }
+        out
+    }
+
+    /// Total order used to sort interval collections: by start point,
+    /// closed starts first, then by end.
+    pub fn cmp_start(&self, other: &Interval<S>) -> Ordering {
+        self.s
+            .cmp(&other.s)
+            .then_with(|| other.lc.cmp(&self.lc))
+            .then_with(|| self.e.cmp(&other.e))
+            .then_with(|| self.rc.cmp(&other.rc))
+    }
+}
+
+impl TimeInterval {
+    /// Duration `e - s` of a time interval.
+    pub fn duration(&self) -> Real {
+        *self.end() - *self.start()
+    }
+
+    /// An instant guaranteed to lie in `σ'(i)` for non-degenerate
+    /// intervals (the midpoint); for point intervals, the point itself.
+    /// Used by validity checks that must sample the open interior.
+    pub fn interior_instant(&self) -> Instant {
+        if self.is_point() {
+            *self.start()
+        } else {
+            self.start().midpoint(*self.end())
+        }
+    }
+
+    /// Evenly spaced sample instants inside the open interval (plus the
+    /// end points when closed). For semantic cross-checking in tests.
+    pub fn sample_instants(&self, n_interior: usize) -> Vec<Instant> {
+        let mut out = Vec::with_capacity(n_interior + 2);
+        if self.left_closed() {
+            out.push(*self.start());
+        }
+        if !self.is_point() {
+            let s = self.start().as_f64();
+            let e = self.end().as_f64();
+            for k in 1..=n_interior {
+                let f = k as f64 / (n_interior as f64 + 1.0);
+                out.push(Instant::from_f64(s + f * (e - s)));
+            }
+            if self.right_closed() {
+                out.push(*self.end());
+            }
+        }
+        out
+    }
+}
+
+impl<S: Domain + fmt::Debug> fmt::Debug for Interval<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{:?}, {:?}{}",
+            if self.lc { '[' } else { '(' },
+            self.s,
+            self.e,
+            if self.rc { ']' } else { ')' },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instant::t;
+
+    fn iv(s: f64, e: f64, lc: bool, rc: bool) -> TimeInterval {
+        Interval::new(t(s), t(e), lc, rc)
+    }
+
+    #[test]
+    fn construction_invariants() {
+        assert!(Interval::try_new(t(2.0), t(1.0), true, true).is_err());
+        assert!(Interval::try_new(t(1.0), t(1.0), true, false).is_err());
+        assert!(Interval::try_new(t(1.0), t(1.0), true, true).is_ok());
+        assert!(Interval::try_new(t(1.0), t(2.0), false, false).is_ok());
+    }
+
+    #[test]
+    fn membership_semantics() {
+        let i = iv(1.0, 3.0, true, false); // [1, 3)
+        assert!(i.contains(&t(1.0)));
+        assert!(i.contains(&t(2.0)));
+        assert!(!i.contains(&t(3.0)));
+        assert!(!i.contains(&t(0.9)));
+        // σ' (open part) excludes both end points regardless of flags.
+        assert!(!i.contains_open(&t(1.0)));
+        assert!(i.contains_open(&t(2.0)));
+        assert!(!i.contains_open(&t(3.0)));
+    }
+
+    #[test]
+    fn disjointness_at_shared_endpoint() {
+        let a = iv(0.0, 1.0, true, true); // [0,1]
+        let b = iv(1.0, 2.0, true, true); // [1,2]
+        assert!(!a.disjoint(&b)); // share point 1
+        let c = iv(1.0, 2.0, false, true); // (1,2]
+        assert!(a.disjoint(&c));
+        assert!(a.r_disjoint(&c));
+        assert!(!c.r_disjoint(&a));
+    }
+
+    #[test]
+    fn adjacency_continuous() {
+        let a = iv(0.0, 1.0, true, true); // [0,1]
+        let c = iv(1.0, 2.0, false, true); // (1,2]
+        assert!(a.adjacent(&c));
+        assert!(a.r_adjacent(&c));
+        assert!(!c.r_adjacent(&a));
+        // [0,1) and (1,2] leave out the point 1: not adjacent.
+        let half = iv(0.0, 1.0, true, false);
+        assert!(!half.adjacent(&c));
+        // Separated intervals in a dense domain are never adjacent.
+        let far = iv(1.5, 2.0, true, true);
+        assert!(!half.adjacent(&far));
+    }
+
+    #[test]
+    fn adjacency_discrete() {
+        // [0,2] and [3,5] over int: no element between 2 and 3 => adjacent.
+        let a = Interval::closed(0i64, 2);
+        let b = Interval::closed(3i64, 5);
+        assert!(a.r_adjacent(&b));
+        assert!(a.adjacent(&b));
+        // [0,2] and [4,5]: 3 lies between => not adjacent.
+        let c = Interval::closed(4i64, 5);
+        assert!(!a.adjacent(&c));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = iv(0.0, 2.0, true, true);
+        let b = iv(1.0, 3.0, false, true);
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, iv(1.0, 2.0, false, true));
+        // Touching at a single shared closed point.
+        let c = iv(2.0, 4.0, true, false);
+        assert_eq!(a.intersection(&c).unwrap(), Interval::point(t(2.0)));
+        // Disjoint.
+        let d = iv(5.0, 6.0, true, true);
+        assert!(a.intersection(&d).is_none());
+    }
+
+    #[test]
+    fn union_merged_cases() {
+        let a = iv(0.0, 1.0, true, true);
+        let b = iv(1.0, 2.0, false, true);
+        assert_eq!(a.union_merged(&b).unwrap(), iv(0.0, 2.0, true, true));
+        let gap = iv(3.0, 4.0, true, true);
+        assert!(a.union_merged(&gap).is_none());
+        // Overlapping.
+        let c = iv(0.5, 3.0, true, false);
+        assert_eq!(a.union_merged(&c).unwrap(), iv(0.0, 3.0, true, false));
+    }
+
+    #[test]
+    fn difference_cases() {
+        let a = iv(0.0, 4.0, true, true);
+        // Remove the middle (1,3): leaves [0,1] and [3,4].
+        let mid = iv(1.0, 3.0, false, false);
+        let d = a.difference(&mid);
+        assert_eq!(d, vec![iv(0.0, 1.0, true, true), iv(3.0, 4.0, true, true)]);
+        // Remove closed middle [1,3]: leaves [0,1) and (3,4].
+        let midc = iv(1.0, 3.0, true, true);
+        let d = a.difference(&midc);
+        assert_eq!(
+            d,
+            vec![iv(0.0, 1.0, true, false), iv(3.0, 4.0, false, true)]
+        );
+        // Remove everything.
+        assert!(a.difference(&iv(0.0, 4.0, true, true)).is_empty());
+        // Remove the open version: leaves the two end points.
+        let d = a.difference(&iv(0.0, 4.0, false, false));
+        assert_eq!(d, vec![Interval::point(t(0.0)), Interval::point(t(4.0))]);
+        // Disjoint subtrahend leaves self.
+        assert_eq!(a.difference(&iv(9.0, 10.0, true, true)), vec![a]);
+    }
+
+    #[test]
+    fn contains_interval_flag_logic() {
+        let a = iv(0.0, 2.0, false, true); // (0,2]
+        assert!(a.contains_interval(&iv(0.0, 1.0, false, true)));
+        assert!(!a.contains_interval(&iv(0.0, 1.0, true, true))); // needs 0
+        assert!(a.contains_interval(&iv(1.0, 2.0, true, true)));
+        assert!(!a.contains_interval(&iv(1.0, 3.0, true, false)));
+    }
+
+    #[test]
+    fn time_helpers() {
+        let i = iv(1.0, 3.0, true, false);
+        assert_eq!(i.duration(), crate::real::r(2.0));
+        assert_eq!(i.interior_instant(), t(2.0));
+        let p = TimeInterval::point(t(5.0));
+        assert_eq!(p.interior_instant(), t(5.0));
+        let samples = i.sample_instants(3);
+        assert_eq!(samples, vec![t(1.0), t(1.5), t(2.0), t(2.5)]);
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", iv(1.0, 2.0, true, false)), "[t1, t2)");
+    }
+}

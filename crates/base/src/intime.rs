@@ -1,0 +1,74 @@
+//! The `intime(α)` constructor (Sec 3.2.3): a time instant paired with a
+//! value, `D_intime(α) = D_instant × D_α`.
+//!
+//! `intime` values are produced by projections of moving values such as
+//! `initial` and `final`, and consumed by `inst`/`val` (the paper's
+//! example query uses `val(initial(...))`).
+
+use crate::instant::Instant;
+use std::fmt;
+
+/// A `(instant, value)` pair.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Intime<V> {
+    /// The time instant.
+    pub instant: Instant,
+    /// The value at that instant.
+    pub value: V,
+}
+
+impl<V> Intime<V> {
+    /// Construct an `intime` pair.
+    pub fn new(instant: Instant, value: V) -> Intime<V> {
+        Intime { instant, value }
+    }
+
+    /// The paper's `inst` operation: project onto the instant.
+    pub fn inst(&self) -> Instant {
+        self.instant
+    }
+
+    /// The paper's `val` operation: project onto the value.
+    pub fn val(self) -> V {
+        self.value
+    }
+
+    /// Borrowing version of [`Intime::val`].
+    pub fn val_ref(&self) -> &V {
+        &self.value
+    }
+
+    /// Map the value component.
+    pub fn map<U>(self, f: impl FnOnce(V) -> U) -> Intime<U> {
+        Intime {
+            instant: self.instant,
+            value: f(self.value),
+        }
+    }
+}
+
+impl<V: fmt::Debug> fmt::Debug for Intime<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?}, {:?})", self.instant, self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instant::t;
+
+    #[test]
+    fn projections() {
+        let it = Intime::new(t(3.0), 42i64);
+        assert_eq!(it.inst(), t(3.0));
+        assert_eq!(it.val(), 42);
+    }
+
+    #[test]
+    fn map_preserves_instant() {
+        let it = Intime::new(t(1.0), 2i64).map(|v| v * 10);
+        assert_eq!(it.instant, t(1.0));
+        assert_eq!(it.value, 20);
+    }
+}

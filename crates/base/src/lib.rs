@@ -1,0 +1,50 @@
+//! # `mob-base` — base, time, interval and range types
+//!
+//! This crate implements the non-spatial foundations of the discrete
+//! moving-objects data model of Forlizzi, Güting, Nardelli & Schneider
+//! (SIGMOD 2000), Sections 3.2.1 and 3.2.3:
+//!
+//! * base types `int`, `real`, `string`, `bool`, each extended with the
+//!   undefined value ⊥ ([`Val`]);
+//! * the time type `instant` (isomorphic to the reals, [`Instant`]);
+//! * intervals `(s, e, lc, rc)` over any ordered domain with the paper's
+//!   `disjoint`/`adjacent` predicates ([`Interval`]);
+//! * finite sets of disjoint, non-adjacent intervals — the `range(α)`
+//!   types ([`RangeSet`], with [`Periods`] = `range(instant)`);
+//! * `intime(α)` pairs ([`Intime`]).
+//!
+//! Everything downstream (spatial algebra, unit types, sliced
+//! representation) builds on these carrier sets.
+
+#![warn(missing_docs)]
+
+pub mod domain;
+pub mod error;
+pub mod instant;
+pub mod interval;
+pub mod intime;
+pub mod range;
+pub mod real;
+pub mod text;
+pub mod value;
+
+pub use domain::Domain;
+pub use error::{InvariantViolation, Result};
+pub use instant::{t, Instant};
+pub use interval::{Interval, TimeInterval};
+pub use intime::Intime;
+pub use range::{Periods, RangeSet};
+pub use real::{r, Real};
+pub use text::Text;
+pub use value::Val;
+
+/// The discrete `int` carrier (paper: programming-language `int` ∪ {⊥}).
+pub type IntVal = Val<i64>;
+/// The discrete `real` carrier.
+pub type RealVal = Val<Real>;
+/// The discrete `bool` carrier.
+pub type BoolVal = Val<bool>;
+/// The discrete `string` carrier.
+pub type TextVal = Val<Text>;
+/// The discrete `instant` carrier.
+pub type InstantVal = Val<Instant>;

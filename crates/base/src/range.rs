@@ -1,0 +1,421 @@
+//! Finite sets of pairwise disjoint, non-adjacent intervals (Sec 3.2.3).
+//!
+//! `IntervalSet(S)` requires all member intervals to be mutually
+//! `disjoint` and not `adjacent`, which makes the representation of a
+//! point set as a set of intervals **unique and minimal**. The discrete
+//! `range(α)` types are `IntervalSet(D'_α)` for every `α ∈ BASE ∪ TIME`;
+//! the most important instance is `range(instant)` — *periods* — the
+//! result type of `deftime` and the argument of `atperiods`.
+
+use crate::domain::Domain;
+use crate::error::{InvariantViolation, Result};
+use crate::instant::Instant;
+use crate::interval::Interval;
+use crate::real::Real;
+use crate::value::Val;
+use std::fmt;
+
+/// An ordered set of pairwise disjoint, non-adjacent intervals.
+///
+/// ```
+/// use mob_base::{t, Interval, Periods};
+///
+/// let p = Periods::from_unmerged(vec![
+///     Interval::closed(t(0.0), t(2.0)),
+///     Interval::closed(t(1.0), t(3.0)), // overlaps: merged
+///     Interval::closed(t(5.0), t(6.0)),
+/// ]);
+/// assert_eq!(p.num_intervals(), 2);
+/// assert!(p.contains(&t(2.5)));
+/// assert!(!p.contains(&t(4.0)));
+/// assert_eq!(p.total_duration().get(), 4.0);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct RangeSet<S> {
+    /// Sorted by `cmp_start`; invariants enforced at construction.
+    intervals: Vec<Interval<S>>,
+}
+
+/// Sets of time intervals — `range(instant)`.
+pub type Periods = RangeSet<Instant>;
+
+impl<S: Domain> RangeSet<S> {
+    /// The empty range set.
+    pub fn empty() -> RangeSet<S> {
+        RangeSet { intervals: Vec::new() }
+    }
+
+    /// A range set holding a single interval.
+    pub fn single(iv: Interval<S>) -> RangeSet<S> {
+        RangeSet { intervals: vec![iv] }
+    }
+
+    /// Validating constructor: intervals must already be sorted, disjoint
+    /// and non-adjacent (the carrier-set conditions).
+    pub fn try_new(intervals: Vec<Interval<S>>) -> Result<RangeSet<S>> {
+        for w in intervals.windows(2) {
+            if w[0].cmp_start(&w[1]) != std::cmp::Ordering::Less {
+                return Err(InvariantViolation::new("range: intervals must be sorted"));
+            }
+            if !w[0].disjoint(&w[1]) {
+                return Err(InvariantViolation::new("range: intervals must be disjoint"));
+            }
+            if w[0].adjacent(&w[1]) {
+                return Err(InvariantViolation::new(
+                    "range: intervals must not be adjacent",
+                ));
+            }
+        }
+        Ok(RangeSet { intervals })
+    }
+
+    /// Normalizing constructor: accepts arbitrary (possibly overlapping,
+    /// adjacent, unsorted) intervals and produces the unique minimal
+    /// representation of their union.
+    pub fn from_unmerged(mut intervals: Vec<Interval<S>>) -> RangeSet<S> {
+        intervals.sort_by(|a, b| a.cmp_start(b));
+        let mut merged: Vec<Interval<S>> = Vec::with_capacity(intervals.len());
+        for iv in intervals {
+            match merged.last_mut() {
+                Some(last) => match last.union_merged(&iv) {
+                    Some(u) => *last = u,
+                    None => merged.push(iv),
+                },
+                None => merged.push(iv),
+            }
+        }
+        RangeSet { intervals: merged }
+    }
+
+    /// `true` when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Number of component intervals (the `no_components` operation).
+    pub fn num_intervals(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Iterate over the component intervals in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Interval<S>> {
+        self.intervals.iter()
+    }
+
+    /// The component intervals as a slice.
+    pub fn as_slice(&self) -> &[Interval<S>] {
+        &self.intervals
+    }
+
+    /// Membership test (`inside` for a single value).
+    pub fn contains(&self, v: &S) -> bool {
+        // Binary search on start points, then check the candidate.
+        let idx = self
+            .intervals
+            .partition_point(|iv| iv.start() < v || (iv.start() == v && iv.left_closed()));
+        idx > 0 && self.intervals[idx - 1].contains(v)
+    }
+
+    /// `true` if every point of `iv` is in the set.
+    pub fn contains_interval(&self, iv: &Interval<S>) -> bool {
+        self.intervals.iter().any(|own| own.contains_interval(iv))
+    }
+
+    /// `true` if the two sets share at least one point.
+    pub fn intersects(&self, other: &RangeSet<S>) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.intervals.len() && j < other.intervals.len() {
+            let a = &self.intervals[i];
+            let b = &other.intervals[j];
+            if a.intersects(b) {
+                return true;
+            }
+            if a.end() < b.end() || (a.end() == b.end() && !a.right_closed()) {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        false
+    }
+
+    /// Set union (minimal representation).
+    pub fn union(&self, other: &RangeSet<S>) -> RangeSet<S> {
+        let mut all = Vec::with_capacity(self.intervals.len() + other.intervals.len());
+        all.extend(self.intervals.iter().cloned());
+        all.extend(other.intervals.iter().cloned());
+        RangeSet::from_unmerged(all)
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &RangeSet<S>) -> RangeSet<S> {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.intervals.len() && j < other.intervals.len() {
+            let a = &self.intervals[i];
+            let b = &other.intervals[j];
+            if let Some(x) = a.intersection(b) {
+                out.push(x);
+            }
+            // Advance whichever interval ends first.
+            if a.end() < b.end() || (a.end() == b.end() && !a.right_closed() && b.right_closed())
+            {
+                i += 1;
+            } else if b.end() < a.end()
+                || (a.end() == b.end() && a.right_closed() && !b.right_closed())
+            {
+                j += 1;
+            } else {
+                i += 1;
+                j += 1;
+            }
+        }
+        // Pieces of the intersection can be adjacent (e.g. [0,1] ∩ and
+        // (1,2] pieces from different pairs), so normalize.
+        RangeSet::from_unmerged(out)
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &RangeSet<S>) -> RangeSet<S> {
+        let mut out: Vec<Interval<S>> = Vec::new();
+        for a in &self.intervals {
+            let mut pieces = vec![a.clone()];
+            for b in &other.intervals {
+                if b.start() > a.end() {
+                    break;
+                }
+                let mut next = Vec::with_capacity(pieces.len() + 1);
+                for p in pieces {
+                    next.extend(p.difference(b));
+                }
+                pieces = next;
+                if pieces.is_empty() {
+                    break;
+                }
+            }
+            out.extend(pieces);
+        }
+        RangeSet::from_unmerged(out)
+    }
+
+    /// Smallest value in the set (⊥ when empty or the infimum is excluded
+    /// — for a left-open first interval we still return its start, as the
+    /// abstract `min` is then not attained; callers that need attained
+    /// minima should inspect the interval).
+    pub fn minimum(&self) -> Val<S> {
+        match self.intervals.first() {
+            Some(iv) => Val::Def(iv.start().clone()),
+            None => Val::Undef,
+        }
+    }
+
+    /// Largest value in the set (supremum; see [`RangeSet::minimum`]).
+    pub fn maximum(&self) -> Val<S> {
+        match self.intervals.last() {
+            Some(iv) => Val::Def(iv.end().clone()),
+            None => Val::Undef,
+        }
+    }
+
+    /// Restrict to a single interval (`self ∩ {iv}`).
+    pub fn restrict(&self, iv: &Interval<S>) -> RangeSet<S> {
+        self.intersection(&RangeSet::single(iv.clone()))
+    }
+}
+
+impl Periods {
+    /// The gaps between the component intervals, within the set's own
+    /// span (the bounded complement; empty for 0 or 1 components).
+    pub fn gaps(&self) -> Periods {
+        if self.intervals.len() < 2 {
+            return Periods::empty();
+        }
+        let span = Interval::new(
+            self.intervals
+                .first()
+                .expect("len >= 2")
+                .start()
+                .to_owned(),
+            self.intervals.last().expect("len >= 2").end().to_owned(),
+            true,
+            true,
+        );
+        Periods::single(span).difference(self)
+    }
+
+    /// Total duration of all component time intervals.
+    pub fn total_duration(&self) -> Real {
+        self.intervals
+            .iter()
+            .fold(Real::ZERO, |acc, iv| acc + iv.duration())
+    }
+}
+
+impl<S: Domain> Default for RangeSet<S> {
+    fn default() -> Self {
+        RangeSet::empty()
+    }
+}
+
+impl<S: Domain> FromIterator<Interval<S>> for RangeSet<S> {
+    fn from_iter<I: IntoIterator<Item = Interval<S>>>(iter: I) -> Self {
+        RangeSet::from_unmerged(iter.into_iter().collect())
+    }
+}
+
+impl<S: Domain + fmt::Debug> fmt::Debug for RangeSet<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.intervals.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instant::t;
+    use crate::real::r;
+
+    fn iv(s: f64, e: f64) -> Interval<Instant> {
+        Interval::closed(t(s), t(e))
+    }
+
+    fn ivf(s: f64, e: f64, lc: bool, rc: bool) -> Interval<Instant> {
+        Interval::new(t(s), t(e), lc, rc)
+    }
+
+    #[test]
+    fn try_new_enforces_invariants() {
+        assert!(RangeSet::try_new(vec![iv(0.0, 1.0), iv(2.0, 3.0)]).is_ok());
+        // Unsorted.
+        assert!(RangeSet::try_new(vec![iv(2.0, 3.0), iv(0.0, 1.0)]).is_err());
+        // Overlapping.
+        assert!(RangeSet::try_new(vec![iv(0.0, 2.0), iv(1.0, 3.0)]).is_err());
+        // Adjacent ([0,1] and (1,2]).
+        assert!(RangeSet::try_new(vec![iv(0.0, 1.0), ivf(1.0, 2.0, false, true)]).is_err());
+    }
+
+    #[test]
+    fn from_unmerged_normalizes() {
+        let rs = RangeSet::from_unmerged(vec![
+            ivf(1.0, 2.0, false, true),
+            iv(0.0, 1.0),
+            iv(5.0, 6.0),
+        ]);
+        assert_eq!(rs.num_intervals(), 2);
+        assert_eq!(rs.as_slice()[0], iv(0.0, 2.0));
+        assert_eq!(rs.as_slice()[1], iv(5.0, 6.0));
+    }
+
+    #[test]
+    fn membership() {
+        let rs = RangeSet::from_unmerged(vec![iv(0.0, 1.0), ivf(2.0, 3.0, false, false)]);
+        assert!(rs.contains(&t(0.0)));
+        assert!(rs.contains(&t(0.5)));
+        assert!(rs.contains(&t(1.0)));
+        assert!(!rs.contains(&t(1.5)));
+        assert!(!rs.contains(&t(2.0)));
+        assert!(rs.contains(&t(2.5)));
+        assert!(!rs.contains(&t(3.0)));
+        assert!(!rs.contains(&t(-1.0)));
+        assert!(!rs.contains(&t(9.0)));
+    }
+
+    #[test]
+    fn union_merges_across_sets() {
+        let a = RangeSet::from_unmerged(vec![iv(0.0, 1.0), iv(4.0, 5.0)]);
+        let b = RangeSet::from_unmerged(vec![ivf(1.0, 2.0, false, true)]);
+        let u = a.union(&b);
+        assert_eq!(u.num_intervals(), 2);
+        assert_eq!(u.as_slice()[0], iv(0.0, 2.0));
+    }
+
+    #[test]
+    fn intersection_two_pointer() {
+        let a = RangeSet::from_unmerged(vec![iv(0.0, 2.0), iv(3.0, 5.0), iv(7.0, 8.0)]);
+        let b = RangeSet::from_unmerged(vec![iv(1.0, 4.0), ivf(4.5, 7.5, false, false)]);
+        let x = a.intersection(&b);
+        assert_eq!(
+            x.as_slice(),
+            &[
+                iv(1.0, 2.0),
+                iv(3.0, 4.0),
+                ivf(4.5, 5.0, false, true),
+                ivf(7.0, 7.5, true, false),
+            ]
+        );
+    }
+
+    #[test]
+    fn difference_carves_holes() {
+        let a = RangeSet::single(iv(0.0, 10.0));
+        let b = RangeSet::from_unmerged(vec![ivf(2.0, 3.0, false, false), iv(5.0, 6.0)]);
+        let d = a.difference(&b);
+        assert_eq!(
+            d.as_slice(),
+            &[
+                iv(0.0, 2.0),
+                ivf(3.0, 5.0, true, false),
+                ivf(6.0, 10.0, false, true),
+            ]
+        );
+        // a \ a = empty
+        assert!(a.difference(&a).is_empty());
+    }
+
+    #[test]
+    fn intersects_and_extremes() {
+        let a = RangeSet::from_unmerged(vec![iv(0.0, 1.0), iv(5.0, 6.0)]);
+        let b = RangeSet::single(iv(0.5, 0.7));
+        let c = RangeSet::single(iv(2.0, 3.0));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert_eq!(a.minimum(), Val::Def(t(0.0)));
+        assert_eq!(a.maximum(), Val::Def(t(6.0)));
+        assert_eq!(RangeSet::<Instant>::empty().minimum(), Val::Undef);
+    }
+
+    #[test]
+    fn gaps_are_the_bounded_complement() {
+        let a = Periods::from_unmerged(vec![iv(0.0, 1.0), iv(3.0, 4.0), iv(6.0, 7.0)]);
+        let g = a.gaps();
+        assert_eq!(
+            g.as_slice(),
+            &[ivf(1.0, 3.0, false, false), ivf(4.0, 6.0, false, false)]
+        );
+        assert!(Periods::single(iv(0.0, 5.0)).gaps().is_empty());
+        assert!(Periods::empty().gaps().is_empty());
+        // Union of set and gaps is one solid interval.
+        assert_eq!(a.union(&g).num_intervals(), 1);
+    }
+
+    #[test]
+    fn total_duration() {
+        let a = Periods::from_unmerged(vec![iv(0.0, 1.0), iv(5.0, 6.5)]);
+        assert_eq!(a.total_duration(), r(2.5));
+    }
+
+    #[test]
+    fn int_range_normalization_is_continuous_merge_only() {
+        // Over int, [0,2] and [3,5] are adjacent (no element between), so
+        // from_unmerged merges them.
+        let rs = RangeSet::from_unmerged(vec![
+            Interval::closed(0i64, 2),
+            Interval::closed(3i64, 5),
+        ]);
+        assert_eq!(rs.num_intervals(), 1);
+        assert_eq!(rs.as_slice()[0], Interval::closed(0i64, 5));
+        // But [0,2] and [4,5] stay separate.
+        let rs = RangeSet::from_unmerged(vec![
+            Interval::closed(0i64, 2),
+            Interval::closed(4i64, 5),
+        ]);
+        assert_eq!(rs.num_intervals(), 2);
+    }
+
+    #[test]
+    fn restrict() {
+        let a = RangeSet::from_unmerged(vec![iv(0.0, 2.0), iv(3.0, 5.0)]);
+        let x = a.restrict(&iv(1.0, 4.0));
+        assert_eq!(x.as_slice(), &[iv(1.0, 2.0), iv(3.0, 4.0)]);
+    }
+}

@@ -1,0 +1,310 @@
+//! The discrete `real` type: a totally ordered wrapper over `f64`.
+//!
+//! The paper defines `D_real = real ∪ {⊥}` in terms of the programming
+//! language `real` type (Sec 3.2.1). Rust's `f64` is not totally ordered
+//! because of NaN, but the model requires a total order (intervals, range
+//! sets and lexicographic point order all depend on it). [`Real`] therefore
+//! rejects NaN at construction time and implements `Ord`/`Eq`.
+//!
+//! Undefinedness (⊥) is *not* folded into [`Real`]; it is modelled
+//! explicitly by [`crate::Val`] so that defined values stay a total order.
+
+use crate::error::{InvariantViolation, Result};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A finite-or-infinite, never-NaN `f64` with a total order.
+///
+/// `Real` is `Copy` and 8 bytes, so it can be freely embedded in the
+/// fixed-size records of `mob-storage`.
+#[derive(Clone, Copy, Default, PartialEq, PartialOrd)]
+pub struct Real(f64);
+
+impl Real {
+    /// Zero.
+    pub const ZERO: Real = Real(0.0);
+    /// One.
+    pub const ONE: Real = Real(1.0);
+
+    /// Wrap an `f64`. Panics on NaN; use [`Real::try_new`] to handle
+    /// untrusted input.
+    #[inline]
+    pub fn new(v: f64) -> Real {
+        assert!(!v.is_nan(), "Real cannot hold NaN");
+        Real(v)
+    }
+
+    /// Wrap an `f64`, returning an error on NaN.
+    #[inline]
+    pub fn try_new(v: f64) -> Result<Real> {
+        if v.is_nan() {
+            Err(InvariantViolation::new("real: value must not be NaN"))
+        } else {
+            Ok(Real(v))
+        }
+    }
+
+    /// The raw `f64`.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub fn abs(self) -> Real {
+        Real(self.0.abs())
+    }
+
+    /// Square root. Returns an error for negative input (which would
+    /// produce NaN).
+    #[inline]
+    pub fn sqrt(self) -> Result<Real> {
+        if self.0 < 0.0 {
+            Err(InvariantViolation::with_detail(
+                "real: sqrt of negative value",
+                format!("{}", self.0),
+            ))
+        } else {
+            Ok(Real(self.0.sqrt()))
+        }
+    }
+
+    /// Square root clamped at zero: treats small negative values (rounding
+    /// residue of quadratic evaluation) as zero.
+    #[inline]
+    pub fn sqrt_clamped(self) -> Real {
+        if self.0 <= 0.0 {
+            Real::ZERO
+        } else {
+            Real(self.0.sqrt())
+        }
+    }
+
+    /// Smaller of two values.
+    #[inline]
+    pub fn min(self, other: Real) -> Real {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Larger of two values.
+    #[inline]
+    pub fn max(self, other: Real) -> Real {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// `true` if the two values differ by at most `eps`.
+    ///
+    /// Geometric predicates on well-conditioned data use exact comparison;
+    /// this helper exists for tests and for intersection post-conditions.
+    #[inline]
+    pub fn approx_eq(self, other: Real, eps: f64) -> bool {
+        (self.0 - other.0).abs() <= eps
+    }
+
+    /// `true` for +/- infinity.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        self.0.is_infinite()
+    }
+
+    /// `true` for a finite value.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Linear interpolation `self + t * (other - self)`.
+    #[inline]
+    pub fn lerp(self, other: Real, t: Real) -> Real {
+        Real(self.0 + t.0 * (other.0 - self.0))
+    }
+}
+
+impl Eq for Real {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Real {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Safe: NaN is excluded by construction.
+        self.0.partial_cmp(&other.0).expect("Real is never NaN")
+    }
+}
+
+impl std::hash::Hash for Real {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Normalize -0.0 to +0.0 so Hash agrees with Eq.
+        let v = if self.0 == 0.0 { 0.0f64 } else { self.0 };
+        v.to_bits().hash(state);
+    }
+}
+
+impl fmt::Debug for Real {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Real {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<f64> for Real {
+    #[inline]
+    fn from(v: f64) -> Real {
+        Real::new(v)
+    }
+}
+
+impl From<i32> for Real {
+    #[inline]
+    fn from(v: i32) -> Real {
+        Real(v as f64)
+    }
+}
+
+impl From<Real> for f64 {
+    #[inline]
+    fn from(r: Real) -> f64 {
+        r.0
+    }
+}
+
+impl Add for Real {
+    type Output = Real;
+    #[inline]
+    fn add(self, rhs: Real) -> Real {
+        Real::new(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Real {
+    type Output = Real;
+    #[inline]
+    fn sub(self, rhs: Real) -> Real {
+        Real::new(self.0 - rhs.0)
+    }
+}
+
+impl Mul for Real {
+    type Output = Real;
+    #[inline]
+    fn mul(self, rhs: Real) -> Real {
+        Real::new(self.0 * rhs.0)
+    }
+}
+
+impl Div for Real {
+    type Output = Real;
+    #[inline]
+    fn div(self, rhs: Real) -> Real {
+        Real::new(self.0 / rhs.0)
+    }
+}
+
+impl Neg for Real {
+    type Output = Real;
+    #[inline]
+    fn neg(self) -> Real {
+        Real(-self.0)
+    }
+}
+
+impl AddAssign for Real {
+    #[inline]
+    fn add_assign(&mut self, rhs: Real) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Real {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Real) {
+        *self = *self - rhs;
+    }
+}
+
+/// Shorthand constructor used pervasively in tests and examples.
+#[inline]
+pub fn r(v: f64) -> Real {
+    Real::new(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_rejects_nan() {
+        assert!(Real::try_new(f64::NAN).is_err());
+        assert!(Real::try_new(1.5).is_ok());
+        assert!(Real::try_new(f64::INFINITY).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn new_panics_on_nan() {
+        let _ = Real::new(f64::NAN);
+    }
+
+    #[test]
+    fn total_order() {
+        let mut v = vec![r(3.0), r(-1.0), r(2.5), r(0.0)];
+        v.sort();
+        assert_eq!(v, vec![r(-1.0), r(0.0), r(2.5), r(3.0)]);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(r(2.0) + r(3.0), r(5.0));
+        assert_eq!(r(2.0) - r(3.0), r(-1.0));
+        assert_eq!(r(2.0) * r(3.0), r(6.0));
+        assert_eq!(r(6.0) / r(3.0), r(2.0));
+        assert_eq!(-r(2.0), r(-2.0));
+    }
+
+    #[test]
+    fn sqrt_behaviour() {
+        assert_eq!(r(9.0).sqrt().unwrap(), r(3.0));
+        assert!(r(-1.0).sqrt().is_err());
+        assert_eq!(r(-1e-12).sqrt_clamped(), Real::ZERO);
+        assert_eq!(r(4.0).sqrt_clamped(), r(2.0));
+    }
+
+    #[test]
+    fn min_max_lerp() {
+        assert_eq!(r(1.0).min(r(2.0)), r(1.0));
+        assert_eq!(r(1.0).max(r(2.0)), r(2.0));
+        assert_eq!(r(0.0).lerp(r(10.0), r(0.25)), r(2.5));
+    }
+
+    #[test]
+    fn hash_consistent_with_eq_for_zero() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |x: Real| {
+            let mut s = DefaultHasher::new();
+            x.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(r(0.0), r(-0.0));
+        assert_eq!(h(r(0.0)), h(r(-0.0)));
+    }
+
+    #[test]
+    fn approx_eq() {
+        assert!(r(1.0).approx_eq(r(1.0 + 1e-12), 1e-9));
+        assert!(!r(1.0).approx_eq(r(1.1), 1e-9));
+    }
+}

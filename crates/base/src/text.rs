@@ -1,0 +1,167 @@
+//! The discrete `string` type.
+//!
+//! Section 4.1 (footnote 3) assumes strings are implemented as a fixed
+//! length array of characters, so that every base value is a fixed-size
+//! record suitable for a DBMS root record. [`Text`] stores up to
+//! [`Text::CAPACITY`] bytes inline, with no heap allocation, and has a
+//! total (byte-lexicographic) order.
+
+use crate::error::{InvariantViolation, Result};
+use std::fmt;
+
+/// A fixed-capacity inline string (DBMS attribute style).
+#[derive(Clone, Copy)]
+pub struct Text {
+    len: u8,
+    bytes: [u8; Text::CAPACITY],
+}
+
+impl Text {
+    /// Maximum length in bytes (mirrors SECONDO's 48-byte string attributes).
+    pub const CAPACITY: usize = 48;
+
+    /// Construct from a `&str`, rejecting strings longer than the capacity.
+    pub fn try_new(s: &str) -> Result<Text> {
+        if s.len() > Text::CAPACITY {
+            return Err(InvariantViolation::with_detail(
+                "string: length exceeds fixed capacity",
+                format!("{} > {}", s.len(), Text::CAPACITY),
+            ));
+        }
+        let mut bytes = [0u8; Text::CAPACITY];
+        bytes[..s.len()].copy_from_slice(s.as_bytes());
+        Ok(Text {
+            len: s.len() as u8,
+            bytes,
+        })
+    }
+
+    /// Construct from a `&str`, panicking if too long. For literals.
+    pub fn new(s: &str) -> Text {
+        Text::try_new(s).expect("string literal exceeds Text::CAPACITY")
+    }
+
+    /// View as `&str`.
+    pub fn as_str(&self) -> &str {
+        // Invariant: constructed from valid UTF-8 prefixes only.
+        std::str::from_utf8(&self.bytes[..self.len as usize]).expect("Text holds valid UTF-8")
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The raw fixed-size byte array (for `mob-storage` records).
+    pub fn raw_bytes(&self) -> &[u8; Text::CAPACITY] {
+        &self.bytes
+    }
+
+    /// Rebuild from raw storage bytes plus length.
+    pub fn from_raw(bytes: [u8; Text::CAPACITY], len: u8) -> Result<Text> {
+        if len as usize > Text::CAPACITY {
+            return Err(InvariantViolation::new("string: stored length out of range"));
+        }
+        std::str::from_utf8(&bytes[..len as usize])
+            .map_err(|_| InvariantViolation::new("string: stored bytes are not UTF-8"))?;
+        Ok(Text { len, bytes })
+    }
+}
+
+impl PartialEq for Text {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for Text {}
+
+impl PartialOrd for Text {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Text {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl std::hash::Hash for Text {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state);
+    }
+}
+
+impl fmt::Debug for Text {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl fmt::Display for Text {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl std::str::FromStr for Text {
+    type Err = InvariantViolation;
+    fn from_str(s: &str) -> Result<Text> {
+        Text::try_new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let t = Text::new("Lufthansa");
+        assert_eq!(t.as_str(), "Lufthansa");
+        assert_eq!(t.len(), 9);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let long = "x".repeat(Text::CAPACITY + 1);
+        assert!(Text::try_new(&long).is_err());
+        let max = "y".repeat(Text::CAPACITY);
+        assert_eq!(Text::try_new(&max).unwrap().len(), Text::CAPACITY);
+    }
+
+    #[test]
+    fn ordering_ignores_padding() {
+        // Two values built differently must compare by content only.
+        let a = Text::new("abc");
+        let mut raw = *a.raw_bytes();
+        raw[10] = 0xFF; // garbage beyond len must not affect Eq/Ord
+        let b = Text::from_raw(raw, 3).unwrap();
+        assert_eq!(a, b);
+        assert!(Text::new("abc") < Text::new("abd"));
+        assert!(Text::new("ab") < Text::new("abc"));
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        assert!(Text::from_raw([0; Text::CAPACITY], (Text::CAPACITY + 1) as u8).is_err());
+        let mut bad = [0u8; Text::CAPACITY];
+        bad[0] = 0xFF; // invalid UTF-8 lead byte
+        assert!(Text::from_raw(bad, 1).is_err());
+    }
+
+    #[test]
+    fn empty() {
+        let e = Text::new("");
+        assert!(e.is_empty());
+        assert_eq!(e.to_string(), "");
+    }
+}

@@ -1,0 +1,174 @@
+//! Undefinedness: the `⊥` element of every base carrier set.
+//!
+//! Section 3.2.1 extends every base domain with an undefined value:
+//! `D_int = int ∪ {⊥}` and so on. [`Val`] makes ⊥ explicit rather than
+//! reusing `Option`, so the ⊥-propagation rules of the abstract model
+//! ("strict" operations map ⊥ to ⊥) are implemented in one place and the
+//! intent is visible in signatures.
+
+use std::fmt;
+
+/// A value of a base domain extended with the undefined element ⊥.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Val<T> {
+    /// A defined value of the underlying domain.
+    Def(T),
+    /// The undefined value ⊥.
+    Undef,
+}
+
+impl<T> Val<T> {
+    /// `true` if this is a defined value.
+    #[inline]
+    pub fn is_def(&self) -> bool {
+        matches!(self, Val::Def(_))
+    }
+
+    /// `true` if this is ⊥.
+    #[inline]
+    pub fn is_undef(&self) -> bool {
+        matches!(self, Val::Undef)
+    }
+
+    /// Strict application: ⊥ propagates.
+    #[inline]
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Val<U> {
+        match self {
+            Val::Def(v) => Val::Def(f(v)),
+            Val::Undef => Val::Undef,
+        }
+    }
+
+    /// Strict binary application: the result is ⊥ if either operand is.
+    #[inline]
+    pub fn zip_with<U, R>(self, other: Val<U>, f: impl FnOnce(T, U) -> R) -> Val<R> {
+        match (self, other) {
+            (Val::Def(a), Val::Def(b)) => Val::Def(f(a, b)),
+            _ => Val::Undef,
+        }
+    }
+
+    /// Strict monadic bind.
+    #[inline]
+    pub fn and_then<U>(self, f: impl FnOnce(T) -> Val<U>) -> Val<U> {
+        match self {
+            Val::Def(v) => f(v),
+            Val::Undef => Val::Undef,
+        }
+    }
+
+    /// Borrowing view.
+    #[inline]
+    pub fn as_ref(&self) -> Val<&T> {
+        match self {
+            Val::Def(v) => Val::Def(v),
+            Val::Undef => Val::Undef,
+        }
+    }
+
+    /// Convert to `Option` (for interop with std combinators).
+    #[inline]
+    pub fn into_option(self) -> Option<T> {
+        match self {
+            Val::Def(v) => Some(v),
+            Val::Undef => None,
+        }
+    }
+
+    /// Extract the defined value, panicking on ⊥.
+    #[inline]
+    #[track_caller]
+    pub fn unwrap(self) -> T {
+        match self {
+            Val::Def(v) => v,
+            Val::Undef => panic!("called unwrap on undefined (⊥) value"),
+        }
+    }
+
+    /// Extract the defined value or a fallback.
+    #[inline]
+    pub fn unwrap_or(self, default: T) -> T {
+        match self {
+            Val::Def(v) => v,
+            Val::Undef => default,
+        }
+    }
+}
+
+impl<T> From<Option<T>> for Val<T> {
+    #[inline]
+    fn from(o: Option<T>) -> Val<T> {
+        match o {
+            Some(v) => Val::Def(v),
+            None => Val::Undef,
+        }
+    }
+}
+
+impl<T> From<T> for Val<T> {
+    #[inline]
+    fn from(v: T) -> Val<T> {
+        Val::Def(v)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Val<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::Def(v) => write!(f, "{v:?}"),
+            Val::Undef => write!(f, "⊥"),
+        }
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Val<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::Def(v) => write!(f, "{v}"),
+            Val::Undef => write!(f, "undefined"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_propagation() {
+        let a: Val<i64> = Val::Def(2);
+        let b: Val<i64> = Val::Undef;
+        assert_eq!(a.map(|x| x + 1), Val::Def(3));
+        assert_eq!(b.map(|x| x + 1), Val::Undef);
+        assert_eq!(a.zip_with(Val::Def(3), |x, y| x * y), Val::Def(6));
+        assert_eq!(a.zip_with(b, |x, y| x * y), Val::Undef);
+        assert_eq!(b.zip_with(a, |x, y| x * y), Val::Undef);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Val::from(Some(1)), Val::Def(1));
+        assert_eq!(Val::<i64>::from(None), Val::Undef);
+        assert_eq!(Val::Def(1).into_option(), Some(1));
+        assert_eq!(Val::<i64>::Undef.into_option(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "⊥")]
+    fn unwrap_undef_panics() {
+        Val::<i64>::Undef.unwrap();
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{:?}", Val::Def(7)), "7");
+        assert_eq!(format!("{:?}", Val::<i64>::Undef), "⊥");
+        assert_eq!(Val::<i64>::Undef.to_string(), "undefined");
+    }
+
+    #[test]
+    fn undef_sorts_after_defined() {
+        // Ord is derived: Def < Undef by variant order. Documented behaviour.
+        assert!(Val::Def(i64::MAX) < Val::Undef);
+    }
+}

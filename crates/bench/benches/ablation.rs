@@ -1,0 +1,134 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **A1** — the Sec 4.2 bounding-cube summary field: `inside` with the
+//!   cube fast path vs. always scanning the moving segments.
+//! * **A2** — the sorted units array behind Algorithm `atinstant`:
+//!   binary search vs. a linear scan over the units.
+//! * **A3** — the `concat` merge: building an `inside` result with merge
+//!   vs. collecting raw refinement parts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mob_bench::{bench_storm, far_point};
+use mob_core::{lift2, Unit};
+use std::hint::black_box;
+
+/// A1: the bounding-cube fast path on spatially disjoint workloads.
+fn cube_fast_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/bounding-cube");
+    for verts in [16usize, 64, 256] {
+        let storm = bench_storm(8, verts);
+        let point = far_point(8);
+        group.bench_with_input(BenchmarkId::new("with-cube", verts * 8), &verts, |b, _| {
+            b.iter(|| {
+                black_box(lift2(&point, &storm, |iv, up, ur| ur.inside_units(up, iv)))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("scan-only", verts * 8), &verts, |b, _| {
+            b.iter(|| {
+                black_box(lift2(&point, &storm, |iv, up, ur| {
+                    ur.inside_units_scan(up, iv)
+                }))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// A2: binary search vs linear scan for unit lookup.
+fn unit_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/unit-lookup");
+    for n in [64usize, 1024, 16384] {
+        let m = {
+            let units = (0..n)
+                .map(|k| {
+                    mob_core::UReal::constant(
+                        mob_base::Interval::closed_open(
+                            mob_base::t(k as f64),
+                            mob_base::t(k as f64 + 1.0),
+                        ),
+                        mob_base::r(k as f64),
+                    )
+                })
+                .collect();
+            mob_core::Mapping::try_new(units).expect("disjoint slices")
+        };
+        let probes: Vec<mob_base::Instant> = (0..64)
+            .map(|k| mob_base::t(n as f64 * (k as f64 + 0.5) / 64.0))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("binary-search", n), &n, |b, _| {
+            let mut k = 0;
+            b.iter(|| {
+                k = (k + 1) % probes.len();
+                black_box(m.unit_index_at(probes[k]))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("linear-scan", n), &n, |b, _| {
+            let mut k = 0;
+            b.iter(|| {
+                k = (k + 1) % probes.len();
+                let t = probes[k];
+                black_box(
+                    m.units()
+                        .iter()
+                        .position(|u| u.interval().contains(&t)),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+/// A3: the concat merge keeps lifted results minimal.
+fn concat_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/concat-minimality");
+    let storm = bench_storm(64, 12);
+    let point = mob_bench::crossing_point(64);
+    group.bench_function("inside-with-concat", |b| {
+        b.iter(|| {
+            let r = mob_core::moving::mregion::inside(&point, &storm);
+            black_box(r.num_units())
+        });
+    });
+    // Without merge the result would have ~one unit per refinement part;
+    // measure the raw refinement size for comparison.
+    group.bench_function("raw-refinement-parts", |b| {
+        b.iter(|| black_box(mob_core::refinement_both(&point, &storm).len()));
+    });
+    group.finish();
+}
+
+/// A4: the exact critical-time validation schedule of `uregion` units.
+fn uregion_validation(c: &mut Criterion) {
+    use mob_core::{MCycle, MFace, URegion};
+    let mut group = c.benchmark_group("ablation/uregion-validation");
+    for verts in [8usize, 32, 128] {
+        let r0 = mob_gen::convex_blob(7, mob_spatial::Point::from_f64(0.0, 0.0), 20.0, verts, 0.3);
+        let r1 = mob_gen::convex_blob(7, mob_spatial::Point::from_f64(10.0, 5.0), 25.0, verts, 0.3);
+        let iv = mob_base::Interval::closed(mob_base::t(0.0), mob_base::t(1.0));
+        let cyc = MCycle::interpolate(mob_base::t(0.0), &r0, mob_base::t(1.0), &r1)
+            .expect("matching vertex counts");
+        group.bench_with_input(BenchmarkId::from_parameter(verts), &verts, |b, _| {
+            b.iter(|| {
+                black_box(
+                    URegion::try_new(iv, vec![MFace::simple(cyc.clone())])
+                        .expect("valid interpolation"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = cube_fast_path, unit_lookup, concat_merge, uregion_validation
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Experiment E1 (Sec 5.1): `atinstant` on a moving region is
+//! `O(log n + r)` — binary search over the units array plus traversal of
+//! the unit's moving segments (plus `r log r` when the full region
+//! structure is rebuilt via `close()`-style construction).
+//!
+//! Two sweeps: `n` (unit count) at fixed `r`, and `r` (segments per
+//! unit) at fixed `n`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mob_bench::{bench_storm, probe_instants};
+use std::hint::black_box;
+
+fn sweep_units(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atinstant/sweep-n-units");
+    for n in [4usize, 16, 64, 256, 1024] {
+        let storm = bench_storm(n, 12);
+        let probes = probe_instants(64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut k = 0;
+            b.iter(|| {
+                k = (k + 1) % probes.len();
+                black_box(storm.at_instant(probes[k]))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn sweep_region_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atinstant/sweep-r-segments");
+    for r in [8usize, 16, 32, 64, 128, 256] {
+        let storm = bench_storm(8, r);
+        let probes = probe_instants(64);
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, _| {
+            let mut k = 0;
+            b.iter(|| {
+                k = (k + 1) % probes.len();
+                black_box(storm.at_instant(probes[k]))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The pure binary-search component, isolated: unit lookup only.
+fn sweep_lookup_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atinstant/unit-lookup-only");
+    for n in [4usize, 64, 1024, 16384] {
+        // Cheap units: a moving real with n slices.
+        let m = {
+            let mut units = Vec::with_capacity(n);
+            for k in 0..n {
+                let iv = mob_base::Interval::closed_open(
+                    mob_base::t(k as f64),
+                    mob_base::t(k as f64 + 1.0),
+                );
+                units.push(mob_core::UReal::constant(iv, mob_base::r(k as f64)));
+            }
+            mob_core::Mapping::try_new(units).expect("disjoint slices")
+        };
+        let probes: Vec<mob_base::Instant> = (0..64)
+            .map(|k| mob_base::t(n as f64 * (k as f64 + 0.5) / 64.0))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut k = 0;
+            b.iter(|| {
+                k = (k + 1) % probes.len();
+                black_box(m.unit_index_at(probes[k]))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = sweep_units, sweep_region_size, sweep_lookup_only
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Experiment E2 (Sec 5.2): Algorithm `inside` is `O(n + m + S)` where
+//! `n`, `m` are the unit counts and `S` the total number of moving
+//! segments; `O(n + m)` when the bounding cubes never intersect.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mob_bench::{bench_storm, crossing_point, far_point};
+use mob_core::moving::mregion::inside;
+use std::hint::black_box;
+
+fn sweep_unit_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inside/sweep-n+m-units");
+    for n in [4usize, 8, 16, 32, 64] {
+        let storm = bench_storm(n, 12);
+        let point = crossing_point(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(inside(&point, &storm)));
+        });
+    }
+    group.finish();
+}
+
+fn sweep_msegments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inside/sweep-S-msegments");
+    for verts in [8usize, 16, 32, 64, 128] {
+        let storm = bench_storm(8, verts);
+        let point = crossing_point(8);
+        group.bench_with_input(BenchmarkId::from_parameter(verts * 8), &verts, |b, _| {
+            b.iter(|| black_box(inside(&point, &storm)));
+        });
+    }
+    group.finish();
+}
+
+/// The bounding-cube fast path: the same sweep with a far-away point
+/// must be flat in S.
+fn sweep_msegments_disjoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inside/sweep-S-disjoint-cubes");
+    for verts in [8usize, 16, 32, 64, 128] {
+        let storm = bench_storm(8, verts);
+        let point = far_point(8);
+        group.bench_with_input(BenchmarkId::from_parameter(verts * 8), &verts, |b, _| {
+            b.iter(|| black_box(inside(&point, &storm)));
+        });
+    }
+    group.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = sweep_unit_counts, sweep_msegments, sweep_msegments_disjoint
+}
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! Experiments F8/E3: the refinement partition (Fig 8) is `O(n + m)`,
+//! the `concat` merge is `O(1)` per unit, and the core mapping
+//! operations (`deftime`, `atperiods`, builder) are linear.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mob_base::{r, t, Interval, Periods};
+use mob_bench::crossing_point;
+use mob_core::{lift2, refinement_both, ConstUnit, Mapping, MappingBuilder, MovingBool, UReal};
+use std::hint::black_box;
+
+fn mbool(n: usize, phase: f64) -> MovingBool {
+    let units = (0..n)
+        .map(|k| {
+            ConstUnit::new(
+                Interval::closed_open(t(k as f64 + phase), t(k as f64 + 1.0 + phase)),
+                k % 2 == 0,
+            )
+        })
+        .collect();
+    Mapping::try_new(units).expect("disjoint slices")
+}
+
+fn refinement_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping/refinement-both");
+    for n in [16usize, 64, 256, 1024] {
+        let a = mbool(n, 0.0);
+        let b = mbool(n, 0.25); // offset boundaries: maximal refinement
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| black_box(refinement_both(&a, &b).len()));
+        });
+    }
+    group.finish();
+}
+
+fn lifted_and(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping/lifted-and");
+    for n in [16usize, 64, 256, 1024] {
+        let a = mbool(n, 0.0);
+        let b = mbool(n, 0.25);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| black_box(a.and(&b).num_units()));
+        });
+    }
+    group.finish();
+}
+
+fn builder_concat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping/builder-concat");
+    for n in [64usize, 1024, 16384] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, &n| {
+            bch.iter(|| {
+                let mut builder = MappingBuilder::new();
+                for k in 0..n {
+                    // Alternate between two values: no merges, pure push.
+                    builder.push(ConstUnit::new(
+                        Interval::closed_open(t(k as f64), t(k as f64 + 1.0)),
+                        k % 2 == 0,
+                    ));
+                }
+                black_box(builder.finish().num_units())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn atperiods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping/atperiods");
+    for n in [16usize, 64, 256] {
+        let m = crossing_point(n);
+        let p: Periods = (0..10)
+            .map(|k| Interval::closed(t(k as f64 * 10.0), t(k as f64 * 10.0 + 5.0)))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| black_box(m.atperiods(&p).num_units()));
+        });
+    }
+    group.finish();
+}
+
+fn lifted_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping/lifted-distance");
+    for n in [16usize, 64, 256] {
+        let a = crossing_point(n);
+        let b = mob_gen::flight_mpoint(
+            77,
+            mob_spatial::Point::from_f64(180.0, -20.0),
+            mob_spatial::Point::from_f64(-50.0, 80.0),
+            0.0,
+            mob_bench::SPAN,
+            n,
+            1.0,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| black_box(a.distance(&b).num_units()));
+        });
+    }
+    group.finish();
+}
+
+fn atmin_over_units(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping/atmin");
+    for n in [16usize, 256, 4096] {
+        let units = (0..n)
+            .map(|k| {
+                UReal::quadratic(
+                    Interval::closed_open(t(k as f64), t(k as f64 + 1.0)),
+                    r(1.0),
+                    r(-2.0 * k as f64 - 1.0),
+                    r((k * k + k) as f64 + 1.0),
+                )
+            })
+            .collect();
+        let m = Mapping::try_new(units).expect("disjoint slices");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| black_box(m.atmin().num_units()));
+        });
+    }
+    group.finish();
+}
+
+fn noop_lift_baseline(c: &mut Criterion) {
+    // Baseline: lift2 with a trivial kernel isolates traversal cost.
+    let a = mbool(1024, 0.0);
+    let b = mbool(1024, 0.25);
+    c.bench_function("mapping/lift2-trivial-kernel-1024", |bch| {
+        bch.iter(|| {
+            black_box(lift2(&a, &b, |iv, _, _| vec![ConstUnit::new(*iv, true)]).num_units())
+        });
+    });
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = refinement_partition, lifted_and, builder_concat, atperiods, lifted_distance, atmin_over_units, noop_lift_baseline
+}
+criterion_main!(benches);

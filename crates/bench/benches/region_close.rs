@@ -1,0 +1,75 @@
+//! Experiment E4 (Sec 4.1): region construction — `close()` assembles
+//! the face/cycle structure from a flat segment list; the dominating
+//! cost is the halfsegment sort, `O(r log r)`. Includes the boolean
+//! set operations built on top of it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mob_bench::square_grid_soup;
+use mob_gen::convex_blob;
+use mob_spatial::setops::{region_intersection, region_union};
+use mob_spatial::{Point, Region};
+use std::hint::black_box;
+
+fn close_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("region/close-sweep-faces");
+    for k in [4usize, 16, 64, 144] {
+        let soup = square_grid_soup(k);
+        group.bench_with_input(BenchmarkId::from_parameter(4 * k), &k, |b, _| {
+            b.iter(|| black_box(Region::close(soup.clone()).expect("valid soup")));
+        });
+    }
+    group.finish();
+}
+
+fn close_single_big_face(c: &mut Criterion) {
+    let mut group = c.benchmark_group("region/close-single-face");
+    for n in [16usize, 64, 256] {
+        let ring = convex_blob(9, Point::from_f64(0.0, 0.0), 100.0, n, 0.3);
+        let soup = ring.segments();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(Region::close(soup.clone()).expect("valid ring soup")));
+        });
+    }
+    group.finish();
+}
+
+fn boolean_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("region/boolean-ops");
+    for n in [8usize, 32, 128] {
+        let a = Region::from_ring(convex_blob(1, Point::from_f64(0.0, 0.0), 50.0, n, 0.2));
+        let b = Region::from_ring(convex_blob(2, Point::from_f64(30.0, 10.0), 50.0, n, 0.2));
+        group.bench_with_input(BenchmarkId::new("union", n), &n, |bch, _| {
+            bch.iter(|| black_box(region_union(&a, &b).expect("valid overlay")));
+        });
+        group.bench_with_input(BenchmarkId::new("intersection", n), &n, |bch, _| {
+            bch.iter(|| black_box(region_intersection(&a, &b).expect("valid overlay")));
+        });
+    }
+    group.finish();
+}
+
+fn plumbline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("region/point-in-region");
+    for n in [16usize, 256, 4096] {
+        let region = Region::from_ring(convex_blob(3, Point::from_f64(0.0, 0.0), 100.0, n, 0.3));
+        let probe = Point::from_f64(13.0, 7.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(region.contains_point(probe)));
+        });
+    }
+    group.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = close_sweep, close_single_big_face, boolean_ops, plumbline
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Experiments F7/E5 (Sec 4, [DG98]): the mapping storage layout —
+//! serialization cost, the inline/external placement threshold, and
+//! page-I/O counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mob_bench::{bench_storm, crossing_point};
+use mob_storage::mapping_store::{load_mpoint, load_mregion, save_mpoint, save_mregion};
+use mob_storage::region_store::{load_region, save_region};
+use mob_storage::PageStore;
+use std::hint::black_box;
+
+fn mpoint_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage/mpoint-roundtrip");
+    for n in [4usize, 64, 1024] {
+        let m = crossing_point(n);
+        group.bench_with_input(BenchmarkId::new("save", n), &n, |b, _| {
+            b.iter(|| {
+                let mut store = PageStore::new();
+                black_box(save_mpoint(&m, &mut store))
+            });
+        });
+        let mut store = PageStore::new();
+        let stored = save_mpoint(&m, &mut store);
+        group.bench_with_input(BenchmarkId::new("load", n), &n, |b, _| {
+            b.iter(|| black_box(load_mpoint(&stored, &store)));
+        });
+    }
+    group.finish();
+}
+
+fn mregion_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage/mregion-roundtrip");
+    group.sample_size(20);
+    for (units, verts) in [(4usize, 8usize), (16, 16), (64, 24)] {
+        let m = bench_storm(units, verts);
+        let label = units * verts;
+        group.bench_with_input(BenchmarkId::new("save", label), &label, |b, _| {
+            b.iter(|| {
+                let mut store = PageStore::new();
+                black_box(save_mregion(&m, &mut store))
+            });
+        });
+        let mut store = PageStore::new();
+        let stored = save_mregion(&m, &mut store);
+        group.bench_with_input(BenchmarkId::new("load", label), &label, |b, _| {
+            b.iter(|| black_box(load_mregion(&stored, &store)));
+        });
+    }
+    group.finish();
+}
+
+fn region_snapshot_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage/region-roundtrip");
+    for verts in [8usize, 32, 128] {
+        let snap = bench_storm(4, verts)
+            .at_instant(mob_base::t(50.0))
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("save", verts), &verts, |b, _| {
+            b.iter(|| {
+                let mut store = PageStore::new();
+                black_box(save_region(&snap, &mut store))
+            });
+        });
+        let mut store = PageStore::new();
+        let stored = save_region(&snap, &mut store);
+        group.bench_with_input(BenchmarkId::new("load", verts), &verts, |b, _| {
+            b.iter(|| black_box(load_region(&stored, &store).expect("valid")));
+        });
+    }
+    group.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = mpoint_roundtrip, mregion_roundtrip, region_snapshot_roundtrip
+}
+criterion_main!(benches);

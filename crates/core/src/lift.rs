@@ -1,0 +1,106 @@
+//! Generic *lifting* machinery (Sec 2 / Sec 5.2).
+//!
+//! The abstract model makes every non-temporal operation applicable to
+//! moving types by temporal lifting; on the discrete representations all
+//! binary lifted operations share one skeleton — the generic Algorithm
+//! `inside` of Sec 5.2: traverse the two unit lists in parallel along the
+//! refinement partition, apply a per-unit-pair kernel, and `concat` the
+//! resulting unit streams. [`lift2`] is that skeleton; the kernels are
+//! supplied by the concrete operations (`distance`, `inside`, boolean
+//! algebra, arithmetic, ...).
+
+use crate::mapping::{Mapping, MappingBuilder};
+use crate::refinement::refinement_both;
+use crate::unit::Unit;
+use mob_base::TimeInterval;
+
+/// Binary lift: apply `kernel` on every refinement part where both
+/// arguments are defined. The kernel returns the result units covering
+/// that part, in time order; adjacent equal units are merged (`concat`).
+///
+/// Runs in `O(n + m + Σ kernel)` — the complexity bound of Sec 5.2.
+pub fn lift2<UA, UB, UC, F>(a: &Mapping<UA>, b: &Mapping<UB>, kernel: F) -> Mapping<UC>
+where
+    UA: Unit,
+    UB: Unit,
+    UC: Unit,
+    F: Fn(&TimeInterval, &UA, &UB) -> Vec<UC>,
+{
+    let mut builder = MappingBuilder::new();
+    for (iv, ua, ub) in refinement_both(a, b) {
+        for unit in kernel(&iv, ua, ub) {
+            builder.push(unit);
+        }
+    }
+    builder.finish()
+}
+
+/// Unary lift: apply `kernel` to every unit (possibly splitting it),
+/// merging adjacent equal results.
+pub fn lift1<UA, UC, F>(a: &Mapping<UA>, kernel: F) -> Mapping<UC>
+where
+    UA: Unit,
+    UC: Unit,
+    F: Fn(&UA) -> Vec<UC>,
+{
+    let mut builder = MappingBuilder::new();
+    for u in a.units() {
+        for unit in kernel(u) {
+            builder.push(unit);
+        }
+    }
+    builder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uconst::ConstUnit;
+    use mob_base::{t, Interval, Val};
+
+    fn cu(s: f64, e: f64, v: i64) -> ConstUnit<i64> {
+        ConstUnit::new(Interval::closed_open(t(s), t(e)), v)
+    }
+
+    #[test]
+    fn lift2_addition_of_moving_ints() {
+        let a = Mapping::try_new(vec![cu(0.0, 2.0, 1), cu(2.0, 4.0, 5)]).unwrap();
+        let b = Mapping::try_new(vec![cu(1.0, 3.0, 10)]).unwrap();
+        let sum = lift2(&a, &b, |iv, ua, ub| {
+            vec![ConstUnit::new(*iv, ua.value() + ub.value())]
+        });
+        assert_eq!(sum.at_instant(t(1.5)), Val::Def(11));
+        assert_eq!(sum.at_instant(t(2.5)), Val::Def(15));
+        assert_eq!(sum.at_instant(t(0.5)), Val::Undef); // b undefined
+        assert_eq!(sum.at_instant(t(3.5)), Val::Undef);
+    }
+
+    #[test]
+    fn lift2_concat_merges_equal_results() {
+        // Different inputs can produce equal outputs across parts; concat
+        // must merge them into one unit.
+        let a = Mapping::try_new(vec![cu(0.0, 2.0, 1), cu(2.0, 4.0, 2)]).unwrap();
+        let b = Mapping::try_new(vec![cu(0.0, 4.0, 0)]).unwrap();
+        let sign = lift2(&a, &b, |iv, ua, _| {
+            vec![ConstUnit::new(*iv, *ua.value() > 0)]
+        });
+        assert_eq!(sign.num_units(), 1);
+        assert_eq!(sign.at_instant(t(3.0)), Val::Def(true));
+    }
+
+    #[test]
+    fn lift1_splits_units() {
+        let a = Mapping::try_new(vec![cu(0.0, 4.0, 7)]).unwrap();
+        let halved = lift1(&a, |u| {
+            let iv = u.interval();
+            let mid = iv.start().midpoint(*iv.end());
+            vec![
+                ConstUnit::new(Interval::closed_open(*iv.start(), mid), 1i64),
+                ConstUnit::new(Interval::closed_open(mid, *iv.end()), 2i64),
+            ]
+        });
+        assert_eq!(halved.num_units(), 2);
+        assert_eq!(halved.at_instant(t(1.0)), Val::Def(1));
+        assert_eq!(halved.at_instant(t(3.0)), Val::Def(2));
+    }
+}

@@ -1,0 +1,131 @@
+//! Operations on `moving(bool)` — the result type of lifted predicates.
+
+use crate::lift::{lift1, lift2};
+use crate::mapping::Mapping;
+use crate::moving::MovingBool;
+use crate::uconst::ConstUnit;
+use crate::unit::Unit;
+use mob_base::{Periods, TimeInterval};
+
+impl Mapping<ConstUnit<bool>> {
+    /// A moving bool that is `value` over the given periods (and
+    /// undefined elsewhere).
+    pub fn from_periods(periods: &Periods, value: bool) -> MovingBool {
+        Mapping::try_new(
+            periods
+                .iter()
+                .map(|iv| ConstUnit::new(*iv, value))
+                .collect(),
+        )
+        .expect("periods are disjoint and non-adjacent")
+    }
+
+    /// Lifted logical negation.
+    pub fn not(&self) -> MovingBool {
+        lift1(self, |u| vec![ConstUnit::new(*u.interval(), !u.value())])
+    }
+
+    /// Lifted conjunction (strict: undefined where either is undefined).
+    pub fn and(&self, other: &MovingBool) -> MovingBool {
+        lift2(self, other, |iv, a, b| {
+            vec![ConstUnit::new(*iv, *a.value() && *b.value())]
+        })
+    }
+
+    /// Lifted disjunction.
+    pub fn or(&self, other: &MovingBool) -> MovingBool {
+        lift2(self, other, |iv, a, b| {
+            vec![ConstUnit::new(*iv, *a.value() || *b.value())]
+        })
+    }
+
+    /// The periods during which the value is `true` (the `when` /
+    /// `at(true)` projection).
+    pub fn when_true(&self) -> Periods {
+        self.when(true)
+    }
+
+    /// The periods during which the value equals `v`.
+    pub fn when(&self, v: bool) -> Periods {
+        let ivs: Vec<TimeInterval> = self
+            .units()
+            .iter()
+            .filter(|u| *u.value() == v)
+            .map(|u| *u.interval())
+            .collect();
+        Periods::from_unmerged(ivs)
+    }
+
+    /// `true` if the value is `true` somewhere (`sometimes`).
+    pub fn sometimes(&self) -> bool {
+        self.units().iter().any(|u| *u.value())
+    }
+
+    /// `true` if defined somewhere and `true` everywhere it is defined
+    /// (`always`).
+    pub fn always(&self) -> bool {
+        !self.is_empty() && self.units().iter().all(|u| *u.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mob_base::{t, Interval, Val};
+
+    fn bu(s: f64, e: f64, v: bool) -> ConstUnit<bool> {
+        ConstUnit::new(Interval::closed_open(t(s), t(e)), v)
+    }
+
+    fn sample() -> MovingBool {
+        Mapping::try_new(vec![bu(0.0, 1.0, true), bu(1.0, 2.0, false), bu(3.0, 4.0, true)])
+            .unwrap()
+    }
+
+    #[test]
+    fn logic() {
+        let a = sample();
+        let n = a.not();
+        assert_eq!(n.at_instant(t(0.5)), Val::Def(false));
+        assert_eq!(n.at_instant(t(1.5)), Val::Def(true));
+        assert_eq!(n.at_instant(t(2.5)), Val::Undef);
+
+        let b = Mapping::try_new(vec![bu(0.0, 4.0, true)]).unwrap();
+        let both = a.and(&b);
+        assert_eq!(both.at_instant(t(0.5)), Val::Def(true));
+        assert_eq!(both.at_instant(t(1.5)), Val::Def(false));
+        assert_eq!(both.at_instant(t(2.5)), Val::Undef); // a undefined
+
+        let either = a.or(&a.not());
+        assert!(either.always());
+    }
+
+    #[test]
+    fn when_projections() {
+        let a = sample();
+        let tr = a.when_true();
+        assert_eq!(tr.num_intervals(), 2);
+        assert!(tr.contains(&t(0.5)));
+        assert!(!tr.contains(&t(1.5)));
+        assert!(tr.contains(&t(3.5)));
+        let fl = a.when(false);
+        assert_eq!(fl.num_intervals(), 1);
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert!(sample().sometimes());
+        assert!(!sample().always());
+        let all_true = Mapping::try_new(vec![bu(0.0, 1.0, true)]).unwrap();
+        assert!(all_true.always());
+        assert!(!MovingBool::empty().always());
+        assert!(!MovingBool::empty().sometimes());
+    }
+
+    #[test]
+    fn from_periods_roundtrip() {
+        let p = sample().when_true();
+        let mb = MovingBool::from_periods(&p, true);
+        assert_eq!(mb.when_true(), p);
+    }
+}

@@ -1,0 +1,130 @@
+//! Generic lifted operations on discretely changing moving values
+//! (`mapping(const(α))`): comparisons and arithmetic where applicable.
+
+use crate::lift::lift2;
+use crate::mapping::Mapping;
+use crate::moving::MovingBool;
+use crate::uconst::ConstUnit;
+use crate::unit::Unit;
+
+impl<T: Clone + PartialEq> Mapping<ConstUnit<T>> {
+    /// Lifted equality against another discretely changing value.
+    pub fn eq_lifted(&self, other: &Mapping<ConstUnit<T>>) -> MovingBool {
+        lift2(self, other, |iv, a, b| {
+            vec![ConstUnit::new(*iv, a.value() == b.value())]
+        })
+    }
+
+    /// Lifted equality against a constant.
+    pub fn eq_const(&self, v: &T) -> MovingBool {
+        let mut units = Vec::with_capacity(self.num_units());
+        for u in self.units() {
+            units.push(ConstUnit::new(*u.interval(), u.value() == v));
+        }
+        Mapping::from_units(units).expect("intervals inherited from a valid mapping")
+    }
+}
+
+impl<T: Clone + PartialEq + PartialOrd> Mapping<ConstUnit<T>> {
+    /// Lifted `<` comparison.
+    pub fn lt_lifted(&self, other: &Mapping<ConstUnit<T>>) -> MovingBool {
+        lift2(self, other, |iv, a, b| {
+            vec![ConstUnit::new(*iv, a.value() < b.value())]
+        })
+    }
+}
+
+impl<T: Clone + PartialEq + Ord> Mapping<ConstUnit<T>> {
+    /// The minimum value taken (⊥ when empty) — the lifted `min`.
+    pub fn min_const(&self) -> mob_base::Val<T> {
+        self.units().iter().map(|u| u.value().clone()).min().into()
+    }
+
+    /// The maximum value taken (⊥ when empty).
+    pub fn max_const(&self) -> mob_base::Val<T> {
+        self.units().iter().map(|u| u.value().clone()).max().into()
+    }
+
+    /// Restrict to the periods where the value equals `v` (the `at`
+    /// operation for discretely changing values).
+    pub fn when_eq(&self, v: &T) -> mob_base::Periods {
+        self.units()
+            .iter()
+            .filter(|u| u.value() == v)
+            .map(|u| *u.interval())
+            .collect()
+    }
+}
+
+impl Mapping<ConstUnit<i64>> {
+    /// Lifted integer addition.
+    pub fn add_lifted(&self, other: &Mapping<ConstUnit<i64>>) -> Mapping<ConstUnit<i64>> {
+        lift2(self, other, |iv, a, b| {
+            vec![ConstUnit::new(*iv, a.value() + b.value())]
+        })
+    }
+
+    /// Lifted integer multiplication.
+    pub fn mul_lifted(&self, other: &Mapping<ConstUnit<i64>>) -> Mapping<ConstUnit<i64>> {
+        lift2(self, other, |iv, a, b| {
+            vec![ConstUnit::new(*iv, a.value() * b.value())]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mob_base::{t, Interval, Val};
+
+    fn cu(s: f64, e: f64, v: i64) -> ConstUnit<i64> {
+        ConstUnit::new(Interval::closed_open(t(s), t(e)), v)
+    }
+
+    #[test]
+    fn comparisons() {
+        let a = Mapping::try_new(vec![cu(0.0, 2.0, 1), cu(2.0, 4.0, 5)]).unwrap();
+        let b = Mapping::try_new(vec![cu(0.0, 4.0, 3)]).unwrap();
+        let eq = a.eq_lifted(&b);
+        assert_eq!(eq.at_instant(t(1.0)), Val::Def(false));
+        let lt = a.lt_lifted(&b);
+        assert_eq!(lt.at_instant(t(1.0)), Val::Def(true));
+        assert_eq!(lt.at_instant(t(3.0)), Val::Def(false));
+        let ec = a.eq_const(&5);
+        assert_eq!(ec.at_instant(t(3.0)), Val::Def(true));
+        assert_eq!(ec.at_instant(t(1.0)), Val::Def(false));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Mapping::try_new(vec![cu(0.0, 2.0, 2)]).unwrap();
+        let b = Mapping::try_new(vec![cu(1.0, 3.0, 10)]).unwrap();
+        let sum = a.add_lifted(&b);
+        assert_eq!(sum.at_instant(t(1.5)), Val::Def(12));
+        assert_eq!(sum.at_instant(t(0.5)), Val::Undef);
+        let prod = a.mul_lifted(&b);
+        assert_eq!(prod.at_instant(t(1.5)), Val::Def(20));
+    }
+
+    #[test]
+    fn const_extremes_and_when_eq() {
+        use mob_base::Val;
+        let a = Mapping::try_new(vec![cu(0.0, 2.0, 4), cu(2.0, 4.0, 1), cu(5.0, 6.0, 4)])
+            .unwrap();
+        assert_eq!(a.min_const(), Val::Def(1));
+        assert_eq!(a.max_const(), Val::Def(4));
+        let w = a.when_eq(&4);
+        assert_eq!(w.num_intervals(), 2);
+        assert!(w.contains(&t(1.0)));
+        assert!(!w.contains(&t(3.0)));
+        assert!(Mapping::<ConstUnit<i64>>::empty().min_const().is_undef());
+    }
+
+    #[test]
+    fn eq_const_merges_adjacent() {
+        let a = Mapping::try_new(vec![cu(0.0, 1.0, 1), cu(1.0, 2.0, 2)]).unwrap();
+        // Neither equals 7: both units map to false and merge.
+        let m = a.eq_const(&7);
+        assert_eq!(m.num_units(), 1);
+    }
+}

@@ -1,0 +1,197 @@
+//! Operations on `moving(line)` and `moving(points)` — the remaining
+//! spatial moving types of Table 3.
+
+use crate::mapping::{Mapping, MappingBuilder};
+use crate::moving::{MovingLine, MovingPoints, MovingReal};
+use crate::uconst::ConstUnit;
+use crate::uline::ULine;
+use crate::unit::Unit;
+use crate::upoints::UPoints;
+use crate::ureal::UReal;
+use mob_base::{Instant, Real, Val};
+use mob_spatial::Cube;
+
+impl Mapping<ULine> {
+    /// Exact total length at an instant (the lifted `length` is *not*
+    /// closed as a `ureal` — a sum of √quadratics — so evaluation is
+    /// offered per instant, plus [`Mapping::length_approx`]).
+    pub fn length_at(&self, t: Instant) -> Val<Real> {
+        self.unit_at(t).map(|u| u.at(t).length()).into()
+    }
+
+    /// Piecewise-linear approximation of the moving length: each unit is
+    /// chord-approximated through `samples + 1` knots. A documented
+    /// approximation (DESIGN.md: operations leaving the `ureal` class).
+    pub fn length_approx(&self, samples: usize) -> MovingReal {
+        let mut builder = MappingBuilder::new();
+        for u in self.units() {
+            let iv = u.interval();
+            if iv.is_point() {
+                builder.push(UReal::constant(*iv, u.at(*iv.start()).length()));
+                continue;
+            }
+            let (s, e) = (iv.start().as_f64(), iv.end().as_f64());
+            let n = samples.max(1);
+            for k in 0..n {
+                let t0 = s + (e - s) * k as f64 / n as f64;
+                let t1 = s + (e - s) * (k + 1) as f64 / n as f64;
+                let v0 = u.at(Instant::from_f64(t0)).length();
+                let v1 = u.at(Instant::from_f64(t1)).length();
+                let slope = (v1 - v0) / Real::new(t1 - t0);
+                let offset = v0 - slope * Real::new(t0);
+                let piece = mob_base::Interval::new(
+                    Instant::from_f64(t0),
+                    Instant::from_f64(t1),
+                    if k == 0 { iv.left_closed() } else { true },
+                    if k == n - 1 { iv.right_closed() } else { false },
+                );
+                builder.push(UReal::linear(piece, slope, offset));
+            }
+        }
+        builder.finish()
+    }
+
+    /// Total number of moving segments across all units.
+    pub fn total_msegs(&self) -> usize {
+        self.units().iter().map(ULine::len).sum()
+    }
+
+    /// Bounding cube of the whole development.
+    pub fn bounding_cube(&self) -> Option<Cube> {
+        let mut it = self.units().iter().map(ULine::bounding_cube);
+        let first = it.next()?;
+        Some(it.fold(first, |acc, c| acc.union(&c)))
+    }
+}
+
+impl Mapping<UPoints> {
+    /// The lifted `no_components`/count operation: how many (distinct)
+    /// points exist over time. Constant inside each open unit interval
+    /// by the `upoints` invariant; end-point collapses are reflected by
+    /// instant units.
+    pub fn count(&self) -> Mapping<ConstUnit<i64>> {
+        let mut builder = MappingBuilder::new();
+        for u in self.units() {
+            let iv = *u.interval();
+            let interior = u.len() as i64;
+            if iv.is_point() {
+                builder.push(ConstUnit::new(iv, u.at(*iv.start()).len() as i64));
+                continue;
+            }
+            let at_start = u.at(*iv.start()).len() as i64;
+            let at_end = u.at(*iv.end()).len() as i64;
+            let mut lc = iv.left_closed();
+            let mut rc = iv.right_closed();
+            if lc && at_start != interior {
+                builder.push(ConstUnit::new(
+                    mob_base::TimeInterval::point(*iv.start()),
+                    at_start,
+                ));
+                lc = false;
+            }
+            let emit_end = rc && at_end != interior;
+            if emit_end {
+                rc = false;
+            }
+            builder.push(ConstUnit::new(
+                mob_base::Interval::new(*iv.start(), *iv.end(), lc, rc),
+                interior,
+            ));
+            if emit_end {
+                builder.push(ConstUnit::new(
+                    mob_base::TimeInterval::point(*iv.end()),
+                    at_end,
+                ));
+            }
+        }
+        builder.finish()
+    }
+
+    /// Bounding cube of the whole development.
+    pub fn bounding_cube(&self) -> Option<Cube> {
+        let mut it = self.units().iter().map(UPoints::bounding_cube);
+        let first = it.next()?;
+        Some(it.fold(first, |acc, c| acc.union(&c)))
+    }
+}
+
+/// Free-standing alias users can discover: `MovingLine`/`MovingPoints`
+/// operations live as inherent methods on `Mapping<ULine>` /
+/// `Mapping<UPoints>`.
+pub type _Docs = (MovingLine, MovingPoints);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mseg::MSeg;
+    use crate::upoint::PointMotion;
+    use mob_base::{r, t, Interval, TimeInterval};
+    use mob_spatial::pt;
+
+    fn iv(s: f64, e: f64) -> TimeInterval {
+        Interval::closed(t(s), t(e))
+    }
+
+    fn growing_line() -> MovingLine {
+        // One segment stretching from length 1 to length 3 over [0,2].
+        let m = MSeg::between(
+            t(0.0),
+            pt(0.0, 0.0),
+            pt(1.0, 0.0),
+            t(2.0),
+            pt(0.0, 0.0),
+            pt(3.0, 0.0),
+        )
+        .unwrap();
+        Mapping::single(ULine::try_new(iv(0.0, 2.0), vec![m]).unwrap())
+    }
+
+    #[test]
+    fn length_at_exact() {
+        let ml = growing_line();
+        assert_eq!(ml.length_at(t(0.0)), Val::Def(r(1.0)));
+        assert_eq!(ml.length_at(t(1.0)), Val::Def(r(2.0)));
+        assert_eq!(ml.length_at(t(2.0)), Val::Def(r(3.0)));
+        assert!(ml.length_at(t(9.0)).is_undef());
+    }
+
+    #[test]
+    fn length_approx_converges() {
+        // The length here is exactly linear, so even one sample is exact.
+        let ml = growing_line();
+        let approx = ml.length_approx(4);
+        for k in [0.0, 0.5, 1.0, 1.7, 2.0] {
+            let exact = ml.length_at(t(k)).unwrap();
+            let got = approx.at_instant(t(k)).unwrap();
+            assert!(got.approx_eq(exact, 1e-9), "{got} vs {exact} at {k}");
+        }
+        assert_eq!(ml.total_msegs(), 1);
+        assert!(ml.bounding_cube().unwrap().rect.max_x() >= r(3.0));
+    }
+
+    #[test]
+    fn count_with_endpoint_collapse() {
+        // Two points meeting exactly at t=1 (the closed end).
+        let a = PointMotion::through(t(0.0), pt(0.0, 0.0), t(1.0), pt(1.0, 0.0));
+        let b = PointMotion::through(t(0.0), pt(2.0, 0.0), t(1.0), pt(1.0, 0.0));
+        let mp: MovingPoints =
+            Mapping::single(UPoints::try_new(iv(0.0, 1.0), vec![a, b]).unwrap());
+        let c = mp.count();
+        assert_eq!(c.at_instant(t(0.5)), Val::Def(2));
+        assert_eq!(c.at_instant(t(1.0)), Val::Def(1)); // collapsed
+        assert_eq!(c.at_instant(t(0.0)), Val::Def(2));
+        assert_eq!(c.num_units(), 2); // half-open interior + instant unit
+    }
+
+    #[test]
+    fn count_constant_when_no_collapse() {
+        let a = PointMotion::stationary(pt(0.0, 0.0));
+        let b = PointMotion::stationary(pt(5.0, 0.0));
+        let mp: MovingPoints =
+            Mapping::single(UPoints::try_new(iv(0.0, 3.0), vec![a, b]).unwrap());
+        let c = mp.count();
+        assert_eq!(c.num_units(), 1);
+        assert_eq!(c.at_instant(t(1.5)), Val::Def(2));
+        assert!(mp.bounding_cube().is_some());
+    }
+}

@@ -1,0 +1,47 @@
+//! The moving data types of Table 3: each abstract `moving(α)` realized
+//! as a `Mapping` over the corresponding unit type, with the operations
+//! of the abstract model implemented on the sliced representation.
+//!
+//! | abstract          | discrete                     | Rust              |
+//! |-------------------|------------------------------|-------------------|
+//! | `moving(int)`     | `mapping(const(int))`        | [`MovingInt`]     |
+//! | `moving(string)`  | `mapping(const(string))`     | [`MovingString`]  |
+//! | `moving(bool)`    | `mapping(const(bool))`       | [`MovingBool`]    |
+//! | `moving(real)`    | `mapping(ureal)`             | [`MovingReal`]    |
+//! | `moving(point)`   | `mapping(upoint)`            | [`MovingPoint`]   |
+//! | `moving(points)`  | `mapping(upoints)`           | [`MovingPoints`]  |
+//! | `moving(line)`    | `mapping(uline)`             | [`MovingLine`]    |
+//! | `moving(region)`  | `mapping(uregion)`           | [`MovingRegion`]  |
+
+pub mod mbool;
+pub mod mconst;
+pub mod mline;
+pub mod mpoint;
+pub mod mreal;
+pub mod mregion;
+
+use crate::mapping::Mapping;
+use crate::uconst::ConstUnit;
+use crate::uline::ULine;
+use crate::upoint::UPoint;
+use crate::upoints::UPoints;
+use crate::ureal::UReal;
+use crate::uregion::URegion;
+use mob_base::Text;
+
+/// `moving(int)` = `mapping(const(int))`.
+pub type MovingInt = Mapping<ConstUnit<i64>>;
+/// `moving(string)` = `mapping(const(string))`.
+pub type MovingString = Mapping<ConstUnit<Text>>;
+/// `moving(bool)` = `mapping(const(bool))`.
+pub type MovingBool = Mapping<ConstUnit<bool>>;
+/// `moving(real)` = `mapping(ureal)`.
+pub type MovingReal = Mapping<UReal>;
+/// `moving(point)` = `mapping(upoint)`.
+pub type MovingPoint = Mapping<UPoint>;
+/// `moving(points)` = `mapping(upoints)`.
+pub type MovingPoints = Mapping<UPoints>;
+/// `moving(line)` = `mapping(uline)`.
+pub type MovingLine = Mapping<ULine>;
+/// `moving(region)` = `mapping(uregion)`.
+pub type MovingRegion = Mapping<URegion>;

@@ -1,0 +1,591 @@
+//! Operations on `moving(real)` — the workhorse of the paper's example
+//! queries: `val(initial(atmin(distance(p.flight, q.flight)))) < 0.5`.
+
+use crate::lift::lift2;
+use crate::mapping::{Mapping, MappingBuilder};
+use crate::moving::{MovingBool, MovingReal};
+use crate::uconst::ConstUnit;
+use crate::unit::Unit;
+use crate::ureal::{UReal, ValueTimes};
+use mob_base::error::Result;
+use mob_base::{Real, TimeInterval, Val};
+
+/// Relative tolerance when comparing extremal values across units.
+const EXTREMUM_EPS: f64 = 1e-9;
+
+impl Mapping<UReal> {
+    /// Global minimum value over the definition time (⊥ when empty).
+    pub fn min_value(&self) -> Val<Real> {
+        self.units().iter().map(|u| u.extrema().0).min().into()
+    }
+
+    /// Global maximum value over the definition time (⊥ when empty).
+    pub fn max_value(&self) -> Val<Real> {
+        self.units().iter().map(|u| u.extrema().1).max().into()
+    }
+
+    /// The `atmin` operation: restrict to all times where the value
+    /// attains its global minimum.
+    pub fn atmin(&self) -> MovingReal {
+        match self.min_value() {
+            Val::Def(m) => self.at_extremum(m),
+            Val::Undef => MovingReal::empty(),
+        }
+    }
+
+    /// The `atmax` operation.
+    pub fn atmax(&self) -> MovingReal {
+        match self.max_value() {
+            Val::Def(m) => self.at_extremum(m),
+            Val::Undef => MovingReal::empty(),
+        }
+    }
+
+    /// Restrict to all times where the value equals `v` (the `at`
+    /// operation for a single real).
+    pub fn at_value(&self, v: Real) -> MovingReal {
+        self.at_extremum(v)
+    }
+
+    fn at_extremum(&self, v: Real) -> MovingReal {
+        let scale = v.abs().max(Real::ONE).get();
+        let eps = EXTREMUM_EPS * scale;
+        let mut units: Vec<UReal> = Vec::new();
+        for u in self.units() {
+            if u.is_constant() {
+                if (u.value_at(*u.interval().start()) - v).abs().get() <= eps {
+                    units.push(*u);
+                }
+                continue;
+            }
+            // Candidate instants: interval end points, the interior
+            // vertex, and the exact solutions of value = v. The
+            // candidate set (rather than root-solving alone) is robust
+            // when v is an attained extremum — the discriminant of
+            // poly = v² can round slightly negative there.
+            let mut cands: Vec<mob_base::Instant> =
+                vec![*u.interval().start(), *u.interval().end()];
+            let (a, b, _, _) = u.coeffs();
+            if a != Real::ZERO {
+                let vt = mob_base::Instant::new(-b / (Real::new(2.0) * a));
+                if u.interval().contains(&vt) {
+                    cands.push(vt);
+                }
+            }
+            if let ValueTimes::At(ts) = u.times_at_value(v) {
+                cands.extend(ts);
+            }
+            cands.sort();
+            cands.dedup_by(|x, y| (*x - *y).abs().get() <= eps);
+            for t in cands {
+                if u.interval().contains(&t) && (u.value_at(t) - v).abs().get() <= eps {
+                    units.push(u.with_interval(TimeInterval::point(t)));
+                }
+            }
+        }
+        Mapping::from_units(units).expect("restriction of a valid mapping")
+    }
+
+    /// Lifted `< v` comparison against a constant: a moving bool.
+    pub fn lt_const(&self, v: Real) -> MovingBool {
+        self.compare_const(v, |u, v| u.intervals_below(v), false)
+    }
+
+    /// Lifted `> v` comparison against a constant.
+    pub fn gt_const(&self, v: Real) -> MovingBool {
+        self.compare_const(v, |u, v| u.intervals_above(v), false)
+    }
+
+    fn compare_const(
+        &self,
+        v: Real,
+        true_parts: impl Fn(&UReal, Real) -> Vec<TimeInterval>,
+        _strictness_marker: bool,
+    ) -> MovingBool {
+        let mut builder = MappingBuilder::new();
+        for u in self.units() {
+            let trues = true_parts(u, v);
+            // Complement within the unit interval → false parts; then
+            // interleave in time order.
+            let whole = mob_base::Periods::single(*u.interval());
+            let true_set: mob_base::Periods = trues.iter().copied().collect();
+            let false_set = whole.difference(&true_set);
+            let mut parts: Vec<(TimeInterval, bool)> = trues
+                .into_iter()
+                .map(|iv| (iv, true))
+                .chain(false_set.iter().map(|iv| (*iv, false)))
+                .collect();
+            parts.sort_by(|a, b| a.0.cmp_start(&b.0));
+            for (iv, val) in parts {
+                builder.push(ConstUnit::new(iv, val));
+            }
+        }
+        builder.finish()
+    }
+
+    /// Lifted addition. Fails if a rooted unit participates (the class is
+    /// not closed under sums of square roots — see the paper, Sec 3.2.5).
+    pub fn try_add(&self, other: &MovingReal) -> Result<MovingReal> {
+        self.zip_ureal(other, |a, b| a.try_add(b))
+    }
+
+    /// Lifted subtraction (same closure caveat).
+    pub fn try_sub(&self, other: &MovingReal) -> Result<MovingReal> {
+        self.zip_ureal(other, |a, b| a.try_add(&b.try_neg()?))
+    }
+
+    fn zip_ureal(
+        &self,
+        other: &MovingReal,
+        f: impl Fn(&UReal, &UReal) -> Result<UReal>,
+    ) -> Result<MovingReal> {
+        let err = std::cell::RefCell::new(None);
+        let out = lift2(self, other, |iv, a, b| {
+            let (ra, rb) = (a.with_interval(*iv), b.with_interval(*iv));
+            match f(&ra, &rb) {
+                Ok(u) => vec![u],
+                Err(e) => {
+                    *err.borrow_mut() = Some(e);
+                    Vec::new()
+                }
+            }
+        });
+        match err.into_inner() {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+
+    /// Lifted scaling by a constant.
+    pub fn try_scale(&self, k: Real) -> Result<MovingReal> {
+        let mut units = Vec::with_capacity(self.num_units());
+        for u in self.units() {
+            units.push(u.try_scale(k)?);
+        }
+        Mapping::from_units(units)
+    }
+
+    /// Restrict to the times the value lies within `[lo, hi]` (the `at`
+    /// operation for a `range(real)` argument), as periods.
+    pub fn when_within(&self, lo: Real, hi: Real) -> mob_base::Periods {
+        let below_lo = self.lt_const(lo).when_true();
+        let above_hi = self.gt_const(hi).when_true();
+        self.deftime().difference(&below_lo).difference(&above_hi)
+    }
+
+    /// The `rangevalues` operation of the abstract model: the set of
+    /// real values taken by the moving real, as a `range(real)`. Exact:
+    /// each unit's image is the closed interval between its extrema
+    /// (continuous functions on intervals attain everything between).
+    pub fn rangevalues(&self) -> mob_base::RangeSet<Real> {
+        let ivs = self
+            .units()
+            .iter()
+            .map(|u| {
+                let (lo, hi) = u.extrema();
+                mob_base::Interval::closed(lo, hi)
+            })
+            .collect();
+        mob_base::RangeSet::from_unmerged(ivs)
+    }
+
+    /// Lifted absolute value. Rooted units are already non-negative;
+    /// plain quadratics are split at their zero crossings and negated on
+    /// the negative pieces (stays within the `ureal` class).
+    pub fn abs(&self) -> MovingReal {
+        let mut builder = MappingBuilder::new();
+        for u in self.units() {
+            if u.is_root() {
+                builder.push(*u);
+                continue;
+            }
+            let below = u.intervals_below(Real::ZERO);
+            let whole = mob_base::Periods::single(*u.interval());
+            let below_set: mob_base::Periods = below.iter().copied().collect();
+            let nonneg = whole.difference(&below_set);
+            let mut parts: Vec<(TimeInterval, bool)> = below
+                .into_iter()
+                .map(|iv| (iv, true))
+                .chain(nonneg.iter().map(|iv| (*iv, false)))
+                .collect();
+            parts.sort_by(|a, b| a.0.cmp_start(&b.0));
+            for (iv, negate) in parts {
+                let piece = u.with_interval(iv);
+                builder.push(if negate {
+                    piece.try_neg().expect("non-rooted piece")
+                } else {
+                    piece
+                });
+            }
+        }
+        builder.finish()
+    }
+
+    /// Integral of the value over the definition time (∫ of quadratics is
+    /// closed-form; rooted units are integrated numerically with Simpson
+    /// refinement — documented approximation).
+    pub fn integral(&self) -> Real {
+        let mut total = Real::ZERO;
+        for u in self.units() {
+            let iv = u.interval();
+            let (s, e) = (iv.start().as_f64(), iv.end().as_f64());
+            if s == e {
+                continue;
+            }
+            let (a, b, c, root) = u.coeffs();
+            if !root {
+                let f = |x: f64| {
+                    a.get() * x * x * x / 3.0 + b.get() * x * x / 2.0 + c.get() * x
+                };
+                total += Real::new(f(e) - f(s));
+            } else {
+                // Composite Simpson with 64 panels per unit.
+                let n = 64;
+                let h = (e - s) / n as f64;
+                let eval = |x: f64| u.value_at(mob_base::Instant::from_f64(x)).get();
+                let mut acc = eval(s) + eval(e);
+                for k in 1..n {
+                    let w = if k % 2 == 1 { 4.0 } else { 2.0 };
+                    acc += w * eval(s + k as f64 * h);
+                }
+                total += Real::new(acc * h / 3.0);
+            }
+        }
+        total
+    }
+}
+
+/// Lifted comparison between two moving reals: `a < b` as a moving bool.
+/// Implemented as sign analysis of the difference where representable,
+/// and of the squared comparison for rooted operands.
+pub fn mreal_lt(a: &MovingReal, b: &MovingReal) -> MovingBool {
+    lift2(a, b, |iv, ua, ub| {
+        let (ra, rb) = (ua.with_interval(*iv), ub.with_interval(*iv));
+        lt_units(&ra, &rb)
+    })
+}
+
+fn lt_units(a: &UReal, b: &UReal) -> Vec<ConstUnit<bool>> {
+    let iv = *a.interval();
+    // Plain quadratics: the difference is representable — sign analysis
+    // is exact.
+    if !a.is_root() && !b.is_root() {
+        let diff = b
+            .try_add(&a.try_neg().expect("non-rooted"))
+            .expect("non-rooted operands share the interval");
+        return diff
+            .intervals_above(Real::ZERO)
+            .into_iter()
+            .map(|p| (p, true))
+            .chain(below_complement(&diff, &iv))
+            .collect_sorted();
+    }
+    // General case: sample-based sign partition at the crossings of
+    // a² = b² restricted to consistent signs. Compute crossing times of
+    // (a - b) via the quadratic a_poly - b_poly when both rooted, else
+    // fall back to dense crossing detection on the squared forms.
+    let scale = 1.0f64;
+    let _ = scale;
+    if iv.is_point() {
+        let s = *iv.start();
+        return vec![ConstUnit::new(iv, a.value_at(s) < b.value_at(s))];
+    }
+    let cross_times = crossing_times(a, b);
+    let mut cuts = vec![*iv.start()];
+    cuts.extend(cross_times.into_iter().filter(|t| iv.contains_open(t)));
+    cuts.push(*iv.end());
+    cuts.sort();
+    cuts.dedup();
+    // Midpoint value of each window.
+    let vals: Vec<bool> = cuts
+        .windows(2)
+        .map(|w| {
+            let mid = w[0].midpoint(w[1]);
+            a.value_at(mid) < b.value_at(mid)
+        })
+        .collect();
+    // Assign each interior cut instant to exactly one owner: the left
+    // window if the predicate value at the instant matches it, else the
+    // right window if it matches that, else a standalone instant unit
+    // (tangency: both neighbouring windows share the other value).
+    let at_cut: Vec<bool> = cuts
+        .iter()
+        .map(|t| a.value_at(*t) < b.value_at(*t))
+        .collect();
+    let mut out = Vec::new();
+    for (k, w) in cuts.windows(2).enumerate() {
+        let val = vals[k];
+        let lc = if k == 0 {
+            iv.left_closed()
+        } else {
+            at_cut[k] == val && at_cut[k] != vals[k - 1]
+        };
+        let rc = if k == vals.len() - 1 {
+            iv.right_closed()
+        } else {
+            at_cut[k + 1] == val
+        };
+        if k > 0 && at_cut[k] != val && at_cut[k] != vals[k - 1] {
+            out.push(ConstUnit::new(TimeInterval::point(w[0]), at_cut[k]));
+        }
+        out.push(ConstUnit::new(TimeInterval::new(w[0], w[1], lc, rc), val));
+    }
+    out
+}
+
+/// Times where the two unit functions are equal (within the interval).
+fn crossing_times(a: &UReal, b: &UReal) -> Vec<mob_base::Instant> {
+    let (aa, ab, ac, ar) = a.coeffs();
+    let (ba, bb, bc, br) = b.coeffs();
+    let iv = *a.interval();
+    if ar == br {
+        // Equal rootedness: compare polynomials directly (valid because
+        // √ is monotone and both polys are ≥ 0 when rooted).
+        let diff = UReal::quadratic(iv, aa - ba, ab - bb, ac - bc);
+        return match diff.times_at_value(Real::ZERO) {
+            ValueTimes::At(ts) => ts,
+            _ => Vec::new(),
+        };
+    }
+    // Mixed: solve poly_a = poly_b² (or vice versa) would be quartic; we
+    // bisect sign changes of the direct difference on a fine grid —
+    // adequate for the workloads exercised (documented approximation).
+    let (s, e) = (iv.start().as_f64(), iv.end().as_f64());
+    let n = 256;
+    let f = |x: f64| {
+        let t = mob_base::Instant::from_f64(x);
+        (a.value_at(t) - b.value_at(t)).get()
+    };
+    let mut out = Vec::new();
+    let h = (e - s) / n as f64;
+    if h == 0.0 {
+        return out;
+    }
+    for k in 0..n {
+        let (x0, x1) = (s + k as f64 * h, s + (k + 1) as f64 * h);
+        let (f0, f1) = (f(x0), f(x1));
+        if f0 == 0.0 {
+            out.push(mob_base::Instant::from_f64(x0));
+        }
+        if f0 * f1 < 0.0 {
+            // Bisection refine.
+            let (mut lo, mut hi) = (x0, x1);
+            for _ in 0..60 {
+                let m = (lo + hi) / 2.0;
+                if f(lo) * f(m) <= 0.0 {
+                    hi = m;
+                } else {
+                    lo = m;
+                }
+            }
+            out.push(mob_base::Instant::from_f64((lo + hi) / 2.0));
+        }
+    }
+    out
+}
+
+fn below_complement(
+    diff: &UReal,
+    iv: &TimeInterval,
+) -> impl Iterator<Item = (TimeInterval, bool)> {
+    let above: mob_base::Periods = diff.intervals_above(Real::ZERO).into_iter().collect();
+    let whole = mob_base::Periods::single(*iv);
+    whole
+        .difference(&above)
+        .iter()
+        .copied()
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|p| (p, false))
+}
+
+trait CollectSorted {
+    fn collect_sorted(self) -> Vec<ConstUnit<bool>>;
+}
+
+impl<I: Iterator<Item = (TimeInterval, bool)>> CollectSorted for I {
+    fn collect_sorted(self) -> Vec<ConstUnit<bool>> {
+        let mut v: Vec<(TimeInterval, bool)> = self.collect();
+        v.sort_by(|a, b| a.0.cmp_start(&b.0));
+        v.into_iter().map(|(iv, b)| ConstUnit::new(iv, b)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mob_base::{r, t, Interval};
+
+    fn iv(s: f64, e: f64) -> TimeInterval {
+        Interval::closed(t(s), t(e))
+    }
+
+    /// A V-shaped moving real: |t - 2| on [0,4] as √((t-2)²).
+    fn vee() -> MovingReal {
+        Mapping::single(UReal::try_new(iv(0.0, 4.0), r(1.0), r(-4.0), r(4.0), true).unwrap())
+    }
+
+    #[test]
+    fn extremes() {
+        let m = vee();
+        assert_eq!(m.min_value(), Val::Def(r(0.0)));
+        assert_eq!(m.max_value(), Val::Def(r(2.0)));
+        assert!(MovingReal::empty().min_value().is_undef());
+    }
+
+    #[test]
+    fn atmin_restricts_to_minimum_times() {
+        let m = vee();
+        let am = m.atmin();
+        assert_eq!(am.num_units(), 1);
+        assert!(am.units()[0].interval().is_point());
+        assert_eq!(*am.units()[0].interval().start(), t(2.0));
+        // The paper's idiom: val(initial(atmin(d))).
+        let init = am.initial().unwrap();
+        assert_eq!(init.instant, t(2.0));
+        assert_eq!(init.value, r(0.0));
+    }
+
+    #[test]
+    fn atmax_finds_both_endpoints() {
+        // |t-2| attains max 2 at t=0 and t=4.
+        let m = vee();
+        let am = m.atmax();
+        assert_eq!(am.num_units(), 2);
+        assert_eq!(*am.units()[0].interval().start(), t(0.0));
+        assert_eq!(*am.units()[1].interval().start(), t(4.0));
+    }
+
+    #[test]
+    fn atmin_of_constant_keeps_interval() {
+        let m: MovingReal = Mapping::single(UReal::constant(iv(0.0, 3.0), r(5.0)));
+        let am = m.atmin();
+        assert_eq!(am.num_units(), 1);
+        assert_eq!(*am.units()[0].interval(), iv(0.0, 3.0));
+    }
+
+    #[test]
+    fn atmin_across_units() {
+        // Two units: linear down to 1 on [0,1], constant 3 on (1,2].
+        let m = Mapping::try_new(vec![
+            UReal::linear(Interval::closed(t(0.0), t(1.0)), r(-2.0), r(3.0)),
+            UReal::constant(Interval::open_closed(t(1.0), t(2.0)), r(3.0)),
+        ])
+        .unwrap();
+        let am = m.atmin();
+        assert_eq!(am.num_units(), 1);
+        assert_eq!(*am.units()[0].interval().start(), t(1.0));
+        assert_eq!(am.units()[0].value_at(t(1.0)), r(1.0));
+    }
+
+    #[test]
+    fn lt_const_partitions_time() {
+        let m = vee();
+        let lt = m.lt_const(r(1.0)); // |t-2| < 1 on (1,3)
+        assert_eq!(lt.at_instant(t(2.0)), Val::Def(true));
+        assert_eq!(lt.at_instant(t(0.5)), Val::Def(false));
+        assert_eq!(lt.at_instant(t(1.0)), Val::Def(false)); // boundary: equal
+        let p = lt.when_true();
+        assert_eq!(p.num_intervals(), 1);
+        assert_eq!(p.as_slice()[0], Interval::open(t(1.0), t(3.0)));
+        let gt = m.gt_const(r(1.0));
+        assert_eq!(gt.when_true().num_intervals(), 2);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a: MovingReal = Mapping::single(UReal::linear(iv(0.0, 2.0), r(1.0), r(0.0)));
+        let b: MovingReal = Mapping::single(UReal::constant(iv(0.0, 2.0), r(3.0)));
+        let sum = a.try_add(&b).unwrap();
+        assert_eq!(sum.at_instant(t(2.0)), Val::Def(r(5.0)));
+        let diff = a.try_sub(&b).unwrap();
+        assert_eq!(diff.at_instant(t(2.0)), Val::Def(r(-1.0)));
+        let scaled = a.try_scale(r(10.0)).unwrap();
+        assert_eq!(scaled.at_instant(t(1.0)), Val::Def(r(10.0)));
+        // Rooted sum is rejected.
+        assert!(vee().try_add(&b).is_err());
+    }
+
+    #[test]
+    fn mreal_comparison_lifted() {
+        // a(t) = t on [0,4]; b = 2: a < b until t = 2.
+        let a: MovingReal = Mapping::single(UReal::linear(iv(0.0, 4.0), r(1.0), r(0.0)));
+        let b: MovingReal = Mapping::single(UReal::constant(iv(0.0, 4.0), r(2.0)));
+        let lt = mreal_lt(&a, &b);
+        assert_eq!(lt.at_instant(t(1.0)), Val::Def(true));
+        assert_eq!(lt.at_instant(t(3.0)), Val::Def(false));
+        assert_eq!(lt.at_instant(t(2.0)), Val::Def(false)); // equal, not <
+    }
+
+    #[test]
+    fn mreal_comparison_mixed_rootedness() {
+        // √((t-2)²) = |t-2| vs the plain linear t/2 on [0,4]:
+        // |t-2| < t/2 ⇔ t ∈ (4/3, 4).
+        let a = vee();
+        let b: MovingReal = Mapping::single(UReal::linear(iv(0.0, 4.0), r(0.5), r(0.0)));
+        let lt = mreal_lt(&a, &b);
+        assert_eq!(lt.at_instant(t(2.0)), Val::Def(true));
+        assert_eq!(lt.at_instant(t(1.0)), Val::Def(false));
+        assert_eq!(lt.at_instant(t(3.0)), Val::Def(true));
+        assert_eq!(lt.at_instant(t(0.5)), Val::Def(false));
+    }
+
+    #[test]
+    fn when_within_band() {
+        // |t-2| on [0,4]: within [0.5, 1.0] during [1, 1.5] ∪ [2.5, 3].
+        let m = vee();
+        let w = m.when_within(r(0.5), r(1.0));
+        assert_eq!(w.num_intervals(), 2);
+        assert!(w.contains(&t(1.2)));
+        assert!(w.contains(&t(2.8)));
+        assert!(!w.contains(&t(2.0)));
+        assert!(!w.contains(&t(0.2)));
+        // Boundary values are included (non-strict comparison).
+        assert!(w.contains(&t(1.0)));
+        assert!(w.contains(&t(1.5)));
+    }
+
+    #[test]
+    fn rangevalues_covers_image() {
+        // |t-2| on [0,4] takes exactly [0,2].
+        let m = vee();
+        let rv = m.rangevalues();
+        assert_eq!(rv.num_intervals(), 1);
+        assert_eq!(rv.minimum(), Val::Def(r(0.0)));
+        assert_eq!(rv.maximum(), Val::Def(r(2.0)));
+        // Two disjoint constant plateaus give two range intervals.
+        let m2: MovingReal = Mapping::try_new(vec![
+            UReal::constant(iv(0.0, 1.0), r(1.0)),
+            UReal::constant(Interval::open_closed(t(1.0), t(2.0)), r(5.0)),
+        ])
+        .unwrap();
+        assert_eq!(m2.rangevalues().num_intervals(), 2);
+    }
+
+    #[test]
+    fn abs_splits_at_zero_crossings() {
+        // t - 2 on [0,4]: |t-2| has two pieces.
+        let m: MovingReal = Mapping::single(UReal::linear(iv(0.0, 4.0), r(1.0), r(-2.0)));
+        let a = m.abs();
+        assert_eq!(a.at_instant(t(0.0)), Val::Def(r(2.0)));
+        assert_eq!(a.at_instant(t(2.0)), Val::Def(r(0.0)));
+        assert_eq!(a.at_instant(t(4.0)), Val::Def(r(2.0)));
+        assert_eq!(a.num_units(), 2);
+        assert_eq!(a.min_value(), Val::Def(r(0.0)));
+        // Rooted values pass through unchanged.
+        let v = vee();
+        assert_eq!(v.abs(), v);
+        // Always-positive values are unchanged too.
+        let p: MovingReal = Mapping::single(UReal::constant(iv(0.0, 1.0), r(3.0)));
+        assert_eq!(p.abs().at_instant(t(0.5)), Val::Def(r(3.0)));
+    }
+
+    #[test]
+    fn integral_quadratic_and_rooted() {
+        // ∫₀² t dt = 2.
+        let a: MovingReal = Mapping::single(UReal::linear(iv(0.0, 2.0), r(1.0), r(0.0)));
+        assert!(a.integral().approx_eq(r(2.0), 1e-9));
+        // ∫₀⁴ |t-2| dt = 4 (two triangles of area 2).
+        assert!(vee().integral().approx_eq(r(4.0), 1e-6));
+    }
+}

@@ -1,0 +1,324 @@
+//! Operations on `moving(region)` — Algorithm `atinstant` (Sec 5.1) is
+//! [`crate::mapping::Mapping::at_instant`] specialized to `uregion`
+//! units; this module adds Algorithm `inside` (Sec 5.2) and the lifted
+//! `area` (`size`) operation.
+
+use crate::lift::{lift1, lift2};
+use crate::mapping::Mapping;
+use crate::unit::Unit;
+use crate::moving::{MovingBool, MovingPoint, MovingReal, MovingRegion};
+use crate::uregion::URegion;
+use mob_base::{Instant, Real, Val};
+use mob_spatial::Cube;
+
+/// Overlap area of a snapshot with a static region (0 when the overlay
+/// fails on a degenerate snapshot).
+fn overlap_area(snapshot: &mob_spatial::Region, other: &mob_spatial::Region) -> Real {
+    mob_spatial::setops::region_intersection(snapshot, other)
+        .map(|r| r.area())
+        .unwrap_or(Real::ZERO)
+}
+
+/// Algorithm `inside` (Sec 5.2): when is the moving point inside the
+/// moving region? Traverses the two unit lists in parallel along the
+/// refinement partition; for each part where both exist it runs
+/// `upoint_uregion_inside` and `concat`s the boolean units.
+///
+/// Complexity: `O(n + m + Σ per-pair work)`; per pair the work is
+/// `O(s)` for the bounding-cube/crossing scan plus the classification of
+/// the `k` crossing sub-intervals, matching the paper's `O(n + m + S)`
+/// for bounded crossing counts. When the bounding cubes of the pairs are
+/// disjoint the per-pair work is `O(1)`, giving `O(n + m)`.
+pub fn inside(mp: &MovingPoint, mr: &MovingRegion) -> MovingBool {
+    lift2(mp, mr, |iv, up, ur| ur.inside_units(up, iv))
+}
+
+impl Mapping<URegion> {
+    /// Lifted `inside` as a method (point first, matching the signature
+    /// `inside: moving(point) × moving(region) → moving(bool)`).
+    pub fn contains_moving_point(&self, mp: &MovingPoint) -> MovingBool {
+        inside(mp, self)
+    }
+
+    /// The lifted `size`/`area` operation: a moving real, exactly
+    /// representable as quadratic units.
+    pub fn area(&self) -> MovingReal {
+        lift1(self, |u| vec![u.area_ureal()])
+    }
+
+    /// Perimeter at an instant (not closed as a `ureal`; see Sec 3.2.5).
+    pub fn perimeter_at(&self, t: Instant) -> Val<Real> {
+        self.unit_at(t).map(|u| u.perimeter_at(t)).into()
+    }
+
+    /// The periods during which the moving region covers the fixed point
+    /// `p` (a lifted `inside` with a stationary point).
+    pub fn when_covers(&self, p: mob_spatial::Point) -> mob_base::Periods {
+        let Some(first) = self.units().first() else {
+            return mob_base::Periods::empty();
+        };
+        let last = self.units().last().expect("non-empty");
+        let span = mob_base::Interval::closed(
+            *first.interval().start(),
+            *last.interval().end(),
+        );
+        let track = MovingPoint::single(crate::upoint::UPoint::new(
+            span,
+            crate::upoint::PointMotion::stationary(p),
+        ));
+        inside(&track, self).when_true()
+    }
+
+    /// The lifted `passes` for a fixed point: is `p` ever covered?
+    pub fn ever_covers(&self, p: mob_spatial::Point) -> bool {
+        !self.when_covers(p).is_empty()
+    }
+
+    /// The area traversed by the moving region: the union of snapshots
+    /// sampled `per_unit` times per unit. An approximation of the
+    /// abstract model's `traversed` operation (the exact union of a
+    /// linearly moving polygon is not piecewise-linear-representable in
+    /// general); precision grows with the sample count.
+    pub fn traversed_approx(&self, per_unit: usize) -> mob_spatial::Region {
+        let mut acc = mob_spatial::Region::empty();
+        for u in self.units() {
+            for ti in u.interval().sample_instants(per_unit) {
+                let snap = u.at(ti);
+                acc = mob_spatial::setops::region_union(&acc, &snap)
+                    .unwrap_or_else(|_| acc.clone());
+            }
+        }
+        acc
+    }
+
+    /// The area of overlap with a *static* region over time, as a
+    /// piecewise-linear moving real sampled `per_unit` times per unit
+    /// (the exact overlap area of a morphing polygon is piecewise
+    /// quadratic with breakpoints at combinatorial changes — outside the
+    /// closed-form reach of this representation; the approximation
+    /// converges with the sample count).
+    pub fn area_of_intersection_approx(
+        &self,
+        other: &mob_spatial::Region,
+        per_unit: usize,
+    ) -> MovingReal {
+        use crate::mapping::MappingBuilder;
+        use crate::ureal::UReal;
+        let mut builder = MappingBuilder::new();
+        for u in self.units() {
+            let iv = u.interval();
+            if iv.is_point() {
+                let a = overlap_area(&u.at(*iv.start()), other);
+                builder.push(UReal::constant(*iv, a));
+                continue;
+            }
+            let n = per_unit.max(1);
+            let (s, e) = (iv.start().as_f64(), iv.end().as_f64());
+            let mut prev = overlap_area(&u.at(Instant::from_f64(s)), other);
+            for k in 0..n {
+                let t0 = s + (e - s) * k as f64 / n as f64;
+                let t1 = s + (e - s) * (k + 1) as f64 / n as f64;
+                let next = overlap_area(&u.at(Instant::from_f64(t1)), other);
+                let slope = (next - prev) / Real::new(t1 - t0);
+                let offset = prev - slope * Real::new(t0);
+                let piece = mob_base::Interval::new(
+                    Instant::from_f64(t0),
+                    Instant::from_f64(t1),
+                    if k == 0 { iv.left_closed() } else { true },
+                    if k == n - 1 { iv.right_closed() } else { false },
+                );
+                builder.push(UReal::linear(piece, slope, offset));
+                prev = next;
+            }
+        }
+        builder.finish()
+    }
+
+    /// Approximate center of the moving region over time: the centroid
+    /// of each unit's snapshots, linearly interpolated (the abstract
+    /// `rough_center`; the exact centroid of a morphing polygon is a
+    /// rational function of t, outside the representable class).
+    pub fn rough_center(&self, per_unit: usize) -> MovingPoint {
+        let mut samples: Vec<(Instant, mob_spatial::Point)> = Vec::new();
+        for u in self.units() {
+            for ti in u.interval().sample_instants(per_unit.max(1)) {
+                if let Some(c) = u.at(ti).centroid() {
+                    if samples.last().map(|(prev, _)| *prev < ti).unwrap_or(true) {
+                        samples.push((ti, c));
+                    }
+                }
+            }
+        }
+        MovingPoint::from_samples(&samples)
+    }
+
+    /// Bounding cube of the whole development.
+    pub fn bounding_cube(&self) -> Option<Cube> {
+        let mut it = self.units().iter().map(|u| u.bounding_cube());
+        let first = it.next()?;
+        Some(it.fold(first, |acc, c| acc.union(&c)))
+    }
+
+    /// Total number of moving segments across all units (the `S` of the
+    /// Sec 5.2 complexity analysis).
+    pub fn total_msegs(&self) -> usize {
+        self.units().iter().map(|u| u.num_msegs()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moving::MovingPoint;
+    use mob_base::{r, t, Interval, TimeInterval};
+    use mob_spatial::{pt, rect_ring};
+
+    fn iv(s: f64, e: f64) -> TimeInterval {
+        Interval::closed(t(s), t(e))
+    }
+
+    /// A square sliding right from [0,1]² to [4,5]×[0,1] over [0,4],
+    /// in two units with a kink at t=2.
+    fn sliding() -> MovingRegion {
+        let u1 = URegion::interpolate(
+            Interval::closed_open(t(0.0), t(2.0)),
+            &rect_ring(0.0, 0.0, 1.0, 1.0),
+            &rect_ring(2.0, 0.0, 3.0, 1.0),
+        )
+        .unwrap();
+        // Second unit keeps the same x-velocity but adds upward drift —
+        // a genuine kink, so the two units carry distinct unit functions.
+        let u2 = URegion::interpolate(
+            iv(2.0, 4.0),
+            &rect_ring(2.0, 0.0, 3.0, 1.0),
+            &rect_ring(4.0, 1.0, 5.0, 2.0),
+        )
+        .unwrap();
+        Mapping::try_new(vec![u1, u2]).unwrap()
+    }
+
+    #[test]
+    fn atinstant_over_units() {
+        let m = sliding();
+        // Binary search lands in the right unit.
+        let r1 = m.at_instant(t(1.0)).unwrap();
+        assert!(r1.contains_point(pt(1.5, 0.5)));
+        let r3 = m.at_instant(t(3.0)).unwrap();
+        assert!(r3.contains_point(pt(3.5, 1.0)));
+        assert!(m.at_instant(t(9.0)).is_undef());
+    }
+
+    #[test]
+    fn inside_moving_point_moving_region() {
+        let m = sliding();
+        // Point waits at (2.5, 0.5): the square sweeps over it.
+        let p = MovingPoint::from_samples(&[(t(0.0), pt(2.5, 0.5)), (t(4.0), pt(2.5, 0.5))]);
+        let ib = inside(&p, &m);
+        // Square covers x ∈ [t, t+1]; contains 2.5 for t ∈ [1.5, 2.5].
+        assert_eq!(ib.at_instant(t(2.0)), Val::Def(true));
+        assert_eq!(ib.at_instant(t(1.0)), Val::Def(false));
+        assert_eq!(ib.at_instant(t(3.0)), Val::Def(false));
+        let w = ib.when_true();
+        assert_eq!(w.num_intervals(), 1);
+        assert!(w.as_slice()[0].start().as_f64() - 1.5 < 1e-9);
+        assert!(w.as_slice()[0].end().as_f64() - 2.5 < 1e-9);
+        // Method form agrees.
+        assert_eq!(m.contains_moving_point(&p).when_true(), w);
+    }
+
+    #[test]
+    fn inside_disjoint_deftimes_is_empty() {
+        let m = sliding();
+        let p = MovingPoint::from_samples(&[(t(10.0), pt(0.0, 0.0)), (t(11.0), pt(1.0, 1.0))]);
+        assert!(inside(&p, &m).is_empty());
+    }
+
+    #[test]
+    fn area_constant_under_translation() {
+        let m = sliding();
+        let a = m.area();
+        for k in [0.0, 1.0, 2.5, 4.0] {
+            assert!(a.at_instant(t(k)).unwrap().approx_eq(r(1.0), 1e-9));
+        }
+    }
+
+    #[test]
+    fn area_of_growing_region() {
+        let g = Mapping::single(
+            URegion::interpolate(
+                iv(0.0, 1.0),
+                &rect_ring(0.0, 0.0, 1.0, 1.0),
+                &rect_ring(0.0, 0.0, 3.0, 3.0),
+            )
+            .unwrap(),
+        );
+        let a = g.area();
+        assert_eq!(a.at_instant(t(0.0)), Val::Def(r(1.0)));
+        assert_eq!(a.at_instant(t(1.0)), Val::Def(r(9.0)));
+        assert_eq!(a.at_instant(t(0.5)), Val::Def(r(4.0)));
+        assert_eq!(a.max_value(), Val::Def(r(9.0)));
+    }
+
+    #[test]
+    fn perimeter_at_instant() {
+        let m = sliding();
+        assert_eq!(m.perimeter_at(t(1.0)), Val::Def(r(4.0)));
+        assert!(m.perimeter_at(t(99.0)).is_undef());
+    }
+
+    #[test]
+    fn when_covers_fixed_point() {
+        let m = sliding();
+        // The square (x ∈ [t, t+1]) covers x=2.5 during t ∈ [1.5, 2.5].
+        let w = m.when_covers(pt(2.5, 0.5));
+        assert_eq!(w.num_intervals(), 1);
+        assert!((w.as_slice()[0].start().as_f64() - 1.5).abs() < 1e-9);
+        assert!((w.as_slice()[0].end().as_f64() - 2.5).abs() < 1e-9);
+        assert!(m.ever_covers(pt(2.5, 0.5)));
+        assert!(!m.ever_covers(pt(50.0, 50.0)));
+        assert!(MovingRegion::empty().when_covers(pt(0.0, 0.0)).is_empty());
+    }
+
+    #[test]
+    fn traversed_covers_path() {
+        let m = sliding();
+        let swath = m.traversed_approx(6);
+        // The square sweeps x ∈ [0, 5]: points along the corridor are in.
+        assert!(swath.contains_point(pt(0.5, 0.5)));
+        assert!(swath.contains_point(pt(2.5, 0.5)));
+        assert!(swath.contains_point(pt(4.5, 1.2)));
+        assert!(!swath.contains_point(pt(2.5, 8.0)));
+        // Its area is at least one snapshot's and at most the bbox's.
+        assert!(swath.area() >= r(1.0));
+    }
+
+    #[test]
+    fn intersection_area_with_static_region() {
+        let m = sliding();
+        // County: x ∈ [2, 4]. The unit square overlaps it from t=1
+        // (right edge reaches x=2) to t=4, fully inside during [2, 3].
+        let county = mob_spatial::Region::from_ring(rect_ring(2.0, -1.0, 4.0, 2.0));
+        let a = m.area_of_intersection_approx(&county, 8);
+        assert!(a.at_instant(t(0.5)).unwrap().approx_eq(r(0.0), 1e-6));
+        assert!(a.at_instant(t(2.5)).unwrap().approx_eq(r(1.0), 0.1));
+        let half = a.at_instant(t(1.5)).unwrap();
+        assert!(half > r(0.2) && half < r(0.8), "{half}");
+    }
+
+    #[test]
+    fn rough_center_tracks_motion() {
+        let m = sliding();
+        let c = m.rough_center(4);
+        let early = c.at_instant(t(0.5)).unwrap();
+        let late = c.at_instant(t(3.5)).unwrap();
+        assert!(late.x > early.x); // drifts right with the square
+        assert!(c.present_at(t(2.0)));
+    }
+
+    #[test]
+    fn total_msegs_counts() {
+        let m = sliding();
+        assert_eq!(m.total_msegs(), 8);
+        assert!(m.bounding_cube().unwrap().rect.max_x() >= r(5.0));
+    }
+}

@@ -1,0 +1,427 @@
+//! Moving segments (Sec 3.2.6): `MSeg = {(s, e) | s, e ∈ MPoint, s ≠ e,
+//! s coplanar with e}` — two coplanar lines in (x, y, t) space.
+//!
+//! Coplanarity of the two 3D lines is exactly the paper's *non-rotation*
+//! constraint: the segment direction `e(t) − s(t)` keeps a fixed bearing,
+//! so the swept surface is planar (a trapezium, degenerating to a
+//! triangle when the end points coincide at one end of the interval).
+
+use crate::upoint::PointMotion;
+use crate::ureal::{UReal, ValueTimes};
+use mob_base::error::{InvariantViolation, Result};
+use mob_base::{Instant, Real, TimeInterval};
+use mob_spatial::{Point, Seg};
+
+/// A linear function of time, `c0 + c1·t` — helper for polynomial
+/// expansion of geometric predicates on motions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Lin {
+    /// Constant coefficient.
+    pub c0: Real,
+    /// Linear coefficient.
+    pub c1: Real,
+}
+
+impl Lin {
+    /// Construct.
+    pub fn new(c0: Real, c1: Real) -> Lin {
+        Lin { c0, c1 }
+    }
+
+    /// Value at `t`.
+    pub fn at(&self, t: Instant) -> Real {
+        self.c0 + self.c1 * t.value()
+    }
+
+    /// Difference of two linear functions.
+    pub fn sub(&self, o: &Lin) -> Lin {
+        Lin::new(self.c0 - o.c0, self.c1 - o.c1)
+    }
+
+    /// Product of two linear functions as quadratic coefficients
+    /// `(a, b, c)` of `a·t² + b·t + c`.
+    pub fn mul(&self, o: &Lin) -> (Real, Real, Real) {
+        (
+            self.c1 * o.c1,
+            self.c0 * o.c1 + self.c1 * o.c0,
+            self.c0 * o.c0,
+        )
+    }
+}
+
+/// x(t) and y(t) of a motion as linear functions.
+pub fn motion_lin(m: &PointMotion) -> (Lin, Lin) {
+    (Lin::new(m.x0, m.x1), Lin::new(m.y0, m.y1))
+}
+
+/// A moving segment: two coplanar point motions.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct MSeg {
+    s: PointMotion,
+    e: PointMotion,
+}
+
+impl MSeg {
+    /// Validating constructor: motions must differ and be coplanar
+    /// (non-rotating).
+    pub fn try_new(s: PointMotion, e: PointMotion) -> Result<MSeg> {
+        if s == e {
+            return Err(InvariantViolation::new("mseg: s ≠ e"));
+        }
+        // Coplanarity: cross((Δx0, Δy0), (Δx1, Δy1)) = 0 where Δ is the
+        // difference of the two motions' intercepts / velocities.
+        let dx0 = e.x0 - s.x0;
+        let dy0 = e.y0 - s.y0;
+        let dx1 = e.x1 - s.x1;
+        let dy1 = e.y1 - s.y1;
+        let cross = dx0 * dy1 - dy0 * dx1;
+        // Tolerance relative to the magnitude of the bilinear terms:
+        // data built from rounded similarity transforms must pass.
+        let scale = (dx0.abs() + dy0.abs()) * (dx1.abs() + dy1.abs());
+        let tol = 1e-9 * scale.get().max(1.0);
+        if cross.abs().get() > tol {
+            return Err(InvariantViolation::with_detail(
+                "mseg: end point motions must be coplanar (non-rotating)",
+                format!("cross = {}", cross),
+            ));
+        }
+        Ok(MSeg { s, e })
+    }
+
+    /// The moving segment between two snapshot segments: from `seg0` at
+    /// `t0` to `seg1` at `t1`, matching `seg0.u→seg1.u` and `seg0.v→seg1.v`.
+    /// Fails if the resulting motion rotates.
+    pub fn between(
+        t0: Instant,
+        p0: Point,
+        q0: Point,
+        t1: Instant,
+        p1: Point,
+        q1: Point,
+    ) -> Result<MSeg> {
+        let s = if p0 == p1 {
+            PointMotion::stationary(p0)
+        } else {
+            PointMotion::through(t0, p0, t1, p1)
+        };
+        let e = if q0 == q1 {
+            PointMotion::stationary(q0)
+        } else {
+            PointMotion::through(t0, q0, t1, q1)
+        };
+        MSeg::try_new(s, e)
+    }
+
+    /// The start-vertex motion.
+    pub fn start_motion(&self) -> &PointMotion {
+        &self.s
+    }
+
+    /// The end-vertex motion.
+    pub fn end_motion(&self) -> &PointMotion {
+        &self.e
+    }
+
+    /// `ι`: the pair of end points at `t` (possibly coincident at
+    /// interval end points — the caller applies the cleanup rules).
+    pub fn eval_pair(&self, t: Instant) -> (Point, Point) {
+        (self.s.at(t), self.e.at(t))
+    }
+
+    /// The evaluated segment at `t`, or `None` if degenerated to a point.
+    pub fn eval_seg(&self, t: Instant) -> Option<Seg> {
+        let (p, q) = self.eval_pair(t);
+        Seg::try_from_unordered(p, q)
+    }
+
+    /// `true` if the segment degenerates (to a point) at `t`.
+    pub fn degenerate_at(&self, t: Instant) -> bool {
+        let (p, q) = self.eval_pair(t);
+        p == q
+    }
+
+    /// The signed "side" of motion `p` relative to this moving segment as
+    /// a quadratic: `side(t) = cross(e(t) − s(t), p(t) − s(t))`. Zero
+    /// exactly when `p(t)` lies on the carrier line of the segment.
+    pub fn side_quadratic(&self, p: &PointMotion) -> (Real, Real, Real) {
+        let (sx, sy) = motion_lin(&self.s);
+        let (ex, ey) = motion_lin(&self.e);
+        let (px, py) = motion_lin(p);
+        let dx = ex.sub(&sx);
+        let dy = ey.sub(&sy);
+        let rx = px.sub(&sx);
+        let ry = py.sub(&sy);
+        let (a1, b1, c1) = dx.mul(&ry);
+        let (a2, b2, c2) = dy.mul(&rx);
+        (a1 - a2, b1 - b2, c1 - c2)
+    }
+
+    /// The instants within `interval` at which motion `p` crosses this
+    /// moving segment (lies *on* the segment, between its end points).
+    ///
+    /// This is the 3D "line stabs trapezium" test of Algorithm
+    /// `upoint_uregion_inside` (Sec 5.2).
+    pub fn crossings_with(&self, p: &PointMotion, interval: &TimeInterval) -> Vec<Instant> {
+        let (a, b, c) = self.side_quadratic(p);
+        let probe = UReal::quadratic(*interval, a, b, c);
+        let candidates = match probe.times_at_value(Real::ZERO) {
+            ValueTimes::Never => return Vec::new(),
+            ValueTimes::At(ts) => ts,
+            ValueTimes::Always => {
+                // The point rides along the carrier line the whole time —
+                // a degenerate tangency; no transversal crossings.
+                return Vec::new();
+            }
+        };
+        candidates
+            .into_iter()
+            .filter(|t| {
+                // The root guarantees pp lies on the carrier line up to
+                // rounding; only the "between the end points" condition
+                // needs checking — parametrically, with a tolerance, so
+                // genuine crossings are not lost to f64 residue.
+                let (sp, ep) = self.eval_pair(*t);
+                let pp = p.at(*t);
+                let dx = ep.x - sp.x;
+                let dy = ep.y - sp.y;
+                let len_sq = dx * dx + dy * dy;
+                if len_sq.get() == 0.0 {
+                    return sp.approx_eq(pp, 1e-9);
+                }
+                let param = ((pp.x - sp.x) * dx + (pp.y - sp.y) * dy) / len_sq;
+                (-1e-9..=1.0 + 1e-9).contains(&param.get())
+            })
+            .collect()
+    }
+}
+
+/// The *critical times* at which the interaction topology of two moving
+/// segments can change within `iv`: instants where an end point of one
+/// segment lies on the other segment (transversal incidences), where two
+/// end points coincide (collinear sliding transitions), or where either
+/// segment degenerates. Between consecutive critical times the validity
+/// of a configuration is constant, so checking one interior sample per
+/// gap decides validity *exactly* (up to root-finding precision).
+pub fn critical_times(a: &MSeg, b: &MSeg, iv: &TimeInterval) -> Vec<Instant> {
+    let mut out: Vec<Instant> = Vec::new();
+    // End point of one on the other segment.
+    out.extend(b.crossings_with(a.start_motion(), iv));
+    out.extend(b.crossings_with(a.end_motion(), iv));
+    out.extend(a.crossings_with(b.start_motion(), iv));
+    out.extend(a.crossings_with(b.end_motion(), iv));
+    // End point coincidences (collinear sliding overlaps start/stop here).
+    use crate::upoint::Coincidence;
+    for (p, q) in [
+        (a.start_motion(), b.start_motion()),
+        (a.start_motion(), b.end_motion()),
+        (a.end_motion(), b.start_motion()),
+        (a.end_motion(), b.end_motion()),
+    ] {
+        if let Coincidence::At(t) = p.meet_time(q) {
+            if iv.contains(&t) {
+                out.push(t);
+            }
+        }
+    }
+    // Degeneracies.
+    for ms in [a, b] {
+        if let Coincidence::At(t) = ms.start_motion().meet_time(ms.end_motion()) {
+            if iv.contains(&t) {
+                out.push(t);
+            }
+        }
+    }
+    out.sort();
+    out.dedup_by(|x, y| (*x - *y).abs().get() <= 1e-12);
+    out
+}
+
+/// The exact validation schedule for a set of moving segments on an
+/// interval: all pairwise critical times inside the open interval, plus
+/// one interior sample per gap between consecutive schedule points.
+/// Checking validity at every returned instant decides condition (i) of
+/// the `uline`/`uregion` carrier sets exactly.
+pub fn validation_instants(msegs: &[MSeg], iv: &TimeInterval) -> Vec<Instant> {
+    let mut crits: Vec<Instant> = Vec::new();
+    for (i, a) in msegs.iter().enumerate() {
+        for b in msegs.iter().skip(i + 1) {
+            crits.extend(critical_times(a, b, iv));
+        }
+    }
+    crits.retain(|t| iv.contains_open(t));
+    crits.sort();
+    crits.dedup_by(|x, y| (*x - *y).abs().get() <= 1e-12);
+    // Gap midpoints (boundaries included as gap ends).
+    let mut bounds = Vec::with_capacity(crits.len() + 2);
+    bounds.push(*iv.start());
+    bounds.extend(crits.iter().copied());
+    bounds.push(*iv.end());
+    let mut out = Vec::with_capacity(2 * bounds.len());
+    for w in bounds.windows(2) {
+        if w[0] < w[1] {
+            out.push(w[0].midpoint(w[1]));
+        }
+    }
+    out.extend(crits);
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Canonical ordering key for motions (used to keep unit values sorted so
+/// representation equality is set equality).
+pub fn motion_key(m: &PointMotion) -> [u64; 4] {
+    [
+        m.x0.get().to_bits() ^ (1 << 63),
+        m.x1.get().to_bits() ^ (1 << 63),
+        m.y0.get().to_bits() ^ (1 << 63),
+        m.y1.get().to_bits() ^ (1 << 63),
+    ]
+}
+
+/// Canonical ordering key for moving segments.
+pub fn mseg_key(s: &MSeg) -> [u64; 8] {
+    let a = motion_key(&s.s);
+    let b = motion_key(&s.e);
+    [a[0], a[1], a[2], a[3], b[0], b[1], b[2], b[3]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mob_base::{r, t, Interval};
+    use mob_spatial::pt;
+
+    fn iv(s: f64, e: f64) -> TimeInterval {
+        Interval::closed(t(s), t(e))
+    }
+
+    #[test]
+    fn lin_algebra() {
+        let a = Lin::new(r(1.0), r(2.0)); // 1 + 2t
+        let b = Lin::new(r(3.0), r(-1.0)); // 3 - t
+        assert_eq!(a.at(t(2.0)), r(5.0));
+        let (qa, qb, qc) = a.mul(&b); // (1+2t)(3-t) = 3 + 5t - 2t²
+        assert_eq!((qa, qb, qc), (r(-2.0), r(5.0), r(3.0)));
+        assert_eq!(a.sub(&b), Lin::new(r(-2.0), r(3.0)));
+    }
+
+    #[test]
+    fn coplanarity_enforced() {
+        // Translating segment: ok.
+        let s = PointMotion::through(t(0.0), pt(0.0, 0.0), t(1.0), pt(1.0, 1.0));
+        let e = PointMotion::through(t(0.0), pt(2.0, 0.0), t(1.0), pt(3.0, 1.0));
+        assert!(MSeg::try_new(s, e).is_ok());
+        // Rotating segment (one end swings around): rejected.
+        let e_rot = PointMotion::through(t(0.0), pt(2.0, 0.0), t(1.0), pt(0.0, 2.0));
+        assert!(MSeg::try_new(s, e_rot).is_err());
+        // Identical motions rejected.
+        assert!(MSeg::try_new(s, s).is_err());
+    }
+
+    #[test]
+    fn triangle_msegs_are_valid() {
+        // Degenerate at t=0 (both ends at the same point), expanding later:
+        // a "triangle" in 3D — explicitly allowed (Fig 5).
+        let m = MSeg::between(
+            t(0.0),
+            pt(0.0, 0.0),
+            pt(0.0, 0.0),
+            t(1.0),
+            pt(0.0, 0.0),
+            pt(1.0, 0.0),
+        );
+        // s stationary at origin, e moves right: coplanar.
+        let m = m.unwrap();
+        assert!(m.degenerate_at(t(0.0)));
+        assert!(!m.degenerate_at(t(0.5)));
+        assert_eq!(m.eval_seg(t(0.0)), None);
+        assert_eq!(
+            m.eval_seg(t(1.0)).unwrap(),
+            Seg::new(pt(0.0, 0.0), pt(1.0, 0.0))
+        );
+    }
+
+    #[test]
+    fn evaluation() {
+        let m = MSeg::between(
+            t(0.0),
+            pt(0.0, 0.0),
+            pt(1.0, 0.0),
+            t(2.0),
+            pt(0.0, 2.0),
+            pt(1.0, 2.0),
+        )
+        .unwrap();
+        assert_eq!(
+            m.eval_seg(t(1.0)).unwrap(),
+            Seg::new(pt(0.0, 1.0), pt(1.0, 1.0))
+        );
+    }
+
+    #[test]
+    fn crossing_moving_point_through_moving_segment() {
+        // Segment fixed on the x-axis from (0,0) to (2,0); point falls
+        // from (1, 2) at t=0 to (1, -2) at t=2: crosses at t=1.
+        let seg = MSeg::between(
+            t(0.0),
+            pt(0.0, 0.0),
+            pt(2.0, 0.0),
+            t(2.0),
+            pt(0.0, 0.0),
+            pt(2.0, 0.0),
+        )
+        .unwrap();
+        let p = PointMotion::through(t(0.0), pt(1.0, 2.0), t(2.0), pt(1.0, -2.0));
+        assert_eq!(seg.crossings_with(&p, &iv(0.0, 2.0)), vec![t(1.0)]);
+        // Restricting the interval hides the crossing.
+        assert!(seg.crossings_with(&p, &iv(0.0, 0.5)).is_empty());
+        // A point passing beside the segment does not cross.
+        let q = PointMotion::through(t(0.0), pt(5.0, 2.0), t(2.0), pt(5.0, -2.0));
+        assert!(seg.crossings_with(&q, &iv(0.0, 2.0)).is_empty());
+    }
+
+    #[test]
+    fn critical_times_detect_interactions() {
+        // A stationary segment on the x-axis and one sweeping down
+        // through it: the sweep's endpoints hit the carrier at distinct
+        // times; the actual incidences are the critical times.
+        let base = MSeg::between(
+            t(0.0), pt(0.0, 0.0), pt(2.0, 0.0),
+            t(2.0), pt(0.0, 0.0), pt(2.0, 0.0),
+        ).unwrap();
+        let sweep = MSeg::between(
+            t(0.0), pt(0.5, 1.0), pt(1.5, 1.0),
+            t(2.0), pt(0.5, -1.0), pt(1.5, -1.0),
+        ).unwrap();
+        let iv = Interval::closed(t(0.0), t(2.0));
+        let crit = critical_times(&base, &sweep, &iv);
+        assert_eq!(crit, vec![t(1.0)]); // both endpoints cross at t=1
+        // Disjoint parallel segments: no critical times.
+        let far = MSeg::between(
+            t(0.0), pt(0.0, 5.0), pt(2.0, 5.0),
+            t(2.0), pt(0.0, 5.0), pt(2.0, 5.0),
+        ).unwrap();
+        assert!(critical_times(&base, &far, &iv).is_empty());
+        // Validation schedule: midpoints of [0,1] and [1,2] plus t=1.
+        let sched = validation_instants(&[base, sweep], &iv);
+        assert_eq!(sched, vec![t(0.5), t(1.0), t(1.5)]);
+    }
+
+    #[test]
+    fn crossing_both_moving() {
+        // Segment rises (y = t), point sinks (y = 2 - t): meet at t=1
+        // where both are at y=1; point x=1 is inside [0,2].
+        let seg = MSeg::between(
+            t(0.0),
+            pt(0.0, 0.0),
+            pt(2.0, 0.0),
+            t(2.0),
+            pt(0.0, 2.0),
+            pt(2.0, 2.0),
+        )
+        .unwrap();
+        let p = PointMotion::through(t(0.0), pt(1.0, 2.0), t(2.0), pt(1.0, 0.0));
+        assert_eq!(seg.crossings_with(&p, &iv(0.0, 2.0)), vec![t(1.0)]);
+    }
+}

@@ -1,0 +1,272 @@
+//! The type systems of the paper as inspectable data: Table 1 (abstract),
+//! Table 2 (discrete) and Table 3 (the correspondence between abstract
+//! temporal types and their sliced representations).
+//!
+//! These catalogues drive the `type_system` example and the table
+//! reproduction tests (experiments T1–T3 in DESIGN.md).
+
+/// The kinds (sorts) of the type-system signatures.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Kind {
+    /// `int`, `real`, `string`, `bool`.
+    Base,
+    /// `point`, `points`, `line`, `region`.
+    Spatial,
+    /// `instant`.
+    Time,
+    /// `range(α)`.
+    Range,
+    /// `intime(α)`, `moving(α)`.
+    Temporal,
+    /// Unit types (discrete model only).
+    Unit,
+    /// `mapping(α)` (discrete model only).
+    Mapping,
+}
+
+/// One line of a signature: argument kinds → result kind, with the type
+/// constructors carrying that functionality.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SigLine {
+    /// Argument kinds (empty for constant type constructors).
+    pub args: Vec<Kind>,
+    /// Result kind.
+    pub result: Kind,
+    /// The constructors (type names) of this line.
+    pub constructors: Vec<&'static str>,
+}
+
+/// Table 1: the signature describing the **abstract** type system.
+pub fn abstract_signature() -> Vec<SigLine> {
+    vec![
+        SigLine {
+            args: vec![],
+            result: Kind::Base,
+            constructors: vec!["int", "real", "string", "bool"],
+        },
+        SigLine {
+            args: vec![],
+            result: Kind::Spatial,
+            constructors: vec!["point", "points", "line", "region"],
+        },
+        SigLine {
+            args: vec![],
+            result: Kind::Time,
+            constructors: vec!["instant"],
+        },
+        SigLine {
+            args: vec![Kind::Base, Kind::Time],
+            result: Kind::Range,
+            constructors: vec!["range"],
+        },
+        SigLine {
+            args: vec![Kind::Base, Kind::Spatial],
+            result: Kind::Temporal,
+            constructors: vec!["intime", "moving"],
+        },
+    ]
+}
+
+/// Table 2: the signature describing the **discrete** type system.
+pub fn discrete_signature() -> Vec<SigLine> {
+    vec![
+        SigLine {
+            args: vec![],
+            result: Kind::Base,
+            constructors: vec!["int", "real", "string", "bool"],
+        },
+        SigLine {
+            args: vec![],
+            result: Kind::Spatial,
+            constructors: vec!["point", "points", "line", "region"],
+        },
+        SigLine {
+            args: vec![],
+            result: Kind::Time,
+            constructors: vec!["instant"],
+        },
+        SigLine {
+            args: vec![Kind::Base, Kind::Time],
+            result: Kind::Range,
+            constructors: vec!["range"],
+        },
+        SigLine {
+            args: vec![Kind::Base, Kind::Spatial],
+            result: Kind::Temporal,
+            constructors: vec!["intime"],
+        },
+        SigLine {
+            args: vec![Kind::Base, Kind::Spatial],
+            result: Kind::Unit,
+            constructors: vec!["const"],
+        },
+        SigLine {
+            args: vec![],
+            result: Kind::Unit,
+            constructors: vec!["ureal", "upoint", "upoints", "uline", "uregion"],
+        },
+        SigLine {
+            args: vec![Kind::Unit],
+            result: Kind::Mapping,
+            constructors: vec!["mapping"],
+        },
+    ]
+}
+
+/// One row of Table 3: an abstract temporal type and its discrete
+/// (sliced) representation, plus the Rust type implementing it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Correspondence {
+    /// The abstract type, e.g. `moving(real)`.
+    pub abstract_type: &'static str,
+    /// The discrete type, e.g. `mapping(ureal)`.
+    pub discrete_type: &'static str,
+    /// The implementing Rust type in this crate.
+    pub rust_type: &'static str,
+}
+
+/// Table 3: correspondence between abstract and discrete temporal types.
+pub fn correspondence() -> Vec<Correspondence> {
+    vec![
+        Correspondence {
+            abstract_type: "moving(int)",
+            discrete_type: "mapping(const(int))",
+            rust_type: "MovingInt = Mapping<ConstUnit<i64>>",
+        },
+        Correspondence {
+            abstract_type: "moving(string)",
+            discrete_type: "mapping(const(string))",
+            rust_type: "MovingString = Mapping<ConstUnit<Text>>",
+        },
+        Correspondence {
+            abstract_type: "moving(bool)",
+            discrete_type: "mapping(const(bool))",
+            rust_type: "MovingBool = Mapping<ConstUnit<bool>>",
+        },
+        Correspondence {
+            abstract_type: "moving(real)",
+            discrete_type: "mapping(ureal)",
+            rust_type: "MovingReal = Mapping<UReal>",
+        },
+        Correspondence {
+            abstract_type: "moving(point)",
+            discrete_type: "mapping(upoint)",
+            rust_type: "MovingPoint = Mapping<UPoint>",
+        },
+        Correspondence {
+            abstract_type: "moving(points)",
+            discrete_type: "mapping(upoints)",
+            rust_type: "MovingPoints = Mapping<UPoints>",
+        },
+        Correspondence {
+            abstract_type: "moving(line)",
+            discrete_type: "mapping(uline)",
+            rust_type: "MovingLine = Mapping<ULine>",
+        },
+        Correspondence {
+            abstract_type: "moving(region)",
+            discrete_type: "mapping(uregion)",
+            rust_type: "MovingRegion = Mapping<URegion>",
+        },
+    ]
+}
+
+/// All data types generated by the discrete signature (instantiating the
+/// parameterized constructors over their argument kinds).
+pub fn discrete_types() -> Vec<String> {
+    let base = ["int", "real", "string", "bool"];
+    let spatial = ["point", "points", "line", "region"];
+    let mut out: Vec<String> = Vec::new();
+    out.extend(base.iter().map(|s| s.to_string()));
+    out.extend(spatial.iter().map(|s| s.to_string()));
+    out.push("instant".into());
+    for t in base.iter().chain(["instant"].iter()) {
+        out.push(format!("range({t})"));
+    }
+    for t in base.iter().chain(spatial.iter()) {
+        out.push(format!("intime({t})"));
+        out.push(format!("const({t})"));
+    }
+    let units = ["ureal", "upoint", "upoints", "uline", "uregion"];
+    out.extend(units.iter().map(|s| s.to_string()));
+    for t in base.iter().chain(spatial.iter()) {
+        out.push(format!("mapping(const({t}))"));
+    }
+    for u in units {
+        out.push(format!("mapping({u})"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Experiment T1: Table 1 reproduced.
+    #[test]
+    fn table1_abstract_signature() {
+        let sig = abstract_signature();
+        assert_eq!(sig.len(), 5);
+        // The `moving` constructor exists at the abstract level...
+        assert!(sig
+            .iter()
+            .any(|l| l.constructors.contains(&"moving") && l.result == Kind::Temporal));
+        // ...and takes BASE ∪ SPATIAL arguments.
+        let temporal = sig.iter().find(|l| l.result == Kind::Temporal).unwrap();
+        assert_eq!(temporal.args, vec![Kind::Base, Kind::Spatial]);
+    }
+
+    /// Experiment T2: Table 2 reproduced — `moving` replaced by unit
+    /// types and the `mapping` constructor.
+    #[test]
+    fn table2_discrete_signature() {
+        let sig = discrete_signature();
+        assert_eq!(sig.len(), 8);
+        // No `moving` at the discrete level.
+        assert!(!sig.iter().any(|l| l.constructors.contains(&"moving")));
+        // The unit constructors are exactly const + the five unit types.
+        let unit_ctors: Vec<&str> = sig
+            .iter()
+            .filter(|l| l.result == Kind::Unit)
+            .flat_map(|l| l.constructors.iter().copied())
+            .collect();
+        assert_eq!(
+            unit_ctors,
+            vec!["const", "ureal", "upoint", "upoints", "uline", "uregion"]
+        );
+        // `mapping` applies to UNIT.
+        let mapping = sig.iter().find(|l| l.result == Kind::Mapping).unwrap();
+        assert_eq!(mapping.args, vec![Kind::Unit]);
+    }
+
+    /// Experiment T3: Table 3 reproduced — every abstract moving type has
+    /// a sliced representation.
+    #[test]
+    fn table3_correspondence() {
+        let rows = correspondence();
+        assert_eq!(rows.len(), 8);
+        for row in &rows {
+            assert!(row.abstract_type.starts_with("moving("));
+            assert!(row.discrete_type.starts_with("mapping("));
+        }
+        // The three const-based rows.
+        assert_eq!(
+            rows.iter()
+                .filter(|r| r.discrete_type.contains("const"))
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn discrete_type_enumeration() {
+        let types = discrete_types();
+        assert!(types.contains(&"mapping(ureal)".to_string()));
+        assert!(types.contains(&"range(instant)".to_string()));
+        assert!(types.contains(&"mapping(const(bool))".to_string()));
+        assert!(!types.contains(&"moving(point)".to_string()));
+        // 8 ground + 1 instant + 5 range + 16 intime/const + 5 units
+        // + 8 const-mappings + 5 unit-mappings.
+        assert_eq!(types.len(), 8 + 1 + 5 + 16 + 5 + 8 + 5);
+    }
+}

@@ -1,0 +1,203 @@
+//! The *refinement partition* of the time axis (Sec 5.2, Fig 8): given
+//! two sliced values, partition time so that within every part each
+//! argument is described by (at most) one unit. Binary lifted operations
+//! "traverse the two lists in parallel, computing the refinement
+//! partition of the time axis on the way".
+
+use crate::mapping::Mapping;
+use crate::unit::Unit;
+use mob_base::{Instant, Interval, TimeInterval};
+
+/// One part of the refinement partition, with the units (if any) of the
+/// two arguments valid on it.
+#[derive(Debug)]
+pub struct RefinedSlice<'a, A, B> {
+    /// The part of the time axis.
+    pub interval: TimeInterval,
+    /// Unit of the first argument covering the part, if defined there.
+    pub a: Option<&'a A>,
+    /// Unit of the second argument covering the part, if defined there.
+    pub b: Option<&'a B>,
+}
+
+/// Compute the full refinement partition of two mappings, including the
+/// parts where only one (or neither inner gap) argument is defined.
+/// Parts are elementary: between consecutive boundary instants, plus the
+/// boundary instants themselves where covered.
+pub fn refinement<'a, A: Unit, B: Unit>(
+    ma: &'a Mapping<A>,
+    mb: &'a Mapping<B>,
+) -> Vec<RefinedSlice<'a, A, B>> {
+    // Collect and merge the boundary instants of both mappings.
+    let mut bounds: Vec<Instant> = Vec::with_capacity(2 * (ma.num_units() + mb.num_units()));
+    for u in ma.units() {
+        bounds.push(*u.interval().start());
+        bounds.push(*u.interval().end());
+    }
+    for u in mb.units() {
+        bounds.push(*u.interval().start());
+        bounds.push(*u.interval().end());
+    }
+    bounds.sort();
+    bounds.dedup();
+
+    let mut out = Vec::new();
+    let mut emit = |iv: TimeInterval| {
+        let probe = iv.interior_instant();
+        let a = ma.unit_at(probe).filter(|u| {
+            // The unit must cover the whole elementary interval.
+            u.interval().contains_interval(&iv)
+        });
+        let b = mb.unit_at(probe).filter(|u| u.interval().contains_interval(&iv));
+        if a.is_some() || b.is_some() {
+            out.push(RefinedSlice { interval: iv, a, b });
+        }
+    };
+    for (i, &ti) in bounds.iter().enumerate() {
+        emit(TimeInterval::point(ti));
+        if let Some(&tj) = bounds.get(i + 1) {
+            emit(Interval::open(ti, tj));
+        }
+    }
+    out
+}
+
+/// The refinement parts where *both* arguments are defined — the inputs
+/// of strict binary lifted operations ("if both up and ur exist",
+/// Alg `inside`). Each item is `(interval, unit_a, unit_b)` with the
+/// interval equal to the intersection of the two unit intervals clipped
+/// to the elementary part.
+pub fn refinement_both<'a, A: Unit, B: Unit>(
+    ma: &'a Mapping<A>,
+    mb: &'a Mapping<B>,
+) -> Vec<(TimeInterval, &'a A, &'a B)> {
+    // Two-pointer walk over the sorted unit lists: O(n + m) parts.
+    let (ua, ub) = (ma.units(), mb.units());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut out = Vec::new();
+    while i < ua.len() && j < ub.len() {
+        let (ia, ib) = (ua[i].interval(), ub[j].interval());
+        if let Some(common) = ia.intersection(ib) {
+            out.push((common, &ua[i], &ub[j]));
+        }
+        // Advance whichever unit ends first.
+        let a_ends_first = match ia.end().cmp(ib.end()) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => {
+                // Same end: advance both (handled by advancing a then b
+                // next loop iteration via empty intersection).
+                !ia.right_closed() || ib.right_closed()
+            }
+        };
+        if a_ends_first {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uconst::ConstUnit;
+    use mob_base::{t, Val};
+
+    fn cu(s: f64, e: f64, lc: bool, rc: bool, v: i64) -> ConstUnit<i64> {
+        ConstUnit::new(Interval::new(t(s), t(e), lc, rc), v)
+    }
+
+    #[test]
+    fn figure8_refinement() {
+        // Figure 8 (schematically): left mapping has two intervals, right
+        // mapping has two intervals offset against them; the refinement
+        // partition has one part per elementary overlap.
+        let a = Mapping::try_new(vec![cu(0.0, 2.0, true, true, 1), cu(3.0, 5.0, true, true, 2)])
+            .unwrap();
+        let b = Mapping::try_new(vec![cu(1.0, 4.0, true, true, 10)]).unwrap();
+        let parts = refinement(&a, &b);
+        // Both defined on [1,2] and [3,4]; a alone on [0,1), b alone on
+        // (2,3), a alone on (4,5].
+        let both: Vec<_> = parts
+            .iter()
+            .filter(|p| p.a.is_some() && p.b.is_some())
+            .collect();
+        assert!(!both.is_empty());
+        // Every part where both exist lies within [1,2] ∪ [3,4].
+        for p in &both {
+            let s = p.interval.start().as_f64();
+            let e = p.interval.end().as_f64();
+            assert!((1.0..=2.0).contains(&s) && e <= 2.0 || (3.0..=4.0).contains(&s) && e <= 4.0);
+        }
+        // Parts where only a exists cover [0,1) etc.
+        assert!(parts
+            .iter()
+            .any(|p| p.a.is_some() && p.b.is_none() && p.interval.start().as_f64() < 1.0));
+        // Total coverage: the union of part intervals equals deftime(a) ∪ deftime(b).
+        let union: mob_base::Periods = parts.iter().map(|p| p.interval).collect();
+        assert_eq!(union, a.deftime().union(&b.deftime()));
+    }
+
+    #[test]
+    fn refinement_both_two_pointer() {
+        let a = Mapping::try_new(vec![
+            cu(0.0, 2.0, true, false, 1),
+            cu(2.0, 4.0, true, false, 2),
+            cu(6.0, 8.0, true, true, 3),
+        ])
+        .unwrap();
+        let b = Mapping::try_new(vec![
+            cu(1.0, 3.0, true, true, 10),
+            cu(3.0, 7.0, false, true, 20),
+        ])
+        .unwrap();
+        let parts = refinement_both(&a, &b);
+        let ivs: Vec<TimeInterval> = parts.iter().map(|(iv, ..)| *iv).collect();
+        assert_eq!(
+            ivs,
+            vec![
+                Interval::new(t(1.0), t(2.0), true, false),
+                Interval::new(t(2.0), t(3.0), true, true),
+                Interval::new(t(3.0), t(4.0), false, false),
+                Interval::new(t(6.0), t(7.0), true, true),
+            ]
+        );
+        let vals: Vec<(i64, i64)> = parts
+            .iter()
+            .map(|(_, ua, ub)| (*ua.value(), *ub.value()))
+            .collect();
+        assert_eq!(vals, vec![(1, 10), (2, 10), (2, 20), (3, 20)]);
+    }
+
+    #[test]
+    fn refinement_both_disjoint_mappings() {
+        let a = Mapping::single(cu(0.0, 1.0, true, true, 1));
+        let b = Mapping::single(cu(5.0, 6.0, true, true, 2));
+        assert!(refinement_both(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn refinement_point_overlap() {
+        // Units touching at a shared closed instant overlap in a point.
+        let a = Mapping::single(cu(0.0, 1.0, true, true, 1));
+        let b = Mapping::single(cu(1.0, 2.0, true, true, 2));
+        let parts = refinement_both(&a, &b);
+        assert_eq!(parts.len(), 1);
+        assert!(parts[0].0.is_point());
+        assert_eq!(*parts[0].0.start(), t(1.0));
+    }
+
+    #[test]
+    fn refinement_preserves_values() {
+        let a = Mapping::single(cu(0.0, 10.0, true, true, 42));
+        let b = Mapping::try_new(vec![cu(2.0, 3.0, true, true, 1), cu(5.0, 6.0, true, true, 2)])
+            .unwrap();
+        for (iv, ua, ub) in refinement_both(&a, &b) {
+            let probe = iv.interior_instant();
+            assert_eq!(Val::Def(ua.at(probe)), a.at_instant(probe));
+            assert_eq!(Val::Def(ub.at(probe)), b.at_instant(probe));
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Semantic cross-checking helpers (the `σ` functions of Sec 3).
+//!
+//! The semantics of a discrete value is an abstract-model value — a
+//! function of time. These helpers compare a sliced representation
+//! against a reference function by dense sampling; the property tests and
+//! the Table 3 experiments use them to certify that the discrete types
+//! faithfully represent their abstract counterparts.
+
+use crate::mapping::Mapping;
+use crate::unit::Unit;
+use mob_base::{Instant, Real, Val};
+
+/// Densely sample the definition time of a mapping: `per_unit` interior
+/// instants per unit plus all included end points.
+pub fn sample_deftime<U: Unit>(m: &Mapping<U>, per_unit: usize) -> Vec<Instant> {
+    let mut out = Vec::new();
+    for u in m.units() {
+        out.extend(u.interval().sample_instants(per_unit));
+    }
+    out
+}
+
+/// Maximum absolute deviation between the mapping (as a moving real) and
+/// a reference real-valued function of time, over dense samples.
+pub fn max_abs_error<U>(m: &Mapping<U>, reference: impl Fn(Instant) -> Real, per_unit: usize) -> Real
+where
+    U: Unit<Value = Real>,
+{
+    let mut worst = Real::ZERO;
+    for t in sample_deftime(m, per_unit) {
+        if let Val::Def(v) = m.at_instant(t) {
+            worst = worst.max((v - reference(t)).abs());
+        }
+    }
+    worst
+}
+
+/// Check that two mappings agree (by `Value` equality) on dense samples
+/// of their common definition time. Returns the first disagreeing
+/// instant, or `None` if they agree everywhere sampled.
+pub fn first_disagreement<U, V>(a: &Mapping<U>, b: &Mapping<V>, per_unit: usize) -> Option<Instant>
+where
+    U: Unit,
+    V: Unit<Value = U::Value>,
+    U::Value: PartialEq,
+{
+    for t in sample_deftime(a, per_unit) {
+        match (a.at_instant(t), b.at_instant(t)) {
+            (Val::Def(x), Val::Def(y)) if x == y => {}
+            (Val::Undef, Val::Undef) => {}
+            _ => return Some(t),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ureal::UReal;
+    use mob_base::{r, t, Interval};
+
+    #[test]
+    fn max_abs_error_detects_exact_representation() {
+        let m = Mapping::single(UReal::linear(
+            Interval::closed(t(0.0), t(2.0)),
+            r(2.0),
+            r(1.0),
+        ));
+        let err = max_abs_error(&m, |ti| r(2.0) * ti.value() + r(1.0), 7);
+        assert_eq!(err, r(0.0));
+        let err2 = max_abs_error(&m, |ti| r(2.0) * ti.value(), 7);
+        assert!(err2 >= r(1.0));
+    }
+
+    #[test]
+    fn first_disagreement_finds_differences() {
+        let a = Mapping::single(UReal::constant(Interval::closed(t(0.0), t(1.0)), r(1.0)));
+        let b = Mapping::single(UReal::constant(Interval::closed(t(0.0), t(1.0)), r(1.0)));
+        assert!(first_disagreement(&a, &b, 5).is_none());
+        let c = Mapping::single(UReal::constant(Interval::closed(t(0.0), t(1.0)), r(2.0)));
+        assert!(first_disagreement(&a, &c, 5).is_some());
+        // Different deftime: disagreement at an instant where one is ⊥.
+        let d = Mapping::single(UReal::constant(Interval::closed(t(0.5), t(0.6)), r(1.0)));
+        assert!(first_disagreement(&a, &d, 5).is_some());
+    }
+}

@@ -1,0 +1,103 @@
+//! The `const(α)` unit constructor (Sec 3.2.5):
+//! `D_const(α) = Interval(Instant) × D'_α` — the trivial unit whose
+//! function is constant, `ι(v, t) = v`.
+//!
+//! This is the representation of `moving(int)`, `moving(string)` and
+//! `moving(bool)` (Table 3), and the result type of lifted predicates
+//! such as `inside` (Sec 5.2).
+
+use crate::unit::Unit;
+use mob_base::{Instant, TimeInterval};
+use std::fmt;
+
+/// A constant unit: the value `v` throughout the interval.
+///
+/// `T` must not be an "undefined" marker — the paper excludes ⊥ and the
+/// empty set from unit values (`D'_α`); absence of a value is represented
+/// by absence of a unit in the `mapping`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct ConstUnit<T> {
+    interval: TimeInterval,
+    value: T,
+}
+
+impl<T: Clone + PartialEq> ConstUnit<T> {
+    /// Construct a constant unit.
+    pub fn new(interval: TimeInterval, value: T) -> ConstUnit<T> {
+        ConstUnit { interval, value }
+    }
+
+    /// The constant value.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T: Clone + PartialEq> Unit for ConstUnit<T> {
+    type Value = T;
+
+    fn interval(&self) -> &TimeInterval {
+        &self.interval
+    }
+
+    fn with_interval(&self, iv: TimeInterval) -> Self {
+        ConstUnit {
+            interval: iv,
+            value: self.value.clone(),
+        }
+    }
+
+    fn at(&self, _t: Instant) -> T {
+        self.value.clone()
+    }
+
+    fn value_eq(&self, other: &Self) -> bool {
+        self.value == other.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for ConstUnit<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}↦{:?}", self.interval, self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mob_base::{t, Interval};
+
+    fn iv(s: f64, e: f64) -> TimeInterval {
+        Interval::closed(t(s), t(e))
+    }
+
+    #[test]
+    fn evaluation_is_constant() {
+        let u = ConstUnit::new(iv(0.0, 2.0), 7i64);
+        assert_eq!(u.at(t(0.0)), 7);
+        assert_eq!(u.at(t(1.5)), 7);
+        assert_eq!(*u.value(), 7);
+    }
+
+    #[test]
+    fn merge_adjacent_equal() {
+        let a = ConstUnit::new(Interval::new(t(0.0), t(1.0), true, true), true);
+        let b = ConstUnit::new(Interval::new(t(1.0), t(2.0), false, true), true);
+        let m = a.try_merge(&b).unwrap();
+        assert_eq!(*m.interval(), iv(0.0, 2.0));
+        // Distinct values do not merge.
+        let c = ConstUnit::new(Interval::new(t(1.0), t(2.0), false, true), false);
+        assert!(a.try_merge(&c).is_none());
+        // Non-adjacent equal values do not merge.
+        let d = ConstUnit::new(iv(5.0, 6.0), true);
+        assert!(a.try_merge(&d).is_none());
+    }
+
+    #[test]
+    fn restrict_clips() {
+        let u = ConstUnit::new(iv(0.0, 4.0), 1i64);
+        let clipped = u.restrict(&iv(2.0, 6.0)).unwrap();
+        assert_eq!(*clipped.interval(), iv(2.0, 4.0));
+        assert!(u.restrict(&iv(9.0, 10.0)).is_none());
+    }
+}

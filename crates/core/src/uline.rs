@@ -1,0 +1,311 @@
+//! The `uline` unit type (Sec 3.2.6, Figs 4–5): a set of non-rotating
+//! moving segments that forms a valid `line` value throughout the open
+//! unit interval, with the `ι_s`/`ι_e` endpoint cleanup (degenerate
+//! segments removed, overlapping segments merged via `merge-segs`).
+
+use crate::mseg::{mseg_key, MSeg};
+use crate::unit::Unit;
+use mob_base::error::{InvariantViolation, Result};
+use mob_base::{Instant, TimeInterval};
+use mob_spatial::{Cube, Line, Rect, Seg};
+use std::fmt;
+
+/// A moving `line` unit.
+#[derive(Clone, PartialEq)]
+pub struct ULine {
+    interval: TimeInterval,
+    msegs: Vec<MSeg>,
+}
+
+impl ULine {
+    /// Validating constructor: each moving segment is individually valid
+    /// (enforced by [`MSeg`]); the collection must evaluate to a valid
+    /// `line` at sampled interior instants (condition i) or at the single
+    /// instant (condition ii).
+    pub fn try_new(interval: TimeInterval, mut msegs: Vec<MSeg>) -> Result<ULine> {
+        if msegs.is_empty() {
+            return Err(InvariantViolation::new("uline: |M| >= 1"));
+        }
+        msegs.sort_by_key(mseg_key);
+        // Exact check: no segment may degenerate inside the open interval
+        // (the meet time of its end-point motions is closed form).
+        for ms in &msegs {
+            if let crate::upoint::Coincidence::At(tc) =
+                ms.start_motion().meet_time(ms.end_motion())
+            {
+                if interval.contains_open(&tc) {
+                    return Err(InvariantViolation::with_detail(
+                        "uline: segment degenerates inside the open interval",
+                        format!("at {tc:?}"),
+                    ));
+                }
+            }
+        }
+        let u = ULine { interval, msegs };
+        // Exact validation: validity is piecewise-constant between the
+        // pairwise critical times, so checking the critical instants and
+        // one sample per gap decides condition (i) exactly (DESIGN.md).
+        let samples: Vec<Instant> = if interval.is_point() {
+            vec![*interval.start()]
+        } else {
+            crate::mseg::validation_instants(&u.msegs, &interval)
+        };
+        for t in samples {
+            let strict = interval.is_point() || interval.contains_open(&t);
+            if !strict {
+                continue;
+            }
+            u.check_valid_at(t)?;
+        }
+        Ok(u)
+    }
+
+    fn check_valid_at(&self, t: Instant) -> Result<()> {
+        let mut segs: Vec<Seg> = Vec::with_capacity(self.msegs.len());
+        for ms in &self.msegs {
+            match ms.eval_seg(t) {
+                Some(s) => segs.push(s),
+                None => {
+                    return Err(InvariantViolation::with_detail(
+                        "uline: segment degenerates inside the open interval",
+                        format!("at {t:?}"),
+                    ))
+                }
+            }
+        }
+        Line::try_new(segs).map(|_| ()).map_err(|e| {
+            InvariantViolation::with_detail(
+                "uline: evaluation inside the open interval must be a valid line",
+                format!("at {t:?}: {e}"),
+            )
+        })
+    }
+
+    /// The moving segments (canonically sorted).
+    pub fn msegs(&self) -> &[MSeg] {
+        &self.msegs
+    }
+
+    /// Number of moving segments.
+    pub fn len(&self) -> usize {
+        self.msegs.len()
+    }
+
+    /// Never true: the constructor requires at least one moving segment.
+    pub fn is_empty(&self) -> bool {
+        self.msegs.is_empty()
+    }
+
+    /// 3D bounding cube over the unit interval.
+    pub fn bounding_cube(&self) -> Cube {
+        let s = *self.interval.start();
+        let e = *self.interval.end();
+        let rect = Rect::of_points(self.msegs.iter().flat_map(|m| {
+            let (p0, q0) = m.eval_pair(s);
+            let (p1, q1) = m.eval_pair(e);
+            [p0, q0, p1, q1]
+        }));
+        Cube::new(rect, &self.interval)
+    }
+}
+
+impl Unit for ULine {
+    type Value = Line;
+
+    fn interval(&self) -> &TimeInterval {
+        &self.interval
+    }
+
+    fn with_interval(&self, iv: TimeInterval) -> Self {
+        ULine {
+            interval: iv,
+            msegs: self.msegs.clone(),
+        }
+    }
+
+    /// Evaluation with endpoint cleanup: pairs that degenerate to points
+    /// are dropped and collinear overlapping segments are merged into
+    /// maximal ones (`merge-segs`) — exactly `ι_s`/`ι_e`; at interior
+    /// instants the cleanup is a no-op by the validity invariant.
+    fn at(&self, t: Instant) -> Line {
+        let segs: Vec<Seg> = self
+            .msegs
+            .iter()
+            .filter_map(|m| m.eval_seg(t))
+            .collect();
+        Line::normalize(segs)
+    }
+
+    fn value_eq(&self, other: &Self) -> bool {
+        self.msegs == other.msegs
+    }
+}
+
+impl fmt::Debug for ULine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}↦{} moving segments", self.interval, self.msegs.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mob_base::{r, t, Interval};
+    use mob_spatial::pt;
+
+    fn iv(s: f64, e: f64) -> TimeInterval {
+        Interval::closed(t(s), t(e))
+    }
+
+    /// Figure 4: a two-segment polyline translating upward.
+    fn figure4_unit() -> ULine {
+        let m1 = MSeg::between(
+            t(0.0),
+            pt(0.0, 0.0),
+            pt(1.0, 1.0),
+            t(2.0),
+            pt(0.0, 2.0),
+            pt(1.0, 3.0),
+        )
+        .unwrap();
+        let m2 = MSeg::between(
+            t(0.0),
+            pt(1.0, 1.0),
+            pt(2.0, 0.0),
+            t(2.0),
+            pt(1.0, 3.0),
+            pt(2.0, 2.0),
+        )
+        .unwrap();
+        ULine::try_new(iv(0.0, 2.0), vec![m1, m2]).unwrap()
+    }
+
+    #[test]
+    fn figure4_translating_polyline() {
+        let u = figure4_unit();
+        let at0 = u.at(t(0.0));
+        assert_eq!(at0.num_segments(), 2);
+        assert_eq!(at0.length(), r(2.0f64.sqrt()) + r(2.0f64.sqrt()));
+        let at1 = u.at(t(1.0));
+        assert!(at1.contains_point(pt(1.0, 2.0))); // apex moved up by 1
+    }
+
+    #[test]
+    fn figure5_triangle_degeneracy_cleaned_at_endpoint() {
+        // A segment growing from a point (triangle in 3D): at t=0 it is
+        // degenerate and must disappear from the evaluation.
+        let grow = MSeg::between(
+            t(0.0),
+            pt(0.0, 0.0),
+            pt(0.0, 0.0),
+            t(1.0),
+            pt(0.0, 0.0),
+            pt(1.0, 0.0),
+        )
+        .unwrap();
+        let other = MSeg::between(
+            t(0.0),
+            pt(0.0, 1.0),
+            pt(1.0, 1.0),
+            t(1.0),
+            pt(0.0, 1.0),
+            pt(1.0, 1.0),
+        )
+        .unwrap();
+        let u = ULine::try_new(iv(0.0, 1.0), vec![grow, other]).unwrap();
+        assert_eq!(u.at(t(0.0)).num_segments(), 1); // degenerate seg dropped
+        assert_eq!(u.at(t(0.5)).num_segments(), 2);
+    }
+
+    #[test]
+    fn endpoint_overlap_merged() {
+        // Two collinear moving segments whose gap closes exactly at t=1
+        // (the closed end): they meet at (2,0) there and ι_e merges them.
+        let a = MSeg::between(
+            t(0.0),
+            pt(0.0, 0.0),
+            pt(1.0, 0.0),
+            t(1.0),
+            pt(0.0, 0.0),
+            pt(2.0, 0.0),
+        )
+        .unwrap();
+        let b = MSeg::between(
+            t(0.0),
+            pt(2.5, 0.0),
+            pt(3.0, 0.0),
+            t(1.0),
+            pt(2.0, 0.0),
+            pt(3.0, 0.0),
+        )
+        .unwrap();
+        let u = ULine::try_new(iv(0.0, 1.0), vec![a, b]).unwrap();
+        assert_eq!(u.at(t(0.5)).num_segments(), 2);
+        let end = u.at(t(1.0));
+        assert_eq!(end.num_segments(), 1); // merged into [0,3]
+        assert_eq!(end.length(), r(3.0));
+    }
+
+    #[test]
+    fn interior_degeneracy_rejected() {
+        // Segment collapsing at t=1 in the middle of [0,2]: invalid.
+        let collapse = MSeg::between(
+            t(0.0),
+            pt(0.0, 0.0),
+            pt(2.0, 0.0),
+            t(1.0),
+            pt(1.0, 0.0),
+            pt(1.0, 0.0),
+        );
+        // s moves right, e moves left along the same line: coplanar.
+        let collapse = collapse.unwrap();
+        assert!(ULine::try_new(iv(0.0, 2.0), vec![collapse]).is_err());
+    }
+
+    #[test]
+    fn interior_overlap_rejected() {
+        // Two identical stationary segments overlap everywhere.
+        let a = MSeg::between(
+            t(0.0),
+            pt(0.0, 0.0),
+            pt(1.0, 0.0),
+            t(1.0),
+            pt(0.0, 0.0),
+            pt(1.0, 0.0),
+        )
+        .unwrap();
+        assert!(ULine::try_new(iv(0.0, 1.0), vec![a, a]).is_err());
+    }
+
+    #[test]
+    fn instant_unit() {
+        let a = MSeg::between(
+            t(0.0),
+            pt(0.0, 0.0),
+            pt(1.0, 0.0),
+            t(1.0),
+            pt(0.0, 0.0),
+            pt(1.0, 0.0),
+        )
+        .unwrap();
+        let u = ULine::try_new(TimeInterval::point(t(0.5)), vec![a]).unwrap();
+        assert_eq!(u.at(t(0.5)).num_segments(), 1);
+    }
+
+    #[test]
+    fn merge_equal_units() {
+        let u = figure4_unit();
+        let left = u.with_interval(Interval::new(t(0.0), t(1.0), true, true));
+        let right = u.with_interval(Interval::new(t(1.0), t(2.0), false, true));
+        let merged = left.try_merge(&right).unwrap();
+        assert_eq!(*merged.interval(), iv(0.0, 2.0));
+    }
+
+    #[test]
+    fn bounding_cube() {
+        let u = figure4_unit();
+        let c = u.bounding_cube();
+        assert_eq!(c.rect.max_y(), r(3.0));
+        assert_eq!(c.rect.min_y(), r(0.0));
+    }
+}

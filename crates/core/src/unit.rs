@@ -1,0 +1,62 @@
+//! The generic concept of a *temporal unit* (Sec 3.2.4):
+//! `Unit(S) = Interval(Instant) × S` — a time interval plus a
+//! representation of a "simple" function valid on that interval.
+//!
+//! The [`Unit`] trait captures what the `mapping` constructor and the
+//! generic algorithms (Sec 5) need from every unit type: its interval,
+//! evaluation of the unit function `ι` at an instant (including the
+//! `ι_s`/`ι_e` endpoint cleanup where applicable), restriction to a
+//! sub-interval, and comparison of unit *functions* (used by the
+//! "adjacent intervals ⇒ distinct values" invariant and by `concat`).
+
+use mob_base::{Instant, TimeInterval};
+
+/// A temporal unit: a time interval and a simple function on it.
+pub trait Unit: Clone {
+    /// The non-temporal value type produced by evaluation — e.g. `Real`
+    /// for `ureal`, `Region` for `uregion`.
+    type Value;
+
+    /// The unit interval.
+    fn interval(&self) -> &TimeInterval;
+
+    /// The same unit function on a different interval.
+    ///
+    /// Callers must guarantee that the function is valid on `iv`; the
+    /// `mapping` machinery only ever shrinks intervals or merges adjacent
+    /// intervals carrying equal functions, both of which preserve
+    /// validity.
+    fn with_interval(&self, iv: TimeInterval) -> Self;
+
+    /// Evaluate the unit function at `t` (`ι(v, t)`), with the
+    /// `ι_s`/`ι_e` endpoint cleanup for unit types that can degenerate at
+    /// interval end points (Sec 3.2.6).
+    ///
+    /// Contract: `interval().start() ≤ t ≤ interval().end()`. Evaluation
+    /// at an *excluded* end point of a half-open interval is permitted and
+    /// yields the limit value — `initial`/`final` rely on this.
+    fn at(&self, t: Instant) -> Self::Value;
+
+    /// `true` if the two units carry the same unit *function*
+    /// (representation equality of the second component).
+    fn value_eq(&self, other: &Self) -> bool;
+
+    /// Merge with an adjacent unit carrying the same function
+    /// (the `concat` step of Sec 5.2); `None` if not mergeable.
+    fn try_merge(&self, other: &Self) -> Option<Self> {
+        if self.value_eq(other) {
+            if let Some(iv) = self.interval().union_merged(other.interval()) {
+                return Some(self.with_interval(iv));
+            }
+        }
+        None
+    }
+
+    /// Restrict the unit to `iv` (which must intersect the unit interval);
+    /// returns `None` if the intersection is empty.
+    fn restrict(&self, iv: &TimeInterval) -> Option<Self> {
+        self.interval()
+            .intersection(iv)
+            .map(|clipped| self.with_interval(clipped))
+    }
+}

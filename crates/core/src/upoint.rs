@@ -1,0 +1,385 @@
+//! The `upoint` unit type (Sec 3.2.6): a linearly moving point.
+//!
+//! `MPoint = {(x0, x1, y0, y1)}` describes the unbounded linear motion
+//! `ι((x0,x1,y0,y1), t) = (x0 + x1·t, y0 + y1·t)`;
+//! `D_upoint = Interval(Instant) × MPoint`.
+
+use crate::unit::Unit;
+use crate::ureal::UReal;
+use mob_base::{Instant, Real, TimeInterval};
+use mob_spatial::{Cube, Point, Rect, Seg};
+use std::fmt;
+
+/// An unbounded linear motion of a point — the paper's `MPoint`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PointMotion {
+    /// x intercept at `t = 0`.
+    pub x0: Real,
+    /// x velocity.
+    pub x1: Real,
+    /// y intercept at `t = 0`.
+    pub y0: Real,
+    /// y velocity.
+    pub y1: Real,
+}
+
+impl PointMotion {
+    /// Construct from the coefficient quadruple.
+    pub fn new(x0: Real, x1: Real, y0: Real, y1: Real) -> PointMotion {
+        PointMotion { x0, x1, y0, y1 }
+    }
+
+    /// The motionless point `p`.
+    pub fn stationary(p: Point) -> PointMotion {
+        PointMotion {
+            x0: p.x,
+            x1: Real::ZERO,
+            y0: p.y,
+            y1: Real::ZERO,
+        }
+    }
+
+    /// The unique linear motion passing through `p` at `t0` and `q` at
+    /// `t1` (`t0 ≠ t1`).
+    pub fn through(t0: Instant, p: Point, t1: Instant, q: Point) -> PointMotion {
+        let dt = t1 - t0;
+        assert!(dt != Real::ZERO, "motion requires two distinct instants");
+        let x1 = (q.x - p.x) / dt;
+        let y1 = (q.y - p.y) / dt;
+        PointMotion {
+            x0: p.x - x1 * t0.value(),
+            x1,
+            y0: p.y - y1 * t0.value(),
+            y1,
+        }
+    }
+
+    /// `ι`: the position at time `t`.
+    #[inline]
+    pub fn at(&self, t: Instant) -> Point {
+        let x = t.value();
+        Point::new(self.x0 + self.x1 * x, self.y0 + self.y1 * x)
+    }
+
+    /// Speed (constant for linear motion).
+    pub fn speed(&self) -> Real {
+        (self.x1 * self.x1 + self.y1 * self.y1).sqrt_clamped()
+    }
+
+    /// `true` if the point does not move.
+    pub fn is_stationary(&self) -> bool {
+        self.x1 == Real::ZERO && self.y1 == Real::ZERO
+    }
+
+    /// Heading in radians, or `None` when stationary.
+    pub fn direction(&self) -> Option<Real> {
+        if self.is_stationary() {
+            None
+        } else {
+            Some(Real::new(self.y1.get().atan2(self.x1.get())))
+        }
+    }
+
+    /// Squared distance to another motion as a quadratic in `t`
+    /// (coefficients `(a, b, c)` of `a·t² + b·t + c`).
+    pub fn distance_sq_coeffs(&self, other: &PointMotion) -> (Real, Real, Real) {
+        let d0x = self.x0 - other.x0;
+        let d1x = self.x1 - other.x1;
+        let d0y = self.y0 - other.y0;
+        let d1y = self.y1 - other.y1;
+        (
+            d1x * d1x + d1y * d1y,
+            Real::new(2.0) * (d0x * d1x + d0y * d1y),
+            d0x * d0x + d0y * d0y,
+        )
+    }
+
+    /// The instants at which the two motions coincide: `None` = never,
+    /// `Some(Ok(t))` = exactly at `t`, `Some(Err(()))` = always.
+    pub fn meet_time(&self, other: &PointMotion) -> Coincidence {
+        let dx0 = self.x0 - other.x0;
+        let dx1 = self.x1 - other.x1;
+        let dy0 = self.y0 - other.y0;
+        let dy1 = self.y1 - other.y1;
+        let tx = solve_linear(dx1, dx0);
+        let ty = solve_linear(dy1, dy0);
+        match (tx, ty) {
+            (LinSol::Always, LinSol::Always) => Coincidence::Always,
+            (LinSol::Never, _) | (_, LinSol::Never) => Coincidence::Never,
+            (LinSol::At(t), LinSol::Always) | (LinSol::Always, LinSol::At(t)) => {
+                Coincidence::At(t)
+            }
+            (LinSol::At(t1), LinSol::At(t2)) => {
+                if (t1 - t2).abs().get() <= 1e-12 {
+                    Coincidence::At(t1)
+                } else {
+                    Coincidence::Never
+                }
+            }
+        }
+    }
+}
+
+/// Solution of `k·t + m = 0`.
+enum LinSol {
+    Never,
+    At(Instant),
+    Always,
+}
+
+fn solve_linear(k: Real, m: Real) -> LinSol {
+    if k == Real::ZERO {
+        if m == Real::ZERO {
+            LinSol::Always
+        } else {
+            LinSol::Never
+        }
+    } else {
+        LinSol::At(Instant::new(-m / k))
+    }
+}
+
+/// When two linear motions coincide.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Coincidence {
+    /// The motions never meet.
+    Never,
+    /// They meet exactly once.
+    At(Instant),
+    /// They are the same motion.
+    Always,
+}
+
+/// A `upoint` unit: a linear motion restricted to a time interval.
+#[derive(Clone, Copy, PartialEq)]
+pub struct UPoint {
+    interval: TimeInterval,
+    motion: PointMotion,
+}
+
+impl UPoint {
+    /// Construct from interval and motion.
+    pub fn new(interval: TimeInterval, motion: PointMotion) -> UPoint {
+        UPoint { interval, motion }
+    }
+
+    /// The unit moving from `p` (at the interval start) to `q` (at the
+    /// interval end) — the common constructor for trajectory data.
+    pub fn between(interval: TimeInterval, p: Point, q: Point) -> UPoint {
+        if interval.is_point() || p == q {
+            return UPoint::new(interval, PointMotion::stationary(p));
+        }
+        UPoint::new(
+            interval,
+            PointMotion::through(*interval.start(), p, *interval.end(), q),
+        )
+    }
+
+    /// The underlying motion.
+    pub fn motion(&self) -> &PointMotion {
+        &self.motion
+    }
+
+    /// Position at the interval start.
+    pub fn start_point(&self) -> Point {
+        self.motion.at(*self.interval.start())
+    }
+
+    /// Position at the interval end.
+    pub fn end_point(&self) -> Point {
+        self.motion.at(*self.interval.end())
+    }
+
+    /// The projection of the unit into the plane: a segment, or the
+    /// stationary point (`trajectory` building block, Sec 2).
+    pub fn projection(&self) -> Result<Seg, Point> {
+        match Seg::try_from_unordered(self.start_point(), self.end_point()) {
+            Some(s) => Ok(s),
+            None => Err(self.start_point()),
+        }
+    }
+
+    /// Time-dependent distance to another unit as a `ureal` on the given
+    /// interval (callers pass the refinement-partition interval).
+    pub fn distance_ureal(&self, other: &UPoint, interval: TimeInterval) -> UReal {
+        let (a, b, c) = self.motion.distance_sq_coeffs(&other.motion);
+        UReal::try_new(interval, a, b, c, true)
+            .expect("squared distance polynomial is non-negative")
+    }
+
+    /// Time-dependent distance to a fixed point as a `ureal`.
+    pub fn distance_to_point_ureal(&self, p: Point) -> UReal {
+        let fixed = PointMotion::stationary(p);
+        let (a, b, c) = self.motion.distance_sq_coeffs(&fixed);
+        UReal::try_new(self.interval, a, b, c, true)
+            .expect("squared distance polynomial is non-negative")
+    }
+
+    /// Speed as a (constant) `ureal` on the unit interval.
+    pub fn speed_ureal(&self) -> UReal {
+        UReal::constant(self.interval, self.motion.speed())
+    }
+
+    /// The instants within the unit interval at which the point passes
+    /// through `p` (at most one for a moving unit; the whole interval for
+    /// a stationary unit at `p` is reported via `Coincidence::Always`).
+    pub fn passes_at(&self, p: Point) -> Coincidence {
+        match self.motion.meet_time(&PointMotion::stationary(p)) {
+            Coincidence::Never => Coincidence::Never,
+            Coincidence::Always => Coincidence::Always,
+            Coincidence::At(t) => {
+                if self.interval.contains(&t) {
+                    Coincidence::At(t)
+                } else {
+                    Coincidence::Never
+                }
+            }
+        }
+    }
+
+    /// 3D bounding cube of the unit (Sec 4.2 summary information).
+    pub fn bounding_cube(&self) -> Cube {
+        Cube::new(
+            Rect::of_points([self.start_point(), self.end_point()]),
+            &self.interval,
+        )
+    }
+}
+
+impl Unit for UPoint {
+    type Value = Point;
+
+    fn interval(&self) -> &TimeInterval {
+        &self.interval
+    }
+
+    fn with_interval(&self, iv: TimeInterval) -> Self {
+        UPoint {
+            interval: iv,
+            motion: self.motion,
+        }
+    }
+
+    fn at(&self, t: Instant) -> Point {
+        self.motion.at(t)
+    }
+
+    fn value_eq(&self, other: &Self) -> bool {
+        self.motion == other.motion
+    }
+}
+
+impl fmt::Debug for UPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?}↦{:?}→{:?}",
+            self.interval,
+            self.start_point(),
+            self.end_point()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mob_base::{r, t, Interval};
+    use mob_spatial::pt;
+
+    fn iv(s: f64, e: f64) -> TimeInterval {
+        Interval::closed(t(s), t(e))
+    }
+
+    #[test]
+    fn motion_through_two_points() {
+        let m = PointMotion::through(t(1.0), pt(0.0, 0.0), t(3.0), pt(4.0, 2.0));
+        assert_eq!(m.at(t(1.0)), pt(0.0, 0.0));
+        assert_eq!(m.at(t(2.0)), pt(2.0, 1.0));
+        assert_eq!(m.at(t(3.0)), pt(4.0, 2.0));
+        assert_eq!(m.speed(), (r(4.0 + 1.0)).sqrt().unwrap());
+    }
+
+    #[test]
+    fn unit_between() {
+        let u = UPoint::between(iv(0.0, 2.0), pt(0.0, 0.0), pt(2.0, 2.0));
+        assert_eq!(u.at(t(1.0)), pt(1.0, 1.0));
+        assert_eq!(u.start_point(), pt(0.0, 0.0));
+        assert_eq!(u.end_point(), pt(2.0, 2.0));
+        assert_eq!(u.projection().unwrap(), Seg::new(pt(0.0, 0.0), pt(2.0, 2.0)));
+        // Stationary unit projects to a point.
+        let s = UPoint::between(iv(0.0, 1.0), pt(5.0, 5.0), pt(5.0, 5.0));
+        assert_eq!(s.projection(), Err(pt(5.0, 5.0)));
+    }
+
+    #[test]
+    fn distance_between_units_is_rooted_quadratic() {
+        // Two points approaching: a at (t,0), b at (2-t, 0): distance |2-2t|.
+        let a = UPoint::between(iv(0.0, 2.0), pt(0.0, 0.0), pt(2.0, 0.0));
+        let b = UPoint::between(iv(0.0, 2.0), pt(2.0, 0.0), pt(0.0, 0.0));
+        let d = a.distance_ureal(&b, iv(0.0, 2.0));
+        assert!(d.is_root());
+        assert_eq!(d.value_at(t(0.0)), r(2.0));
+        assert_eq!(d.value_at(t(1.0)), r(0.0));
+        assert_eq!(d.value_at(t(2.0)), r(2.0));
+        let (lo, hi) = d.extrema();
+        assert_eq!((lo, hi), (r(0.0), r(2.0)));
+    }
+
+    #[test]
+    fn distance_to_fixed_point() {
+        let u = UPoint::between(iv(0.0, 2.0), pt(-1.0, 1.0), pt(1.0, 1.0));
+        let d = u.distance_to_point_ureal(pt(0.0, 0.0));
+        assert_eq!(d.value_at(t(1.0)), r(1.0)); // directly above origin
+        assert_eq!(d.value_at(t(0.0)), r(2.0f64.sqrt()));
+    }
+
+    #[test]
+    fn meet_times() {
+        let a = PointMotion::through(t(0.0), pt(0.0, 0.0), t(1.0), pt(1.0, 1.0));
+        let b = PointMotion::through(t(0.0), pt(2.0, 0.0), t(1.0), pt(1.0, 1.0));
+        assert_eq!(a.meet_time(&b), Coincidence::At(t(1.0)));
+        // Parallel, never meet.
+        let c = PointMotion::through(t(0.0), pt(0.0, 1.0), t(1.0), pt(1.0, 2.0));
+        assert_eq!(a.meet_time(&c), Coincidence::Never);
+        // Identical motions.
+        assert_eq!(a.meet_time(&a), Coincidence::Always);
+        // Cross at different times on each axis: never coincide.
+        let d = PointMotion::through(t(0.0), pt(1.0, 0.0), t(1.0), pt(0.0, 2.0));
+        assert_eq!(a.meet_time(&d), Coincidence::Never);
+    }
+
+    #[test]
+    fn passes() {
+        let u = UPoint::between(iv(0.0, 2.0), pt(0.0, 0.0), pt(2.0, 2.0));
+        assert_eq!(u.passes_at(pt(1.0, 1.0)), Coincidence::At(t(1.0)));
+        assert_eq!(u.passes_at(pt(3.0, 3.0)), Coincidence::Never); // outside interval
+        assert_eq!(u.passes_at(pt(1.0, 0.0)), Coincidence::Never); // off path
+        let s = UPoint::between(iv(0.0, 1.0), pt(5.0, 5.0), pt(5.0, 5.0));
+        assert_eq!(s.passes_at(pt(5.0, 5.0)), Coincidence::Always);
+    }
+
+    #[test]
+    fn bounding_cube() {
+        let u = UPoint::between(iv(1.0, 3.0), pt(0.0, 0.0), pt(2.0, -2.0));
+        let c = u.bounding_cube();
+        assert_eq!(c.t_min, t(1.0));
+        assert_eq!(c.t_max, t(3.0));
+        assert_eq!(c.rect.min_y(), r(-2.0));
+        assert_eq!(c.rect.max_x(), r(2.0));
+    }
+
+    #[test]
+    fn merge_continuing_motion() {
+        // Same motion split at t=1 merges back (mapping minimality).
+        let m = PointMotion::through(t(0.0), pt(0.0, 0.0), t(2.0), pt(2.0, 0.0));
+        let a = UPoint::new(Interval::new(t(0.0), t(1.0), true, true), m);
+        let b = UPoint::new(Interval::new(t(1.0), t(2.0), false, true), m);
+        let merged = a.try_merge(&b).unwrap();
+        assert_eq!(*merged.interval(), iv(0.0, 2.0));
+        // A kink (different velocity) does not merge.
+        let m2 = PointMotion::through(t(1.0), pt(1.0, 0.0), t(2.0), pt(1.0, 1.0));
+        let c = UPoint::new(Interval::new(t(1.0), t(2.0), false, true), m2);
+        assert!(a.try_merge(&c).is_none());
+    }
+}

@@ -1,0 +1,197 @@
+//! The `upoints` unit type (Sec 3.2.6): a set of linearly moving points
+//! that never coincide inside the open unit interval.
+
+use crate::mseg::motion_key;
+use crate::unit::Unit;
+use crate::upoint::{Coincidence, PointMotion};
+use mob_base::error::{InvariantViolation, Result};
+use mob_base::{Instant, TimeInterval};
+use mob_spatial::{Cube, Points, Rect};
+use std::fmt;
+
+/// A moving `points` unit.
+///
+/// Condition (i): inside the open interval all motions evaluate to
+/// distinct points; condition (ii): for instant units they are distinct
+/// at that instant. Both are decided *exactly* from the closed-form meet
+/// times of pairs of linear motions.
+#[derive(Clone, PartialEq)]
+pub struct UPoints {
+    interval: TimeInterval,
+    motions: Vec<PointMotion>,
+}
+
+impl UPoints {
+    /// Validating constructor.
+    pub fn try_new(interval: TimeInterval, mut motions: Vec<PointMotion>) -> Result<UPoints> {
+        if motions.is_empty() {
+            return Err(InvariantViolation::new("upoints: |M| >= 1"));
+        }
+        motions.sort_by_key(motion_key);
+        for (i, a) in motions.iter().enumerate() {
+            for b in motions.iter().skip(i + 1) {
+                match a.meet_time(b) {
+                    Coincidence::Never => {}
+                    Coincidence::Always => {
+                        return Err(InvariantViolation::new(
+                            "upoints: motions must be pairwise distinct",
+                        ))
+                    }
+                    Coincidence::At(t) => {
+                        let collides = if interval.is_point() {
+                            t == *interval.start()
+                        } else {
+                            interval.contains_open(&t)
+                        };
+                        if collides {
+                            return Err(InvariantViolation::with_detail(
+                                "upoints: motions must not coincide inside the open interval",
+                                format!("collision at {t:?}"),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(UPoints { interval, motions })
+    }
+
+    /// The motions (sorted canonically).
+    pub fn motions(&self) -> &[PointMotion] {
+        &self.motions
+    }
+
+    /// Number of moving points.
+    pub fn len(&self) -> usize {
+        self.motions.len()
+    }
+
+    /// Always false (constructor requires ≥ 1 motion).
+    pub fn is_empty(&self) -> bool {
+        self.motions.is_empty()
+    }
+
+    /// 3D bounding cube over the unit interval.
+    pub fn bounding_cube(&self) -> Cube {
+        let s = *self.interval.start();
+        let e = *self.interval.end();
+        let rect = Rect::of_points(
+            self.motions
+                .iter()
+                .flat_map(|m| [m.at(s), m.at(e)]),
+        );
+        Cube::new(rect, &self.interval)
+    }
+}
+
+impl Unit for UPoints {
+    type Value = Points;
+
+    fn interval(&self) -> &TimeInterval {
+        &self.interval
+    }
+
+    fn with_interval(&self, iv: TimeInterval) -> Self {
+        UPoints {
+            interval: iv,
+            motions: self.motions.clone(),
+        }
+    }
+
+    /// Evaluation; at interval end points coinciding points collapse —
+    /// `Points` deduplicates, which is exactly the required cleanup.
+    fn at(&self, t: Instant) -> Points {
+        Points::from_points(self.motions.iter().map(|m| m.at(t)).collect())
+    }
+
+    fn value_eq(&self, other: &Self) -> bool {
+        self.motions == other.motions
+    }
+}
+
+impl fmt::Debug for UPoints {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}↦{} moving points", self.interval, self.motions.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mob_base::{t, Interval};
+    use mob_spatial::pt;
+
+    fn iv(s: f64, e: f64) -> TimeInterval {
+        Interval::closed(t(s), t(e))
+    }
+
+    #[test]
+    fn valid_parallel_motions() {
+        let u = UPoints::try_new(
+            iv(0.0, 2.0),
+            vec![
+                PointMotion::through(t(0.0), pt(0.0, 0.0), t(1.0), pt(1.0, 0.0)),
+                PointMotion::through(t(0.0), pt(0.0, 1.0), t(1.0), pt(1.0, 1.0)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(u.len(), 2);
+        let v = u.at(t(1.0));
+        assert_eq!(v.as_slice(), &[pt(1.0, 0.0), pt(1.0, 1.0)]);
+    }
+
+    #[test]
+    fn collision_inside_open_interval_rejected() {
+        // Two points meeting at t=1 inside (0,2).
+        let a = PointMotion::through(t(0.0), pt(0.0, 0.0), t(1.0), pt(1.0, 0.0));
+        let b = PointMotion::through(t(0.0), pt(2.0, 0.0), t(1.0), pt(1.0, 0.0));
+        assert!(UPoints::try_new(iv(0.0, 2.0), vec![a, b]).is_err());
+        // Meeting exactly at the interval end is allowed (degeneracy at
+        // end points is the sliced representation's job).
+        assert!(UPoints::try_new(iv(0.0, 1.0), vec![a, b]).is_ok());
+    }
+
+    #[test]
+    fn endpoint_collapse_deduplicates() {
+        let a = PointMotion::through(t(0.0), pt(0.0, 0.0), t(1.0), pt(1.0, 0.0));
+        let b = PointMotion::through(t(0.0), pt(2.0, 0.0), t(1.0), pt(1.0, 0.0));
+        let u = UPoints::try_new(iv(0.0, 1.0), vec![a, b]).unwrap();
+        assert_eq!(u.at(t(0.5)).len(), 2);
+        assert_eq!(u.at(t(1.0)).len(), 1); // collapsed at the end point
+    }
+
+    #[test]
+    fn instant_unit_distinctness() {
+        let a = PointMotion::stationary(pt(0.0, 0.0));
+        let b = PointMotion::stationary(pt(1.0, 0.0));
+        assert!(UPoints::try_new(TimeInterval::point(t(0.0)), vec![a, b]).is_ok());
+        // Same position at the instant: rejected (condition ii).
+        let c = PointMotion::through(t(0.0), pt(0.0, 0.0), t(1.0), pt(5.0, 5.0));
+        assert!(UPoints::try_new(TimeInterval::point(t(0.0)), vec![a, c]).is_err());
+    }
+
+    #[test]
+    fn identical_motions_rejected_and_empty_rejected() {
+        let a = PointMotion::stationary(pt(0.0, 0.0));
+        assert!(UPoints::try_new(iv(0.0, 1.0), vec![a, a]).is_err());
+        assert!(UPoints::try_new(iv(0.0, 1.0), vec![]).is_err());
+    }
+
+    #[test]
+    fn canonical_motion_order() {
+        let a = PointMotion::stationary(pt(5.0, 0.0));
+        let b = PointMotion::stationary(pt(0.0, 0.0));
+        let u1 = UPoints::try_new(iv(0.0, 1.0), vec![a, b]).unwrap();
+        let u2 = UPoints::try_new(iv(0.0, 1.0), vec![b, a]).unwrap();
+        assert!(u1.value_eq(&u2));
+    }
+
+    #[test]
+    fn bounding_cube_covers_travel() {
+        let a = PointMotion::through(t(0.0), pt(0.0, 0.0), t(2.0), pt(4.0, 4.0));
+        let u = UPoints::try_new(iv(0.0, 2.0), vec![a]).unwrap();
+        let c = u.bounding_cube();
+        assert!(c.rect.contains_point(pt(4.0, 4.0)));
+        assert!(c.rect.contains_point(pt(0.0, 0.0)));
+    }
+}

@@ -1,0 +1,497 @@
+//! The `ureal` unit type (Sec 3.2.5): the "simple" function of a moving
+//! real is a polynomial of degree ≤ 2 or the square root of one:
+//!
+//! `D_ureal = Interval(Instant) × {(a, b, c, r) | a,b,c ∈ real, r ∈ bool}`
+//! with `ι((a,b,c,r), t) = a·t² + b·t + c` (or its square root if `r`).
+//!
+//! The square-root form is exactly what time-dependent Euclidean
+//! distances between linearly moving points require; the paper notes the
+//! class is closed under lifted `size`, `perimeter` and `distance` but
+//! *not* under `derivative`, which is therefore deliberately absent.
+
+use crate::unit::Unit;
+use mob_base::error::{InvariantViolation, Result};
+use mob_base::{Instant, Real, TimeInterval};
+use std::fmt;
+
+/// Absolute tolerance used when validating non-negativity under a root
+/// and when comparing extremal values.
+const EPS: f64 = 1e-9;
+
+/// A moving-real unit: `a·t² + b·t + c`, optionally under a square root.
+///
+/// ```
+/// use mob_core::UReal;
+/// use mob_base::{r, t, Interval};
+///
+/// // (t-1)² on [0,2], under a root: |t-1|.
+/// let u = UReal::try_new(
+///     Interval::closed(t(0.0), t(2.0)), r(1.0), r(-2.0), r(1.0), true,
+/// ).unwrap();
+/// assert_eq!(u.value_at(t(0.0)), r(1.0));
+/// assert_eq!(u.value_at(t(1.0)), r(0.0));
+/// assert_eq!(u.extrema(), (r(0.0), r(1.0)));
+/// ```
+#[derive(Clone, Copy, PartialEq)]
+pub struct UReal {
+    interval: TimeInterval,
+    a: Real,
+    b: Real,
+    c: Real,
+    root: bool,
+}
+
+impl UReal {
+    /// Construct, validating that a rooted polynomial is non-negative on
+    /// the interval (otherwise evaluation would be undefined there).
+    pub fn try_new(interval: TimeInterval, a: Real, b: Real, c: Real, root: bool) -> Result<UReal> {
+        let u = UReal {
+            interval,
+            a,
+            b,
+            c,
+            root,
+        };
+        if root {
+            let (min, _) = u.poly_extrema();
+            if min.get() < -EPS {
+                return Err(InvariantViolation::with_detail(
+                    "ureal: rooted polynomial must be non-negative on the interval",
+                    format!("min {}", min),
+                ));
+            }
+        }
+        Ok(u)
+    }
+
+    /// Construct a plain (non-rooted) quadratic unit.
+    pub fn quadratic(interval: TimeInterval, a: Real, b: Real, c: Real) -> UReal {
+        UReal {
+            interval,
+            a,
+            b,
+            c,
+            root: false,
+        }
+    }
+
+    /// A constant unit.
+    pub fn constant(interval: TimeInterval, v: Real) -> UReal {
+        UReal::quadratic(interval, Real::ZERO, Real::ZERO, v)
+    }
+
+    /// A linear unit `slope·t + offset` (absolute time).
+    pub fn linear(interval: TimeInterval, slope: Real, offset: Real) -> UReal {
+        UReal::quadratic(interval, Real::ZERO, slope, offset)
+    }
+
+    /// Coefficient accessors: `(a, b, c, r)`.
+    pub fn coeffs(&self) -> (Real, Real, Real, bool) {
+        (self.a, self.b, self.c, self.root)
+    }
+
+    /// `true` if this unit is under a square root.
+    pub fn is_root(&self) -> bool {
+        self.root
+    }
+
+    /// The polynomial part evaluated at `t` (before any square root).
+    pub fn poly_at(&self, t: Instant) -> Real {
+        let x = t.value();
+        self.a * x * x + self.b * x + self.c
+    }
+
+    /// The unit function value `ι((a,b,c,r), t)`.
+    pub fn value_at(&self, t: Instant) -> Real {
+        let p = self.poly_at(t);
+        if self.root {
+            p.sqrt_clamped()
+        } else {
+            p
+        }
+    }
+
+    /// `true` for a constant function.
+    pub fn is_constant(&self) -> bool {
+        self.a == Real::ZERO && self.b == Real::ZERO
+    }
+
+    /// Minimum and maximum of the *polynomial* over the interval
+    /// (endpoints plus interior vertex).
+    fn poly_extrema(&self) -> (Real, Real) {
+        let s = *self.interval.start();
+        let e = *self.interval.end();
+        let mut lo = self.poly_at(s).min(self.poly_at(e));
+        let mut hi = self.poly_at(s).max(self.poly_at(e));
+        if self.a != Real::ZERO {
+            let vx = -self.b / (Real::new(2.0) * self.a);
+            let vt = Instant::new(vx);
+            if s < vt && vt < e {
+                let v = self.poly_at(vt);
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        (lo, hi)
+    }
+
+    /// Minimum and maximum of the unit function over the interval.
+    pub fn extrema(&self) -> (Real, Real) {
+        let (lo, hi) = self.poly_extrema();
+        if self.root {
+            (lo.sqrt_clamped(), hi.sqrt_clamped())
+        } else {
+            (lo, hi)
+        }
+    }
+
+    /// All instants in the (closed view of the) interval where the unit
+    /// function equals `v`. Returns `ValueTimes::Always` when the
+    /// function is constantly `v`.
+    pub fn times_at_value(&self, v: Real) -> ValueTimes {
+        // Solve poly(t) = target where target = v (plain) or v² (rooted).
+        if self.root && v < Real::ZERO {
+            return ValueTimes::Never;
+        }
+        let target = if self.root { v * v } else { v };
+        let (a, b, c) = (self.a.get(), self.b.get(), (self.c - target).get());
+        let in_iv = |x: f64| -> Option<Instant> {
+            let t = Instant::from_f64(x);
+            (*self.interval.start() <= t && t <= *self.interval.end()).then_some(t)
+        };
+        if a == 0.0 {
+            if b == 0.0 {
+                return if c.abs() <= EPS {
+                    ValueTimes::Always
+                } else {
+                    ValueTimes::Never
+                };
+            }
+            return match in_iv(-c / b) {
+                Some(t) => ValueTimes::At(vec![t]),
+                None => ValueTimes::Never,
+            };
+        }
+        let disc = b * b - 4.0 * a * c;
+        if disc < 0.0 {
+            return ValueTimes::Never;
+        }
+        if disc == 0.0 {
+            return match in_iv(-b / (2.0 * a)) {
+                Some(t) => ValueTimes::At(vec![t]),
+                None => ValueTimes::Never,
+            };
+        }
+        // Numerically stable quadratic roots.
+        let sq = disc.sqrt();
+        let q = -0.5 * (b + b.signum() * sq);
+        let (mut r1, mut r2) = (q / a, if q != 0.0 { c / q } else { -b / a });
+        if r1 > r2 {
+            std::mem::swap(&mut r1, &mut r2);
+        }
+        let ts: Vec<Instant> = [r1, r2].into_iter().filter_map(in_iv).collect();
+        if ts.is_empty() {
+            ValueTimes::Never
+        } else {
+            ValueTimes::At(ts)
+        }
+    }
+
+    /// The sub-intervals of the unit interval where the unit function is
+    /// strictly below `v` (used by lifted comparisons such as
+    /// `distance(p, q) < 0.5`).
+    pub fn intervals_below(&self, v: Real) -> Vec<TimeInterval> {
+        self.sign_intervals(v, |x, v| x < v)
+    }
+
+    /// The sub-intervals where the unit function is strictly above `v`.
+    pub fn intervals_above(&self, v: Real) -> Vec<TimeInterval> {
+        self.sign_intervals(v, |x, v| x > v)
+    }
+
+    fn sign_intervals(&self, v: Real, pred: impl Fn(Real, Real) -> bool) -> Vec<TimeInterval> {
+        let s = *self.interval.start();
+        let e = *self.interval.end();
+        // Cut points: times where the function equals v.
+        let mut cuts: Vec<Instant> = vec![s];
+        match self.times_at_value(v) {
+            ValueTimes::At(ts) => cuts.extend(ts),
+            ValueTimes::Always => return Vec::new(),
+            ValueTimes::Never => {}
+        }
+        cuts.push(e);
+        cuts.sort();
+        cuts.dedup();
+        let mut out = Vec::new();
+        if self.interval.is_point() {
+            if pred(self.value_at(s), v) {
+                out.push(TimeInterval::point(s));
+            }
+            return out;
+        }
+        for w in cuts.windows(2) {
+            let mid = w[0].midpoint(w[1]);
+            if pred(self.value_at(mid), v) {
+                // Determine closedness: an end point belongs iff the
+                // function satisfies the predicate there AND the unit
+                // interval includes it.
+                let lc = pred(self.value_at(w[0]), v)
+                    && (w[0] != s || self.interval.left_closed());
+                let rc = pred(self.value_at(w[1]), v)
+                    && (w[1] != e || self.interval.right_closed());
+                if w[0] == w[1] {
+                    if lc {
+                        out.push(TimeInterval::point(w[0]));
+                    }
+                } else {
+                    out.push(TimeInterval::new(w[0], w[1], lc, rc));
+                }
+            }
+        }
+        out
+    }
+
+    /// Sum of two non-rooted units on the same interval. Rooted operands
+    /// leave the representable class (a sum of square roots is not a
+    /// square root of a quadratic) — the paper accepts this closure limit.
+    pub fn try_add(&self, other: &UReal) -> Result<UReal> {
+        if self.root || other.root {
+            return Err(InvariantViolation::new(
+                "ureal: sum involving rooted units is not representable",
+            ));
+        }
+        if self.interval != other.interval {
+            return Err(InvariantViolation::new(
+                "ureal: operands must share the interval",
+            ));
+        }
+        Ok(UReal::quadratic(
+            self.interval,
+            self.a + other.a,
+            self.b + other.b,
+            self.c + other.c,
+        ))
+    }
+
+    /// Negation (non-rooted only).
+    pub fn try_neg(&self) -> Result<UReal> {
+        if self.root {
+            return Err(InvariantViolation::new(
+                "ureal: negation of a rooted unit is not representable",
+            ));
+        }
+        Ok(UReal::quadratic(self.interval, -self.a, -self.b, -self.c))
+    }
+
+    /// Scaling by a constant. Scaling a rooted unit by `k ≥ 0` stays in
+    /// class (`k·√p = √(k²·p)`); negative `k` on a rooted unit does not.
+    pub fn try_scale(&self, k: Real) -> Result<UReal> {
+        if self.root {
+            if k < Real::ZERO {
+                return Err(InvariantViolation::new(
+                    "ureal: negative scaling of a rooted unit is not representable",
+                ));
+            }
+            let k2 = k * k;
+            return Ok(UReal {
+                interval: self.interval,
+                a: self.a * k2,
+                b: self.b * k2,
+                c: self.c * k2,
+                root: true,
+            });
+        }
+        Ok(UReal::quadratic(self.interval, self.a * k, self.b * k, self.c * k))
+    }
+
+    /// The square of the unit function — always representable
+    /// (√p squared is p; a linear function squared is quadratic). A
+    /// non-rooted *quadratic* squared would be degree 4: rejected.
+    pub fn try_square(&self) -> Result<UReal> {
+        if self.root {
+            return Ok(UReal::quadratic(self.interval, self.a, self.b, self.c));
+        }
+        if self.a != Real::ZERO {
+            return Err(InvariantViolation::new(
+                "ureal: square of a quadratic exceeds degree 2",
+            ));
+        }
+        // (b·t + c)² = b²t² + 2bc·t + c².
+        Ok(UReal::quadratic(
+            self.interval,
+            self.b * self.b,
+            Real::new(2.0) * self.b * self.c,
+            self.c * self.c,
+        ))
+    }
+}
+
+/// Result of [`UReal::times_at_value`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ValueTimes {
+    /// The function never takes the value on the interval.
+    Never,
+    /// The function takes the value exactly at these instants.
+    At(Vec<Instant>),
+    /// The function is constantly equal to the value.
+    Always,
+}
+
+impl Unit for UReal {
+    type Value = Real;
+
+    fn interval(&self) -> &TimeInterval {
+        &self.interval
+    }
+
+    fn with_interval(&self, iv: TimeInterval) -> Self {
+        UReal {
+            interval: iv,
+            ..*self
+        }
+    }
+
+    fn at(&self, t: Instant) -> Real {
+        self.value_at(t)
+    }
+
+    fn value_eq(&self, other: &Self) -> bool {
+        self.a == other.a && self.b == other.b && self.c == other.c && self.root == other.root
+    }
+}
+
+impl fmt::Debug for UReal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let poly = format!("{}t²+{}t+{}", self.a, self.b, self.c);
+        if self.root {
+            write!(f, "{:?}↦√({})", self.interval, poly)
+        } else {
+            write!(f, "{:?}↦{}", self.interval, poly)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mob_base::{r, t, Interval};
+
+    fn iv(s: f64, e: f64) -> TimeInterval {
+        Interval::closed(t(s), t(e))
+    }
+
+    #[test]
+    fn evaluation() {
+        // f(t) = t² - 2t + 1 = (t-1)².
+        let u = UReal::quadratic(iv(0.0, 2.0), r(1.0), r(-2.0), r(1.0));
+        assert_eq!(u.value_at(t(0.0)), r(1.0));
+        assert_eq!(u.value_at(t(1.0)), r(0.0));
+        assert_eq!(u.value_at(t(2.0)), r(1.0));
+        // Rooted: |t-1|.
+        let s = UReal::try_new(iv(0.0, 2.0), r(1.0), r(-2.0), r(1.0), true).unwrap();
+        assert_eq!(s.value_at(t(0.0)), r(1.0));
+        assert_eq!(s.value_at(t(1.0)), r(0.0));
+    }
+
+    #[test]
+    fn root_validation() {
+        // t - 1 is negative on [0, 2): rooted construction must fail.
+        assert!(UReal::try_new(iv(0.0, 2.0), r(0.0), r(1.0), r(-1.0), true).is_err());
+        // (t-1)² is fine.
+        assert!(UReal::try_new(iv(0.0, 2.0), r(1.0), r(-2.0), r(1.0), true).is_ok());
+    }
+
+    #[test]
+    fn extrema_with_interior_vertex() {
+        let u = UReal::quadratic(iv(0.0, 4.0), r(1.0), r(-4.0), r(5.0)); // (t-2)²+1
+        assert_eq!(u.extrema(), (r(1.0), r(5.0)));
+        // Vertex outside the interval: endpoints only.
+        let v = UReal::quadratic(iv(3.0, 4.0), r(1.0), r(-4.0), r(5.0));
+        assert_eq!(v.extrema(), (r(2.0), r(5.0)));
+        // Constant.
+        let c = UReal::constant(iv(0.0, 1.0), r(7.0));
+        assert_eq!(c.extrema(), (r(7.0), r(7.0)));
+    }
+
+    #[test]
+    fn times_at_value() {
+        let u = UReal::quadratic(iv(0.0, 4.0), r(1.0), r(-4.0), r(5.0)); // (t-2)²+1
+        assert_eq!(u.times_at_value(r(2.0)), ValueTimes::At(vec![t(1.0), t(3.0)]));
+        assert_eq!(u.times_at_value(r(1.0)), ValueTimes::At(vec![t(2.0)]));
+        assert_eq!(u.times_at_value(r(0.5)), ValueTimes::Never);
+        let c = UReal::constant(iv(0.0, 1.0), r(7.0));
+        assert_eq!(c.times_at_value(r(7.0)), ValueTimes::Always);
+        assert_eq!(c.times_at_value(r(6.0)), ValueTimes::Never);
+        // Linear.
+        let l = UReal::linear(iv(0.0, 10.0), r(2.0), r(0.0));
+        assert_eq!(l.times_at_value(r(6.0)), ValueTimes::At(vec![t(3.0)]));
+        assert_eq!(l.times_at_value(r(100.0)), ValueTimes::Never);
+        // Rooted with negative target.
+        let s = UReal::try_new(iv(0.0, 2.0), r(1.0), r(-2.0), r(1.0), true).unwrap();
+        assert_eq!(s.times_at_value(r(-1.0)), ValueTimes::Never);
+        assert_eq!(s.times_at_value(r(1.0)), ValueTimes::At(vec![t(0.0), t(2.0)]));
+    }
+
+    #[test]
+    fn intervals_below() {
+        // (t-2)²+1 < 2 on (1, 3).
+        let u = UReal::quadratic(iv(0.0, 4.0), r(1.0), r(-4.0), r(5.0));
+        let below = u.intervals_below(r(2.0));
+        assert_eq!(below, vec![Interval::open(t(1.0), t(3.0))]);
+        let above = u.intervals_above(r(2.0));
+        assert_eq!(
+            above,
+            vec![
+                Interval::closed_open(t(0.0), t(1.0)),
+                Interval::open_closed(t(3.0), t(4.0)),
+            ]
+        );
+        // Always below.
+        assert_eq!(u.intervals_below(r(100.0)), vec![iv(0.0, 4.0)]);
+        // Never below.
+        assert!(u.intervals_below(r(0.0)).is_empty());
+    }
+
+    #[test]
+    fn intervals_below_on_point_interval() {
+        let u = UReal::constant(TimeInterval::point(t(1.0)), r(3.0));
+        assert_eq!(
+            u.intervals_below(r(4.0)),
+            vec![TimeInterval::point(t(1.0))]
+        );
+        assert!(u.intervals_below(r(2.0)).is_empty());
+    }
+
+    #[test]
+    fn arithmetic_closure() {
+        let u = UReal::linear(iv(0.0, 1.0), r(1.0), r(2.0));
+        let v = UReal::quadratic(iv(0.0, 1.0), r(1.0), r(0.0), r(0.0));
+        let sum = u.try_add(&v).unwrap();
+        assert_eq!(sum.value_at(t(1.0)), r(4.0));
+        assert_eq!(u.try_neg().unwrap().value_at(t(1.0)), r(-3.0));
+        assert_eq!(u.try_scale(r(2.0)).unwrap().value_at(t(1.0)), r(6.0));
+        // Rooted sums are out of class.
+        let s = UReal::try_new(iv(0.0, 1.0), r(0.0), r(0.0), r(4.0), true).unwrap();
+        assert!(s.try_add(&u).is_err());
+        assert!(s.try_neg().is_err());
+        // Rooted scaling by positive constant works: 3·√4 = 6.
+        let scaled = s.try_scale(r(3.0)).unwrap();
+        assert_eq!(scaled.value_at(t(0.5)), r(6.0));
+        assert!(s.try_scale(r(-1.0)).is_err());
+        // Squares.
+        assert_eq!(s.try_square().unwrap().value_at(t(0.5)), r(4.0));
+        assert_eq!(u.try_square().unwrap().value_at(t(1.0)), r(9.0));
+        assert!(v.try_square().is_err());
+    }
+
+    #[test]
+    fn unit_trait_merge() {
+        let a = UReal::linear(Interval::new(t(0.0), t(1.0), true, true), r(1.0), r(0.0));
+        let b = UReal::linear(Interval::new(t(1.0), t(2.0), false, true), r(1.0), r(0.0));
+        let m = a.try_merge(&b).unwrap();
+        assert_eq!(*m.interval(), iv(0.0, 2.0));
+        // Different slope: no merge.
+        let c = UReal::linear(Interval::new(t(1.0), t(2.0), false, true), r(2.0), r(0.0));
+        assert!(a.try_merge(&c).is_none());
+    }
+}

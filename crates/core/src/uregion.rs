@@ -1,0 +1,780 @@
+//! The `uregion` unit type (Sec 3.2.6, Fig 6): moving faces built from
+//! moving cycles of non-rotating moving segments, valid as a `region`
+//! value throughout the open unit interval, with the `ι_s`/`ι_e`
+//! endpoint cleanup (degenerate segments removed, overlapping collinear
+//! fragments resolved by the even/odd rule, then `close()`).
+
+use crate::mseg::MSeg;
+use crate::unit::Unit;
+use crate::uconst::ConstUnit;
+use crate::upoint::{PointMotion, UPoint};
+use crate::ureal::UReal;
+use mob_base::error::{InvariantViolation, Result};
+use mob_base::{Instant, Interval, Real, TimeInterval};
+use mob_spatial::seg::parity_fragments;
+use mob_spatial::{Cube, Face, Point, Rect, Region, Ring, Seg};
+use std::fmt;
+
+/// A moving cycle: a closed chain of moving vertices; edge `i` is the
+/// moving segment from vertex `i` to vertex `i+1 (mod n)`.
+#[derive(Clone, PartialEq)]
+pub struct MCycle {
+    verts: Vec<PointMotion>,
+}
+
+impl MCycle {
+    /// Validating constructor: at least 3 vertices, every edge a valid
+    /// (coplanar, not permanently degenerate) moving segment.
+    pub fn try_new(verts: Vec<PointMotion>) -> Result<MCycle> {
+        if verts.len() < 3 {
+            return Err(InvariantViolation::new("mcycle: n >= 3"));
+        }
+        for i in 0..verts.len() {
+            let j = (i + 1) % verts.len();
+            // MSeg::try_new enforces s ≠ e and coplanarity.
+            MSeg::try_new(verts[i], verts[j])?;
+        }
+        Ok(MCycle { verts })
+    }
+
+    /// The moving cycle interpolating linearly between two snapshots of
+    /// the same vertex count, `ring0` at `t0` and `ring1` at `t1`
+    /// (vertex `k` travels to vertex `k`).
+    pub fn interpolate(t0: Instant, ring0: &Ring, t1: Instant, ring1: &Ring) -> Result<MCycle> {
+        if ring0.len() != ring1.len() {
+            return Err(InvariantViolation::new(
+                "mcycle: snapshot rings must have equal vertex counts",
+            ));
+        }
+        let verts = ring0
+            .points()
+            .iter()
+            .zip(ring1.points())
+            .map(|(p, q)| {
+                if p == q {
+                    PointMotion::stationary(*p)
+                } else {
+                    PointMotion::through(t0, *p, t1, *q)
+                }
+            })
+            .collect();
+        MCycle::try_new(verts)
+    }
+
+    /// The moving vertices.
+    pub fn verts(&self) -> &[PointMotion] {
+        &self.verts
+    }
+
+    /// Number of moving segments (= vertices).
+    pub fn len(&self) -> usize {
+        self.verts.len()
+    }
+
+    /// Never true: the constructor requires at least 3 vertices.
+    pub fn is_empty(&self) -> bool {
+        self.verts.is_empty()
+    }
+
+    /// The edges as moving segments.
+    pub fn msegs(&self) -> Vec<MSeg> {
+        (0..self.verts.len())
+            .map(|i| {
+                MSeg::try_new(self.verts[i], self.verts[(i + 1) % self.verts.len()])
+                    .expect("validated at construction")
+            })
+            .collect()
+    }
+
+    /// Evaluate the vertex chain at `t`, dropping consecutive duplicates
+    /// (including across the wrap-around).
+    pub fn eval_points(&self, t: Instant) -> Vec<Point> {
+        let mut pts: Vec<Point> = Vec::with_capacity(self.verts.len());
+        for m in &self.verts {
+            let p = m.at(t);
+            if pts.last() != Some(&p) {
+                pts.push(p);
+            }
+        }
+        while pts.len() > 1 && pts.first() == pts.last() {
+            pts.pop();
+        }
+        pts
+    }
+
+    /// Evaluate to a validated ring (fails on degeneracies — callers fall
+    /// back to the cleanup path).
+    pub fn eval_ring(&self, t: Instant) -> Result<Ring> {
+        Ring::try_new(self.eval_points(t))
+    }
+
+    /// The signed area of the evaluated cycle as a quadratic in `t`:
+    /// the shoelace sum of products of linear coordinate functions.
+    pub fn signed_area_quadratic(&self) -> (Real, Real, Real) {
+        let n = self.verts.len();
+        let (mut a, mut b, mut c) = (Real::ZERO, Real::ZERO, Real::ZERO);
+        for i in 0..n {
+            let p = &self.verts[i];
+            let q = &self.verts[(i + 1) % n];
+            let (px, py) = (crate::mseg::Lin::new(p.x0, p.x1), crate::mseg::Lin::new(p.y0, p.y1));
+            let (qx, qy) = (crate::mseg::Lin::new(q.x0, q.x1), crate::mseg::Lin::new(q.y0, q.y1));
+            let (a1, b1, c1) = px.mul(&qy);
+            let (a2, b2, c2) = qx.mul(&py);
+            a += a1 - a2;
+            b += b1 - b2;
+            c += c1 - c2;
+        }
+        let half = Real::new(0.5);
+        (a * half, b * half, c * half)
+    }
+}
+
+impl fmt::Debug for MCycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MCycle({} verts)", self.verts.len())
+    }
+}
+
+/// A moving face: an outer moving cycle plus moving holes.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MFace {
+    /// The outer moving cycle.
+    pub outer: MCycle,
+    /// The moving hole cycles.
+    pub holes: Vec<MCycle>,
+}
+
+impl MFace {
+    /// Construct a moving face.
+    pub fn new(outer: MCycle, holes: Vec<MCycle>) -> MFace {
+        MFace { outer, holes }
+    }
+
+    /// A hole-free moving face.
+    pub fn simple(outer: MCycle) -> MFace {
+        MFace {
+            outer,
+            holes: Vec::new(),
+        }
+    }
+
+    /// All moving segments of the face.
+    pub fn msegs(&self) -> Vec<MSeg> {
+        let mut out = self.outer.msegs();
+        for h in &self.holes {
+            out.extend(h.msegs());
+        }
+        out
+    }
+}
+
+/// A moving `region` unit.
+#[derive(Clone, PartialEq)]
+pub struct URegion {
+    interval: TimeInterval,
+    faces: Vec<MFace>,
+    /// Precomputed 3D bounding cube — the Sec 4.2 summary field that
+    /// makes the `inside` fast path O(1) per unit pair.
+    cube: Cube,
+}
+
+impl URegion {
+    /// Validating constructor: evaluations at every instant of the exact
+    /// critical-time schedule (or the single instant of a point unit)
+    /// must be valid regions — see `mob_core::mseg::validation_instants`.
+    pub fn try_new(interval: TimeInterval, faces: Vec<MFace>) -> Result<URegion> {
+        if faces.is_empty() {
+            return Err(InvariantViolation::new("uregion: at least one face"));
+        }
+        let cube = compute_cube(&faces, &interval);
+        let u = URegion {
+            interval,
+            faces,
+            cube,
+        };
+        // Exact validation schedule: pairwise critical times of the
+        // moving segments plus one sample per gap (see DESIGN.md).
+        let samples: Vec<Instant> = if interval.is_point() {
+            vec![*interval.start()]
+        } else {
+            crate::mseg::validation_instants(&u.msegs(), &interval)
+        };
+        for t in samples {
+            let strict = interval.is_point() || interval.contains_open(&t);
+            if !strict {
+                continue;
+            }
+            u.eval_strict(t).map_err(|e| {
+                InvariantViolation::with_detail(
+                    "uregion: evaluation inside the open interval must be a valid region",
+                    format!("at {t:?}: {e}"),
+                )
+            })?;
+        }
+        Ok(u)
+    }
+
+    /// A motionless moving region: the static `region` held constant over
+    /// the interval (used to lift operations against static regions).
+    pub fn stationary(interval: TimeInterval, region: &Region) -> Result<URegion> {
+        let cycle = |ring: &Ring| {
+            MCycle::try_new(
+                ring.points()
+                    .iter()
+                    .map(|p| PointMotion::stationary(*p))
+                    .collect(),
+            )
+        };
+        let mut faces = Vec::with_capacity(region.faces().len());
+        for f in region.faces() {
+            let outer = cycle(f.outer())?;
+            let holes = f.holes().iter().map(cycle).collect::<Result<Vec<_>>>()?;
+            faces.push(MFace::new(outer, holes));
+        }
+        URegion::try_new(interval, faces)
+    }
+
+    /// The single-face, hole-free moving region interpolating between two
+    /// snapshot rings.
+    pub fn interpolate(
+        interval: TimeInterval,
+        ring0: &Ring,
+        ring1: &Ring,
+    ) -> Result<URegion> {
+        let cyc = MCycle::interpolate(*interval.start(), ring0, *interval.end(), ring1)?;
+        URegion::try_new(interval, vec![MFace::simple(cyc)])
+    }
+
+    /// The moving faces.
+    pub fn faces(&self) -> &[MFace] {
+        &self.faces
+    }
+
+    /// All moving segments (the `msegments` subarray of Sec 4.2).
+    pub fn msegs(&self) -> Vec<MSeg> {
+        self.faces.iter().flat_map(MFace::msegs).collect()
+    }
+
+    /// Number of moving segments.
+    pub fn num_msegs(&self) -> usize {
+        self.faces
+            .iter()
+            .map(|f| f.outer.len() + f.holes.iter().map(MCycle::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Fast evaluation at an *interior* instant: the unit invariant
+    /// certifies validity there (condition (i) of `D_uregion`), so the
+    /// region is assembled without re-validation and `atinstant` keeps
+    /// its `O(log n + r)` bound (Sec 5.1). Returns `None` on unexpected
+    /// degeneracy (callers fall back to the cleanup path).
+    fn eval_unchecked(&self, t: Instant) -> Option<Region> {
+        let mut faces = Vec::with_capacity(self.faces.len());
+        for mf in &self.faces {
+            let outer_pts = mf.outer.eval_points(t);
+            if outer_pts.len() < 3 {
+                return None;
+            }
+            let outer = Ring::new_unchecked(outer_pts);
+            let mut holes = Vec::with_capacity(mf.holes.len());
+            for h in &mf.holes {
+                let pts = h.eval_points(t);
+                if pts.len() < 3 {
+                    return None;
+                }
+                holes.push(Ring::new_unchecked(pts));
+            }
+            faces.push(Face::new_unchecked(outer, holes));
+        }
+        Some(Region::from_faces_unchecked(faces))
+    }
+
+    /// Strict evaluation at `t` via direct face construction; fails on
+    /// degeneracies.
+    fn eval_strict(&self, t: Instant) -> Result<Region> {
+        let mut faces = Vec::with_capacity(self.faces.len());
+        for mf in &self.faces {
+            let outer = mf.outer.eval_ring(t)?;
+            let holes = mf
+                .holes
+                .iter()
+                .map(|h| h.eval_ring(t))
+                .collect::<Result<Vec<Ring>>>()?;
+            faces.push(Face::try_new(outer, holes)?);
+        }
+        Region::try_new(faces)
+    }
+
+    /// Evaluation with the full `ι_s`/`ι_e` cleanup: degenerate pairs
+    /// dropped, even/odd fragment rule applied, structure rebuilt with
+    /// `close()` (Sec 3.2.6 end-of-section construction).
+    fn eval_cleanup(&self, t: Instant) -> Region {
+        let mut segs: Vec<Seg> = Vec::new();
+        for mf in &self.faces {
+            for ms in mf.msegs() {
+                if let Some(s) = ms.eval_seg(t) {
+                    segs.push(s);
+                }
+            }
+        }
+        let fragments = parity_fragments(&segs);
+        Region::close(fragments).unwrap_or_else(|_| Region::empty())
+    }
+
+    /// The time-dependent total area of the moving region, as a `ureal`
+    /// quadratic — exactly representable because the shoelace sum of
+    /// linearly moving vertices is quadratic in `t`. (This is the "size"
+    /// summary the paper suggests storing with each unit, Sec 4.2.)
+    pub fn area_ureal(&self) -> UReal {
+        let probe = self.interval.interior_instant();
+        let (mut a, mut b, mut c) = (Real::ZERO, Real::ZERO, Real::ZERO);
+        let mut add = |cyc: &MCycle, sign: Real| {
+            let (qa, qb, qc) = cyc.signed_area_quadratic();
+            // Normalize the cycle's signed area to be positive at the
+            // probe instant, then apply the face/hole sign.
+            let val = (qa * probe.value() * probe.value()) + qb * probe.value() + qc;
+            let orient = if val < Real::ZERO {
+                -Real::ONE
+            } else {
+                Real::ONE
+            };
+            a += qa * orient * sign;
+            b += qb * orient * sign;
+            c += qc * orient * sign;
+        };
+        for mf in &self.faces {
+            add(&mf.outer, Real::ONE);
+            for h in &mf.holes {
+                add(h, -Real::ONE);
+            }
+        }
+        UReal::quadratic(self.interval, a, b, c)
+    }
+
+    /// Exact perimeter at an instant (the sum of √quadratic edge lengths
+    /// is *not* a `ureal`; the paper accepts this closure limit).
+    pub fn perimeter_at(&self, t: Instant) -> Real {
+        self.faces
+            .iter()
+            .flat_map(MFace::msegs)
+            .filter_map(|ms| ms.eval_seg(t))
+            .fold(Real::ZERO, |acc, s| acc + s.length())
+    }
+
+    /// 3D bounding cube over the unit interval (Sec 4.2 summary field,
+    /// precomputed at construction so the `inside` fast path is O(1)).
+    pub fn bounding_cube(&self) -> Cube {
+        self.cube
+    }
+
+    /// Algorithm `upoint_uregion_inside` (Sec 5.2): the boolean units
+    /// describing when the moving point `up` is inside this moving
+    /// region, over the intersection `iv` of the two unit intervals.
+    ///
+    /// Deviation from the paper: when the bounding cubes are disjoint we
+    /// return a single `false` unit instead of ∅, so that the lifted
+    /// `inside` is defined wherever both arguments are (see DESIGN.md).
+    pub fn inside_units(&self, up: &UPoint, iv: &TimeInterval) -> Vec<ConstUnit<bool>> {
+        // Fast path: disjoint bounding cubes (Sec 5.2, O(1)).
+        let up_clipped = match crate::unit::Unit::restrict(up, iv) {
+            Some(u) => u,
+            None => return Vec::new(),
+        };
+        if !self.bounding_cube().intersects(&up_clipped.bounding_cube()) {
+            return vec![ConstUnit::new(*iv, false)];
+        }
+        // Find all crossings of the moving point with the moving
+        // boundary segments (3D trapezium stabbing).
+        let motion = up.motion();
+        let mut times: Vec<Instant> = Vec::new();
+        for ms in self.msegs() {
+            times.extend(ms.crossings_with(motion, iv));
+        }
+        times.sort();
+        times.dedup_by(|a, b| (*a - *b).abs().get() <= 1e-12);
+        // Keep only crossings strictly inside the interval; boundary
+        // instants are handled through interval closedness below.
+        let s = *iv.start();
+        let e = *iv.end();
+        times.retain(|t| iv.contains_open(t));
+
+        if iv.is_point() {
+            let inside = self.point_inside_at(motion, s);
+            return vec![ConstUnit::new(*iv, inside)];
+        }
+
+        // Sub-interval classification by midpoint (robust against
+        // tangential touches and vertex double-hits).
+        let mut cuts = Vec::with_capacity(times.len() + 2);
+        cuts.push(s);
+        cuts.extend(times.iter().copied());
+        cuts.push(e);
+        let mut out: Vec<ConstUnit<bool>> = Vec::new();
+        let mut push = |unit: ConstUnit<bool>| {
+            // Local concat (the O(1) merge of Sec 5.2).
+            if let Some(last) = out.last() {
+                if let Some(m) = crate::unit::Unit::try_merge(last, &unit) {
+                    *out.last_mut().expect("non-empty") = m;
+                    return;
+                }
+            }
+            out.push(unit);
+        };
+        for (k, w) in cuts.windows(2).enumerate() {
+            let (t0, t1) = (w[0], w[1]);
+            let inside = self.point_inside_at(motion, t0.midpoint(t1));
+            // Crossing instants lie on the boundary: closure semantics
+            // puts them on the `true` side.
+            let lc = if k == 0 { iv.left_closed() } else { inside };
+            let rc = if k == cuts.len() - 2 {
+                iv.right_closed()
+            } else {
+                inside
+            };
+            // At the very ends, the on-boundary rule still applies: if
+            // the end instant itself is on the boundary and the adjacent
+            // open piece is outside, emit a separate instant unit.
+            if k == 0 && iv.left_closed() {
+                let at_start = self.point_inside_at(motion, t0);
+                if at_start != inside {
+                    push(ConstUnit::new(TimeInterval::point(t0), at_start));
+                    push(ConstUnit::new(Interval::new(t0, t1, false, rc), inside));
+                    continue;
+                }
+            }
+            if k == cuts.len() - 2 && iv.right_closed() {
+                let at_end = self.point_inside_at(motion, t1);
+                if at_end != inside {
+                    push(ConstUnit::new(Interval::new(t0, t1, lc, false), inside));
+                    push(ConstUnit::new(TimeInterval::point(t1), at_end));
+                    continue;
+                }
+            }
+            push(ConstUnit::new(Interval::new(t0, t1, lc, rc), inside));
+        }
+        out
+    }
+
+    /// Ablation variant of [`URegion::inside_units`] that skips the
+    /// bounding-cube fast path (always scans the moving segments). Used
+    /// by the ablation benchmarks to quantify the value of the Sec 4.2
+    /// summary cube; not part of the normal API surface.
+    pub fn inside_units_scan(&self, up: &UPoint, iv: &TimeInterval) -> Vec<ConstUnit<bool>> {
+        let motion = up.motion();
+        let mut times: Vec<Instant> = Vec::new();
+        for ms in self.msegs() {
+            times.extend(ms.crossings_with(motion, iv));
+        }
+        times.sort();
+        times.dedup_by(|a, b| (*a - *b).abs().get() <= 1e-12);
+        times.retain(|t| iv.contains_open(t));
+        let s = *iv.start();
+        if iv.is_point() {
+            return vec![ConstUnit::new(*iv, self.point_inside_at(motion, s))];
+        }
+        let e = *iv.end();
+        let mut cuts = Vec::with_capacity(times.len() + 2);
+        cuts.push(s);
+        cuts.extend(times);
+        cuts.push(e);
+        let mut out: Vec<ConstUnit<bool>> = Vec::new();
+        for (k, w) in cuts.windows(2).enumerate() {
+            let inside = self.point_inside_at(motion, w[0].midpoint(w[1]));
+            let lc = if k == 0 { iv.left_closed() } else { inside };
+            let rc = if k == cuts.len() - 2 {
+                iv.right_closed()
+            } else {
+                inside
+            };
+            let unit = ConstUnit::new(Interval::new(w[0], w[1], lc, rc), inside);
+            if let Some(last) = out.last() {
+                if let Some(m) = crate::unit::Unit::try_merge(last, &unit) {
+                    *out.last_mut().expect("non-empty") = m;
+                    continue;
+                }
+            }
+            out.push(unit);
+        }
+        out
+    }
+
+    /// Static point-in-moving-region test at a single instant (the
+    /// "plumbline" step of Sec 5.2).
+    fn point_inside_at(&self, motion: &PointMotion, t: Instant) -> bool {
+        let p = motion.at(t);
+        let segs: Vec<Seg> = self
+            .msegs()
+            .into_iter()
+            .filter_map(|ms| ms.eval_seg(t))
+            .collect();
+        mob_spatial::arrangement::on_any_segment(&segs, p)
+            || mob_spatial::arrangement::parity_inside(&segs, p)
+    }
+}
+
+/// Bounding cube of a face set over an interval: the vertices at both
+/// interval ends bound all linear motion in between.
+fn compute_cube(faces: &[MFace], interval: &TimeInterval) -> Cube {
+    let s = *interval.start();
+    let e = *interval.end();
+    let mut rect = Rect::EMPTY;
+    let mut add_cycle = |c: &MCycle| {
+        for m in c.verts() {
+            rect = rect
+                .union(&Rect::of_point(m.at(s)))
+                .union(&Rect::of_point(m.at(e)));
+        }
+    };
+    for f in faces {
+        add_cycle(&f.outer);
+        for h in &f.holes {
+            add_cycle(h);
+        }
+    }
+    Cube::new(rect, interval)
+}
+
+impl Unit for URegion {
+    type Value = Region;
+
+    fn interval(&self) -> &TimeInterval {
+        &self.interval
+    }
+
+    fn with_interval(&self, iv: TimeInterval) -> Self {
+        URegion {
+            interval: iv,
+            faces: self.faces.clone(),
+            cube: compute_cube(&self.faces, &iv),
+        }
+    }
+
+    /// `uregion_atinstant` (Sec 5.1): direct (unvalidated — the unit
+    /// invariant certifies validity) face construction at interior
+    /// instants; validated construction with cleanup fallback
+    /// (`ι_s`/`ι_e`) at the end points, where degeneracies may occur.
+    fn at(&self, t: Instant) -> Region {
+        if self.interval.contains_open(&t) {
+            if let Some(region) = self.eval_unchecked(t) {
+                return region;
+            }
+            return self.eval_cleanup(t);
+        }
+        match self.eval_strict(t) {
+            Ok(region) => region,
+            Err(_) => self.eval_cleanup(t),
+        }
+    }
+
+    fn value_eq(&self, other: &Self) -> bool {
+        self.faces == other.faces
+    }
+}
+
+impl fmt::Debug for URegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?}↦{} moving faces ({} msegs)",
+            self.interval,
+            self.faces.len(),
+            self.num_msegs()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mob_base::{r, t};
+    use mob_spatial::{pt, rect_ring};
+
+    fn iv(s: f64, e: f64) -> TimeInterval {
+        Interval::closed(t(s), t(e))
+    }
+
+    /// A unit square translating right by 2 over [0,2].
+    fn sliding_square() -> URegion {
+        URegion::interpolate(
+            iv(0.0, 2.0),
+            &rect_ring(0.0, 0.0, 1.0, 1.0),
+            &rect_ring(2.0, 0.0, 3.0, 1.0),
+        )
+        .unwrap()
+    }
+
+    /// A square growing from side 2 to side 4, centred at the origin.
+    fn growing_square() -> URegion {
+        URegion::interpolate(
+            iv(0.0, 1.0),
+            &rect_ring(-1.0, -1.0, 1.0, 1.0),
+            &rect_ring(-2.0, -2.0, 2.0, 2.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn atinstant_translating() {
+        let u = sliding_square();
+        let r0 = u.at(t(0.0));
+        assert_eq!(r0.area(), r(1.0));
+        assert!(r0.contains_point(pt(0.5, 0.5)));
+        let r1 = u.at(t(1.0));
+        assert!(r1.contains_point(pt(1.5, 0.5)));
+        assert!(!r1.contains_point(pt(0.0, 0.5)));
+        let r2 = u.at(t(2.0));
+        assert!(r2.contains_point(pt(2.5, 0.5)));
+    }
+
+    #[test]
+    fn area_quadratic_matches_evaluation() {
+        let u = growing_square();
+        let area = u.area_ureal();
+        // side(t) = 2 + 2t, area = (2+2t)² = 4t² + 8t + 4.
+        assert_eq!(area.value_at(t(0.0)), r(4.0));
+        assert_eq!(area.value_at(t(0.5)), r(9.0));
+        assert_eq!(area.value_at(t(1.0)), r(16.0));
+        // Cross-check against the spatial evaluation.
+        for k in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert!(area
+                .value_at(t(k))
+                .approx_eq(u.at(t(k)).area(), 1e-9));
+        }
+    }
+
+    #[test]
+    fn perimeter_at() {
+        let u = growing_square();
+        assert_eq!(u.perimeter_at(t(0.0)), r(8.0));
+        assert_eq!(u.perimeter_at(t(1.0)), r(16.0));
+    }
+
+    #[test]
+    fn collapse_at_endpoint_cleaned() {
+        // A square collapsing to a point at t=1 (Fig 6 degeneracy).
+        let cyc = MCycle::try_new(vec![
+            PointMotion::through(t(0.0), pt(0.0, 0.0), t(1.0), pt(1.0, 1.0)),
+            PointMotion::through(t(0.0), pt(2.0, 0.0), t(1.0), pt(1.0, 1.0)),
+            PointMotion::through(t(0.0), pt(2.0, 2.0), t(1.0), pt(1.0, 1.0)),
+            PointMotion::through(t(0.0), pt(0.0, 2.0), t(1.0), pt(1.0, 1.0)),
+        ])
+        .unwrap();
+        let u = URegion::try_new(iv(0.0, 1.0), vec![MFace::simple(cyc)]).unwrap();
+        assert_eq!(u.at(t(0.0)).area(), r(4.0));
+        assert!(u.at(t(0.5)).area().approx_eq(r(1.0), 1e-9));
+        // At t=1 the region degenerates: cleanup yields the empty region.
+        assert!(u.at(t(1.0)).is_empty());
+        // The area quadratic still evaluates to 0 there.
+        assert!(u.area_ureal().value_at(t(1.0)).approx_eq(r(0.0), 1e-9));
+    }
+
+    #[test]
+    fn moving_region_with_hole() {
+        let outer = MCycle::interpolate(
+            t(0.0),
+            &rect_ring(0.0, 0.0, 4.0, 4.0),
+            t(1.0),
+            &rect_ring(1.0, 0.0, 5.0, 4.0),
+        )
+        .unwrap();
+        let hole = MCycle::interpolate(
+            t(0.0),
+            &rect_ring(1.0, 1.0, 2.0, 2.0),
+            t(1.0),
+            &rect_ring(2.0, 1.0, 3.0, 2.0),
+        )
+        .unwrap();
+        let u = URegion::try_new(iv(0.0, 1.0), vec![MFace::new(outer, vec![hole])]).unwrap();
+        let r0 = u.at(t(0.0));
+        assert_eq!(r0.num_cycles(), 2);
+        assert_eq!(r0.area(), r(15.0));
+        assert!(!u.at(t(0.5)).contains_point(pt(2.0, 1.5))); // inside moving hole
+        assert!(u.at(t(0.0)).contains_point(pt(3.0, 3.0)));
+        // Area stays 15 (hole translates with same speed).
+        assert!(u.area_ureal().value_at(t(0.5)).approx_eq(r(15.0), 1e-9));
+    }
+
+    #[test]
+    fn invalid_interior_selfintersection_rejected() {
+        // Square whose right edge sweeps across its left edge mid-interval:
+        // produces a bow-tie inside the interval.
+        let cyc = MCycle::try_new(vec![
+            PointMotion::stationary(pt(0.0, 0.0)),
+            PointMotion::through(t(0.0), pt(2.0, 0.0), t(1.0), pt(-2.0, 0.0)),
+            PointMotion::through(t(0.0), pt(2.0, 2.0), t(1.0), pt(-2.0, 2.0)),
+            PointMotion::stationary(pt(0.0, 2.0)),
+        ])
+        .unwrap();
+        assert!(URegion::try_new(iv(0.0, 1.0), vec![MFace::simple(cyc)]).is_err());
+    }
+
+    #[test]
+    fn inside_units_crossing() {
+        // Stationary unit square [0,1]²; point flies through it.
+        let u = URegion::interpolate(
+            iv(0.0, 4.0),
+            &rect_ring(0.0, 0.0, 1.0, 1.0),
+            &rect_ring(0.0, 0.0, 1.0, 1.0),
+        )
+        .unwrap();
+        // Point moves from (-1, 0.5) to (3, 0.5) over [0,4]: inside during
+        // x ∈ [0,1] ⇒ t ∈ [1, 2].
+        let up = UPoint::between(iv(0.0, 4.0), pt(-1.0, 0.5), pt(3.0, 0.5));
+        let units = u.inside_units(&up, &iv(0.0, 4.0));
+        let vals: Vec<(bool, f64, f64)> = units
+            .iter()
+            .map(|cu| {
+                (
+                    *cu.value(),
+                    cu.interval().start().as_f64(),
+                    cu.interval().end().as_f64(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            vals,
+            vec![(false, 0.0, 1.0), (true, 1.0, 2.0), (false, 2.0, 4.0)]
+        );
+        // Closure semantics: crossing instants belong to the true unit.
+        assert!(units[1].interval().left_closed());
+        assert!(units[1].interval().right_closed());
+        assert!(!units[0].interval().right_closed());
+        assert!(!units[2].interval().left_closed());
+    }
+
+    #[test]
+    fn inside_units_bbox_fast_path() {
+        let u = sliding_square();
+        let up = UPoint::between(iv(0.0, 2.0), pt(50.0, 50.0), pt(60.0, 60.0));
+        let units = u.inside_units(&up, &iv(0.0, 2.0));
+        assert_eq!(units.len(), 1);
+        assert!(!units[0].value());
+        assert_eq!(*units[0].interval(), iv(0.0, 2.0));
+    }
+
+    #[test]
+    fn inside_units_never_leaves() {
+        // Point rides inside the sliding square the whole time.
+        let u = sliding_square();
+        let up = UPoint::between(iv(0.0, 2.0), pt(0.5, 0.5), pt(2.5, 0.5));
+        let units = u.inside_units(&up, &iv(0.0, 2.0));
+        assert_eq!(units.len(), 1);
+        assert!(*units[0].value());
+    }
+
+    #[test]
+    fn inside_units_point_interval() {
+        let u = sliding_square();
+        let up = UPoint::between(TimeInterval::point(t(1.0)), pt(1.5, 0.5), pt(1.5, 0.5));
+        let units = u.inside_units(&up, &TimeInterval::point(t(1.0)));
+        assert_eq!(units.len(), 1);
+        assert!(*units[0].value());
+    }
+
+    #[test]
+    fn interpolate_rejects_mismatched_rings() {
+        let tri = Ring::try_new(vec![pt(0.0, 0.0), pt(1.0, 0.0), pt(0.5, 1.0)]).unwrap();
+        let sq = rect_ring(0.0, 0.0, 1.0, 1.0);
+        assert!(URegion::interpolate(iv(0.0, 1.0), &tri, &sq).is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! Moving-line generator: a weather front — a polyline sweeping across
+//! the map, changing shape at every unit boundary. The synthetic stand-in
+//! for the `moving(line)` workloads (advancing boundaries, moving
+//! shorelines) the paper's introduction motivates.
+
+use mob_base::{Instant, Interval};
+use mob_core::{MSeg, Mapping, MovingLine, ULine};
+use mob_spatial::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the weather-front workload.
+#[derive(Clone, Debug)]
+pub struct FrontConfig {
+    /// Number of polyline segments (per unit).
+    pub segments: usize,
+    /// Number of units.
+    pub units: usize,
+    /// Duration of each unit.
+    pub unit_duration: f64,
+    /// North–south extent of the front.
+    pub height: f64,
+    /// Eastward drift per unit.
+    pub drift: f64,
+    /// Horizontal jitter of the polyline vertices.
+    pub jitter: f64,
+}
+
+impl Default for FrontConfig {
+    fn default() -> Self {
+        FrontConfig {
+            segments: 8,
+            units: 6,
+            unit_duration: 1.0,
+            height: 100.0,
+            drift: 10.0,
+            jitter: 3.0,
+        }
+    }
+}
+
+/// Generate the moving front. Vertex `k` of snapshot `j` travels to
+/// vertex `k` of snapshot `j+1`, so every unit is a valid (non-rotating
+/// per segment by coplanarity of the interpolation) `uline`.
+/// Deterministic in the seed.
+pub fn moving_front(seed: u64, cfg: &FrontConfig) -> MovingLine {
+    assert!(cfg.segments >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // The front's shape (per-vertex x-offset) is frozen; within a unit
+    // the whole polyline translates east as one rigid body — any
+    // per-vertex speed difference would rotate the segments, which the
+    // `uline` carrier set forbids. The translation speed varies from
+    // unit to unit, so consecutive units carry distinct unit functions
+    // (identical motions would be merged by the mapping invariant).
+    let shape: Vec<f64> = (0..=cfg.segments)
+        .map(|_| rng.gen_range(-cfg.jitter..cfg.jitter))
+        .collect();
+    let mut advance = vec![0.0f64];
+    for _ in 0..cfg.units {
+        let step = cfg.drift * rng.gen_range(0.5..1.5);
+        advance.push(advance.last().expect("non-empty") + step);
+    }
+    let snapshot = |j: usize| -> Vec<Point> {
+        (0..=cfg.segments)
+            .map(|k| {
+                let y = cfg.height * k as f64 / cfg.segments as f64;
+                let x = advance[j] + shape[k];
+                Point::from_f64(x, y)
+            })
+            .collect()
+    };
+    let mut units = Vec::with_capacity(cfg.units);
+    for j in 0..cfg.units {
+        let t0 = j as f64 * cfg.unit_duration;
+        let t1 = (j + 1) as f64 * cfg.unit_duration;
+        let last = j == cfg.units - 1;
+        let iv = Interval::new(Instant::from_f64(t0), Instant::from_f64(t1), true, last);
+        let (p0, p1) = (snapshot(j), snapshot(j + 1));
+        let msegs: Vec<MSeg> = (0..cfg.segments)
+            .map(|k| {
+                MSeg::between(
+                    Instant::from_f64(t0),
+                    p0[k],
+                    p0[k + 1],
+                    Instant::from_f64(t1),
+                    p1[k],
+                    p1[k + 1],
+                )
+                .expect("pure translation per vertex pair is coplanar")
+            })
+            .collect();
+        units.push(ULine::try_new(iv, msegs).expect("translating front stays a valid line"));
+    }
+    Mapping::try_new(units).expect("consecutive units carry distinct motions")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mob_base::{t, Val};
+
+    #[test]
+    fn front_is_deterministic_and_sized() {
+        let cfg = FrontConfig::default();
+        let a = moving_front(4, &cfg);
+        let b = moving_front(4, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.num_units(), cfg.units);
+        assert_eq!(a.total_msegs(), cfg.units * cfg.segments);
+    }
+
+    #[test]
+    fn front_advances_east() {
+        let front = moving_front(9, &FrontConfig::default());
+        let early = front.at_instant(t(0.0)).unwrap().bbox();
+        let late = front.at_instant(t(5.9)).unwrap().bbox();
+        assert!(late.min_x() > early.min_x());
+        // The front keeps its segment count at evaluation.
+        assert_eq!(front.at_instant(t(3.0)).unwrap().num_segments(), 8);
+    }
+
+    #[test]
+    fn front_length_is_continuous() {
+        let front = moving_front(2, &FrontConfig::default());
+        let before = front.length_at(t(3.0 - 1e-9)).unwrap();
+        let at = front.length_at(t(3.0)).unwrap();
+        assert!(before.approx_eq(at, 1e-4));
+        assert_eq!(front.length_at(t(99.0)), Val::Undef);
+    }
+
+    #[test]
+    fn front_storage_roundtrip() {
+        use mob_storage::mapping_store::{load_mline, save_mline};
+        use mob_storage::PageStore;
+        let front = moving_front(7, &FrontConfig::default());
+        let mut store = PageStore::new();
+        let stored = save_mline(&front, &mut store);
+        assert_eq!(load_mline(&stored, &store), front);
+    }
+}

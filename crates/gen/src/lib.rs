@@ -1,0 +1,23 @@
+//! # `mob-gen` — seeded workload generators
+//!
+//! The paper's motivating data — planes, taxis, hurricanes — is
+//! proprietary or unavailable; these generators produce the synthetic
+//! equivalents used by the examples, tests and benchmarks (see
+//! DESIGN.md §3). Everything is deterministic in an explicit seed.
+
+#![warn(missing_docs)]
+
+pub mod front;
+pub mod network;
+pub mod region_gen;
+pub mod scenario;
+pub mod trajectory;
+
+pub use front::{moving_front, FrontConfig};
+pub use network::GridNetwork;
+pub use region_gen::{
+    blob_field, convex_blob, growing_square_unit, moving_storm, regular_ngon, storm_with_eye,
+    StormConfig,
+};
+pub use scenario::{plane_fleet, storm, taxi_fleet, Plane, AIRLINES};
+pub use trajectory::{flight_mpoint, random_waypoint_mpoint, TrajectoryConfig};

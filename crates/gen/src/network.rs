@@ -1,0 +1,146 @@
+//! Network-constrained movement: vehicles on a Manhattan grid of
+//! streets. This is the second motivating workload class of the paper
+//! (taxis/vehicles on a road network) — movement is still piecewise
+//! linear, but constrained to grid edges, which produces trajectories
+//! with many retraced segments (exercising the projection semantics of
+//! `trajectory`).
+
+use mob_base::Instant;
+use mob_core::MovingPoint;
+use mob_spatial::{Line, Point, Seg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A square Manhattan grid: streets at integer multiples of `block` in
+/// both directions, `blocks × blocks` cells.
+#[derive(Clone, Debug)]
+pub struct GridNetwork {
+    /// Number of blocks per side.
+    pub blocks: usize,
+    /// Side length of one block.
+    pub block: f64,
+}
+
+impl GridNetwork {
+    /// Construct a network.
+    pub fn new(blocks: usize, block: f64) -> GridNetwork {
+        assert!(blocks >= 1 && block > 0.0);
+        GridNetwork { blocks, block }
+    }
+
+    /// The street network as a `line` value.
+    pub fn as_line(&self) -> Line {
+        let n = self.blocks;
+        let b = self.block;
+        let span = n as f64 * b;
+        let mut segs = Vec::with_capacity(2 * (n + 1));
+        for k in 0..=n {
+            let c = k as f64 * b;
+            segs.push(Seg::new(
+                Point::from_f64(0.0, c),
+                Point::from_f64(span, c),
+            ));
+            segs.push(Seg::new(
+                Point::from_f64(c, 0.0),
+                Point::from_f64(c, span),
+            ));
+        }
+        Line::try_new(segs).expect("grid streets are valid")
+    }
+
+    /// The intersection at grid coordinates `(i, j)`.
+    pub fn node(&self, i: usize, j: usize) -> Point {
+        Point::from_f64(i as f64 * self.block, j as f64 * self.block)
+    }
+
+    /// A vehicle doing a random walk over intersections: `steps` legs of
+    /// one block each, `leg_duration` time per leg, starting at a random
+    /// intersection. The walk never immediately backtracks unless
+    /// cornered. Deterministic in the seed.
+    pub fn random_drive(&self, seed: u64, steps: usize, leg_duration: f64) -> MovingPoint {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = self.blocks;
+        let mut i = rng.gen_range(0..=n);
+        let mut j = rng.gen_range(0..=n);
+        let mut prev = (i, j);
+        let mut samples = Vec::with_capacity(steps + 1);
+        samples.push((Instant::from_f64(0.0), self.node(i, j)));
+        for k in 1..=steps {
+            let mut options: Vec<(usize, usize)> = Vec::with_capacity(4);
+            if i > 0 {
+                options.push((i - 1, j));
+            }
+            if i < n {
+                options.push((i + 1, j));
+            }
+            if j > 0 {
+                options.push((i, j - 1));
+            }
+            if j < n {
+                options.push((i, j + 1));
+            }
+            let non_backtracking: Vec<(usize, usize)> =
+                options.iter().copied().filter(|&o| o != prev).collect();
+            let pool = if non_backtracking.is_empty() {
+                &options
+            } else {
+                &non_backtracking
+            };
+            let next = pool[rng.gen_range(0..pool.len())];
+            prev = (i, j);
+            (i, j) = next;
+            samples.push((Instant::from_f64(k as f64 * leg_duration), self.node(i, j)));
+        }
+        MovingPoint::from_samples(&samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mob_base::{r, t, Val};
+    use mob_spatial::dist::point_line_distance;
+
+    #[test]
+    fn network_shape() {
+        let net = GridNetwork::new(4, 10.0);
+        let line = net.as_line();
+        assert_eq!(line.num_segments(), 10); // 5 horizontal + 5 vertical
+        assert_eq!(line.length(), r(10.0 * 40.0));
+        assert_eq!(net.node(2, 3), Point::from_f64(20.0, 30.0));
+    }
+
+    #[test]
+    fn drives_stay_on_the_network() {
+        let net = GridNetwork::new(6, 5.0);
+        let streets = net.as_line();
+        let drive = net.random_drive(11, 30, 1.0);
+        for k in 0..=300 {
+            let ti = t(k as f64 * 0.1);
+            if let Val::Def(p) = drive.at_instant(ti) {
+                let d = point_line_distance(p, &streets).unwrap();
+                assert!(d.get() < 1e-9, "off-network at {ti:?}: {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn drives_are_deterministic_and_distinct() {
+        let net = GridNetwork::new(4, 10.0);
+        assert_eq!(net.random_drive(5, 20, 1.0), net.random_drive(5, 20, 1.0));
+        assert_ne!(net.random_drive(5, 20, 1.0), net.random_drive(6, 20, 1.0));
+    }
+
+    #[test]
+    fn trajectory_shorter_than_travel_on_retraced_walks() {
+        // Grid walks retrace edges; the trajectory projection merges them.
+        let net = GridNetwork::new(2, 1.0); // tiny grid forces retracing
+        let drive = net.random_drive(3, 60, 1.0);
+        let traj_len = drive.trajectory().length();
+        let travel = drive.distance_travelled();
+        assert_eq!(travel, r(60.0)); // one block per leg
+        assert!(traj_len < travel);
+        // The trajectory is a subset of the street network.
+        assert!(traj_len <= net.as_line().length());
+    }
+}

@@ -1,0 +1,281 @@
+//! Generators for static and moving regions: convex "storm cells" whose
+//! vertices translate, grow and shrink linearly — the synthetic stand-in
+//! for hurricane/flood-area data (DESIGN.md §3).
+
+use mob_base::{Instant, Interval, TimeInterval};
+use mob_core::{MCycle, MFace, Mapping, MovingRegion, URegion};
+use mob_spatial::{Point, Region, Ring};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A convex polygon ring with `n` vertices approximating a circle of the
+/// given radius around `center`, with radial noise controlled by
+/// `roughness ∈ [0, 1)`.
+pub fn convex_blob(seed: u64, center: Point, radius: f64, n: usize, roughness: f64) -> Ring {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    assert!((0.0..1.0).contains(&roughness));
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Sorted angles with jitter keep the polygon simple (star-shaped).
+    let pts: Vec<Point> = (0..n)
+        .map(|k| {
+            let angle = 2.0 * std::f64::consts::PI * k as f64 / n as f64;
+            let r = radius * (1.0 - roughness * rng.gen_range(0.0..1.0));
+            Point::from_f64(
+                center.x.get() + r * angle.cos(),
+                center.y.get() + r * angle.sin(),
+            )
+        })
+        .collect();
+    Ring::try_new(pts).expect("star-shaped polygon is a valid cycle")
+}
+
+/// A regular `n`-gon ring (exact, for deterministic tests).
+pub fn regular_ngon(center: Point, radius: f64, n: usize) -> Ring {
+    convex_blob(0, center, radius, n, 0.0)
+}
+
+/// Parameters of the moving-storm workload.
+#[derive(Clone, Debug)]
+pub struct StormConfig {
+    /// Vertices per snapshot polygon (moving segments per unit).
+    pub vertices: usize,
+    /// Number of units.
+    pub units: usize,
+    /// Duration of each unit.
+    pub unit_duration: f64,
+    /// Start time.
+    pub start: f64,
+    /// Initial center.
+    pub center: (f64, f64),
+    /// Drift per unit (dx, dy).
+    pub drift: (f64, f64),
+    /// Initial radius.
+    pub radius: f64,
+    /// Radius growth factor per unit (e.g. 1.1 = grows 10% per unit).
+    pub growth: f64,
+}
+
+impl Default for StormConfig {
+    fn default() -> Self {
+        StormConfig {
+            vertices: 12,
+            units: 8,
+            unit_duration: 1.0,
+            start: 0.0,
+            center: (0.0, 0.0),
+            drift: (10.0, 5.0),
+            radius: 20.0,
+            growth: 1.05,
+        }
+    }
+}
+
+/// A moving storm: a convex cell drifting and growing linearly within
+/// each unit, with a fresh snapshot at every unit boundary.
+pub fn moving_storm(seed: u64, cfg: &StormConfig) -> MovingRegion {
+    let snapshot = |k: usize| -> Ring {
+        let cx = cfg.center.0 + cfg.drift.0 * k as f64;
+        let cy = cfg.center.1 + cfg.drift.1 * k as f64;
+        let r = cfg.radius * cfg.growth.powi(k as i32);
+        // Same seed for every snapshot: vertex k corresponds to vertex k,
+        // so the interpolation is a valid non-rotating moving cycle.
+        convex_blob(seed, Point::from_f64(cx, cy), r, cfg.vertices, 0.3)
+    };
+    let mut units = Vec::with_capacity(cfg.units);
+    for k in 0..cfg.units {
+        // Compute both boundaries the same way so consecutive units
+        // share the instant exactly (k·d + d ≠ (k+1)·d in floats).
+        let t0 = cfg.start + k as f64 * cfg.unit_duration;
+        let t1 = cfg.start + (k + 1) as f64 * cfg.unit_duration;
+        let last = k == cfg.units - 1;
+        let iv = Interval::new(
+            Instant::from_f64(t0),
+            Instant::from_f64(t1),
+            true,
+            last,
+        );
+        let full = Interval::closed(Instant::from_f64(t0), Instant::from_f64(t1));
+        let cyc = MCycle::interpolate(
+            *full.start(),
+            &snapshot(k),
+            *full.end(),
+            &snapshot(k + 1),
+        )
+        .expect("matching vertex counts");
+        units.push(
+            URegion::try_new(iv, vec![MFace::simple(cyc)])
+                .expect("convex interpolation stays valid"),
+        );
+    }
+    Mapping::try_new(units).expect("consecutive units carry distinct motions")
+}
+
+/// A moving storm *with an eye*: a drifting annulus — outer cell plus a
+/// moving hole — exercising `MFace` holes end to end.
+pub fn storm_with_eye(seed: u64, cfg: &StormConfig) -> MovingRegion {
+    let outer_snapshot = |k: usize| -> Ring {
+        let cx = cfg.center.0 + cfg.drift.0 * k as f64;
+        let cy = cfg.center.1 + cfg.drift.1 * k as f64;
+        let r = cfg.radius * cfg.growth.powi(k as i32);
+        convex_blob(seed, Point::from_f64(cx, cy), r, cfg.vertices, 0.2)
+    };
+    let eye_snapshot = |k: usize| -> Ring {
+        let cx = cfg.center.0 + cfg.drift.0 * k as f64;
+        let cy = cfg.center.1 + cfg.drift.1 * k as f64;
+        // The eye is a fifth of the storm radius and drifts with it.
+        let r = cfg.radius * cfg.growth.powi(k as i32) * 0.2;
+        convex_blob(seed ^ 0xEE, Point::from_f64(cx, cy), r, cfg.vertices.max(4) / 2, 0.1)
+    };
+    let mut units = Vec::with_capacity(cfg.units);
+    for k in 0..cfg.units {
+        let t0 = cfg.start + k as f64 * cfg.unit_duration;
+        let t1 = cfg.start + (k + 1) as f64 * cfg.unit_duration;
+        let last = k == cfg.units - 1;
+        let iv = Interval::new(Instant::from_f64(t0), Instant::from_f64(t1), true, last);
+        let outer = MCycle::interpolate(
+            Instant::from_f64(t0),
+            &outer_snapshot(k),
+            Instant::from_f64(t1),
+            &outer_snapshot(k + 1),
+        )
+        .expect("matching vertex counts");
+        let eye = MCycle::interpolate(
+            Instant::from_f64(t0),
+            &eye_snapshot(k),
+            Instant::from_f64(t1),
+            &eye_snapshot(k + 1),
+        )
+        .expect("matching vertex counts");
+        units.push(
+            URegion::try_new(iv, vec![MFace::new(outer, vec![eye])])
+                .expect("annulus interpolation stays valid"),
+        );
+    }
+    Mapping::try_new(units).expect("consecutive units carry distinct motions")
+}
+
+/// A static region made of `faces` disjoint convex blobs in a row.
+pub fn blob_field(seed: u64, faces: usize, radius: f64, vertices: usize) -> Region {
+    let rings: Vec<Ring> = (0..faces)
+        .map(|k| {
+            convex_blob(
+                seed.wrapping_add(k as u64),
+                Point::from_f64(k as f64 * 3.0 * radius, 0.0),
+                radius,
+                vertices,
+                0.2,
+            )
+        })
+        .collect();
+    Region::try_new(rings.into_iter().map(mob_spatial::Face::simple).collect())
+        .expect("blobs are spaced apart")
+}
+
+/// The total number of moving segments of a moving region (workload size
+/// `S` in the Sec 5.2 analysis).
+pub fn storm_msegs(m: &MovingRegion) -> usize {
+    m.total_msegs()
+}
+
+/// A growing square as a single unit — the minimal deterministic moving
+/// region for micro-tests.
+pub fn growing_square_unit(t0: f64, t1: f64, side0: f64, side1: f64) -> URegion {
+    let ring = |s: f64| -> Ring {
+        mob_spatial::rect_ring(-s / 2.0, -s / 2.0, s / 2.0, s / 2.0)
+    };
+    URegion::interpolate(
+        TimeInterval::closed(Instant::from_f64(t0), Instant::from_f64(t1)),
+        &ring(side0),
+        &ring(side1),
+    )
+    .expect("axis-aligned growth is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mob_base::{t, Real, Val};
+    use mob_spatial::pt;
+
+    #[test]
+    fn blob_is_valid_and_deterministic() {
+        let a = convex_blob(5, pt(0.0, 0.0), 10.0, 16, 0.3);
+        let b = convex_blob(5, pt(0.0, 0.0), 10.0, 16, 0.3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        assert!(a.area() > Real::ZERO);
+        assert!(a.contains_point(pt(0.0, 0.0)));
+    }
+
+    #[test]
+    fn regular_ngon_area_approaches_circle() {
+        let hex = regular_ngon(pt(0.0, 0.0), 1.0, 6);
+        // Area of regular hexagon with circumradius 1: 3√3/2 ≈ 2.598.
+        assert!(hex.area().approx_eq(Real::new(2.598), 1e-2));
+        let many = regular_ngon(pt(0.0, 0.0), 1.0, 256);
+        assert!(many.area().approx_eq(Real::new(std::f64::consts::PI), 1e-3));
+    }
+
+    #[test]
+    fn storm_covers_time_and_moves() {
+        let cfg = StormConfig::default();
+        let storm = moving_storm(9, &cfg);
+        assert_eq!(storm.num_units(), cfg.units);
+        // Defined over the whole span.
+        assert!(storm.present_at(t(0.0)));
+        assert!(storm.present_at(t(7.9)));
+        assert!(!storm.present_at(t(8.1)));
+        // The storm drifts: snapshots at 0 and 7 have different centers.
+        let r0 = storm.at_instant(t(0.0)).unwrap();
+        let r7 = storm.at_instant(t(7.0)).unwrap();
+        assert!(r0.contains_point(pt(0.0, 0.0)));
+        assert!(!r7.contains_point(pt(0.0, 0.0)));
+        assert!(r7.contains_point(pt(70.0, 35.0)));
+        // It grows.
+        assert!(r7.area() > r0.area());
+    }
+
+    #[test]
+    fn storm_area_is_continuous_across_units() {
+        let storm = moving_storm(3, &StormConfig::default());
+        let area = storm.area();
+        // Area just before and just after a unit boundary agree.
+        let before = area.at_instant(t(3.0 - 1e-9)).unwrap();
+        let at = area.at_instant(t(3.0)).unwrap();
+        assert!(before.approx_eq(at, 1e-4));
+        assert_eq!(area.at_instant(t(99.0)), Val::Undef);
+    }
+
+    #[test]
+    fn storm_with_eye_has_hole() {
+        let cfg = StormConfig::default();
+        let storm = storm_with_eye(4, &cfg);
+        let snap = storm.at_instant(t(3.5)).unwrap();
+        assert_eq!(snap.num_faces(), 1);
+        assert_eq!(snap.num_cycles(), 2);
+        // The eye's center is not inside the region.
+        let cx = cfg.center.0 + cfg.drift.0 * 3.5;
+        let cy = cfg.center.1 + cfg.drift.1 * 3.5;
+        assert!(!snap.contains_point(pt(cx, cy)));
+        // But the annulus body is.
+        let area = storm.area();
+        let a = area.at_instant(t(3.5)).unwrap();
+        assert!(a.approx_eq(snap.area(), 1e-6 * a.get().max(1.0)));
+        assert!(a > Real::ZERO);
+    }
+
+    #[test]
+    fn blob_field_faces() {
+        let field = blob_field(1, 4, 5.0, 8);
+        assert_eq!(field.num_faces(), 4);
+        assert!(field.area() > Real::ZERO);
+    }
+
+    #[test]
+    fn growing_square() {
+        let u = growing_square_unit(0.0, 1.0, 2.0, 4.0);
+        assert_eq!(storm_msegs(&Mapping::single(u.clone())), 4);
+        assert_eq!(u.area_ureal().value_at(t(0.0)), Real::new(4.0));
+        assert_eq!(u.area_ureal().value_at(t(1.0)), Real::new(16.0));
+    }
+}

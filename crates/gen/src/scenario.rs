@@ -1,0 +1,130 @@
+//! Named, seeded scenarios shared by the examples, integration tests and
+//! the benchmark harness — so every experiment runs on the same
+//! reproducible workloads.
+
+use crate::region_gen::{moving_storm, StormConfig};
+use crate::trajectory::{flight_mpoint, random_waypoint_mpoint, TrajectoryConfig};
+use mob_core::{MovingPoint, MovingRegion};
+use mob_spatial::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One plane of the fleet scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Plane {
+    /// Airline name.
+    pub airline: String,
+    /// Flight id (unique).
+    pub id: String,
+    /// The recorded movement.
+    pub flight: MovingPoint,
+}
+
+/// Airlines used by the fleet generator.
+pub const AIRLINES: [&str; 4] = ["Lufthansa", "British Airways", "Air France", "KLM"];
+
+/// A fleet of `n` planes flying point-to-point routes across a
+/// 2000×2000 world during `[0, 100]`, with `units_per_flight` legs each.
+/// Deterministic in the seed.
+pub fn plane_fleet(seed: u64, n: usize, units_per_flight: usize) -> Vec<Plane> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|k| {
+            let from = Point::from_f64(
+                rng.gen_range(-1000.0..1000.0),
+                rng.gen_range(-1000.0..1000.0),
+            );
+            let to = Point::from_f64(
+                rng.gen_range(-1000.0..1000.0),
+                rng.gen_range(-1000.0..1000.0),
+            );
+            let t0 = rng.gen_range(0.0..20.0);
+            let t1 = t0 + rng.gen_range(30.0..80.0);
+            Plane {
+                airline: AIRLINES[k % AIRLINES.len()].to_string(),
+                id: format!("F{k:04}"),
+                flight: flight_mpoint(seed.wrapping_add(k as u64), from, to, t0, t1,
+                                      units_per_flight, 2.0),
+            }
+        })
+        .collect()
+}
+
+/// A fleet of `n` taxis doing random-waypoint movement in a city square.
+pub fn taxi_fleet(seed: u64, n: usize, units: usize) -> Vec<MovingPoint> {
+    let cfg = TrajectoryConfig {
+        extent: 100.0,
+        units,
+        leg_duration: 1.0,
+        max_step: 10.0,
+        start: 0.0,
+    };
+    (0..n)
+        .map(|k| random_waypoint_mpoint(seed.wrapping_add(k as u64), &cfg))
+        .collect()
+}
+
+/// The standard storm scenario: a drifting, growing convex cell with the
+/// given number of units and boundary vertices.
+pub fn storm(seed: u64, units: usize, vertices: usize) -> MovingRegion {
+    moving_storm(
+        seed,
+        &StormConfig {
+            units,
+            vertices,
+            unit_duration: 100.0 / units as f64,
+            drift: (120.0 / units as f64, 60.0 / units as f64),
+            radius: 25.0,
+            growth: (1.8f64).powf(1.0 / units as f64),
+            ..StormConfig::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_is_deterministic_and_unique_ids() {
+        let a = plane_fleet(11, 20, 8);
+        let b = plane_fleet(11, 20, 8);
+        assert_eq!(a, b);
+        let mut ids: Vec<&str> = a.iter().map(|p| p.id.as_str()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 20);
+        // All airlines used.
+        assert!(AIRLINES
+            .iter()
+            .all(|al| a.iter().any(|p| p.airline == *al)));
+    }
+
+    #[test]
+    fn fleet_unit_counts() {
+        let fleet = plane_fleet(3, 5, 12);
+        for p in &fleet {
+            assert!(p.flight.num_units() >= 9, "{}", p.flight.num_units());
+            assert!(!p.flight.is_empty());
+        }
+    }
+
+    #[test]
+    fn taxis_share_time_axis() {
+        let taxis = taxi_fleet(5, 8, 10);
+        assert_eq!(taxis.len(), 8);
+        for m in &taxis {
+            assert!(m.present_at(mob_base::t(5.0)));
+        }
+    }
+
+    #[test]
+    fn storm_scales_with_parameters() {
+        let small = storm(2, 4, 8);
+        let big = storm(2, 16, 24);
+        assert_eq!(small.num_units(), 4);
+        assert_eq!(big.num_units(), 16);
+        assert_eq!(small.total_msegs(), 4 * 8);
+        assert_eq!(big.total_msegs(), 16 * 24);
+    }
+}

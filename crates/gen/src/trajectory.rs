@@ -1,0 +1,173 @@
+//! Seeded trajectory generators: piecewise-linear moving points standing
+//! in for real plane/vehicle traces (see DESIGN.md §3 on substitutions).
+//!
+//! The algorithms' costs depend only on unit counts and geometry, both of
+//! which these generators control precisely — which is exactly what the
+//! complexity-shape experiments need.
+
+use mob_base::{Instant, Real};
+use mob_core::MovingPoint;
+use mob_spatial::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the trajectory workload.
+#[derive(Clone, Debug)]
+pub struct TrajectoryConfig {
+    /// Half-width of the square world `[-extent, extent]²`.
+    pub extent: f64,
+    /// Number of units (sampled legs) per trajectory.
+    pub units: usize,
+    /// Duration of each leg.
+    pub leg_duration: f64,
+    /// Maximum displacement per leg.
+    pub max_step: f64,
+    /// Start time of all trajectories.
+    pub start: f64,
+}
+
+impl Default for TrajectoryConfig {
+    fn default() -> Self {
+        TrajectoryConfig {
+            extent: 1000.0,
+            units: 16,
+            leg_duration: 1.0,
+            max_step: 50.0,
+            start: 0.0,
+        }
+    }
+}
+
+/// A random-waypoint moving point: starts at a uniform position, then
+/// takes `units` legs of bounded displacement (reflected at the world
+/// boundary). Deterministic in the seed.
+pub fn random_waypoint_mpoint(seed: u64, cfg: &TrajectoryConfig) -> MovingPoint {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut samples = Vec::with_capacity(cfg.units + 1);
+    let mut x = rng.gen_range(-cfg.extent..cfg.extent);
+    let mut y = rng.gen_range(-cfg.extent..cfg.extent);
+    samples.push((
+        Instant::from_f64(cfg.start),
+        Point::from_f64(x, y),
+    ));
+    for k in 1..=cfg.units {
+        x += rng.gen_range(-cfg.max_step..cfg.max_step);
+        y += rng.gen_range(-cfg.max_step..cfg.max_step);
+        // Reflect into the world.
+        x = x.clamp(-cfg.extent, cfg.extent);
+        y = y.clamp(-cfg.extent, cfg.extent);
+        samples.push((
+            Instant::from_f64(cfg.start + k as f64 * cfg.leg_duration),
+            Point::from_f64(x, y),
+        ));
+    }
+    dedup_stalls(&mut samples);
+    MovingPoint::from_samples(&samples)
+}
+
+/// A straight flight from `from` to `to` over `[t0, t1]`, subdivided
+/// into `units` legs (all with the same velocity — they merge back into
+/// few units unless jitter is added; pass `jitter > 0` to keep them
+/// distinct, which is what unit-count scaling experiments need).
+pub fn flight_mpoint(
+    seed: u64,
+    from: Point,
+    to: Point,
+    t0: f64,
+    t1: f64,
+    units: usize,
+    jitter: f64,
+) -> MovingPoint {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut samples = Vec::with_capacity(units + 1);
+    for k in 0..=units {
+        let f = k as f64 / units as f64;
+        let base = from.lerp(to, Real::new(f));
+        let (jx, jy) = if k == 0 || k == units || jitter == 0.0 {
+            (0.0, 0.0)
+        } else {
+            (
+                rng.gen_range(-jitter..jitter),
+                rng.gen_range(-jitter..jitter),
+            )
+        };
+        samples.push((
+            Instant::from_f64(t0 + f * (t1 - t0)),
+            Point::from_f64(base.x.get() + jx, base.y.get() + jy),
+        ));
+    }
+    dedup_stalls(&mut samples);
+    MovingPoint::from_samples(&samples)
+}
+
+/// Remove consecutive samples at identical positions *and* identical
+/// instants (degenerate input the builder would reject).
+fn dedup_stalls(samples: &mut Vec<(Instant, Point)>) {
+    samples.dedup_by(|a, b| a.0 == b.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mob_base::t;
+    use mob_spatial::pt;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = TrajectoryConfig::default();
+        let a = random_waypoint_mpoint(42, &cfg);
+        let b = random_waypoint_mpoint(42, &cfg);
+        let c = random_waypoint_mpoint(43, &cfg);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn covers_requested_time_span() {
+        let cfg = TrajectoryConfig {
+            units: 10,
+            leg_duration: 2.0,
+            start: 5.0,
+            ..TrajectoryConfig::default()
+        };
+        let m = random_waypoint_mpoint(1, &cfg);
+        let dt = m.deftime();
+        assert_eq!(dt.minimum().unwrap(), t(5.0));
+        assert_eq!(dt.maximum().unwrap(), t(25.0));
+        assert!(m.num_units() <= 10);
+        assert!(m.present_at(t(12.3)));
+    }
+
+    #[test]
+    fn world_bounds_respected() {
+        let cfg = TrajectoryConfig {
+            extent: 100.0,
+            units: 50,
+            max_step: 80.0,
+            ..TrajectoryConfig::default()
+        };
+        let m = random_waypoint_mpoint(7, &cfg);
+        let cube = m.bounding_cube().unwrap();
+        // Unit-endpoint evaluation can overshoot by rounding residue.
+        let eps = 1e-9;
+        assert!(cube.rect.min_x().get() >= -100.0 - eps);
+        assert!(cube.rect.max_x().get() <= 100.0 + eps);
+        assert!(cube.rect.min_y().get() >= -100.0 - eps);
+        assert!(cube.rect.max_y().get() <= 100.0 + eps);
+    }
+
+    #[test]
+    fn flight_unit_count_scales_with_jitter() {
+        let f = flight_mpoint(1, pt(0.0, 0.0), pt(100.0, 0.0), 0.0, 10.0, 20, 0.5);
+        // Jittered waypoints prevent merging: close to 20 units.
+        assert!(f.num_units() >= 15, "got {}", f.num_units());
+        // Without jitter the legs share (up to rounding of the
+        // interpolated waypoints) one motion: far fewer units survive
+        // the concat merge.
+        let s = flight_mpoint(1, pt(0.0, 0.0), pt(100.0, 0.0), 0.0, 10.0, 20, 0.0);
+        assert!(s.num_units() < f.num_units());
+        // End points are exact.
+        assert_eq!(f.at_instant(t(0.0)).unwrap(), pt(0.0, 0.0));
+        assert_eq!(f.at_instant(t(10.0)).unwrap(), pt(100.0, 0.0));
+    }
+}

@@ -1,0 +1,53 @@
+//! # `mob` — a moving objects database library
+//!
+//! A from-scratch Rust implementation of the discrete data model of
+//! **"A Data Model and Data Structures for Moving Objects Databases"**
+//! (Forlizzi, Güting, Nardelli & Schneider, SIGMOD 2000).
+//!
+//! This facade re-exports the whole stack:
+//!
+//! * [`base`] — base/time types, intervals, range sets (Secs 3.2.1, 3.2.3);
+//! * [`spatial`] — the spatial algebra: point(s), line, region with the
+//!   full carrier-set invariants and boolean set operations (Sec 3.2.2);
+//! * [`core`] — the sliced representation: unit types, the `mapping`
+//!   constructor, lifted operations and the Sec 5 algorithms;
+//! * [`storage`] — the Sec 4 attribute data structures (root records,
+//!   database arrays, subarrays, page store);
+//! * [`rel`] — a minimal relational engine so the paper's queries run;
+//! * [`gen`] — seeded workload generators.
+//!
+//! ```
+//! use mob::prelude::*;
+//!
+//! // A plane climbing north-east, sampled at three instants.
+//! let flight = MovingPoint::from_samples(&[
+//!     (t(0.0), pt(0.0, 0.0)),
+//!     (t(1.0), pt(3.0, 4.0)),
+//!     (t(2.0), pt(3.0, 10.0)),
+//! ]);
+//! assert_eq!(flight.at_instant(t(0.5)).unwrap(), pt(1.5, 2.0));
+//! assert_eq!(flight.trajectory().length().get(), 11.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use mob_base as base;
+pub use mob_core as core;
+pub use mob_gen as gen;
+pub use mob_rel as rel;
+pub use mob_spatial as spatial;
+pub use mob_storage as storage;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use mob_base::{r, t, Instant, Interval, Intime, Periods, RangeSet, Real, Text,
+                       TimeInterval, Val};
+    pub use mob_core::{
+        lift1, lift2, ConstUnit, MCycle, MFace, MSeg, Mapping, MappingBuilder, MovingBool,
+        MovingInt, MovingLine, MovingPoint, MovingPoints, MovingReal, MovingRegion, MovingString,
+        PointMotion, ULine, UPoint, UPoints, UReal, URegion, Unit,
+    };
+    pub use mob_rel::{AttrType, AttrValue, Relation, Schema, Tuple};
+    pub use mob_spatial::{pt, rect_ring, seg, Cube, Face, Line, Point, Points, Rect, Region,
+                          Ring, Seg};
+}

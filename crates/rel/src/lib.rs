@@ -1,0 +1,22 @@
+//! # `mob-rel` — relational embedding of the moving-objects types
+//!
+//! Section 2 of the paper embeds the spatio-temporal data types "as
+//! attribute types into object-relational or other data models". This
+//! crate provides the minimal relational engine needed to run the
+//! paper's example queries end to end: typed schemas, relations with
+//! selection / projection / extension / nested-loop join, and the two
+//! queries of Section 2 implemented verbatim over `mpoint` attributes.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod queries;
+pub mod relation;
+pub mod schema;
+pub mod value;
+
+pub use queries::{close_encounters, closest_approach, long_flights, planes_relation, planes_schema, storm_exposure};
+pub use catalog::{load_relation, save_relation, StoredRelation};
+pub use relation::{Relation, Tuple};
+pub use schema::Schema;
+pub use value::{AttrType, AttrValue};

@@ -1,0 +1,215 @@
+//! The two example queries of Section 2, verbatim.
+//!
+//! ```sql
+//! SELECT airline, id FROM planes
+//! WHERE airline = "Lufthansa" AND length(trajectory(flight)) > 5000
+//!
+//! SELECT p.airline, p.id, q.airline, q.id FROM planes p, planes q
+//! WHERE val(initial(atmin(distance(p.flight, q.flight)))) < 0.5
+//! ```
+
+use crate::relation::{Relation, Tuple};
+use crate::schema::Schema;
+use crate::value::{AttrType, AttrValue};
+use mob_base::{Real, Val};
+use mob_core::MovingPoint;
+
+/// The `planes(airline: string, id: string, flight: mpoint)` schema.
+pub fn planes_schema() -> Schema {
+    Schema::new(&[
+        ("airline", AttrType::Str),
+        ("id", AttrType::Str),
+        ("flight", AttrType::MPoint),
+    ])
+    .expect("static schema is valid")
+}
+
+/// Build the `planes` relation from `(airline, id, flight)` rows.
+pub fn planes_relation(rows: Vec<(String, String, MovingPoint)>) -> Relation {
+    let mut rel = Relation::new(planes_schema());
+    for (airline, id, flight) in rows {
+        rel.insert(Tuple::new(vec![
+            AttrValue::str(&airline),
+            AttrValue::str(&id),
+            AttrValue::MPoint(flight),
+        ]))
+        .expect("rows match the planes schema");
+    }
+    rel
+}
+
+/// Query 1: "Give me all flights of `airline` longer than `min_length`"
+/// — `length(trajectory(flight)) > min_length`, a pure projection into
+/// space.
+pub fn long_flights(planes: &Relation, airline: &str, min_length: f64) -> Relation {
+    let a = planes.attr("airline");
+    let f = planes.attr("flight");
+    let min = Real::new(min_length);
+    planes
+        .select(|t| {
+            t.at(a).as_str() == Some(airline)
+                && t.at(f)
+                    .as_mpoint()
+                    .map(|m| m.trajectory().length() > min)
+                    .unwrap_or(false)
+        })
+        .project(&["airline", "id"])
+        .expect("projection attributes exist")
+}
+
+/// The scalar distance of closest approach between two flights:
+/// `val(initial(atmin(distance(p, q))))`, ⊥ when the flights never
+/// coexist in time.
+pub fn closest_approach(p: &MovingPoint, q: &MovingPoint) -> Val<Real> {
+    p.distance(q).atmin().initial().map(|it| it.val())
+}
+
+/// Query 2: "Find all pairs of planes that during their flight came
+/// closer to each other than `threshold`" — the spatio-temporal join.
+/// Pairs are reported once (`p.id < q.id`), excluding self-pairs.
+pub fn close_encounters(planes: &Relation, threshold: f64) -> Relation {
+    let id = planes.attr("id");
+    let f = planes.attr("flight");
+    let thr = Real::new(threshold);
+    planes
+        .join(planes, |p, q| {
+            if p.at(id).as_str() >= q.at(id).as_str() {
+                return false;
+            }
+            let (Some(fp), Some(fq)) = (p.at(f).as_mpoint(), q.at(f).as_mpoint()) else {
+                return false;
+            };
+            match closest_approach(fp, fq) {
+                Val::Def(d) => d < thr,
+                Val::Undef => false,
+            }
+        })
+        .project(&["left.airline", "left.id", "right.airline", "right.id"])
+        .expect("projection attributes exist")
+}
+
+/// Query 3 (extension): "Which planes fly through the storm, and for how
+/// long?" — a lifted `inside` between an `mpoint` attribute and a
+/// `moving(region)`, projected to exposure durations. Returns
+/// `(airline, id, exposure)` rows for exposed planes, longest first.
+pub fn storm_exposure(planes: &Relation, storm: &mob_core::MovingRegion) -> Relation {
+    let f = planes.attr("flight");
+    planes
+        .extend("exposure", AttrType::Real, |t| {
+            let dur = t
+                .at(f)
+                .as_mpoint()
+                .map(|m| {
+                    storm
+                        .contains_moving_point(m)
+                        .when_true()
+                        .total_duration()
+                })
+                .unwrap_or(Real::ZERO);
+            AttrValue::Real(Val::Def(dur))
+        })
+        .expect("fresh attribute name")
+        .select(|t| t.values().last().and_then(|v| v.as_real()).unwrap_or(Real::ZERO) > Real::ZERO)
+        .order_by(|t| {
+            // Longest exposure first; Real is totally ordered.
+            std::cmp::Reverse(
+                t.values()
+                    .last()
+                    .and_then(|v| v.as_real())
+                    .unwrap_or(Real::ZERO),
+            )
+        })
+        .project(&["airline", "id", "exposure"])
+        .expect("projection attributes exist")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mob_base::t;
+    use mob_spatial::pt;
+
+    fn fleet() -> Relation {
+        // LH1: a long straight flight (length 8).
+        let lh1 = MovingPoint::from_samples(&[(t(0.0), pt(0.0, 0.0)), (t(4.0), pt(8.0, 0.0))]);
+        // LH2: a short hop (length 1).
+        let lh2 = MovingPoint::from_samples(&[(t(0.0), pt(0.0, 5.0)), (t(1.0), pt(1.0, 5.0))]);
+        // BA1: crosses LH1's path at (4, 0) at t = 2 — a near miss.
+        let ba1 = MovingPoint::from_samples(&[(t(0.0), pt(4.0, -4.0)), (t(4.0), pt(4.0, 4.0))]);
+        // AF1: far away the whole time.
+        let af1 =
+            MovingPoint::from_samples(&[(t(0.0), pt(100.0, 100.0)), (t(4.0), pt(101.0, 100.0))]);
+        planes_relation(vec![
+            ("Lufthansa".into(), "LH1".into(), lh1),
+            ("Lufthansa".into(), "LH2".into(), lh2),
+            ("British Airways".into(), "BA1".into(), ba1),
+            ("Air France".into(), "AF1".into(), af1),
+        ])
+    }
+
+    #[test]
+    fn query1_long_flights() {
+        let planes = fleet();
+        let result = long_flights(&planes, "Lufthansa", 5.0);
+        assert_eq!(result.len(), 1);
+        assert_eq!(result.tuples()[0].at(1).as_str(), Some("LH1"));
+        // Threshold above all lengths: empty.
+        assert!(long_flights(&planes, "Lufthansa", 100.0).is_empty());
+        // Other airline's flights (AF1 has length 1) are not reported.
+        assert!(long_flights(&planes, "Air France", 2.0).is_empty());
+    }
+
+    #[test]
+    fn query2_close_encounters() {
+        let planes = fleet();
+        // LH1 and BA1 actually collide at (4,0) at t=2: distance 0.
+        let result = close_encounters(&planes, 0.5);
+        assert_eq!(result.len(), 1);
+        let t0 = &result.tuples()[0];
+        assert_eq!(t0.at(1).as_str(), Some("BA1"));
+        assert_eq!(t0.at(3).as_str(), Some("LH1"));
+        // With a huge threshold every temporally overlapping pair counts
+        // (AF1 overlaps in time with everyone; LH2 only until t=1).
+        let all = close_encounters(&planes, 1e6);
+        assert_eq!(all.len(), 6);
+    }
+
+    #[test]
+    fn query3_storm_exposure() {
+        use mob_base::Interval;
+        use mob_core::{Mapping, URegion};
+        use mob_spatial::rect_ring;
+        // A stationary 10×10 "storm" over [0, 4].
+        let storm: mob_core::MovingRegion = Mapping::single(
+            URegion::interpolate(
+                Interval::closed(t(0.0), t(4.0)),
+                &rect_ring(0.0, 0.0, 10.0, 10.0),
+                &rect_ring(0.0, 0.0, 10.0, 10.0),
+            )
+            .unwrap(),
+        );
+        // P1 crosses it for half its flight; P2 stays outside.
+        let p1 = MovingPoint::from_samples(&[(t(0.0), pt(-10.0, 5.0)), (t(4.0), pt(10.0, 5.0))]);
+        let p2 = MovingPoint::from_samples(&[(t(0.0), pt(50.0, 50.0)), (t(4.0), pt(60.0, 50.0))]);
+        let planes = planes_relation(vec![
+            ("X".into(), "P1".into(), p1),
+            ("X".into(), "P2".into(), p2),
+        ]);
+        let result = storm_exposure(&planes, &storm);
+        assert_eq!(result.len(), 1);
+        let row = &result.tuples()[0];
+        assert_eq!(row.at(1).as_str(), Some("P1"));
+        // Inside for x ∈ [0,10] ⇒ t ∈ [2,4]: exposure 2.
+        assert!(row.at(2).as_real().unwrap().approx_eq(Real::new(2.0), 1e-9));
+    }
+
+    #[test]
+    fn closest_approach_values() {
+        let a = MovingPoint::from_samples(&[(t(0.0), pt(0.0, 0.0)), (t(2.0), pt(2.0, 0.0))]);
+        let b = MovingPoint::from_samples(&[(t(0.0), pt(0.0, 3.0)), (t(2.0), pt(2.0, 3.0))]);
+        assert_eq!(closest_approach(&a, &b), Val::Def(Real::new(3.0)));
+        // Disjoint lifetimes: undefined.
+        let c = MovingPoint::from_samples(&[(t(10.0), pt(0.0, 0.0)), (t(11.0), pt(1.0, 0.0))]);
+        assert!(closest_approach(&a, &c).is_undef());
+    }
+}

@@ -1,0 +1,286 @@
+//! Relations and the operators needed to run the paper's queries:
+//! selection, projection, extension (computed attributes) and the
+//! nested-loop join used by the spatio-temporal join of Sec 2.
+
+use crate::schema::Schema;
+use crate::value::{AttrType, AttrValue};
+use mob_base::error::{InvariantViolation, Result};
+
+/// A tuple: attribute values matching a schema.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Tuple {
+    values: Vec<AttrValue>,
+}
+
+impl Tuple {
+    /// Build from values (validated against the schema on insert).
+    pub fn new(values: Vec<AttrValue>) -> Tuple {
+        Tuple { values }
+    }
+
+    /// The values.
+    pub fn values(&self) -> &[AttrValue] {
+        &self.values
+    }
+
+    /// Value by position.
+    pub fn at(&self, idx: usize) -> &AttrValue {
+        &self.values[idx]
+    }
+}
+
+/// A materialized relation.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Relation {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// An empty relation over a schema.
+    pub fn new(schema: Schema) -> Relation {
+        Relation {
+            schema,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` when the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuples.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Insert a tuple, checking arity and types.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<()> {
+        if tuple.values.len() != self.schema.arity() {
+            return Err(InvariantViolation::new("relation: tuple arity mismatch"));
+        }
+        for (v, (name, ty)) in tuple.values.iter().zip(self.schema.attrs()) {
+            if v.attr_type() != *ty {
+                return Err(InvariantViolation::with_detail(
+                    "relation: attribute type mismatch",
+                    format!("{name}: expected {ty:?}, got {:?}", v.attr_type()),
+                ));
+            }
+        }
+        self.tuples.push(tuple);
+        Ok(())
+    }
+
+    /// A named accessor closure factory: `rel.attr("flight")` returns the
+    /// attribute index for use in predicates.
+    pub fn attr(&self, name: &str) -> usize {
+        self.schema
+            .index_of(name)
+            .unwrap_or_else(|| panic!("unknown attribute {name}"))
+    }
+
+    /// Selection: keep the tuples satisfying the predicate.
+    pub fn select(&self, pred: impl Fn(&Tuple) -> bool) -> Relation {
+        Relation {
+            schema: self.schema.clone(),
+            tuples: self
+                .tuples
+                .iter()
+                .filter(|t| pred(t))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Projection onto named attributes.
+    pub fn project(&self, names: &[&str]) -> Result<Relation> {
+        let schema = self.schema.project(names)?;
+        let idx: Vec<usize> = names
+            .iter()
+            .map(|n| self.schema.index_of(n).expect("validated by project"))
+            .collect();
+        let tuples = self
+            .tuples
+            .iter()
+            .map(|t| Tuple::new(idx.iter().map(|&i| t.values[i].clone()).collect()))
+            .collect();
+        Ok(Relation { schema, tuples })
+    }
+
+    /// Extension: add a computed attribute (the algebra's `extend`, used
+    /// for terms like `length(trajectory(flight))`).
+    pub fn extend(
+        &self,
+        name: &str,
+        ty: AttrType,
+        f: impl Fn(&Tuple) -> AttrValue,
+    ) -> Result<Relation> {
+        let schema = self.schema.extend(name, ty)?;
+        let mut tuples = Vec::with_capacity(self.tuples.len());
+        for t in &self.tuples {
+            let v = f(t);
+            if v.attr_type() != ty {
+                return Err(InvariantViolation::new(
+                    "relation: extend closure returned wrong type",
+                ));
+            }
+            let mut values = t.values.clone();
+            values.push(v);
+            tuples.push(Tuple::new(values));
+        }
+        Ok(Relation { schema, tuples })
+    }
+
+    /// Sort by a key extracted from each tuple (the algebra's `sortby`).
+    pub fn order_by<K: Ord>(&self, key: impl Fn(&Tuple) -> K) -> Relation {
+        let mut tuples = self.tuples.clone();
+        tuples.sort_by_key(|t| key(t));
+        Relation {
+            schema: self.schema.clone(),
+            tuples,
+        }
+    }
+
+    /// Remove exact duplicate tuples (the algebra's `rdup`).
+    pub fn distinct(&self) -> Relation {
+        let mut tuples: Vec<Tuple> = Vec::with_capacity(self.tuples.len());
+        for t in &self.tuples {
+            if !tuples.contains(t) {
+                tuples.push(t.clone());
+            }
+        }
+        Relation {
+            schema: self.schema.clone(),
+            tuples,
+        }
+    }
+
+    /// Aggregate a real-valued expression over all tuples (`sum`).
+    pub fn sum_real(&self, f: impl Fn(&Tuple) -> f64) -> f64 {
+        self.tuples.iter().map(f).sum()
+    }
+
+    /// Maximum of a real-valued expression (`max`), `None` when empty.
+    pub fn max_real(&self, f: impl Fn(&Tuple) -> f64) -> Option<f64> {
+        self.tuples
+            .iter()
+            .map(f)
+            .max_by(|a, b| a.partial_cmp(b).expect("no NaN aggregates"))
+    }
+
+    /// Nested-loop join: concatenate all pairs satisfying the predicate.
+    /// The predicate sees the two source tuples.
+    pub fn join(&self, other: &Relation, pred: impl Fn(&Tuple, &Tuple) -> bool) -> Relation {
+        let schema = self.schema.concat(other.schema());
+        let mut tuples = Vec::new();
+        for a in &self.tuples {
+            for b in &other.tuples {
+                if pred(a, b) {
+                    let mut values = a.values.clone();
+                    values.extend(b.values.iter().cloned());
+                    tuples.push(Tuple::new(values));
+                }
+            }
+        }
+        Relation { schema, tuples }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Relation {
+        let schema = Schema::new(&[("name", AttrType::Str), ("n", AttrType::Int)]).unwrap();
+        let mut rel = Relation::new(schema);
+        rel.insert(Tuple::new(vec![AttrValue::str("a"), AttrValue::int(1)]))
+            .unwrap();
+        rel.insert(Tuple::new(vec![AttrValue::str("b"), AttrValue::int(2)]))
+            .unwrap();
+        rel.insert(Tuple::new(vec![AttrValue::str("c"), AttrValue::int(3)]))
+            .unwrap();
+        rel
+    }
+
+    #[test]
+    fn insert_validates() {
+        let mut rel = sample();
+        assert!(rel.insert(Tuple::new(vec![AttrValue::int(1)])).is_err()); // arity
+        assert!(rel
+            .insert(Tuple::new(vec![AttrValue::int(1), AttrValue::int(2)]))
+            .is_err()); // type
+        assert_eq!(rel.len(), 3);
+    }
+
+    #[test]
+    fn select_project_extend() {
+        let rel = sample();
+        let n = rel.attr("n");
+        let big = rel.select(|t| t.at(n).as_int().unwrap() >= 2);
+        assert_eq!(big.len(), 2);
+        let names = big.project(&["name"]).unwrap();
+        assert_eq!(names.schema().arity(), 1);
+        assert_eq!(names.tuples()[0].at(0).as_str(), Some("b"));
+        let doubled = rel
+            .extend("twice", AttrType::Int, |t| {
+                AttrValue::int(t.at(n).as_int().unwrap() * 2)
+            })
+            .unwrap();
+        assert_eq!(doubled.tuples()[2].at(2).as_int(), Some(6));
+        // Wrong type from closure.
+        assert!(rel
+            .extend("bad", AttrType::Real, |_| AttrValue::int(1))
+            .is_err());
+    }
+
+    #[test]
+    fn join_pairs() {
+        let rel = sample();
+        let n = rel.attr("n");
+        // Pairs with strictly increasing n: 3 pairs.
+        let pairs = rel.join(&rel, |a, b| {
+            a.at(n).as_int().unwrap() < b.at(n).as_int().unwrap()
+        });
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(pairs.schema().arity(), 4);
+        assert!(pairs.schema().index_of("left.name").is_some());
+    }
+
+    #[test]
+    fn order_distinct_aggregate() {
+        let rel = sample();
+        let n = rel.attr("n");
+        let ordered = rel.order_by(|t| std::cmp::Reverse(t.at(n).as_int().unwrap()));
+        assert_eq!(ordered.tuples()[0].at(n).as_int(), Some(3));
+        let doubled = {
+            let mut r2 = rel.clone();
+            for t in rel.tuples() {
+                r2.insert(t.clone()).unwrap();
+            }
+            r2
+        };
+        assert_eq!(doubled.len(), 6);
+        assert_eq!(doubled.distinct().len(), 3);
+        assert_eq!(rel.sum_real(|t| t.at(n).as_int().unwrap() as f64), 6.0);
+        assert_eq!(rel.max_real(|t| t.at(n).as_int().unwrap() as f64), Some(3.0));
+        assert_eq!(Relation::new(rel.schema().clone()).max_real(|_| 0.0), None);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let rel = Relation::new(Schema::new(&[("x", AttrType::Int)]).unwrap());
+        assert!(rel.is_empty());
+        assert!(rel.select(|_| true).is_empty());
+    }
+}

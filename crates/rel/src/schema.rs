@@ -1,0 +1,154 @@
+//! Relation schemas: named, typed attributes.
+
+use crate::value::AttrType;
+use mob_base::error::{InvariantViolation, Result};
+
+/// A relation schema, e.g.
+/// `planes(airline: string, id: string, flight: mpoint)` (Sec 2).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Schema {
+    attrs: Vec<(String, AttrType)>,
+}
+
+impl Schema {
+    /// Build a schema from `(name, type)` pairs; names must be unique.
+    pub fn new(attrs: &[(&str, AttrType)]) -> Result<Schema> {
+        for (i, (n, _)) in attrs.iter().enumerate() {
+            if attrs.iter().skip(i + 1).any(|(m, _)| m == n) {
+                return Err(InvariantViolation::with_detail(
+                    "schema: attribute names must be unique",
+                    (*n).to_string(),
+                ));
+            }
+        }
+        Ok(Schema {
+            attrs: attrs
+                .iter()
+                .map(|(n, t)| ((*n).to_string(), *t))
+                .collect(),
+        })
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Attribute `(name, type)` pairs in order.
+    pub fn attrs(&self) -> &[(String, AttrType)] {
+        &self.attrs
+    }
+
+    /// The position of an attribute by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|(n, _)| n == name)
+    }
+
+    /// The type of an attribute by name.
+    pub fn type_of(&self, name: &str) -> Option<AttrType> {
+        self.attrs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| *t)
+    }
+
+    /// Schema of the concatenation of two relations (for joins); clashing
+    /// names are prefixed with `left.`/`right.`.
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut attrs = Vec::with_capacity(self.arity() + other.arity());
+        for (n, t) in &self.attrs {
+            let clash = other.attrs.iter().any(|(m, _)| m == n);
+            let name = if clash { format!("left.{n}") } else { n.clone() };
+            attrs.push((name, *t));
+        }
+        for (n, t) in &other.attrs {
+            let clash = self.attrs.iter().any(|(m, _)| m == n);
+            let name = if clash { format!("right.{n}") } else { n.clone() };
+            attrs.push((name, *t));
+        }
+        Schema { attrs }
+    }
+
+    /// A sub-schema with the named attributes, in the given order.
+    pub fn project(&self, names: &[&str]) -> Result<Schema> {
+        let mut attrs = Vec::with_capacity(names.len());
+        for n in names {
+            match self.type_of(n) {
+                Some(t) => attrs.push(((*n).to_string(), t)),
+                None => {
+                    return Err(InvariantViolation::with_detail(
+                        "schema: unknown attribute",
+                        (*n).to_string(),
+                    ))
+                }
+            }
+        }
+        Ok(Schema { attrs })
+    }
+
+    /// Extend by one attribute.
+    pub fn extend(&self, name: &str, ty: AttrType) -> Result<Schema> {
+        if self.index_of(name).is_some() {
+            return Err(InvariantViolation::with_detail(
+                "schema: attribute names must be unique",
+                name.to_string(),
+            ));
+        }
+        let mut attrs = self.attrs.clone();
+        attrs.push((name.to_string(), ty));
+        Ok(Schema { attrs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planes() -> Schema {
+        Schema::new(&[
+            ("airline", AttrType::Str),
+            ("id", AttrType::Str),
+            ("flight", AttrType::MPoint),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_lookup() {
+        let s = planes();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("id"), Some(1));
+        assert_eq!(s.type_of("flight"), Some(AttrType::MPoint));
+        assert_eq!(s.index_of("nope"), None);
+    }
+
+    #[test]
+    fn unique_names_enforced() {
+        assert!(Schema::new(&[("a", AttrType::Int), ("a", AttrType::Real)]).is_err());
+    }
+
+    #[test]
+    fn concat_prefixes_clashes() {
+        let s = planes();
+        let j = s.concat(&s);
+        assert_eq!(j.arity(), 6);
+        assert!(j.index_of("left.airline").is_some());
+        assert!(j.index_of("right.airline").is_some());
+        // Non-clashing concat keeps names.
+        let other = Schema::new(&[("x", AttrType::Int)]).unwrap();
+        let k = s.concat(&other);
+        assert!(k.index_of("airline").is_some());
+        assert!(k.index_of("x").is_some());
+    }
+
+    #[test]
+    fn project_and_extend() {
+        let s = planes();
+        let p = s.project(&["id", "airline"]).unwrap();
+        assert_eq!(p.attrs()[0].0, "id");
+        assert!(s.project(&["nope"]).is_err());
+        let e = s.extend("len", AttrType::Real).unwrap();
+        assert_eq!(e.arity(), 4);
+        assert!(s.extend("id", AttrType::Real).is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! Attribute values: the discrete data types embedded "as attribute
+//! types into object-relational or other data models" (Sec 1–2).
+
+use mob_base::{Instant, Real, Text, Val};
+use mob_core::{MovingBool, MovingPoint, MovingReal, MovingRegion};
+use mob_spatial::{Line, Point, Points, Region};
+use std::fmt;
+
+/// The attribute types available to relation schemas.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum AttrType {
+    /// `int`
+    Int,
+    /// `real`
+    Real,
+    /// `string`
+    Str,
+    /// `bool`
+    Bool,
+    /// `instant`
+    Instant,
+    /// `point`
+    Point,
+    /// `points`
+    Points,
+    /// `line`
+    Line,
+    /// `region`
+    Region,
+    /// `moving(point)` — `mpoint` in the paper's schema notation.
+    MPoint,
+    /// `moving(real)`
+    MReal,
+    /// `moving(bool)`
+    MBool,
+    /// `moving(region)`
+    MRegion,
+}
+
+/// A value of one of the attribute types.
+#[derive(Clone, PartialEq)]
+pub enum AttrValue {
+    /// `int` value (possibly ⊥).
+    Int(Val<i64>),
+    /// `real` value.
+    Real(Val<Real>),
+    /// `string` value.
+    Str(Val<Text>),
+    /// `bool` value.
+    Bool(Val<bool>),
+    /// `instant` value.
+    Instant(Val<Instant>),
+    /// `point` value.
+    Point(Val<Point>),
+    /// `points` value.
+    Points(Points),
+    /// `line` value.
+    Line(Line),
+    /// `region` value.
+    Region(Region),
+    /// `moving(point)` value.
+    MPoint(MovingPoint),
+    /// `moving(real)` value.
+    MReal(MovingReal),
+    /// `moving(bool)` value.
+    MBool(MovingBool),
+    /// `moving(region)` value.
+    MRegion(MovingRegion),
+}
+
+impl AttrValue {
+    /// The type of this value.
+    pub fn attr_type(&self) -> AttrType {
+        match self {
+            AttrValue::Int(_) => AttrType::Int,
+            AttrValue::Real(_) => AttrType::Real,
+            AttrValue::Str(_) => AttrType::Str,
+            AttrValue::Bool(_) => AttrType::Bool,
+            AttrValue::Instant(_) => AttrType::Instant,
+            AttrValue::Point(_) => AttrType::Point,
+            AttrValue::Points(_) => AttrType::Points,
+            AttrValue::Line(_) => AttrType::Line,
+            AttrValue::Region(_) => AttrType::Region,
+            AttrValue::MPoint(_) => AttrType::MPoint,
+            AttrValue::MReal(_) => AttrType::MReal,
+            AttrValue::MBool(_) => AttrType::MBool,
+            AttrValue::MRegion(_) => AttrType::MRegion,
+        }
+    }
+
+    /// Convenience constructor for defined strings.
+    pub fn str(s: &str) -> AttrValue {
+        AttrValue::Str(Val::Def(Text::new(s)))
+    }
+
+    /// Convenience constructor for defined reals.
+    pub fn real(v: f64) -> AttrValue {
+        AttrValue::Real(Val::Def(Real::new(v)))
+    }
+
+    /// Convenience constructor for defined ints.
+    pub fn int(v: i64) -> AttrValue {
+        AttrValue::Int(Val::Def(v))
+    }
+
+    /// The string content, if this is a defined string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(Val::Def(t)) => Some(t.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The real content, if defined.
+    pub fn as_real(&self) -> Option<Real> {
+        match self {
+            AttrValue::Real(Val::Def(r)) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// The int content, if defined.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            AttrValue::Int(Val::Def(i)) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The bool content, if defined.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            AttrValue::Bool(Val::Def(b)) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The moving point, if that is the variant.
+    pub fn as_mpoint(&self) -> Option<&MovingPoint> {
+        match self {
+            AttrValue::MPoint(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The moving real, if that is the variant.
+    pub fn as_mreal(&self) -> Option<&MovingReal> {
+        match self {
+            AttrValue::MReal(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The moving region, if that is the variant.
+    pub fn as_mregion(&self) -> Option<&MovingRegion> {
+        match self {
+            AttrValue::MRegion(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The region, if that is the variant.
+    pub fn as_region(&self) -> Option<&Region> {
+        match self {
+            AttrValue::Region(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The line, if that is the variant.
+    pub fn as_line(&self) -> Option<&Line> {
+        match self {
+            AttrValue::Line(l) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Int(v) => write!(f, "{v:?}"),
+            AttrValue::Real(v) => write!(f, "{v:?}"),
+            AttrValue::Str(v) => write!(f, "{v:?}"),
+            AttrValue::Bool(v) => write!(f, "{v:?}"),
+            AttrValue::Instant(v) => write!(f, "{v:?}"),
+            AttrValue::Point(v) => write!(f, "{v:?}"),
+            AttrValue::Points(v) => write!(f, "{v:?}"),
+            AttrValue::Line(v) => write!(f, "line({} segs)", v.num_segments()),
+            AttrValue::Region(v) => write!(f, "region({} faces)", v.num_faces()),
+            AttrValue::MPoint(v) => write!(f, "mpoint({} units)", v.num_units()),
+            AttrValue::MReal(v) => write!(f, "mreal({} units)", v.num_units()),
+            AttrValue::MBool(v) => write!(f, "mbool({} units)", v.num_units()),
+            AttrValue::MRegion(v) => write!(f, "mregion({} units)", v.num_units()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn types_and_accessors() {
+        assert_eq!(AttrValue::int(3).attr_type(), AttrType::Int);
+        assert_eq!(AttrValue::str("LH").as_str(), Some("LH"));
+        assert_eq!(AttrValue::real(1.5).as_real(), Some(Real::new(1.5)));
+        assert_eq!(AttrValue::int(3).as_int(), Some(3));
+        assert_eq!(AttrValue::int(3).as_real(), None);
+        assert!(AttrValue::MPoint(MovingPoint::empty()).as_mpoint().is_some());
+        assert_eq!(
+            AttrValue::MPoint(MovingPoint::empty()).attr_type(),
+            AttrType::MPoint
+        );
+    }
+
+    #[test]
+    fn undefined_values() {
+        let u = AttrValue::Real(Val::Undef);
+        assert_eq!(u.as_real(), None);
+        assert_eq!(u.attr_type(), AttrType::Real);
+    }
+}

@@ -1,0 +1,367 @@
+//! Planar arrangement utilities: splitting segment sets at intersections,
+//! tracing face-boundary walks, and parity (even/odd) point location.
+//!
+//! These are the computational-geometry substrate behind the `close()`
+//! operation of `region` (Sec 4.1: "algorithms constructing region values
+//! generally compute the list of halfsegments and then call a *close*
+//! operation ... which determines the structure of faces and cycles") and
+//! behind the boolean set operations of the ROSE-style algebra.
+//!
+//! The splitting step uses pairwise intersection tests (O(n²)), which is
+//! simple and robust; a Bentley–Ottmann sweep would only change the
+//! constant for the workloads exercised here and is deliberately avoided
+//! (see DESIGN.md).
+
+use crate::point::{cross, Point};
+use crate::seg::{Seg, SegIntersection};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+/// A segment tagged with a bit mask of the inputs it belongs to
+/// (bit 0 = first operand, bit 1 = second operand, ...).
+pub type MaskedSeg = (Seg, u8);
+
+/// Split all segments at their mutual intersection points and at points
+/// where an end point of one segment lies in the interior of another.
+/// Collinear overlaps are fragmented; coincident fragments are merged by
+/// OR-ing their masks. The result is *interior-disjoint*: two distinct
+/// output segments share at most end points.
+pub fn split_segments(inputs: &[MaskedSeg]) -> Vec<MaskedSeg> {
+    let n = inputs.len();
+    // Cut points per segment, as points on the segment.
+    let mut cuts: Vec<Vec<Point>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (a, ..) = inputs[i];
+            let (b, ..) = inputs[j];
+            match a.intersection(&b) {
+                SegIntersection::Disjoint => {}
+                SegIntersection::Crossing(p) => {
+                    if !a.has_endpoint(p) {
+                        cuts[i].push(p);
+                    }
+                    if !b.has_endpoint(p) {
+                        cuts[j].push(p);
+                    }
+                }
+                SegIntersection::Overlap(o) => {
+                    for p in [o.u(), o.v()] {
+                        if !a.has_endpoint(p) {
+                            cuts[i].push(p);
+                        }
+                        if !b.has_endpoint(p) {
+                            cuts[j].push(p);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Split each segment at its cut points and merge coincident pieces.
+    let mut merged: BTreeMap<Seg, u8> = BTreeMap::new();
+    for (idx, (s, mask)) in inputs.iter().enumerate() {
+        let mut pts = Vec::with_capacity(cuts[idx].len() + 2);
+        pts.push(s.u());
+        pts.extend(cuts[idx].iter().copied());
+        pts.push(s.v());
+        pts.sort();
+        pts.dedup();
+        for w in pts.windows(2) {
+            if let Some(piece) = Seg::try_from_unordered(w[0], w[1]) {
+                *merged.entry(piece).or_insert(0) |= mask;
+            }
+        }
+    }
+    merged.into_iter().collect()
+}
+
+/// A closed face-boundary walk: the vertex sequence of a directed cycle
+/// traced so that the bounded face it borders lies on its *left*.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Walk {
+    /// Vertices in order (implicitly closed).
+    pub points: Vec<Point>,
+}
+
+impl Walk {
+    /// Shoelace signed area (positive = counter-clockwise).
+    pub fn signed_area(&self) -> f64 {
+        let n = self.points.len();
+        let mut sum = 0.0;
+        for i in 0..n {
+            let a = self.points[i];
+            let b = self.points[(i + 1) % n];
+            sum += a.x.get() * b.y.get() - b.x.get() * a.y.get();
+        }
+        sum / 2.0
+    }
+
+    /// A representative point in the face to the left of this walk,
+    /// `eps` away from the midpoint of its longest edge.
+    pub fn left_sample(&self, eps: f64) -> Point {
+        let n = self.points.len();
+        let mut best = (0usize, -1.0f64);
+        for i in 0..n {
+            let a = self.points[i];
+            let b = self.points[(i + 1) % n];
+            let len = a.distance(b).get();
+            if len > best.1 {
+                best = (i, len);
+            }
+        }
+        let a = self.points[best.0];
+        let b = self.points[(best.0 + 1) % n];
+        let m = a.midpoint(b);
+        let len = a.distance(b).get();
+        let d = b - a;
+        // Left normal of direction (dx, dy) is (-dy, dx).
+        Point::from_f64(
+            m.x.get() - d.y.get() / len * eps,
+            m.y.get() + d.x.get() / len * eps,
+        )
+    }
+}
+
+/// Angular order of direction vectors, counter-clockwise from +x.
+fn cmp_dir(a: Point, b: Point) -> Ordering {
+    let half = |d: Point| -> u8 {
+        if d.y.get() > 0.0 || (d.y.get() == 0.0 && d.x.get() > 0.0) {
+            0
+        } else {
+            1
+        }
+    };
+    half(a).cmp(&half(b)).then_with(|| {
+        let c = cross(Point::ORIGIN, a, b).get();
+        if c > 0.0 {
+            Ordering::Less
+        } else if c < 0.0 {
+            Ordering::Greater
+        } else {
+            Ordering::Equal
+        }
+    })
+}
+
+/// Trace all face-boundary walks of an interior-disjoint segment set.
+///
+/// Every segment yields two directed edges; each directed edge belongs to
+/// exactly one walk. The successor of directed edge `(u → v)` is the edge
+/// `(v → w)` that is the clockwise-next direction after the reverse
+/// direction `(v → u)` in the rotation at `v` — the classic DCEL rule
+/// that traces each face with its interior on the left.
+pub fn trace_walks(segs: &[Seg]) -> Vec<Walk> {
+    // Integer-id vertex table: ids are assigned in sorted point order.
+    let mut id_of: BTreeMap<Point, usize> = BTreeMap::new();
+    for s in segs {
+        let n = id_of.len();
+        id_of.entry(s.u()).or_insert(n);
+        let n = id_of.len();
+        id_of.entry(s.v()).or_insert(n);
+    }
+    let mut pts: Vec<Point> = vec![Point::ORIGIN; id_of.len()];
+    for (p, &i) in &id_of {
+        pts[i] = *p;
+    }
+    // Adjacency lists, sorted counter-clockwise around each vertex.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); pts.len()];
+    for s in segs {
+        let (a, b) = (id_of[&s.u()], id_of[&s.v()]);
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    for (v, outs) in adj.iter_mut().enumerate() {
+        let origin = pts[v];
+        outs.sort_by(|&a, &b| cmp_dir(pts[a] - origin, pts[b] - origin));
+    }
+    // A directed edge is (vertex, slot): the slot-th outgoing edge.
+    let mut used: Vec<Vec<bool>> = adj.iter().map(|o| vec![false; o.len()]).collect();
+    let mut walks = Vec::new();
+    for v0 in 0..pts.len() {
+        for s0 in 0..adj[v0].len() {
+            if used[v0][s0] {
+                continue;
+            }
+            let mut walk_pts = Vec::new();
+            let (mut v, mut slot) = (v0, s0);
+            loop {
+                used[v][slot] = true;
+                walk_pts.push(pts[v]);
+                let w = adj[v][slot];
+                // Successor rule (face interior on the left): at w, find
+                // the reverse edge back to v and take the previous entry
+                // in ccw order (= clockwise-next).
+                let j = adj[w]
+                    .iter()
+                    .position(|&x| x == v)
+                    .expect("reverse edge must be registered");
+                let next_slot = (j + adj[w].len() - 1) % adj[w].len();
+                v = w;
+                slot = next_slot;
+                if v == v0 && slot == s0 {
+                    break;
+                }
+            }
+            walks.push(Walk { points: walk_pts });
+        }
+    }
+    walks
+}
+
+/// Even/odd point location against a segment soup: `true` if `p` lies in
+/// a region whose boundary is `segs` (strictly — callers must handle
+/// on-boundary points themselves). Casts an upward ray and counts
+/// crossings with the half-open x-range rule so shared vertices are not
+/// double counted.
+pub fn parity_inside(segs: &[Seg], p: Point) -> bool {
+    let mut crossings = 0usize;
+    for s in segs {
+        let (a, b) = (s.u(), s.v());
+        if a.x == b.x {
+            continue; // vertical segments never cross an upward ray properly
+        }
+        // Half-open rule: count iff a.x <= p.x < b.x (u < v lexicographic
+        // guarantees a.x <= b.x).
+        if a.x <= p.x && p.x < b.x {
+            let t = (p.x - a.x).get() / (b.x - a.x).get();
+            let y = a.y.get() + t * (b.y - a.y).get();
+            if y > p.y.get() {
+                crossings += 1;
+            }
+        }
+    }
+    crossings % 2 == 1
+}
+
+/// `true` if `p` lies on any segment of the soup.
+pub fn on_any_segment(segs: &[Seg], p: Point) -> bool {
+    segs.iter().any(|s| s.contains_point(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::pt;
+    use crate::seg::seg;
+
+    #[test]
+    fn split_crossing_segments() {
+        let out = split_segments(&[(seg(0.0, 0.0, 2.0, 2.0), 1), (seg(0.0, 2.0, 2.0, 0.0), 2)]);
+        assert_eq!(out.len(), 4);
+        for (s, _) in &out {
+            assert!(s.has_endpoint(pt(1.0, 1.0)));
+        }
+    }
+
+    #[test]
+    fn split_touch() {
+        // Endpoint of one segment interior to another.
+        let out = split_segments(&[(seg(0.0, 0.0, 4.0, 0.0), 1), (seg(2.0, 0.0, 2.0, 2.0), 2)]);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn split_overlap_merges_masks() {
+        let out = split_segments(&[(seg(0.0, 0.0, 3.0, 0.0), 1), (seg(1.0, 0.0, 4.0, 0.0), 2)]);
+        // Fragments: [0,1] mask 1, [1,3] mask 3, [3,4] mask 2.
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], (seg(0.0, 0.0, 1.0, 0.0), 1));
+        assert_eq!(out[1], (seg(1.0, 0.0, 3.0, 0.0), 3));
+        assert_eq!(out[2], (seg(3.0, 0.0, 4.0, 0.0), 2));
+    }
+
+    #[test]
+    fn split_no_intersections_is_identity() {
+        let input = vec![(seg(0.0, 0.0, 1.0, 0.0), 1), (seg(0.0, 1.0, 1.0, 1.0), 2)];
+        let out = split_segments(&input);
+        assert_eq!(out.len(), 2);
+    }
+
+    fn square_segs() -> Vec<Seg> {
+        vec![
+            seg(0.0, 0.0, 2.0, 0.0),
+            seg(2.0, 0.0, 2.0, 2.0),
+            seg(0.0, 2.0, 2.0, 2.0),
+            seg(0.0, 0.0, 0.0, 2.0),
+        ]
+    }
+
+    #[test]
+    fn trace_square_gives_two_walks() {
+        let walks = trace_walks(&square_segs());
+        assert_eq!(walks.len(), 2);
+        let mut areas: Vec<f64> = walks.iter().map(|w| w.signed_area()).collect();
+        areas.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(areas, vec![-4.0, 4.0]);
+    }
+
+    #[test]
+    fn trace_annulus_gives_four_walks() {
+        let mut segs = square_segs();
+        segs.extend([
+            seg(0.5, 0.5, 1.5, 0.5),
+            seg(1.5, 0.5, 1.5, 1.5),
+            seg(0.5, 1.5, 1.5, 1.5),
+            seg(0.5, 0.5, 0.5, 1.5),
+        ]);
+        let walks = trace_walks(&segs);
+        assert_eq!(walks.len(), 4);
+        let mut areas: Vec<f64> = walks.iter().map(|w| w.signed_area()).collect();
+        areas.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(areas, vec![-4.0, -1.0, 1.0, 4.0]);
+    }
+
+    #[test]
+    fn left_sample_of_ccw_square_is_inside() {
+        let walks = trace_walks(&square_segs());
+        let ccw = walks.iter().find(|w| w.signed_area() > 0.0).unwrap();
+        let p = ccw.left_sample(1e-6);
+        assert!(parity_inside(&square_segs(), p));
+        let cw = walks.iter().find(|w| w.signed_area() < 0.0).unwrap();
+        let q = cw.left_sample(1e-6);
+        assert!(!parity_inside(&square_segs(), q));
+    }
+
+    #[test]
+    fn parity_point_location() {
+        let segs = square_segs();
+        assert!(parity_inside(&segs, pt(1.0, 1.0)));
+        assert!(!parity_inside(&segs, pt(3.0, 1.0)));
+        assert!(!parity_inside(&segs, pt(-1.0, 1.0)));
+        assert!(on_any_segment(&segs, pt(1.0, 0.0)));
+        assert!(!on_any_segment(&segs, pt(1.0, 1.0)));
+    }
+
+    #[test]
+    fn parity_with_hole() {
+        let mut segs = square_segs();
+        segs.extend([
+            seg(0.5, 0.5, 1.5, 0.5),
+            seg(1.5, 0.5, 1.5, 1.5),
+            seg(0.5, 1.5, 1.5, 1.5),
+            seg(0.5, 0.5, 0.5, 1.5),
+        ]);
+        assert!(!parity_inside(&segs, pt(1.0, 1.0))); // inside the hole
+        assert!(parity_inside(&segs, pt(0.25, 1.0))); // in the annulus
+    }
+
+    #[test]
+    fn degree_four_vertex_splits_walks() {
+        // Two triangles sharing the vertex (1,0): a pinch point. The walk
+        // tracing must produce two separate interior walks.
+        let segs = vec![
+            seg(0.0, 0.0, 1.0, 0.0),
+            seg(0.0, 0.0, 0.5, 1.0),
+            seg(0.5, 1.0, 1.0, 0.0),
+            seg(1.0, 0.0, 2.0, 0.0),
+            seg(1.0, 0.0, 1.5, 1.0),
+            seg(1.5, 1.0, 2.0, 0.0),
+        ];
+        let walks = trace_walks(&segs);
+        let pos: Vec<&Walk> = walks.iter().filter(|w| w.signed_area() > 0.0).collect();
+        assert_eq!(pos.len(), 2);
+        for w in pos {
+            assert_eq!(w.points.len(), 3);
+        }
+    }
+}

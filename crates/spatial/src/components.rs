@@ -1,0 +1,121 @@
+//! Connected components of a `line` value — the planar-graph view of
+//! Fig 2: the abstract model sees a line as a graph whose nodes are
+//! curve intersections; `no_components` counts its connected parts.
+
+use crate::line::Line;
+use crate::point::Point;
+use crate::seg::{Seg, SegIntersection};
+use std::collections::BTreeMap;
+
+/// Union-find over segment indices.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Dsu {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Partition a line's segments into connected components (segments are
+/// connected when they share any point: meeting, touching or crossing).
+pub fn connected_components(line: &Line) -> Vec<Line> {
+    let segs = line.segments();
+    let n = segs.len();
+    let mut dsu = Dsu::new(n);
+    // Endpoint sharing via a point index (fast path for chains).
+    let mut by_endpoint: BTreeMap<Point, usize> = BTreeMap::new();
+    for (i, s) in segs.iter().enumerate() {
+        for p in [s.u(), s.v()] {
+            match by_endpoint.get(&p) {
+                Some(&j) => dsu.union(i, j),
+                None => {
+                    by_endpoint.insert(p, i);
+                }
+            }
+        }
+    }
+    // Crossings and touches (pairwise; components are usually few).
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if dsu.find(i) == dsu.find(j) {
+                continue;
+            }
+            if !matches!(segs[i].intersection(&segs[j]), SegIntersection::Disjoint) {
+                dsu.union(i, j);
+            }
+        }
+    }
+    let mut groups: BTreeMap<usize, Vec<Seg>> = BTreeMap::new();
+    for (i, s) in segs.iter().enumerate() {
+        groups.entry(dsu.find(i)).or_default().push(*s);
+    }
+    groups
+        .into_values()
+        .map(|g| Line::try_new(g).expect("subset of a valid line"))
+        .collect()
+}
+
+/// The abstract model's `no_components` for a line value.
+pub fn num_components(line: &Line) -> usize {
+    connected_components(line).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seg::seg;
+
+    #[test]
+    fn chain_is_one_component() {
+        let l = Line::normalize(vec![
+            seg(0.0, 0.0, 1.0, 0.0),
+            seg(1.0, 0.0, 1.0, 1.0),
+            seg(1.0, 1.0, 2.0, 2.0),
+        ]);
+        assert_eq!(num_components(&l), 1);
+    }
+
+    #[test]
+    fn separate_pieces() {
+        let l = Line::normalize(vec![
+            seg(0.0, 0.0, 1.0, 0.0),
+            seg(5.0, 5.0, 6.0, 5.0),
+            seg(6.0, 5.0, 6.0, 6.0),
+        ]);
+        let comps = connected_components(&l);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps.iter().map(Line::num_segments).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn crossing_connects() {
+        // Two segments crossing mid-air share a point: one component.
+        let l = Line::normalize(vec![seg(0.0, 0.0, 2.0, 2.0), seg(0.0, 2.0, 2.0, 0.0)]);
+        assert_eq!(num_components(&l), 1);
+        // A touch also connects.
+        let t = Line::normalize(vec![seg(0.0, 0.0, 2.0, 0.0), seg(1.0, 0.0, 1.0, 3.0)]);
+        assert_eq!(num_components(&t), 1);
+    }
+
+    #[test]
+    fn empty_line() {
+        assert_eq!(num_components(&Line::empty()), 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Distance operations between spatial values — the abstract model's
+//! `distance` family, instantiated on the discrete representations.
+
+use crate::line::Line;
+use crate::point::Point;
+use crate::points::Points;
+use crate::region::Region;
+use crate::seg::Seg;
+use mob_base::{Real, Val};
+
+/// Distance from a point to the nearest point of a segment.
+pub fn point_seg_distance(p: Point, s: &Seg) -> Real {
+    let a = s.u();
+    let b = s.v();
+    let ab = b - a;
+    let len_sq = ab.x * ab.x + ab.y * ab.y;
+    if len_sq.get() == 0.0 {
+        return p.distance(a);
+    }
+    let t_raw = ((p - a).x * ab.x + (p - a).y * ab.y) / len_sq;
+    let t = t_raw.max(Real::ZERO).min(Real::ONE);
+    p.distance(a.lerp(b, t))
+}
+
+/// Distance between the nearest points of two segments (0 if they
+/// intersect).
+pub fn seg_seg_distance(s: &Seg, t: &Seg) -> Real {
+    if !s.disjoint(t) {
+        return Real::ZERO;
+    }
+    point_seg_distance(s.u(), t)
+        .min(point_seg_distance(s.v(), t))
+        .min(point_seg_distance(t.u(), s))
+        .min(point_seg_distance(t.v(), s))
+}
+
+/// Distance from a point to a line value (⊥ for the empty line).
+pub fn point_line_distance(p: Point, l: &Line) -> Val<Real> {
+    l.segments()
+        .iter()
+        .map(|s| point_seg_distance(p, s))
+        .min()
+        .into()
+}
+
+/// Distance between two line values (⊥ if either is empty).
+pub fn line_line_distance(a: &Line, b: &Line) -> Val<Real> {
+    let mut best: Option<Real> = None;
+    for s in a.segments() {
+        for t in b.segments() {
+            let d = seg_seg_distance(s, t);
+            best = Some(best.map_or(d, |c| c.min(d)));
+        }
+    }
+    best.into()
+}
+
+/// Distance from a point to a region: 0 if inside or on the boundary,
+/// otherwise the distance to the nearest boundary point (⊥ when empty).
+pub fn point_region_distance(p: Point, r: &Region) -> Val<Real> {
+    if r.is_empty() {
+        return Val::Undef;
+    }
+    if r.contains_point(p) {
+        return Val::Def(Real::ZERO);
+    }
+    r.segments()
+        .iter()
+        .map(|s| point_seg_distance(p, s))
+        .min()
+        .into()
+}
+
+/// Distance from a point to a points value (⊥ when empty).
+pub fn point_points_distance(p: Point, ps: &Points) -> Val<Real> {
+    ps.iter().map(|q| p.distance(q)).min().into()
+}
+
+/// Distance between two regions: 0 if they intersect, otherwise the
+/// smallest boundary-to-boundary distance (⊥ if either is empty).
+pub fn region_region_distance(a: &Region, b: &Region) -> Val<Real> {
+    if a.is_empty() || b.is_empty() {
+        return Val::Undef;
+    }
+    if a.intersects(b) {
+        return Val::Def(Real::ZERO);
+    }
+    let mut best: Option<Real> = None;
+    for s in &a.segments() {
+        for t in &b.segments() {
+            let d = seg_seg_distance(s, t);
+            best = Some(best.map_or(d, |c| c.min(d)));
+        }
+    }
+    best.into()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::pt;
+    use crate::ring::rect_ring;
+    use crate::seg::seg;
+    use mob_base::r;
+
+    #[test]
+    fn point_to_segment() {
+        let s = seg(0.0, 0.0, 4.0, 0.0);
+        assert_eq!(point_seg_distance(pt(2.0, 3.0), &s), r(3.0)); // perpendicular
+        assert_eq!(point_seg_distance(pt(-3.0, 4.0), &s), r(5.0)); // clamped to u
+        assert_eq!(point_seg_distance(pt(7.0, 4.0), &s), r(5.0)); // clamped to v
+        assert_eq!(point_seg_distance(pt(2.0, 0.0), &s), r(0.0)); // on segment
+    }
+
+    #[test]
+    fn seg_to_seg() {
+        let a = seg(0.0, 0.0, 2.0, 0.0);
+        let b = seg(0.0, 3.0, 2.0, 3.0);
+        assert_eq!(seg_seg_distance(&a, &b), r(3.0));
+        let crossing = seg(1.0, -1.0, 1.0, 1.0);
+        assert_eq!(seg_seg_distance(&a, &crossing), r(0.0));
+    }
+
+    #[test]
+    fn point_to_line_and_region() {
+        let l = Line::single(seg(0.0, 0.0, 4.0, 0.0));
+        assert_eq!(point_line_distance(pt(2.0, 2.0), &l), Val::Def(r(2.0)));
+        assert!(point_line_distance(pt(0.0, 0.0), &Line::empty()).is_undef());
+
+        let reg = Region::from_ring(rect_ring(0.0, 0.0, 2.0, 2.0));
+        assert_eq!(point_region_distance(pt(1.0, 1.0), &reg), Val::Def(r(0.0)));
+        assert_eq!(point_region_distance(pt(2.0, 1.0), &reg), Val::Def(r(0.0)));
+        assert_eq!(point_region_distance(pt(5.0, 1.0), &reg), Val::Def(r(3.0)));
+        assert!(point_region_distance(pt(0.0, 0.0), &Region::empty()).is_undef());
+    }
+
+    #[test]
+    fn region_to_region() {
+        let a = Region::from_ring(rect_ring(0.0, 0.0, 2.0, 2.0));
+        let b = Region::from_ring(rect_ring(5.0, 0.0, 7.0, 2.0));
+        assert_eq!(region_region_distance(&a, &b), Val::Def(r(3.0)));
+        let c = Region::from_ring(rect_ring(1.0, 1.0, 3.0, 3.0));
+        assert_eq!(region_region_distance(&a, &c), Val::Def(r(0.0)));
+    }
+
+    #[test]
+    fn line_to_line_and_points() {
+        let a = Line::single(seg(0.0, 0.0, 1.0, 0.0));
+        let b = Line::single(seg(0.0, 4.0, 1.0, 4.0));
+        assert_eq!(line_line_distance(&a, &b), Val::Def(r(4.0)));
+        let ps = Points::from_points(vec![pt(0.0, 3.0), pt(10.0, 10.0)]);
+        assert_eq!(point_points_distance(pt(0.0, 0.0), &ps), Val::Def(r(3.0)));
+    }
+}

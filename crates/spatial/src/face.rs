@@ -1,0 +1,265 @@
+//! Faces (Sec 3.2.2): an outer cycle plus a possibly empty set of hole
+//! cycles, with the paper's conditions (i) every hole `edge-inside` the
+//! outer cycle, (ii) holes pairwise `edge-disjoint`, (iii) unique
+//! decomposition.
+
+use crate::bbox::Rect;
+use crate::point::Point;
+use crate::ring::Ring;
+use crate::seg::Seg;
+use mob_base::error::{InvariantViolation, Result};
+use mob_base::Real;
+use std::fmt;
+
+/// A face: one outer cycle and zero or more holes.
+///
+/// Orientation is normalized: the outer cycle counter-clockwise, hole
+/// cycles clockwise (so that the face interior is always to the left of
+/// each directed boundary edge).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Face {
+    outer: Ring,
+    holes: Vec<Ring>,
+}
+
+impl Face {
+    /// Validating constructor.
+    pub fn try_new(outer: Ring, holes: Vec<Ring>) -> Result<Face> {
+        let outer = outer.ccw();
+        let holes: Vec<Ring> = holes.into_iter().map(|h| h.cw()).collect();
+        for h in &holes {
+            if !h.edge_inside(&outer) {
+                return Err(InvariantViolation::new(
+                    "face: every hole must be edge-inside the outer cycle",
+                ));
+            }
+        }
+        for (i, h1) in holes.iter().enumerate() {
+            for h2 in holes.iter().skip(i + 1) {
+                if !h1.edge_disjoint(h2) {
+                    return Err(InvariantViolation::new(
+                        "face: holes must be pairwise edge-disjoint",
+                    ));
+                }
+            }
+        }
+        Ok(Face { outer, holes })
+    }
+
+    /// Construct without validating the hole conditions (see
+    /// [`Ring::new_unchecked`] for when this is sound).
+    pub fn new_unchecked(outer: Ring, holes: Vec<Ring>) -> Face {
+        Face {
+            outer: outer.ccw(),
+            holes: holes.into_iter().map(|h| h.cw()).collect(),
+        }
+    }
+
+    /// A face without holes.
+    pub fn simple(outer: Ring) -> Face {
+        Face {
+            outer: outer.ccw(),
+            holes: Vec::new(),
+        }
+    }
+
+    /// The outer cycle (counter-clockwise).
+    pub fn outer(&self) -> &Ring {
+        &self.outer
+    }
+
+    /// The hole cycles (clockwise).
+    pub fn holes(&self) -> &[Ring] {
+        &self.holes
+    }
+
+    /// Number of cycles (1 + number of holes).
+    pub fn num_cycles(&self) -> usize {
+        1 + self.holes.len()
+    }
+
+    /// All boundary segments of the face.
+    pub fn segments(&self) -> Vec<Seg> {
+        let mut out = self.outer.segments();
+        for h in &self.holes {
+            out.extend(h.segments());
+        }
+        out
+    }
+
+    /// `σ((c, H))` membership: inside (or on) the outer cycle, and not in
+    /// the open interior of any hole (the closure keeps hole boundaries).
+    pub fn contains_point(&self, p: Point) -> bool {
+        if !self.outer.contains_point(p) {
+            return false;
+        }
+        !self.holes.iter().any(|h| h.contains_point_strict(p))
+    }
+
+    /// Strict interior membership.
+    pub fn contains_point_strict(&self, p: Point) -> bool {
+        self.outer.contains_point_strict(p)
+            && !self.holes.iter().any(|h| h.contains_point(p))
+    }
+
+    /// Area of the face (outer area minus hole areas).
+    pub fn area(&self) -> Real {
+        self.holes
+            .iter()
+            .fold(self.outer.area(), |acc, h| acc - h.area())
+    }
+
+    /// Total boundary length.
+    pub fn perimeter(&self) -> Real {
+        self.holes
+            .iter()
+            .fold(self.outer.perimeter(), |acc, h| acc + h.perimeter())
+    }
+
+    /// Bounding box (the outer cycle's box).
+    pub fn bbox(&self) -> Rect {
+        self.outer.bbox()
+    }
+
+    /// A point strictly inside the face.
+    pub fn interior_point(&self) -> Point {
+        // The outer ring's interior point may fall into a hole; probe all
+        // rings' candidate points.
+        let cand = self.outer.interior_point();
+        if self.contains_point_strict(cand) {
+            return cand;
+        }
+        for h in &self.holes {
+            // Just outside a hole is inside the face (unless in another
+            // hole); reuse the hole's machinery by flipping orientation.
+            let c = h.reversed().interior_point();
+            if self.contains_point_strict(c) {
+                return c;
+            }
+        }
+        panic!("no interior point found for face {self:?}");
+    }
+
+    /// The paper's `edge-disjoint` for faces: outer cycles edge-disjoint,
+    /// or one face lies edge-inside a hole of the other.
+    pub fn edge_disjoint(&self, other: &Face) -> bool {
+        if self.outer.edge_disjoint(&other.outer) {
+            return true;
+        }
+        other
+            .holes
+            .iter()
+            .any(|h| self.outer.edge_inside(&h.ccw()))
+            || self
+                .holes
+                .iter()
+                .any(|h| other.outer.edge_inside(&h.ccw()))
+    }
+}
+
+impl fmt::Debug for Face {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Face")
+            .field("outer", &self.outer)
+            .field("holes", &self.holes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::pt;
+    use crate::ring::rect_ring;
+    use mob_base::r;
+
+    #[test]
+    fn orientation_normalized() {
+        let f = Face::try_new(rect_ring(0.0, 0.0, 4.0, 4.0).cw(), vec![
+            rect_ring(1.0, 1.0, 2.0, 2.0), // given ccw
+        ])
+        .unwrap();
+        assert!(f.outer().is_ccw());
+        assert!(!f.holes()[0].is_ccw());
+    }
+
+    #[test]
+    fn hole_must_be_inside() {
+        let err = Face::try_new(
+            rect_ring(0.0, 0.0, 2.0, 2.0),
+            vec![rect_ring(5.0, 5.0, 6.0, 6.0)],
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn holes_must_be_disjoint() {
+        let err = Face::try_new(
+            rect_ring(0.0, 0.0, 10.0, 10.0),
+            vec![rect_ring(1.0, 1.0, 4.0, 4.0), rect_ring(3.0, 3.0, 6.0, 6.0)],
+        );
+        assert!(err.is_err());
+        let ok = Face::try_new(
+            rect_ring(0.0, 0.0, 10.0, 10.0),
+            vec![rect_ring(1.0, 1.0, 3.0, 3.0), rect_ring(5.0, 5.0, 7.0, 7.0)],
+        );
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn membership_with_hole() {
+        let f = Face::try_new(
+            rect_ring(0.0, 0.0, 4.0, 4.0),
+            vec![rect_ring(1.0, 1.0, 2.0, 2.0)],
+        )
+        .unwrap();
+        assert!(f.contains_point(pt(3.0, 3.0)));
+        assert!(!f.contains_point(pt(1.5, 1.5))); // in the hole
+        assert!(f.contains_point(pt(1.0, 1.5))); // hole boundary: closure keeps it
+        assert!(!f.contains_point_strict(pt(1.0, 1.5)));
+        assert!(!f.contains_point(pt(9.0, 9.0)));
+    }
+
+    #[test]
+    fn area_perimeter() {
+        let f = Face::try_new(
+            rect_ring(0.0, 0.0, 4.0, 4.0),
+            vec![rect_ring(1.0, 1.0, 2.0, 2.0)],
+        )
+        .unwrap();
+        assert_eq!(f.area(), r(15.0));
+        assert_eq!(f.perimeter(), r(20.0));
+        assert_eq!(f.num_cycles(), 2);
+        assert_eq!(f.segments().len(), 8);
+    }
+
+    #[test]
+    fn interior_point_avoids_holes() {
+        let f = Face::try_new(
+            rect_ring(0.0, 0.0, 4.0, 4.0),
+            vec![rect_ring(1.0, 1.0, 3.0, 3.0)],
+        )
+        .unwrap();
+        let p = f.interior_point();
+        assert!(f.contains_point_strict(p));
+    }
+
+    #[test]
+    fn face_edge_disjoint() {
+        let a = Face::simple(rect_ring(0.0, 0.0, 2.0, 2.0));
+        let b = Face::simple(rect_ring(3.0, 0.0, 5.0, 2.0));
+        assert!(a.edge_disjoint(&b));
+        // Face inside a hole of another face.
+        let ring_face = Face::try_new(
+            rect_ring(0.0, 0.0, 10.0, 10.0),
+            vec![rect_ring(2.0, 2.0, 8.0, 8.0)],
+        )
+        .unwrap();
+        let island = Face::simple(rect_ring(4.0, 4.0, 6.0, 6.0));
+        assert!(ring_face.edge_disjoint(&island));
+        assert!(island.edge_disjoint(&ring_face));
+        // Overlapping faces are not edge-disjoint.
+        let c = Face::simple(rect_ring(1.0, 1.0, 4.0, 4.0));
+        assert!(!a.edge_disjoint(&c));
+    }
+}

@@ -1,0 +1,195 @@
+//! Halfsegments (Sec 4.1, after \[GdRS95\]).
+//!
+//! Each segment is stored twice — once for its left (smaller) and once for
+//! its right end point; the relevant end point is the *dominating point*.
+//! Plane-sweep style algorithms traverse halfsegments in ascending order:
+//! at a sweep position, right halfsegments (segments ending here) come
+//! before left halfsegments (segments starting here), and halfsegments
+//! with equal dominating points are ordered by rotation.
+
+use crate::point::{cross, Point};
+use crate::seg::Seg;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// One half of a segment, tagged with which end point dominates.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HalfSeg {
+    seg: Seg,
+    /// `true` if the dominating point is the left (smaller) end point.
+    left_dom: bool,
+}
+
+impl HalfSeg {
+    /// The left halfsegment of `seg` (dominating point = `seg.u()`).
+    pub fn left(seg: Seg) -> HalfSeg {
+        HalfSeg {
+            seg,
+            left_dom: true,
+        }
+    }
+
+    /// The right halfsegment of `seg` (dominating point = `seg.v()`).
+    pub fn right(seg: Seg) -> HalfSeg {
+        HalfSeg {
+            seg,
+            left_dom: false,
+        }
+    }
+
+    /// Both halfsegments of a segment.
+    pub fn pair(seg: Seg) -> [HalfSeg; 2] {
+        [HalfSeg::left(seg), HalfSeg::right(seg)]
+    }
+
+    /// The underlying segment.
+    pub fn seg(&self) -> Seg {
+        self.seg
+    }
+
+    /// `true` if this is the left halfsegment.
+    pub fn is_left(&self) -> bool {
+        self.left_dom
+    }
+
+    /// The dominating point.
+    pub fn dom(&self) -> Point {
+        if self.left_dom {
+            self.seg.u()
+        } else {
+            self.seg.v()
+        }
+    }
+
+    /// The non-dominating end point.
+    pub fn other(&self) -> Point {
+        if self.left_dom {
+            self.seg.v()
+        } else {
+            self.seg.u()
+        }
+    }
+}
+
+/// Angular comparison of two direction vectors `a`, `b` (from a common
+/// origin), counter-clockwise starting at the positive x axis.
+fn cmp_angle(a: Point, b: Point) -> Ordering {
+    let half = |d: Point| -> u8 {
+        // 0 for angle in [0, π), 1 for [π, 2π).
+        if d.y.get() > 0.0 || (d.y.get() == 0.0 && d.x.get() > 0.0) {
+            0
+        } else {
+            1
+        }
+    };
+    half(a).cmp(&half(b)).then_with(|| {
+        let c = cross(Point::ORIGIN, a, b).get();
+        if c > 0.0 {
+            Ordering::Less
+        } else if c < 0.0 {
+            Ordering::Greater
+        } else {
+            Ordering::Equal
+        }
+    })
+}
+
+impl PartialOrd for HalfSeg {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HalfSeg {
+    /// Halfsegment order: by dominating point (lexicographic); for equal
+    /// dominating points right halfsegments precede left ones; for equal
+    /// kinds, by rotation of the segment around the dominating point;
+    /// final tie-break by the other end point (only reachable for
+    /// collinear overlapping segments, which valid values exclude).
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dom()
+            .cmp(&other.dom())
+            .then_with(|| self.left_dom.cmp(&other.left_dom))
+            .then_with(|| cmp_angle(self.other() - self.dom(), other.other() - other.dom()))
+            .then_with(|| self.other().cmp(&other.other()))
+    }
+}
+
+impl fmt::Debug for HalfSeg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{:?}@{:?}",
+            if self.left_dom { 'L' } else { 'R' },
+            self.seg,
+            self.dom()
+        )
+    }
+}
+
+/// The ordered halfsegment sequence of a set of segments — the storage
+/// order of `line` and `region` values (Sec 4.1).
+pub fn halfseg_sequence(segs: &[Seg]) -> Vec<HalfSeg> {
+    let mut hs: Vec<HalfSeg> = segs.iter().copied().flat_map(HalfSeg::pair).collect();
+    hs.sort();
+    hs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::pt;
+    use crate::seg::seg;
+
+    #[test]
+    fn dominating_points() {
+        let s = seg(0.0, 0.0, 1.0, 1.0);
+        let l = HalfSeg::left(s);
+        let r = HalfSeg::right(s);
+        assert_eq!(l.dom(), pt(0.0, 0.0));
+        assert_eq!(l.other(), pt(1.0, 1.0));
+        assert_eq!(r.dom(), pt(1.0, 1.0));
+        assert_eq!(r.other(), pt(0.0, 0.0));
+        assert!(l.is_left() && !r.is_left());
+    }
+
+    #[test]
+    fn order_by_dominating_point_first() {
+        let a = HalfSeg::left(seg(0.0, 0.0, 5.0, 5.0));
+        let b = HalfSeg::left(seg(1.0, 0.0, 2.0, 0.0));
+        assert!(a < b);
+    }
+
+    #[test]
+    fn right_before_left_at_same_point() {
+        // At point (1,0): segment A ends here, segment B starts here.
+        let ending = HalfSeg::right(seg(0.0, 0.0, 1.0, 0.0));
+        let starting = HalfSeg::left(seg(1.0, 0.0, 2.0, 0.0));
+        assert_eq!(ending.dom(), starting.dom());
+        assert!(ending < starting);
+    }
+
+    #[test]
+    fn rotation_order_among_left_halfsegments() {
+        // Three segments fanning out of the origin; order must be by angle
+        // ccw from positive x axis.
+        let east = HalfSeg::left(seg(0.0, 0.0, 1.0, 0.0));
+        let ne = HalfSeg::left(seg(0.0, 0.0, 1.0, 1.0));
+        let north = HalfSeg::left(seg(0.0, 0.0, 0.0, 1.0));
+        assert!(east < ne);
+        assert!(ne < north);
+    }
+
+    #[test]
+    fn sequence_is_sorted_and_complete() {
+        let segs = vec![seg(0.0, 0.0, 1.0, 0.0), seg(1.0, 0.0, 2.0, 1.0)];
+        let hs = halfseg_sequence(&segs);
+        assert_eq!(hs.len(), 4);
+        for w in hs.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        // First is the left halfsegment at the smallest dominating point.
+        assert_eq!(hs[0].dom(), pt(0.0, 0.0));
+        assert!(hs[0].is_left());
+    }
+}

@@ -1,0 +1,107 @@
+//! Convex hull (Andrew's monotone chain) — the abstract model's
+//! `convexhull: points → region` operation, also used by generators.
+
+use crate::point::{orientation, Point};
+use crate::points::Points;
+use crate::region::Region;
+use crate::ring::Ring;
+
+/// The convex hull of a point set as an ordered ring (counter-clockwise),
+/// or `None` when the points are fewer than 3 or all collinear.
+pub fn convex_hull_ring(points: &Points) -> Option<Ring> {
+    let pts: Vec<Point> = points.iter().collect(); // already sorted
+    if pts.len() < 3 {
+        return None;
+    }
+    let mut lower: Vec<Point> = Vec::with_capacity(pts.len());
+    for &p in &pts {
+        while lower.len() >= 2
+            && orientation(lower[lower.len() - 2], lower[lower.len() - 1], p) <= 0
+        {
+            lower.pop();
+        }
+        lower.push(p);
+    }
+    let mut upper: Vec<Point> = Vec::with_capacity(pts.len());
+    for &p in pts.iter().rev() {
+        while upper.len() >= 2
+            && orientation(upper[upper.len() - 2], upper[upper.len() - 1], p) <= 0
+        {
+            upper.pop();
+        }
+        upper.push(p);
+    }
+    lower.pop();
+    upper.pop();
+    lower.extend(upper);
+    if lower.len() < 3 {
+        return None; // all collinear
+    }
+    Some(Ring::try_new(lower).expect("hull is a simple ccw polygon"))
+}
+
+/// The convex hull as a `region` value (empty for degenerate inputs —
+/// the abstract model returns ⊥ there; the empty region is our closest
+/// regular value and is documented as such).
+pub fn convex_hull(points: &Points) -> Region {
+    match convex_hull_ring(points) {
+        Some(ring) => Region::from_ring(ring),
+        None => Region::empty(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::pt;
+    use mob_base::r;
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = Points::from_points(vec![
+            pt(0.0, 0.0),
+            pt(4.0, 0.0),
+            pt(4.0, 4.0),
+            pt(0.0, 4.0),
+            pt(2.0, 2.0), // interior
+            pt(1.0, 2.0), // interior
+            pt(2.0, 0.0), // on an edge
+        ]);
+        let hull = convex_hull_ring(&pts).unwrap();
+        assert_eq!(hull.len(), 4);
+        assert!(hull.is_ccw());
+        assert_eq!(hull.area(), r(16.0));
+        let region = convex_hull(&pts);
+        assert!(region.contains_point(pt(2.0, 2.0)));
+        assert!(!region.contains_point(pt(5.0, 2.0)));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(convex_hull_ring(&Points::empty()).is_none());
+        assert!(convex_hull_ring(&Points::single(pt(1.0, 1.0))).is_none());
+        // Collinear points have no 2D hull.
+        let collinear =
+            Points::from_points(vec![pt(0.0, 0.0), pt(1.0, 1.0), pt(2.0, 2.0), pt(3.0, 3.0)]);
+        assert!(convex_hull_ring(&collinear).is_none());
+        assert!(convex_hull(&collinear).is_empty());
+    }
+
+    #[test]
+    fn hull_is_convex_and_contains_all_inputs() {
+        let pts = Points::from_points(vec![
+            pt(0.0, 0.0),
+            pt(3.0, 1.0),
+            pt(5.0, 4.0),
+            pt(2.0, 6.0),
+            pt(-1.0, 3.0),
+            pt(2.0, 3.0),
+            pt(1.0, 1.0),
+        ]);
+        let hull = convex_hull_ring(&pts).unwrap();
+        assert!(hull.is_convex());
+        for p in pts.iter() {
+            assert!(hull.contains_point(p), "{p:?} outside hull");
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # `mob-spatial` — the discrete spatial algebra
+//!
+//! Implements Section 3.2.2 of Forlizzi, Güting, Nardelli & Schneider
+//! (SIGMOD 2000) together with the halfsegment/plane-structure machinery
+//! of Section 4.1:
+//!
+//! * [`Point`] / [`Points`] — single points and lexicographically ordered
+//!   point sets;
+//! * [`Seg`] with the paper's predicates (`collinear`, `p-intersect`,
+//!   `touch`, `meet`), `merge-segs` and the even/odd fragment rule;
+//! * [`HalfSeg`] — the dual representation driving storage order and
+//!   sweep-style traversal;
+//! * [`Line`] — unstructured segment sets (Fig 2);
+//! * [`Ring`] (cycles), [`Face`] and [`Region`] (Fig 3) with the full
+//!   validity conditions and the Sec 4.1 `close()` construction;
+//! * boolean set operations ([`setops`]) built on a planar
+//!   [`arrangement`];
+//! * distances ([`dist`]) and bounding boxes/cubes ([`bbox`]).
+
+#![warn(missing_docs)]
+
+pub mod arrangement;
+pub mod bbox;
+pub mod components;
+pub mod dist;
+pub mod face;
+pub mod halfseg;
+pub mod hull;
+pub mod line;
+pub mod point;
+pub mod points;
+pub mod region;
+pub mod ring;
+pub mod seg;
+pub mod setops;
+pub mod transform;
+
+pub use bbox::{Cube, Rect};
+pub use components::{connected_components, num_components};
+pub use face::Face;
+pub use halfseg::HalfSeg;
+pub use hull::{convex_hull, convex_hull_ring};
+pub use line::Line;
+pub use point::{pt, Point};
+pub use points::Points;
+pub use region::Region;
+pub use ring::{rect_ring, Ring};
+pub use seg::{seg, Seg, SegIntersection};
+pub use transform::Similarity;

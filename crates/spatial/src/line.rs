@@ -1,0 +1,214 @@
+//! The discrete `line` type (Sec 3.2.2): an *unstructured* finite set of
+//! line segments — the paper's deliberate choice over polylines (Fig 2c):
+//! "any collection of line segments in the plane defines a valid
+//! collection of curves". The only carrier-set condition is that no two
+//! distinct collinear segments overlap (which guarantees a unique,
+//! minimal representation).
+
+use crate::bbox::Rect;
+use crate::halfseg::{halfseg_sequence, HalfSeg};
+use crate::point::Point;
+use crate::points::Points;
+use crate::seg::{merge_segs, Seg, SegIntersection};
+use mob_base::error::{InvariantViolation, Result};
+use mob_base::Real;
+use std::fmt;
+
+/// A finite set of segments with no collinear overlaps, stored sorted.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Line {
+    segs: Vec<Seg>,
+}
+
+impl Line {
+    /// The empty line.
+    pub fn empty() -> Line {
+        Line { segs: Vec::new() }
+    }
+
+    /// Validating constructor: rejects collinear segments that are not
+    /// disjoint (the condition of `D_line`).
+    pub fn try_new(mut segs: Vec<Seg>) -> Result<Line> {
+        segs.sort();
+        for (i, s) in segs.iter().enumerate() {
+            for t in segs.iter().skip(i + 1) {
+                if s == t {
+                    return Err(InvariantViolation::new("line: duplicate segment"));
+                }
+                if s.collinear(t) && !s.disjoint(t) {
+                    return Err(InvariantViolation::new(
+                        "line: collinear segments must be disjoint",
+                    ));
+                }
+            }
+        }
+        Ok(Line { segs })
+    }
+
+    /// Normalizing constructor: merges collinear overlapping/meeting
+    /// segments into maximal ones (the paper: such segments "could be
+    /// merged into a single segment").
+    pub fn normalize(segs: Vec<Seg>) -> Line {
+        Line {
+            segs: merge_segs(segs),
+        }
+    }
+
+    /// A line holding one segment.
+    pub fn single(s: Seg) -> Line {
+        Line { segs: vec![s] }
+    }
+
+    /// The segments in lexicographic order.
+    pub fn segments(&self) -> &[Seg] {
+        &self.segs
+    }
+
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    /// Total length of all segments — the paper's `length` operation
+    /// (used by the query `length(trajectory(flight)) > 5000`).
+    pub fn length(&self) -> Real {
+        self.segs
+            .iter()
+            .fold(Real::ZERO, |acc, s| acc + s.length())
+    }
+
+    /// Bounding box.
+    pub fn bbox(&self) -> Rect {
+        self.segs.iter().fold(Rect::EMPTY, |acc, s| acc.union(&s.bbox()))
+    }
+
+    /// The ordered halfsegment sequence (Sec 4.1 storage order).
+    pub fn halfsegments(&self) -> Vec<HalfSeg> {
+        halfseg_sequence(&self.segs)
+    }
+
+    /// `true` if `p` lies on some segment.
+    pub fn contains_point(&self, p: Point) -> bool {
+        self.segs.iter().any(|s| s.contains_point(p))
+    }
+
+    /// `true` if the two lines share at least one point.
+    pub fn intersects(&self, other: &Line) -> bool {
+        if !self.bbox().intersects(&other.bbox()) {
+            return false;
+        }
+        self.segs
+            .iter()
+            .any(|s| other.segs.iter().any(|t| !s.disjoint(t)))
+    }
+
+    /// Points where segments of the two lines cross (the `crossings`
+    /// operation of the abstract model: isolated intersection points).
+    pub fn crossings(&self, other: &Line) -> Points {
+        let mut out = Vec::new();
+        for s in &self.segs {
+            for t in &other.segs {
+                if let SegIntersection::Crossing(p) = s.intersection(t) {
+                    out.push(p);
+                }
+            }
+        }
+        Points::from_points(out)
+    }
+
+    /// All segment end points.
+    pub fn endpoints(&self) -> Points {
+        Points::from_points(self.segs.iter().flat_map(|s| [s.u(), s.v()]).collect())
+    }
+}
+
+impl FromIterator<Seg> for Line {
+    /// Collect with normalization.
+    fn from_iter<I: IntoIterator<Item = Seg>>(iter: I) -> Self {
+        Line::normalize(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Debug for Line {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.segs.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::pt;
+    use crate::seg::seg;
+    use mob_base::r;
+
+    #[test]
+    fn try_new_rejects_collinear_overlap() {
+        // Overlapping collinear segments violate the carrier condition.
+        assert!(Line::try_new(vec![seg(0.0, 0.0, 2.0, 0.0), seg(1.0, 0.0, 3.0, 0.0)]).is_err());
+        // Collinear but disjoint is fine.
+        assert!(Line::try_new(vec![seg(0.0, 0.0, 1.0, 0.0), seg(2.0, 0.0, 3.0, 0.0)]).is_ok());
+        // Collinear meeting at an end point shares a point: must merge.
+        assert!(Line::try_new(vec![seg(0.0, 0.0, 1.0, 0.0), seg(1.0, 0.0, 2.0, 0.0)]).is_err());
+        // Crossing segments are allowed (Fig 2c: any segment set is a line).
+        assert!(Line::try_new(vec![seg(0.0, 0.0, 2.0, 2.0), seg(0.0, 2.0, 2.0, 0.0)]).is_ok());
+        // Duplicates rejected.
+        assert!(Line::try_new(vec![seg(0.0, 0.0, 1.0, 0.0), seg(0.0, 0.0, 1.0, 0.0)]).is_err());
+    }
+
+    #[test]
+    fn normalize_merges() {
+        let l = Line::normalize(vec![seg(0.0, 0.0, 2.0, 0.0), seg(1.0, 0.0, 3.0, 0.0)]);
+        assert_eq!(l.num_segments(), 1);
+        assert_eq!(l.segments()[0], seg(0.0, 0.0, 3.0, 0.0));
+        assert_eq!(l.length(), r(3.0));
+    }
+
+    #[test]
+    fn unique_representation() {
+        let a = Line::normalize(vec![seg(0.0, 0.0, 1.0, 0.0), seg(0.0, 1.0, 1.0, 1.0)]);
+        let b = Line::normalize(vec![seg(0.0, 1.0, 1.0, 1.0), seg(0.0, 0.0, 1.0, 0.0)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn length_and_bbox() {
+        let l = Line::normalize(vec![seg(0.0, 0.0, 3.0, 4.0), seg(0.0, 0.0, 0.0, 2.0)]);
+        assert_eq!(l.length(), r(7.0));
+        assert_eq!(l.bbox().max_x(), r(3.0));
+        assert_eq!(l.bbox().max_y(), r(4.0));
+    }
+
+    #[test]
+    fn membership_and_intersection() {
+        let a = Line::single(seg(0.0, 0.0, 2.0, 2.0));
+        let b = Line::single(seg(0.0, 2.0, 2.0, 0.0));
+        let c = Line::single(seg(5.0, 5.0, 6.0, 6.0));
+        assert!(a.contains_point(pt(1.0, 1.0)));
+        assert!(!a.contains_point(pt(1.0, 0.0)));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert_eq!(a.crossings(&b).as_slice(), &[pt(1.0, 1.0)]);
+        assert!(a.crossings(&c).is_empty());
+    }
+
+    #[test]
+    fn halfsegments_and_endpoints() {
+        let l = Line::normalize(vec![seg(0.0, 0.0, 1.0, 0.0), seg(2.0, 0.0, 3.0, 1.0)]);
+        assert_eq!(l.halfsegments().len(), 4);
+        assert_eq!(l.endpoints().len(), 4);
+    }
+
+    #[test]
+    fn empty_line() {
+        let e = Line::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.length(), r(0.0));
+        assert!(e.bbox().is_empty());
+    }
+}

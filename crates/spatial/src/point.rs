@@ -1,0 +1,238 @@
+//! The discrete `point` type (Sec 3.2.2): `Point = real × real`, with the
+//! paper's lexicographic order `p < q ⇔ p.x < q.x ∨ (p.x = q.x ∧ p.y < q.y)`.
+
+use mob_base::{r, Real};
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A point in the Euclidean plane.
+///
+/// `Ord` is the lexicographic order the paper defines, which underlies
+/// segment normalization (`u < v`), halfsegment order and the unique
+/// representation of `points` values.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Point {
+    /// x coordinate.
+    pub x: Real,
+    /// y coordinate.
+    pub y: Real,
+}
+
+impl Point {
+    /// The origin.
+    pub const ORIGIN: Point = Point {
+        x: Real::ZERO,
+        y: Real::ZERO,
+    };
+
+    /// Construct from two reals.
+    #[inline]
+    pub fn new(x: Real, y: Real) -> Point {
+        Point { x, y }
+    }
+
+    /// Construct from raw `f64`s (panics on NaN).
+    #[inline]
+    pub fn from_f64(x: f64, y: f64) -> Point {
+        Point {
+            x: Real::new(x),
+            y: Real::new(y),
+        }
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn distance(self, other: Point) -> Real {
+        let dx = (self.x - other.x).get();
+        let dy = (self.y - other.y).get();
+        Real::new((dx * dx + dy * dy).sqrt())
+    }
+
+    /// Squared Euclidean distance (avoids the square root).
+    #[inline]
+    pub fn distance_sq(self, other: Point) -> Real {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Midpoint of the segment `self`–`other`.
+    #[inline]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point {
+            x: Real::new((self.x.get() + other.x.get()) / 2.0),
+            y: Real::new((self.y.get() + other.y.get()) / 2.0),
+        }
+    }
+
+    /// Linear interpolation `self + f · (other − self)`.
+    #[inline]
+    pub fn lerp(self, other: Point, f: Real) -> Point {
+        Point {
+            x: self.x.lerp(other.x, f),
+            y: self.y.lerp(other.y, f),
+        }
+    }
+
+    /// Direction (radians in `(-π, π]`) from `self` towards `other` —
+    /// the paper's `direction` operation. Returns `None` for equal points.
+    pub fn direction(self, other: Point) -> Option<Real> {
+        if self == other {
+            return None;
+        }
+        Some(Real::new(
+            (other.y - self.y).get().atan2((other.x - self.x).get()),
+        ))
+    }
+
+    /// `true` if the two points coincide up to `eps` in each coordinate.
+    #[inline]
+    pub fn approx_eq(self, other: Point, eps: f64) -> bool {
+        self.x.approx_eq(other.x, eps) && self.y.approx_eq(other.y, eps)
+    }
+}
+
+/// Orientation of the ordered triple `(o, a, b)`:
+/// `1` = counter-clockwise (left turn), `-1` = clockwise, `0` = collinear.
+///
+/// This is the fundamental predicate behind `collinear`, `p-intersect`,
+/// point-in-polygon and cycle orientation.
+#[inline]
+pub fn orientation(o: Point, a: Point, b: Point) -> i8 {
+    let v = cross(o, a, b).get();
+    if v > 0.0 {
+        1
+    } else if v < 0.0 {
+        -1
+    } else {
+        0
+    }
+}
+
+/// The z-component of the cross product `(a − o) × (b − o)`.
+#[inline]
+pub fn cross(o: Point, a: Point, b: Point) -> Real {
+    (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x)
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point {
+            x: self.x + rhs.x,
+            y: self.y + rhs.y,
+        }
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point {
+            x: self.x - rhs.x,
+            y: self.y - rhs.y,
+        }
+    }
+}
+
+impl Mul<Real> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, f: Real) -> Point {
+        Point {
+            x: self.x * f,
+            y: self.y * f,
+        }
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Point {
+        Point::from_f64(x, y)
+    }
+}
+
+/// Shorthand constructor used pervasively in tests and examples.
+#[inline]
+pub fn pt(x: f64, y: f64) -> Point {
+    Point::from_f64(x, y)
+}
+
+/// Unused-but-documented helper keeping `r` re-exported near geometry code.
+#[doc(hidden)]
+pub fn _real_shorthand(v: f64) -> Real {
+    r(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexicographic_order_matches_paper() {
+        // p < q ⇔ (p.x < q.x) ∨ (p.x = q.x ∧ p.y < q.y)
+        assert!(pt(0.0, 9.0) < pt(1.0, 0.0));
+        assert!(pt(1.0, 0.0) < pt(1.0, 1.0));
+        assert_eq!(pt(2.0, 3.0), pt(2.0, 3.0));
+        let mut v = vec![pt(1.0, 1.0), pt(0.0, 5.0), pt(1.0, 0.0)];
+        v.sort();
+        assert_eq!(v, vec![pt(0.0, 5.0), pt(1.0, 0.0), pt(1.0, 1.0)]);
+    }
+
+    #[test]
+    fn distance_and_midpoint() {
+        assert_eq!(pt(0.0, 0.0).distance(pt(3.0, 4.0)), r(5.0));
+        assert_eq!(pt(0.0, 0.0).distance_sq(pt(3.0, 4.0)), r(25.0));
+        assert_eq!(pt(0.0, 0.0).midpoint(pt(2.0, 4.0)), pt(1.0, 2.0));
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = pt(1.0, 1.0);
+        let b = pt(3.0, 5.0);
+        assert_eq!(a.lerp(b, r(0.0)), a);
+        assert_eq!(a.lerp(b, r(1.0)), b);
+        assert_eq!(a.lerp(b, r(0.5)), pt(2.0, 3.0));
+    }
+
+    #[test]
+    fn orientation_signs() {
+        let o = pt(0.0, 0.0);
+        assert_eq!(orientation(o, pt(1.0, 0.0), pt(1.0, 1.0)), 1); // left turn
+        assert_eq!(orientation(o, pt(1.0, 0.0), pt(1.0, -1.0)), -1); // right
+        assert_eq!(orientation(o, pt(1.0, 1.0), pt(2.0, 2.0)), 0); // collinear
+    }
+
+    #[test]
+    fn direction_angles() {
+        let o = pt(0.0, 0.0);
+        assert_eq!(o.direction(pt(1.0, 0.0)).unwrap(), r(0.0));
+        assert!(o
+            .direction(pt(0.0, 1.0))
+            .unwrap()
+            .approx_eq(r(std::f64::consts::FRAC_PI_2), 1e-12));
+        assert!(o.direction(o).is_none());
+    }
+
+    #[test]
+    fn vector_ops() {
+        assert_eq!(pt(1.0, 2.0) + pt(3.0, 4.0), pt(4.0, 6.0));
+        assert_eq!(pt(3.0, 4.0) - pt(1.0, 2.0), pt(2.0, 2.0));
+        assert_eq!(pt(1.0, 2.0) * r(3.0), pt(3.0, 6.0));
+    }
+}

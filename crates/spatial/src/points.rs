@@ -1,0 +1,187 @@
+//! The discrete `points` type (Sec 3.2.2): a finite set of points,
+//! `D_points = 2^Point`, stored in lexicographic order so that equal sets
+//! have equal representations (Sec 4: "store elements in the array in that
+//! order ... two set values are equal iff their array representations are
+//! equal").
+
+use crate::bbox::Rect;
+use crate::point::Point;
+use mob_base::{Real, Val};
+use std::fmt;
+
+/// A finite set of points in the plane.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Points {
+    /// Sorted, deduplicated.
+    pts: Vec<Point>,
+}
+
+impl Points {
+    /// The empty set.
+    pub fn empty() -> Points {
+        Points { pts: Vec::new() }
+    }
+
+    /// Build from arbitrary points (sorts and deduplicates).
+    pub fn from_points(mut pts: Vec<Point>) -> Points {
+        pts.sort();
+        pts.dedup();
+        Points { pts }
+    }
+
+    /// A singleton set.
+    pub fn single(p: Point) -> Points {
+        Points { pts: vec![p] }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.pts.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.pts.is_empty()
+    }
+
+    /// Iterate in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = Point> + '_ {
+        self.pts.iter().copied()
+    }
+
+    /// The ordered points as a slice.
+    pub fn as_slice(&self) -> &[Point] {
+        &self.pts
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, p: Point) -> bool {
+        self.pts.binary_search(&p).is_ok()
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &Points) -> Points {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        out.extend_from_slice(&self.pts);
+        out.extend_from_slice(&other.pts);
+        Points::from_points(out)
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &Points) -> Points {
+        let pts = self
+            .pts
+            .iter()
+            .copied()
+            .filter(|p| other.contains(*p))
+            .collect();
+        Points { pts }
+    }
+
+    /// Set difference.
+    pub fn difference(&self, other: &Points) -> Points {
+        let pts = self
+            .pts
+            .iter()
+            .copied()
+            .filter(|p| !other.contains(*p))
+            .collect();
+        Points { pts }
+    }
+
+    /// Bounding box.
+    pub fn bbox(&self) -> Rect {
+        Rect::of_points(self.iter())
+    }
+
+    /// Smallest distance between a point of `self` and one of `other`
+    /// (⊥ if either set is empty).
+    pub fn distance(&self, other: &Points) -> Val<Real> {
+        let mut best: Option<Real> = None;
+        for a in &self.pts {
+            for b in &other.pts {
+                let d = a.distance(*b);
+                best = Some(match best {
+                    Some(cur) => cur.min(d),
+                    None => d,
+                });
+            }
+        }
+        best.into()
+    }
+
+    /// The single element of a singleton set (⊥ otherwise) — the abstract
+    /// model's coercion from `points` to `point`.
+    pub fn the_point(&self) -> Val<Point> {
+        if self.pts.len() == 1 {
+            Val::Def(self.pts[0])
+        } else {
+            Val::Undef
+        }
+    }
+}
+
+impl FromIterator<Point> for Points {
+    fn from_iter<I: IntoIterator<Item = Point>>(iter: I) -> Self {
+        Points::from_points(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Debug for Points {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.pts.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::pt;
+    use mob_base::r;
+
+    #[test]
+    fn unique_ordered_representation() {
+        let a = Points::from_points(vec![pt(1.0, 1.0), pt(0.0, 0.0), pt(1.0, 1.0)]);
+        let b = Points::from_points(vec![pt(0.0, 0.0), pt(1.0, 1.0)]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.as_slice()[0], pt(0.0, 0.0));
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = Points::from_points(vec![pt(0.0, 0.0), pt(1.0, 0.0), pt(2.0, 0.0)]);
+        let b = Points::from_points(vec![pt(1.0, 0.0), pt(3.0, 0.0)]);
+        assert_eq!(
+            a.union(&b).as_slice(),
+            &[pt(0.0, 0.0), pt(1.0, 0.0), pt(2.0, 0.0), pt(3.0, 0.0)]
+        );
+        assert_eq!(a.intersection(&b).as_slice(), &[pt(1.0, 0.0)]);
+        assert_eq!(a.difference(&b).as_slice(), &[pt(0.0, 0.0), pt(2.0, 0.0)]);
+    }
+
+    #[test]
+    fn membership_and_bbox() {
+        let a = Points::from_points(vec![pt(0.0, 0.0), pt(2.0, 3.0)]);
+        assert!(a.contains(pt(2.0, 3.0)));
+        assert!(!a.contains(pt(1.0, 1.0)));
+        assert_eq!(a.bbox().max_y(), r(3.0));
+    }
+
+    #[test]
+    fn distance() {
+        let a = Points::single(pt(0.0, 0.0));
+        let b = Points::from_points(vec![pt(3.0, 4.0), pt(10.0, 0.0)]);
+        assert_eq!(a.distance(&b), Val::Def(r(5.0)));
+        assert!(a.distance(&Points::empty()).is_undef());
+    }
+
+    #[test]
+    fn the_point_coercion() {
+        assert_eq!(Points::single(pt(1.0, 2.0)).the_point(), Val::Def(pt(1.0, 2.0)));
+        assert!(Points::empty().the_point().is_undef());
+        assert!(Points::from_points(vec![pt(0.0, 0.0), pt(1.0, 0.0)])
+            .the_point()
+            .is_undef());
+    }
+}

@@ -1,0 +1,484 @@
+//! The discrete `region` type (Sec 3.2.2): a set of pairwise edge-disjoint
+//! faces, plus the Sec 4.1 `close()` construction that assembles the
+//! face/cycle structure from a flat list of boundary segments.
+
+use crate::arrangement::{on_any_segment, parity_inside, trace_walks, Walk};
+use crate::bbox::Rect;
+use crate::face::Face;
+use crate::halfseg::{halfseg_sequence, HalfSeg};
+use crate::point::Point;
+use crate::ring::Ring;
+use crate::seg::Seg;
+use mob_base::error::{InvariantViolation, Result};
+use mob_base::Real;
+use std::fmt;
+
+/// A region: zero or more edge-disjoint faces, possibly with holes,
+/// possibly nested (faces inside holes of other faces).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Region {
+    faces: Vec<Face>,
+}
+
+impl Region {
+    /// The empty region.
+    pub fn empty() -> Region {
+        Region { faces: Vec::new() }
+    }
+
+    /// Validating constructor from faces.
+    pub fn try_new(faces: Vec<Face>) -> Result<Region> {
+        for (i, f1) in faces.iter().enumerate() {
+            for f2 in faces.iter().skip(i + 1) {
+                if !f1.edge_disjoint(f2) {
+                    return Err(InvariantViolation::new(
+                        "region: faces must be pairwise edge-disjoint",
+                    ));
+                }
+            }
+        }
+        Ok(Region { faces })
+    }
+
+    /// Construct without validating face disjointness (see
+    /// [`Ring::new_unchecked`] for when this is sound).
+    pub fn from_faces_unchecked(faces: Vec<Face>) -> Region {
+        Region { faces }
+    }
+
+    /// A region with a single hole-free face.
+    pub fn from_ring(outer: Ring) -> Region {
+        Region {
+            faces: vec![Face::simple(outer)],
+        }
+    }
+
+    /// The Sec 4.1 `close()` operation: build the face/cycle structure
+    /// from an unstructured list of boundary segments.
+    ///
+    /// ```
+    /// use mob_spatial::{seg, pt, Region};
+    ///
+    /// let region = Region::close(vec![
+    ///     seg(0.0, 0.0, 2.0, 0.0),
+    ///     seg(2.0, 0.0, 2.0, 2.0),
+    ///     seg(0.0, 2.0, 2.0, 2.0),
+    ///     seg(0.0, 0.0, 0.0, 2.0),
+    /// ]).unwrap();
+    /// assert_eq!(region.num_faces(), 1);
+    /// assert_eq!(region.area().get(), 4.0);
+    /// assert!(region.contains_point(pt(1.0, 1.0)));
+    /// ```
+    ///
+    /// The input must be a valid region boundary: segments meet only at
+    /// end points (no proper intersections, touches or overlaps) and every
+    /// vertex has even degree. Use
+    /// [`crate::setops`] to produce such soups from overlapping inputs.
+    pub fn close(segs: Vec<Seg>) -> Result<Region> {
+        if segs.is_empty() {
+            return Ok(Region::empty());
+        }
+        // Validate pairwise relationships. A plane-sweep prefilter on
+        // the x-ranges keeps this near-linear for realistic inputs (the
+        // predicates only run for pairs with overlapping boxes).
+        let mut order: Vec<usize> = (0..segs.len()).collect();
+        order.sort_by(|&a, &b| segs[a].u().x.cmp(&segs[b].u().x).then(segs[a].cmp(&segs[b])));
+        let yr = |s: &Seg| (s.u().y.min(s.v().y), s.u().y.max(s.v().y));
+        for (ii, &i) in order.iter().enumerate() {
+            let s = &segs[i];
+            let (sy0, sy1) = yr(s);
+            for &j in order.iter().skip(ii + 1) {
+                let t = &segs[j];
+                if t.u().x > s.v().x {
+                    break; // no further x-overlap in sorted order
+                }
+                let (ty0, ty1) = yr(t);
+                if ty0 > sy1 || sy0 > ty1 {
+                    continue;
+                }
+                if s == t {
+                    return Err(InvariantViolation::new("close: duplicate segment"));
+                }
+                if s.p_intersect(t) {
+                    return Err(InvariantViolation::new(
+                        "close: segments must not properly intersect",
+                    ));
+                }
+                if s.touch(t) {
+                    return Err(InvariantViolation::new("close: segments must not touch"));
+                }
+                if s.overlaps(t) {
+                    return Err(InvariantViolation::new("close: segments must not overlap"));
+                }
+            }
+        }
+        // Even vertex degree.
+        let mut degree: std::collections::BTreeMap<Point, usize> = Default::default();
+        for s in &segs {
+            *degree.entry(s.u()).or_insert(0) += 1;
+            *degree.entry(s.v()).or_insert(0) += 1;
+        }
+        if degree.values().any(|d| d % 2 != 0) {
+            return Err(InvariantViolation::new(
+                "close: every end point must have even degree",
+            ));
+        }
+        // Scale-relative offset for interior sampling.
+        let bbox = Rect::of_points(segs.iter().flat_map(|s| [s.u(), s.v()]));
+        let diag = (bbox.width() * bbox.width() + bbox.height() * bbox.height())
+            .get()
+            .sqrt()
+            .max(1.0);
+        let eps = diag * 1e-9;
+
+        // Trace walks; keep those whose left face is region interior.
+        let walks = trace_walks(&segs);
+        let mut outers: Vec<(Walk, f64)> = Vec::new();
+        let mut holes: Vec<Walk> = Vec::new();
+        for w in walks {
+            let sample = w.left_sample(eps);
+            if !parity_inside(&segs, sample) {
+                continue;
+            }
+            let a = w.signed_area();
+            if a > 0.0 {
+                outers.push((w, a));
+            } else {
+                holes.push(w);
+            }
+        }
+        // Assign each hole walk to the smallest containing outer walk.
+        let mut face_holes: Vec<Vec<Ring>> = vec![Vec::new(); outers.len()];
+        for h in holes {
+            let probe = h.left_sample(eps);
+            let mut best: Option<(usize, f64)> = None;
+            for (idx, (o, area)) in outers.iter().enumerate() {
+                let ring_segs: Vec<Seg> = o
+                    .points
+                    .iter()
+                    .zip(o.points.iter().cycle().skip(1))
+                    .filter_map(|(a, b)| Seg::try_from_unordered(*a, *b))
+                    .collect();
+                if parity_inside(&ring_segs, probe) && best.is_none_or(|(_, ba)| *area < ba) {
+                    best = Some((idx, *area));
+                }
+            }
+            match best {
+                Some((idx, _)) => {
+                    face_holes[idx].push(Ring::from_walk_unchecked(h.points))
+                }
+                None => {
+                    return Err(InvariantViolation::new(
+                        "close: hole cycle without containing outer cycle",
+                    ))
+                }
+            }
+        }
+        // The faces come from disjoint interior faces of the validated
+        // arrangement, and each hole was assigned by containment —
+        // re-validating would add an O(f²·r) pass for nothing.
+        let faces: Vec<Face> = outers
+            .into_iter()
+            .zip(face_holes)
+            .map(|((o, _), hs)| Face::new_unchecked(Ring::from_walk_unchecked(o.points), hs))
+            .collect();
+        Ok(Region::from_faces_unchecked(faces))
+    }
+
+    /// The faces of the region.
+    pub fn faces(&self) -> &[Face] {
+        &self.faces
+    }
+
+    /// `true` for the empty region.
+    pub fn is_empty(&self) -> bool {
+        self.faces.is_empty()
+    }
+
+    /// Number of faces.
+    pub fn num_faces(&self) -> usize {
+        self.faces.len()
+    }
+
+    /// Total number of cycles (outer cycles + holes).
+    pub fn num_cycles(&self) -> usize {
+        self.faces.iter().map(Face::num_cycles).sum()
+    }
+
+    /// All boundary segments.
+    pub fn segments(&self) -> Vec<Seg> {
+        self.faces.iter().flat_map(Face::segments).collect()
+    }
+
+    /// Number of boundary segments.
+    pub fn num_segments(&self) -> usize {
+        self.faces
+            .iter()
+            .map(|f| f.outer().len() + f.holes().iter().map(Ring::len).sum::<usize>())
+            .sum()
+    }
+
+    /// The ordered halfsegment sequence (the Sec 4.1 storage order).
+    pub fn halfsegments(&self) -> Vec<HalfSeg> {
+        halfseg_sequence(&self.segments())
+    }
+
+    /// The paper's `inside` for a point: membership in `σ(region)` —
+    /// boundary points count as inside (closure semantics). This is the
+    /// "plumbline" algorithm of Sec 5.2.
+    pub fn contains_point(&self, p: Point) -> bool {
+        let segs = self.segments();
+        on_any_segment(&segs, p) || parity_inside(&segs, p)
+    }
+
+    /// Strict interior membership.
+    pub fn contains_point_strict(&self, p: Point) -> bool {
+        let segs = self.segments();
+        !on_any_segment(&segs, p) && parity_inside(&segs, p)
+    }
+
+    /// Total area (the abstract model's `size` operation).
+    pub fn area(&self) -> Real {
+        self.faces.iter().fold(Real::ZERO, |acc, f| acc + f.area())
+    }
+
+    /// Total boundary length (`perimeter`).
+    pub fn perimeter(&self) -> Real {
+        self.faces
+            .iter()
+            .fold(Real::ZERO, |acc, f| acc + f.perimeter())
+    }
+
+    /// Area centroid (the abstract model's `center` operation); ⊥ (None)
+    /// for the empty region. Computed with the standard polygon-centroid
+    /// formula, holes subtracting.
+    pub fn centroid(&self) -> Option<Point> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut a2 = 0.0; // twice the signed area
+        let (mut cx, mut cy) = (0.0, 0.0);
+        let mut add_ring = |ring: &crate::ring::Ring, sign: f64| {
+            for (p, q) in ring.directed_edges() {
+                let w = (p.x.get() * q.y.get() - q.x.get() * p.y.get()) * sign;
+                a2 += w;
+                cx += (p.x.get() + q.x.get()) * w;
+                cy += (p.y.get() + q.y.get()) * w;
+            }
+        };
+        for f in &self.faces {
+            // Outer rings are ccw (positive), holes cw (negative): the
+            // orientation already carries the sign.
+            add_ring(f.outer(), 1.0);
+            for h in f.holes() {
+                add_ring(h, 1.0);
+            }
+        }
+        if a2 == 0.0 {
+            return None;
+        }
+        Some(Point::from_f64(cx / (3.0 * a2), cy / (3.0 * a2)))
+    }
+
+    /// Bounding box.
+    pub fn bbox(&self) -> Rect {
+        self.faces
+            .iter()
+            .fold(Rect::EMPTY, |acc, f| acc.union(&f.bbox()))
+    }
+
+    /// `true` if the two regions share at least one point (boundaries
+    /// included).
+    pub fn intersects(&self, other: &Region) -> bool {
+        if !self.bbox().intersects(&other.bbox()) {
+            return false;
+        }
+        let a = self.segments();
+        let b = other.segments();
+        // Boundary crossings?
+        for s in &a {
+            for t in &b {
+                if !s.disjoint(t) {
+                    return true;
+                }
+            }
+        }
+        // One fully inside the other?
+        if let Some(f) = self.faces.first() {
+            if other.contains_point(f.interior_point()) {
+                return true;
+            }
+        }
+        if let Some(f) = other.faces.first() {
+            if self.contains_point(f.interior_point()) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Debug for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Region").field("faces", &self.faces).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::pt;
+    use crate::ring::rect_ring;
+    use crate::seg::seg;
+    use mob_base::r;
+
+    fn square_soup(x0: f64, y0: f64, x1: f64, y1: f64) -> Vec<Seg> {
+        vec![
+            seg(x0, y0, x1, y0),
+            seg(x1, y0, x1, y1),
+            seg(x0, y1, x1, y1),
+            seg(x0, y0, x0, y1),
+        ]
+    }
+
+    #[test]
+    fn close_simple_square() {
+        let region = Region::close(square_soup(0.0, 0.0, 2.0, 2.0)).unwrap();
+        assert_eq!(region.num_faces(), 1);
+        assert_eq!(region.num_cycles(), 1);
+        assert_eq!(region.area(), r(4.0));
+        assert_eq!(region.perimeter(), r(8.0));
+        assert!(region.contains_point(pt(1.0, 1.0)));
+        assert!(region.contains_point(pt(0.0, 1.0))); // boundary
+        assert!(!region.contains_point(pt(3.0, 1.0)));
+    }
+
+    #[test]
+    fn close_annulus() {
+        let mut soup = square_soup(0.0, 0.0, 4.0, 4.0);
+        soup.extend(square_soup(1.0, 1.0, 3.0, 3.0));
+        let region = Region::close(soup).unwrap();
+        assert_eq!(region.num_faces(), 1);
+        assert_eq!(region.num_cycles(), 2);
+        assert_eq!(region.area(), r(12.0));
+        assert!(region.contains_point(pt(0.5, 0.5)));
+        assert!(!region.contains_point(pt(2.0, 2.0))); // in hole
+        assert!(region.contains_point(pt(1.0, 2.0))); // hole boundary
+    }
+
+    #[test]
+    fn close_face_within_hole_figure3() {
+        // Figure 3 of the paper: a face lying within a hole of another face.
+        let mut soup = square_soup(0.0, 0.0, 10.0, 10.0);
+        soup.extend(square_soup(2.0, 2.0, 8.0, 8.0)); // hole
+        soup.extend(square_soup(4.0, 4.0, 6.0, 6.0)); // island face in hole
+        let region = Region::close(soup).unwrap();
+        assert_eq!(region.num_faces(), 2);
+        assert_eq!(region.num_cycles(), 3);
+        assert_eq!(region.area(), r(100.0 - 36.0 + 4.0));
+        assert!(region.contains_point(pt(5.0, 5.0))); // on the island
+        assert!(!region.contains_point(pt(3.0, 5.0))); // in the hole
+        assert!(region.contains_point(pt(1.0, 5.0))); // outer face
+    }
+
+    #[test]
+    fn close_two_disjoint_faces() {
+        let mut soup = square_soup(0.0, 0.0, 1.0, 1.0);
+        soup.extend(square_soup(5.0, 0.0, 6.0, 1.0));
+        let region = Region::close(soup).unwrap();
+        assert_eq!(region.num_faces(), 2);
+        assert_eq!(region.area(), r(2.0));
+    }
+
+    #[test]
+    fn close_rejects_bad_input() {
+        // Odd degree (open polyline).
+        assert!(Region::close(vec![seg(0.0, 0.0, 1.0, 0.0)]).is_err());
+        // Crossing segments.
+        let mut soup = square_soup(0.0, 0.0, 2.0, 2.0);
+        soup.push(seg(-1.0, 1.0, 3.0, 1.2));
+        assert!(Region::close(soup).is_err());
+        // Duplicate segment.
+        let mut soup = square_soup(0.0, 0.0, 2.0, 2.0);
+        soup.push(seg(0.0, 0.0, 2.0, 0.0));
+        assert!(Region::close(soup).is_err());
+    }
+
+    #[test]
+    fn empty_region() {
+        let e = Region::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.area(), r(0.0));
+        assert!(!e.contains_point(pt(0.0, 0.0)));
+        assert_eq!(Region::close(vec![]).unwrap(), e);
+    }
+
+    #[test]
+    fn try_new_rejects_overlapping_faces() {
+        let f1 = Face::simple(rect_ring(0.0, 0.0, 4.0, 4.0));
+        let f2 = Face::simple(rect_ring(2.0, 2.0, 6.0, 6.0));
+        assert!(Region::try_new(vec![f1, f2]).is_err());
+    }
+
+    #[test]
+    fn intersects() {
+        let a = Region::from_ring(rect_ring(0.0, 0.0, 2.0, 2.0));
+        let b = Region::from_ring(rect_ring(1.0, 1.0, 3.0, 3.0));
+        let c = Region::from_ring(rect_ring(5.0, 5.0, 6.0, 6.0));
+        let inner = Region::from_ring(rect_ring(0.5, 0.5, 1.0, 1.0));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(a.intersects(&inner)); // containment without boundary contact
+        assert!(inner.intersects(&a));
+    }
+
+    #[test]
+    fn halfsegment_sequence_is_sorted() {
+        let region = Region::close(square_soup(0.0, 0.0, 2.0, 2.0)).unwrap();
+        let hs = region.halfsegments();
+        assert_eq!(hs.len(), 8);
+        for w in hs.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn centroid() {
+        let sq = Region::from_ring(rect_ring(0.0, 0.0, 2.0, 2.0));
+        assert_eq!(sq.centroid().unwrap(), pt(1.0, 1.0));
+        // Symmetric hole keeps the centroid.
+        let ann = Region::try_new(vec![Face::try_new(
+            rect_ring(0.0, 0.0, 4.0, 4.0),
+            vec![rect_ring(1.0, 1.0, 3.0, 3.0)],
+        )
+        .unwrap()])
+        .unwrap();
+        assert!(ann.centroid().unwrap().approx_eq(pt(2.0, 2.0), 1e-9));
+        // Asymmetric hole pushes it away from the hole.
+        let lop = Region::try_new(vec![Face::try_new(
+            rect_ring(0.0, 0.0, 4.0, 4.0),
+            vec![rect_ring(0.5, 0.5, 1.5, 1.5)],
+        )
+        .unwrap()])
+        .unwrap();
+        let c = lop.centroid().unwrap();
+        assert!(c.x > r(2.0) && c.y > r(2.0));
+        assert!(Region::empty().centroid().is_none());
+    }
+
+    #[test]
+    fn touching_faces_pinch_vertex() {
+        // Two triangles sharing one vertex: valid region with 2 faces.
+        let soup = vec![
+            seg(0.0, 0.0, 1.0, 0.0),
+            seg(0.0, 0.0, 0.5, 1.0),
+            seg(0.5, 1.0, 1.0, 0.0),
+            seg(1.0, 0.0, 2.0, 0.0),
+            seg(1.0, 0.0, 1.5, 1.0),
+            seg(1.5, 1.0, 2.0, 0.0),
+        ];
+        let region = Region::close(soup).unwrap();
+        assert_eq!(region.num_faces(), 2);
+        assert!(region.contains_point(pt(1.0, 0.0)));
+    }
+}

@@ -1,0 +1,501 @@
+//! Cycles (Sec 3.2.2): simple polygons, the building blocks of faces.
+//!
+//! The paper defines a cycle as a set of segments such that (i) no two
+//! segments properly intersect or touch, (ii) every end point occurs in
+//! exactly two segments, and (iii) the segments form a *single* cycle.
+//! [`Ring`] represents such a cycle as an ordered vertex list (which makes
+//! (ii) and (iii) structural) and validates (i).
+
+use crate::bbox::Rect;
+use crate::point::{orientation, Point};
+use crate::seg::Seg;
+use mob_base::error::{InvariantViolation, Result};
+use mob_base::Real;
+use std::fmt;
+
+/// A simple polygon given by its vertices in order (implicitly closed).
+///
+/// The vertex list is canonicalized to start at the lexicographically
+/// smallest vertex, so equal cycles (same point set, same orientation)
+/// have equal representations. Orientation (ccw/cw) is preserved: faces
+/// normalize outer cycles to ccw and hole cycles to cw.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Ring {
+    pts: Vec<Point>,
+}
+
+impl Ring {
+    /// Validating constructor from a vertex list (an explicitly repeated
+    /// closing vertex is tolerated and removed).
+    pub fn try_new(mut pts: Vec<Point>) -> Result<Ring> {
+        if pts.len() >= 2 && pts.first() == pts.last() {
+            pts.pop();
+        }
+        if pts.len() < 3 {
+            return Err(InvariantViolation::new("cycle: at least 3 segments"));
+        }
+        // (ii) every end point in exactly two segments ⇔ no repeated vertex.
+        let mut sorted = pts.clone();
+        sorted.sort();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return Err(InvariantViolation::new(
+                "cycle: each end point occurs in exactly two segments",
+            ));
+        }
+        // Degenerate zero-length edges are excluded by the above; build
+        // edges and check (i): no proper intersections, no touches.
+        let ring = Ring::new_canonical(pts);
+        let segs = ring.segments();
+        for (idx, s) in segs.iter().enumerate() {
+            for t in segs.iter().skip(idx + 1) {
+                if s.p_intersect(t) {
+                    return Err(InvariantViolation::new(
+                        "cycle: segments must not properly intersect",
+                    ));
+                }
+                if s.touch(t) {
+                    return Err(InvariantViolation::new("cycle: segments must not touch"));
+                }
+                if s.overlaps(t) {
+                    return Err(InvariantViolation::new(
+                        "cycle: segments must not overlap",
+                    ));
+                }
+            }
+        }
+        if ring.signed_area() == Real::ZERO {
+            return Err(InvariantViolation::new("cycle: must enclose area"));
+        }
+        Ok(ring)
+    }
+
+    /// Canonical rotation (no validation) — internal.
+    fn new_canonical(pts: Vec<Point>) -> Ring {
+        let min_idx = pts
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, p)| **p)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let mut rotated = Vec::with_capacity(pts.len());
+        rotated.extend_from_slice(&pts[min_idx..]);
+        rotated.extend_from_slice(&pts[..min_idx]);
+        Ring { pts: rotated }
+    }
+
+    /// Construct from a closed walk produced by arrangement tracing (no
+    /// simplicity validation — the arrangement guarantees it).
+    pub(crate) fn from_walk_unchecked(pts: Vec<Point>) -> Ring {
+        Ring::new_canonical(pts)
+    }
+
+    /// Construct without validating simplicity.
+    ///
+    /// For evaluation paths where validity is guaranteed by a stronger
+    /// invariant — e.g. `uregion` units certify that every interior
+    /// instant evaluates to a valid region (Sec 3.2.6), so Algorithm
+    /// `atinstant` need not re-check and stays `O(log n + r)` (Sec 5.1).
+    /// Callers must uphold the cycle conditions themselves.
+    pub fn new_unchecked(pts: Vec<Point>) -> Ring {
+        debug_assert!(pts.len() >= 3);
+        Ring::new_canonical(pts)
+    }
+
+    /// Number of vertices (= number of segments).
+    pub fn len(&self) -> usize {
+        self.pts.len()
+    }
+
+    /// `true` if the ring has no vertices (never for validated rings).
+    pub fn is_empty(&self) -> bool {
+        self.pts.is_empty()
+    }
+
+    /// The vertices in order.
+    pub fn points(&self) -> &[Point] {
+        &self.pts
+    }
+
+    /// The edges of the cycle.
+    pub fn segments(&self) -> Vec<Seg> {
+        (0..self.pts.len())
+            .map(|i| Seg::new(self.pts[i], self.pts[(i + 1) % self.pts.len()]))
+            .collect()
+    }
+
+    /// The directed edges (preserving orientation).
+    pub fn directed_edges(&self) -> impl Iterator<Item = (Point, Point)> + '_ {
+        (0..self.pts.len()).map(move |i| (self.pts[i], self.pts[(i + 1) % self.pts.len()]))
+    }
+
+    /// Shoelace signed area: positive for counter-clockwise rings.
+    pub fn signed_area(&self) -> Real {
+        let mut sum = 0.0;
+        for (a, b) in self.directed_edges() {
+            sum += a.x.get() * b.y.get() - b.x.get() * a.y.get();
+        }
+        Real::new(sum / 2.0)
+    }
+
+    /// Unsigned enclosed area.
+    pub fn area(&self) -> Real {
+        self.signed_area().abs()
+    }
+
+    /// Total edge length.
+    pub fn perimeter(&self) -> Real {
+        self.directed_edges()
+            .fold(Real::ZERO, |acc, (a, b)| acc + a.distance(b))
+    }
+
+    /// `true` if the ring is oriented counter-clockwise.
+    pub fn is_ccw(&self) -> bool {
+        self.signed_area() > Real::ZERO
+    }
+
+    /// The same cycle with reversed orientation.
+    pub fn reversed(&self) -> Ring {
+        let mut pts = self.pts.clone();
+        pts.reverse();
+        Ring::new_canonical(pts)
+    }
+
+    /// This cycle oriented counter-clockwise.
+    pub fn ccw(&self) -> Ring {
+        if self.is_ccw() {
+            self.clone()
+        } else {
+            self.reversed()
+        }
+    }
+
+    /// This cycle oriented clockwise.
+    pub fn cw(&self) -> Ring {
+        if self.is_ccw() {
+            self.reversed()
+        } else {
+            self.clone()
+        }
+    }
+
+    /// Bounding box.
+    pub fn bbox(&self) -> Rect {
+        Rect::of_points(self.pts.iter().copied())
+    }
+
+    /// `true` if `p` lies on one of the edges.
+    pub fn on_boundary(&self, p: Point) -> bool {
+        self.directed_edges()
+            .any(|(a, b)| Seg::new(a, b).contains_point(p))
+    }
+
+    /// Even-odd parity test for points *not* on the boundary.
+    fn parity_inside(&self, p: Point) -> bool {
+        let mut inside = false;
+        for (a, b) in self.directed_edges() {
+            // Upward ray from p: edge crosses iff its y-span straddles p.y.
+            if (a.y > p.y) != (b.y > p.y) {
+                let t = (p.y - a.y).get() / (b.y - a.y).get();
+                let x = a.x.get() + t * (b.x - a.x).get();
+                if x > p.x.get() {
+                    inside = !inside;
+                }
+            }
+        }
+        inside
+    }
+
+    /// `σ(c)`: points enclosed by the cycle *or on its boundary*.
+    pub fn contains_point(&self, p: Point) -> bool {
+        self.on_boundary(p) || self.parity_inside(p)
+    }
+
+    /// Strict interior test.
+    pub fn contains_point_strict(&self, p: Point) -> bool {
+        !self.on_boundary(p) && self.parity_inside(p)
+    }
+
+    /// A point guaranteed to lie strictly inside the cycle: an edge
+    /// midpoint nudged towards the interior.
+    pub fn interior_point(&self) -> Point {
+        let diag = {
+            let b = self.bbox();
+            (b.width() * b.width() + b.height() * b.height()).get().sqrt()
+        };
+        let ccw = self.is_ccw();
+        for scale in [1e-6, 1e-9, 1e-3] {
+            let eps = diag * scale;
+            for (a, b) in self.directed_edges() {
+                let m = a.midpoint(b);
+                let d = b - a;
+                let len = a.distance(b).get();
+                if len == 0.0 {
+                    continue;
+                }
+                // Left normal for ccw interiors, right normal for cw.
+                let (nx, ny) = if ccw {
+                    (-d.y.get() / len, d.x.get() / len)
+                } else {
+                    (d.y.get() / len, -d.x.get() / len)
+                };
+                let cand = Point::from_f64(m.x.get() + nx * eps, m.y.get() + ny * eps);
+                if self.contains_point_strict(cand) {
+                    return cand;
+                }
+            }
+        }
+        panic!("no interior point found for ring {self:?}");
+    }
+
+    /// The paper's `edge-inside(h, c)`: `h`'s interior is a subset of
+    /// `c`'s interior and no edges of `h` and `c` overlap. Touching in
+    /// isolated points — including a vertex of one cycle lying in the
+    /// interior of the other's segment — is allowed ("it is allowed that
+    /// a segment of one cycle *touches* a segment of another cycle").
+    pub fn edge_inside(&self, outer: &Ring) -> bool {
+        let own = self.segments();
+        let theirs = outer.segments();
+        for s in &own {
+            for t in &theirs {
+                if s.p_intersect(t) || s.overlaps(t) {
+                    return false;
+                }
+            }
+        }
+        if !self.pts.iter().all(|p| outer.contains_point(*p)) {
+            return false;
+        }
+        // Touch configurations keep vertices on the boundary; crossing
+        // through would put an edge midpoint outside.
+        if !own
+            .iter()
+            .all(|s| outer.contains_point(s.midpoint()))
+        {
+            return false;
+        }
+        outer.contains_point_strict(self.interior_point())
+    }
+
+    /// The paper's `edge-disjoint(c1, c2)`: disjoint interiors, no
+    /// overlapping edges; touching in isolated points (vertex-on-vertex
+    /// or vertex-on-edge) allowed.
+    pub fn edge_disjoint(&self, other: &Ring) -> bool {
+        for s in &self.segments() {
+            for t in &other.segments() {
+                if s.p_intersect(t) || s.overlaps(t) {
+                    return false;
+                }
+            }
+        }
+        if self.pts.iter().any(|p| other.contains_point_strict(*p))
+            || other.pts.iter().any(|p| self.contains_point_strict(*p))
+        {
+            return false;
+        }
+        // A cycle sneaking through a touch point would put some edge
+        // midpoint strictly inside the other cycle.
+        if self
+            .segments()
+            .iter()
+            .any(|s| other.contains_point_strict(s.midpoint()))
+            || other
+                .segments()
+                .iter()
+                .any(|s| self.contains_point_strict(s.midpoint()))
+        {
+            return false;
+        }
+        !other.contains_point_strict(self.interior_point())
+            && !self.contains_point_strict(other.interior_point())
+    }
+
+    /// Convexity test (used by generators).
+    pub fn is_convex(&self) -> bool {
+        let n = self.pts.len();
+        let mut sign = 0i8;
+        for i in 0..n {
+            let o = orientation(self.pts[i], self.pts[(i + 1) % n], self.pts[(i + 2) % n]);
+            if o != 0 {
+                if sign == 0 {
+                    sign = o;
+                } else if sign != o {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Debug for Ring {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.pts.iter()).finish()
+    }
+}
+
+/// Convenience: an axis-aligned rectangle ring (counter-clockwise).
+pub fn rect_ring(x0: f64, y0: f64, x1: f64, y1: f64) -> Ring {
+    Ring::try_new(vec![
+        Point::from_f64(x0, y0),
+        Point::from_f64(x1, y0),
+        Point::from_f64(x1, y1),
+        Point::from_f64(x0, y1),
+    ])
+    .expect("axis-aligned rectangle is a valid ring")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::pt;
+    use mob_base::r;
+
+    #[test]
+    fn validation() {
+        // Too few vertices.
+        assert!(Ring::try_new(vec![pt(0.0, 0.0), pt(1.0, 0.0)]).is_err());
+        // Repeated vertex (bow tie sharing a vertex).
+        assert!(Ring::try_new(vec![
+            pt(0.0, 0.0),
+            pt(1.0, 1.0),
+            pt(2.0, 0.0),
+            pt(1.0, 1.0),
+            pt(0.0, 2.0),
+        ])
+        .is_err());
+        // Self-intersecting (bow tie).
+        assert!(Ring::try_new(vec![
+            pt(0.0, 0.0),
+            pt(2.0, 2.0),
+            pt(2.0, 0.0),
+            pt(0.0, 2.0),
+        ])
+        .is_err());
+        // Valid triangle, with explicit closing point tolerated.
+        let tri = Ring::try_new(vec![pt(0.0, 0.0), pt(2.0, 0.0), pt(1.0, 2.0), pt(0.0, 0.0)]);
+        assert!(tri.is_ok());
+        assert_eq!(tri.unwrap().len(), 3);
+    }
+
+    #[test]
+    fn canonical_rotation_makes_equal_rings_equal() {
+        let a = Ring::try_new(vec![pt(0.0, 0.0), pt(2.0, 0.0), pt(1.0, 2.0)]).unwrap();
+        let b = Ring::try_new(vec![pt(1.0, 2.0), pt(0.0, 0.0), pt(2.0, 0.0)]).unwrap();
+        assert_eq!(a, b);
+        // Opposite orientation differs.
+        assert_ne!(a, a.reversed());
+        assert_eq!(a, a.reversed().reversed());
+    }
+
+    #[test]
+    fn area_perimeter_orientation() {
+        let sq = rect_ring(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(sq.signed_area(), r(4.0));
+        assert!(sq.is_ccw());
+        assert_eq!(sq.area(), r(4.0));
+        assert_eq!(sq.perimeter(), r(8.0));
+        let cw = sq.cw();
+        assert_eq!(cw.signed_area(), r(-4.0));
+        assert_eq!(cw.area(), r(4.0));
+        assert_eq!(sq.ccw(), sq);
+    }
+
+    #[test]
+    fn point_in_ring() {
+        let sq = rect_ring(0.0, 0.0, 2.0, 2.0);
+        assert!(sq.contains_point(pt(1.0, 1.0)));
+        assert!(sq.contains_point(pt(0.0, 0.0))); // vertex
+        assert!(sq.contains_point(pt(1.0, 0.0))); // edge
+        assert!(!sq.contains_point(pt(3.0, 1.0)));
+        assert!(sq.contains_point_strict(pt(1.0, 1.0)));
+        assert!(!sq.contains_point_strict(pt(1.0, 0.0)));
+        // Concave ring: L-shape.
+        let ell = Ring::try_new(vec![
+            pt(0.0, 0.0),
+            pt(3.0, 0.0),
+            pt(3.0, 1.0),
+            pt(1.0, 1.0),
+            pt(1.0, 3.0),
+            pt(0.0, 3.0),
+        ])
+        .unwrap();
+        assert!(ell.contains_point(pt(0.5, 2.0)));
+        assert!(!ell.contains_point(pt(2.0, 2.0)));
+    }
+
+    #[test]
+    fn interior_point_is_interior() {
+        let sq = rect_ring(0.0, 0.0, 2.0, 2.0);
+        assert!(sq.contains_point_strict(sq.interior_point()));
+        let tri = Ring::try_new(vec![pt(0.0, 0.0), pt(4.0, 0.0), pt(0.0, 4.0)])
+            .unwrap()
+            .cw();
+        assert!(tri.contains_point_strict(tri.interior_point()));
+    }
+
+    #[test]
+    fn edge_inside_cases() {
+        let outer = rect_ring(0.0, 0.0, 10.0, 10.0);
+        let inner = rect_ring(2.0, 2.0, 4.0, 4.0);
+        assert!(inner.edge_inside(&outer));
+        assert!(!outer.edge_inside(&inner));
+        // Touching the outer boundary at a vertex is allowed.
+        let touching = Ring::try_new(vec![pt(0.0, 0.0), pt(3.0, 1.0), pt(1.0, 3.0)]).unwrap();
+        assert!(touching.edge_inside(&outer));
+        // Overlapping edge is not.
+        let overlapping = rect_ring(0.0, 2.0, 3.0, 4.0);
+        assert!(!overlapping.edge_inside(&outer));
+        // A hole whose vertex touches the interior of an outer edge is
+        // allowed (the paper's touch remark).
+        let vertex_touch =
+            Ring::try_new(vec![pt(5.0, 0.0), pt(7.0, 2.0), pt(3.0, 2.0)]).unwrap();
+        assert!(vertex_touch.edge_inside(&outer));
+        // Crossing is not.
+        let crossing = rect_ring(8.0, 8.0, 12.0, 12.0);
+        assert!(!crossing.edge_inside(&outer));
+    }
+
+    #[test]
+    fn edge_disjoint_cases() {
+        let a = rect_ring(0.0, 0.0, 2.0, 2.0);
+        let b = rect_ring(5.0, 0.0, 7.0, 2.0);
+        assert!(a.edge_disjoint(&b));
+        // Touching at a single vertex: allowed.
+        let c = Ring::try_new(vec![pt(2.0, 2.0), pt(4.0, 2.0), pt(3.0, 4.0)]).unwrap();
+        assert!(a.edge_disjoint(&c));
+        // A vertex touching the interior of the other's edge: allowed.
+        let v = Ring::try_new(vec![pt(1.0, 2.0), pt(3.0, 4.0), pt(-1.0, 4.0)]).unwrap();
+        assert!(a.edge_disjoint(&v));
+        assert!(v.edge_disjoint(&a));
+        // Overlapping boundary segments: not allowed.
+        let d = rect_ring(2.0, 0.0, 4.0, 2.0);
+        assert!(!a.edge_disjoint(&d));
+        // One inside the other: not edge-disjoint.
+        let inner = rect_ring(0.5, 0.5, 1.0, 1.0);
+        assert!(!a.edge_disjoint(&inner));
+        // Crossing: not.
+        let x = rect_ring(1.0, 1.0, 3.0, 3.0);
+        assert!(!a.edge_disjoint(&x));
+    }
+
+    #[test]
+    fn convexity() {
+        assert!(rect_ring(0.0, 0.0, 1.0, 1.0).is_convex());
+        let ell = Ring::try_new(vec![
+            pt(0.0, 0.0),
+            pt(3.0, 0.0),
+            pt(3.0, 1.0),
+            pt(1.0, 1.0),
+            pt(1.0, 3.0),
+            pt(0.0, 3.0),
+        ])
+        .unwrap();
+        assert!(!ell.is_convex());
+    }
+
+    #[test]
+    fn segments_count() {
+        let sq = rect_ring(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(sq.segments().len(), 4);
+    }
+}

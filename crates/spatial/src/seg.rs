@@ -1,0 +1,475 @@
+//! Line segments (Sec 3.2.2): `Seg = {(u, v) | u, v ∈ Point, u < v}` and
+//! the paper's segment predicates `collinear`, `p-intersect`, `touch`,
+//! `meet`, plus intersection computation, `merge-segs` (used by `ι_s`/`ι_e`
+//! of `uline`) and the even/odd fragment rule (used by `ι_s`/`ι_e` of
+//! `uregion`).
+
+use crate::bbox::Rect;
+use crate::point::{cross, orientation, Point};
+use mob_base::error::{InvariantViolation, Result};
+use mob_base::Real;
+use std::fmt;
+
+/// A line segment with lexicographically ordered end points (`u < v`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Seg {
+    u: Point,
+    v: Point,
+}
+
+impl Seg {
+    /// Construct, enforcing `u < v` (the carrier-set condition).
+    pub fn try_new(u: Point, v: Point) -> Result<Seg> {
+        if u < v {
+            Ok(Seg { u, v })
+        } else {
+            Err(InvariantViolation::with_detail(
+                "seg: u < v (lexicographic)",
+                format!("u={u:?} v={v:?}"),
+            ))
+        }
+    }
+
+    /// Construct from two distinct points in either order; panics if equal.
+    #[track_caller]
+    pub fn new(a: Point, b: Point) -> Seg {
+        assert!(a != b, "segment end points must be distinct");
+        if a < b {
+            Seg { u: a, v: b }
+        } else {
+            Seg { u: b, v: a }
+        }
+    }
+
+    /// Construct from two distinct points in either order, or `None` if
+    /// they coincide (a "degenerated segment" in the paper's endpoint
+    /// cleanup).
+    pub fn try_from_unordered(a: Point, b: Point) -> Option<Seg> {
+        if a == b {
+            None
+        } else {
+            Some(Seg::new(a, b))
+        }
+    }
+
+    /// The smaller (left) end point.
+    #[inline]
+    pub fn u(&self) -> Point {
+        self.u
+    }
+
+    /// The larger (right) end point.
+    #[inline]
+    pub fn v(&self) -> Point {
+        self.v
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn length(&self) -> Real {
+        self.u.distance(self.v)
+    }
+
+    /// Midpoint.
+    #[inline]
+    pub fn midpoint(&self) -> Point {
+        self.u.midpoint(self.v)
+    }
+
+    /// Point at parameter `f ∈ [0,1]` from `u` to `v`.
+    #[inline]
+    pub fn point_at(&self, f: Real) -> Point {
+        self.u.lerp(self.v, f)
+    }
+
+    /// Bounding box.
+    pub fn bbox(&self) -> Rect {
+        Rect::of_points([self.u, self.v])
+    }
+
+    /// `true` if `p` is one of the end points.
+    #[inline]
+    pub fn has_endpoint(&self, p: Point) -> bool {
+        self.u == p || self.v == p
+    }
+
+    /// `true` if `p` lies on the (closed) segment.
+    pub fn contains_point(&self, p: Point) -> bool {
+        orientation(self.u, self.v, p) == 0
+            && self.u.x.min(self.v.x) <= p.x
+            && p.x <= self.u.x.max(self.v.x)
+            && self.u.y.min(self.v.y) <= p.y
+            && p.y <= self.u.y.max(self.v.y)
+    }
+
+    /// `true` if `p` lies in the interior (on the segment, not an end point).
+    pub fn interior_contains(&self, p: Point) -> bool {
+        self.contains_point(p) && !self.has_endpoint(p)
+    }
+
+    /// The paper's `collinear(s, t)`: both segments lie on one infinite line.
+    pub fn collinear(&self, other: &Seg) -> bool {
+        orientation(self.u, self.v, other.u) == 0 && orientation(self.u, self.v, other.v) == 0
+    }
+
+    /// The paper's `meet(s, t)`: the segments share an end point.
+    pub fn meet(&self, other: &Seg) -> bool {
+        self.has_endpoint(other.u) || self.has_endpoint(other.v)
+    }
+
+    /// The paper's `touch(s, t)`: an end point of one segment lies in the
+    /// interior of the other.
+    pub fn touch(&self, other: &Seg) -> bool {
+        self.interior_contains(other.u)
+            || self.interior_contains(other.v)
+            || other.interior_contains(self.u)
+            || other.interior_contains(self.v)
+    }
+
+    /// The paper's `p-intersect(s, t)`: the segments cross in a point that
+    /// is interior to both.
+    pub fn p_intersect(&self, other: &Seg) -> bool {
+        matches!(self.intersection(other), SegIntersection::Crossing(p)
+            if self.interior_contains(p) && other.interior_contains(p))
+    }
+
+    /// `true` if the segments share no point at all.
+    pub fn disjoint(&self, other: &Seg) -> bool {
+        matches!(self.intersection(other), SegIntersection::Disjoint)
+    }
+
+    /// `true` if the segments are collinear and share more than one point.
+    pub fn overlaps(&self, other: &Seg) -> bool {
+        matches!(self.intersection(other), SegIntersection::Overlap(_))
+    }
+
+    /// Full case analysis of the intersection of two segments.
+    pub fn intersection(&self, other: &Seg) -> SegIntersection {
+        let (a, b) = (self.u, self.v);
+        let (c, d) = (other.u, other.v);
+        let d1 = orientation(c, d, a);
+        let d2 = orientation(c, d, b);
+        let d3 = orientation(a, b, c);
+        let d4 = orientation(a, b, d);
+
+        if d1 == 0 && d2 == 0 {
+            // Collinear: project onto the dominant axis.
+            let horizontal_ish = (b.x - a.x).abs() >= (b.y - a.y).abs();
+            let key = |p: Point| if horizontal_ish { p.x } else { p.y };
+            let (s1, e1) = (key(a), key(b));
+            let (lo1, hi1) = (s1.min(e1), s1.max(e1));
+            let (s2, e2) = (key(c), key(d));
+            let (lo2, hi2) = (s2.min(e2), s2.max(e2));
+            let lo = lo1.max(lo2);
+            let hi = hi1.min(hi2);
+            if lo > hi {
+                return SegIntersection::Disjoint;
+            }
+            // Map the overlap back to points using whichever segment is
+            // handy (self).
+            let param = |k: Real| {
+                let denom = key(b) - key(a);
+                (k - key(a)) / denom
+            };
+            let p_lo = self.point_at(param(lo));
+            let p_hi = self.point_at(param(hi));
+            if p_lo == p_hi {
+                return SegIntersection::Crossing(p_lo);
+            }
+            return SegIntersection::Overlap(Seg::new(p_lo, p_hi));
+        }
+
+        let straddle1 = (d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0) || d1 == 0 || d2 == 0;
+        let straddle2 = (d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0) || d3 == 0 || d4 == 0;
+        if !(straddle1 && straddle2) {
+            return SegIntersection::Disjoint;
+        }
+        // Shared end points and touches produce exact answers.
+        if d1 == 0 && other.contains_point(a) {
+            return SegIntersection::Crossing(a);
+        }
+        if d2 == 0 && other.contains_point(b) {
+            return SegIntersection::Crossing(b);
+        }
+        if d3 == 0 && self.contains_point(c) {
+            return SegIntersection::Crossing(c);
+        }
+        if d4 == 0 && self.contains_point(d) {
+            return SegIntersection::Crossing(d);
+        }
+        if d1 == 0 || d2 == 0 || d3 == 0 || d4 == 0 {
+            // An end point was collinear with the other segment's line but
+            // outside the segment itself.
+            return SegIntersection::Disjoint;
+        }
+        // Proper crossing: compute the parameter on self.
+        let denom = cross(Point::ORIGIN, b - a, d - c);
+        debug_assert!(denom.get() != 0.0, "non-collinear straddling segments");
+        let s = cross(Point::ORIGIN, c - a, d - c) / denom;
+        SegIntersection::Crossing(self.point_at(s))
+    }
+}
+
+/// Result of intersecting two segments.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum SegIntersection {
+    /// No common point.
+    Disjoint,
+    /// Exactly one common point (crossing, touch, or shared end point).
+    Crossing(Point),
+    /// Collinear segments sharing a sub-segment.
+    Overlap(Seg),
+}
+
+/// The paper's `merge-segs`: merge collinear segments that overlap or
+/// meet end-to-end into maximal segments; remove duplicates.
+///
+/// Used by the `ι_s`/`ι_e` endpoint-cleanup of `uline` (Sec 3.2.6).
+pub fn merge_segs(mut segs: Vec<Seg>) -> Vec<Seg> {
+    segs.sort();
+    segs.dedup();
+    loop {
+        let mut merged_any = false;
+        'outer: for i in 0..segs.len() {
+            for j in (i + 1)..segs.len() {
+                let (a, b) = (segs[i], segs[j]);
+                if a.collinear(&b) && !a.disjoint(&b) {
+                    let pts = [a.u, a.v, b.u, b.v];
+                    let lo = *pts.iter().min().expect("non-empty");
+                    let hi = *pts.iter().max().expect("non-empty");
+                    segs.swap_remove(j);
+                    segs[i] = Seg::new(lo, hi);
+                    merged_any = true;
+                    break 'outer;
+                }
+            }
+        }
+        if !merged_any {
+            break;
+        }
+    }
+    segs.sort();
+    segs
+}
+
+/// The even/odd fragment rule of `ι_s`/`ι_e` for `uregion` (Sec 3.2.6):
+/// partition each maximal line into fragments, count how many input
+/// segments cover each fragment, keep a fragment iff the count is odd,
+/// then merge adjacent kept fragments.
+pub fn parity_fragments(segs: &[Seg]) -> Vec<Seg> {
+    let mut remaining: Vec<Seg> = segs.to_vec();
+    let mut out: Vec<Seg> = Vec::new();
+    while let Some(first) = remaining.first().copied() {
+        // Pull out the cluster of segments collinear with `first`.
+        let (cluster, rest): (Vec<Seg>, Vec<Seg>) =
+            remaining.iter().partition(|s| first.collinear(s));
+        remaining = rest;
+        if cluster.len() == 1 {
+            out.push(cluster[0]);
+            continue;
+        }
+        // Project the cluster on the dominant axis of `first`'s line.
+        let dir = first.v - first.u;
+        let horizontal_ish = dir.x.abs() >= dir.y.abs();
+        let key = |p: Point| if horizontal_ish { p.x } else { p.y };
+        let mut cuts: Vec<Real> = cluster.iter().flat_map(|s| [key(s.u), key(s.v)]).collect();
+        cuts.sort();
+        cuts.dedup();
+        let param = |k: Real| {
+            let denom = key(first.v) - key(first.u);
+            (k - key(first.u)) / denom
+        };
+        let mut kept: Vec<Seg> = Vec::new();
+        for w in cuts.windows(2) {
+            let mid = Real::new((w[0].get() + w[1].get()) / 2.0);
+            let count = cluster
+                .iter()
+                .filter(|s| {
+                    let (a, b) = (key(s.u), key(s.v));
+                    a.min(b) <= mid && mid <= a.max(b)
+                })
+                .count();
+            if count % 2 == 1 {
+                let p = first.point_at(param(w[0]));
+                let q = first.point_at(param(w[1]));
+                if let Some(s) = Seg::try_from_unordered(p, q) {
+                    kept.push(s);
+                }
+            }
+        }
+        out.extend(merge_segs(kept));
+    }
+    out.sort();
+    out
+}
+
+impl fmt::Debug for Seg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:?}–{:?}]", self.u, self.v)
+    }
+}
+
+/// Shorthand constructor used pervasively in tests and examples.
+#[inline]
+pub fn seg(x1: f64, y1: f64, x2: f64, y2: f64) -> Seg {
+    Seg::new(Point::from_f64(x1, y1), Point::from_f64(x2, y2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::pt;
+    use mob_base::r;
+
+    #[test]
+    fn construction_normalizes_order() {
+        let s = Seg::new(pt(2.0, 0.0), pt(1.0, 5.0));
+        assert_eq!(s.u(), pt(1.0, 5.0));
+        assert_eq!(s.v(), pt(2.0, 0.0));
+        assert!(Seg::try_new(pt(2.0, 0.0), pt(1.0, 0.0)).is_err());
+        assert!(Seg::try_from_unordered(pt(1.0, 1.0), pt(1.0, 1.0)).is_none());
+    }
+
+    #[test]
+    fn geometry_basics() {
+        let s = seg(0.0, 0.0, 3.0, 4.0);
+        assert_eq!(s.length(), r(5.0));
+        assert_eq!(s.midpoint(), pt(1.5, 2.0));
+        assert_eq!(s.point_at(r(0.5)), pt(1.5, 2.0));
+        assert!(s.contains_point(pt(1.5, 2.0)));
+        assert!(!s.contains_point(pt(1.0, 2.0)));
+        assert!(s.interior_contains(pt(1.5, 2.0)));
+        assert!(!s.interior_contains(pt(0.0, 0.0)));
+    }
+
+    #[test]
+    fn paper_predicates() {
+        let a = seg(0.0, 0.0, 2.0, 0.0);
+        let b = seg(1.0, -1.0, 1.0, 1.0); // crosses a at (1,0)
+        let c = seg(2.0, 0.0, 3.0, 1.0); // meets a at (2,0)
+        let d = seg(1.0, 0.0, 1.0, 2.0); // touches a (its end point interior to a)
+        let e = seg(3.0, 0.0, 5.0, 0.0); // collinear with a, disjoint
+        let f = seg(1.0, 0.0, 4.0, 0.0); // collinear with a, overlapping
+
+        assert!(a.p_intersect(&b));
+        assert!(!a.p_intersect(&c));
+        assert!(a.meet(&c));
+        assert!(!a.meet(&b));
+        assert!(a.touch(&d));
+        assert!(!a.touch(&c));
+        assert!(a.collinear(&e) && a.disjoint(&e));
+        assert!(a.collinear(&f) && a.overlaps(&f));
+        assert!(!a.collinear(&b));
+    }
+
+    #[test]
+    fn intersection_crossing() {
+        let a = seg(0.0, 0.0, 2.0, 2.0);
+        let b = seg(0.0, 2.0, 2.0, 0.0);
+        assert_eq!(a.intersection(&b), SegIntersection::Crossing(pt(1.0, 1.0)));
+    }
+
+    #[test]
+    fn intersection_touch_and_meet() {
+        let a = seg(0.0, 0.0, 2.0, 0.0);
+        let touch = seg(1.0, 0.0, 1.0, 2.0);
+        assert_eq!(
+            a.intersection(&touch),
+            SegIntersection::Crossing(pt(1.0, 0.0))
+        );
+        let meet = seg(2.0, 0.0, 3.0, 3.0);
+        assert_eq!(
+            a.intersection(&meet),
+            SegIntersection::Crossing(pt(2.0, 0.0))
+        );
+    }
+
+    #[test]
+    fn intersection_disjoint_cases() {
+        let a = seg(0.0, 0.0, 2.0, 0.0);
+        assert_eq!(
+            a.intersection(&seg(0.0, 1.0, 2.0, 1.0)),
+            SegIntersection::Disjoint
+        );
+        // Endpoint collinear with a's line but beyond the segment.
+        assert_eq!(
+            a.intersection(&seg(3.0, 0.0, 4.0, 1.0)),
+            SegIntersection::Disjoint
+        );
+        // Lines cross but outside both segments.
+        assert_eq!(
+            a.intersection(&seg(5.0, -1.0, 5.0, 1.0)),
+            SegIntersection::Disjoint
+        );
+    }
+
+    #[test]
+    fn intersection_overlap() {
+        let a = seg(0.0, 0.0, 4.0, 0.0);
+        let b = seg(1.0, 0.0, 6.0, 0.0);
+        assert_eq!(
+            a.intersection(&b),
+            SegIntersection::Overlap(seg(1.0, 0.0, 4.0, 0.0))
+        );
+        // Vertical overlap exercises the non-horizontal projection.
+        let v1 = seg(0.0, 0.0, 0.0, 4.0);
+        let v2 = seg(0.0, 2.0, 0.0, 6.0);
+        assert_eq!(
+            v1.intersection(&v2),
+            SegIntersection::Overlap(seg(0.0, 2.0, 0.0, 4.0))
+        );
+        // Collinear meeting in exactly one point.
+        let c = seg(4.0, 0.0, 6.0, 0.0);
+        assert_eq!(a.intersection(&c), SegIntersection::Crossing(pt(4.0, 0.0)));
+    }
+
+    #[test]
+    fn merge_segs_maximalizes() {
+        let merged = merge_segs(vec![
+            seg(0.0, 0.0, 2.0, 0.0),
+            seg(1.0, 0.0, 3.0, 0.0),
+            seg(3.0, 0.0, 4.0, 0.0), // collinear, meets at (3,0)
+            seg(0.0, 1.0, 1.0, 1.0), // separate line
+        ]);
+        assert_eq!(merged, vec![seg(0.0, 0.0, 4.0, 0.0), seg(0.0, 1.0, 1.0, 1.0)]);
+    }
+
+    #[test]
+    fn merge_segs_dedups() {
+        let merged = merge_segs(vec![seg(0.0, 0.0, 1.0, 1.0), seg(0.0, 0.0, 1.0, 1.0)]);
+        assert_eq!(merged, vec![seg(0.0, 0.0, 1.0, 1.0)]);
+    }
+
+    #[test]
+    fn parity_fragments_even_cancels() {
+        // Two identical segments cancel entirely.
+        let out = parity_fragments(&[seg(0.0, 0.0, 2.0, 0.0), seg(0.0, 0.0, 2.0, 0.0)]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parity_fragments_partial_overlap() {
+        // Paper's example: (p,q) overlaps (r,s), order p r q s on the line
+        // => fragments (p,r) keep, (r,q) cancel, (q,s) keep.
+        let out = parity_fragments(&[seg(0.0, 0.0, 2.0, 0.0), seg(1.0, 0.0, 3.0, 0.0)]);
+        assert_eq!(out, vec![seg(0.0, 0.0, 1.0, 0.0), seg(2.0, 0.0, 3.0, 0.0)]);
+    }
+
+    #[test]
+    fn parity_fragments_passthrough() {
+        let out = parity_fragments(&[seg(0.0, 0.0, 1.0, 0.0), seg(0.0, 1.0, 1.0, 2.0)]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn parity_fragments_triple_overlap() {
+        // Three segments covering [0,3], [1,2] twice more:
+        // coverage: [0,1]=1 keep, [1,2]=3 keep, [2,3]=1 keep -> merged [0,3].
+        let out = parity_fragments(&[
+            seg(0.0, 0.0, 3.0, 0.0),
+            seg(1.0, 0.0, 2.0, 0.0),
+            seg(1.0, 0.0, 2.0, 0.0),
+        ]);
+        assert_eq!(out, vec![seg(0.0, 0.0, 3.0, 0.0)]);
+    }
+}

@@ -1,0 +1,317 @@
+//! Boolean set operations on `line` and `region` values — the generic
+//! set operations (`union`, `intersection`, `minus`) of the abstract
+//! model (\[GBE+98\]), implemented ROSE-style on the discrete
+//! representations: split boundaries at intersections, classify
+//! fragments, then reassemble (`Region::close`).
+
+use crate::arrangement::{on_any_segment, parity_inside, split_segments, MaskedSeg};
+use crate::line::Line;
+use crate::point::Point;
+use crate::region::Region;
+use crate::seg::Seg;
+use mob_base::error::Result;
+
+const MASK_A: u8 = 1;
+const MASK_B: u8 = 2;
+
+fn masked(a: &[Seg], b: &[Seg]) -> Vec<MaskedSeg> {
+    a.iter()
+        .map(|s| (*s, MASK_A))
+        .chain(b.iter().map(|s| (*s, MASK_B)))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// line ⊕ line
+// ---------------------------------------------------------------------
+
+/// Union of two lines: the combined segment set, with collinear overlaps
+/// merged into maximal segments.
+pub fn line_union(a: &Line, b: &Line) -> Line {
+    let mut segs = a.segments().to_vec();
+    segs.extend_from_slice(b.segments());
+    Line::normalize(segs)
+}
+
+/// Intersection of two lines: the one-dimensional common part (shared
+/// sub-segments). Isolated crossing points are *not* representable in a
+/// `line` value; they are available via [`Line::crossings`].
+pub fn line_intersection(a: &Line, b: &Line) -> Line {
+    let fragments = split_segments(&masked(a.segments(), b.segments()));
+    Line::normalize(
+        fragments
+            .into_iter()
+            .filter(|(_, m)| *m == MASK_A | MASK_B)
+            .map(|(s, _)| s)
+            .collect(),
+    )
+}
+
+/// Difference `a \ b` of two lines (one-dimensional part).
+pub fn line_difference(a: &Line, b: &Line) -> Line {
+    let fragments = split_segments(&masked(a.segments(), b.segments()));
+    Line::normalize(
+        fragments
+            .into_iter()
+            .filter(|(_, m)| *m == MASK_A)
+            .map(|(s, _)| s)
+            .collect(),
+    )
+}
+
+// ---------------------------------------------------------------------
+// region ⊕ region
+// ---------------------------------------------------------------------
+
+/// Which boolean combination to evaluate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum BoolOp {
+    Union,
+    Intersection,
+    Difference,
+}
+
+impl BoolOp {
+    fn keep(self, in_a: bool, in_b: bool) -> bool {
+        match self {
+            BoolOp::Union => in_a || in_b,
+            BoolOp::Intersection => in_a && in_b,
+            BoolOp::Difference => in_a && !in_b,
+        }
+    }
+}
+
+/// Scale-relative probe offset for classifying boundary fragments.
+fn probe_eps(segs: &[Seg]) -> f64 {
+    let bbox = crate::bbox::Rect::of_points(segs.iter().flat_map(|s| [s.u(), s.v()]));
+    let diag = (bbox.width().get().powi(2) + bbox.height().get().powi(2)).sqrt();
+    diag.max(1.0) * 1e-9
+}
+
+fn region_boolean(a: &Region, b: &Region, op: BoolOp) -> Result<Region> {
+    let a_segs = a.segments();
+    let b_segs = b.segments();
+    if a_segs.is_empty() && b_segs.is_empty() {
+        return Ok(Region::empty());
+    }
+    let fragments = split_segments(&masked(&a_segs, &b_segs));
+    let eps = probe_eps(&fragments.iter().map(|(s, _)| *s).collect::<Vec<_>>());
+    // Strict interior membership via parity against each region's own
+    // boundary; probe points lie off both boundaries by construction.
+    let inside = |segs: &[Seg], p: Point| parity_inside(segs, p);
+    let mut kept: Vec<Seg> = Vec::new();
+    for (frag, _) in &fragments {
+        let m = frag.midpoint();
+        let d = frag.v() - frag.u();
+        let len = frag.length().get();
+        let (nx, ny) = (-d.y.get() / len, d.x.get() / len);
+        let p_left = Point::from_f64(m.x.get() + nx * eps, m.y.get() + ny * eps);
+        let p_right = Point::from_f64(m.x.get() - nx * eps, m.y.get() - ny * eps);
+        let left_in = op.keep(inside(&a_segs, p_left), inside(&b_segs, p_left));
+        let right_in = op.keep(inside(&a_segs, p_right), inside(&b_segs, p_right));
+        // A fragment belongs to the result boundary iff the result's
+        // membership differs across it.
+        if left_in != right_in {
+            kept.push(*frag);
+        }
+    }
+    Region::close(kept)
+}
+
+/// Union of two regions.
+pub fn region_union(a: &Region, b: &Region) -> Result<Region> {
+    region_boolean(a, b, BoolOp::Union)
+}
+
+/// Intersection of two regions (regularized: lower-dimensional contact
+/// such as shared boundary points is dropped).
+pub fn region_intersection(a: &Region, b: &Region) -> Result<Region> {
+    region_boolean(a, b, BoolOp::Intersection)
+}
+
+/// Difference `a \ b` of two regions (regularized).
+pub fn region_difference(a: &Region, b: &Region) -> Result<Region> {
+    region_boolean(a, b, BoolOp::Difference)
+}
+
+// ---------------------------------------------------------------------
+// line ⊗ region
+// ---------------------------------------------------------------------
+
+/// The part of `line` lying inside `region` (boundary included).
+pub fn line_region_intersection(line: &Line, region: &Region) -> Line {
+    clip_line(line, region, true)
+}
+
+/// The part of `line` lying strictly outside `region`.
+pub fn line_region_difference(line: &Line, region: &Region) -> Line {
+    clip_line(line, region, false)
+}
+
+fn clip_line(line: &Line, region: &Region, keep_inside: bool) -> Line {
+    let boundary = region.segments();
+    let fragments = split_segments(&masked(line.segments(), &boundary));
+    let mut kept = Vec::new();
+    for (frag, mask) in fragments {
+        if mask & MASK_A == 0 {
+            continue; // pure region boundary
+        }
+        let m = frag.midpoint();
+        let inside = on_any_segment(&boundary, m) || parity_inside(&boundary, m);
+        if inside == keep_inside {
+            kept.push(frag);
+        }
+    }
+    Line::normalize(kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::pt;
+    use crate::ring::rect_ring;
+    use crate::seg::seg;
+    use mob_base::r;
+
+    fn sq(x0: f64, y0: f64, x1: f64, y1: f64) -> Region {
+        Region::from_ring(rect_ring(x0, y0, x1, y1))
+    }
+
+    // ----- line ops -----
+
+    #[test]
+    fn line_union_merges_overlaps() {
+        let a = Line::single(seg(0.0, 0.0, 2.0, 0.0));
+        let b = Line::single(seg(1.0, 0.0, 3.0, 0.0));
+        let u = line_union(&a, &b);
+        assert_eq!(u.num_segments(), 1);
+        assert_eq!(u.length(), r(3.0));
+    }
+
+    #[test]
+    fn line_intersection_shared_parts() {
+        let a = Line::single(seg(0.0, 0.0, 2.0, 0.0));
+        let b = Line::single(seg(1.0, 0.0, 3.0, 0.0));
+        let i = line_intersection(&a, &b);
+        assert_eq!(i.segments(), &[seg(1.0, 0.0, 2.0, 0.0)]);
+        // Crossing lines share only a point: 1D intersection is empty.
+        let c = Line::single(seg(0.0, 2.0, 2.0, 0.0));
+        let d = Line::single(seg(0.0, 0.0, 2.0, 2.0));
+        assert!(line_intersection(&c, &d).is_empty());
+    }
+
+    #[test]
+    fn line_difference_cuts() {
+        let a = Line::single(seg(0.0, 0.0, 3.0, 0.0));
+        let b = Line::single(seg(1.0, 0.0, 2.0, 0.0));
+        let d = line_difference(&a, &b);
+        assert_eq!(
+            d.segments(),
+            &[seg(0.0, 0.0, 1.0, 0.0), seg(2.0, 0.0, 3.0, 0.0)]
+        );
+        assert!(line_difference(&a, &a).is_empty());
+    }
+
+    // ----- region ops -----
+
+    #[test]
+    fn union_of_overlapping_squares() {
+        let u = region_union(&sq(0.0, 0.0, 2.0, 2.0), &sq(1.0, 1.0, 3.0, 3.0)).unwrap();
+        assert_eq!(u.num_faces(), 1);
+        assert_eq!(u.area(), r(7.0)); // 4 + 4 - 1
+        assert!(u.contains_point(pt(0.5, 0.5)));
+        assert!(u.contains_point(pt(2.5, 2.5)));
+        assert!(!u.contains_point(pt(2.5, 0.5)));
+    }
+
+    #[test]
+    fn intersection_of_overlapping_squares() {
+        let i = region_intersection(&sq(0.0, 0.0, 2.0, 2.0), &sq(1.0, 1.0, 3.0, 3.0)).unwrap();
+        assert_eq!(i.num_faces(), 1);
+        assert_eq!(i.area(), r(1.0));
+        assert!(i.contains_point(pt(1.5, 1.5)));
+        assert!(!i.contains_point(pt(0.5, 0.5)));
+    }
+
+    #[test]
+    fn difference_creates_l_shape() {
+        let d = region_difference(&sq(0.0, 0.0, 2.0, 2.0), &sq(1.0, 1.0, 3.0, 3.0)).unwrap();
+        assert_eq!(d.area(), r(3.0));
+        assert!(d.contains_point(pt(0.5, 0.5)));
+        assert!(!d.contains_point(pt(1.5, 1.5)));
+    }
+
+    #[test]
+    fn difference_punches_hole() {
+        let d = region_difference(&sq(0.0, 0.0, 4.0, 4.0), &sq(1.0, 1.0, 3.0, 3.0)).unwrap();
+        assert_eq!(d.num_faces(), 1);
+        assert_eq!(d.num_cycles(), 2); // outer + hole
+        assert_eq!(d.area(), r(12.0));
+        assert!(!d.contains_point(pt(2.0, 2.0)));
+    }
+
+    #[test]
+    fn disjoint_regions() {
+        let a = sq(0.0, 0.0, 1.0, 1.0);
+        let b = sq(5.0, 5.0, 6.0, 6.0);
+        let u = region_union(&a, &b).unwrap();
+        assert_eq!(u.num_faces(), 2);
+        assert_eq!(u.area(), r(2.0));
+        assert!(region_intersection(&a, &b).unwrap().is_empty());
+        assert_eq!(region_difference(&a, &b).unwrap(), a);
+    }
+
+    #[test]
+    fn nested_regions() {
+        let outer = sq(0.0, 0.0, 4.0, 4.0);
+        let inner = sq(1.0, 1.0, 2.0, 2.0);
+        assert_eq!(region_union(&outer, &inner).unwrap().area(), r(16.0));
+        assert_eq!(region_intersection(&outer, &inner).unwrap(), inner);
+        let d = region_difference(&inner, &outer).unwrap();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn self_operations() {
+        let a = sq(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(region_union(&a, &a).unwrap(), a);
+        assert_eq!(region_intersection(&a, &a).unwrap(), a);
+        assert!(region_difference(&a, &a).unwrap().is_empty());
+        let e = Region::empty();
+        assert_eq!(region_union(&a, &e).unwrap(), a);
+        assert!(region_intersection(&a, &e).unwrap().is_empty());
+        assert_eq!(region_difference(&a, &e).unwrap(), a);
+    }
+
+    #[test]
+    fn union_of_edge_adjacent_squares_removes_shared_edge() {
+        // [0,2]×[0,2] and [2,4]×[0,2] share the edge x=2.
+        let u = region_union(&sq(0.0, 0.0, 2.0, 2.0), &sq(2.0, 0.0, 4.0, 2.0)).unwrap();
+        assert_eq!(u.num_faces(), 1);
+        assert_eq!(u.area(), r(8.0));
+        assert_eq!(u.num_segments(), 6); // merged rectangle boundary split at old corners
+        assert!(u.contains_point(pt(2.0, 1.0)));
+    }
+
+    #[test]
+    fn intersection_of_edge_adjacent_squares_is_empty() {
+        // Regularized semantics: the shared edge has no interior.
+        let i = region_intersection(&sq(0.0, 0.0, 2.0, 2.0), &sq(2.0, 0.0, 4.0, 2.0)).unwrap();
+        assert!(i.is_empty());
+    }
+
+    // ----- line ⊗ region -----
+
+    #[test]
+    fn clip_line_against_region() {
+        let l = Line::single(seg(-1.0, 1.0, 5.0, 1.0));
+        let reg = sq(0.0, 0.0, 2.0, 2.0);
+        let inside = line_region_intersection(&l, &reg);
+        assert_eq!(inside.segments(), &[seg(0.0, 1.0, 2.0, 1.0)]);
+        let outside = line_region_difference(&l, &reg);
+        assert_eq!(
+            outside.segments(),
+            &[seg(-1.0, 1.0, 0.0, 1.0), seg(2.0, 1.0, 5.0, 1.0)]
+        );
+    }
+}

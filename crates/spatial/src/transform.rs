@@ -1,0 +1,181 @@
+//! Affine transformations of spatial values: translation, uniform
+//! scaling about a center, and rotation. These are the value-level
+//! transformations of the abstract model's spatial algebra; they are
+//! also what generators use to build families of test shapes.
+//!
+//! All transforms are similarity transforms, so they map valid carrier
+//! values to valid carrier values (no re-validation needed — proper
+//! intersections, touches and overlaps are preserved bijectively).
+
+use crate::face::Face;
+use crate::line::Line;
+use crate::point::Point;
+use crate::points::Points;
+use crate::region::Region;
+use crate::ring::Ring;
+use crate::seg::Seg;
+use mob_base::Real;
+
+/// A 2D similarity transform `p ↦ R·s·(p − c) + c + t` (rotate by
+/// `angle` and scale by `scale` about `center`, then translate by
+/// `offset`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Similarity {
+    /// Fixed point of the rotation/scaling.
+    pub center: Point,
+    /// Uniform scale factor (must be non-zero).
+    pub scale: Real,
+    /// Rotation angle in radians.
+    pub angle: Real,
+    /// Final translation.
+    pub offset: Point,
+}
+
+impl Similarity {
+    /// Pure translation.
+    pub fn translation(dx: f64, dy: f64) -> Similarity {
+        Similarity {
+            center: Point::ORIGIN,
+            scale: Real::ONE,
+            angle: Real::ZERO,
+            offset: Point::from_f64(dx, dy),
+        }
+    }
+
+    /// Uniform scaling about a center.
+    pub fn scaling(center: Point, factor: f64) -> Similarity {
+        assert!(factor != 0.0, "scale factor must be non-zero");
+        Similarity {
+            center,
+            scale: Real::new(factor),
+            angle: Real::ZERO,
+            offset: Point::ORIGIN,
+        }
+    }
+
+    /// Rotation about a center.
+    pub fn rotation(center: Point, angle: f64) -> Similarity {
+        Similarity {
+            center,
+            scale: Real::ONE,
+            angle: Real::new(angle),
+            offset: Point::ORIGIN,
+        }
+    }
+
+    /// Apply to a point.
+    pub fn apply(&self, p: Point) -> Point {
+        let dx = (p.x - self.center.x).get();
+        let dy = (p.y - self.center.y).get();
+        let (sin, cos) = self.angle.get().sin_cos();
+        let s = self.scale.get();
+        Point::from_f64(
+            self.center.x.get() + s * (dx * cos - dy * sin) + self.offset.x.get(),
+            self.center.y.get() + s * (dx * sin + dy * cos) + self.offset.y.get(),
+        )
+    }
+
+    /// Apply to a segment.
+    pub fn apply_seg(&self, s: &Seg) -> Seg {
+        Seg::new(self.apply(s.u()), self.apply(s.v()))
+    }
+
+    /// Apply to a point set.
+    pub fn apply_points(&self, ps: &Points) -> Points {
+        ps.iter().map(|p| self.apply(p)).collect()
+    }
+
+    /// Apply to a line value (similarities preserve the
+    /// no-collinear-overlap invariant).
+    pub fn apply_line(&self, l: &Line) -> Line {
+        Line::try_new(l.segments().iter().map(|s| self.apply_seg(s)).collect())
+            .expect("similarity preserves line validity")
+    }
+
+    /// Apply to a ring. Negative scale factors mirror the plane and flip
+    /// orientation; the result is re-normalized by the caller's context
+    /// (faces normalize on construction).
+    pub fn apply_ring(&self, r: &Ring) -> Ring {
+        Ring::try_new(r.points().iter().map(|p| self.apply(*p)).collect())
+            .expect("similarity preserves cycle validity")
+    }
+
+    /// Apply to a region.
+    pub fn apply_region(&self, reg: &Region) -> Region {
+        let faces = reg
+            .faces()
+            .iter()
+            .map(|f| {
+                Face::new_unchecked(
+                    self.apply_ring(f.outer()),
+                    f.holes().iter().map(|h| self.apply_ring(h)).collect(),
+                )
+            })
+            .collect();
+        Region::from_faces_unchecked(faces)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::pt;
+    use crate::ring::rect_ring;
+    use crate::seg::seg;
+    use mob_base::r;
+
+    #[test]
+    fn translation() {
+        let t = Similarity::translation(2.0, -1.0);
+        assert_eq!(t.apply(pt(1.0, 1.0)), pt(3.0, 0.0));
+        let l = Line::single(seg(0.0, 0.0, 1.0, 0.0));
+        assert_eq!(t.apply_line(&l).segments()[0], seg(2.0, -1.0, 3.0, -1.0));
+    }
+
+    #[test]
+    fn scaling_about_center() {
+        let s = Similarity::scaling(pt(1.0, 1.0), 2.0);
+        assert_eq!(s.apply(pt(1.0, 1.0)), pt(1.0, 1.0)); // fixed point
+        assert_eq!(s.apply(pt(2.0, 1.0)), pt(3.0, 1.0));
+        let region = Region::from_ring(rect_ring(0.0, 0.0, 2.0, 2.0));
+        let scaled = s.apply_region(&region);
+        assert_eq!(scaled.area(), r(16.0)); // 4 · scale²
+        assert!(scaled.contains_point(pt(-1.0, -1.0)));
+    }
+
+    #[test]
+    fn rotation_quarter_turn() {
+        let rot = Similarity::rotation(pt(0.0, 0.0), std::f64::consts::FRAC_PI_2);
+        let p = rot.apply(pt(1.0, 0.0));
+        assert!(p.approx_eq(pt(0.0, 1.0), 1e-12));
+        // Rotation preserves area and perimeter.
+        let region = Region::from_ring(rect_ring(1.0, 1.0, 3.0, 2.0));
+        let rotated = rot.apply_region(&region);
+        assert!(rotated.area().approx_eq(region.area(), 1e-9));
+        assert!(rotated.perimeter().approx_eq(region.perimeter(), 1e-9));
+    }
+
+    #[test]
+    fn region_with_hole_transforms() {
+        let region = Region::try_new(vec![Face::try_new(
+            rect_ring(0.0, 0.0, 4.0, 4.0),
+            vec![rect_ring(1.0, 1.0, 2.0, 2.0)],
+        )
+        .unwrap()])
+        .unwrap();
+        let t = Similarity::translation(10.0, 0.0);
+        let moved = t.apply_region(&region);
+        assert_eq!(moved.area(), region.area());
+        assert!(!moved.contains_point(pt(11.5, 1.5))); // hole moved too
+        assert!(moved.contains_point(pt(13.0, 3.0)));
+    }
+
+    #[test]
+    fn points_transform() {
+        let s = Similarity::scaling(pt(0.0, 0.0), -1.0); // point reflection
+        let ps = Points::from_points(vec![pt(1.0, 2.0), pt(-1.0, 0.0)]);
+        let out = s.apply_points(&ps);
+        assert!(out.contains(pt(-1.0, -2.0)));
+        assert!(out.contains(pt(1.0, 0.0)));
+    }
+}

@@ -1,0 +1,185 @@
+//! Database arrays (\[DG98\], Sec 4): variable-size components of attribute
+//! values, "automatically either represented *inline* in a tuple
+//! representation, or outside in a separate list of pages, depending on
+//! their size".
+
+use crate::page::{BlobId, PageStore};
+use crate::record::{read_all, write_all, FixedRecord};
+
+/// Size threshold (bytes): arrays up to this size are stored inline in
+/// the tuple; larger ones go to separate pages.
+pub const INLINE_THRESHOLD: usize = 256;
+
+/// Where a saved array's bytes live.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Placement {
+    /// Bytes embedded in the tuple representation.
+    Inline(Vec<u8>),
+    /// Bytes in a separate page chain.
+    External(BlobId),
+}
+
+/// Descriptor of a saved database array (part of the root record's
+/// persistent state).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SavedArray {
+    /// Number of records.
+    pub count: usize,
+    /// Byte placement.
+    pub placement: Placement,
+}
+
+impl SavedArray {
+    /// `true` if stored inline.
+    pub fn is_inline(&self) -> bool {
+        matches!(self.placement, Placement::Inline(_))
+    }
+
+    /// Bytes occupied inline in the tuple (0 for external placement).
+    pub fn inline_bytes(&self) -> usize {
+        match &self.placement {
+            Placement::Inline(b) => b.len(),
+            Placement::External(_) => 0,
+        }
+    }
+}
+
+/// Save a record slice as a database array: inline when small, external
+/// pages when large. This mirrors \[DG98\]'s automatic placement.
+pub fn save_array<T: FixedRecord>(items: &[T], store: &mut PageStore) -> SavedArray {
+    save_array_with_threshold(items, store, INLINE_THRESHOLD)
+}
+
+/// Save with an explicit inline threshold (experiment E5 sweeps this).
+pub fn save_array_with_threshold<T: FixedRecord>(
+    items: &[T],
+    store: &mut PageStore,
+    threshold: usize,
+) -> SavedArray {
+    let bytes = write_all(items);
+    let placement = if bytes.len() <= threshold {
+        Placement::Inline(bytes)
+    } else {
+        Placement::External(store.write_blob(&bytes))
+    };
+    SavedArray {
+        count: items.len(),
+        placement,
+    }
+}
+
+/// Load a database array back into records.
+pub fn load_array<T: FixedRecord>(saved: &SavedArray, store: &PageStore) -> Vec<T> {
+    let bytes = match &saved.placement {
+        Placement::Inline(b) => b.clone(),
+        Placement::External(id) => store.read_blob(*id),
+    };
+    let items = read_all::<T>(&bytes);
+    assert_eq!(items.len(), saved.count, "saved count mismatch");
+    items
+}
+
+/// A *subarray* (Sec 4.2): a reference to a subrange `[start, end)` of a
+/// shared database array — the mechanism by which all units of a
+/// `mapping` share the same arrays (Fig 7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubArrayRef {
+    /// First record index.
+    pub start: u32,
+    /// One past the last record index.
+    pub end: u32,
+}
+
+impl SubArrayRef {
+    /// Number of records referenced.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// `true` for an empty subrange.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Slice the referenced records out of the shared array.
+    pub fn slice<'a, T>(&self, shared: &'a [T]) -> &'a [T] {
+        &shared[self.start as usize..self.end as usize]
+    }
+}
+
+impl FixedRecord for SubArrayRef {
+    const SIZE: usize = 8;
+    fn write(&self, out: &mut Vec<u8>) {
+        crate::record::put_u32(out, self.start);
+        crate::record::put_u32(out, self.end);
+    }
+    fn read(buf: &[u8]) -> Self {
+        SubArrayRef {
+            start: crate::record::get_u32(buf, 0),
+            end: crate::record::get_u32(buf, 4),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mob_spatial::{pt, Point};
+
+    #[test]
+    fn small_arrays_go_inline() {
+        let mut store = PageStore::new();
+        let pts = vec![pt(0.0, 0.0), pt(1.0, 1.0)];
+        let saved = save_array(&pts, &mut store);
+        assert!(saved.is_inline());
+        assert_eq!(saved.inline_bytes(), 32);
+        assert_eq!(store.pages_written(), 0);
+        assert_eq!(load_array::<Point>(&saved, &store), pts);
+    }
+
+    #[test]
+    fn large_arrays_go_external() {
+        let mut store = PageStore::new();
+        let pts: Vec<Point> = (0..100).map(|i| pt(i as f64, 0.0)).collect();
+        let saved = save_array(&pts, &mut store);
+        assert!(!saved.is_inline());
+        assert!(store.pages_written() > 0);
+        assert_eq!(load_array::<Point>(&saved, &store), pts);
+    }
+
+    #[test]
+    fn threshold_boundary() {
+        let mut store = PageStore::new();
+        // 16 points = 256 bytes: exactly at the threshold stays inline.
+        let pts: Vec<Point> = (0..16).map(|i| pt(i as f64, 0.0)).collect();
+        let saved = save_array(&pts, &mut store);
+        assert!(saved.is_inline());
+        // One more record crosses it.
+        let pts17: Vec<Point> = (0..17).map(|i| pt(i as f64, 0.0)).collect();
+        let saved17 = save_array(&pts17, &mut store);
+        assert!(!saved17.is_inline());
+    }
+
+    #[test]
+    fn subarray_refs() {
+        let shared = vec![10, 20, 30, 40, 50];
+        let r = SubArrayRef { start: 1, end: 4 };
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.slice(&shared), &[20, 30, 40]);
+        assert!(!r.is_empty());
+        let e = SubArrayRef { start: 2, end: 2 };
+        assert!(e.is_empty());
+        // Record roundtrip.
+        let mut buf = Vec::new();
+        r.write(&mut buf);
+        assert_eq!(SubArrayRef::read(&buf), r);
+    }
+
+    #[test]
+    fn empty_array() {
+        let mut store = PageStore::new();
+        let saved = save_array::<Point>(&[], &mut store);
+        assert!(saved.is_inline());
+        assert_eq!(load_array::<Point>(&saved, &store).len(), 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # `mob-storage` — DBMS attribute data structures (Sec 4)
+//!
+//! The paper's Section 4 maps the discrete model onto data structures
+//! usable as attribute types inside a DBMS: no pointers (array indices
+//! only), a fixed *root record* per value, and *database arrays* that are
+//! stored inline or in separate page chains depending on size \[DG98\].
+//!
+//! * [`page::PageStore`] — a simulated page store with I/O counters;
+//! * [`record::FixedRecord`] — pointer-free fixed-size records;
+//! * [`dbarray`] — database arrays with automatic inline/external
+//!   placement and Fig 7's *subarrays*;
+//! * [`line_store`] / [`region_store`] — halfsegment arrays, cycle/face
+//!   link structure (Sec 4.1);
+//! * [`mapping_store`] — the sliced-representation layouts (Sec 4.2–4.3,
+//!   Fig 7) for all eight moving types' storage shapes;
+//! * [`tuple`](mod@crate::tuple) — tuple layout accounting for the experiments.
+
+#![warn(missing_docs)]
+
+pub mod dbarray;
+pub mod line_store;
+pub mod mapping_store;
+pub mod page;
+pub mod range_store;
+pub mod record;
+pub mod region_store;
+pub mod tuple;
+
+pub use dbarray::{load_array, save_array, Placement, SavedArray, SubArrayRef, INLINE_THRESHOLD};
+pub use page::{BlobId, PageStore, DEFAULT_PAGE_SIZE};
+pub use record::FixedRecord;
+pub use tuple::TupleLayout;

@@ -1,0 +1,191 @@
+//! Fixed-size records.
+//!
+//! Section 4's ground rules: attribute data structures use "no pointers"
+//! — all references are array indices — and consist of records and
+//! arrays. [`FixedRecord`] is the contract for anything stored in a
+//! database array: a fixed byte size and pointer-free (de)serialization.
+
+use mob_base::{Instant, Interval, Real, TimeInterval};
+use mob_spatial::Point;
+
+/// A pointer-free record of statically known size.
+pub trait FixedRecord: Sized {
+    /// Serialized size in bytes.
+    const SIZE: usize;
+
+    /// Write exactly [`Self::SIZE`] bytes into `out`.
+    fn write(&self, out: &mut Vec<u8>);
+
+    /// Read back from a buffer of exactly [`Self::SIZE`] bytes.
+    fn read(buf: &[u8]) -> Self;
+}
+
+/// Little-endian f64 helpers for record implementations.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Read an f64 at `off`.
+pub fn get_f64(buf: &[u8], off: usize) -> f64 {
+    f64::from_le_bytes(buf[off..off + 8].try_into().expect("8 bytes"))
+}
+
+/// Write a u32.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Read a u32 at `off`.
+pub fn get_u32(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(buf[off..off + 4].try_into().expect("4 bytes"))
+}
+
+impl FixedRecord for f64 {
+    const SIZE: usize = 8;
+    fn write(&self, out: &mut Vec<u8>) {
+        put_f64(out, *self);
+    }
+    fn read(buf: &[u8]) -> f64 {
+        get_f64(buf, 0)
+    }
+}
+
+impl FixedRecord for i64 {
+    const SIZE: usize = 8;
+    fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn read(buf: &[u8]) -> i64 {
+        i64::from_le_bytes(buf[..8].try_into().expect("8 bytes"))
+    }
+}
+
+impl FixedRecord for u32 {
+    const SIZE: usize = 4;
+    fn write(&self, out: &mut Vec<u8>) {
+        put_u32(out, *self);
+    }
+    fn read(buf: &[u8]) -> u32 {
+        get_u32(buf, 0)
+    }
+}
+
+impl FixedRecord for bool {
+    const SIZE: usize = 1;
+    fn write(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn read(buf: &[u8]) -> bool {
+        buf[0] != 0
+    }
+}
+
+impl FixedRecord for Real {
+    const SIZE: usize = 8;
+    fn write(&self, out: &mut Vec<u8>) {
+        put_f64(out, self.get());
+    }
+    fn read(buf: &[u8]) -> Real {
+        Real::new(get_f64(buf, 0))
+    }
+}
+
+impl FixedRecord for Instant {
+    const SIZE: usize = 8;
+    fn write(&self, out: &mut Vec<u8>) {
+        put_f64(out, self.as_f64());
+    }
+    fn read(buf: &[u8]) -> Instant {
+        Instant::from_f64(get_f64(buf, 0))
+    }
+}
+
+impl FixedRecord for Point {
+    const SIZE: usize = 16;
+    fn write(&self, out: &mut Vec<u8>) {
+        put_f64(out, self.x.get());
+        put_f64(out, self.y.get());
+    }
+    fn read(buf: &[u8]) -> Point {
+        Point::from_f64(get_f64(buf, 0), get_f64(buf, 8))
+    }
+}
+
+/// Time-interval record: `(s, e, lc, rc)` in 18 bytes.
+impl FixedRecord for TimeInterval {
+    const SIZE: usize = 18;
+    fn write(&self, out: &mut Vec<u8>) {
+        put_f64(out, self.start().as_f64());
+        put_f64(out, self.end().as_f64());
+        out.push(u8::from(self.left_closed()));
+        out.push(u8::from(self.right_closed()));
+    }
+    fn read(buf: &[u8]) -> TimeInterval {
+        Interval::new(
+            Instant::from_f64(get_f64(buf, 0)),
+            Instant::from_f64(get_f64(buf, 8)),
+            buf[16] != 0,
+            buf[17] != 0,
+        )
+    }
+}
+
+/// Serialize a slice of records into a contiguous byte buffer.
+pub fn write_all<T: FixedRecord>(items: &[T]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(items.len() * T::SIZE);
+    for it in items {
+        it.write(&mut out);
+    }
+    out
+}
+
+/// Deserialize a contiguous byte buffer into records.
+pub fn read_all<T: FixedRecord>(buf: &[u8]) -> Vec<T> {
+    assert!(
+        buf.len().is_multiple_of(T::SIZE),
+        "buffer length must be a multiple of the record size"
+    );
+    buf.chunks(T::SIZE).map(T::read).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mob_base::{r, t};
+    use mob_spatial::pt;
+
+    fn roundtrip<T: FixedRecord + PartialEq + std::fmt::Debug>(v: T) {
+        let mut buf = Vec::new();
+        v.write(&mut buf);
+        assert_eq!(buf.len(), T::SIZE);
+        assert_eq!(T::read(&buf), v);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(1.5f64);
+        roundtrip(-42i64);
+        roundtrip(7u32);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(r(2.5));
+        roundtrip(t(3.5));
+        roundtrip(pt(1.0, -2.0));
+        roundtrip(Interval::new(t(0.0), t(1.0), true, false));
+        roundtrip(TimeInterval::point(t(5.0)));
+    }
+
+    #[test]
+    fn bulk_roundtrip() {
+        let pts = vec![pt(0.0, 0.0), pt(1.0, 2.0), pt(-3.0, 4.0)];
+        let buf = write_all(&pts);
+        assert_eq!(buf.len(), 3 * Point::SIZE);
+        assert_eq!(read_all::<Point>(&buf), pts);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the record size")]
+    fn read_all_rejects_ragged_buffers() {
+        let _ = read_all::<Point>(&[0u8; 17]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Airspace control: network-constrained ground vehicles, a restricted
+//! zone, and a storm with an eye.
+//!
+//! Exercises the extension operations: `at_region` (restriction of a
+//! moving point to a static region), grid-network trajectories,
+//! `moving(region)` with holes, connected components and convex hulls.
+//!
+//! Run with: `cargo run -p mob --example airspace`
+
+use mob::gen::{storm_with_eye, GridNetwork, StormConfig};
+use mob::prelude::*;
+use mob::spatial::{convex_hull, num_components};
+
+fn main() {
+    // -----------------------------------------------------------------
+    // 1. A city grid with patrol vehicles.
+    // -----------------------------------------------------------------
+    let city = GridNetwork::new(8, 10.0);
+    let streets = city.as_line();
+    println!(
+        "street network: {} segments, total length {}, {} connected component(s)",
+        streets.num_segments(),
+        streets.length(),
+        num_components(&streets)
+    );
+
+    let patrols: Vec<MovingPoint> = (0..6).map(|k| city.random_drive(100 + k, 40, 1.0)).collect();
+
+    // -----------------------------------------------------------------
+    // 2. A restricted zone in the city center: which patrols enter it,
+    //    and what are their restricted-zone tracks?
+    // -----------------------------------------------------------------
+    let zone = Region::from_ring(rect_ring(30.0, 30.0, 50.0, 50.0));
+    println!("\nrestricted zone {:?}:", zone.bbox());
+    for (k, p) in patrols.iter().enumerate() {
+        let inside = p.at_region(&zone);
+        if inside.is_empty() {
+            println!("  patrol {k}: never enters");
+        } else {
+            println!(
+                "  patrol {k}: inside for {} time units over {} visits, track length {}",
+                inside.deftime().total_duration(),
+                inside.deftime().num_intervals(),
+                inside.trajectory().length(),
+            );
+        }
+    }
+
+    // Where has patrol 0 been? The convex hull of its waypoints.
+    let visited: Points = patrols[0]
+        .units()
+        .iter()
+        .flat_map(|u| [u.start_point(), u.end_point()])
+        .collect::<Vec<_>>()
+        .into_iter()
+        .collect();
+    let hull = convex_hull(&visited);
+    println!(
+        "\npatrol 0 operating area (convex hull): {:.0} square units",
+        hull.area().get()
+    );
+
+    // -----------------------------------------------------------------
+    // 3. A storm with an eye drifts across the city.
+    // -----------------------------------------------------------------
+    let storm = storm_with_eye(
+        31,
+        &StormConfig {
+            units: 8,
+            vertices: 14,
+            unit_duration: 5.0,
+            center: (-30.0, 40.0),
+            drift: (15.0, 0.0),
+            radius: 22.0,
+            growth: 1.0,
+            start: 0.0,
+        },
+    );
+    let snap = storm.at_instant(t(20.0)).unwrap();
+    println!(
+        "\nstorm at t=20: {} face(s), {} cycle(s) (the second is the eye), area {:.0}",
+        snap.num_faces(),
+        snap.num_cycles(),
+        snap.area().get()
+    );
+
+    // Which patrols get caught in the storm body (the eye is calm)?
+    for (k, p) in patrols.iter().enumerate() {
+        let caught = storm.contains_moving_point(p);
+        let w = caught.when_true();
+        if !w.is_empty() {
+            println!(
+                "  patrol {k} is inside the storm body during {:?}",
+                w.as_slice().first().expect("non-empty")
+            );
+        }
+    }
+}

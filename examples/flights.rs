@@ -1,0 +1,49 @@
+//! The two queries of Section 2, end to end on a generated fleet.
+//!
+//! ```sql
+//! SELECT airline, id FROM planes
+//! WHERE airline = "Lufthansa" AND length(trajectory(flight)) > 5000
+//!
+//! SELECT p.airline, p.id, q.airline, q.id FROM planes p, planes q
+//! WHERE val(initial(atmin(distance(p.flight, q.flight)))) < 0.5
+//! ```
+//!
+//! Run with: `cargo run -p mob --example flights`
+
+use mob::gen::plane_fleet;
+use mob::rel::{close_encounters, long_flights, planes_relation};
+
+fn main() {
+    // 60 planes, 12 legs each, across a 2000×2000 world over [0, 100].
+    let fleet = plane_fleet(2024, 60, 12);
+    println!("fleet: {} planes", fleet.len());
+    let planes = planes_relation(
+        fleet
+            .into_iter()
+            .map(|p| (p.airline, p.id, p.flight))
+            .collect(),
+    );
+
+    // Query 1: long Lufthansa flights. The world is 2000 wide, so 1500
+    // plays the role of the paper's "5000 kms".
+    let q1 = long_flights(&planes, "Lufthansa", 1500.0);
+    println!("\nQ1 — Lufthansa flights longer than 1500:");
+    for t in q1.tuples() {
+        println!("  {} {}", t.at(0).as_str().unwrap(), t.at(1).as_str().unwrap());
+    }
+    println!("  ({} rows)", q1.len());
+
+    // Query 2: the spatio-temporal join. 25 plays the role of "500 m".
+    let q2 = close_encounters(&planes, 25.0);
+    println!("\nQ2 — pairs of planes that came closer than 25:");
+    for t in q2.tuples() {
+        println!(
+            "  {} {}  ↔  {} {}",
+            t.at(0).as_str().unwrap(),
+            t.at(1).as_str().unwrap(),
+            t.at(2).as_str().unwrap(),
+            t.at(3).as_str().unwrap(),
+        );
+    }
+    println!("  ({} pairs)", q2.len());
+}

@@ -1,0 +1,73 @@
+//! Hurricane tracking: a moving region (the storm), a static region (a
+//! county), a fixed weather station and an evacuation convoy.
+//!
+//! Exercises `moving(region)` end to end: `atinstant` snapshots
+//! (Alg 5.1), the lifted `inside` (Alg 5.2), the exact quadratic `area`,
+//! `perimeter`, and interval algebra on the resulting periods.
+//!
+//! Run with: `cargo run -p mob --example hurricane`
+
+use mob::gen::storm;
+use mob::prelude::*;
+
+fn main() {
+    // A storm drifting north-east over [0, 100], growing as it goes.
+    let hurricane = storm(7, 10, 16);
+    println!(
+        "hurricane: {} units, {} moving segments total",
+        hurricane.num_units(),
+        hurricane.total_msegs()
+    );
+
+    // Snapshots (Algorithm atinstant, Sec 5.1).
+    for k in [0.0, 50.0, 100.0] {
+        let snap = hurricane.at_instant(t(k)).unwrap();
+        println!(
+            "  t={k:>5}: area {:8.1}, perimeter {:7.1}, bbox {:?}",
+            snap.area().get(),
+            snap.perimeter().get(),
+            snap.bbox()
+        );
+    }
+
+    // The storm's area over time — exactly representable as quadratics.
+    let area = hurricane.area();
+    let peak = area.atmax().initial().unwrap();
+    println!(
+        "\npeak area {:.1} reached at t={:.1}",
+        peak.value.get(),
+        peak.instant.as_f64()
+    );
+
+    // A fixed weather station: when is it inside the storm?
+    let station = pt(60.0, 30.0);
+    let station_track = MovingPoint::from_samples(&[(t(0.0), station), (t(100.0), station)]);
+    let hit = hurricane.contains_moving_point(&station_track);
+    println!("\nweather station at {station:?} is inside the storm during:");
+    for iv in hit.when_true().iter() {
+        println!("  {iv:?}");
+    }
+
+    // An evacuation convoy fleeing east — does the storm catch it?
+    let convoy = MovingPoint::from_samples(&[
+        (t(0.0), pt(40.0, 20.0)),
+        (t(50.0), pt(90.0, 40.0)),
+        (t(100.0), pt(220.0, 60.0)),
+    ]);
+    let caught = hurricane.contains_moving_point(&convoy);
+    let danger = caught.when_true();
+    if danger.is_empty() {
+        println!("\nconvoy: escaped — never inside the storm");
+    } else {
+        println!(
+            "\nconvoy: inside the storm for {} time units, during {:?}",
+            danger.total_duration(),
+            danger
+        );
+    }
+
+    // Interval algebra on periods: when is the station in the storm
+    // while the convoy is also in it?
+    let both = hit.and(&caught);
+    println!("station and convoy simultaneously inside: {:?}", both.when_true());
+}

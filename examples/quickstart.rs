@@ -1,0 +1,92 @@
+//! Quickstart: build moving values, slice by slice, and query them.
+//!
+//! Reproduces Figure 1 of the paper (the sliced representation of a
+//! moving real and a moving value) and walks through the fundamental
+//! operations: `atinstant`, `deftime`, `trajectory`, lifted `distance`,
+//! `atmin`, `initial`.
+//!
+//! Run with: `cargo run -p mob --example quickstart`
+
+use mob::prelude::*;
+
+fn main() {
+    // -----------------------------------------------------------------
+    // 1. A moving point from trajectory samples (one unit per leg).
+    // -----------------------------------------------------------------
+    let taxi = MovingPoint::from_samples(&[
+        (t(0.0), pt(0.0, 0.0)),
+        (t(10.0), pt(4.0, 3.0)),
+        (t(20.0), pt(4.0, 9.0)),
+        (t(30.0), pt(0.0, 9.0)),
+    ]);
+    println!("taxi: {} units (slices)", taxi.num_units());
+    for u in taxi.units() {
+        println!("  {u:?}");
+    }
+    println!("position at t=5   : {:?}", taxi.at_instant(t(5.0)));
+    println!("position at t=25  : {:?}", taxi.at_instant(t(25.0)));
+    println!("position at t=99  : {:?} (outside deftime)", taxi.at_instant(t(99.0)));
+    println!("deftime           : {:?}", taxi.deftime());
+
+    // Projection into the plane: the trajectory (a line value).
+    let traj = taxi.trajectory();
+    println!(
+        "trajectory        : {} segments, length {}",
+        traj.num_segments(),
+        traj.length()
+    );
+
+    // -----------------------------------------------------------------
+    // 2. A moving real: the taxi's speed, and its distance to the depot.
+    //    (Figure 1: a moving real decomposed into slices.)
+    // -----------------------------------------------------------------
+    let speed = taxi.speed();
+    println!("\nspeed slices:");
+    for u in speed.units() {
+        println!("  {u:?}");
+    }
+
+    let depot = pt(4.0, 0.0);
+    let dist = taxi.distance_to_point(depot);
+    println!("distance to depot at t=0  : {:?}", dist.at_instant(t(0.0)));
+    println!("distance to depot at t=10 : {:?}", dist.at_instant(t(10.0)));
+
+    // The paper's closest-approach idiom: val(initial(atmin(...))).
+    let closest = dist.atmin().initial().unwrap();
+    println!(
+        "closest to depot: distance {} at t={}",
+        closest.value, closest.instant
+    );
+
+    // When was the taxi within 5 units of the depot?
+    let near = dist.lt_const(r(5.0));
+    println!("near depot during       : {:?}", near.when_true());
+
+    // -----------------------------------------------------------------
+    // 3. A moving region: a square zone sliding east; when is the taxi
+    //    inside it? (Algorithm `inside` of Sec 5.2.)
+    // -----------------------------------------------------------------
+    let zone = Mapping::single(
+        URegion::interpolate(
+            Interval::closed(t(0.0), t(30.0)),
+            &rect_ring(-12.0, -2.0, -2.0, 10.0),
+            &rect_ring(2.0, -2.0, 12.0, 10.0),
+        )
+        .expect("translation is a valid moving region"),
+    );
+    let inside = zone.contains_moving_point(&taxi);
+    println!("\ninside the sliding zone : {:?}", inside.when_true());
+    println!(
+        "zone area (constant under translation): {:?}",
+        zone.area().at_instant(t(15.0))
+    );
+
+    // Snapshot of the zone (Algorithm `atinstant` of Sec 5.1).
+    let snap = zone.at_instant(t(15.0)).unwrap();
+    println!(
+        "zone at t=15: {} faces, area {}, bbox {:?}",
+        snap.num_faces(),
+        snap.area(),
+        snap.bbox()
+    );
+}

@@ -1,0 +1,159 @@
+//! Cross-crate integration: generate workloads, run the paper's queries,
+//! push values through the storage layer, and verify everything stays
+//! consistent end to end.
+
+use mob::gen::{plane_fleet, storm, taxi_fleet};
+use mob::prelude::*;
+use mob::rel::{close_encounters, closest_approach, long_flights, planes_relation};
+use mob::storage::mapping_store::{
+    load_mpoint, load_mregion, save_mpoint, save_mregion,
+};
+use mob::storage::region_store::{load_region, save_region};
+use mob::storage::PageStore;
+
+#[test]
+fn queries_survive_storage_roundtrip() {
+    // Generate a fleet, store every flight, reload, and check that both
+    // queries give identical answers on original and reloaded data.
+    let fleet = plane_fleet(99, 24, 10);
+    let mut store = PageStore::new();
+    let reloaded: Vec<(String, String, MovingPoint)> = fleet
+        .iter()
+        .map(|p| {
+            let stored = save_mpoint(&p.flight, &mut store);
+            (
+                p.airline.clone(),
+                p.id.clone(),
+                load_mpoint(&stored, &store),
+            )
+        })
+        .collect();
+    let original = planes_relation(
+        fleet
+            .into_iter()
+            .map(|p| (p.airline, p.id, p.flight))
+            .collect(),
+    );
+    let restored = planes_relation(reloaded);
+
+    for threshold in [300.0, 1200.0, 2400.0] {
+        let q1a = long_flights(&original, "Lufthansa", threshold);
+        let q1b = long_flights(&restored, "Lufthansa", threshold);
+        assert_eq!(q1a, q1b, "query 1 differs after reload (thr {threshold})");
+    }
+    for threshold in [10.0, 100.0] {
+        let q2a = close_encounters(&original, threshold);
+        let q2b = close_encounters(&restored, threshold);
+        assert_eq!(q2a, q2b, "query 2 differs after reload (thr {threshold})");
+    }
+}
+
+#[test]
+fn storm_tracking_pipeline() {
+    let hurricane = storm(5, 8, 12);
+    // Store and reload the moving region.
+    let mut store = PageStore::new();
+    let stored = save_mregion(&hurricane, &mut store);
+    let back = load_mregion(&stored, &store);
+
+    // Taxis vs the storm: the lifted inside must agree before/after
+    // storage, and with per-instant evaluation.
+    for taxi in taxi_fleet(17, 4, 10) {
+        let a = hurricane.contains_moving_point(&taxi);
+        let b = back.contains_moving_point(&taxi);
+        assert_eq!(a.when_true(), b.when_true());
+        // Spot-check against direct point-in-snapshot evaluation.
+        for k in 0..20 {
+            let ti = t(k as f64 * 0.5);
+            if let (Val::Def(flag), Val::Def(pos), Val::Def(reg)) =
+                (a.at_instant(ti), taxi.at_instant(ti), hurricane.at_instant(ti))
+            {
+                assert_eq!(
+                    flag,
+                    reg.contains_point(pos),
+                    "inside mismatch at {ti:?} for {pos:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn snapshot_storage_roundtrip_preserves_semantics() {
+    let hurricane = storm(23, 6, 14);
+    let mut store = PageStore::new();
+    for k in [0.0, 33.0, 66.0, 100.0] {
+        let snap = hurricane.at_instant(t(k)).unwrap();
+        let stored = save_region(&snap, &mut store);
+        let back = load_region(&stored, &store).unwrap();
+        assert_eq!(back.area(), snap.area());
+        assert_eq!(back.num_segments(), snap.num_segments());
+        // Dense membership agreement on a grid.
+        for i in -3..=3 {
+            for j in -3..=3 {
+                let p = pt(i as f64 * 40.0, j as f64 * 40.0);
+                assert_eq!(back.contains_point(p), snap.contains_point(p));
+            }
+        }
+    }
+}
+
+#[test]
+fn atinstant_matches_area_summary() {
+    // The exact quadratic area (Sec 4.2 summary) must agree with the
+    // area of the atinstant snapshot everywhere.
+    let hurricane = storm(31, 10, 16);
+    let area = hurricane.area();
+    for k in 0..=50 {
+        let ti = t(k as f64 * 2.0);
+        match (area.at_instant(ti), hurricane.at_instant(ti)) {
+            (Val::Def(a), Val::Def(reg)) => {
+                assert!(
+                    a.approx_eq(reg.area(), 1e-6 * a.get().abs().max(1.0)),
+                    "area mismatch at {ti:?}: {a} vs {}",
+                    reg.area()
+                );
+            }
+            (Val::Undef, Val::Undef) => {}
+            other => panic!("definedness mismatch at {ti:?}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn trajectory_projection_consistency() {
+    // Every instantaneous position lies on the trajectory projection
+    // (up to the rounding of the motion-coefficient evaluation).
+    use mob::spatial::dist::point_line_distance;
+    for taxi in taxi_fleet(41, 6, 12) {
+        let traj = taxi.trajectory();
+        for k in 0..=24 {
+            let ti = t(k as f64 * 0.5);
+            if let Val::Def(p) = taxi.at_instant(ti) {
+                let d = point_line_distance(p, &traj).unwrap();
+                assert!(
+                    d.get() < 1e-6,
+                    "position {p:?} at {ti:?} is {d} away from the trajectory"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn close_encounter_distance_is_symmetric() {
+    let fleet = plane_fleet(7, 10, 8);
+    for i in 0..fleet.len() {
+        for j in (i + 1)..fleet.len() {
+            let d1 = closest_approach(&fleet[i].flight, &fleet[j].flight);
+            let d2 = closest_approach(&fleet[j].flight, &fleet[i].flight);
+            match (d1, d2) {
+                (Val::Def(a), Val::Def(b)) => {
+                    assert!(a.approx_eq(b, 1e-9), "{a} vs {b}")
+                }
+                (Val::Undef, Val::Undef) => {}
+                other => panic!("asymmetric definedness: {other:?}"),
+            }
+        }
+    }
+}

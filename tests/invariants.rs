@@ -1,0 +1,196 @@
+//! Adversarial invariant tests: feed random (often invalid) structures
+//! to the validating constructors and check that they either reject the
+//! input or produce a value that satisfies the carrier-set conditions.
+//! These tests certify the "unique and minimal representation" story of
+//! Section 3 under hostile inputs, not just on happy paths.
+
+use mob::core::{Coincidence, PointMotion, UPoints, URegion};
+use mob::prelude::*;
+use proptest::prelude::*;
+
+/// The exact critical-time validation catches violations confined to an
+/// arbitrarily narrow sub-interval — a fixed sampling grid would miss
+/// this one entirely (the overlap lives in (0.015, 0.035), far from any
+/// of the 1/6-spaced samples a naive validator would probe).
+#[test]
+fn narrow_interior_violation_is_caught_exactly() {
+    use mob::core::{MSeg, ULine};
+    let iv = Interval::closed(t(0.0), t(1.0));
+    // A stationary segment [0,1] on the x-axis.
+    let fixed = MSeg::between(
+        t(0.0), pt(0.0, 0.0), pt(1.0, 0.0),
+        t(1.0), pt(0.0, 0.0), pt(1.0, 0.0),
+    )
+    .unwrap();
+    // A fast collinear segment racing left: overlaps `fixed` only during
+    // t ∈ (0.015, 0.035).
+    let racer = MSeg::between(
+        t(0.0), pt(2.5, 0.0), pt(3.5, 0.0),
+        t(1.0), pt(-97.5, 0.0), pt(-96.5, 0.0),
+    )
+    .unwrap();
+    let err = ULine::try_new(iv, vec![fixed, racer]);
+    assert!(err.is_err(), "narrow collinear overlap must be rejected");
+    // The same racer shifted upward never overlaps: accepted.
+    let high = MSeg::between(
+        t(0.0), pt(2.5, 1.0), pt(3.5, 1.0),
+        t(1.0), pt(-97.5, 1.0), pt(-96.5, 1.0),
+    )
+    .unwrap();
+    assert!(ULine::try_new(iv, vec![fixed, high]).is_ok());
+}
+
+// ---------------------------------------------------------------------
+// Strategies for deliberately messy inputs
+// ---------------------------------------------------------------------
+
+fn grid_point() -> impl Strategy<Value = Point> {
+    (-6i32..6, -6i32..6).prop_map(|(x, y)| pt(x as f64, y as f64))
+}
+
+fn messy_segs() -> impl Strategy<Value = Vec<Seg>> {
+    proptest::collection::vec((grid_point(), grid_point()), 1..14).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .filter_map(|(a, b)| Seg::try_from_unordered(a, b))
+            .collect()
+    })
+}
+
+fn motion() -> impl Strategy<Value = PointMotion> {
+    (grid_point(), grid_point()).prop_map(|(p, q)| {
+        if p == q {
+            PointMotion::stationary(p)
+        } else {
+            PointMotion::through(t(0.0), p, t(4.0), q)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `close()` on arbitrary segment soups: either a clean rejection or
+    /// a region whose own segments regenerate it (idempotence) and whose
+    /// area is consistent with the even-odd semantics of the soup.
+    #[test]
+    fn close_rejects_or_builds_valid_regions(segs in messy_segs()) {
+        let mut segs = segs;
+        segs.sort();
+        segs.dedup();
+        match Region::close(segs.clone()) {
+            Err(_) => {} // rejection is a legal outcome for messy soups
+            Ok(region) => {
+                // The region's boundary must regenerate the same region.
+                let again = Region::close(region.segments())
+                    .expect("a valid region's boundary closes again");
+                prop_assert_eq!(again.area(), region.area());
+                prop_assert_eq!(again.num_faces(), region.num_faces());
+                // Area is non-negative and bounded by the bbox.
+                let bbox = region.bbox();
+                if !bbox.is_empty() {
+                    prop_assert!(region.area() <= bbox.width() * bbox.height() + r(1e-9));
+                }
+                // Membership is consistent with even-odd over the soup.
+                for i in -7..7 {
+                    let p = pt(i as f64 + 0.41, 0.37);
+                    let parity = mob::spatial::arrangement::parity_inside(&segs, p);
+                    prop_assert_eq!(region.contains_point(p), parity, "{:?}", p);
+                }
+            }
+        }
+    }
+
+    /// `Line::try_new` accepts exactly the soups without collinear
+    /// overlaps, and `normalize` always produces an acceptable value.
+    #[test]
+    fn line_normalize_always_valid(segs in messy_segs()) {
+        let normalized = Line::normalize(segs.clone());
+        // The normalized representation satisfies the carrier conditions.
+        prop_assert!(Line::try_new(normalized.segments().to_vec()).is_ok());
+        // Normalization preserves the covered point set (probe on grid).
+        for i in -12..12 {
+            for j in -12..12 {
+                let p = pt(i as f64 / 2.0, j as f64 / 2.0);
+                let covered = segs.iter().any(|s| s.contains_point(p));
+                prop_assert_eq!(normalized.contains_point(p), covered, "{:?}", p);
+            }
+        }
+        // Idempotence.
+        let twice = Line::normalize(normalized.segments().to_vec());
+        prop_assert_eq!(twice, normalized);
+    }
+
+    /// `UPoints::try_new` accepts exactly the motion sets with no
+    /// coincidence inside the open interval (checked by brute force).
+    #[test]
+    fn upoints_acceptance_matches_brute_force(
+        motions in proptest::collection::vec(motion(), 1..5),
+    ) {
+        let iv = Interval::closed(t(0.0), t(4.0));
+        let accepted = UPoints::try_new(iv, motions.clone()).is_ok();
+        // Brute force: exact pairwise meet times.
+        let mut collision = false;
+        for (i, a) in motions.iter().enumerate() {
+            for b in motions.iter().skip(i + 1) {
+                match a.meet_time(b) {
+                    Coincidence::Always => collision = true,
+                    Coincidence::At(tc) => {
+                        if iv.contains_open(&tc) {
+                            collision = true;
+                        }
+                    }
+                    Coincidence::Never => {}
+                }
+            }
+        }
+        prop_assert_eq!(accepted, !collision);
+    }
+
+    /// Interpolating between two snapshots of the same convex blob is
+    /// always a valid `uregion`, and a bow-tie interpolation (swapped
+    /// vertex correspondence) is always rejected.
+    #[test]
+    fn uregion_interpolation_validity(seed in 0u64..10_000) {
+        let r0 = mob::gen::convex_blob(seed, pt(0.0, 0.0), 10.0, 8, 0.3);
+        let r1 = mob::gen::convex_blob(seed, pt(6.0, 3.0), 14.0, 8, 0.3);
+        let iv = Interval::closed(t(0.0), t(1.0));
+        prop_assert!(URegion::interpolate(iv, &r0, &r1).is_ok());
+        // Swap two non-adjacent vertices of the target: the interpolation
+        // must self-intersect somewhere inside the interval.
+        let mut pts: Vec<Point> = r1.points().to_vec();
+        pts.swap(1, 5);
+        if let Ok(twisted) = Ring::try_new(pts) {
+            if twisted.len() == 8 {
+                prop_assert!(
+                    URegion::interpolate(iv, &r0, &twisted).is_err(),
+                    "twisted interpolation accepted for seed {}", seed
+                );
+            }
+        }
+    }
+
+    /// Mapping::from_units either fails or produces a value that
+    /// try_new accepts — and at_instant agrees with manual lookup.
+    #[test]
+    fn mapping_normalization_sound(
+        vals in proptest::collection::vec((0i32..10, 1i32..5, any::<bool>()), 1..8),
+    ) {
+        // Build non-overlapping units with random values/gaps.
+        let mut units = Vec::new();
+        let mut cursor = 0.0;
+        for (v, w, gap) in vals {
+            let s = cursor + if gap { 1.0 } else { 0.0 };
+            let e = s + w as f64;
+            units.push(ConstUnit::new(Interval::closed_open(t(s), t(e)), v as i64));
+            cursor = e;
+        }
+        let m = Mapping::from_units(units.clone()).expect("disjoint by construction");
+        prop_assert!(Mapping::try_new(m.units().to_vec()).is_ok());
+        // Every original unit's interior value is preserved.
+        for u in &units {
+            let probe = u.interval().interior_instant();
+            prop_assert_eq!(m.at_instant(probe), Val::Def(*u.value()));
+        }
+    }
+}

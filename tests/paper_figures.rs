@@ -1,0 +1,278 @@
+//! Executable reproductions of the paper's figures (F1–F8 in DESIGN.md),
+//! exercised through the public API only. Each test builds the structure
+//! the figure depicts and asserts the behaviour the surrounding text
+//! claims for it.
+
+use mob::core::refinement;
+use mob::prelude::*;
+
+/// Figure 1: sliced representation of a moving real and a moving points
+/// value — units with disjoint intervals, each carrying a simple
+/// function.
+#[test]
+fn figure1_sliced_representations() {
+    // Moving real: three slices with different shapes.
+    let mreal: MovingReal = Mapping::try_new(vec![
+        UReal::linear(Interval::closed_open(t(0.0), t(2.0)), r(0.5), r(1.0)),
+        UReal::quadratic(
+            Interval::closed_open(t(2.0), t(4.0)),
+            r(-0.25),
+            r(1.5),
+            r(0.0),
+        ),
+        UReal::constant(Interval::closed(t(5.0), t(6.0)), r(1.0)),
+    ])
+    .unwrap();
+    assert_eq!(mreal.num_units(), 3);
+    // A gap in the definition time, exactly as the figure shows.
+    assert_eq!(mreal.deftime().num_intervals(), 2);
+    assert!(mreal.at_instant(t(4.5)).is_undef());
+
+    // Moving points: two points, one of which exists only part-time.
+    let a = PointMotion::through(t(0.0), pt(0.0, 0.0), t(6.0), pt(6.0, 0.0));
+    let b = PointMotion::stationary(pt(3.0, 5.0));
+    let mpoints: MovingPoints = Mapping::try_new(vec![
+        UPoints::try_new(Interval::closed_open(t(0.0), t(2.0)), vec![a]).unwrap(),
+        UPoints::try_new(Interval::closed(t(2.0), t(6.0)), vec![a, b]).unwrap(),
+    ])
+    .unwrap();
+    assert_eq!(mpoints.at_instant(t(1.0)).unwrap().len(), 1);
+    assert_eq!(mpoints.at_instant(t(3.0)).unwrap().len(), 2);
+    let count = mpoints.count();
+    assert_eq!(count.at_instant(t(1.0)), Val::Def(1));
+    assert_eq!(count.at_instant(t(4.0)), Val::Def(2));
+}
+
+/// Figure 2: a line value is an *unstructured* set of segments — the
+/// polyline view and the segment-soup view are equally expressive, and
+/// any segment set is valid as long as collinear segments are disjoint.
+#[test]
+fn figure2_line_views() {
+    // (b) a polyline-ish shape.
+    let polyline = Line::try_new(vec![
+        seg(0.0, 0.0, 1.0, 1.0),
+        seg(1.0, 1.0, 2.0, 0.5),
+        seg(2.0, 0.5, 3.0, 1.5),
+    ])
+    .unwrap();
+    // (c) an arbitrary soup with crossings — also a valid line value.
+    let soup = Line::try_new(vec![
+        seg(0.0, 0.0, 2.0, 2.0),
+        seg(0.0, 2.0, 2.0, 0.0),
+        seg(1.0, -1.0, 1.0, 3.0),
+    ])
+    .unwrap();
+    assert_eq!(polyline.num_segments(), 3);
+    assert_eq!(soup.num_segments(), 3);
+    // The unique-representation condition: collinear overlap is invalid.
+    assert!(Line::try_new(vec![seg(0.0, 0.0, 2.0, 0.0), seg(1.0, 0.0, 3.0, 0.0)]).is_err());
+    // The projection use-case: computing a trajectory needs no graph
+    // structure (Sec 3.2.2's stated reason for the unstructured view).
+    let m = MovingPoint::from_samples(&[
+        (t(0.0), pt(0.0, 0.0)),
+        (t(1.0), pt(1.0, 1.0)),
+        (t(2.0), pt(2.0, 0.5)),
+    ]);
+    assert_eq!(m.trajectory().num_segments(), 2);
+}
+
+/// Figure 3: a region value with two faces, one carrying a hole, with a
+/// third face lying inside that hole.
+#[test]
+fn figure3_region_structure() {
+    let region = Region::try_new(vec![
+        Face::try_new(
+            rect_ring(0.0, 0.0, 12.0, 10.0),
+            vec![rect_ring(2.0, 2.0, 9.0, 8.0)],
+        )
+        .unwrap(),
+        Face::simple(rect_ring(4.0, 4.0, 6.0, 6.0)), // island in the hole
+        Face::simple(rect_ring(14.0, 0.0, 16.0, 2.0)), // separate face
+    ])
+    .unwrap();
+    assert_eq!(region.num_faces(), 3);
+    assert_eq!(region.num_cycles(), 4);
+    assert!(region.contains_point(pt(1.0, 5.0))); // outer band
+    assert!(!region.contains_point(pt(3.0, 5.0))); // hole
+    assert!(region.contains_point(pt(5.0, 5.0))); // island
+    assert!(region.contains_point(pt(15.0, 1.0))); // second face
+    // The same structure survives close() from its own segment soup.
+    let rebuilt = Region::close(region.segments()).unwrap();
+    assert_eq!(rebuilt.num_faces(), 3);
+    assert_eq!(rebuilt.num_cycles(), 4);
+    assert_eq!(rebuilt.area(), region.area());
+}
+
+/// Figure 4: a `uline` instance — non-rotating moving segments.
+#[test]
+fn figure4_uline_translation() {
+    let m1 = MSeg::between(
+        t(0.0),
+        pt(0.0, 0.0),
+        pt(2.0, 1.0),
+        t(1.0),
+        pt(1.0, 2.0),
+        pt(3.0, 3.0),
+    )
+    .unwrap();
+    let u = ULine::try_new(Interval::closed(t(0.0), t(1.0)), vec![m1]).unwrap();
+    // The segment keeps its direction (non-rotation constraint).
+    let d0 = u.at(t(0.0)).segments()[0];
+    let d1 = u.at(t(1.0)).segments()[0];
+    let dir0 = d0.u().direction(d0.v()).unwrap();
+    let dir1 = d1.u().direction(d1.v()).unwrap();
+    assert!(dir0.approx_eq(dir1, 1e-12));
+    // A rotating segment is rejected by the carrier set.
+    assert!(MSeg::between(
+        t(0.0),
+        pt(0.0, 0.0),
+        pt(1.0, 0.0),
+        t(1.0),
+        pt(0.0, 0.0),
+        pt(0.0, 1.0),
+    )
+    .is_err());
+}
+
+/// Figure 5: refining a moving-line approximation by splitting the unit
+/// at an interior instant increases fidelity ("in the limit this
+/// sequence of discrete representations can reach an arbitrary
+/// precision").
+#[test]
+fn figure5_refinement_improves_fidelity() {
+    // Target: a segment whose midpoint follows a parabola (not linear).
+    let target = |ti: f64| -> (Point, Point) {
+        let y = ti * (2.0 - ti); // parabolic arc peaking at t=1
+        (pt(0.0, y), pt(1.0, y))
+    };
+    // One-unit approximation over [0,2]: straight interpolation misses
+    // the bulge at t=1 by the full sagitta (1.0).
+    let (s0, e0) = target(0.0);
+    let (s2, e2) = target(2.0);
+    let coarse = ULine::try_new(
+        Interval::closed(t(0.0), t(2.0)),
+        vec![MSeg::between(t(0.0), s0, e0, t(2.0), s2, e2).unwrap()],
+    )
+    .unwrap();
+    let coarse_err = (coarse.at(t(1.0)).segments()[0].u().y - r(1.0)).abs();
+    // Two-unit approximation with a knot at t=1.
+    let (s1, e1) = target(1.0);
+    let fine: MovingLine = Mapping::try_new(vec![
+        ULine::try_new(
+            Interval::closed_open(t(0.0), t(1.0)),
+            vec![MSeg::between(t(0.0), s0, e0, t(1.0), s1, e1).unwrap()],
+        )
+        .unwrap(),
+        ULine::try_new(
+            Interval::closed(t(1.0), t(2.0)),
+            vec![MSeg::between(t(1.0), s1, e1, t(2.0), s2, e2).unwrap()],
+        )
+        .unwrap(),
+    ])
+    .unwrap();
+    let fine_err = (fine.at_instant(t(1.0)).unwrap().segments()[0].u().y - r(1.0)).abs();
+    assert_eq!(coarse_err, r(1.0));
+    assert_eq!(fine_err, r(0.0));
+    // And at quarter points the two-unit version is strictly closer.
+    let err_at = |ml: &MovingLine, ti: f64| {
+        let y = ml.at_instant(t(ti)).unwrap().segments()[0].u().y;
+        (y - r(ti * (2.0 - ti))).abs()
+    };
+    let coarse_m: MovingLine = Mapping::single(coarse);
+    assert!(err_at(&fine, 0.5) < err_at(&coarse_m, 0.5));
+    assert!(err_at(&fine, 1.5) < err_at(&coarse_m, 1.5));
+}
+
+/// Figure 6: a `uregion` whose components collapse at the end of the
+/// unit interval — the ι_e cleanup handles the degeneracy.
+#[test]
+fn figure6_uregion_endpoint_degeneracy() {
+    // A square that collapses to a horizontal segment at t=1 (its top
+    // edge sweeps down onto the bottom edge).
+    let cyc = MCycle::try_new(vec![
+        PointMotion::stationary(pt(0.0, 0.0)),
+        PointMotion::stationary(pt(2.0, 0.0)),
+        PointMotion::through(t(0.0), pt(2.0, 2.0), t(1.0), pt(2.0, 0.0)),
+        PointMotion::through(t(0.0), pt(0.0, 2.0), t(1.0), pt(0.0, 0.0)),
+    ])
+    .unwrap();
+    let u = URegion::try_new(Interval::closed(t(0.0), t(1.0)), vec![MFace::simple(cyc)]).unwrap();
+    assert_eq!(u.at(t(0.0)).area(), r(4.0));
+    assert!(u.at(t(0.5)).area().approx_eq(r(2.0), 1e-9));
+    // At t=1 the area is zero; the cleanup produces the empty region
+    // (the even/odd fragment rule cancels the coincident edges).
+    assert!(u.at(t(1.0)).is_empty());
+    // The paper's storage trick: split the degenerate end into its own
+    // instant unit.
+    let m: MovingRegion = Mapping::single(u);
+    let split = m.split_degenerate_ends(|u, at| u.at(at).is_empty());
+    assert_eq!(split.num_units(), 2);
+    assert!(!split.units()[0].interval().right_closed());
+    assert!(split.units()[1].interval().is_point());
+}
+
+/// Figure 7: the mapping store — three units sharing one subarray.
+#[test]
+fn figure7_mapping_store_shape() {
+    use mob::storage::mapping_store::{load_mpoints, save_mpoints};
+    use mob::storage::{load_array, PageStore};
+
+    let mk = |s: f64, e: f64, pts: &[(f64, f64)]| {
+        UPoints::try_new(
+            Interval::closed_open(t(s), t(e)),
+            pts.iter()
+                .map(|(x, y)| PointMotion::stationary(pt(*x, *y)))
+                .collect(),
+        )
+        .unwrap()
+    };
+    let m: MovingPoints = Mapping::try_new(vec![
+        mk(0.0, 1.0, &[(0.0, 0.0), (1.0, 0.0)]),
+        mk(1.0, 2.0, &[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]),
+        mk(2.0, 3.0, &[(5.0, 5.0)]),
+    ])
+    .unwrap();
+    let mut store = PageStore::new();
+    let stored = save_mpoints(&m, &mut store);
+    // Exactly the figure: a units array with three records and ONE
+    // shared motions subarray holding all 6 motion records.
+    assert_eq!(stored.num_units, 3);
+    let motions: Vec<PointMotion> = load_array(&stored.motions, &store);
+    assert_eq!(motions.len(), 6);
+    assert_eq!(load_mpoints(&stored, &store), m);
+}
+
+/// Figure 8: the refinement partition of two sets of time intervals.
+#[test]
+fn figure8_refinement_partition() {
+    let a: MovingBool = Mapping::try_new(vec![
+        ConstUnit::new(Interval::closed(t(0.0), t(3.0)), true),
+        ConstUnit::new(Interval::closed(t(5.0), t(8.0)), false),
+    ])
+    .unwrap();
+    let b: MovingBool = Mapping::try_new(vec![
+        ConstUnit::new(Interval::closed(t(2.0), t(6.0)), true),
+        ConstUnit::new(Interval::open(t(6.0), t(9.0)), false),
+    ])
+    .unwrap();
+    let parts = refinement(&a, &b);
+    // The partition covers deftime(a) ∪ deftime(b) exactly.
+    let union: Periods = parts.iter().map(|p| p.interval).collect();
+    assert_eq!(union, a.deftime().union(&b.deftime()));
+    // Parts where both are defined cover exactly the intersection.
+    let both: Periods = parts
+        .iter()
+        .filter(|p| p.a.is_some() && p.b.is_some())
+        .map(|p| p.interval)
+        .collect();
+    assert_eq!(both, a.deftime().intersection(&b.deftime()));
+    // Every part is homogeneous: covered by at most one unit per side.
+    for p in &parts {
+        if let Some(u) = p.a {
+            assert!(u.interval().contains_interval(&p.interval));
+        }
+        if let Some(u) = p.b {
+            assert!(u.interval().contains_interval(&p.interval));
+        }
+    }
+}

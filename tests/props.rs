@@ -1,0 +1,387 @@
+//! Property-based tests on the core carrier sets and operations.
+
+use mob::prelude::*;
+use mob::spatial::setops::{region_difference, region_intersection, region_union};
+use mob::storage::mapping_store::{load_mpoint, save_mpoint};
+use mob::storage::PageStore;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+/// Well-conditioned instants on a quarter-integer grid.
+fn instant_strategy() -> impl Strategy<Value = f64> {
+    (-200i32..200).prop_map(|k| k as f64 / 4.0)
+}
+
+/// A random time interval.
+fn interval_strategy() -> impl Strategy<Value = TimeInterval> {
+    (instant_strategy(), instant_strategy(), any::<bool>(), any::<bool>()).prop_map(
+        |(a, b, lc, rc)| {
+            let (s, e) = if a <= b { (a, b) } else { (b, a) };
+            if s == e {
+                TimeInterval::point(t(s))
+            } else {
+                Interval::new(t(s), t(e), lc, rc)
+            }
+        },
+    )
+}
+
+/// A random set of intervals, normalized into a range set.
+fn periods_strategy() -> impl Strategy<Value = Periods> {
+    proptest::collection::vec(interval_strategy(), 0..6).prop_map(Periods::from_unmerged)
+}
+
+/// A random axis-aligned rectangle region on an integer grid.
+fn rect_region_strategy() -> impl Strategy<Value = Region> {
+    (-20i32..20, -20i32..20, 1i32..12, 1i32..12).prop_map(|(x, y, w, h)| {
+        Region::from_ring(rect_ring(
+            x as f64,
+            y as f64,
+            (x + w) as f64,
+            (y + h) as f64,
+        ))
+    })
+}
+
+/// A random moving point from increasing samples.
+fn mpoint_strategy() -> impl Strategy<Value = MovingPoint> {
+    proptest::collection::vec((-100i32..100, -100i32..100), 2..8).prop_map(|steps| {
+        let samples: Vec<(Instant, Point)> = steps
+            .iter()
+            .enumerate()
+            .map(|(k, (x, y))| (t(k as f64), pt(*x as f64, *y as f64)))
+            .collect();
+        MovingPoint::from_samples(&samples)
+    })
+}
+
+// ---------------------------------------------------------------------
+// Range-set algebra laws (Sec 3.2.3)
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn rangeset_invariants_hold(p in periods_strategy()) {
+        // Whatever from_unmerged produces must satisfy try_new.
+        prop_assert!(Periods::try_new(p.iter().cloned().collect()).is_ok());
+    }
+
+    #[test]
+    fn rangeset_union_is_pointwise_or(
+        a in periods_strategy(),
+        b in periods_strategy(),
+        x in instant_strategy(),
+    ) {
+        let u = a.union(&b);
+        prop_assert!(Periods::try_new(u.iter().cloned().collect()).is_ok());
+        let ti = t(x);
+        prop_assert_eq!(u.contains(&ti), a.contains(&ti) || b.contains(&ti));
+    }
+
+    #[test]
+    fn rangeset_intersection_is_pointwise_and(
+        a in periods_strategy(),
+        b in periods_strategy(),
+        x in instant_strategy(),
+    ) {
+        let i = a.intersection(&b);
+        prop_assert!(Periods::try_new(i.iter().cloned().collect()).is_ok());
+        let ti = t(x);
+        prop_assert_eq!(i.contains(&ti), a.contains(&ti) && b.contains(&ti));
+    }
+
+    #[test]
+    fn rangeset_difference_is_pointwise_andnot(
+        a in periods_strategy(),
+        b in periods_strategy(),
+        x in instant_strategy(),
+    ) {
+        let d = a.difference(&b);
+        prop_assert!(Periods::try_new(d.iter().cloned().collect()).is_ok());
+        let ti = t(x);
+        prop_assert_eq!(d.contains(&ti), a.contains(&ti) && !b.contains(&ti));
+    }
+
+    #[test]
+    fn interval_intersection_is_pointwise(
+        a in interval_strategy(),
+        b in interval_strategy(),
+        x in instant_strategy(),
+    ) {
+        let ti = t(x);
+        match a.intersection(&b) {
+            Some(i) => prop_assert_eq!(i.contains(&ti), a.contains(&ti) && b.contains(&ti)),
+            None => prop_assert!(!(a.contains(&ti) && b.contains(&ti))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Region boolean algebra (Sec 3.2.2 + setops)
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn region_union_area_inclusion_exclusion(
+        a in rect_region_strategy(),
+        b in rect_region_strategy(),
+    ) {
+        let u = region_union(&a, &b).unwrap();
+        let i = region_intersection(&a, &b).unwrap();
+        let lhs = u.area() + i.area();
+        let rhs = a.area() + b.area();
+        prop_assert!(lhs.approx_eq(rhs, 1e-6), "{} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn region_difference_area(
+        a in rect_region_strategy(),
+        b in rect_region_strategy(),
+    ) {
+        let d = region_difference(&a, &b).unwrap();
+        let i = region_intersection(&a, &b).unwrap();
+        let lhs = d.area() + i.area();
+        prop_assert!(lhs.approx_eq(a.area(), 1e-6), "{} vs {}", lhs, a.area());
+    }
+
+    #[test]
+    fn region_ops_pointwise(
+        a in rect_region_strategy(),
+        b in rect_region_strategy(),
+        x in -25i32..25,
+        y in -25i32..25,
+    ) {
+        // Probe strictly off grid lines so boundary conventions (which
+        // regularized set ops intentionally blur) don't matter.
+        let p = pt(x as f64 + 0.31, y as f64 + 0.47);
+        let u = region_union(&a, &b).unwrap();
+        let i = region_intersection(&a, &b).unwrap();
+        let d = region_difference(&a, &b).unwrap();
+        prop_assert_eq!(u.contains_point(p), a.contains_point(p) || b.contains_point(p));
+        prop_assert_eq!(i.contains_point(p), a.contains_point(p) && b.contains_point(p));
+        prop_assert_eq!(d.contains_point(p), a.contains_point(p) && !b.contains_point(p));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sliced representation invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mapping_invariants_after_restriction(
+        m in mpoint_strategy(),
+        p in periods_strategy(),
+    ) {
+        let restricted = m.atperiods(&p);
+        // The result is a valid mapping...
+        prop_assert!(Mapping::try_new(restricted.units().to_vec()).is_ok());
+        // ...whose deftime is the intersection.
+        prop_assert_eq!(restricted.deftime(), m.deftime().intersection(&p));
+    }
+
+    #[test]
+    fn trajectory_length_bounds_travel(m in mpoint_strategy()) {
+        // Projection merges retraced paths: never longer than travel.
+        let traj_len = m.trajectory().length();
+        let travel = m.distance_travelled();
+        prop_assert!(traj_len <= travel + r(1e-9));
+    }
+
+    #[test]
+    fn distance_to_self_is_zero(m in mpoint_strategy()) {
+        let d = m.distance(&m);
+        if let Val::Def(max) = d.max_value() {
+            prop_assert!(max.approx_eq(r(0.0), 1e-9));
+        }
+    }
+
+    #[test]
+    fn storage_roundtrip_mpoint(m in mpoint_strategy()) {
+        let mut store = PageStore::new();
+        let stored = save_mpoint(&m, &mut store);
+        prop_assert_eq!(load_mpoint(&stored, &store), m);
+    }
+
+    #[test]
+    fn speed_nonnegative_and_consistent(m in mpoint_strategy()) {
+        let s = m.speed();
+        if let Val::Def(min) = s.min_value() {
+            prop_assert!(min >= r(0.0));
+        }
+        // deftime(speed) == deftime(m)
+        prop_assert_eq!(s.deftime(), m.deftime());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hulls, transforms, components
+// ---------------------------------------------------------------------
+
+fn points_strategy() -> impl Strategy<Value = mob::spatial::Points> {
+    proptest::collection::vec((-50i32..50, -50i32..50), 0..24).prop_map(|v| {
+        mob::spatial::Points::from_points(
+            v.into_iter().map(|(x, y)| pt(x as f64, y as f64)).collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hull_contains_all_points(ps in points_strategy()) {
+        use mob::spatial::convex_hull_ring;
+        if let Some(hull) = convex_hull_ring(&ps) {
+            prop_assert!(hull.is_convex());
+            prop_assert!(hull.is_ccw());
+            for p in ps.iter() {
+                prop_assert!(hull.contains_point(p), "{p:?} escaped its hull");
+            }
+        }
+    }
+
+    #[test]
+    fn hull_is_idempotent(ps in points_strategy()) {
+        use mob::spatial::convex_hull_ring;
+        if let Some(hull) = convex_hull_ring(&ps) {
+            let verts = mob::spatial::Points::from_points(hull.points().to_vec());
+            let hull2 = convex_hull_ring(&verts).expect("hull vertices hull again");
+            prop_assert_eq!(hull2.area(), hull.area());
+        }
+    }
+
+    #[test]
+    fn similarity_scales_area_quadratically(
+        reg in rect_region_strategy(),
+        s in 1i32..5,
+        dx in -10i32..10,
+        dy in -10i32..10,
+    ) {
+        use mob::spatial::Similarity;
+        let factor = s as f64;
+        let scaled = Similarity::scaling(pt(0.0, 0.0), factor).apply_region(&reg);
+        prop_assert!(scaled.area().approx_eq(reg.area() * r(factor * factor), 1e-6));
+        let moved = Similarity::translation(dx as f64, dy as f64).apply_region(&reg);
+        prop_assert_eq!(moved.area(), reg.area());
+        prop_assert_eq!(moved.perimeter(), reg.perimeter());
+    }
+
+    #[test]
+    fn components_partition_segments(m in mpoint_strategy()) {
+        use mob::spatial::connected_components;
+        let traj = m.trajectory();
+        let comps = connected_components(&traj);
+        let total: usize = comps.iter().map(|c| c.num_segments()).sum();
+        prop_assert_eq!(total, traj.num_segments());
+        let total_len = comps
+            .iter()
+            .fold(r(0.0), |acc, c| acc + c.length());
+        prop_assert!(total_len.approx_eq(traj.length(), 1e-9));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Moving regions: inside vs pointwise, area exactness (random storms)
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn storm_inside_matches_pointwise(seed in 0u64..5000, path in 0u64..5000) {
+        let storm = mob::gen::storm(seed, 5, 8);
+        let p = mob::gen::flight_mpoint(
+            path,
+            pt(-40.0, -20.0),
+            pt(170.0, 75.0),
+            0.0,
+            100.0,
+            6,
+            1.0,
+        );
+        let inside = storm.contains_moving_point(&p);
+        for k in 0..=40 {
+            let ti = t(k as f64 * 2.5);
+            match (inside.at_instant(ti), p.at_instant(ti), storm.at_instant(ti)) {
+                (Val::Def(flag), Val::Def(pos), Val::Def(reg)) => {
+                    // Skip instants where the point is within ε of the
+                    // boundary (closure-semantics tie-breaks).
+                    if let Val::Def(d) =
+                        mob::spatial::dist::point_region_distance(pos, &reg)
+                    {
+                        if d.get() < 1e-6 && flag != reg.contains_point(pos) {
+                            continue;
+                        }
+                    }
+                    prop_assert_eq!(flag, reg.contains_point(pos), "at {:?}", ti);
+                }
+                (Val::Undef, _, _) => {}
+                other => prop_assert!(false, "definedness mismatch: {:?}", other),
+            }
+        }
+    }
+
+    #[test]
+    fn storm_area_quadratic_is_exact(seed in 0u64..5000) {
+        let storm = mob::gen::storm(seed, 4, 10);
+        let area = storm.area();
+        for k in 0..=20 {
+            let ti = t(k as f64 * 5.0);
+            if let (Val::Def(a), Val::Def(reg)) = (area.at_instant(ti), storm.at_instant(ti)) {
+                prop_assert!(
+                    a.approx_eq(reg.area(), 1e-6 * a.get().max(1.0)),
+                    "{} vs {} at {:?}", a, reg.area(), ti
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// UReal analysis laws
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn ureal_extrema_bound_samples(
+        a in -8i32..8, b in -8i32..8, c in -8i32..8,
+        s in -10i32..10, w in 1i32..10,
+    ) {
+        let iv = Interval::closed(t(s as f64), t((s + w) as f64));
+        let u = UReal::quadratic(iv, r(a as f64), r(b as f64), r(c as f64));
+        let (lo, hi) = u.extrema();
+        for ti in iv.sample_instants(13) {
+            let v = u.value_at(ti);
+            prop_assert!(v >= lo - r(1e-9) && v <= hi + r(1e-9), "{v} ∉ [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn ureal_below_above_partition(
+        a in -8i32..8, b in -8i32..8, c in -8i32..8, k in -20i32..20,
+        s in -10i32..10, w in 1i32..10,
+    ) {
+        let iv = Interval::closed(t(s as f64), t((s + w) as f64));
+        let u = UReal::quadratic(iv, r(a as f64), r(b as f64), r(c as f64));
+        let v = r(k as f64);
+        let below: Periods = u.intervals_below(v).into_iter().collect();
+        let above: Periods = u.intervals_above(v).into_iter().collect();
+        // Below and above are disjoint.
+        prop_assert!(!below.intersects(&above));
+        // Pointwise agreement away from the threshold.
+        for ti in iv.sample_instants(13) {
+            let val = u.value_at(ti);
+            if (val - v).abs().get() < 1e-9 { continue; }
+            prop_assert_eq!(below.contains(&ti), val < v);
+            prop_assert_eq!(above.contains(&ti), val > v);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! The operation signature table of Section 2, reproduced operation by
+//! operation with exactly the paper's signatures:
+//!
+//! | operation  | signature                                    |
+//! |------------|----------------------------------------------|
+//! | trajectory | moving(point) → line                         |
+//! | length     | line → real                                  |
+//! | distance   | moving(point) × moving(point) → moving(real) |
+//! | atmin      | moving(real) → moving(real)                  |
+//! | initial    | moving(real) → intime(real)                  |
+//! | val        | intime(real) → real                          |
+//!
+//! Each test pins the argument/result *types* (the signature) and checks
+//! the operation's semantics on a worked example.
+
+use mob::prelude::*;
+
+fn flight_a() -> MovingPoint {
+    MovingPoint::from_samples(&[(t(0.0), pt(0.0, 0.0)), (t(10.0), pt(10.0, 0.0))])
+}
+
+fn flight_b() -> MovingPoint {
+    MovingPoint::from_samples(&[(t(0.0), pt(10.0, 5.0)), (t(10.0), pt(0.0, 5.0))])
+}
+
+/// trajectory: moving(point) → line
+#[test]
+fn op_trajectory() {
+    let result: Line = flight_a().trajectory();
+    assert_eq!(result.num_segments(), 1);
+}
+
+/// length: line → real
+#[test]
+fn op_length() {
+    let line: Line = flight_a().trajectory();
+    let result: Real = line.length();
+    assert_eq!(result, r(10.0));
+}
+
+/// distance: moving(point) × moving(point) → moving(real)
+#[test]
+fn op_distance() {
+    let result: MovingReal = flight_a().distance(&flight_b());
+    // The planes cross in x at t=5 where both are at x=5, Δy = 5.
+    assert_eq!(result.at_instant(t(5.0)), Val::Def(r(5.0)));
+    // Every unit is a √quadratic, as the discrete model prescribes.
+    for u in result.units() {
+        assert!(u.is_root());
+    }
+}
+
+/// atmin: moving(real) → moving(real)
+#[test]
+fn op_atmin() {
+    let d: MovingReal = flight_a().distance(&flight_b());
+    let result: MovingReal = d.atmin();
+    // Minimum distance 5, attained exactly at t=5.
+    assert_eq!(result.num_units(), 1);
+    assert!(result.units()[0].interval().is_point());
+    assert_eq!(*result.units()[0].interval().start(), t(5.0));
+}
+
+/// initial: moving(real) → intime(real)
+#[test]
+fn op_initial() {
+    let d = flight_a().distance(&flight_b()).atmin();
+    let result: Intime<Real> = d.initial().unwrap();
+    assert_eq!(result.inst(), t(5.0));
+}
+
+/// val: intime(real) → real
+#[test]
+fn op_val() {
+    let it: Intime<Real> = flight_a()
+        .distance(&flight_b())
+        .atmin()
+        .initial()
+        .unwrap();
+    let result: Real = it.val();
+    assert_eq!(result, r(5.0));
+}
+
+/// The full composed terms of both queries, as single expressions.
+#[test]
+fn op_composition_matches_queries() {
+    // Query 1's predicate term: length(trajectory(flight)) > 5000.
+    let q1_term: Real = flight_a().trajectory().length();
+    assert!(q1_term > r(5.0));
+
+    // Query 2's predicate term:
+    // val(initial(atmin(distance(p.flight, q.flight)))) < 0.5.
+    let q2_term: Real = flight_a()
+        .distance(&flight_b())
+        .atmin()
+        .initial()
+        .unwrap()
+        .val();
+    assert!(q2_term >= r(0.5)); // these two never come that close
+
+    // And a genuinely close pair does satisfy it.
+    let near = MovingPoint::from_samples(&[(t(0.0), pt(0.0, 0.1)), (t(10.0), pt(10.0, 0.1))]);
+    let term = flight_a().distance(&near).atmin().initial().unwrap().val();
+    assert!(term < r(0.5));
+}
+
+/// Lifting (Sec 2): the same `inside` name works on point × region,
+/// moving(point) × region, and moving(point) × moving(region).
+#[test]
+fn op_lifting_family() {
+    let zone = Region::from_ring(rect_ring(2.0, -1.0, 6.0, 1.0));
+    // point × region → bool
+    let p: Point = pt(3.0, 0.0);
+    let b: bool = zone.contains_point(p);
+    assert!(b);
+    // moving(point) × region → moving(bool)
+    let mb: MovingBool = flight_a().inside_region(&zone);
+    assert_eq!(mb.at_instant(t(3.0)), Val::Def(true));
+    assert_eq!(mb.at_instant(t(9.0)), Val::Def(false));
+    // moving(point) × moving(region) → moving(bool)
+    let mzone: MovingRegion = Mapping::single(
+        URegion::stationary(Interval::closed(t(0.0), t(10.0)), &zone).unwrap(),
+    );
+    let mb2: MovingBool = mzone.contains_moving_point(&flight_a());
+    assert_eq!(mb.when_true(), mb2.when_true());
+}

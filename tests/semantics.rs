@@ -1,0 +1,154 @@
+//! Semantic cross-checks: the discrete operations must agree with the
+//! abstract model's semantics, verified by dense sampling (the σ
+//! functions of Sec 3). These are the Table 3 (T3) experiments.
+
+use mob::core::semantics::{max_abs_error, sample_deftime};
+use mob::gen::{storm, taxi_fleet};
+use mob::prelude::*;
+
+/// Lifted distance equals pointwise distance of evaluations.
+#[test]
+fn t3_distance_semantics() {
+    let taxis = taxi_fleet(3, 2, 12);
+    let (a, b) = (&taxis[0], &taxis[1]);
+    let d = a.distance(b);
+    for ti in sample_deftime(&d, 7) {
+        let expected = match (a.at_instant(ti), b.at_instant(ti)) {
+            (Val::Def(p), Val::Def(q)) => p.distance(q),
+            _ => panic!("distance defined where an argument is not"),
+        };
+        let got = d.at_instant(ti).unwrap();
+        assert!(
+            got.approx_eq(expected, 1e-9 * expected.get().max(1.0)),
+            "at {ti:?}: {got} vs {expected}"
+        );
+    }
+}
+
+/// Lifted speed equals the norm of the velocity.
+#[test]
+fn t3_speed_semantics() {
+    let taxi = &taxi_fleet(5, 1, 10)[0];
+    let s = taxi.speed();
+    // Sample two nearby instants and compare with finite differences.
+    for u in taxi.units() {
+        let iv = u.interval();
+        let (t0, t1) = (iv.interior_instant(), iv.interior_instant() + r(1e-6));
+        if !iv.contains(&t1) {
+            continue;
+        }
+        let p0 = taxi.at_instant(t0).unwrap();
+        let p1 = taxi.at_instant(t1).unwrap();
+        let fd = p0.distance(p1) / r(1e-6);
+        let got = s.at_instant(t0).unwrap();
+        assert!(got.approx_eq(fd, 1e-3 * fd.get().max(1.0)), "{got} vs {fd}");
+    }
+}
+
+/// `atperiods` behaves as set-restriction of the function graph.
+#[test]
+fn t3_atperiods_semantics() {
+    let taxi = &taxi_fleet(9, 1, 12)[0];
+    let p = Periods::from_unmerged(vec![
+        Interval::closed(t(1.0), t(3.0)),
+        Interval::open(t(6.0), t(8.0)),
+    ]);
+    let restricted = taxi.atperiods(&p);
+    for k in 0..=120 {
+        let ti = t(k as f64 * 0.1);
+        let expected = if p.contains(&ti) {
+            taxi.at_instant(ti)
+        } else {
+            Val::Undef
+        };
+        assert_eq!(restricted.at_instant(ti), expected, "at {ti:?}");
+    }
+}
+
+/// The moving-bool algebra matches pointwise boolean logic.
+#[test]
+fn t3_mbool_semantics() {
+    let hurricane = storm(13, 6, 10);
+    let taxis = taxi_fleet(13, 2, 10);
+    let in0 = hurricane.contains_moving_point(&taxis[0]);
+    let in1 = hurricane.contains_moving_point(&taxis[1]);
+    let and = in0.and(&in1);
+    let or = in0.or(&in1);
+    let not = in0.not();
+    for k in 0..=100 {
+        let ti = t(k as f64 * 0.1);
+        match (in0.at_instant(ti), in1.at_instant(ti)) {
+            (Val::Def(x), Val::Def(y)) => {
+                assert_eq!(and.at_instant(ti), Val::Def(x && y));
+                assert_eq!(or.at_instant(ti), Val::Def(x || y));
+                assert_eq!(not.at_instant(ti), Val::Def(!x));
+            }
+            _ => {
+                assert!(and.at_instant(ti).is_undef());
+                assert!(or.at_instant(ti).is_undef());
+            }
+        }
+    }
+}
+
+/// The quadratic `ureal` represents the area development exactly.
+#[test]
+fn t3_area_exactness() {
+    let hurricane = storm(21, 8, 12);
+    let area = hurricane.area();
+    let err = max_abs_error(
+        &area,
+        |ti| match hurricane.at_instant(ti) {
+            Val::Def(reg) => reg.area(),
+            Val::Undef => Real::ZERO,
+        },
+        9,
+    );
+    assert!(err.get() < 1e-6, "max area error {err}");
+}
+
+/// `initial`/`final` are the boundary values of the function graph.
+#[test]
+fn t3_initial_final() {
+    let taxi = &taxi_fleet(33, 1, 6)[0];
+    let init = taxi.initial().unwrap();
+    let fin = taxi.final_value().unwrap();
+    assert_eq!(Val::Def(init.value), taxi.at_instant(init.instant));
+    assert_eq!(Val::Def(fin.value), taxi.at_instant(fin.instant));
+    assert_eq!(init.instant, taxi.deftime().minimum().unwrap());
+    assert_eq!(fin.instant, taxi.deftime().maximum().unwrap());
+}
+
+/// Lifted comparison `mreal < mreal` agrees with pointwise comparison.
+#[test]
+fn t3_mreal_comparison_semantics() {
+    let taxis = taxi_fleet(51, 3, 8);
+    let d01 = taxis[0].distance(&taxis[1]);
+    let d02 = taxis[0].distance(&taxis[2]);
+    let lt = mob::core::moving::mreal::mreal_lt(&d01, &d02);
+    for k in 0..=80 {
+        let ti = t(k as f64 * 0.1);
+        if let (Val::Def(a), Val::Def(b)) = (d01.at_instant(ti), d02.at_instant(ti)) {
+            if (a - b).abs().get() < 1e-6 {
+                continue; // too close to a crossing for a robust check
+            }
+            assert_eq!(lt.at_instant(ti), Val::Def(a < b), "at {ti:?}: {a} vs {b}");
+        }
+    }
+}
+
+/// Figure 1's shape: a moving value is its slices; slice boundaries are
+/// exactly the unit intervals and evaluation is continuous inside them.
+#[test]
+fn figure1_sliced_shape() {
+    let taxi = &taxi_fleet(61, 1, 8)[0];
+    for u in taxi.units() {
+        let iv = u.interval();
+        let mid = iv.interior_instant();
+        // Mapping evaluation inside a unit equals the unit's ι.
+        assert_eq!(taxi.at_instant(mid), Val::Def(u.at(mid)));
+    }
+    // Units partition deftime: their union equals deftime.
+    let union: Periods = taxi.units().iter().map(|u| *u.interval()).collect();
+    assert_eq!(union, taxi.deftime());
+}
