@@ -176,10 +176,7 @@ impl<S: Domain> Interval<S> {
     pub fn r_adjacent(&self, v: &Interval<S>) -> bool {
         self.disjoint(v)
             && ((self.e == v.s && (self.rc || v.lc))
-                || (self.e < v.s
-                    && self.rc
-                    && v.lc
-                    && !has_element_between(&self.e, &v.s)))
+                || (self.e < v.s && self.rc && v.lc && !has_element_between(&self.e, &v.s)))
     }
 
     /// The paper's `adjacent(u, v)`.

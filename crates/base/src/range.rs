@@ -42,12 +42,16 @@ pub type Periods = RangeSet<Instant>;
 impl<S: Domain> RangeSet<S> {
     /// The empty range set.
     pub fn empty() -> RangeSet<S> {
-        RangeSet { intervals: Vec::new() }
+        RangeSet {
+            intervals: Vec::new(),
+        }
     }
 
     /// A range set holding a single interval.
     pub fn single(iv: Interval<S>) -> RangeSet<S> {
-        RangeSet { intervals: vec![iv] }
+        RangeSet {
+            intervals: vec![iv],
+        }
     }
 
     /// Validating constructor: intervals must already be sorted, disjoint
@@ -158,8 +162,7 @@ impl<S: Domain> RangeSet<S> {
                 out.push(x);
             }
             // Advance whichever interval ends first.
-            if a.end() < b.end() || (a.end() == b.end() && !a.right_closed() && b.right_closed())
-            {
+            if a.end() < b.end() || (a.end() == b.end() && !a.right_closed() && b.right_closed()) {
                 i += 1;
             } else if b.end() < a.end()
                 || (a.end() == b.end() && a.right_closed() && !b.right_closed())
@@ -231,11 +234,7 @@ impl Periods {
             return Periods::empty();
         }
         let span = Interval::new(
-            self.intervals
-                .first()
-                .expect("len >= 2")
-                .start()
-                .to_owned(),
+            self.intervals.first().expect("len >= 2").start().to_owned(),
             self.intervals.last().expect("len >= 2").end().to_owned(),
             true,
             true,
@@ -296,11 +295,8 @@ mod tests {
 
     #[test]
     fn from_unmerged_normalizes() {
-        let rs = RangeSet::from_unmerged(vec![
-            ivf(1.0, 2.0, false, true),
-            iv(0.0, 1.0),
-            iv(5.0, 6.0),
-        ]);
+        let rs =
+            RangeSet::from_unmerged(vec![ivf(1.0, 2.0, false, true), iv(0.0, 1.0), iv(5.0, 6.0)]);
         assert_eq!(rs.num_intervals(), 2);
         assert_eq!(rs.as_slice()[0], iv(0.0, 2.0));
         assert_eq!(rs.as_slice()[1], iv(5.0, 6.0));
@@ -398,17 +394,13 @@ mod tests {
     fn int_range_normalization_is_continuous_merge_only() {
         // Over int, [0,2] and [3,5] are adjacent (no element between), so
         // from_unmerged merges them.
-        let rs = RangeSet::from_unmerged(vec![
-            Interval::closed(0i64, 2),
-            Interval::closed(3i64, 5),
-        ]);
+        let rs =
+            RangeSet::from_unmerged(vec![Interval::closed(0i64, 2), Interval::closed(3i64, 5)]);
         assert_eq!(rs.num_intervals(), 1);
         assert_eq!(rs.as_slice()[0], Interval::closed(0i64, 5));
         // But [0,2] and [4,5] stay separate.
-        let rs = RangeSet::from_unmerged(vec![
-            Interval::closed(0i64, 2),
-            Interval::closed(4i64, 5),
-        ]);
+        let rs =
+            RangeSet::from_unmerged(vec![Interval::closed(0i64, 2), Interval::closed(4i64, 5)]);
         assert_eq!(rs.num_intervals(), 2);
     }
 

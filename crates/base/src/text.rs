@@ -65,7 +65,9 @@ impl Text {
     /// Rebuild from raw storage bytes plus length.
     pub fn from_raw(bytes: [u8; Text::CAPACITY], len: u8) -> Result<Text> {
         if len as usize > Text::CAPACITY {
-            return Err(InvariantViolation::new("string: stored length out of range"));
+            return Err(InvariantViolation::new(
+                "string: stored length out of range",
+            ));
         }
         std::str::from_utf8(&bytes[..len as usize])
             .map_err(|_| InvariantViolation::new("string: stored bytes are not UTF-8"))?;

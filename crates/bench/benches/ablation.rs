@@ -19,9 +19,7 @@ fn cube_fast_path(c: &mut Criterion) {
         let storm = bench_storm(8, verts);
         let point = far_point(8);
         group.bench_with_input(BenchmarkId::new("with-cube", verts * 8), &verts, |b, _| {
-            b.iter(|| {
-                black_box(lift2(&point, &storm, |iv, up, ur| ur.inside_units(up, iv)))
-            });
+            b.iter(|| black_box(lift2(&point, &storm, |iv, up, ur| ur.inside_units(up, iv))));
         });
         group.bench_with_input(BenchmarkId::new("scan-only", verts * 8), &verts, |b, _| {
             b.iter(|| {
@@ -67,11 +65,7 @@ fn unit_lookup(c: &mut Criterion) {
             b.iter(|| {
                 k = (k + 1) % probes.len();
                 let t = probes[k];
-                black_box(
-                    m.units()
-                        .iter()
-                        .position(|u| u.interval().contains(&t)),
-                )
+                black_box(m.units().iter().position(|u| u.interval().contains(&t)))
             });
         });
     }

@@ -1,0 +1,78 @@
+//! E6: query-over-storage — the `UnitSeq` access layer (DESIGN.md §2).
+//!
+//! Compares the two ways of answering a single-instant query against a
+//! serialized `moving(point)`:
+//!
+//! * **materialize-then-query** — `load_mpoint` decodes all `n` unit
+//!   records into a `Mapping`, then `at_instant` binary-searches it;
+//! * **query-in-place** — `view_mpoint` wraps the stored records in a
+//!   lazy [`MappingView`] and the *same* `at_instant` (a `UnitSeq`
+//!   default method) probes `O(log n)` interval headers and decodes one
+//!   record.
+//!
+//! The crossover is immediate and the gap widens linearly with `n`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mob_bench::{crossing_point, SPAN};
+use mob_core::UnitSeq;
+use mob_rel::{long_flights, planes_relation, save_relation, Relation};
+use mob_storage::mapping_store::{load_mpoint, save_mpoint};
+use mob_storage::{view_mpoint, PageStore};
+use std::hint::black_box;
+use std::rc::Rc;
+
+fn atinstant_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qos/atinstant");
+    group.sample_size(20);
+    for n in [1024usize, 10_240, 40_960] {
+        let m = crossing_point(n);
+        let mut store = PageStore::new();
+        let stored = save_mpoint(&m, &mut store);
+        let probe = mob_base::t(SPAN * 0.37);
+        group.bench_with_input(BenchmarkId::new("materialize-then-query", n), &n, |b, _| {
+            b.iter(|| {
+                let mem = load_mpoint(&stored, &store);
+                black_box(mem.at_instant(probe))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("query-in-place", n), &n, |b, _| {
+            b.iter(|| {
+                let view = view_mpoint(&stored, &store);
+                black_box(view.at_instant(probe))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn query1_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qos/query1-long-flights");
+    group.sample_size(10);
+    for n in [8usize, 32] {
+        let planes = planes_relation(
+            mob_gen::plane_fleet(0xD00D, n, 256)
+                .into_iter()
+                .map(|p| (p.airline, p.id, p.flight))
+                .collect(),
+        );
+        let mut store = PageStore::new();
+        let stored = save_relation(&planes, &mut store).expect("fleet serializes");
+        let store = Rc::new(store);
+        group.bench_with_input(BenchmarkId::new("materialize", n), &n, |b, _| {
+            b.iter(|| {
+                let rel = mob_rel::load_relation(&stored, &store).expect("loads");
+                black_box(long_flights(&rel, "Lufthansa", 1500.0).len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("in-place", n), &n, |b, _| {
+            b.iter(|| {
+                let rel = Relation::from_store(&stored, store.clone()).expect("opens");
+                black_box(long_flights(&rel, "Lufthansa", 1500.0).len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, atinstant_backends, query1_backends);
+criterion_main!(benches);

@@ -52,9 +52,7 @@ fn mregion_roundtrip(c: &mut Criterion) {
 fn region_snapshot_roundtrip(c: &mut Criterion) {
     let mut group = c.benchmark_group("storage/region-roundtrip");
     for verts in [8usize, 32, 128] {
-        let snap = bench_storm(4, verts)
-            .at_instant(mob_base::t(50.0))
-            .unwrap();
+        let snap = bench_storm(4, verts).at_instant(mob_base::t(50.0)).unwrap();
         group.bench_with_input(BenchmarkId::new("save", verts), &verts, |b, _| {
             b.iter(|| {
                 let mut store = PageStore::new();

@@ -17,8 +17,8 @@ use mob_core::{ConstUnit, Mapping, MappingBuilder, UReal, Unit};
 use mob_gen::plane_fleet;
 use mob_rel::{close_encounters, long_flights, planes_relation};
 use mob_spatial::Region;
-use mob_storage::mapping_store::{load_mpoint, save_mpoint};
 use mob_storage::dbarray::save_array_with_threshold;
+use mob_storage::mapping_store::{load_mpoint, save_mpoint};
 use mob_storage::PageStore;
 
 fn header(title: &str) {
@@ -29,7 +29,10 @@ fn header(title: &str) {
 /// E1: atinstant — O(log n + r).
 fn e1() {
     header("E1  atinstant(moving region): O(log n + r) [Sec 5.1]");
-    println!("{:>8} {:>8} {:>14}   (fixed r = 12 msegs/unit)", "n units", "probes", "median ns/op");
+    println!(
+        "{:>8} {:>8} {:>14}   (fixed r = 12 msegs/unit)",
+        "n units", "probes", "median ns/op"
+    );
     for n in [4usize, 16, 64, 256, 1024, 4096] {
         let storm = bench_storm(n, 12);
         let probes = probe_instants(64);
@@ -42,7 +45,10 @@ fn e1() {
         });
         println!("{:>8} {:>8} {:>14}", n, 64, ns / 64);
     }
-    println!("{:>8} {:>8} {:>14}   (fixed n = 8 units)", "r msegs", "probes", "median ns/op");
+    println!(
+        "{:>8} {:>8} {:>14}   (fixed n = 8 units)",
+        "r msegs", "probes", "median ns/op"
+    );
     for r in [8usize, 16, 32, 64, 128, 256] {
         let storm = bench_storm(8, r);
         let probes = probe_instants(64);
@@ -71,7 +77,10 @@ fn e2() {
         });
         println!("{:>8} {:>10} {:>14}", n, s, ns);
     }
-    println!("{:>8} {:>10} {:>14}   (crossing point, n=m=8)", "verts", "S msegs", "median ns");
+    println!(
+        "{:>8} {:>10} {:>14}   (crossing point, n=m=8)",
+        "verts", "S msegs", "median ns"
+    );
     for verts in [8usize, 16, 32, 64, 128, 256] {
         let storm = bench_storm(8, verts);
         let point = crossing_point(8);
@@ -80,7 +89,10 @@ fn e2() {
         });
         println!("{:>8} {:>10} {:>14}", verts, storm.total_msegs(), ns);
     }
-    println!("{:>8} {:>10} {:>14}   (disjoint bounding cubes fast path)", "verts", "S msegs", "median ns");
+    println!(
+        "{:>8} {:>10} {:>14}   (disjoint bounding cubes fast path)",
+        "verts", "S msegs", "median ns"
+    );
     for verts in [8usize, 16, 32, 64, 128, 256] {
         let storm = bench_storm(8, verts);
         let point = far_point(8);
@@ -138,24 +150,40 @@ fn e4() {
         });
         println!("{:>10} {:>10} {:>14}", 4 * k, k, ns);
     }
-    println!("expected shape: near-linear (validation is quadratic in the worst case; sort is r log r)");
+    println!(
+        "expected shape: near-linear (validation is quadratic in the worst case; sort is r log r)"
+    );
 }
 
 /// E5: inline vs external DbArray placement.
 fn e5() {
     header("E5  database arrays: inline vs external placement [Sec 4 / DG98]");
-    println!("{:>10} {:>12} {:>10} {:>10} {:>12}", "units", "bytes", "placement", "pages", "load ns");
+    println!(
+        "{:>10} {:>12} {:>10} {:>10} {:>12}",
+        "units", "bytes", "placement", "pages", "load ns"
+    );
     for n in [2usize, 4, 8, 16, 64, 256, 1024] {
         let m = crossing_point(n);
         let mut store = PageStore::new();
         let stored = save_mpoint(&m, &mut store);
         let bytes = stored.num_units as usize * 50; // UPointRecord::SIZE
-        let placement = if stored.units.is_inline() { "inline" } else { "external" };
+        let placement = if stored.units.is_inline() {
+            "inline"
+        } else {
+            "external"
+        };
         let pages = store.pages_written();
         let ns = median_nanos(9, || {
             std::hint::black_box(load_mpoint(&stored, &store));
         });
-        println!("{:>10} {:>12} {:>10} {:>10} {:>12}", m.num_units(), bytes, placement, pages, ns);
+        println!(
+            "{:>10} {:>12} {:>10} {:>10} {:>12}",
+            m.num_units(),
+            bytes,
+            placement,
+            pages,
+            ns
+        );
     }
     // Threshold sweep: the same array under different thresholds.
     println!("\nthreshold sweep for a 64-unit mpoint (3200 bytes):");
@@ -175,17 +203,63 @@ fn e5() {
         println!(
             "{:>12} {:>10} {:>10}",
             thr,
-            if saved.is_inline() { "inline" } else { "external" },
+            if saved.is_inline() {
+                "inline"
+            } else {
+                "external"
+            },
             store.pages_written()
         );
     }
     println!("expected shape: small values inline (0 pages); large values spill to page chains");
 }
 
+/// E6: query-over-storage — materialize-then-query vs query-in-place.
+fn e6() {
+    use mob_core::UnitSeq;
+    use mob_storage::view_mpoint;
+    header("E6  query-over-storage: atinstant on serialized mpoints [UnitSeq]");
+    println!(
+        "{:>8} {:>14} {:>14} {:>8} {:>10} {:>10}",
+        "n units", "material ns", "in-place ns", "speedup", "pages(m)", "pages(ip)"
+    );
+    for n in [64usize, 256, 1024, 4096, 16384] {
+        let m = crossing_point(n);
+        let mut store = PageStore::new();
+        let stored = save_mpoint(&m, &mut store);
+        let probe = t(SPAN * 0.37);
+        store.reset_counters();
+        let mat = median_nanos(9, || {
+            let mem = load_mpoint(&stored, &store);
+            std::hint::black_box(mem.at_instant(probe));
+        });
+        let pages_m = store.pages_read();
+        store.reset_counters();
+        let inp = median_nanos(9, || {
+            let view = view_mpoint(&stored, &store);
+            std::hint::black_box(view.at_instant(probe));
+        });
+        let pages_ip = store.pages_read();
+        println!(
+            "{:>8} {:>14} {:>14} {:>8.1} {:>10} {:>10}",
+            m.num_units(),
+            mat,
+            inp,
+            mat as f64 / inp.max(1) as f64,
+            pages_m,
+            pages_ip
+        );
+    }
+    println!("expected shape: materialize linear in n; in-place ~flat (O(log n) header reads + 1 decode)");
+}
+
 /// A1: ablation of the bounding-cube summary field (Sec 4.2).
 fn ablation() {
     header("A1  ablation: bounding-cube fast path (disjoint workloads)");
-    println!("{:>8} {:>10} {:>14} {:>14} {:>8}", "verts", "S msegs", "cube ns", "scan ns", "speedup");
+    println!(
+        "{:>8} {:>10} {:>14} {:>14} {:>8}",
+        "verts", "S msegs", "cube ns", "scan ns", "speedup"
+    );
     for verts in [8usize, 32, 128] {
         let storm = bench_storm(8, verts);
         let point = far_point(8);
@@ -214,7 +288,10 @@ fn ablation() {
 /// Q1/Q2: the Section 2 queries.
 fn queries() {
     header("Q1/Q2  Section 2 queries on generated fleets");
-    println!("{:>8} {:>10} {:>14} {:>10} {:>14} {:>8}", "planes", "q1 rows", "q1 ns", "q2 pairs", "q2 ns", "q2/q1");
+    println!(
+        "{:>8} {:>10} {:>14} {:>10} {:>14} {:>8}",
+        "planes", "q1 rows", "q1 ns", "q2 pairs", "q2 ns", "q2/q1"
+    );
     for n in [8usize, 16, 32, 64] {
         let planes = planes_relation(
             plane_fleet(0xF1EE7, n, 12)
@@ -232,10 +309,17 @@ fn queries() {
         });
         println!(
             "{:>8} {:>10} {:>14} {:>10} {:>14} {:>8.1}",
-            n, q1rows, q1, q2rows, q2, q2 as f64 / q1.max(1) as f64
+            n,
+            q1rows,
+            q1,
+            q2rows,
+            q2,
+            q2 as f64 / q1.max(1) as f64
         );
     }
-    println!("expected shape: q1 linear in fleet size; q2 quadratic (nested-loop spatio-temporal join)");
+    println!(
+        "expected shape: q1 linear in fleet size; q2 quadratic (nested-loop spatio-temporal join)"
+    );
 }
 
 /// F1/F8 sanity: the structures behind the figures, as counts.
@@ -243,12 +327,28 @@ fn figures() {
     header("F1/F8  structural reproductions (counts, not timings)");
     // Figure 1: sliced representation of a moving real.
     let mreal = Mapping::try_new(vec![
-        UReal::linear(mob_base::Interval::closed_open(t(0.0), t(1.0)), mob_base::r(1.0), mob_base::r(0.0)),
-        UReal::constant(mob_base::Interval::closed_open(t(1.0), t(2.0)), mob_base::r(1.0)),
-        UReal::quadratic(mob_base::Interval::closed(t(2.0), t(3.0)), mob_base::r(-1.0), mob_base::r(4.0), mob_base::r(-3.0)),
+        UReal::linear(
+            mob_base::Interval::closed_open(t(0.0), t(1.0)),
+            mob_base::r(1.0),
+            mob_base::r(0.0),
+        ),
+        UReal::constant(
+            mob_base::Interval::closed_open(t(1.0), t(2.0)),
+            mob_base::r(1.0),
+        ),
+        UReal::quadratic(
+            mob_base::Interval::closed(t(2.0), t(3.0)),
+            mob_base::r(-1.0),
+            mob_base::r(4.0),
+            mob_base::r(-3.0),
+        ),
     ])
     .expect("disjoint slices");
-    println!("Figure 1: moving real with {} slices, deftime {:?}", mreal.num_units(), mreal.deftime());
+    println!(
+        "Figure 1: moving real with {} slices, deftime {:?}",
+        mreal.num_units(),
+        mreal.deftime()
+    );
     // Figure 8: refinement partition sizes.
     let a = crossing_point(8);
     let b = crossing_point(12);
@@ -269,6 +369,7 @@ fn main() {
     e3();
     e4();
     e5();
+    e6();
     ablation();
     queries();
     figures();

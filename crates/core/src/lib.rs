@@ -13,9 +13,13 @@
 //! * [`mapping::Mapping`] — the sliced representation with binary-search
 //!   `atinstant` (Algorithm 5.1), `deftime`, `atperiods`, `initial`,
 //!   `final`;
+//! * [`seq::UnitSeq`] — the query-over-storage access layer: the
+//!   Section-5 algorithms (`atinstant`, `deftime`, `atperiods`, the lift
+//!   skeletons) written once, generic over in-memory mappings *and*
+//!   storage-backed views;
 //! * [`refinement`](mod@crate::refinement) — the refinement partition (Fig 8);
 //! * [`lift`] — the generic skeleton of binary lifted operations
-//!   (Algorithm 5.2's outer loop);
+//!   (Algorithm 5.2's outer loop), generic over [`seq::UnitSeq`];
 //! * [`moving`] — the eight moving types of Table 3 with their
 //!   operations (`trajectory`, `distance`, `atmin`, `inside`, `area`, …);
 //! * [`ops`] — Tables 1–3 as inspectable catalogues;
@@ -30,6 +34,7 @@ pub mod mseg;
 pub mod ops;
 pub mod refinement;
 pub mod semantics;
+pub mod seq;
 pub mod uconst;
 pub mod uline;
 pub mod unit;
@@ -40,12 +45,15 @@ pub mod uregion;
 
 pub use lift::{lift1, lift2};
 pub use mapping::{Mapping, MappingBuilder};
+pub use moving::mpoint::{distance_seq, distance_travelled_seq, trajectory_seq};
+pub use moving::mregion::inside;
 pub use moving::{
     MovingBool, MovingInt, MovingLine, MovingPoint, MovingPoints, MovingReal, MovingRegion,
     MovingString,
 };
 pub use mseg::MSeg;
-pub use refinement::{refinement, refinement_both, RefinedSlice};
+pub use refinement::{refinement, refinement_both, refinement_both_seq, RefinedSlice};
+pub use seq::UnitSeq;
 pub use uconst::ConstUnit;
 pub use uline::ULine;
 pub use unit::Unit;

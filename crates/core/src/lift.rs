@@ -10,7 +10,8 @@
 //! algebra, arithmetic, ...).
 
 use crate::mapping::{Mapping, MappingBuilder};
-use crate::refinement::refinement_both;
+use crate::refinement::refinement_both_seq;
+use crate::seq::UnitSeq;
 use crate::unit::Unit;
 use mob_base::TimeInterval;
 
@@ -18,17 +19,21 @@ use mob_base::TimeInterval;
 /// arguments are defined. The kernel returns the result units covering
 /// that part, in time order; adjacent equal units are merged (`concat`).
 ///
+/// Generic over the access path ([`UnitSeq`]): the arguments may be
+/// in-memory [`Mapping`]s, storage-backed views, or a mix — the kernel
+/// sees plain unit references either way.
+///
 /// Runs in `O(n + m + Σ kernel)` — the complexity bound of Sec 5.2.
-pub fn lift2<UA, UB, UC, F>(a: &Mapping<UA>, b: &Mapping<UB>, kernel: F) -> Mapping<UC>
+pub fn lift2<SA, SB, UC, F>(a: &SA, b: &SB, kernel: F) -> Mapping<UC>
 where
-    UA: Unit,
-    UB: Unit,
+    SA: UnitSeq,
+    SB: UnitSeq,
     UC: Unit,
-    F: Fn(&TimeInterval, &UA, &UB) -> Vec<UC>,
+    F: Fn(&TimeInterval, &SA::Unit, &SB::Unit) -> Vec<UC>,
 {
     let mut builder = MappingBuilder::new();
-    for (iv, ua, ub) in refinement_both(a, b) {
-        for unit in kernel(&iv, ua, ub) {
+    for (iv, ua, ub) in refinement_both_seq(a, b) {
+        for unit in kernel(&iv, &ua, &ub) {
             builder.push(unit);
         }
     }
@@ -36,16 +41,17 @@ where
 }
 
 /// Unary lift: apply `kernel` to every unit (possibly splitting it),
-/// merging adjacent equal results.
-pub fn lift1<UA, UC, F>(a: &Mapping<UA>, kernel: F) -> Mapping<UC>
+/// merging adjacent equal results. Generic over the access path.
+pub fn lift1<SA, UC, F>(a: &SA, kernel: F) -> Mapping<UC>
 where
-    UA: Unit,
+    SA: UnitSeq,
     UC: Unit,
-    F: Fn(&UA) -> Vec<UC>,
+    F: Fn(&SA::Unit) -> Vec<UC>,
 {
     let mut builder = MappingBuilder::new();
-    for u in a.units() {
-        for unit in kernel(u) {
+    for i in 0..a.len() {
+        let u = a.unit(i);
+        for unit in kernel(&u) {
             builder.push(unit);
         }
     }

@@ -8,6 +8,7 @@
 //! Units are stored ordered by their time intervals, so `atinstant` can
 //! binary-search in `O(log n)` (Sec 5.1).
 
+use crate::seq::UnitSeq;
 use crate::unit::Unit;
 use mob_base::error::{InvariantViolation, Result};
 use mob_base::{Instant, Interval, Intime, Periods, TimeInterval, Val};
@@ -88,6 +89,17 @@ impl<U: Unit> Mapping<U> {
         Mapping::try_new(out)
     }
 
+    /// Construct from units already known to satisfy the invariants
+    /// (restriction of a valid mapping, materialization of a valid
+    /// [`UnitSeq`], …). Validated in debug builds only.
+    pub(crate) fn from_raw(units: Vec<U>) -> Mapping<U> {
+        debug_assert!(
+            Mapping::try_new(units.clone()).is_ok(),
+            "from_raw units violate the mapping invariants"
+        );
+        Mapping { units }
+    }
+
     /// The units in time order.
     pub fn units(&self) -> &[U] {
         &self.units
@@ -105,18 +117,12 @@ impl<U: Unit> Mapping<U> {
 
     /// Index of the unit whose interval contains `t`, by binary search
     /// (`O(log n)` — the first step of Algorithm `atinstant`, Sec 5.1).
+    ///
+    /// Delegates to [`UnitSeq::find_unit`] — the single binary-search
+    /// implementation shared by every access path (in-memory mappings and
+    /// the storage-backed `MappingView`).
     pub fn unit_index_at(&self, t: Instant) -> Option<usize> {
-        let idx = self.units.partition_point(|u| *u.interval().start() < t
-            || (*u.interval().start() == t && u.interval().left_closed()));
-        if idx == 0 {
-            return None;
-        }
-        let cand = idx - 1;
-        if self.units[cand].interval().contains(&t) {
-            Some(cand)
-        } else {
-            None
-        }
+        UnitSeq::find_unit(self, t)
     }
 
     /// The unit valid at `t`, if any.
@@ -135,8 +141,9 @@ impl<U: Unit> Mapping<U> {
     }
 
     /// The `deftime` operation: the time domain as a `range(instant)`.
+    /// (Generic implementation: [`UnitSeq::deftime`].)
     pub fn deftime(&self) -> Periods {
-        Periods::from_unmerged(self.units.iter().map(|u| *u.interval()).collect())
+        UnitSeq::deftime(self)
     }
 
     /// The `initial` operation: the value at the earliest defined instant
@@ -165,33 +172,14 @@ impl<U: Unit> Mapping<U> {
 
     /// Restrict to a single time interval.
     pub fn at_interval(&self, iv: &TimeInterval) -> Mapping<U> {
-        let units = self
-            .units
-            .iter()
-            .filter_map(|u| u.restrict(iv))
-            .collect();
+        let units = self.units.iter().filter_map(|u| u.restrict(iv)).collect();
         Mapping { units }
     }
 
     /// The `atperiods` operation: restrict to a set of time intervals.
+    /// (Generic two-pointer implementation: [`UnitSeq::at_periods`].)
     pub fn atperiods(&self, periods: &Periods) -> Mapping<U> {
-        // Two-pointer walk over both sorted interval sequences.
-        let mut out = Vec::new();
-        let mut pi = 0;
-        let ivs: Vec<&TimeInterval> = periods.iter().collect();
-        for u in &self.units {
-            while pi < ivs.len() && ivs[pi].r_disjoint(u.interval()) {
-                pi += 1;
-            }
-            let mut k = pi;
-            while k < ivs.len() && !u.interval().r_disjoint(ivs[k]) {
-                if let Some(clip) = u.restrict(ivs[k]) {
-                    out.push(clip);
-                }
-                k += 1;
-            }
-        }
-        Mapping { units: out }
+        UnitSeq::at_periods(self, periods)
     }
 
     /// Apply a per-unit transformation producing a unit of another type

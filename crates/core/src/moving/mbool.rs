@@ -78,8 +78,12 @@ mod tests {
     }
 
     fn sample() -> MovingBool {
-        Mapping::try_new(vec![bu(0.0, 1.0, true), bu(1.0, 2.0, false), bu(3.0, 4.0, true)])
-            .unwrap()
+        Mapping::try_new(vec![
+            bu(0.0, 1.0, true),
+            bu(1.0, 2.0, false),
+            bu(3.0, 4.0, true),
+        ])
+        .unwrap()
     }
 
     #[test]

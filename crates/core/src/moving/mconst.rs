@@ -109,8 +109,7 @@ mod tests {
     #[test]
     fn const_extremes_and_when_eq() {
         use mob_base::Val;
-        let a = Mapping::try_new(vec![cu(0.0, 2.0, 4), cu(2.0, 4.0, 1), cu(5.0, 6.0, 4)])
-            .unwrap();
+        let a = Mapping::try_new(vec![cu(0.0, 2.0, 4), cu(2.0, 4.0, 1), cu(5.0, 6.0, 4)]).unwrap();
         assert_eq!(a.min_const(), Val::Def(1));
         assert_eq!(a.max_const(), Val::Def(4));
         let w = a.when_eq(&4);

@@ -174,8 +174,7 @@ mod tests {
         // Two points meeting exactly at t=1 (the closed end).
         let a = PointMotion::through(t(0.0), pt(0.0, 0.0), t(1.0), pt(1.0, 0.0));
         let b = PointMotion::through(t(0.0), pt(2.0, 0.0), t(1.0), pt(1.0, 0.0));
-        let mp: MovingPoints =
-            Mapping::single(UPoints::try_new(iv(0.0, 1.0), vec![a, b]).unwrap());
+        let mp: MovingPoints = Mapping::single(UPoints::try_new(iv(0.0, 1.0), vec![a, b]).unwrap());
         let c = mp.count();
         assert_eq!(c.at_instant(t(0.5)), Val::Def(2));
         assert_eq!(c.at_instant(t(1.0)), Val::Def(1)); // collapsed
@@ -187,8 +186,7 @@ mod tests {
     fn count_constant_when_no_collapse() {
         let a = PointMotion::stationary(pt(0.0, 0.0));
         let b = PointMotion::stationary(pt(5.0, 0.0));
-        let mp: MovingPoints =
-            Mapping::single(UPoints::try_new(iv(0.0, 3.0), vec![a, b]).unwrap());
+        let mp: MovingPoints = Mapping::single(UPoints::try_new(iv(0.0, 3.0), vec![a, b]).unwrap());
         let c = mp.count();
         assert_eq!(c.num_units(), 1);
         assert_eq!(c.at_instant(t(1.5)), Val::Def(2));

@@ -4,6 +4,7 @@
 use crate::lift::{lift1, lift2};
 use crate::mapping::{Mapping, MappingBuilder};
 use crate::moving::{MovingBool, MovingPoint, MovingReal};
+use crate::seq::UnitSeq;
 use crate::uconst::ConstUnit;
 use crate::unit::Unit;
 use crate::upoint::{Coincidence, UPoint};
@@ -11,6 +12,37 @@ use crate::ureal::UReal;
 use crate::uregion::URegion;
 use mob_base::{Instant, Real, TimeInterval};
 use mob_spatial::{Cube, Line, Point, Region, Seg};
+
+/// The `trajectory` operation, generic over the access path: projection
+/// of any `upoint` sequence (in-memory or storage-backed) into the
+/// plane, keeping the line parts.
+pub fn trajectory_seq<S: UnitSeq<Unit = UPoint>>(s: &S) -> Line {
+    let segs: Vec<Seg> = (0..s.len())
+        .filter_map(|i| s.unit(i).projection().ok())
+        .collect();
+    Line::normalize(segs)
+}
+
+/// Total distance travelled (∫ speed dt), generic over the access path.
+pub fn distance_travelled_seq<S: UnitSeq<Unit = UPoint>>(s: &S) -> Real {
+    (0..s.len()).fold(Real::ZERO, |acc, i| {
+        acc + match s.unit(i).projection() {
+            Ok(seg) => seg.length(),
+            Err(_) => Real::ZERO,
+        }
+    })
+}
+
+/// The lifted `distance` between two moving points, generic over the
+/// access path of **both** arguments — Sec 2's spatio-temporal join
+/// operation running directly on stored records when given views.
+pub fn distance_seq<SA, SB>(a: &SA, b: &SB) -> MovingReal
+where
+    SA: UnitSeq<Unit = UPoint>,
+    SB: UnitSeq<Unit = UPoint>,
+{
+    lift2(a, b, |iv, ua, ub| vec![ua.distance_ureal(ub, *iv)])
+}
 
 impl Mapping<UPoint> {
     /// Build a moving point from a sequence of `(instant, position)`
@@ -37,11 +69,7 @@ impl Mapping<UPoint> {
             assert!(t0 < t1, "sample instants must strictly increase");
             let last = k == samples.len() - 2;
             let iv = TimeInterval::new(t0, t1, true, last);
-            builder.push(UPoint::between(
-                TimeInterval::closed(t0, t1),
-                p0,
-                p1,
-            ).with_interval(iv));
+            builder.push(UPoint::between(TimeInterval::closed(t0, t1), p0, p1).with_interval(iv));
         }
         builder.finish()
     }
@@ -52,12 +80,7 @@ impl Mapping<UPoint> {
     /// `line` is an unstructured segment set this "can be done very
     /// efficiently" — no graph structure is computed.
     pub fn trajectory(&self) -> Line {
-        let segs: Vec<Seg> = self
-            .units()
-            .iter()
-            .filter_map(|u| u.projection().ok())
-            .collect();
-        Line::normalize(segs)
+        trajectory_seq(self)
     }
 
     /// The isolated points of the projection into the plane: positions
@@ -76,12 +99,7 @@ impl Mapping<UPoint> {
     /// Total distance actually travelled (∫ speed dt) — differs from
     /// `length(trajectory(...))` when the point retraces its path.
     pub fn distance_travelled(&self) -> Real {
-        self.units().iter().fold(Real::ZERO, |acc, u| {
-            acc + match u.projection() {
-                Ok(seg) => seg.length(),
-                Err(_) => Real::ZERO,
-            }
-        })
+        distance_travelled_seq(self)
     }
 
     /// Lifted `speed`: a moving real, constant per unit.
@@ -105,7 +123,7 @@ impl Mapping<UPoint> {
     /// spatio-temporal join operation): a moving real whose units are
     /// square roots of quadratics.
     pub fn distance(&self, other: &MovingPoint) -> MovingReal {
-        lift2(self, other, |iv, a, b| vec![a.distance_ureal(b, *iv)])
+        distance_seq(self, other)
     }
 
     /// The lifted distance to a fixed point.
@@ -130,9 +148,7 @@ impl Mapping<UPoint> {
             match u.passes_at(p) {
                 Coincidence::Never => {}
                 Coincidence::Always => units.push(*u),
-                Coincidence::At(t) => {
-                    units.push(u.with_interval(TimeInterval::point(t)))
-                }
+                Coincidence::At(t) => units.push(u.with_interval(TimeInterval::point(t))),
             }
         }
         Mapping::from_units(units).expect("restriction of a valid mapping")
@@ -149,11 +165,7 @@ impl Mapping<UPoint> {
         let Some(first) = span.iter().next().map(|iv| *iv.start()) else {
             return MovingBool::empty();
         };
-        let last = span
-            .iter()
-            .last()
-            .map(|iv| *iv.end())
-            .unwrap_or(first);
+        let last = span.iter().last().map(|iv| *iv.end()).unwrap_or(first);
         let ur = URegion::stationary(TimeInterval::closed(first, last), region)
             .expect("a valid static region yields a valid stationary uregion");
         let mr = Mapping::single(ur);
@@ -186,12 +198,8 @@ impl Mapping<UPoint> {
                 // Recompute the motion so positions are preserved:
                 // p'(t) = p(t - dt).
                 let m = u.motion();
-                let motion = crate::upoint::PointMotion::new(
-                    m.x0 - m.x1 * dt,
-                    m.x1,
-                    m.y0 - m.y1 * dt,
-                    m.y1,
-                );
+                let motion =
+                    crate::upoint::PointMotion::new(m.x0 - m.x1 * dt, m.x1, m.y0 - m.y1 * dt, m.y1);
                 UPoint::new(shifted, motion)
             })
             .collect();
@@ -274,7 +282,7 @@ mod tests {
             .at_instant(t(1.5))
             .unwrap()
             .approx_eq(r(std::f64::consts::FRAC_PI_2), 1e-12)); // north
-        // Stationary point has undefined direction.
+                                                                // Stationary point has undefined direction.
         let still = MovingPoint::from_samples(&[(t(0.0), pt(0.0, 0.0)), (t(1.0), pt(0.0, 0.0))]);
         assert!(still.direction().is_empty());
         assert_eq!(still.speed().at_instant(t(0.5)), Val::Def(r(0.0)));

@@ -234,9 +234,7 @@ impl Mapping<UReal> {
             }
             let (a, b, c, root) = u.coeffs();
             if !root {
-                let f = |x: f64| {
-                    a.get() * x * x * x / 3.0 + b.get() * x * x / 2.0 + c.get() * x
-                };
+                let f = |x: f64| a.get() * x * x * x / 3.0 + b.get() * x * x / 2.0 + c.get() * x;
                 total += Real::new(f(e) - f(s));
             } else {
                 // Composite Simpson with 64 panels per unit.
@@ -384,10 +382,7 @@ fn crossing_times(a: &UReal, b: &UReal) -> Vec<mob_base::Instant> {
     out
 }
 
-fn below_complement(
-    diff: &UReal,
-    iv: &TimeInterval,
-) -> impl Iterator<Item = (TimeInterval, bool)> {
+fn below_complement(diff: &UReal, iv: &TimeInterval) -> impl Iterator<Item = (TimeInterval, bool)> {
     let above: mob_base::Periods = diff.intervals_above(Real::ZERO).into_iter().collect();
     let whole = mob_base::Periods::single(*iv);
     whole

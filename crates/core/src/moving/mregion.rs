@@ -5,8 +5,8 @@
 
 use crate::lift::{lift1, lift2};
 use crate::mapping::Mapping;
+use crate::moving::{MovingBool, MovingPoint, MovingReal};
 use crate::unit::Unit;
-use crate::moving::{MovingBool, MovingPoint, MovingReal, MovingRegion};
 use crate::uregion::URegion;
 use mob_base::{Instant, Real, Val};
 use mob_spatial::Cube;
@@ -29,14 +29,21 @@ fn overlap_area(snapshot: &mob_spatial::Region, other: &mob_spatial::Region) -> 
 /// the `k` crossing sub-intervals, matching the paper's `O(n + m + S)`
 /// for bounded crossing counts. When the bounding cubes of the pairs are
 /// disjoint the per-pair work is `O(1)`, giving `O(n + m)`.
-pub fn inside(mp: &MovingPoint, mr: &MovingRegion) -> MovingBool {
+pub fn inside<SP, SR>(mp: &SP, mr: &SR) -> MovingBool
+where
+    SP: crate::seq::UnitSeq<Unit = crate::upoint::UPoint>,
+    SR: crate::seq::UnitSeq<Unit = URegion>,
+{
     lift2(mp, mr, |iv, up, ur| ur.inside_units(up, iv))
 }
 
 impl Mapping<URegion> {
     /// Lifted `inside` as a method (point first, matching the signature
     /// `inside: moving(point) × moving(region) → moving(bool)`).
-    pub fn contains_moving_point(&self, mp: &MovingPoint) -> MovingBool {
+    pub fn contains_moving_point<SP>(&self, mp: &SP) -> MovingBool
+    where
+        SP: crate::seq::UnitSeq<Unit = crate::upoint::UPoint>,
+    {
         inside(mp, self)
     }
 
@@ -58,10 +65,7 @@ impl Mapping<URegion> {
             return mob_base::Periods::empty();
         };
         let last = self.units().last().expect("non-empty");
-        let span = mob_base::Interval::closed(
-            *first.interval().start(),
-            *last.interval().end(),
-        );
+        let span = mob_base::Interval::closed(*first.interval().start(), *last.interval().end());
         let track = MovingPoint::single(crate::upoint::UPoint::new(
             span,
             crate::upoint::PointMotion::stationary(p),
@@ -84,8 +88,8 @@ impl Mapping<URegion> {
         for u in self.units() {
             for ti in u.interval().sample_instants(per_unit) {
                 let snap = u.at(ti);
-                acc = mob_spatial::setops::region_union(&acc, &snap)
-                    .unwrap_or_else(|_| acc.clone());
+                acc =
+                    mob_spatial::setops::region_union(&acc, &snap).unwrap_or_else(|_| acc.clone());
             }
         }
         acc
@@ -169,7 +173,7 @@ impl Mapping<URegion> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::moving::MovingPoint;
+    use crate::moving::{MovingPoint, MovingRegion};
     use mob_base::{r, t, Interval, TimeInterval};
     use mob_spatial::{pt, rect_ring};
 

@@ -387,21 +387,36 @@ mod tests {
         // through it: the sweep's endpoints hit the carrier at distinct
         // times; the actual incidences are the critical times.
         let base = MSeg::between(
-            t(0.0), pt(0.0, 0.0), pt(2.0, 0.0),
-            t(2.0), pt(0.0, 0.0), pt(2.0, 0.0),
-        ).unwrap();
+            t(0.0),
+            pt(0.0, 0.0),
+            pt(2.0, 0.0),
+            t(2.0),
+            pt(0.0, 0.0),
+            pt(2.0, 0.0),
+        )
+        .unwrap();
         let sweep = MSeg::between(
-            t(0.0), pt(0.5, 1.0), pt(1.5, 1.0),
-            t(2.0), pt(0.5, -1.0), pt(1.5, -1.0),
-        ).unwrap();
+            t(0.0),
+            pt(0.5, 1.0),
+            pt(1.5, 1.0),
+            t(2.0),
+            pt(0.5, -1.0),
+            pt(1.5, -1.0),
+        )
+        .unwrap();
         let iv = Interval::closed(t(0.0), t(2.0));
         let crit = critical_times(&base, &sweep, &iv);
         assert_eq!(crit, vec![t(1.0)]); // both endpoints cross at t=1
-        // Disjoint parallel segments: no critical times.
+                                        // Disjoint parallel segments: no critical times.
         let far = MSeg::between(
-            t(0.0), pt(0.0, 5.0), pt(2.0, 5.0),
-            t(2.0), pt(0.0, 5.0), pt(2.0, 5.0),
-        ).unwrap();
+            t(0.0),
+            pt(0.0, 5.0),
+            pt(2.0, 5.0),
+            t(2.0),
+            pt(0.0, 5.0),
+            pt(2.0, 5.0),
+        )
+        .unwrap();
         assert!(critical_times(&base, &far, &iv).is_empty());
         // Validation schedule: midpoints of [0,1] and [1,2] plus t=1.
         let sched = validation_instants(&[base, sweep], &iv);

@@ -5,8 +5,10 @@
 //! partition of the time axis on the way".
 
 use crate::mapping::Mapping;
+use crate::seq::UnitSeq;
 use crate::unit::Unit;
 use mob_base::{Instant, Interval, TimeInterval};
+use std::borrow::Cow;
 
 /// One part of the refinement partition, with the units (if any) of the
 /// two arguments valid on it.
@@ -48,7 +50,9 @@ pub fn refinement<'a, A: Unit, B: Unit>(
             // The unit must cover the whole elementary interval.
             u.interval().contains_interval(&iv)
         });
-        let b = mb.unit_at(probe).filter(|u| u.interval().contains_interval(&iv));
+        let b = mb
+            .unit_at(probe)
+            .filter(|u| u.interval().contains_interval(&iv));
         if a.is_some() || b.is_some() {
             out.push(RefinedSlice { interval: iv, a, b });
         }
@@ -80,17 +84,69 @@ pub fn refinement_both<'a, A: Unit, B: Unit>(
         if let Some(common) = ia.intersection(ib) {
             out.push((common, &ua[i], &ub[j]));
         }
-        // Advance whichever unit ends first.
-        let a_ends_first = match ia.end().cmp(ib.end()) {
-            std::cmp::Ordering::Less => true,
-            std::cmp::Ordering::Greater => false,
-            std::cmp::Ordering::Equal => {
-                // Same end: advance both (handled by advancing a then b
-                // next loop iteration via empty intersection).
-                !ia.right_closed() || ib.right_closed()
+        if advance_first(ia, ib) {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+/// `true` if the left unit (interval `ia`) should be advanced first in
+/// the two-pointer refinement walk — i.e. it ends before the right one.
+fn advance_first(ia: &TimeInterval, ib: &TimeInterval) -> bool {
+    match ia.end().cmp(ib.end()) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Greater => false,
+        std::cmp::Ordering::Equal => {
+            // Same end: advance both (handled by advancing a then b
+            // next loop iteration via empty intersection).
+            !ia.right_closed() || ib.right_closed()
+        }
+    }
+}
+
+/// One refinement part where both sequences are defined: the common
+/// subinterval plus the two (possibly lazily decoded) units covering it.
+pub type RefinedPart<'a, SA, SB> = (
+    TimeInterval,
+    Cow<'a, <SA as UnitSeq>::Unit>,
+    Cow<'a, <SB as UnitSeq>::Unit>,
+);
+
+/// [`refinement_both`] generalized over the access path: the refinement
+/// parts where both arguments are defined, for any two [`UnitSeq`]s
+/// (in-memory mappings, storage-backed views, or a mix).
+///
+/// Units are yielded as [`Cow`]s: borrowed from in-memory mappings, and
+/// decoded **at most once per unit** from storage-backed sequences (the
+/// walk reads only interval headers until an actual overlap is found).
+pub fn refinement_both_seq<'a, SA: UnitSeq, SB: UnitSeq>(
+    sa: &'a SA,
+    sb: &'a SB,
+) -> Vec<RefinedPart<'a, SA, SB>> {
+    let (n, m) = (sa.len(), sb.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    // Per-index decode caches so a unit overlapping several units of the
+    // other argument is decoded once, not once per part.
+    let mut cache_a: Option<(usize, Cow<'a, SA::Unit>)> = None;
+    let mut cache_b: Option<(usize, Cow<'a, SB::Unit>)> = None;
+    let mut out = Vec::new();
+    while i < n && j < m {
+        let (ia, ib) = (sa.interval(i), sb.interval(j));
+        if let Some(common) = ia.intersection(&ib) {
+            if cache_a.as_ref().map(|(k, _)| *k) != Some(i) {
+                cache_a = Some((i, sa.unit(i)));
             }
-        };
-        if a_ends_first {
+            if cache_b.as_ref().map(|(k, _)| *k) != Some(j) {
+                cache_b = Some((j, sb.unit(j)));
+            }
+            let ua = cache_a.as_ref().expect("cached").1.clone();
+            let ub = cache_b.as_ref().expect("cached").1.clone();
+            out.push((common, ua, ub));
+        }
+        if advance_first(&ia, &ib) {
             i += 1;
         } else {
             j += 1;
@@ -114,8 +170,11 @@ mod tests {
         // Figure 8 (schematically): left mapping has two intervals, right
         // mapping has two intervals offset against them; the refinement
         // partition has one part per elementary overlap.
-        let a = Mapping::try_new(vec![cu(0.0, 2.0, true, true, 1), cu(3.0, 5.0, true, true, 2)])
-            .unwrap();
+        let a = Mapping::try_new(vec![
+            cu(0.0, 2.0, true, true, 1),
+            cu(3.0, 5.0, true, true, 2),
+        ])
+        .unwrap();
         let b = Mapping::try_new(vec![cu(1.0, 4.0, true, true, 10)]).unwrap();
         let parts = refinement(&a, &b);
         // Both defined on [1,2] and [3,4]; a alone on [0,1), b alone on
@@ -192,8 +251,11 @@ mod tests {
     #[test]
     fn refinement_preserves_values() {
         let a = Mapping::single(cu(0.0, 10.0, true, true, 42));
-        let b = Mapping::try_new(vec![cu(2.0, 3.0, true, true, 1), cu(5.0, 6.0, true, true, 2)])
-            .unwrap();
+        let b = Mapping::try_new(vec![
+            cu(2.0, 3.0, true, true, 1),
+            cu(5.0, 6.0, true, true, 2),
+        ])
+        .unwrap();
         for (iv, ua, ub) in refinement_both(&a, &b) {
             let probe = iv.interior_instant();
             assert_eq!(Val::Def(ua.at(probe)), a.at_instant(probe));

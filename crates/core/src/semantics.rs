@@ -22,7 +22,11 @@ pub fn sample_deftime<U: Unit>(m: &Mapping<U>, per_unit: usize) -> Vec<Instant> 
 
 /// Maximum absolute deviation between the mapping (as a moving real) and
 /// a reference real-valued function of time, over dense samples.
-pub fn max_abs_error<U>(m: &Mapping<U>, reference: impl Fn(Instant) -> Real, per_unit: usize) -> Real
+pub fn max_abs_error<U>(
+    m: &Mapping<U>,
+    reference: impl Fn(Instant) -> Real,
+    per_unit: usize,
+) -> Real
 where
     U: Unit<Value = Real>,
 {

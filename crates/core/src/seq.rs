@@ -1,0 +1,246 @@
+//! The **query-over-storage access layer**: [`UnitSeq`], an abstraction
+//! of "an ordered sequence of temporal units" that both the in-memory
+//! [`Mapping`] and the storage-backed `MappingView` (in `mob-storage`)
+//! implement.
+//!
+//! Section 5's algorithms only ever need four primitives from a sliced
+//! value: how many units there are, the time interval of the `i`-th unit,
+//! the `i`-th unit itself, and binary search for the unit covering an
+//! instant. Everything else — `atinstant`, `present`, `deftime`,
+//! `atperiods`, `initial`/`final`, and the lifted-operation skeletons in
+//! [`crate::lift`] — is derivable, and is implemented here **once** as
+//! default methods, generic over the access path:
+//!
+//! ```text
+//!                 ┌───────────────────────────────┐
+//!                 │   UnitSeq (this module)       │
+//!                 │  len / interval(i) / unit(i)  │
+//!                 │  ── derived: find_unit,       │
+//!                 │     at_instant, deftime,      │
+//!                 │     at_periods, initial, …    │
+//!                 └──────┬───────────────┬────────┘
+//!                        │               │
+//!            ┌───────────┴────┐   ┌──────┴──────────────────┐
+//!            │ Mapping<U>     │   │ MappingView (mob-storage)│
+//!            │ Vec<U> in RAM  │   │ lazy decode of unit     │
+//!            │                │   │ records from pages      │
+//!            └────────────────┘   └─────────────────────────┘
+//! ```
+//!
+//! The payoff: `atinstant` over a *serialized* mapping touches
+//! `O(log n)` unit records (one interval header per probe of the binary
+//! search plus one full unit decode) instead of deserializing all `n`
+//! units first.
+//!
+//! Units are returned as [`Cow`]: borrowed (free) from an in-memory
+//! mapping, owned (decoded on demand) from a storage view.
+
+use crate::mapping::Mapping;
+use crate::unit::Unit;
+use mob_base::{Instant, Intime, Periods, TimeInterval, Val};
+use std::borrow::Cow;
+
+/// An ordered sequence of temporal units — the access-path abstraction
+/// beneath the Section-5 algorithms.
+///
+/// Implementors provide the three *required* primitives; the temporal
+/// operations come for free as default methods. The contract mirrors the
+/// `mapping` invariants (Sec 3.2.4): intervals are sorted, pairwise
+/// disjoint, and adjacent units carry distinct values.
+pub trait UnitSeq {
+    /// The unit type of the sequence.
+    type Unit: Unit;
+
+    /// Number of units.
+    fn len(&self) -> usize;
+
+    /// The time interval of unit `i` (`i < len()`).
+    ///
+    /// This must be *cheap* relative to [`UnitSeq::unit`]: storage-backed
+    /// implementations read only the fixed-size interval header of the
+    /// unit record, which is what makes the derived binary search touch
+    /// `O(log n)` record headers rather than decode `O(log n)` full units.
+    fn interval(&self, i: usize) -> TimeInterval;
+
+    /// Unit `i` (`i < len()`): borrowed from memory or decoded from
+    /// storage on demand.
+    fn unit(&self, i: usize) -> Cow<'_, Self::Unit>;
+
+    /// `true` if defined nowhere.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Index of the unit whose interval contains `t`, by binary search
+    /// over the interval headers (`O(log n)` — the first step of
+    /// Algorithm `atinstant`, Sec 5.1).
+    ///
+    /// This is **the** unit-lookup of the workspace: `Mapping` and
+    /// `MappingView` both resolve instants through it.
+    fn find_unit(&self, t: Instant) -> Option<usize> {
+        // partition_point over i ∈ [0, len): "unit i starts at or before
+        // t" is monotone because intervals are sorted and disjoint.
+        let (mut lo, mut hi) = (0usize, self.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let iv = self.interval(mid);
+            let starts_not_after = *iv.start() < t || (*iv.start() == t && iv.left_closed());
+            if starts_not_after {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo == 0 {
+            return None;
+        }
+        let cand = lo - 1;
+        if self.interval(cand).contains(&t) {
+            Some(cand)
+        } else {
+            None
+        }
+    }
+
+    /// The `atinstant` operation: the value at `t`, or ⊥ if undefined.
+    /// Decodes at most **one** unit.
+    fn at_instant(&self, t: Instant) -> Val<<Self::Unit as Unit>::Value> {
+        self.find_unit(t).map(|i| self.unit(i).at(t)).into()
+    }
+
+    /// The `present` predicate for an instant: decodes **no** units, only
+    /// interval headers.
+    fn present_at(&self, t: Instant) -> bool {
+        self.find_unit(t).is_some()
+    }
+
+    /// The `deftime` operation: the time domain as a `range(instant)`.
+    /// Reads every interval header but decodes no units.
+    fn deftime(&self) -> Periods {
+        Periods::from_unmerged((0..self.len()).map(|i| self.interval(i)).collect())
+    }
+
+    /// The `atperiods` operation: restrict to a set of time intervals.
+    ///
+    /// Walks both sorted interval sequences with two pointers and decodes
+    /// a unit only when its interval actually intersects a period —
+    /// `O(n + p)` header reads, `O(output)` unit decodes.
+    fn at_periods(&self, periods: &Periods) -> Mapping<Self::Unit> {
+        let ivs: Vec<&TimeInterval> = periods.iter().collect();
+        let mut out = Vec::new();
+        let mut pi = 0usize;
+        for i in 0..self.len() {
+            let uiv = self.interval(i);
+            while pi < ivs.len() && ivs[pi].r_disjoint(&uiv) {
+                pi += 1;
+            }
+            let mut k = pi;
+            let mut decoded: Option<Cow<'_, Self::Unit>> = None;
+            while k < ivs.len() && !uiv.r_disjoint(ivs[k]) {
+                let u = decoded.get_or_insert_with(|| self.unit(i));
+                if let Some(clip) = u.restrict(ivs[k]) {
+                    out.push(clip);
+                }
+                k += 1;
+            }
+        }
+        Mapping::from_raw(out)
+    }
+
+    /// The `initial` operation: value and instant at the earliest defined
+    /// time; ⊥ when empty.
+    fn initial(&self) -> Val<Intime<<Self::Unit as Unit>::Value>> {
+        if self.is_empty() {
+            return Val::Undef;
+        }
+        let u = self.unit(0);
+        let t0 = *u.interval().start();
+        Val::Def(Intime::new(t0, u.at(t0)))
+    }
+
+    /// The `final` operation (named `final_value` — `final` is reserved).
+    fn final_value(&self) -> Val<Intime<<Self::Unit as Unit>::Value>> {
+        if self.is_empty() {
+            return Val::Undef;
+        }
+        let u = self.unit(self.len() - 1);
+        let t1 = *u.interval().end();
+        Val::Def(Intime::new(t1, u.at(t1)))
+    }
+
+    /// Materialize the whole sequence as an in-memory [`Mapping`] —
+    /// decodes all `n` units (the "load everything first" baseline the
+    /// lazy access path avoids).
+    fn materialize(&self) -> Mapping<Self::Unit> {
+        Mapping::from_raw((0..self.len()).map(|i| self.unit(i).into_owned()).collect())
+    }
+}
+
+/// The in-memory sliced representation is the canonical [`UnitSeq`]:
+/// units are borrowed straight out of the `Vec`.
+impl<U: Unit> UnitSeq for Mapping<U> {
+    type Unit = U;
+
+    fn len(&self) -> usize {
+        self.num_units()
+    }
+
+    fn interval(&self, i: usize) -> TimeInterval {
+        *self.units()[i].interval()
+    }
+
+    fn unit(&self, i: usize) -> Cow<'_, U> {
+        Cow::Borrowed(&self.units()[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uconst::ConstUnit;
+    use mob_base::{t, Interval};
+
+    fn cu(s: f64, e: f64, lc: bool, rc: bool, v: i64) -> ConstUnit<i64> {
+        ConstUnit::new(Interval::new(t(s), t(e), lc, rc), v)
+    }
+
+    fn simple() -> Mapping<ConstUnit<i64>> {
+        Mapping::try_new(vec![
+            cu(0.0, 1.0, true, true, 1),
+            cu(1.0, 2.0, false, false, 2),
+            cu(5.0, 6.0, true, true, 3),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn trait_and_inherent_agree() {
+        let m = simple();
+        for k in [-1.0, 0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 5.0, 5.5, 6.0, 9.0] {
+            let ti = t(k);
+            assert_eq!(UnitSeq::at_instant(&m, ti), m.at_instant(ti), "t={k}");
+            assert_eq!(UnitSeq::present_at(&m, ti), m.present_at(ti), "t={k}");
+            assert_eq!(UnitSeq::find_unit(&m, ti), m.unit_index_at(ti), "t={k}");
+        }
+        assert_eq!(UnitSeq::deftime(&m), m.deftime());
+        assert_eq!(UnitSeq::initial(&m), m.initial());
+        assert_eq!(UnitSeq::final_value(&m), m.final_value());
+    }
+
+    #[test]
+    fn at_periods_matches_atperiods() {
+        let m = simple();
+        let p = Periods::from_unmerged(vec![
+            Interval::closed(t(0.5), t(1.5)),
+            Interval::closed(t(5.5), t(9.0)),
+        ]);
+        assert_eq!(UnitSeq::at_periods(&m, &p), m.atperiods(&p));
+    }
+
+    #[test]
+    fn materialize_is_identity_for_mappings() {
+        let m = simple();
+        assert_eq!(m.materialize(), m);
+        assert!(Mapping::<ConstUnit<i64>>::empty().materialize().is_empty());
+    }
+}

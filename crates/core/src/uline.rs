@@ -30,8 +30,7 @@ impl ULine {
         // Exact check: no segment may degenerate inside the open interval
         // (the meet time of its end-point motions is closed form).
         for ms in &msegs {
-            if let crate::upoint::Coincidence::At(tc) =
-                ms.start_motion().meet_time(ms.end_motion())
+            if let crate::upoint::Coincidence::At(tc) = ms.start_motion().meet_time(ms.end_motion())
             {
                 if interval.contains_open(&tc) {
                     return Err(InvariantViolation::with_detail(
@@ -128,11 +127,7 @@ impl Unit for ULine {
     /// maximal ones (`merge-segs`) — exactly `ι_s`/`ι_e`; at interior
     /// instants the cleanup is a no-op by the validity invariant.
     fn at(&self, t: Instant) -> Line {
-        let segs: Vec<Seg> = self
-            .msegs
-            .iter()
-            .filter_map(|m| m.eval_seg(t))
-            .collect();
+        let segs: Vec<Seg> = self.msegs.iter().filter_map(|m| m.eval_seg(t)).collect();
         Line::normalize(segs)
     }
 
@@ -143,7 +138,12 @@ impl Unit for ULine {
 
 impl fmt::Debug for ULine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:?}↦{} moving segments", self.interval, self.msegs.len())
+        write!(
+            f,
+            "{:?}↦{} moving segments",
+            self.interval,
+            self.msegs.len()
+        )
     }
 }
 

@@ -106,9 +106,7 @@ impl PointMotion {
         match (tx, ty) {
             (LinSol::Always, LinSol::Always) => Coincidence::Always,
             (LinSol::Never, _) | (_, LinSol::Never) => Coincidence::Never,
-            (LinSol::At(t), LinSol::Always) | (LinSol::Always, LinSol::At(t)) => {
-                Coincidence::At(t)
-            }
+            (LinSol::At(t), LinSol::Always) | (LinSol::Always, LinSol::At(t)) => Coincidence::At(t),
             (LinSol::At(t1), LinSol::At(t2)) => {
                 if (t1 - t2).abs().get() <= 1e-12 {
                     Coincidence::At(t1)
@@ -306,7 +304,10 @@ mod tests {
         assert_eq!(u.at(t(1.0)), pt(1.0, 1.0));
         assert_eq!(u.start_point(), pt(0.0, 0.0));
         assert_eq!(u.end_point(), pt(2.0, 2.0));
-        assert_eq!(u.projection().unwrap(), Seg::new(pt(0.0, 0.0), pt(2.0, 2.0)));
+        assert_eq!(
+            u.projection().unwrap(),
+            Seg::new(pt(0.0, 0.0), pt(2.0, 2.0))
+        );
         // Stationary unit projects to a point.
         let s = UPoint::between(iv(0.0, 1.0), pt(5.0, 5.0), pt(5.0, 5.0));
         assert_eq!(s.projection(), Err(pt(5.0, 5.0)));

@@ -75,11 +75,7 @@ impl UPoints {
     pub fn bounding_cube(&self) -> Cube {
         let s = *self.interval.start();
         let e = *self.interval.end();
-        let rect = Rect::of_points(
-            self.motions
-                .iter()
-                .flat_map(|m| [m.at(s), m.at(e)]),
-        );
+        let rect = Rect::of_points(self.motions.iter().flat_map(|m| [m.at(s), m.at(e)]));
         Cube::new(rect, &self.interval)
     }
 }
@@ -111,7 +107,12 @@ impl Unit for UPoints {
 
 impl fmt::Debug for UPoints {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:?}↦{} moving points", self.interval, self.motions.len())
+        write!(
+            f,
+            "{:?}↦{} moving points",
+            self.interval,
+            self.motions.len()
+        )
     }
 }
 

@@ -235,10 +235,9 @@ impl UReal {
                 // Determine closedness: an end point belongs iff the
                 // function satisfies the predicate there AND the unit
                 // interval includes it.
-                let lc = pred(self.value_at(w[0]), v)
-                    && (w[0] != s || self.interval.left_closed());
-                let rc = pred(self.value_at(w[1]), v)
-                    && (w[1] != e || self.interval.right_closed());
+                let lc = pred(self.value_at(w[0]), v) && (w[0] != s || self.interval.left_closed());
+                let rc =
+                    pred(self.value_at(w[1]), v) && (w[1] != e || self.interval.right_closed());
                 if w[0] == w[1] {
                     if lc {
                         out.push(TimeInterval::point(w[0]));
@@ -301,7 +300,12 @@ impl UReal {
                 root: true,
             });
         }
-        Ok(UReal::quadratic(self.interval, self.a * k, self.b * k, self.c * k))
+        Ok(UReal::quadratic(
+            self.interval,
+            self.a * k,
+            self.b * k,
+            self.c * k,
+        ))
     }
 
     /// The square of the unit function — always representable
@@ -416,7 +420,10 @@ mod tests {
     #[test]
     fn times_at_value() {
         let u = UReal::quadratic(iv(0.0, 4.0), r(1.0), r(-4.0), r(5.0)); // (t-2)²+1
-        assert_eq!(u.times_at_value(r(2.0)), ValueTimes::At(vec![t(1.0), t(3.0)]));
+        assert_eq!(
+            u.times_at_value(r(2.0)),
+            ValueTimes::At(vec![t(1.0), t(3.0)])
+        );
         assert_eq!(u.times_at_value(r(1.0)), ValueTimes::At(vec![t(2.0)]));
         assert_eq!(u.times_at_value(r(0.5)), ValueTimes::Never);
         let c = UReal::constant(iv(0.0, 1.0), r(7.0));
@@ -429,7 +436,10 @@ mod tests {
         // Rooted with negative target.
         let s = UReal::try_new(iv(0.0, 2.0), r(1.0), r(-2.0), r(1.0), true).unwrap();
         assert_eq!(s.times_at_value(r(-1.0)), ValueTimes::Never);
-        assert_eq!(s.times_at_value(r(1.0)), ValueTimes::At(vec![t(0.0), t(2.0)]));
+        assert_eq!(
+            s.times_at_value(r(1.0)),
+            ValueTimes::At(vec![t(0.0), t(2.0)])
+        );
     }
 
     #[test]
@@ -455,10 +465,7 @@ mod tests {
     #[test]
     fn intervals_below_on_point_interval() {
         let u = UReal::constant(TimeInterval::point(t(1.0)), r(3.0));
-        assert_eq!(
-            u.intervals_below(r(4.0)),
-            vec![TimeInterval::point(t(1.0))]
-        );
+        assert_eq!(u.intervals_below(r(4.0)), vec![TimeInterval::point(t(1.0))]);
         assert!(u.intervals_below(r(2.0)).is_empty());
     }
 

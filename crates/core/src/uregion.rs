@@ -5,8 +5,8 @@
 //! fragments resolved by the even/odd rule, then `close()`).
 
 use crate::mseg::MSeg;
-use crate::unit::Unit;
 use crate::uconst::ConstUnit;
+use crate::unit::Unit;
 use crate::upoint::{PointMotion, UPoint};
 use crate::ureal::UReal;
 use mob_base::error::{InvariantViolation, Result};
@@ -116,8 +116,14 @@ impl MCycle {
         for i in 0..n {
             let p = &self.verts[i];
             let q = &self.verts[(i + 1) % n];
-            let (px, py) = (crate::mseg::Lin::new(p.x0, p.x1), crate::mseg::Lin::new(p.y0, p.y1));
-            let (qx, qy) = (crate::mseg::Lin::new(q.x0, q.x1), crate::mseg::Lin::new(q.y0, q.y1));
+            let (px, py) = (
+                crate::mseg::Lin::new(p.x0, p.x1),
+                crate::mseg::Lin::new(p.y0, p.y1),
+            );
+            let (qx, qy) = (
+                crate::mseg::Lin::new(q.x0, q.x1),
+                crate::mseg::Lin::new(q.y0, q.y1),
+            );
             let (a1, b1, c1) = px.mul(&qy);
             let (a2, b2, c2) = qx.mul(&py);
             a += a1 - a2;
@@ -236,11 +242,7 @@ impl URegion {
 
     /// The single-face, hole-free moving region interpolating between two
     /// snapshot rings.
-    pub fn interpolate(
-        interval: TimeInterval,
-        ring0: &Ring,
-        ring1: &Ring,
-    ) -> Result<URegion> {
+    pub fn interpolate(interval: TimeInterval, ring0: &Ring, ring1: &Ring) -> Result<URegion> {
         let cyc = MCycle::interpolate(*interval.start(), ring0, *interval.end(), ring1)?;
         URegion::try_new(interval, vec![MFace::simple(cyc)])
     }
@@ -636,9 +638,7 @@ mod tests {
         assert_eq!(area.value_at(t(1.0)), r(16.0));
         // Cross-check against the spatial evaluation.
         for k in [0.0, 0.25, 0.5, 0.75, 1.0] {
-            assert!(area
-                .value_at(t(k))
-                .approx_eq(u.at(t(k)).area(), 1e-9));
+            assert!(area.value_at(t(k)).approx_eq(u.at(t(k)).area(), 1e-9));
         }
     }
 

@@ -36,14 +36,8 @@ impl GridNetwork {
         let mut segs = Vec::with_capacity(2 * (n + 1));
         for k in 0..=n {
             let c = k as f64 * b;
-            segs.push(Seg::new(
-                Point::from_f64(0.0, c),
-                Point::from_f64(span, c),
-            ));
-            segs.push(Seg::new(
-                Point::from_f64(c, 0.0),
-                Point::from_f64(c, span),
-            ));
+            segs.push(Seg::new(Point::from_f64(0.0, c), Point::from_f64(span, c)));
+            segs.push(Seg::new(Point::from_f64(c, 0.0), Point::from_f64(c, span)));
         }
         Line::try_new(segs).expect("grid streets are valid")
     }

@@ -88,20 +88,10 @@ pub fn moving_storm(seed: u64, cfg: &StormConfig) -> MovingRegion {
         let t0 = cfg.start + k as f64 * cfg.unit_duration;
         let t1 = cfg.start + (k + 1) as f64 * cfg.unit_duration;
         let last = k == cfg.units - 1;
-        let iv = Interval::new(
-            Instant::from_f64(t0),
-            Instant::from_f64(t1),
-            true,
-            last,
-        );
+        let iv = Interval::new(Instant::from_f64(t0), Instant::from_f64(t1), true, last);
         let full = Interval::closed(Instant::from_f64(t0), Instant::from_f64(t1));
-        let cyc = MCycle::interpolate(
-            *full.start(),
-            &snapshot(k),
-            *full.end(),
-            &snapshot(k + 1),
-        )
-        .expect("matching vertex counts");
+        let cyc = MCycle::interpolate(*full.start(), &snapshot(k), *full.end(), &snapshot(k + 1))
+            .expect("matching vertex counts");
         units.push(
             URegion::try_new(iv, vec![MFace::simple(cyc)])
                 .expect("convex interpolation stays valid"),
@@ -124,7 +114,13 @@ pub fn storm_with_eye(seed: u64, cfg: &StormConfig) -> MovingRegion {
         let cy = cfg.center.1 + cfg.drift.1 * k as f64;
         // The eye is a fifth of the storm radius and drifts with it.
         let r = cfg.radius * cfg.growth.powi(k as i32) * 0.2;
-        convex_blob(seed ^ 0xEE, Point::from_f64(cx, cy), r, cfg.vertices.max(4) / 2, 0.1)
+        convex_blob(
+            seed ^ 0xEE,
+            Point::from_f64(cx, cy),
+            r,
+            cfg.vertices.max(4) / 2,
+            0.1,
+        )
     };
     let mut units = Vec::with_capacity(cfg.units);
     for k in 0..cfg.units {
@@ -180,9 +176,7 @@ pub fn storm_msegs(m: &MovingRegion) -> usize {
 /// A growing square as a single unit — the minimal deterministic moving
 /// region for micro-tests.
 pub fn growing_square_unit(t0: f64, t1: f64, side0: f64, side1: f64) -> URegion {
-    let ring = |s: f64| -> Ring {
-        mob_spatial::rect_ring(-s / 2.0, -s / 2.0, s / 2.0, s / 2.0)
-    };
+    let ring = |s: f64| -> Ring { mob_spatial::rect_ring(-s / 2.0, -s / 2.0, s / 2.0, s / 2.0) };
     URegion::interpolate(
         TimeInterval::closed(Instant::from_f64(t0), Instant::from_f64(t1)),
         &ring(side0),

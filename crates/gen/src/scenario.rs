@@ -43,8 +43,15 @@ pub fn plane_fleet(seed: u64, n: usize, units_per_flight: usize) -> Vec<Plane> {
             Plane {
                 airline: AIRLINES[k % AIRLINES.len()].to_string(),
                 id: format!("F{k:04}"),
-                flight: flight_mpoint(seed.wrapping_add(k as u64), from, to, t0, t1,
-                                      units_per_flight, 2.0),
+                flight: flight_mpoint(
+                    seed.wrapping_add(k as u64),
+                    from,
+                    to,
+                    t0,
+                    t1,
+                    units_per_flight,
+                    2.0,
+                ),
             }
         })
         .collect()
@@ -95,9 +102,7 @@ mod tests {
         ids.dedup();
         assert_eq!(ids.len(), 20);
         // All airlines used.
-        assert!(AIRLINES
-            .iter()
-            .all(|al| a.iter().any(|p| p.airline == *al)));
+        assert!(AIRLINES.iter().all(|al| a.iter().any(|p| p.airline == *al)));
     }
 
     #[test]

@@ -46,10 +46,7 @@ pub fn random_waypoint_mpoint(seed: u64, cfg: &TrajectoryConfig) -> MovingPoint 
     let mut samples = Vec::with_capacity(cfg.units + 1);
     let mut x = rng.gen_range(-cfg.extent..cfg.extent);
     let mut y = rng.gen_range(-cfg.extent..cfg.extent);
-    samples.push((
-        Instant::from_f64(cfg.start),
-        Point::from_f64(x, y),
-    ));
+    samples.push((Instant::from_f64(cfg.start), Point::from_f64(x, y)));
     for k in 1..=cfg.units {
         x += rng.gen_range(-cfg.max_step..cfg.max_step);
         y += rng.gen_range(-cfg.max_step..cfg.max_step);

@@ -40,14 +40,16 @@ pub use mob_storage as storage;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use mob_base::{r, t, Instant, Interval, Intime, Periods, RangeSet, Real, Text,
-                       TimeInterval, Val};
+    pub use mob_base::{
+        r, t, Instant, Interval, Intime, Periods, RangeSet, Real, Text, TimeInterval, Val,
+    };
     pub use mob_core::{
         lift1, lift2, ConstUnit, MCycle, MFace, MSeg, Mapping, MappingBuilder, MovingBool,
         MovingInt, MovingLine, MovingPoint, MovingPoints, MovingReal, MovingRegion, MovingString,
         PointMotion, ULine, UPoint, UPoints, UReal, URegion, Unit,
     };
     pub use mob_rel::{AttrType, AttrValue, Relation, Schema, Tuple};
-    pub use mob_spatial::{pt, rect_ring, seg, Cube, Face, Line, Point, Points, Rect, Region,
-                          Ring, Seg};
+    pub use mob_spatial::{
+        pt, rect_ring, seg, Cube, Face, Line, Point, Points, Rect, Region, Ring, Seg,
+    };
 }

@@ -6,7 +6,7 @@
 
 use crate::relation::{Relation, Tuple};
 use crate::schema::Schema;
-use crate::value::{AttrType, AttrValue};
+use crate::value::{AttrType, AttrValue, MPointRef};
 use mob_base::error::Result;
 use mob_base::{Real, Text, Val};
 use mob_storage::line_store::{
@@ -18,6 +18,7 @@ use mob_storage::mapping_store::{
 };
 use mob_storage::region_store::{load_region, save_region, StoredRegion};
 use mob_storage::{PageStore, TupleLayout};
+use std::rc::Rc;
 
 /// One stored attribute value: the persistent form of [`AttrValue`].
 ///
@@ -77,18 +78,17 @@ fn save_attr(v: &AttrValue, store: &mut PageStore) -> Result<StoredAttr> {
             StoredAttr::Str(x.as_ref().into_option().map(|t| t.as_str().to_string()))
         }
         AttrValue::Bool(x) => StoredAttr::Bool(x.as_ref().into_option().copied()),
-        AttrValue::Instant(x) => {
-            StoredAttr::Instant(x.as_ref().into_option().map(|i| i.as_f64()))
+        AttrValue::Instant(x) => StoredAttr::Instant(x.as_ref().into_option().map(|i| i.as_f64())),
+        AttrValue::Point(x) => {
+            StoredAttr::Point(x.as_ref().into_option().map(|p| (p.x.get(), p.y.get())))
         }
-        AttrValue::Point(x) => StoredAttr::Point(
-            x.as_ref()
-                .into_option()
-                .map(|p| (p.x.get(), p.y.get())),
-        ),
         AttrValue::Points(ps) => StoredAttr::Points(save_points(ps, store)),
         AttrValue::Line(l) => StoredAttr::Line(save_line(l, store)),
         AttrValue::Region(r) => StoredAttr::Region(save_region(r, store)),
         AttrValue::MPoint(m) => StoredAttr::MPoint(save_mpoint(m, store)),
+        // Re-saving a storage-backed reference copies its root record;
+        // the unit bytes are rewritten into the target store.
+        AttrValue::MPointRef(r) => StoredAttr::MPoint(save_mpoint(&r.materialize(), store)),
         AttrValue::MReal(m) => StoredAttr::MReal(save_mreal(m, store)),
         AttrValue::MBool(m) => StoredAttr::MBool(save_mbool(m, store)),
         AttrValue::MRegion(m) => StoredAttr::MRegion(save_mregion(m, store)),
@@ -160,6 +160,39 @@ pub fn load_relation(stored: &StoredRelation, store: &PageStore) -> Result<Relat
     Ok(rel)
 }
 
+impl Relation {
+    /// Open a stored relation for **query-in-place**: scalar and small
+    /// attributes are loaded eagerly (they live in the root record
+    /// anyway), but every `moving(point)` attribute becomes an
+    /// [`AttrValue::MPointRef`] — a handle that decodes unit records
+    /// lazily from the shared page store when a query probes it. This is
+    /// the scan path of the query-over-storage design: opening the
+    /// relation costs **zero** page reads for the flight attributes, and
+    /// a single-instant query on a flight then costs `O(log n)` record
+    /// reads instead of materializing all `n` units.
+    pub fn from_store(stored: &StoredRelation, store: Rc<PageStore>) -> Result<Relation> {
+        let attrs: Vec<(&str, AttrType)> = stored
+            .schema
+            .iter()
+            .map(|(n, t)| (n.as_str(), *t))
+            .collect();
+        let mut rel = Relation::new(Schema::new(&attrs)?);
+        for t in &stored.tuples {
+            let mut values = Vec::with_capacity(t.attrs.len());
+            for a in &t.attrs {
+                values.push(match a {
+                    StoredAttr::MPoint(m) => {
+                        AttrValue::MPointRef(MPointRef::new(store.clone(), m.clone()))
+                    }
+                    other => load_attr(other, &store)?,
+                });
+            }
+            rel.insert(Tuple::new(values))?;
+        }
+        Ok(rel)
+    }
+}
+
 /// Account the physical layout of a stored tuple (how many bytes sit in
 /// the tuple itself vs. in external page chains).
 pub fn tuple_layout(t: &StoredTuple, store: &PageStore) -> TupleLayout {
@@ -184,9 +217,7 @@ pub fn tuple_layout(t: &StoredTuple, store: &PageStore) -> TupleLayout {
                 add(&r.cycles);
                 add(&r.faces);
             }
-            StoredAttr::MPoint(m) | StoredAttr::MReal(m) | StoredAttr::MBool(m) => {
-                add(&m.units)
-            }
+            StoredAttr::MPoint(m) | StoredAttr::MReal(m) | StoredAttr::MBool(m) => add(&m.units),
             StoredAttr::MRegion(m) => {
                 add(&m.units);
                 add(&m.msegments);
@@ -294,11 +325,8 @@ mod tests {
         let mp = MovingPoint::from_samples(&[(t(0.0), pt(0.0, 0.0)), (t(2.0), pt(2.0, 2.0))]);
         let region = Region::from_ring(rect_ring(0.0, 0.0, 4.0, 4.0));
         let mregion: MovingRegion = mob_core::Mapping::single(
-            mob_core::URegion::stationary(
-                mob_base::Interval::closed(t(0.0), t(2.0)),
-                &region,
-            )
-            .unwrap(),
+            mob_core::URegion::stationary(mob_base::Interval::closed(t(0.0), t(2.0)), &region)
+                .unwrap(),
         );
         let mreal: MovingReal = mp.speed();
         let mbool: MovingBool = mp.inside_region(&region);

@@ -15,8 +15,11 @@ pub mod relation;
 pub mod schema;
 pub mod value;
 
-pub use queries::{close_encounters, closest_approach, long_flights, planes_relation, planes_schema, storm_exposure};
 pub use catalog::{load_relation, save_relation, StoredRelation};
+pub use queries::{
+    close_encounters, closest_approach, closest_approach_seq, long_flights, planes_relation,
+    planes_schema, storm_exposure,
+};
 pub use relation::{Relation, Tuple};
 pub use schema::Schema;
-pub use value::{AttrType, AttrValue};
+pub use value::{AttrType, AttrValue, MPointRef, MPointSeq};

@@ -12,7 +12,7 @@ use crate::relation::{Relation, Tuple};
 use crate::schema::Schema;
 use crate::value::{AttrType, AttrValue};
 use mob_base::{Real, Val};
-use mob_core::MovingPoint;
+use mob_core::{distance_seq, trajectory_seq, MovingPoint, UPoint, UnitSeq};
 
 /// The `planes(airline: string, id: string, flight: mpoint)` schema.
 pub fn planes_schema() -> Schema {
@@ -41,6 +41,12 @@ pub fn planes_relation(rows: Vec<(String, String, MovingPoint)>) -> Relation {
 /// Query 1: "Give me all flights of `airline` longer than `min_length`"
 /// — `length(trajectory(flight)) > min_length`, a pure projection into
 /// space.
+///
+/// Backend-agnostic: `flight` may be an in-memory
+/// [`AttrValue::MPoint`] or a storage-backed
+/// [`AttrValue::MPointRef`](crate::value::MPointRef); the
+/// [`trajectory_seq`] operation runs over either through
+/// [`AttrValue::as_mpoint_seq`].
 pub fn long_flights(planes: &Relation, airline: &str, min_length: f64) -> Relation {
     let a = planes.attr("airline");
     let f = planes.attr("flight");
@@ -49,19 +55,29 @@ pub fn long_flights(planes: &Relation, airline: &str, min_length: f64) -> Relati
         .select(|t| {
             t.at(a).as_str() == Some(airline)
                 && t.at(f)
-                    .as_mpoint()
-                    .map(|m| m.trajectory().length() > min)
+                    .as_mpoint_seq()
+                    .map(|m| trajectory_seq(&m).length() > min)
                     .unwrap_or(false)
         })
         .project(&["airline", "id"])
         .expect("projection attributes exist")
 }
 
-/// The scalar distance of closest approach between two flights:
+/// The scalar distance of closest approach between two flights, generic
+/// over both access paths:
 /// `val(initial(atmin(distance(p, q))))`, ⊥ when the flights never
 /// coexist in time.
+pub fn closest_approach_seq<SA, SB>(p: &SA, q: &SB) -> Val<Real>
+where
+    SA: UnitSeq<Unit = UPoint>,
+    SB: UnitSeq<Unit = UPoint>,
+{
+    distance_seq(p, q).atmin().initial().map(|it| it.val())
+}
+
+/// [`closest_approach_seq`] specialized to in-memory moving points.
 pub fn closest_approach(p: &MovingPoint, q: &MovingPoint) -> Val<Real> {
-    p.distance(q).atmin().initial().map(|it| it.val())
+    closest_approach_seq(p, q)
 }
 
 /// Query 2: "Find all pairs of planes that during their flight came
@@ -76,10 +92,10 @@ pub fn close_encounters(planes: &Relation, threshold: f64) -> Relation {
             if p.at(id).as_str() >= q.at(id).as_str() {
                 return false;
             }
-            let (Some(fp), Some(fq)) = (p.at(f).as_mpoint(), q.at(f).as_mpoint()) else {
+            let (Some(fp), Some(fq)) = (p.at(f).as_mpoint_seq(), q.at(f).as_mpoint_seq()) else {
                 return false;
             };
-            match closest_approach(fp, fq) {
+            match closest_approach_seq(&fp, &fq) {
                 Val::Def(d) => d < thr,
                 Val::Undef => false,
             }
@@ -98,18 +114,19 @@ pub fn storm_exposure(planes: &Relation, storm: &mob_core::MovingRegion) -> Rela
         .extend("exposure", AttrType::Real, |t| {
             let dur = t
                 .at(f)
-                .as_mpoint()
-                .map(|m| {
-                    storm
-                        .contains_moving_point(m)
-                        .when_true()
-                        .total_duration()
-                })
+                .as_mpoint_seq()
+                .map(|m| storm.contains_moving_point(&m).when_true().total_duration())
                 .unwrap_or(Real::ZERO);
             AttrValue::Real(Val::Def(dur))
         })
         .expect("fresh attribute name")
-        .select(|t| t.values().last().and_then(|v| v.as_real()).unwrap_or(Real::ZERO) > Real::ZERO)
+        .select(|t| {
+            t.values()
+                .last()
+                .and_then(|v| v.as_real())
+                .unwrap_or(Real::ZERO)
+                > Real::ZERO
+        })
         .order_by(|t| {
             // Longest exposure first; Real is totally ordered.
             std::cmp::Reverse(

@@ -94,12 +94,7 @@ impl Relation {
     pub fn select(&self, pred: impl Fn(&Tuple) -> bool) -> Relation {
         Relation {
             schema: self.schema.clone(),
-            tuples: self
-                .tuples
-                .iter()
-                .filter(|t| pred(t))
-                .cloned()
-                .collect(),
+            tuples: self.tuples.iter().filter(|t| pred(t)).cloned().collect(),
         }
     }
 
@@ -273,7 +268,10 @@ mod tests {
         assert_eq!(doubled.len(), 6);
         assert_eq!(doubled.distinct().len(), 3);
         assert_eq!(rel.sum_real(|t| t.at(n).as_int().unwrap() as f64), 6.0);
-        assert_eq!(rel.max_real(|t| t.at(n).as_int().unwrap() as f64), Some(3.0));
+        assert_eq!(
+            rel.max_real(|t| t.at(n).as_int().unwrap() as f64),
+            Some(3.0)
+        );
         assert_eq!(Relation::new(rel.schema().clone()).max_real(|_| 0.0), None);
     }
 

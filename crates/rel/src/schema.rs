@@ -22,10 +22,7 @@ impl Schema {
             }
         }
         Ok(Schema {
-            attrs: attrs
-                .iter()
-                .map(|(n, t)| ((*n).to_string(), *t))
-                .collect(),
+            attrs: attrs.iter().map(|(n, t)| ((*n).to_string(), *t)).collect(),
         })
     }
 
@@ -46,10 +43,7 @@ impl Schema {
 
     /// The type of an attribute by name.
     pub fn type_of(&self, name: &str) -> Option<AttrType> {
-        self.attrs
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, t)| *t)
+        self.attrs.iter().find(|(n, _)| n == name).map(|(_, t)| *t)
     }
 
     /// Schema of the concatenation of two relations (for joins); clashing
@@ -58,12 +52,20 @@ impl Schema {
         let mut attrs = Vec::with_capacity(self.arity() + other.arity());
         for (n, t) in &self.attrs {
             let clash = other.attrs.iter().any(|(m, _)| m == n);
-            let name = if clash { format!("left.{n}") } else { n.clone() };
+            let name = if clash {
+                format!("left.{n}")
+            } else {
+                n.clone()
+            };
             attrs.push((name, *t));
         }
         for (n, t) in &other.attrs {
             let clash = self.attrs.iter().any(|(m, _)| m == n);
-            let name = if clash { format!("right.{n}") } else { n.clone() };
+            let name = if clash {
+                format!("right.{n}")
+            } else {
+                n.clone()
+            };
             attrs.push((name, *t));
         }
         Schema { attrs }

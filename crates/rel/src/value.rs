@@ -1,10 +1,107 @@
 //! Attribute values: the discrete data types embedded "as attribute
 //! types into object-relational or other data models" (Sec 1–2).
 
-use mob_base::{Instant, Real, Text, Val};
-use mob_core::{MovingBool, MovingPoint, MovingReal, MovingRegion};
+use mob_base::{Instant, Real, Text, TimeInterval, Val};
+use mob_core::{MovingBool, MovingPoint, MovingReal, MovingRegion, UPoint, UnitSeq};
 use mob_spatial::{Line, Point, Points, Region};
+use mob_storage::mapping_store::{load_mpoint, StoredMapping, UPointRecord};
+use mob_storage::{view_mpoint, MappingView, PageStore};
+use std::borrow::Cow;
 use std::fmt;
+use std::rc::Rc;
+
+/// A **storage-backed** `moving(point)` attribute: the root record
+/// ([`StoredMapping`]) of a serialized flight plus a shared handle to
+/// the page store holding its unit array. Queries access it through
+/// [`MPointSeq`] — unit records are decoded lazily, so `atinstant` costs
+/// `O(log n)` record reads instead of materializing all `n` units.
+#[derive(Clone)]
+pub struct MPointRef {
+    store: Rc<PageStore>,
+    stored: StoredMapping,
+}
+
+impl MPointRef {
+    /// Wrap a stored mapping living in `store`.
+    pub fn new(store: Rc<PageStore>, stored: StoredMapping) -> MPointRef {
+        MPointRef { store, stored }
+    }
+
+    /// A lazy [`UnitSeq`] view over the stored units (no page reads
+    /// until the view is probed).
+    pub fn view(&self) -> MappingView<'_, UPointRecord> {
+        view_mpoint(&self.stored, &self.store)
+    }
+
+    /// Materialize the full in-memory [`MovingPoint`] (reads the whole
+    /// unit array — the eager path the lazy view exists to avoid).
+    pub fn materialize(&self) -> MovingPoint {
+        load_mpoint(&self.stored, &self.store)
+    }
+
+    /// Number of stored units.
+    pub fn num_units(&self) -> usize {
+        self.stored.units.count
+    }
+
+    /// The page store this reference reads from.
+    pub fn store(&self) -> &Rc<PageStore> {
+        &self.store
+    }
+
+    /// The root record of the stored mapping.
+    pub fn stored(&self) -> &StoredMapping {
+        &self.stored
+    }
+}
+
+impl PartialEq for MPointRef {
+    fn eq(&self, other: &MPointRef) -> bool {
+        Rc::ptr_eq(&self.store, &other.store) && self.stored == other.stored
+    }
+}
+
+impl fmt::Debug for MPointRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mpoint_ref({} units)", self.num_units())
+    }
+}
+
+/// A backend-polymorphic `moving(point)` access path: either a borrowed
+/// in-memory [`MovingPoint`] or a lazy [`MappingView`] over serialized
+/// records. Implements [`UnitSeq`], so every Section-5 algorithm (and
+/// the Section-2 queries built on them) runs identically on both.
+pub enum MPointSeq<'a> {
+    /// Borrowed in-memory mapping.
+    Mem(&'a MovingPoint),
+    /// Lazy view over stored unit records.
+    Stored(MappingView<'a, UPointRecord>),
+}
+
+impl UnitSeq for MPointSeq<'_> {
+    type Unit = UPoint;
+
+    fn len(&self) -> usize {
+        match self {
+            MPointSeq::Mem(m) => UnitSeq::len(*m),
+            MPointSeq::Stored(v) => v.len(),
+        }
+    }
+
+    fn interval(&self, i: usize) -> TimeInterval {
+        match self {
+            MPointSeq::Mem(m) => UnitSeq::interval(*m, i),
+            MPointSeq::Stored(v) => v.interval(i),
+        }
+    }
+
+    fn unit(&self, i: usize) -> Cow<'_, UPoint> {
+        match self {
+            MPointSeq::Mem(m) => UnitSeq::unit(*m, i),
+            MPointSeq::Stored(v) => v.unit(i),
+        }
+    }
+}
 
 /// The attribute types available to relation schemas.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -58,8 +155,11 @@ pub enum AttrValue {
     Line(Line),
     /// `region` value.
     Region(Region),
-    /// `moving(point)` value.
+    /// `moving(point)` value, materialized in memory.
     MPoint(MovingPoint),
+    /// `moving(point)` value, resident in a page store and queried in
+    /// place (same schema type as [`AttrValue::MPoint`]).
+    MPointRef(MPointRef),
     /// `moving(real)` value.
     MReal(MovingReal),
     /// `moving(bool)` value.
@@ -82,6 +182,7 @@ impl AttrValue {
             AttrValue::Line(_) => AttrType::Line,
             AttrValue::Region(_) => AttrType::Region,
             AttrValue::MPoint(_) => AttrType::MPoint,
+            AttrValue::MPointRef(_) => AttrType::MPoint,
             AttrValue::MReal(_) => AttrType::MReal,
             AttrValue::MBool(_) => AttrType::MBool,
             AttrValue::MRegion(_) => AttrType::MRegion,
@@ -143,6 +244,26 @@ impl AttrValue {
         }
     }
 
+    /// A backend-agnostic [`UnitSeq`] over a `moving(point)` attribute —
+    /// borrowed from memory for [`AttrValue::MPoint`], a lazy storage
+    /// view for [`AttrValue::MPointRef`]. The uniform access path the
+    /// Section-2 queries use.
+    pub fn as_mpoint_seq(&self) -> Option<MPointSeq<'_>> {
+        match self {
+            AttrValue::MPoint(m) => Some(MPointSeq::Mem(m)),
+            AttrValue::MPointRef(r) => Some(MPointSeq::Stored(r.view())),
+            _ => None,
+        }
+    }
+
+    /// The storage-backed moving point, if that is the variant.
+    pub fn as_mpoint_ref(&self) -> Option<&MPointRef> {
+        match self {
+            AttrValue::MPointRef(r) => Some(r),
+            _ => None,
+        }
+    }
+
     /// The moving real, if that is the variant.
     pub fn as_mreal(&self) -> Option<&MovingReal> {
         match self {
@@ -189,6 +310,7 @@ impl fmt::Debug for AttrValue {
             AttrValue::Line(v) => write!(f, "line({} segs)", v.num_segments()),
             AttrValue::Region(v) => write!(f, "region({} faces)", v.num_faces()),
             AttrValue::MPoint(v) => write!(f, "mpoint({} units)", v.num_units()),
+            AttrValue::MPointRef(v) => write!(f, "{v:?}"),
             AttrValue::MReal(v) => write!(f, "mreal({} units)", v.num_units()),
             AttrValue::MBool(v) => write!(f, "mbool({} units)", v.num_units()),
             AttrValue::MRegion(v) => write!(f, "mregion({} units)", v.num_units()),
@@ -207,7 +329,9 @@ mod tests {
         assert_eq!(AttrValue::real(1.5).as_real(), Some(Real::new(1.5)));
         assert_eq!(AttrValue::int(3).as_int(), Some(3));
         assert_eq!(AttrValue::int(3).as_real(), None);
-        assert!(AttrValue::MPoint(MovingPoint::empty()).as_mpoint().is_some());
+        assert!(AttrValue::MPoint(MovingPoint::empty())
+            .as_mpoint()
+            .is_some());
         assert_eq!(
             AttrValue::MPoint(MovingPoint::empty()).attr_type(),
             AttrType::MPoint

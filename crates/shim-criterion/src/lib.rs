@@ -1,0 +1,320 @@
+//! Offline drop-in shim for the subset of the [`criterion`] benchmarking
+//! API this workspace's benches use.
+//!
+//! The build container has no registry access, so the real `criterion`
+//! crate cannot be vendored. This shim keeps the bench binaries compiling
+//! and producing *useful* numbers: each benchmark runs a short warmup, then
+//! a fixed number of timed batches, and reports the median per-iteration
+//! wall time. It performs no statistical analysis, no outlier detection and
+//! writes no HTML reports — it is a measurement harness, not Criterion.
+//!
+//! Supported surface: [`Criterion::default`], `measurement_time`,
+//! `sample_size`, `bench_function`, `benchmark_group`,
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId::new`],
+//! [`BenchmarkId::from_parameter`], [`Bencher::iter`], and both forms of
+//! [`criterion_group!`] plus [`criterion_main!`].
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier for a parameterised benchmark (shim of
+/// `criterion::BenchmarkId`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier that is just the parameter (group name supplies context).
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing harness passed to benchmark closures (shim of
+/// `criterion::Bencher`).
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<f64>,
+    sample_count: usize,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, collecting `sample_count` batched samples after a
+    /// short warmup. The routine's return value is passed through
+    /// [`black_box`] so the optimiser cannot delete the work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + batch sizing: grow the batch until one batch takes
+        // at least ~1ms (or 64 iters, whichever first hits the budget).
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            let nanos = start.elapsed().as_nanos() as f64;
+            self.samples.push(nanos / batch as f64);
+        }
+    }
+}
+
+fn report(id: &str, samples: &mut [f64]) {
+    if samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples[samples.len() / 2];
+    let lo = samples[0];
+    let hi = samples[samples.len() - 1];
+    println!(
+        "{id:<48} time: [{} {} {}]",
+        fmt_nanos(lo),
+        fmt_nanos(median),
+        fmt_nanos(hi)
+    );
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Top-level benchmark driver (shim of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Accepted for compatibility; the shim's sampling is fixed-count, so
+    /// the measurement-time budget is ignored.
+    pub fn measurement_time(self, _dur: Duration) -> Criterion {
+        self
+    }
+
+    /// Number of timed samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Accepted for compatibility; warmup is automatic in the shim.
+    pub fn warm_up_time(self, _dur: Duration) -> Criterion {
+        self
+    }
+
+    /// Run a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: &str,
+        mut f: F,
+    ) -> &mut Criterion {
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_count: self.sample_size,
+        };
+        f(&mut b);
+        report(id, &mut samples);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// No-op finaliser (the real Criterion prints a summary here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Group of related benchmarks (shim of
+/// `criterion::BenchmarkGroup<WallTime>`).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Accepted for compatibility; ignored by the shim.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; throughput is not reported by the shim.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_count: self.sample_size,
+        };
+        f(&mut b);
+        report(&full, &mut samples);
+        self
+    }
+
+    /// Run a parameterised benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            samples: &mut samples,
+            sample_count: self.sample_size,
+        };
+        f(&mut b, input);
+        report(&full, &mut samples);
+        self
+    }
+
+    /// Close the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Throughput hint (shim of `criterion::Throughput`); accepted but unused.
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Define a benchmark group runner (shim of `criterion::criterion_group!`).
+///
+/// Supports both the positional form
+/// `criterion_group!(benches, f1, f2)` and the config form
+/// `criterion_group!{name = benches; config = expr; targets = f1, f2}`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)*) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)*) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define the bench binary's `main` (shim of `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)*) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_bench_with_input_runs() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let n = 5u64;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

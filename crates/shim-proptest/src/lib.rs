@@ -1,0 +1,380 @@
+//! Offline drop-in shim for the subset of the [`proptest`] crate API used
+//! by this workspace's property tests.
+//!
+//! The build container has no registry access, so the real `proptest`
+//! cannot be vendored. This shim keeps the test *source* unchanged:
+//! [`Strategy`] with `prop_map`, tuple/range strategies, `any::<bool>()`,
+//! [`collection::vec`], the [`proptest!`] macro (including
+//! `#![proptest_config(...)]`) and the `prop_assert*` macros.
+//!
+//! Differences from the real crate: no shrinking (a failing case panics
+//! with the generated inputs still visible in the assertion message), and
+//! generation is a fixed deterministic stream per test body — every run
+//! explores the same cases, which makes failures reproducible by
+//! construction.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// The deterministic generator handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// A fresh deterministic stream (same for every run).
+    pub fn deterministic() -> TestRng {
+        TestRng(StdRng::seed_from_u64(0x5EED_CAFE_F00D_0001))
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        use rand::RngCore;
+        self.0.next_u64()
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.0.gen_range(0.0f64..1.0)
+    }
+}
+
+/// A value generator (shim of `proptest::strategy::Strategy`).
+///
+/// No shrinking: `generate` produces one value per case.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f` (shim of `Strategy::prop_map`).
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred`, retrying generation (shim of
+    /// `Strategy::prop_filter`; gives up after 1000 rejections).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        _whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, pred }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter: rejected 1000 consecutive candidates");
+    }
+}
+
+/// A strategy yielding one fixed value (shim of `proptest::strategy::Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "strategy range is empty");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "strategy range is empty");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// Types with a canonical whole-domain strategy (shim of
+/// `proptest::arbitrary::Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy.
+    type Strategy: Strategy<Value = Self>;
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy for a whole primitive domain.
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_any {
+    ($ty:ty, $gen:expr) => {
+        impl Arbitrary for $ty {
+            type Strategy = AnyStrategy<$ty>;
+            fn arbitrary() -> AnyStrategy<$ty> {
+                AnyStrategy(std::marker::PhantomData)
+            }
+        }
+        impl Strategy for AnyStrategy<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let f: fn(&mut TestRng) -> $ty = $gen;
+                f(rng)
+            }
+        }
+    };
+}
+
+impl_any!(bool, |rng| rng.next_u64() & 1 == 1);
+impl_any!(u8, |rng| rng.next_u64() as u8);
+impl_any!(u32, |rng| rng.next_u64() as u32);
+impl_any!(u64, |rng| rng.next_u64());
+impl_any!(i32, |rng| rng.next_u64() as i32);
+impl_any!(i64, |rng| rng.next_u64() as i64);
+impl_any!(usize, |rng| rng.next_u64() as usize);
+
+/// The canonical strategy for `T` (shim of `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Per-block configuration (shim of `proptest::test_runner::Config`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // The real crate defaults to 256; the shim trades a little
+        // coverage for tier-1 wall-clock.
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// Collection strategies (shim of `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `vec(strategy, min..max)` — a vector of `strategy` values (shim of
+    /// `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "vec strategy: empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything the tests import (shim of `proptest::prelude`).
+pub mod prelude {
+    pub use crate::{any, Arbitrary, Just, ProptestConfig, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Assert inside a property body (shim of `prop_assert!`; panics instead
+/// of returning a `TestCaseError`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skip the current case when an assumption fails (shim of
+/// `prop_assume!`; the shim simply moves on to the next case).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// The `proptest! { ... }` block macro: runs each contained `#[test]`
+/// function over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    // Internal expansion arm — must come first so the catch-all below
+    // cannot re-capture an `@with_config` invocation (infinite recursion).
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[allow(unused_mut)]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic();
+                // Build each strategy once; generate per case.
+                $(let $arg = $strat;)+
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&$arg, &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    // With a leading #![proptest_config(..)] attribute.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    // Without: use the default config.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_generate_in_domain() {
+        let mut rng = TestRng::deterministic();
+        let s = (0i32..10, -5i64..5, any::<bool>()).prop_map(|(a, b, c)| (a * 2, b, c));
+        for _ in 0..200 {
+            let (a, b, _c) = s.generate(&mut rng);
+            assert!((0..20).contains(&a) && a % 2 == 0);
+            assert!((-5..5).contains(&b));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_lengths() {
+        let mut rng = TestRng::deterministic();
+        let s = crate::collection::vec(0u64..3, 2..8);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..8).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 3));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro wires strategies to the body.
+        #[test]
+        fn macro_runs_cases(a in 0i32..100, b in 0i32..100) {
+            prop_assert!(a + b <= 198);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_used(x in 0u64..10) {
+            prop_assert!(x < 10);
+        }
+    }
+}

@@ -172,9 +172,7 @@ impl Cube {
     /// `true` if the two cubes share a point (closed semantics — the
     /// conservative test used by the `inside` fast path).
     pub fn intersects(&self, other: &Cube) -> bool {
-        self.rect.intersects(&other.rect)
-            && self.t_min <= other.t_max
-            && other.t_min <= self.t_max
+        self.rect.intersects(&other.rect) && self.t_min <= other.t_max && other.t_min <= self.t_max
     }
 
     /// The time span as a closed interval.

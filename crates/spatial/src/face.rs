@@ -98,8 +98,7 @@ impl Face {
 
     /// Strict interior membership.
     pub fn contains_point_strict(&self, p: Point) -> bool {
-        self.outer.contains_point_strict(p)
-            && !self.holes.iter().any(|h| h.contains_point(p))
+        self.outer.contains_point_strict(p) && !self.holes.iter().any(|h| h.contains_point(p))
     }
 
     /// Area of the face (outer area minus hole areas).
@@ -146,14 +145,8 @@ impl Face {
         if self.outer.edge_disjoint(&other.outer) {
             return true;
         }
-        other
-            .holes
-            .iter()
-            .any(|h| self.outer.edge_inside(&h.ccw()))
-            || self
-                .holes
-                .iter()
-                .any(|h| other.outer.edge_inside(&h.ccw()))
+        other.holes.iter().any(|h| self.outer.edge_inside(&h.ccw()))
+            || self.holes.iter().any(|h| other.outer.edge_inside(&h.ccw()))
     }
 }
 
@@ -175,9 +168,12 @@ mod tests {
 
     #[test]
     fn orientation_normalized() {
-        let f = Face::try_new(rect_ring(0.0, 0.0, 4.0, 4.0).cw(), vec![
-            rect_ring(1.0, 1.0, 2.0, 2.0), // given ccw
-        ])
+        let f = Face::try_new(
+            rect_ring(0.0, 0.0, 4.0, 4.0).cw(),
+            vec![
+                rect_ring(1.0, 1.0, 2.0, 2.0), // given ccw
+            ],
+        )
         .unwrap();
         assert!(f.outer().is_ccw());
         assert!(!f.holes()[0].is_ccw());

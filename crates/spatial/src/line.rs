@@ -77,14 +77,14 @@ impl Line {
     /// Total length of all segments — the paper's `length` operation
     /// (used by the query `length(trajectory(flight)) > 5000`).
     pub fn length(&self) -> Real {
-        self.segs
-            .iter()
-            .fold(Real::ZERO, |acc, s| acc + s.length())
+        self.segs.iter().fold(Real::ZERO, |acc, s| acc + s.length())
     }
 
     /// Bounding box.
     pub fn bbox(&self) -> Rect {
-        self.segs.iter().fold(Rect::EMPTY, |acc, s| acc.union(&s.bbox()))
+        self.segs
+            .iter()
+            .fold(Rect::EMPTY, |acc, s| acc.union(&s.bbox()))
     }
 
     /// The ordered halfsegment sequence (Sec 4.1 storage order).

@@ -178,7 +178,10 @@ mod tests {
 
     #[test]
     fn the_point_coercion() {
-        assert_eq!(Points::single(pt(1.0, 2.0)).the_point(), Val::Def(pt(1.0, 2.0)));
+        assert_eq!(
+            Points::single(pt(1.0, 2.0)).the_point(),
+            Val::Def(pt(1.0, 2.0))
+        );
         assert!(Points::empty().the_point().is_undef());
         assert!(Points::from_points(vec![pt(0.0, 0.0), pt(1.0, 0.0)])
             .the_point()

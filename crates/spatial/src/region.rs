@@ -82,7 +82,13 @@ impl Region {
         // the x-ranges keeps this near-linear for realistic inputs (the
         // predicates only run for pairs with overlapping boxes).
         let mut order: Vec<usize> = (0..segs.len()).collect();
-        order.sort_by(|&a, &b| segs[a].u().x.cmp(&segs[b].u().x).then(segs[a].cmp(&segs[b])));
+        order.sort_by(|&a, &b| {
+            segs[a]
+                .u()
+                .x
+                .cmp(&segs[b].u().x)
+                .then(segs[a].cmp(&segs[b]))
+        });
         let yr = |s: &Seg| (s.u().y.min(s.v().y), s.u().y.max(s.v().y));
         for (ii, &i) in order.iter().enumerate() {
             let s = &segs[i];
@@ -164,9 +170,7 @@ impl Region {
                 }
             }
             match best {
-                Some((idx, _)) => {
-                    face_holes[idx].push(Ring::from_walk_unchecked(h.points))
-                }
+                Some((idx, _)) => face_holes[idx].push(Ring::from_walk_unchecked(h.points)),
                 None => {
                     return Err(InvariantViolation::new(
                         "close: hole cycle without containing outer cycle",
@@ -320,7 +324,9 @@ impl Region {
 
 impl fmt::Debug for Region {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Region").field("faces", &self.faces).finish()
+        f.debug_struct("Region")
+            .field("faces", &self.faces)
+            .finish()
     }
 }
 

@@ -57,9 +57,7 @@ impl Ring {
                     return Err(InvariantViolation::new("cycle: segments must not touch"));
                 }
                 if s.overlaps(t) {
-                    return Err(InvariantViolation::new(
-                        "cycle: segments must not overlap",
-                    ));
+                    return Err(InvariantViolation::new("cycle: segments must not overlap"));
                 }
             }
         }
@@ -220,7 +218,9 @@ impl Ring {
     pub fn interior_point(&self) -> Point {
         let diag = {
             let b = self.bbox();
-            (b.width() * b.width() + b.height() * b.height()).get().sqrt()
+            (b.width() * b.width() + b.height() * b.height())
+                .get()
+                .sqrt()
         };
         let ccw = self.is_ccw();
         for scale in [1e-6, 1e-9, 1e-3] {
@@ -267,10 +267,7 @@ impl Ring {
         }
         // Touch configurations keep vertices on the boundary; crossing
         // through would put an edge midpoint outside.
-        if !own
-            .iter()
-            .all(|s| outer.contains_point(s.midpoint()))
-        {
+        if !own.iter().all(|s| outer.contains_point(s.midpoint())) {
             return false;
         }
         outer.contains_point_strict(self.interior_point())
@@ -364,13 +361,9 @@ mod tests {
         ])
         .is_err());
         // Self-intersecting (bow tie).
-        assert!(Ring::try_new(vec![
-            pt(0.0, 0.0),
-            pt(2.0, 2.0),
-            pt(2.0, 0.0),
-            pt(0.0, 2.0),
-        ])
-        .is_err());
+        assert!(
+            Ring::try_new(vec![pt(0.0, 0.0), pt(2.0, 2.0), pt(2.0, 0.0), pt(0.0, 2.0),]).is_err()
+        );
         // Valid triangle, with explicit closing point tolerated.
         let tri = Ring::try_new(vec![pt(0.0, 0.0), pt(2.0, 0.0), pt(1.0, 2.0), pt(0.0, 0.0)]);
         assert!(tri.is_ok());
@@ -447,8 +440,7 @@ mod tests {
         assert!(!overlapping.edge_inside(&outer));
         // A hole whose vertex touches the interior of an outer edge is
         // allowed (the paper's touch remark).
-        let vertex_touch =
-            Ring::try_new(vec![pt(5.0, 0.0), pt(7.0, 2.0), pt(3.0, 2.0)]).unwrap();
+        let vertex_touch = Ring::try_new(vec![pt(5.0, 0.0), pt(7.0, 2.0), pt(3.0, 2.0)]).unwrap();
         assert!(vertex_touch.edge_inside(&outer));
         // Crossing is not.
         let crossing = rect_ring(8.0, 8.0, 12.0, 12.0);

@@ -431,7 +431,10 @@ mod tests {
             seg(3.0, 0.0, 4.0, 0.0), // collinear, meets at (3,0)
             seg(0.0, 1.0, 1.0, 1.0), // separate line
         ]);
-        assert_eq!(merged, vec![seg(0.0, 0.0, 4.0, 0.0), seg(0.0, 1.0, 1.0, 1.0)]);
+        assert_eq!(
+            merged,
+            vec![seg(0.0, 0.0, 4.0, 0.0), seg(0.0, 1.0, 1.0, 1.0)]
+        );
     }
 
     #[test]

@@ -79,6 +79,38 @@ pub fn load_array<T: FixedRecord>(saved: &SavedArray, store: &PageStore) -> Vec<
     items
 }
 
+/// Read `byte_len` bytes of a saved array starting at `byte_off`,
+/// without loading the rest: sliced from the tuple for inline placement,
+/// read via [`PageStore::read_blob_range`] for external placement.
+pub fn read_array_bytes(
+    saved: &SavedArray,
+    store: &PageStore,
+    byte_off: usize,
+    byte_len: usize,
+) -> Vec<u8> {
+    match &saved.placement {
+        Placement::Inline(b) => b[byte_off..byte_off + byte_len].to_vec(),
+        Placement::External(id) => store.read_blob_range(*id, byte_off, byte_len),
+    }
+}
+
+/// Load only the records of a subrange `[start, end)` of a saved array —
+/// the lazy counterpart of [`load_array`] used by the storage-backed
+/// views: touches `O(sub.len())` records, not `O(count)`.
+pub fn read_subarray<T: FixedRecord>(
+    saved: &SavedArray,
+    store: &PageStore,
+    sub: SubArrayRef,
+) -> Vec<T> {
+    let bytes = read_array_bytes(
+        saved,
+        store,
+        sub.start as usize * T::SIZE,
+        sub.len() * T::SIZE,
+    );
+    read_all::<T>(&bytes)
+}
+
 /// A *subarray* (Sec 4.2): a reference to a subrange `[start, end)` of a
 /// shared database array — the mechanism by which all units of a
 /// `mapping` share the same arrays (Fig 7).

@@ -13,6 +13,10 @@
 //!   link structure (Sec 4.1);
 //! * [`mapping_store`] — the sliced-representation layouts (Sec 4.2–4.3,
 //!   Fig 7) for all eight moving types' storage shapes;
+//! * [`view`](mod@crate::view) — **query-over-storage**: lazy
+//!   [`view::MappingView`]s implementing `mob-core`'s `UnitSeq`, so
+//!   Section-5 algorithms run directly on serialized records with
+//!   `O(log n)` unit decodes per `atinstant`;
 //! * [`tuple`](mod@crate::tuple) — tuple layout accounting for the experiments.
 
 #![warn(missing_docs)]
@@ -25,8 +29,16 @@ pub mod range_store;
 pub mod record;
 pub mod region_store;
 pub mod tuple;
+pub mod view;
 
-pub use dbarray::{load_array, save_array, Placement, SavedArray, SubArrayRef, INLINE_THRESHOLD};
+pub use dbarray::{
+    load_array, read_array_bytes, read_subarray, save_array, Placement, SavedArray, SubArrayRef,
+    INLINE_THRESHOLD,
+};
 pub use page::{BlobId, PageStore, DEFAULT_PAGE_SIZE};
 pub use record::FixedRecord;
 pub use tuple::TupleLayout;
+pub use view::{
+    view_mbool, view_mline, view_mpoint, view_mpoints, view_mreal, view_mregion, MappingView,
+    UnitRecord,
+};

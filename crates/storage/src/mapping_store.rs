@@ -640,12 +640,7 @@ pub fn load_mregion(stored: &StoredMRegion, store: &PageStore) -> MovingRegion {
     let cycle_from = |rec: &MCycleRecord| -> MCycle {
         // Each consecutive mseg shares its start motion with the
         // previous end; the vertex list is the start motions in order.
-        let verts: Vec<PointMotion> = rec
-            .msegs
-            .slice(&msegments)
-            .iter()
-            .map(|ms| ms.s)
-            .collect();
+        let verts: Vec<PointMotion> = rec.msegs.slice(&msegments).iter().map(|ms| ms.s).collect();
         MCycle::try_new(verts).expect("stored mcycle is valid")
     };
     let units: Vec<URegion> = records
@@ -694,7 +689,12 @@ mod tests {
     #[test]
     fn mreal_roundtrip() {
         let m = Mapping::try_new(vec![
-            UReal::quadratic(Interval::closed_open(t(0.0), t(1.0)), r(1.0), r(2.0), r(3.0)),
+            UReal::quadratic(
+                Interval::closed_open(t(0.0), t(1.0)),
+                r(1.0),
+                r(2.0),
+                r(3.0),
+            ),
             UReal::try_new(iv(1.0, 2.0), r(0.0), r(0.0), r(4.0), true).unwrap(),
         ])
         .unwrap();
@@ -856,10 +856,7 @@ mod tests {
         let back = load_mline(&stored, &store);
         assert_eq!(back, ml);
         for k in [0.0, 0.5, 1.5, 2.0] {
-            assert_eq!(
-                back.at_instant(t(k)).unwrap(),
-                ml.at_instant(t(k)).unwrap()
-            );
+            assert_eq!(back.at_instant(t(k)).unwrap(), ml.at_instant(t(k)).unwrap());
         }
     }
 

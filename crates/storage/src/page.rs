@@ -57,10 +57,7 @@ impl PageStore {
         let pages: Vec<Vec<u8>> = if bytes.is_empty() {
             Vec::new()
         } else {
-            bytes
-                .chunks(self.page_size)
-                .map(|c| c.to_vec())
-                .collect()
+            bytes.chunks(self.page_size).map(|c| c.to_vec()).collect()
         };
         self.pages_written
             .set(self.pages_written.get() + pages.len() as u64);
@@ -79,6 +76,41 @@ impl PageStore {
         let mut out = Vec::with_capacity(blob.len);
         for p in &blob.pages {
             out.extend_from_slice(p);
+        }
+        out
+    }
+
+    /// Read `len` bytes of a blob starting at `offset`, touching (and
+    /// counting) **only the pages that overlap the range** — the page-I/O
+    /// primitive behind the lazy `MappingView` access path: a binary
+    /// search over unit records reads `O(log n)` pages, not the whole
+    /// blob.
+    pub fn read_blob_range(&self, id: BlobId, offset: usize, len: usize) -> Vec<u8> {
+        let blob = &self.blobs[id.0];
+        assert!(
+            offset + len <= blob.len,
+            "read_blob_range: range {offset}..{} out of bounds (blob len {})",
+            offset + len,
+            blob.len
+        );
+        if len == 0 {
+            return Vec::new();
+        }
+        let first = offset / self.page_size;
+        let last = (offset + len - 1) / self.page_size;
+        self.pages_read
+            .set(self.pages_read.get() + (last - first + 1) as u64);
+        let mut out = Vec::with_capacity(len);
+        for p in first..=last {
+            let page = &blob.pages[p];
+            let base = p * self.page_size;
+            let s = if p == first { offset - base } else { 0 };
+            let e = if p == last {
+                offset + len - base
+            } else {
+                page.len()
+            };
+            out.extend_from_slice(&page[s..e]);
         }
         out
     }
@@ -126,6 +158,29 @@ mod tests {
         assert_eq!(store.pages_read(), 3);
         store.reset_counters();
         assert_eq!(store.pages_written(), 0);
+        assert_eq!(store.pages_read(), 0);
+    }
+
+    #[test]
+    fn range_reads_touch_only_overlapping_pages() {
+        let mut store = PageStore::with_page_size(8);
+        let data: Vec<u8> = (0..32).collect();
+        let id = store.write_blob(&data);
+        store.reset_counters();
+        // Range inside one page.
+        assert_eq!(store.read_blob_range(id, 9, 4), vec![9, 10, 11, 12]);
+        assert_eq!(store.pages_read(), 1);
+        // Range spanning a page boundary.
+        store.reset_counters();
+        assert_eq!(store.read_blob_range(id, 6, 4), vec![6, 7, 8, 9]);
+        assert_eq!(store.pages_read(), 2);
+        // Whole blob.
+        store.reset_counters();
+        assert_eq!(store.read_blob_range(id, 0, 32), data);
+        assert_eq!(store.pages_read(), 4);
+        // Empty range is free.
+        store.reset_counters();
+        assert!(store.read_blob_range(id, 16, 0).is_empty());
         assert_eq!(store.pages_read(), 0);
     }
 

@@ -1,0 +1,448 @@
+//! **Query-over-storage**: lazy [`UnitSeq`] views over serialized
+//! mappings.
+//!
+//! [`MappingView`] implements `mob-core`'s [`UnitSeq`] directly on top of
+//! the Section-4 storage layout (root record + database arrays), so the
+//! Section-5 algorithms — `atinstant`, `present`, `deftime`, `atperiods`,
+//! and the lifted operations — run **in place** on stored values:
+//!
+//! * [`UnitSeq::interval`] reads only the 18-byte interval header at the
+//!   front of the `i`-th unit record ([`read_array_bytes`]), touching a
+//!   single page;
+//! * [`UnitSeq::unit`] decodes the one record (plus, for variable-size
+//!   units, exactly the subarray ranges it references);
+//! * consequently `atinstant` performs `O(log n)` header reads plus **one**
+//!   unit decode, instead of the `O(n)` full deserialization of the
+//!   `load_*` functions.
+//!
+//! Decode counters ([`MappingView::headers_read`],
+//! [`MappingView::units_decoded`]) make that claim testable, and the
+//! [`PageStore`] page counters make it measurable in page I/O.
+
+#![warn(missing_docs)]
+
+use crate::dbarray::{read_array_bytes, read_subarray, SavedArray};
+use crate::mapping_store::{
+    MCycleRecord, MFaceRecord, MSegRecord, StoredMLine, StoredMPoints, StoredMRegion,
+    StoredMapping, UBoolRecord, ULineRecord, UPointRecord, UPointsRecord, URealRecord,
+    URegionRecord,
+};
+use crate::page::PageStore;
+use crate::record::FixedRecord;
+use mob_base::{Real, TimeInterval};
+use mob_core::{
+    ConstUnit, MCycle, MFace, MSeg, PointMotion, ULine, UPoint, UPoints, UReal, URegion, Unit,
+    UnitSeq,
+};
+use std::borrow::Cow;
+use std::cell::Cell;
+
+/// A unit record type that can be decoded into a live unit, given access
+/// to the mapping's shared database arrays (Fig 7).
+///
+/// The `TimeInterval` must sit at byte offset 0 of the record — every
+/// record type in [`crate::mapping_store`] satisfies this, which is what
+/// lets [`MappingView`] read interval headers without decoding units.
+pub trait UnitRecord: FixedRecord {
+    /// The live unit type this record deserializes into.
+    type Unit: Unit;
+
+    /// Access to the shared arrays the record's subarray references point
+    /// into (`()` for fixed-size units without subarrays).
+    type Shared<'s>;
+
+    /// Decode the record into a live unit, reading only the subarray
+    /// ranges it references.
+    fn decode(&self, shared: &Self::Shared<'_>) -> Self::Unit;
+}
+
+impl UnitRecord for UBoolRecord {
+    type Unit = ConstUnit<bool>;
+    type Shared<'s> = ();
+
+    fn decode(&self, _shared: &()) -> ConstUnit<bool> {
+        ConstUnit::new(self.interval, self.value)
+    }
+}
+
+impl UnitRecord for URealRecord {
+    type Unit = UReal;
+    type Shared<'s> = ();
+
+    fn decode(&self, _shared: &()) -> UReal {
+        UReal::try_new(
+            self.interval,
+            Real::new(self.a),
+            Real::new(self.b),
+            Real::new(self.c),
+            self.r,
+        )
+        .expect("stored ureal is valid")
+    }
+}
+
+impl UnitRecord for UPointRecord {
+    type Unit = UPoint;
+    type Shared<'s> = ();
+
+    fn decode(&self, _shared: &()) -> UPoint {
+        UPoint::new(self.interval, self.motion)
+    }
+}
+
+/// Shared arrays of a stored `moving(points)`: the motions array.
+pub struct PointsShared<'s> {
+    store: &'s PageStore,
+    motions: &'s SavedArray,
+}
+
+impl UnitRecord for UPointsRecord {
+    type Unit = UPoints;
+    type Shared<'s> = PointsShared<'s>;
+
+    fn decode(&self, shared: &PointsShared<'_>) -> UPoints {
+        let motions: Vec<PointMotion> = read_subarray(shared.motions, shared.store, self.sub);
+        UPoints::try_new(self.interval, motions).expect("stored upoints is valid")
+    }
+}
+
+/// Shared arrays of a stored `moving(line)`: the msegments array.
+pub struct LineShared<'s> {
+    store: &'s PageStore,
+    msegments: &'s SavedArray,
+}
+
+impl UnitRecord for ULineRecord {
+    type Unit = ULine;
+    type Shared<'s> = LineShared<'s>;
+
+    fn decode(&self, shared: &LineShared<'_>) -> ULine {
+        let msegs: Vec<MSeg> =
+            read_subarray::<MSegRecord>(shared.msegments, shared.store, self.sub)
+                .iter()
+                .map(|rec| MSeg::try_new(rec.s, rec.e).expect("stored mseg is valid"))
+                .collect();
+        ULine::try_new(self.interval, msegs).expect("stored uline is valid")
+    }
+}
+
+/// Shared arrays of a stored `moving(region)`: the three-level
+/// `mfaces` → `mcycles` → `msegments` structure (Sec 4.2).
+pub struct RegionShared<'s> {
+    store: &'s PageStore,
+    msegments: &'s SavedArray,
+    mcycles: &'s SavedArray,
+    mfaces: &'s SavedArray,
+}
+
+impl UnitRecord for URegionRecord {
+    type Unit = URegion;
+    type Shared<'s> = RegionShared<'s>;
+
+    fn decode(&self, shared: &RegionShared<'_>) -> URegion {
+        let faces: Vec<MFace> =
+            read_subarray::<MFaceRecord>(shared.mfaces, shared.store, self.faces)
+                .iter()
+                .map(|fr| {
+                    let cycles: Vec<MCycleRecord> =
+                        read_subarray(shared.mcycles, shared.store, fr.cycles);
+                    let cycle_from = |rec: &MCycleRecord| -> MCycle {
+                        let verts: Vec<PointMotion> =
+                            read_subarray::<MSegRecord>(shared.msegments, shared.store, rec.msegs)
+                                .iter()
+                                .map(|ms| ms.s)
+                                .collect();
+                        MCycle::try_new(verts).expect("stored mcycle is valid")
+                    };
+                    let outer = cycle_from(&cycles[0]);
+                    let holes = cycles[1..].iter().map(cycle_from).collect();
+                    MFace::new(outer, holes)
+                })
+                .collect();
+        URegion::try_new(self.interval, faces).expect("stored uregion is valid")
+    }
+}
+
+/// A lazy [`UnitSeq`] over a serialized mapping: unit records are read
+/// and decoded **on demand**, straight out of the page store.
+///
+/// Construct with [`view_mbool`], [`view_mreal`], [`view_mpoint`],
+/// [`view_mpoints`], [`view_mline`] or [`view_mregion`].
+pub struct MappingView<'s, R: UnitRecord> {
+    store: &'s PageStore,
+    units: &'s SavedArray,
+    shared: R::Shared<'s>,
+    headers_read: Cell<u64>,
+    units_decoded: Cell<u64>,
+}
+
+impl<'s, R: UnitRecord> MappingView<'s, R> {
+    fn new(store: &'s PageStore, units: &'s SavedArray, shared: R::Shared<'s>) -> Self {
+        MappingView {
+            store,
+            units,
+            shared,
+            headers_read: Cell::new(0),
+            units_decoded: Cell::new(0),
+        }
+    }
+
+    /// Raw bytes `[i*SIZE + off, i*SIZE + off + len)` of the `i`-th unit
+    /// record.
+    fn record_bytes(&self, i: usize, len: usize) -> Vec<u8> {
+        read_array_bytes(self.units, self.store, i * R::SIZE, len)
+    }
+
+    /// The `i`-th unit record, fully read but not yet decoded into a
+    /// live unit.
+    pub fn record(&self, i: usize) -> R {
+        R::read(&self.record_bytes(i, R::SIZE))
+    }
+
+    /// Interval headers read since the last counter reset (each is one
+    /// 18-byte read — the probes of the binary search).
+    pub fn headers_read(&self) -> u64 {
+        self.headers_read.get()
+    }
+
+    /// Full unit records decoded since the last counter reset.
+    pub fn units_decoded(&self) -> u64 {
+        self.units_decoded.get()
+    }
+
+    /// Reset both decode counters.
+    pub fn reset_counters(&self) {
+        self.headers_read.set(0);
+        self.units_decoded.set(0);
+    }
+
+    /// The underlying page store (for its page-I/O counters).
+    pub fn store(&self) -> &'s PageStore {
+        self.store
+    }
+}
+
+impl<'s, R: UnitRecord> UnitSeq for MappingView<'s, R> {
+    type Unit = R::Unit;
+
+    fn len(&self) -> usize {
+        self.units.count
+    }
+
+    fn interval(&self, i: usize) -> TimeInterval {
+        self.headers_read.set(self.headers_read.get() + 1);
+        TimeInterval::read(&self.record_bytes(i, TimeInterval::SIZE))
+    }
+
+    fn unit(&self, i: usize) -> Cow<'_, R::Unit> {
+        self.units_decoded.set(self.units_decoded.get() + 1);
+        Cow::Owned(self.record(i).decode(&self.shared))
+    }
+}
+
+/// Lazy view over a stored `moving(bool)`.
+pub fn view_mbool<'s>(
+    stored: &'s StoredMapping,
+    store: &'s PageStore,
+) -> MappingView<'s, UBoolRecord> {
+    MappingView::new(store, &stored.units, ())
+}
+
+/// Lazy view over a stored `moving(real)`.
+pub fn view_mreal<'s>(
+    stored: &'s StoredMapping,
+    store: &'s PageStore,
+) -> MappingView<'s, URealRecord> {
+    MappingView::new(store, &stored.units, ())
+}
+
+/// Lazy view over a stored `moving(point)`.
+pub fn view_mpoint<'s>(
+    stored: &'s StoredMapping,
+    store: &'s PageStore,
+) -> MappingView<'s, UPointRecord> {
+    MappingView::new(store, &stored.units, ())
+}
+
+/// Lazy view over a stored `moving(points)` (one shared subarray).
+pub fn view_mpoints<'s>(
+    stored: &'s StoredMPoints,
+    store: &'s PageStore,
+) -> MappingView<'s, UPointsRecord> {
+    MappingView::new(
+        store,
+        &stored.units,
+        PointsShared {
+            store,
+            motions: &stored.motions,
+        },
+    )
+}
+
+/// Lazy view over a stored `moving(line)` (one shared subarray).
+pub fn view_mline<'s>(
+    stored: &'s StoredMLine,
+    store: &'s PageStore,
+) -> MappingView<'s, ULineRecord> {
+    MappingView::new(
+        store,
+        &stored.units,
+        LineShared {
+            store,
+            msegments: &stored.msegments,
+        },
+    )
+}
+
+/// Lazy view over a stored `moving(region)` (three shared subarrays).
+pub fn view_mregion<'s>(
+    stored: &'s StoredMRegion,
+    store: &'s PageStore,
+) -> MappingView<'s, URegionRecord> {
+    MappingView::new(
+        store,
+        &stored.units,
+        RegionShared {
+            store,
+            msegments: &stored.msegments,
+            mcycles: &stored.mcycles,
+            mfaces: &stored.mfaces,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping_store::{save_mbool, save_mpoint, save_mregion};
+    use mob_base::{t, Interval, Val};
+    use mob_core::{Mapping, MovingPoint, MovingRegion};
+    use mob_spatial::{pt, rect_ring};
+
+    fn long_mpoint(n: usize) -> MovingPoint {
+        let samples: Vec<_> = (0..=n)
+            .map(|k| (t(k as f64), pt(k as f64, (k % 7) as f64)))
+            .collect();
+        MovingPoint::from_samples(&samples)
+    }
+
+    #[test]
+    fn view_agrees_with_memory_mpoint() {
+        let m = long_mpoint(50);
+        let mut store = PageStore::new();
+        let stored = save_mpoint(&m, &mut store);
+        let view = view_mpoint(&stored, &store);
+        assert_eq!(view.len(), m.num_units());
+        for k in [-1.0, 0.0, 0.5, 17.25, 49.9, 50.0, 51.0] {
+            assert_eq!(view.at_instant(t(k)), m.at_instant(t(k)), "t={k}");
+            assert_eq!(view.present_at(t(k)), m.present_at(t(k)), "t={k}");
+        }
+        assert_eq!(view.deftime(), m.deftime());
+        assert_eq!(view.materialize(), m);
+    }
+
+    #[test]
+    fn at_instant_decodes_log_n_records() {
+        let n = 4096;
+        let m = long_mpoint(n);
+        let mut store = PageStore::new();
+        let stored = save_mpoint(&m, &mut store);
+        let view = view_mpoint(&stored, &store);
+        view.reset_counters();
+        let v = view.at_instant(t(1234.5));
+        assert!(v.is_def());
+        // Binary search: ≤ ⌈log2 n⌉ + 1 header probes, exactly 1 decode.
+        let bound = (n as f64).log2().ceil() as u64 + 2;
+        assert!(
+            view.headers_read() <= bound,
+            "headers_read {} > O(log n) bound {bound}",
+            view.headers_read()
+        );
+        assert_eq!(view.units_decoded(), 1);
+        // A miss decodes nothing.
+        view.reset_counters();
+        assert_eq!(view.at_instant(t(-5.0)), Val::Undef);
+        assert_eq!(view.units_decoded(), 0);
+    }
+
+    #[test]
+    fn at_instant_touches_few_pages() {
+        let n = 4096;
+        let m = long_mpoint(n);
+        let mut store = PageStore::new();
+        let stored = save_mpoint(&m, &mut store);
+        assert!(!stored.units.is_inline(), "large mapping goes external");
+        let view = view_mpoint(&stored, &store);
+        store.reset_counters();
+        let _ = view.at_instant(t(2000.25));
+        let full_pages = (n * UPointRecord::SIZE).div_ceil(crate::page::DEFAULT_PAGE_SIZE) as u64;
+        assert!(
+            store.pages_read() < full_pages / 2,
+            "lazy atinstant read {} pages, full scan would read {full_pages}",
+            store.pages_read()
+        );
+    }
+
+    #[test]
+    fn view_agrees_with_memory_mbool() {
+        let m = Mapping::try_new(vec![
+            ConstUnit::new(Interval::closed_open(t(0.0), t(1.0)), true),
+            ConstUnit::new(Interval::closed_open(t(1.0), t(2.0)), false),
+            ConstUnit::new(Interval::closed(t(3.0), t(4.0)), true),
+        ])
+        .unwrap();
+        let mut store = PageStore::new();
+        let stored = save_mbool(&m, &mut store);
+        let view = view_mbool(&stored, &store);
+        for k in [0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.5, 4.0, 9.0] {
+            assert_eq!(view.at_instant(t(k)), m.at_instant(t(k)), "t={k}");
+        }
+        assert_eq!(view.materialize(), m);
+    }
+
+    #[test]
+    fn view_agrees_with_memory_mregion() {
+        let u1 = URegion::interpolate(
+            Interval::closed_open(t(0.0), t(1.0)),
+            &rect_ring(0.0, 0.0, 1.0, 1.0),
+            &rect_ring(1.0, 0.0, 2.0, 1.0),
+        )
+        .unwrap();
+        let u2 = URegion::interpolate(
+            Interval::closed(t(1.0), t(2.0)),
+            &rect_ring(1.0, 0.0, 2.0, 1.0),
+            &rect_ring(1.0, 1.0, 2.0, 2.0),
+        )
+        .unwrap();
+        let m: MovingRegion = Mapping::try_new(vec![u1, u2]).unwrap();
+        let mut store = PageStore::new();
+        let stored = save_mregion(&m, &mut store);
+        let view = view_mregion(&stored, &store);
+        view.reset_counters();
+        for k in [0.0, 0.5, 1.0, 1.5, 2.0] {
+            let a = m.at_instant(t(k)).unwrap();
+            let b = view.at_instant(t(k)).unwrap();
+            assert_eq!(a.area(), b.area(), "t={k}");
+            assert_eq!(a.num_faces(), b.num_faces(), "t={k}");
+        }
+        // One decode per probe, no more.
+        assert_eq!(view.units_decoded(), 5);
+    }
+
+    #[test]
+    fn at_periods_on_view() {
+        let m = long_mpoint(100);
+        let mut store = PageStore::new();
+        let stored = save_mpoint(&m, &mut store);
+        let view = view_mpoint(&stored, &store);
+        let p = mob_base::Periods::from_unmerged(vec![
+            Interval::closed(t(10.5), t(12.5)),
+            Interval::closed(t(80.0), t(81.0)),
+        ]);
+        view.reset_counters();
+        let restricted = view.at_periods(&p);
+        assert_eq!(restricted, m.atperiods(&p));
+        // Only the overlapped units were decoded.
+        assert!(view.units_decoded() <= 6, "{}", view.units_decoded());
+    }
+}

@@ -24,7 +24,9 @@ fn main() {
         num_components(&streets)
     );
 
-    let patrols: Vec<MovingPoint> = (0..6).map(|k| city.random_drive(100 + k, 40, 1.0)).collect();
+    let patrols: Vec<MovingPoint> = (0..6)
+        .map(|k| city.random_drive(100 + k, 40, 1.0))
+        .collect();
 
     // -----------------------------------------------------------------
     // 2. A restricted zone in the city center: which patrols enter it,

@@ -29,7 +29,11 @@ fn main() {
     let q1 = long_flights(&planes, "Lufthansa", 1500.0);
     println!("\nQ1 — Lufthansa flights longer than 1500:");
     for t in q1.tuples() {
-        println!("  {} {}", t.at(0).as_str().unwrap(), t.at(1).as_str().unwrap());
+        println!(
+            "  {} {}",
+            t.at(0).as_str().unwrap(),
+            t.at(1).as_str().unwrap()
+        );
     }
     println!("  ({} rows)", q1.len());
 

@@ -69,5 +69,8 @@ fn main() {
     // Interval algebra on periods: when is the station in the storm
     // while the convoy is also in it?
     let both = hit.and(&caught);
-    println!("station and convoy simultaneously inside: {:?}", both.when_true());
+    println!(
+        "station and convoy simultaneously inside: {:?}",
+        both.when_true()
+    );
 }

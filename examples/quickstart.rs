@@ -25,7 +25,10 @@ fn main() {
     }
     println!("position at t=5   : {:?}", taxi.at_instant(t(5.0)));
     println!("position at t=25  : {:?}", taxi.at_instant(t(25.0)));
-    println!("position at t=99  : {:?} (outside deftime)", taxi.at_instant(t(99.0)));
+    println!(
+        "position at t=99  : {:?} (outside deftime)",
+        taxi.at_instant(t(99.0))
+    );
     println!("deftime           : {:?}", taxi.deftime());
 
     // Projection into the plane: the trajectory (a line value).

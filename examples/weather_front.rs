@@ -69,15 +69,17 @@ fn main() {
     // Cities east of the start: when does the front pass each one?
     // (The front is a line — a city is "reached" when the front's
     // bounding x-range sweeps past it at the city's latitude.)
-    for (name, city) in [("Ada", pt(30.0, 40.0)), ("Bex", pt(75.0, 90.0)), ("Cle", pt(300.0, 60.0))] {
-        let reached = (0..240)
-            .map(|k| t(k as f64 * 0.1))
-            .find(|ti| {
-                front
-                    .at_instant(*ti)
-                    .map(|snap| snap.bbox().min_x() >= city.x)
-                    .unwrap_or(false)
-            });
+    for (name, city) in [
+        ("Ada", pt(30.0, 40.0)),
+        ("Bex", pt(75.0, 90.0)),
+        ("Cle", pt(300.0, 60.0)),
+    ] {
+        let reached = (0..240).map(|k| t(k as f64 * 0.1)).find(|ti| {
+            front
+                .at_instant(*ti)
+                .map(|snap| snap.bbox().min_x() >= city.x)
+                .unwrap_or(false)
+        });
         match reached {
             Some(ti) => println!("  {name} at {city:?}: front passed by t={ti}"),
             None => println!("  {name} at {city:?}: not passed within the forecast"),

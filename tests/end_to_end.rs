@@ -5,9 +5,7 @@
 use mob::gen::{plane_fleet, storm, taxi_fleet};
 use mob::prelude::*;
 use mob::rel::{close_encounters, closest_approach, long_flights, planes_relation};
-use mob::storage::mapping_store::{
-    load_mpoint, load_mregion, save_mpoint, save_mregion,
-};
+use mob::storage::mapping_store::{load_mpoint, load_mregion, save_mpoint, save_mregion};
 use mob::storage::region_store::{load_region, save_region};
 use mob::storage::PageStore;
 
@@ -65,9 +63,11 @@ fn storm_tracking_pipeline() {
         // Spot-check against direct point-in-snapshot evaluation.
         for k in 0..20 {
             let ti = t(k as f64 * 0.5);
-            if let (Val::Def(flag), Val::Def(pos), Val::Def(reg)) =
-                (a.at_instant(ti), taxi.at_instant(ti), hurricane.at_instant(ti))
-            {
+            if let (Val::Def(flag), Val::Def(pos), Val::Def(reg)) = (
+                a.at_instant(ti),
+                taxi.at_instant(ti),
+                hurricane.at_instant(ti),
+            ) {
                 assert_eq!(
                     flag,
                     reg.contains_point(pos),

@@ -18,23 +18,35 @@ fn narrow_interior_violation_is_caught_exactly() {
     let iv = Interval::closed(t(0.0), t(1.0));
     // A stationary segment [0,1] on the x-axis.
     let fixed = MSeg::between(
-        t(0.0), pt(0.0, 0.0), pt(1.0, 0.0),
-        t(1.0), pt(0.0, 0.0), pt(1.0, 0.0),
+        t(0.0),
+        pt(0.0, 0.0),
+        pt(1.0, 0.0),
+        t(1.0),
+        pt(0.0, 0.0),
+        pt(1.0, 0.0),
     )
     .unwrap();
     // A fast collinear segment racing left: overlaps `fixed` only during
     // t ∈ (0.015, 0.035).
     let racer = MSeg::between(
-        t(0.0), pt(2.5, 0.0), pt(3.5, 0.0),
-        t(1.0), pt(-97.5, 0.0), pt(-96.5, 0.0),
+        t(0.0),
+        pt(2.5, 0.0),
+        pt(3.5, 0.0),
+        t(1.0),
+        pt(-97.5, 0.0),
+        pt(-96.5, 0.0),
     )
     .unwrap();
     let err = ULine::try_new(iv, vec![fixed, racer]);
     assert!(err.is_err(), "narrow collinear overlap must be rejected");
     // The same racer shifted upward never overlaps: accepted.
     let high = MSeg::between(
-        t(0.0), pt(2.5, 1.0), pt(3.5, 1.0),
-        t(1.0), pt(-97.5, 1.0), pt(-96.5, 1.0),
+        t(0.0),
+        pt(2.5, 1.0),
+        pt(3.5, 1.0),
+        t(1.0),
+        pt(-97.5, 1.0),
+        pt(-96.5, 1.0),
     )
     .unwrap();
     assert!(ULine::try_new(iv, vec![fixed, high]).is_ok());

@@ -96,7 +96,7 @@ fn figure3_region_structure() {
     assert!(!region.contains_point(pt(3.0, 5.0))); // hole
     assert!(region.contains_point(pt(5.0, 5.0))); // island
     assert!(region.contains_point(pt(15.0, 1.0))); // second face
-    // The same structure survives close() from its own segment soup.
+                                                   // The same structure survives close() from its own segment soup.
     let rebuilt = Region::close(region.segments()).unwrap();
     assert_eq!(rebuilt.num_faces(), 3);
     assert_eq!(rebuilt.num_cycles(), 4);

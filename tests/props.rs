@@ -17,16 +17,20 @@ fn instant_strategy() -> impl Strategy<Value = f64> {
 
 /// A random time interval.
 fn interval_strategy() -> impl Strategy<Value = TimeInterval> {
-    (instant_strategy(), instant_strategy(), any::<bool>(), any::<bool>()).prop_map(
-        |(a, b, lc, rc)| {
+    (
+        instant_strategy(),
+        instant_strategy(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(a, b, lc, rc)| {
             let (s, e) = if a <= b { (a, b) } else { (b, a) };
             if s == e {
                 TimeInterval::point(t(s))
             } else {
                 Interval::new(t(s), t(e), lc, rc)
             }
-        },
-    )
+        })
 }
 
 /// A random set of intervals, normalized into a range set.

@@ -1,0 +1,191 @@
+//! Query-over-storage: the in-memory `Mapping` and the storage-backed
+//! `MappingView` are two implementations of the same `UnitSeq` access
+//! layer, so every Section-5 algorithm — and every Section-2 query built
+//! on top — must produce **identical** results on both.
+//!
+//! * Property tests: `at_instant` agrees at random instants (including
+//!   ⊥ outside the deftime) for `moving(point)`, `moving(real)` and
+//!   `moving(region)`.
+//! * End-to-end: the Section-2 queries run over a relation opened with
+//!   `Relation::from_store` (flights left as lazy `MPointRef`s) and
+//!   over the fully materialized relation, with identical answers.
+
+use mob::core::UnitSeq;
+use mob::prelude::*;
+use mob::rel::{
+    close_encounters, load_relation, long_flights, planes_relation, save_relation, storm_exposure,
+};
+use mob::storage::mapping_store::{save_mpoint, save_mreal, save_mregion};
+use mob::storage::{view_mpoint, view_mreal, view_mregion, PageStore};
+use proptest::prelude::*;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+/// Probe instants on a quarter grid, deliberately overshooting the
+/// sample span on both sides so ⊥ cases are exercised.
+fn probe_strategy() -> impl Strategy<Value = f64> {
+    (-20i32..60).prop_map(|k| k as f64 / 4.0)
+}
+
+/// A random moving point from increasing integer samples over [0, n].
+fn mpoint_strategy() -> impl Strategy<Value = MovingPoint> {
+    proptest::collection::vec((-100i32..100, -100i32..100), 2..9).prop_map(|steps| {
+        let samples: Vec<(Instant, Point)> = steps
+            .iter()
+            .enumerate()
+            .map(|(k, (x, y))| (t(k as f64), pt(*x as f64, *y as f64)))
+            .collect();
+        MovingPoint::from_samples(&samples)
+    })
+}
+
+/// A random moving region: rectangles interpolated over unit intervals.
+fn mregion_strategy() -> impl Strategy<Value = MovingRegion> {
+    proptest::collection::vec((-20i32..20, -20i32..20, 1i32..10, 1i32..10), 2..6).prop_map(
+        |rects| {
+            let rings: Vec<Ring> = rects
+                .iter()
+                .map(|(x, y, w, h)| {
+                    rect_ring(*x as f64, *y as f64, (*x + *w) as f64, (*y + *h) as f64)
+                })
+                .collect();
+            let units: Vec<URegion> = rings
+                .windows(2)
+                .enumerate()
+                .map(|(k, w)| {
+                    let last = k == rings.len() - 2;
+                    let iv = Interval::new(t(k as f64), t(k as f64 + 1.0), true, last);
+                    URegion::interpolate(iv, &w[0], &w[1]).expect("rect morphs are valid")
+                })
+                .collect();
+            Mapping::try_new(units).expect("consecutive unit intervals are disjoint")
+        },
+    )
+}
+
+// ---------------------------------------------------------------------
+// Property tests: both backends agree
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn mpoint_at_instant_agrees(m in mpoint_strategy(), probes in proptest::collection::vec(probe_strategy(), 1..16)) {
+        let mut store = PageStore::new();
+        let stored = save_mpoint(&m, &mut store);
+        let view = view_mpoint(&stored, &store);
+        for p in probes {
+            let ti = t(p);
+            prop_assert_eq!(m.at_instant(ti), view.at_instant(ti));
+            prop_assert_eq!(m.present_at(ti), view.present_at(ti));
+        }
+        prop_assert_eq!(m.deftime(), view.deftime());
+    }
+
+    #[test]
+    fn mreal_at_instant_agrees(m in mpoint_strategy(), probes in proptest::collection::vec(probe_strategy(), 1..16)) {
+        // Derive a moving real (the speed) so units exercise the UReal record.
+        let speed: MovingReal = m.speed();
+        let mut store = PageStore::new();
+        let stored = save_mreal(&speed, &mut store);
+        let view = view_mreal(&stored, &store);
+        for p in probes {
+            let ti = t(p);
+            prop_assert_eq!(speed.at_instant(ti), view.at_instant(ti));
+        }
+        prop_assert_eq!(speed.deftime(), view.deftime());
+    }
+
+    #[test]
+    fn mregion_at_instant_agrees(m in mregion_strategy(), probes in proptest::collection::vec(probe_strategy(), 1..8)) {
+        let mut store = PageStore::new();
+        let stored = save_mregion(&m, &mut store);
+        let view = view_mregion(&stored, &store);
+        for p in probes {
+            let ti = t(p);
+            prop_assert_eq!(m.at_instant(ti), view.at_instant(ti));
+        }
+        prop_assert_eq!(m.deftime(), view.deftime());
+    }
+
+    #[test]
+    fn mpoint_at_periods_agrees(m in mpoint_strategy()) {
+        let mut store = PageStore::new();
+        let stored = save_mpoint(&m, &mut store);
+        let view = view_mpoint(&stored, &store);
+        let periods = Periods::from_unmerged(vec![
+            Interval::closed(t(0.5), t(2.25)),
+            Interval::closed_open(t(4.0), t(5.5)),
+        ]);
+        prop_assert_eq!(m.atperiods(&periods), view.at_periods(&periods));
+        prop_assert_eq!(UnitSeq::materialize(&view), m);
+    }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: Section-2 queries on both backends
+// ---------------------------------------------------------------------
+
+fn fleet() -> Relation {
+    planes_relation(
+        mob::gen::plane_fleet(0xA11CE, 12, 24)
+            .into_iter()
+            .map(|p| (p.airline, p.id, p.flight))
+            .collect(),
+    )
+}
+
+#[test]
+fn section2_queries_identical_on_both_backends() {
+    let mem = fleet();
+    let mut store = PageStore::new();
+    let stored = save_relation(&mem, &mut store).expect("fleet serializes");
+    let store = Rc::new(store);
+
+    // Opening the stored relation for query-in-place reads zero pages:
+    // flights stay as lazy MPointRef handles.
+    store.reset_counters();
+    let lazy = Relation::from_store(&stored, store.clone()).expect("opens");
+    assert_eq!(
+        store.pages_read(),
+        0,
+        "from_store must not touch flight pages"
+    );
+    assert!(lazy.tuples()[0].at(2).as_mpoint_ref().is_some());
+
+    // The fully materialized path (the old behaviour).
+    let eager = load_relation(&stored, &store).expect("loads");
+
+    // Query 1: long flights.
+    let q1_mem = long_flights(&mem, "Lufthansa", 1500.0);
+    let q1_eager = long_flights(&eager, "Lufthansa", 1500.0);
+    let q1_lazy = long_flights(&lazy, "Lufthansa", 1500.0);
+    assert_eq!(q1_mem, q1_eager);
+    assert_eq!(q1_mem, q1_lazy);
+
+    // Query 2: close encounters (the spatio-temporal join).
+    let q2_mem = close_encounters(&mem, 40.0);
+    let q2_lazy = close_encounters(&lazy, 40.0);
+    assert_eq!(q2_mem, q2_lazy);
+
+    // Query 3: storm exposure (lifted inside against a moving region).
+    let storm = mob::gen::storm(0x5702, 6, 10);
+    let q3_mem = storm_exposure(&mem, &storm);
+    let q3_lazy = storm_exposure(&lazy, &storm);
+    assert_eq!(q3_mem, q3_lazy);
+}
+
+#[test]
+fn closest_approach_seq_mixes_backends() {
+    // One in-memory flight against one storage-backed flight.
+    let a = MovingPoint::from_samples(&[(t(0.0), pt(0.0, 0.0)), (t(2.0), pt(2.0, 0.0))]);
+    let b = MovingPoint::from_samples(&[(t(0.0), pt(2.0, 0.0)), (t(2.0), pt(0.0, 0.0))]);
+    let mut store = PageStore::new();
+    let stored = save_mpoint(&b, &mut store);
+    let view = view_mpoint(&stored, &store);
+    let mixed = mob::rel::closest_approach_seq(&a, &view);
+    assert_eq!(mixed, mob::rel::closest_approach(&a, &b));
+    assert_eq!(mixed, Val::Def(r(0.0)));
+}

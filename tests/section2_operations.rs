@@ -72,11 +72,7 @@ fn op_initial() {
 /// val: intime(real) → real
 #[test]
 fn op_val() {
-    let it: Intime<Real> = flight_a()
-        .distance(&flight_b())
-        .atmin()
-        .initial()
-        .unwrap();
+    let it: Intime<Real> = flight_a().distance(&flight_b()).atmin().initial().unwrap();
     let result: Real = it.val();
     assert_eq!(result, r(5.0));
 }
@@ -118,9 +114,8 @@ fn op_lifting_family() {
     assert_eq!(mb.at_instant(t(3.0)), Val::Def(true));
     assert_eq!(mb.at_instant(t(9.0)), Val::Def(false));
     // moving(point) × moving(region) → moving(bool)
-    let mzone: MovingRegion = Mapping::single(
-        URegion::stationary(Interval::closed(t(0.0), t(10.0)), &zone).unwrap(),
-    );
+    let mzone: MovingRegion =
+        Mapping::single(URegion::stationary(Interval::closed(t(0.0), t(10.0)), &zone).unwrap());
     let mb2: MovingBool = mzone.contains_moving_point(&flight_a());
     assert_eq!(mb.when_true(), mb2.when_true());
 }
