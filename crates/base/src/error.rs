@@ -60,6 +60,134 @@ impl std::error::Error for InvariantViolation {}
 /// Convenience result alias used by all `try_new` constructors.
 pub type Result<T> = std::result::Result<T, InvariantViolation>;
 
+/// An error decoding a serialized representation back into a value.
+///
+/// Decode paths treat their input as *untrusted*: every length, index
+/// and invariant is checked, and corruption surfaces as a `DecodeError`
+/// instead of a panic. The variants distinguish layout-level damage
+/// (truncation, ragged buffers, out-of-range indices) from value-level
+/// damage (a Section-3 carrier-set invariant no longer holds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer is shorter than the record(s) it is supposed to hold.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+        /// Bytes required.
+        need: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// A buffer length is not a multiple of the fixed record size.
+    Ragged {
+        /// What was being decoded.
+        what: &'static str,
+        /// Buffer length in bytes.
+        len: usize,
+        /// The fixed record size.
+        record_size: usize,
+    },
+    /// A stored element count disagrees with the data that is present.
+    CountMismatch {
+        /// What was being decoded.
+        what: &'static str,
+        /// Count claimed by the root record.
+        expected: usize,
+        /// Count implied by the stored bytes.
+        found: usize,
+    },
+    /// An array index or subarray reference points outside its array.
+    OutOfBounds {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending index (or one-past-end offset).
+        index: usize,
+        /// The exclusive bound it had to stay under (or equal to).
+        bound: usize,
+    },
+    /// An unknown tag byte in a serialized enum position.
+    BadTag {
+        /// What was being decoded.
+        what: &'static str,
+        /// The tag value found.
+        tag: u32,
+    },
+    /// A link structure (e.g. cycle chains) does not terminate or does
+    /// not partition its array.
+    BadStructure {
+        /// What was being decoded.
+        what: &'static str,
+        /// Human-readable description of the structural damage.
+        detail: String,
+    },
+    /// The bytes decoded, but the resulting value violates a Section-3
+    /// carrier-set invariant.
+    Invariant(InvariantViolation),
+    /// An I/O error while reading a store file (message only, so the
+    /// error stays `Clone`/`PartialEq`).
+    Io(String),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { what, need, have } => {
+                write!(
+                    f,
+                    "decode {what}: truncated (need {need} bytes, have {have})"
+                )
+            }
+            DecodeError::Ragged {
+                what,
+                len,
+                record_size,
+            } => write!(
+                f,
+                "decode {what}: buffer length {len} is not a multiple of record size {record_size}"
+            ),
+            DecodeError::CountMismatch {
+                what,
+                expected,
+                found,
+            } => write!(
+                f,
+                "decode {what}: stored count {expected} but found {found} records"
+            ),
+            DecodeError::OutOfBounds { what, index, bound } => {
+                write!(
+                    f,
+                    "decode {what}: index {index} out of bounds (limit {bound})"
+                )
+            }
+            DecodeError::BadTag { what, tag } => {
+                write!(f, "decode {what}: unknown tag {tag}")
+            }
+            DecodeError::BadStructure { what, detail } => {
+                write!(f, "decode {what}: bad structure: {detail}")
+            }
+            DecodeError::Invariant(iv) => write!(f, "decode: {iv}"),
+            DecodeError::Io(msg) => write!(f, "decode: i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<InvariantViolation> for DecodeError {
+    fn from(iv: InvariantViolation) -> DecodeError {
+        DecodeError::Invariant(iv)
+    }
+}
+
+impl From<std::io::Error> for DecodeError {
+    fn from(e: std::io::Error) -> DecodeError {
+        DecodeError::Io(e.to_string())
+    }
+}
+
+/// Result alias for decode paths.
+pub type DecodeResult<T> = std::result::Result<T, DecodeError>;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -29,6 +29,15 @@ impl Instant {
         Instant(Real::new(v))
     }
 
+    /// Fallible construction from a raw `f64`.
+    ///
+    /// Returns an error on NaN instead of panicking — the entry point for
+    /// decode paths reading untrusted bytes.
+    #[inline]
+    pub fn try_from_f64(v: f64) -> crate::error::Result<Instant> {
+        Real::try_new(v).map(Instant)
+    }
+
     /// The underlying real value.
     #[inline]
     pub fn value(self) -> Real {

@@ -10,6 +10,7 @@ use crate::domain::{has_element_between, Domain};
 use crate::error::{InvariantViolation, Result};
 use crate::instant::Instant;
 use crate::real::Real;
+use crate::validate::Validate;
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -313,6 +314,20 @@ impl TimeInterval {
             }
         }
         out
+    }
+}
+
+impl<S: Domain> Validate for Interval<S> {
+    /// Re-check the Section 3.2.3 side conditions:
+    /// `s ≤ e` and `(s = e) ⇒ (lc = rc = true)`.
+    fn validate(&self) -> Result<()> {
+        match self.s.cmp(&self.e) {
+            Ordering::Greater => Err(InvariantViolation::new("interval: s <= e")),
+            Ordering::Equal if !(self.lc && self.rc) => Err(InvariantViolation::new(
+                "interval: (s = e) => (lc = rc = true)",
+            )),
+            _ => Ok(()),
+        }
     }
 }
 

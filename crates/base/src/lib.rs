@@ -16,6 +16,7 @@
 //! Everything downstream (spatial algebra, unit types, sliced
 //! representation) builds on these carrier sets.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod domain;
@@ -26,16 +27,18 @@ pub mod intime;
 pub mod range;
 pub mod real;
 pub mod text;
+pub mod validate;
 pub mod value;
 
 pub use domain::Domain;
-pub use error::{InvariantViolation, Result};
+pub use error::{DecodeError, DecodeResult, InvariantViolation, Result};
 pub use instant::{t, Instant};
 pub use interval::{Interval, TimeInterval};
 pub use intime::Intime;
 pub use range::{Periods, RangeSet};
 pub use real::{r, Real};
 pub use text::Text;
+pub use validate::{debug_validate, Validate};
 pub use value::Val;
 
 /// The discrete `int` carrier (paper: programming-language `int` ∪ {⊥}).

@@ -12,6 +12,7 @@ use crate::error::{InvariantViolation, Result};
 use crate::instant::Instant;
 use crate::interval::Interval;
 use crate::real::Real;
+use crate::validate::Validate;
 use crate::value::Val;
 use std::fmt;
 
@@ -247,6 +248,31 @@ impl Periods {
         self.intervals
             .iter()
             .fold(Real::ZERO, |acc, iv| acc + iv.duration())
+    }
+}
+
+impl<S: Domain> Validate for RangeSet<S> {
+    /// Re-check the `IntervalSet` side conditions: every member interval
+    /// is valid, and members are sorted, pairwise disjoint and
+    /// non-adjacent (unique minimal representation).
+    fn validate(&self) -> Result<()> {
+        for iv in &self.intervals {
+            iv.validate()?;
+        }
+        for w in self.intervals.windows(2) {
+            if w[0].cmp_start(&w[1]) != std::cmp::Ordering::Less {
+                return Err(InvariantViolation::new("range: intervals must be sorted"));
+            }
+            if !w[0].disjoint(&w[1]) {
+                return Err(InvariantViolation::new("range: intervals must be disjoint"));
+            }
+            if w[0].adjacent(&w[1]) {
+                return Err(InvariantViolation::new(
+                    "range: intervals must not be adjacent",
+                ));
+            }
+        }
+        Ok(())
     }
 }
 

@@ -30,10 +30,8 @@ impl Text {
         }
         let mut bytes = [0u8; Text::CAPACITY];
         bytes[..s.len()].copy_from_slice(s.as_bytes());
-        Ok(Text {
-            len: s.len() as u8,
-            bytes,
-        })
+        let len = u8::try_from(s.len()).expect("length checked against CAPACITY above");
+        Ok(Text { len, bytes })
     }
 
     /// Construct from a `&str`, panicking if too long. For literals.

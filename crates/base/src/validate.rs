@@ -1,0 +1,122 @@
+//! Deep validation of representation invariants.
+//!
+//! Section 3.2 of the paper defines every carrier set as a set
+//! comprehension with side conditions; Section 4 adds layout-level
+//! conditions on the array representations. Constructors (`try_new`)
+//! check those conditions on the way *in*, but long-lived values can
+//! still go stale — bugs, serialization round-trips, or hand-built
+//! fixtures can violate invariants after construction. The [`Validate`]
+//! trait re-checks the full invariant set on demand.
+//!
+//! Conventions:
+//!
+//! * `validate()` is **deep**: a mapping validates its units, a unit
+//!   validates its interval and value, a region validates its cycles.
+//! * `validate()` never panics on any input; every failure is reported
+//!   as an [`InvariantViolation`] naming the paper clause.
+//! * Construction boundaries call `debug_validate` so debug builds
+//!   catch drift at the point of damage, while release builds stay on
+//!   the trusted fast path.
+
+use crate::error::Result;
+
+/// Re-check every representation invariant of a value.
+///
+/// Implementations mirror the side conditions of the paper's carrier-set
+/// definitions (Sections 3.2.1–3.2.4) plus the layout conditions of the
+/// array representations (Section 4). A value produced by a `try_new`
+/// constructor must always validate; `validate` exists to audit values
+/// after the fact (e.g. decoded from untrusted bytes, or emitted by a
+/// generator).
+pub trait Validate {
+    /// Return `Ok(())` if every invariant holds, otherwise the first
+    /// [`crate::error::InvariantViolation`] found.
+    fn validate(&self) -> Result<()>;
+}
+
+/// Run [`Validate::validate`] as a debug assertion.
+///
+/// In debug builds this panics with the violation message if `value`
+/// is invalid; in release builds it compiles to nothing. Call it at
+/// construction boundaries (builders, decoders, generators).
+#[inline]
+pub fn debug_validate<T: Validate + ?Sized>(value: &T) {
+    #[cfg(debug_assertions)]
+    {
+        if let Err(e) = value.validate() {
+            panic!("debug_validate: {e}");
+        }
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = value;
+    }
+}
+
+impl<T: Validate> Validate for [T] {
+    fn validate(&self) -> Result<()> {
+        for v in self {
+            v.validate()?;
+        }
+        Ok(())
+    }
+}
+
+impl<T: Validate> Validate for Vec<T> {
+    fn validate(&self) -> Result<()> {
+        self.as_slice().validate()
+    }
+}
+
+impl<T: Validate> Validate for Option<T> {
+    fn validate(&self) -> Result<()> {
+        match self {
+            Some(v) => v.validate(),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::InvariantViolation;
+
+    struct AlwaysOk;
+    impl Validate for AlwaysOk {
+        fn validate(&self) -> Result<()> {
+            Ok(())
+        }
+    }
+
+    struct AlwaysBad;
+    impl Validate for AlwaysBad {
+        fn validate(&self) -> Result<()> {
+            Err(InvariantViolation::new("test: always bad"))
+        }
+    }
+
+    #[test]
+    fn slice_and_vec_validate_elementwise() {
+        let ok: Vec<AlwaysOk> = vec![AlwaysOk, AlwaysOk];
+        assert!(ok.validate().is_ok());
+        let bad: Vec<AlwaysBad> = vec![AlwaysBad];
+        assert!(bad.validate().is_err());
+        let empty: Vec<AlwaysBad> = vec![];
+        assert!(empty.validate().is_ok());
+    }
+
+    #[test]
+    fn option_validates_inner() {
+        assert!(Some(AlwaysOk).validate().is_ok());
+        assert!(Some(AlwaysBad).validate().is_err());
+        assert!(None::<AlwaysBad>.validate().is_ok());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "debug_validate")]
+    fn debug_validate_panics_in_debug() {
+        debug_validate(&AlwaysBad);
+    }
+}

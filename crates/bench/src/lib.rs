@@ -5,6 +5,7 @@
 //! binary (absolute scaling tables for EXPERIMENTS.md). Both use the
 //! builders in this crate so they measure identical workloads.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use mob_base::{t, Instant};

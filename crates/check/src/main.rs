@@ -1,0 +1,77 @@
+//! `mob-check` — audit a serialized moving-objects store file.
+//!
+//! ```text
+//! mob-check <file>            audit an existing store file
+//! mob-check --demo <file>     write a generated demo store, then audit it
+//! mob-check --demo-seed N ... seed for --demo (default 42)
+//! ```
+//!
+//! Exit status: 0 if every entry passes, 1 if any entry fails, 2 on
+//! usage or I/O errors.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut demo = false;
+    let mut seed: u64 = 42;
+    let mut path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--demo" => demo = true,
+            "--demo-seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => return usage("--demo-seed needs an integer"),
+            },
+            "-h" | "--help" => {
+                eprintln!("usage: mob-check [--demo [--demo-seed N]] <file>");
+                return ExitCode::SUCCESS;
+            }
+            _ if path.is_none() && !a.starts_with('-') => path = Some(a),
+            _ => return usage(&format!("unexpected argument `{a}`")),
+        }
+    }
+    let Some(path) = path else {
+        return usage("missing <file>");
+    };
+
+    if demo {
+        let file = mob_check::demo_store_file(seed);
+        let bytes = match file.to_bytes() {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("mob-check: serializing demo store failed: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = std::fs::write(&path, &bytes) {
+            eprintln!("mob-check: writing {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote demo store ({} bytes, seed {seed}) to {path}",
+            bytes.len()
+        );
+    }
+
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("mob-check: reading {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = mob_check::audit_bytes(&bytes);
+    print!("{}", report.render());
+    if report.all_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("mob-check: {msg}\nusage: mob-check [--demo [--demo-seed N]] <file>");
+    ExitCode::from(2)
+}

@@ -23,8 +23,11 @@
 //! * [`moving`] — the eight moving types of Table 3 with their
 //!   operations (`trajectory`, `distance`, `atmin`, `inside`, `area`, …);
 //! * [`ops`] — Tables 1–3 as inspectable catalogues;
-//! * [`semantics`] — σ-based cross-checking helpers.
+//! * [`semantics`] — σ-based cross-checking helpers;
+//! * [`validate`](mod@crate::validate) — deep re-checking of the
+//!   carrier-set invariants over units, mappings, and any [`seq::UnitSeq`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod lift;
@@ -42,6 +45,7 @@ pub mod upoint;
 pub mod upoints;
 pub mod ureal;
 pub mod uregion;
+pub mod validate;
 
 pub use lift::{lift1, lift2};
 pub use mapping::{Mapping, MappingBuilder};
@@ -61,3 +65,4 @@ pub use upoint::{Coincidence, PointMotion, UPoint};
 pub use upoints::UPoints;
 pub use ureal::{UReal, ValueTimes};
 pub use uregion::{MCycle, MFace, URegion};
+pub use validate::check_unit_seq;

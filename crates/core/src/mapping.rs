@@ -74,19 +74,34 @@ impl<U: Unit> Mapping<U> {
 
     /// Normalizing constructor: sorts units and merges adjacent units
     /// with equal functions. Units must still be pairwise disjoint.
-    pub fn from_units(mut units: Vec<U>) -> Result<Mapping<U>> {
+    pub fn from_units(units: Vec<U>) -> Result<Mapping<U>> {
+        Mapping::try_new(Self::sort_and_merge(units))
+    }
+
+    /// Infallible counterpart of [`Mapping::from_units`] for unit vectors
+    /// *derived from already-valid mappings* (restrictions, lifted maps):
+    /// sorts, merges, and debug-validates instead of returning `Err` —
+    /// the derivation guarantees disjointness, so the only work left is
+    /// re-establishing canonicity.
+    pub(crate) fn from_units_trusted(units: Vec<U>) -> Mapping<U> {
+        Mapping::from_raw(Self::sort_and_merge(units))
+    }
+
+    /// Sort by interval start and merge adjacent equal-function units
+    /// (the `concat` step of Sec 5.2).
+    fn sort_and_merge(mut units: Vec<U>) -> Vec<U> {
         units.sort_by(|a, b| a.interval().cmp_start(b.interval()));
         let mut out: Vec<U> = Vec::with_capacity(units.len());
         for u in units {
-            match out.last() {
-                Some(last) => match last.try_merge(&u) {
-                    Some(m) => *out.last_mut().expect("non-empty") = m,
-                    None => out.push(u),
-                },
-                None => out.push(u),
+            if let Some(last) = out.last_mut() {
+                if let Some(m) = last.try_merge(&u) {
+                    *last = m;
+                    continue;
+                }
             }
+            out.push(u);
         }
-        Mapping::try_new(out)
+        out
     }
 
     /// Construct from units already known to satisfy the invariants
@@ -260,7 +275,7 @@ impl<U: Unit> MappingBuilder<U> {
     /// Panics (debug) if ordering or disjointness is violated — builder
     /// users produce units in refinement order, which guarantees both.
     pub fn push(&mut self, unit: U) {
-        if let Some(last) = self.units.last() {
+        if let Some(last) = self.units.last_mut() {
             debug_assert!(
                 last.interval().disjoint(unit.interval()),
                 "builder units must be disjoint"
@@ -270,7 +285,7 @@ impl<U: Unit> MappingBuilder<U> {
                 "builder units must arrive in time order"
             );
             if let Some(merged) = last.try_merge(&unit) {
-                *self.units.last_mut().expect("non-empty") = merged;
+                *last = merged;
                 return;
             }
         }

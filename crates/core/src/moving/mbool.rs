@@ -11,13 +11,14 @@ impl Mapping<ConstUnit<bool>> {
     /// A moving bool that is `value` over the given periods (and
     /// undefined elsewhere).
     pub fn from_periods(periods: &Periods, value: bool) -> MovingBool {
-        Mapping::try_new(
+        // A `Periods` value is sorted, disjoint and non-adjacent by its
+        // own invariant, which is exactly the mapping invariant here.
+        Mapping::from_raw(
             periods
                 .iter()
                 .map(|iv| ConstUnit::new(*iv, value))
                 .collect(),
         )
-        .expect("periods are disjoint and non-adjacent")
     }
 
     /// Lifted logical negation.

@@ -70,16 +70,19 @@ impl Mapping<UPoints> {
     /// by the `upoints` invariant; end-point collapses are reflected by
     /// instant units.
     pub fn count(&self) -> Mapping<ConstUnit<i64>> {
+        // Saturating on paper: a `upoints` unit can never hold anywhere
+        // near `i64::MAX` members, but the conversion stays total.
+        let as_count = |n: usize| i64::try_from(n).unwrap_or(i64::MAX);
         let mut builder = MappingBuilder::new();
         for u in self.units() {
             let iv = *u.interval();
-            let interior = u.len() as i64;
+            let interior = as_count(u.len());
             if iv.is_point() {
-                builder.push(ConstUnit::new(iv, u.at(*iv.start()).len() as i64));
+                builder.push(ConstUnit::new(iv, as_count(u.at(*iv.start()).len())));
                 continue;
             }
-            let at_start = u.at(*iv.start()).len() as i64;
-            let at_end = u.at(*iv.end()).len() as i64;
+            let at_start = as_count(u.at(*iv.start()).len());
+            let at_end = as_count(u.at(*iv.end()).len());
             let mut lc = iv.left_closed();
             let mut rc = iv.right_closed();
             if lc && at_start != interior {

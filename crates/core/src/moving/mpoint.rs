@@ -151,7 +151,7 @@ impl Mapping<UPoint> {
                 Coincidence::At(t) => units.push(u.with_interval(TimeInterval::point(t))),
             }
         }
-        Mapping::from_units(units).expect("restriction of a valid mapping")
+        Mapping::from_units_trusted(units)
     }
 
     /// Lifted `inside` against a *static* region: a moving bool. (The
@@ -203,7 +203,9 @@ impl Mapping<UPoint> {
                 UPoint::new(shifted, motion)
             })
             .collect();
-        Mapping::try_new(units).expect("time shift preserves the invariants")
+        // Shifting every interval by the same offset preserves order,
+        // disjointness and canonicity.
+        Mapping::from_raw(units)
     }
 
     /// Bounding cube of the whole movement.

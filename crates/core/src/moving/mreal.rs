@@ -83,7 +83,7 @@ impl Mapping<UReal> {
                 }
             }
         }
-        Mapping::from_units(units).expect("restriction of a valid mapping")
+        Mapping::from_units_trusted(units)
     }
 
     /// Lifted `< v` comparison against a constant: a moving bool.
@@ -212,7 +212,9 @@ impl Mapping<UReal> {
             for (iv, negate) in parts {
                 let piece = u.with_interval(iv);
                 builder.push(if negate {
-                    piece.try_neg().expect("non-rooted piece")
+                    // Rooted units are never negative, so a piece that
+                    // dips below zero is always a plain quadratic.
+                    piece.neg_unrooted()
                 } else {
                     piece
                 });
@@ -268,9 +270,7 @@ fn lt_units(a: &UReal, b: &UReal) -> Vec<ConstUnit<bool>> {
     // Plain quadratics: the difference is representable — sign analysis
     // is exact.
     if !a.is_root() && !b.is_root() {
-        let diff = b
-            .try_add(&a.try_neg().expect("non-rooted"))
-            .expect("non-rooted operands share the interval");
+        let diff = b.sub_unrooted(a);
         return diff
             .intervals_above(Real::ZERO)
             .into_iter()

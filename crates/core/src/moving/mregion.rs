@@ -61,10 +61,9 @@ impl Mapping<URegion> {
     /// The periods during which the moving region covers the fixed point
     /// `p` (a lifted `inside` with a stationary point).
     pub fn when_covers(&self, p: mob_spatial::Point) -> mob_base::Periods {
-        let Some(first) = self.units().first() else {
+        let Some((first, last)) = self.units().first().zip(self.units().last()) else {
             return mob_base::Periods::empty();
         };
-        let last = self.units().last().expect("non-empty");
         let span = mob_base::Interval::closed(*first.interval().start(), *last.interval().end());
         let track = MovingPoint::single(crate::upoint::UPoint::new(
             span,

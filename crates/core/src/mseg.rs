@@ -70,22 +70,46 @@ impl MSeg {
         }
         // Coplanarity: cross((Δx0, Δy0), (Δx1, Δy1)) = 0 where Δ is the
         // difference of the two motions' intercepts / velocities.
-        let dx0 = e.x0 - s.x0;
-        let dy0 = e.y0 - s.y0;
-        let dx1 = e.x1 - s.x1;
-        let dy1 = e.y1 - s.y1;
+        //
+        // Computed in raw f64: near-overflow coefficients (possible when
+        // validating decoded, untrusted values) make the bilinear terms
+        // ±∞ and their difference NaN, which must surface as a rejection
+        // rather than reach the NaN-free `Real` arithmetic.
+        let dx0 = e.x0.get() - s.x0.get();
+        let dy0 = e.y0.get() - s.y0.get();
+        let dx1 = e.x1.get() - s.x1.get();
+        let dy1 = e.y1.get() - s.y1.get();
         let cross = dx0 * dy1 - dy0 * dx1;
         // Tolerance relative to the magnitude of the bilinear terms:
         // data built from rounded similarity transforms must pass.
         let scale = (dx0.abs() + dy0.abs()) * (dx1.abs() + dy1.abs());
-        let tol = 1e-9 * scale.get().max(1.0);
-        if cross.abs().get() > tol {
+        if !cross.is_finite() || !scale.is_finite() {
+            return Err(InvariantViolation::new(
+                "mseg: end point motion coefficients overflow",
+            ));
+        }
+        let tol = 1e-9 * scale.max(1.0);
+        if cross.abs() > tol {
             return Err(InvariantViolation::with_detail(
                 "mseg: end point motions must be coplanar (non-rotating)",
-                format!("cross = {}", cross),
+                format!("cross = {cross}"),
             ));
         }
         Ok(MSeg { s, e })
+    }
+
+    /// Construct from motions already known to satisfy the `mseg` side
+    /// conditions (e.g. consecutive vertices of a validated [`MCycle`],
+    /// whose edges all passed [`MSeg::try_new`] at construction).
+    /// Debug-checked only.
+    ///
+    /// [`MCycle`]: crate::uregion::MCycle
+    pub(crate) fn from_validated(s: PointMotion, e: PointMotion) -> MSeg {
+        debug_assert!(
+            MSeg::try_new(s, e).is_ok(),
+            "from_validated motions violate the mseg invariants"
+        );
+        MSeg { s, e }
     }
 
     /// The moving segment between two snapshot segments: from `seg0` at

@@ -136,14 +136,8 @@ pub fn refinement_both_seq<'a, SA: UnitSeq, SB: UnitSeq>(
     while i < n && j < m {
         let (ia, ib) = (sa.interval(i), sb.interval(j));
         if let Some(common) = ia.intersection(&ib) {
-            if cache_a.as_ref().map(|(k, _)| *k) != Some(i) {
-                cache_a = Some((i, sa.unit(i)));
-            }
-            if cache_b.as_ref().map(|(k, _)| *k) != Some(j) {
-                cache_b = Some((j, sb.unit(j)));
-            }
-            let ua = cache_a.as_ref().expect("cached").1.clone();
-            let ub = cache_b.as_ref().expect("cached").1.clone();
+            let ua = cached_unit(&mut cache_a, sa, i);
+            let ub = cached_unit(&mut cache_b, sb, j);
             out.push((common, ua, ub));
         }
         if advance_first(&ia, &ib) {
@@ -153,6 +147,24 @@ pub fn refinement_both_seq<'a, SA: UnitSeq, SB: UnitSeq>(
         }
     }
     out
+}
+
+/// Fetch unit `i` through a one-slot decode cache: hits clone the cached
+/// [`Cow`] (cheap for borrowed units), misses decode once and refill the
+/// slot.
+fn cached_unit<'a, S: UnitSeq>(
+    cache: &mut Option<(usize, Cow<'a, S::Unit>)>,
+    seq: &'a S,
+    i: usize,
+) -> Cow<'a, S::Unit> {
+    match cache {
+        Some((k, u)) if *k == i => u.clone(),
+        _ => {
+            let u = seq.unit(i);
+            *cache = Some((i, u.clone()));
+            u
+        }
+    }
 }
 
 #[cfg(test)]

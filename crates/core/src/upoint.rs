@@ -201,16 +201,16 @@ impl UPoint {
     /// interval (callers pass the refinement-partition interval).
     pub fn distance_ureal(&self, other: &UPoint, interval: TimeInterval) -> UReal {
         let (a, b, c) = self.motion.distance_sq_coeffs(&other.motion);
-        UReal::try_new(interval, a, b, c, true)
-            .expect("squared distance polynomial is non-negative")
+        // A squared distance is a sum of squares: non-negative by
+        // construction, no sign check needed.
+        UReal::rooted_nonneg(interval, a, b, c)
     }
 
     /// Time-dependent distance to a fixed point as a `ureal`.
     pub fn distance_to_point_ureal(&self, p: Point) -> UReal {
         let fixed = PointMotion::stationary(p);
         let (a, b, c) = self.motion.distance_sq_coeffs(&fixed);
-        UReal::try_new(self.interval, a, b, c, true)
-            .expect("squared distance polynomial is non-negative")
+        UReal::rooted_nonneg(self.interval, a, b, c)
     }
 
     /// Speed as a (constant) `ureal` on the unit interval.

@@ -64,6 +64,53 @@ impl UReal {
         Ok(u)
     }
 
+    /// Construct a rooted unit from a polynomial that is non-negative *by
+    /// construction* (e.g. a squared distance — a sum of squares), so the
+    /// [`UReal::try_new`] sign check is redundant. Debug builds still run
+    /// it; evaluation uses `sqrt_clamped`, so sub-epsilon float dips
+    /// below zero clamp instead of producing NaN.
+    pub(crate) fn rooted_nonneg(interval: TimeInterval, a: Real, b: Real, c: Real) -> UReal {
+        let u = UReal {
+            interval,
+            a,
+            b,
+            c,
+            root: true,
+        };
+        debug_assert!(
+            UReal::try_new(interval, a, b, c, true).is_ok(),
+            "rooted_nonneg polynomial dips below -EPS on the interval"
+        );
+        u
+    }
+
+    /// Negate a unit known to be non-rooted (callers guard on
+    /// [`UReal::is_root`]; rooted units are never negative, so the
+    /// branches that negate never see one). Debug-checked.
+    pub(crate) fn neg_unrooted(&self) -> UReal {
+        debug_assert!(!self.root, "neg_unrooted on a rooted unit");
+        UReal::quadratic(self.interval, -self.a, -self.b, -self.c)
+    }
+
+    /// Polynomial difference `self - other` of two non-rooted units on
+    /// `self`'s interval (callers guarantee both; debug-checked).
+    pub(crate) fn sub_unrooted(&self, other: &UReal) -> UReal {
+        debug_assert!(
+            !self.root && !other.root,
+            "sub_unrooted on a rooted operand"
+        );
+        debug_assert!(
+            self.interval == other.interval,
+            "sub_unrooted operands must share the interval"
+        );
+        UReal::quadratic(
+            self.interval,
+            self.a - other.a,
+            self.b - other.b,
+            self.c - other.c,
+        )
+    }
+
     /// Construct a plain (non-rooted) quadratic unit.
     pub fn quadratic(interval: TimeInterval, a: Real, b: Real, c: Real) -> UReal {
         UReal {

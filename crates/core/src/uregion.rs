@@ -80,8 +80,8 @@ impl MCycle {
     pub fn msegs(&self) -> Vec<MSeg> {
         (0..self.verts.len())
             .map(|i| {
-                MSeg::try_new(self.verts[i], self.verts[(i + 1) % self.verts.len()])
-                    .expect("validated at construction")
+                // Every edge passed `MSeg::try_new` in `MCycle::try_new`.
+                MSeg::from_validated(self.verts[i], self.verts[(i + 1) % self.verts.len()])
             })
             .collect()
     }
@@ -414,9 +414,9 @@ impl URegion {
         let mut out: Vec<ConstUnit<bool>> = Vec::new();
         let mut push = |unit: ConstUnit<bool>| {
             // Local concat (the O(1) merge of Sec 5.2).
-            if let Some(last) = out.last() {
+            if let Some(last) = out.last_mut() {
                 if let Some(m) = crate::unit::Unit::try_merge(last, &unit) {
-                    *out.last_mut().expect("non-empty") = m;
+                    *last = m;
                     return;
                 }
             }
@@ -489,9 +489,9 @@ impl URegion {
                 inside
             };
             let unit = ConstUnit::new(Interval::new(w[0], w[1], lc, rc), inside);
-            if let Some(last) = out.last() {
+            if let Some(last) = out.last_mut() {
                 if let Some(m) = crate::unit::Unit::try_merge(last, &unit) {
-                    *out.last_mut().expect("non-empty") = m;
+                    *last = m;
                     continue;
                 }
             }

@@ -1,0 +1,228 @@
+//! Deep validation of the sliced representation (Sec 3.2 + Sec 5).
+//!
+//! Every unit type's carrier set (Sections 3.2.1–3.2.4) is a set
+//! comprehension with side conditions; the `mapping` constructor
+//! (Sec 3.2.4) adds the slice conditions — ordered, pairwise disjoint
+//! unit intervals, and *canonicity* (adjacent units carry distinct unit
+//! functions, so each moving value has exactly one representation).
+//!
+//! The [`Validate`] impls here re-check those conditions on already
+//! constructed values by re-running the validating constructors on the
+//! components. [`check_unit_seq`] checks the slice conditions over any
+//! [`UnitSeq`] — in-memory mappings and storage-backed views alike —
+//! one unit at a time, without materializing the sequence.
+
+use crate::mapping::Mapping;
+use crate::mseg::MSeg;
+use crate::seq::UnitSeq;
+use crate::uconst::ConstUnit;
+use crate::uline::ULine;
+use crate::unit::Unit;
+use crate::upoint::UPoint;
+use crate::upoints::UPoints;
+use crate::ureal::UReal;
+use crate::uregion::{MCycle, MFace, URegion};
+use mob_base::error::{InvariantViolation, Result};
+use mob_base::Validate;
+use std::cmp::Ordering;
+
+/// Check the `mapping` slice conditions (Sec 3.2.4) over any unit
+/// sequence: intervals sorted and pairwise disjoint, adjacent units
+/// carrying distinct unit functions (canonicity).
+///
+/// Works one unit pair at a time — `O(1)` memory over a storage-backed
+/// view — and does **not** validate the individual units; pair it with
+/// per-unit [`Validate`] calls (as [`Mapping`]'s impl does) for a fully
+/// deep check.
+pub fn check_unit_seq<S: UnitSeq>(seq: &S) -> Result<()> {
+    for i in 1..seq.len() {
+        let prev = seq.interval(i - 1);
+        let cur = seq.interval(i);
+        if prev.cmp_start(&cur) != Ordering::Less {
+            return Err(InvariantViolation::with_detail(
+                "mapping: units must be sorted by time interval",
+                format!("units {} and {}", i - 1, i),
+            ));
+        }
+        if !prev.disjoint(&cur) {
+            return Err(InvariantViolation::with_detail(
+                "mapping: unit intervals must be pairwise disjoint",
+                format!("units {} and {}", i - 1, i),
+            ));
+        }
+        if prev.adjacent(&cur) && seq.unit(i - 1).value_eq(&seq.unit(i)) {
+            return Err(InvariantViolation::with_detail(
+                "mapping: adjacent units must carry distinct values",
+                format!("units {} and {}", i - 1, i),
+            ));
+        }
+    }
+    Ok(())
+}
+
+impl<T: Clone + PartialEq> Validate for ConstUnit<T> {
+    /// Sec 3.2.2 (`const` units): the only structural condition is a
+    /// well-formed time interval.
+    fn validate(&self) -> Result<()> {
+        self.interval().validate()
+    }
+}
+
+impl Validate for UReal {
+    /// Sec 3.2.3 (`ureal`): a rooted polynomial must be non-negative on
+    /// the whole unit interval, otherwise `ι` would be undefined there.
+    fn validate(&self) -> Result<()> {
+        self.interval().validate()?;
+        let (a, b, c, root) = self.coeffs();
+        UReal::try_new(*self.interval(), a, b, c, root).map(|_| ())
+    }
+}
+
+impl Validate for UPoint {
+    /// Sec 3.2.3 (`upoint`): linear motion has no side condition beyond
+    /// finite coefficients (enforced by `Real`) and a valid interval.
+    fn validate(&self) -> Result<()> {
+        self.interval().validate()
+    }
+}
+
+impl Validate for UPoints {
+    /// Sec 3.2.4 (`upoints`): a non-empty motion set whose members never
+    /// coincide inside the open unit interval.
+    fn validate(&self) -> Result<()> {
+        self.interval().validate()?;
+        UPoints::try_new(*self.interval(), self.motions().to_vec()).map(|_| ())
+    }
+}
+
+impl Validate for MSeg {
+    /// Sec 3.2.4: a moving segment's end points must be coplanar in 3D
+    /// space-time and not permanently coincident.
+    fn validate(&self) -> Result<()> {
+        MSeg::try_new(*self.start_motion(), *self.end_motion()).map(|_| ())
+    }
+}
+
+impl Validate for ULine {
+    /// Sec 3.2.4 (`uline`): every evaluation inside the open interval
+    /// must be a valid `line` value (checked exactly on the critical-time
+    /// schedule).
+    fn validate(&self) -> Result<()> {
+        self.interval().validate()?;
+        ULine::try_new(*self.interval(), self.msegs().to_vec()).map(|_| ())
+    }
+}
+
+impl Validate for MCycle {
+    /// Sec 3.2.4: at least three vertices, every edge a valid moving
+    /// segment.
+    fn validate(&self) -> Result<()> {
+        MCycle::try_new(self.verts().to_vec()).map(|_| ())
+    }
+}
+
+impl Validate for MFace {
+    /// A face's outer cycle and every hole cycle must be valid moving
+    /// cycles (region snapshot validity is [`URegion`]'s job — holes
+    /// only make sense relative to the unit interval).
+    fn validate(&self) -> Result<()> {
+        self.outer.validate()?;
+        self.holes.validate()
+    }
+}
+
+impl Validate for URegion {
+    /// Sec 3.2.4 (`uregion`): every evaluation inside the open interval
+    /// must be a valid `region` (checked exactly on the critical-time
+    /// schedule, see DESIGN.md).
+    fn validate(&self) -> Result<()> {
+        self.interval().validate()?;
+        URegion::try_new(*self.interval(), self.faces().to_vec()).map(|_| ())
+    }
+}
+
+impl<U: Unit + Validate> Validate for Mapping<U> {
+    /// Sec 3.2.4 (`mapping`): every unit valid, intervals sorted and
+    /// pairwise disjoint, adjacent units canonical.
+    fn validate(&self) -> Result<()> {
+        for (i, u) in self.units().iter().enumerate() {
+            u.validate().map_err(|e| {
+                InvariantViolation::with_detail("mapping: invalid unit", format!("unit {i}: {e}"))
+            })?;
+        }
+        check_unit_seq(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moving::MovingBool;
+    use mob_base::{t, Periods, Real, TimeInterval};
+    use mob_spatial::pt;
+
+    fn iv(a: f64, b: f64) -> TimeInterval {
+        TimeInterval::closed(t(a), t(b))
+    }
+
+    #[test]
+    fn valid_values_validate() {
+        let u = UReal::try_new(
+            iv(0.0, 2.0),
+            Real::new(1.0),
+            Real::new(-2.0),
+            Real::new(1.0),
+            true,
+        )
+        .unwrap();
+        u.validate().unwrap();
+        let p = UPoint::between(iv(0.0, 1.0), pt(0.0, 0.0), pt(1.0, 1.0));
+        p.validate().unwrap();
+        let periods = Periods::try_new(vec![iv(0.0, 1.0)]).unwrap();
+        let mb = MovingBool::from_periods(&periods, true);
+        mb.validate().unwrap();
+        check_unit_seq(&mb).unwrap();
+    }
+
+    #[test]
+    fn unordered_units_fail_check_unit_seq() {
+        // Hand-build an out-of-order mapping through the raw escape
+        // hatch used by tests: two units with swapped intervals.
+        let u1 = ConstUnit::new(iv(2.0, 3.0), true);
+        let u2 = ConstUnit::new(iv(0.0, 1.0), false);
+        let m = Mapping::try_new(vec![u1, u2]);
+        assert!(m.is_err(), "try_new must reject out-of-order units");
+    }
+
+    #[test]
+    fn non_canonical_adjacency_is_rejected() {
+        let u1 = ConstUnit::new(TimeInterval::new(t(0.0), t(1.0), true, false), true);
+        let u2 = ConstUnit::new(iv(1.0, 2.0), true);
+        assert!(Mapping::try_new(vec![u1, u2]).is_err());
+    }
+
+    #[test]
+    fn degenerate_rooted_ureal_fails_validate() {
+        // Bypass try_new via quadratic + coeffs round-trip is not
+        // possible (root flag is constructor-controlled), so check that
+        // the validating constructor and validate() agree on a valid
+        // rooted unit.
+        let ok = UReal::try_new(
+            iv(0.0, 2.0),
+            Real::new(0.0),
+            Real::new(1.0),
+            Real::new(0.0),
+            true,
+        )
+        .unwrap();
+        ok.validate().unwrap();
+        assert!(UReal::try_new(
+            iv(0.0, 2.0),
+            Real::new(0.0),
+            Real::new(1.0),
+            Real::new(-1.0),
+            true
+        )
+        .is_err());
+    }
+}

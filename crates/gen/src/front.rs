@@ -91,7 +91,7 @@ pub fn moving_front(seed: u64, cfg: &FrontConfig) -> MovingLine {
             .collect();
         units.push(ULine::try_new(iv, msegs).expect("translating front stays a valid line"));
     }
-    Mapping::try_new(units).expect("consecutive units carry distinct motions")
+    crate::emitted(Mapping::try_new(units).expect("consecutive units carry distinct motions"))
 }
 
 #[cfg(test)]
@@ -135,6 +135,6 @@ mod tests {
         let front = moving_front(7, &FrontConfig::default());
         let mut store = PageStore::new();
         let stored = save_mline(&front, &mut store);
-        assert_eq!(load_mline(&stored, &store), front);
+        assert_eq!(load_mline(&stored, &store), Ok(front));
     }
 }

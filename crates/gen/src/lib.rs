@@ -5,6 +5,7 @@
 //! equivalents used by the examples, tests and benchmarks (see
 //! DESIGN.md §3). Everything is deterministic in an explicit seed.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod front;
@@ -21,3 +22,15 @@ pub use region_gen::{
 };
 pub use scenario::{plane_fleet, storm, taxi_fleet, Plane, AIRLINES};
 pub use trajectory::{flight_mpoint, random_waypoint_mpoint, TrajectoryConfig};
+
+/// Debug-assert a generated value against its full invariant set before
+/// handing it to the caller.
+///
+/// Every generator funnels its output through this helper, so in debug
+/// builds (tests, examples) a workload that violates a Sec 3.2 carrier
+/// condition fails at the point of generation instead of deep inside a
+/// query; release builds pay nothing.
+fn emitted<T: mob_base::Validate>(value: T) -> T {
+    mob_base::debug_validate(&value);
+    value
+}

@@ -39,7 +39,7 @@ impl GridNetwork {
             segs.push(Seg::new(Point::from_f64(0.0, c), Point::from_f64(span, c)));
             segs.push(Seg::new(Point::from_f64(c, 0.0), Point::from_f64(c, span)));
         }
-        Line::try_new(segs).expect("grid streets are valid")
+        crate::emitted(Line::try_new(segs).expect("grid streets are valid"))
     }
 
     /// The intersection at grid coordinates `(i, j)`.
@@ -85,7 +85,7 @@ impl GridNetwork {
             (i, j) = next;
             samples.push((Instant::from_f64(k as f64 * leg_duration), self.node(i, j)));
         }
-        MovingPoint::from_samples(&samples)
+        crate::emitted(MovingPoint::from_samples(&samples))
     }
 }
 

@@ -97,7 +97,7 @@ pub fn moving_storm(seed: u64, cfg: &StormConfig) -> MovingRegion {
                 .expect("convex interpolation stays valid"),
         );
     }
-    Mapping::try_new(units).expect("consecutive units carry distinct motions")
+    crate::emitted(Mapping::try_new(units).expect("consecutive units carry distinct motions"))
 }
 
 /// A moving storm *with an eye*: a drifting annulus — outer cell plus a
@@ -147,7 +147,7 @@ pub fn storm_with_eye(seed: u64, cfg: &StormConfig) -> MovingRegion {
                 .expect("annulus interpolation stays valid"),
         );
     }
-    Mapping::try_new(units).expect("consecutive units carry distinct motions")
+    crate::emitted(Mapping::try_new(units).expect("consecutive units carry distinct motions"))
 }
 
 /// A static region made of `faces` disjoint convex blobs in a row.
@@ -163,8 +163,10 @@ pub fn blob_field(seed: u64, faces: usize, radius: f64, vertices: usize) -> Regi
             )
         })
         .collect();
-    Region::try_new(rings.into_iter().map(mob_spatial::Face::simple).collect())
-        .expect("blobs are spaced apart")
+    crate::emitted(
+        Region::try_new(rings.into_iter().map(mob_spatial::Face::simple).collect())
+            .expect("blobs are spaced apart"),
+    )
 }
 
 /// The total number of moving segments of a moving region (workload size

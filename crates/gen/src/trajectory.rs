@@ -59,7 +59,7 @@ pub fn random_waypoint_mpoint(seed: u64, cfg: &TrajectoryConfig) -> MovingPoint 
         ));
     }
     dedup_stalls(&mut samples);
-    MovingPoint::from_samples(&samples)
+    crate::emitted(MovingPoint::from_samples(&samples))
 }
 
 /// A straight flight from `from` to `to` over `[t0, t1]`, subdivided
@@ -94,7 +94,7 @@ pub fn flight_mpoint(
         ));
     }
     dedup_stalls(&mut samples);
-    MovingPoint::from_samples(&samples)
+    crate::emitted(MovingPoint::from_samples(&samples))
 }
 
 /// Remove consecutive samples at identical positions *and* identical

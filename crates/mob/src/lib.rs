@@ -29,6 +29,7 @@
 //! assert_eq!(flight.trajectory().length().get(), 11.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use mob_base as base;

@@ -7,7 +7,7 @@
 use crate::relation::{Relation, Tuple};
 use crate::schema::Schema;
 use crate::value::{AttrType, AttrValue, MPointRef};
-use mob_base::error::Result;
+use mob_base::error::{DecodeResult, Result};
 use mob_base::{Real, Text, Val};
 use mob_storage::line_store::{
     load_line, load_points, save_line, save_points, StoredLine, StoredPoints,
@@ -95,7 +95,7 @@ fn save_attr(v: &AttrValue, store: &mut PageStore) -> Result<StoredAttr> {
     })
 }
 
-fn load_attr(a: &StoredAttr, store: &PageStore) -> Result<AttrValue> {
+fn load_attr(a: &StoredAttr, store: &PageStore) -> DecodeResult<AttrValue> {
     Ok(match a {
         StoredAttr::Int(x) => AttrValue::Int(x.map(Val::Def).unwrap_or(Val::Undef)),
         StoredAttr::Real(x) => {
@@ -114,13 +114,13 @@ fn load_attr(a: &StoredAttr, store: &PageStore) -> Result<AttrValue> {
             x.map(|(px, py)| Val::Def(mob_spatial::Point::from_f64(px, py)))
                 .unwrap_or(Val::Undef),
         ),
-        StoredAttr::Points(ps) => AttrValue::Points(load_points(ps, store)),
-        StoredAttr::Line(l) => AttrValue::Line(load_line(l, store)),
+        StoredAttr::Points(ps) => AttrValue::Points(load_points(ps, store)?),
+        StoredAttr::Line(l) => AttrValue::Line(load_line(l, store)?),
         StoredAttr::Region(r) => AttrValue::Region(load_region(r, store)?),
-        StoredAttr::MPoint(m) => AttrValue::MPoint(load_mpoint(m, store)),
-        StoredAttr::MReal(m) => AttrValue::MReal(load_mreal(m, store)),
-        StoredAttr::MBool(m) => AttrValue::MBool(load_mbool(m, store)),
-        StoredAttr::MRegion(m) => AttrValue::MRegion(load_mregion(m, store)),
+        StoredAttr::MPoint(m) => AttrValue::MPoint(load_mpoint(m, store)?),
+        StoredAttr::MReal(m) => AttrValue::MReal(load_mreal(m, store)?),
+        StoredAttr::MBool(m) => AttrValue::MBool(load_mbool(m, store)?),
+        StoredAttr::MRegion(m) => AttrValue::MRegion(load_mregion(m, store)?),
     })
 }
 
@@ -142,7 +142,10 @@ pub fn save_relation(rel: &Relation, store: &mut PageStore) -> Result<StoredRela
 }
 
 /// Load a relation back from the page store.
-pub fn load_relation(stored: &StoredRelation, store: &PageStore) -> Result<Relation> {
+///
+/// Decoding is fully untrusted: any structural damage in the stored
+/// records surfaces as a [`mob_base::DecodeError`], never a panic.
+pub fn load_relation(stored: &StoredRelation, store: &PageStore) -> DecodeResult<Relation> {
     let attrs: Vec<(&str, AttrType)> = stored
         .schema
         .iter()
@@ -154,7 +157,7 @@ pub fn load_relation(stored: &StoredRelation, store: &PageStore) -> Result<Relat
             .attrs
             .iter()
             .map(|a| load_attr(a, store))
-            .collect::<Result<_>>()?;
+            .collect::<DecodeResult<_>>()?;
         rel.insert(Tuple::new(values))?;
     }
     Ok(rel)
@@ -167,10 +170,11 @@ impl Relation {
     /// [`AttrValue::MPointRef`] — a handle that decodes unit records
     /// lazily from the shared page store when a query probes it. This is
     /// the scan path of the query-over-storage design: opening the
-    /// relation costs **zero** page reads for the flight attributes, and
-    /// a single-instant query on a flight then costs `O(log n)` record
-    /// reads instead of materializing all `n` units.
-    pub fn from_store(stored: &StoredRelation, store: Rc<PageStore>) -> Result<Relation> {
+    /// relation runs **one** structural verification scan per flight
+    /// (untrusted bytes are never probed blindly), after which a
+    /// single-instant query costs `O(log n)` record reads instead of
+    /// materializing all `n` units.
+    pub fn from_store(stored: &StoredRelation, store: Rc<PageStore>) -> DecodeResult<Relation> {
         let attrs: Vec<(&str, AttrType)> = stored
             .schema
             .iter()
@@ -182,7 +186,7 @@ impl Relation {
             for a in &t.attrs {
                 values.push(match a {
                     StoredAttr::MPoint(m) => {
-                        AttrValue::MPointRef(MPointRef::new(store.clone(), m.clone()))
+                        AttrValue::MPointRef(MPointRef::new(store.clone(), m.clone())?)
                     }
                     other => load_attr(other, &store)?,
                 });

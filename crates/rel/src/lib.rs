@@ -7,6 +7,7 @@
 //! selection / projection / extension / nested-loop join, and the two
 //! queries of Section 2 implemented verbatim over `mpoint` attributes.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod catalog;

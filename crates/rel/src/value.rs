@@ -1,6 +1,7 @@
 //! Attribute values: the discrete data types embedded "as attribute
 //! types into object-relational or other data models" (Sec 1–2).
 
+use mob_base::DecodeResult;
 use mob_base::{Instant, Real, Text, TimeInterval, Val};
 use mob_core::{MovingBool, MovingPoint, MovingReal, MovingRegion, UPoint, UnitSeq};
 use mob_spatial::{Line, Point, Points, Region};
@@ -22,21 +23,27 @@ pub struct MPointRef {
 }
 
 impl MPointRef {
-    /// Wrap a stored mapping living in `store`.
-    pub fn new(store: Rc<PageStore>, stored: StoredMapping) -> MPointRef {
-        MPointRef { store, stored }
+    /// Wrap a stored mapping living in `store`, **verifying its
+    /// structure once** (record layouts, bounds, interval order — the
+    /// same pass [`view_mpoint`] runs). A reference is only handed out
+    /// for a well-formed stored value, so the probing accessors below
+    /// are infallible.
+    pub fn new(store: Rc<PageStore>, stored: StoredMapping) -> DecodeResult<MPointRef> {
+        view_mpoint(&stored, &store)?;
+        Ok(MPointRef { store, stored })
     }
 
-    /// A lazy [`UnitSeq`] view over the stored units (no page reads
-    /// until the view is probed).
+    /// A lazy [`UnitSeq`] view over the stored units.
     pub fn view(&self) -> MappingView<'_, UPointRecord> {
         view_mpoint(&self.stored, &self.store)
+            .expect("stored mapping verified at MPointRef construction")
     }
 
     /// Materialize the full in-memory [`MovingPoint`] (reads the whole
     /// unit array — the eager path the lazy view exists to avoid).
     pub fn materialize(&self) -> MovingPoint {
         load_mpoint(&self.stored, &self.store)
+            .expect("stored mapping verified at MPointRef construction")
     }
 
     /// Number of stored units.

@@ -16,6 +16,7 @@
 //!
 //! [`criterion`]: https://crates.io/crates/criterion
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;

@@ -15,6 +15,7 @@
 //!
 //! [`proptest`]: https://crates.io/crates/proptest
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use rand::rngs::StdRng;

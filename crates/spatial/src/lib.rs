@@ -17,6 +17,7 @@
 //!   [`arrangement`];
 //! * distances ([`dist`]) and bounding boxes/cubes ([`bbox`]).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arrangement;
@@ -34,6 +35,7 @@ pub mod ring;
 pub mod seg;
 pub mod setops;
 pub mod transform;
+pub mod validate;
 
 pub use bbox::{Cube, Rect};
 pub use components::{connected_components, num_components};

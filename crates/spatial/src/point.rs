@@ -99,7 +99,11 @@ impl Point {
 /// point-in-polygon and cycle orientation.
 #[inline]
 pub fn orientation(o: Point, a: Point, b: Point) -> i8 {
-    let v = cross(o, a, b).get();
+    // Computed in raw `f64`: validation runs this predicate on untrusted
+    // decoded coordinates, and overflowing intermediates (`inf − inf`,
+    // `inf × 0`) must degrade to "no turn" instead of reaching the
+    // NaN-rejecting [`Real`] constructor.
+    let v = cross_raw(o, a, b);
     if v > 0.0 {
         1
     } else if v < 0.0 {
@@ -113,6 +117,14 @@ pub fn orientation(o: Point, a: Point, b: Point) -> i8 {
 #[inline]
 pub fn cross(o: Point, a: Point, b: Point) -> Real {
     (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x)
+}
+
+/// [`cross`] computed entirely in raw `f64`, so extreme (possibly
+/// corrupted) coordinates yield `±inf`/NaN rather than a panic.
+#[inline]
+pub fn cross_raw(o: Point, a: Point, b: Point) -> f64 {
+    (a.x.get() - o.x.get()) * (b.y.get() - o.y.get())
+        - (a.y.get() - o.y.get()) * (b.x.get() - o.x.get())
 }
 
 impl Add for Point {

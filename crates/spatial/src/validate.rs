@@ -1,0 +1,99 @@
+//! Deep validation of the discrete spatial types (Sec 3.2.2).
+//!
+//! The paper defines `points`, `line` and `region` carrier sets as set
+//! comprehensions with side conditions (no duplicate points, no
+//! collinear overlapping segments, well-formed faces with holes inside
+//! their outer cycle). The [`Validate`] impls here re-check those
+//! conditions on already constructed values by re-running the
+//! validating constructors on the components — the same convention
+//! `mob-core` uses for the unit types.
+
+use crate::face::Face;
+use crate::line::Line;
+use crate::points::Points;
+use crate::region::Region;
+use crate::ring::Ring;
+use mob_base::error::{InvariantViolation, Result};
+use mob_base::Validate;
+
+impl Validate for Ring {
+    /// Sec 3.2.2 (cycles): at least three vertices, simple (no
+    /// self-intersection), no consecutive collinear edges.
+    fn validate(&self) -> Result<()> {
+        Ring::try_new(self.points().to_vec()).map(|_| ())
+    }
+}
+
+impl Validate for Face {
+    /// Sec 3.2.2 (faces): a valid outer cycle with every hole cycle
+    /// valid, edge-disjoint and strictly inside it.
+    fn validate(&self) -> Result<()> {
+        Face::try_new(self.outer().clone(), self.holes().to_vec()).map(|_| ())
+    }
+}
+
+impl Validate for Region {
+    /// Sec 3.2.2 (`region`): a finite set of faces with disjoint
+    /// interiors whose cycles do not cross.
+    fn validate(&self) -> Result<()> {
+        Region::try_new(self.faces().to_vec()).map(|_| ())
+    }
+}
+
+impl Validate for Line {
+    /// Sec 3.2.2 (`line`): a finite set of non-degenerate segments with
+    /// no collinear overlaps.
+    fn validate(&self) -> Result<()> {
+        Line::try_new(self.segments().to_vec()).map(|_| ())
+    }
+}
+
+impl Validate for Points {
+    /// Sec 3.2.2 (`points`) plus the array layout of Sec 4: points are
+    /// stored in strictly increasing lexicographic order, which also
+    /// rules out duplicates.
+    fn validate(&self) -> Result<()> {
+        for (i, w) in self.as_slice().windows(2).enumerate() {
+            if w[0] >= w[1] {
+                return Err(InvariantViolation::with_detail(
+                    "points: members must be in strictly increasing lexicographic order",
+                    format!("entries {} and {}", i, i + 1),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{pt, rect_ring, seg};
+
+    #[test]
+    fn valid_spatial_values_validate() {
+        let ring = rect_ring(0.0, 0.0, 4.0, 4.0);
+        ring.validate().unwrap();
+        let face = Face::try_new(ring.clone(), vec![rect_ring(1.0, 1.0, 2.0, 2.0)]).unwrap();
+        face.validate().unwrap();
+        let region = Region::try_new(vec![face]).unwrap();
+        region.validate().unwrap();
+        let line = Line::try_new(vec![seg(0.0, 0.0, 1.0, 0.0), seg(2.0, 0.0, 3.0, 1.0)]).unwrap();
+        line.validate().unwrap();
+        let pts = Points::from_points(vec![pt(1.0, 2.0), pt(0.0, 0.0), pt(1.0, 2.0)]);
+        pts.validate().unwrap();
+    }
+
+    #[test]
+    fn stale_values_fail_validate() {
+        // A hand-built degenerate (fully collinear) ring never passes.
+        let bad_ring = Ring::new_unchecked(vec![pt(0.0, 0.0), pt(1.0, 0.0), pt(2.0, 0.0)]);
+        assert!(bad_ring.validate().is_err());
+        // A face whose hole escaped its outer cycle.
+        let face = Face::new_unchecked(
+            rect_ring(0.0, 0.0, 1.0, 1.0),
+            vec![rect_ring(5.0, 5.0, 6.0, 6.0)],
+        );
+        assert!(face.validate().is_err());
+    }
+}

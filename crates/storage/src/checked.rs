@@ -1,0 +1,44 @@
+//! Checked integer conversions for record/offset arithmetic.
+//!
+//! The `xtask lint` pass forbids raw narrowing `as` casts in storage
+//! code: a silently truncated offset is exactly the kind of bug that
+//! turns a big mapping into a corrupt record. Save paths funnel every
+//! `usize -> u32` conversion through [`count_u32`], which fails loudly
+//! (in-process arrays beyond `u32::MAX` records are a programming
+//! error, not a recoverable condition), and decode paths use
+//! [`idx_usize`] for the reverse direction.
+
+/// Convert an in-process element count to the on-record `u32` width.
+///
+/// Panics if the count exceeds `u32::MAX` — the storage format caps
+/// array lengths at 32 bits (Sec 4 root records), so a larger in-memory
+/// value cannot be represented and saving it would corrupt the layout.
+#[allow(clippy::expect_used)]
+pub fn count_u32(n: usize) -> u32 {
+    u32::try_from(n).expect("array count exceeds the u32 storage format limit")
+}
+
+/// Widen an on-record `u32` index/count to `usize` (always lossless on
+/// the supported 32/64-bit targets).
+pub fn idx_usize(n: u32) -> usize {
+    n as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        assert_eq!(count_u32(0), 0);
+        assert_eq!(count_u32(4096), 4096);
+        assert_eq!(idx_usize(u32::MAX), u32::MAX as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "u32 storage format limit")]
+    #[cfg(target_pointer_width = "64")]
+    fn overflow_panics() {
+        let _ = count_u32(u32::MAX as usize + 1);
+    }
+}

@@ -5,6 +5,7 @@
 
 use crate::page::{BlobId, PageStore};
 use crate::record::{read_all, write_all, FixedRecord};
+use mob_base::{DecodeError, DecodeResult};
 
 /// Size threshold (bytes): arrays up to this size are stored inline in
 /// the tuple; larger ones go to separate pages.
@@ -42,6 +43,36 @@ impl SavedArray {
             Placement::External(_) => 0,
         }
     }
+
+    /// Total byte length of the stored array.
+    pub fn byte_len(&self, store: &PageStore) -> DecodeResult<usize> {
+        match &self.placement {
+            Placement::Inline(b) => Ok(b.len()),
+            Placement::External(id) => store.blob_len(*id),
+        }
+    }
+
+    /// Check that the stored byte length is exactly `count × T::SIZE` —
+    /// the layout precondition for every record-wise access below.
+    pub fn check_layout<T: FixedRecord>(&self, store: &PageStore) -> DecodeResult<()> {
+        let len = self.byte_len(store)?;
+        if !len.is_multiple_of(T::SIZE) {
+            return Err(DecodeError::Ragged {
+                what: T::WHAT,
+                len,
+                record_size: T::SIZE,
+            });
+        }
+        let found = len / T::SIZE;
+        if found != self.count {
+            return Err(DecodeError::CountMismatch {
+                what: T::WHAT,
+                expected: self.count,
+                found,
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Save a record slice as a database array: inline when small, external
@@ -69,14 +100,24 @@ pub fn save_array_with_threshold<T: FixedRecord>(
 }
 
 /// Load a database array back into records.
-pub fn load_array<T: FixedRecord>(saved: &SavedArray, store: &PageStore) -> Vec<T> {
+///
+/// The stored bytes are untrusted: ragged buffers, counts that disagree
+/// with the byte length, and invalid record values all surface as
+/// [`DecodeError`]s.
+pub fn load_array<T: FixedRecord>(saved: &SavedArray, store: &PageStore) -> DecodeResult<Vec<T>> {
     let bytes = match &saved.placement {
         Placement::Inline(b) => b.clone(),
-        Placement::External(id) => store.read_blob(*id),
+        Placement::External(id) => store.try_read_blob(*id)?,
     };
-    let items = read_all::<T>(&bytes);
-    assert_eq!(items.len(), saved.count, "saved count mismatch");
-    items
+    let items = read_all::<T>(&bytes)?;
+    if items.len() != saved.count {
+        return Err(DecodeError::CountMismatch {
+            what: T::WHAT,
+            expected: saved.count,
+            found: items.len(),
+        });
+    }
+    Ok(items)
 }
 
 /// Read `byte_len` bytes of a saved array starting at `byte_off`,
@@ -87,10 +128,17 @@ pub fn read_array_bytes(
     store: &PageStore,
     byte_off: usize,
     byte_len: usize,
-) -> Vec<u8> {
+) -> DecodeResult<Vec<u8>> {
     match &saved.placement {
-        Placement::Inline(b) => b[byte_off..byte_off + byte_len].to_vec(),
-        Placement::External(id) => store.read_blob_range(*id, byte_off, byte_len),
+        Placement::Inline(b) => match b.get(byte_off..byte_off + byte_len) {
+            Some(s) => Ok(s.to_vec()),
+            None => Err(DecodeError::Truncated {
+                what: "inline array range",
+                need: byte_off + byte_len,
+                have: b.len(),
+            }),
+        },
+        Placement::External(id) => store.try_read_blob_range(*id, byte_off, byte_len),
     }
 }
 
@@ -101,13 +149,14 @@ pub fn read_subarray<T: FixedRecord>(
     saved: &SavedArray,
     store: &PageStore,
     sub: SubArrayRef,
-) -> Vec<T> {
+) -> DecodeResult<Vec<T>> {
+    sub.check(saved.count, T::WHAT)?;
     let bytes = read_array_bytes(
         saved,
         store,
         sub.start as usize * T::SIZE,
         sub.len() * T::SIZE,
-    );
+    )?;
     read_all::<T>(&bytes)
 }
 
@@ -124,16 +173,42 @@ pub struct SubArrayRef {
 
 impl SubArrayRef {
     /// Number of records referenced.
+    ///
+    /// A decoded ref with `end < start` must be rejected via
+    /// [`SubArrayRef::check`] before this is called; `len` saturates so
+    /// even un-checked corrupt refs cannot underflow.
     pub fn len(&self) -> usize {
-        (self.end - self.start) as usize
+        self.end.saturating_sub(self.start) as usize
     }
 
     /// `true` for an empty subrange.
     pub fn is_empty(&self) -> bool {
-        self.start == self.end
+        self.end <= self.start
+    }
+
+    /// Check that the reference is well-formed (`start ≤ end`) and stays
+    /// inside a shared array of `bound` records.
+    pub fn check(&self, bound: usize, what: &'static str) -> DecodeResult<()> {
+        if self.end < self.start {
+            return Err(DecodeError::BadStructure {
+                what,
+                detail: format!("subarray end {} before start {}", self.end, self.start),
+            });
+        }
+        if self.end as usize > bound {
+            return Err(DecodeError::OutOfBounds {
+                what,
+                index: self.end as usize,
+                bound,
+            });
+        }
+        Ok(())
     }
 
     /// Slice the referenced records out of the shared array.
+    ///
+    /// Callers must have verified the ref with [`SubArrayRef::check`]
+    /// against `shared.len()` (views do this at construction).
     pub fn slice<'a, T>(&self, shared: &'a [T]) -> &'a [T] {
         &shared[self.start as usize..self.end as usize]
     }
@@ -141,15 +216,16 @@ impl SubArrayRef {
 
 impl FixedRecord for SubArrayRef {
     const SIZE: usize = 8;
+    const WHAT: &'static str = "subarray ref";
     fn write(&self, out: &mut Vec<u8>) {
         crate::record::put_u32(out, self.start);
         crate::record::put_u32(out, self.end);
     }
-    fn read(buf: &[u8]) -> Self {
-        SubArrayRef {
-            start: crate::record::get_u32(buf, 0),
-            end: crate::record::get_u32(buf, 4),
-        }
+    fn read(buf: &[u8]) -> DecodeResult<Self> {
+        Ok(SubArrayRef {
+            start: crate::record::get_u32(buf, 0)?,
+            end: crate::record::get_u32(buf, 4)?,
+        })
     }
 }
 
@@ -166,28 +242,30 @@ mod tests {
         assert!(saved.is_inline());
         assert_eq!(saved.inline_bytes(), 32);
         assert_eq!(store.pages_written(), 0);
-        assert_eq!(load_array::<Point>(&saved, &store), pts);
+        assert_eq!(load_array::<Point>(&saved, &store).unwrap(), pts);
+        saved.check_layout::<Point>(&store).unwrap();
     }
 
     #[test]
     fn large_arrays_go_external() {
         let mut store = PageStore::new();
-        let pts: Vec<Point> = (0..100).map(|i| pt(i as f64, 0.0)).collect();
+        let pts: Vec<Point> = (0..100).map(|i| pt(f64::from(i), 0.0)).collect();
         let saved = save_array(&pts, &mut store);
         assert!(!saved.is_inline());
         assert!(store.pages_written() > 0);
-        assert_eq!(load_array::<Point>(&saved, &store), pts);
+        assert_eq!(load_array::<Point>(&saved, &store).unwrap(), pts);
+        saved.check_layout::<Point>(&store).unwrap();
     }
 
     #[test]
     fn threshold_boundary() {
         let mut store = PageStore::new();
         // 16 points = 256 bytes: exactly at the threshold stays inline.
-        let pts: Vec<Point> = (0..16).map(|i| pt(i as f64, 0.0)).collect();
+        let pts: Vec<Point> = (0..16).map(|i| pt(f64::from(i), 0.0)).collect();
         let saved = save_array(&pts, &mut store);
         assert!(saved.is_inline());
         // One more record crosses it.
-        let pts17: Vec<Point> = (0..17).map(|i| pt(i as f64, 0.0)).collect();
+        let pts17: Vec<Point> = (0..17).map(|i| pt(f64::from(i), 0.0)).collect();
         let saved17 = save_array(&pts17, &mut store);
         assert!(!saved17.is_inline());
     }
@@ -204,7 +282,50 @@ mod tests {
         // Record roundtrip.
         let mut buf = Vec::new();
         r.write(&mut buf);
-        assert_eq!(SubArrayRef::read(&buf), r);
+        assert_eq!(SubArrayRef::read(&buf).unwrap(), r);
+    }
+
+    #[test]
+    fn corrupt_subarray_refs_are_rejected_not_ub() {
+        // end < start: len saturates, check() rejects.
+        let bad = SubArrayRef { start: 4, end: 1 };
+        assert_eq!(bad.len(), 0);
+        assert!(matches!(
+            bad.check(10, "test"),
+            Err(DecodeError::BadStructure { .. })
+        ));
+        // end beyond the shared array.
+        let oob = SubArrayRef { start: 0, end: 9 };
+        assert!(matches!(
+            oob.check(5, "test"),
+            Err(DecodeError::OutOfBounds { .. })
+        ));
+        assert!(oob.check(9, "test").is_ok());
+    }
+
+    #[test]
+    fn corrupt_counts_and_ragged_bytes_are_errors() {
+        let mut store = PageStore::new();
+        let pts = vec![pt(0.0, 0.0), pt(1.0, 1.0)];
+        let mut saved = save_array(&pts, &mut store);
+        saved.count = 3; // lie about the count
+        assert!(matches!(
+            load_array::<Point>(&saved, &store),
+            Err(DecodeError::CountMismatch { .. })
+        ));
+        assert!(saved.check_layout::<Point>(&store).is_err());
+        // Ragged inline bytes.
+        let ragged = SavedArray {
+            count: 1,
+            placement: Placement::Inline(vec![0u8; 15]),
+        };
+        assert!(matches!(
+            load_array::<Point>(&ragged, &store),
+            Err(DecodeError::Ragged { .. })
+        ));
+        // Out-of-range byte read.
+        let small = save_array(&pts, &mut store);
+        assert!(read_array_bytes(&small, &store, 30, 10).is_err());
     }
 
     #[test]
@@ -212,6 +333,16 @@ mod tests {
         let mut store = PageStore::new();
         let saved = save_array::<Point>(&[], &mut store);
         assert!(saved.is_inline());
-        assert_eq!(load_array::<Point>(&saved, &store).len(), 0);
+        assert_eq!(load_array::<Point>(&saved, &store).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn read_subarray_checks_bounds() {
+        let mut store = PageStore::new();
+        let pts: Vec<Point> = (0..8).map(|i| pt(f64::from(i), 0.0)).collect();
+        let saved = save_array(&pts, &mut store);
+        let ok = read_subarray::<Point>(&saved, &store, SubArrayRef { start: 2, end: 5 }).unwrap();
+        assert_eq!(ok, pts[2..5]);
+        assert!(read_subarray::<Point>(&saved, &store, SubArrayRef { start: 2, end: 9 }).is_err());
     }
 }

@@ -19,8 +19,10 @@
 //!   `O(log n)` unit decodes per `atinstant`;
 //! * [`tuple`](mod@crate::tuple) — tuple layout accounting for the experiments.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checked;
 pub mod dbarray;
 pub mod line_store;
 pub mod mapping_store;
@@ -28,6 +30,7 @@ pub mod page;
 pub mod range_store;
 pub mod record;
 pub mod region_store;
+pub mod store_file;
 pub mod tuple;
 pub mod view;
 
@@ -37,6 +40,7 @@ pub use dbarray::{
 };
 pub use page::{BlobId, PageStore, DEFAULT_PAGE_SIZE};
 pub use record::FixedRecord;
+pub use store_file::{RootRecord, StoreFile};
 pub use tuple::TupleLayout;
 pub use view::{
     view_mbool, view_mline, view_mpoint, view_mpoints, view_mreal, view_mregion, MappingView,

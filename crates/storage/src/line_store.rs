@@ -4,9 +4,11 @@
 //! (four reals plus a flag indicating the dominating point); the root
 //! record carries the segment count, total length and bounding box.
 
+use crate::checked::{count_u32, idx_usize};
 use crate::dbarray::{load_array, save_array, SavedArray};
 use crate::page::PageStore;
-use crate::record::{get_f64, put_f64, FixedRecord};
+use crate::record::{get_bool, get_f64, put_f64, FixedRecord};
+use mob_base::{DecodeError, DecodeResult, Real};
 use mob_spatial::{HalfSeg, Line, Point, Points, Seg};
 
 /// A halfsegment record: the segment's four coordinates plus the
@@ -46,6 +48,20 @@ impl HalfSegRecord {
         )
     }
 
+    /// Fallible segment decode: rejects NaN coordinates and degenerate
+    /// (zero-length) segments instead of panicking.
+    pub fn try_seg(&self) -> DecodeResult<Seg> {
+        let u = Point::new(Real::try_new(self.x1)?, Real::try_new(self.y1)?);
+        let v = Point::new(Real::try_new(self.x2)?, Real::try_new(self.y2)?);
+        if u == v {
+            return Err(DecodeError::BadStructure {
+                what: Self::WHAT,
+                detail: "degenerate segment (u = v)".to_string(),
+            });
+        }
+        Ok(Seg::new(u, v))
+    }
+
     /// The halfsegment.
     pub fn halfseg(&self) -> HalfSeg {
         if self.left_dom {
@@ -58,6 +74,7 @@ impl HalfSegRecord {
 
 impl FixedRecord for HalfSegRecord {
     const SIZE: usize = 33;
+    const WHAT: &'static str = "halfsegment record";
     fn write(&self, out: &mut Vec<u8>) {
         put_f64(out, self.x1);
         put_f64(out, self.y1);
@@ -65,14 +82,14 @@ impl FixedRecord for HalfSegRecord {
         put_f64(out, self.y2);
         out.push(u8::from(self.left_dom));
     }
-    fn read(buf: &[u8]) -> Self {
-        HalfSegRecord {
-            x1: get_f64(buf, 0),
-            y1: get_f64(buf, 8),
-            x2: get_f64(buf, 16),
-            y2: get_f64(buf, 24),
-            left_dom: buf[32] != 0,
-        }
+    fn read(buf: &[u8]) -> DecodeResult<Self> {
+        Ok(HalfSegRecord {
+            x1: get_f64(buf, 0)?,
+            y1: get_f64(buf, 8)?,
+            x2: get_f64(buf, 16)?,
+            y2: get_f64(buf, 24)?,
+            left_dom: get_bool(buf, 32)?,
+        })
     }
 }
 
@@ -99,7 +116,7 @@ pub fn save_line(line: &Line, store: &mut PageStore) -> StoredLine {
         .collect();
     let bbox = line.bbox();
     StoredLine {
-        num_segments: line.num_segments() as u32,
+        num_segments: count_u32(line.num_segments()),
         length: line.length().get(),
         bbox: [
             bbox.min_x().get(),
@@ -112,15 +129,20 @@ pub fn save_line(line: &Line, store: &mut PageStore) -> StoredLine {
 }
 
 /// Load a `line` value back.
-pub fn load_line(stored: &StoredLine, store: &PageStore) -> Line {
-    let records: Vec<HalfSegRecord> = load_array(&stored.halfsegs, store);
-    let segs: Vec<Seg> = records
-        .iter()
-        .filter(|r| r.left_dom)
-        .map(HalfSegRecord::seg)
-        .collect();
-    debug_assert_eq!(segs.len(), stored.num_segments as usize);
-    Line::try_new(segs).expect("stored line satisfies the carrier invariants")
+pub fn load_line(stored: &StoredLine, store: &PageStore) -> DecodeResult<Line> {
+    let records: Vec<HalfSegRecord> = load_array(&stored.halfsegs, store)?;
+    let mut segs: Vec<Seg> = Vec::with_capacity(records.len() / 2);
+    for r in records.iter().filter(|r| r.left_dom) {
+        segs.push(r.try_seg()?);
+    }
+    if segs.len() != idx_usize(stored.num_segments) {
+        return Err(DecodeError::CountMismatch {
+            what: "line root record",
+            expected: idx_usize(stored.num_segments),
+            found: segs.len(),
+        });
+    }
+    Ok(Line::try_new(segs)?)
 }
 
 /// A stored `points` value: count plus the ordered point array.
@@ -136,14 +158,17 @@ pub struct StoredPoints {
 pub fn save_points(points: &Points, store: &mut PageStore) -> StoredPoints {
     let pts: Vec<Point> = points.iter().collect();
     StoredPoints {
-        count: pts.len() as u32,
+        count: count_u32(pts.len()),
         points: save_array(&pts, store),
     }
 }
 
 /// Load a `points` value back.
-pub fn load_points(stored: &StoredPoints, store: &PageStore) -> Points {
-    Points::from_points(load_array::<Point>(&stored.points, store))
+pub fn load_points(stored: &StoredPoints, store: &PageStore) -> DecodeResult<Points> {
+    Ok(Points::from_points(load_array::<Point>(
+        &stored.points,
+        store,
+    )?))
 }
 
 #[cfg(test)]
@@ -162,7 +187,7 @@ mod tests {
         let stored = save_line(&line, &mut store);
         assert_eq!(stored.num_segments, 3);
         assert_eq!(mob_base::Real::new(stored.length), line.length());
-        let back = load_line(&stored, &store);
+        let back = load_line(&stored, &store).unwrap();
         assert_eq!(back, line);
     }
 
@@ -171,7 +196,7 @@ mod tests {
         let line = Line::normalize(vec![seg(5.0, 0.0, 6.0, 0.0), seg(0.0, 0.0, 1.0, 0.0)]);
         let mut store = PageStore::new();
         let stored = save_line(&line, &mut store);
-        let recs: Vec<HalfSegRecord> = load_array(&stored.halfsegs, &store);
+        let recs: Vec<HalfSegRecord> = load_array(&stored.halfsegs, &store).unwrap();
         let hs: Vec<_> = recs.iter().map(HalfSegRecord::halfseg).collect();
         for w in hs.windows(2) {
             assert!(w[0] < w[1], "halfsegments stored out of order");
@@ -183,7 +208,7 @@ mod tests {
         let mut store = PageStore::new();
         let stored = save_line(&Line::empty(), &mut store);
         assert_eq!(stored.num_segments, 0);
-        assert!(load_line(&stored, &store).is_empty());
+        assert!(load_line(&stored, &store).unwrap().is_empty());
     }
 
     #[test]
@@ -195,7 +220,7 @@ mod tests {
         let mut store = PageStore::new();
         let stored = save_line(&line, &mut store);
         assert!(!stored.halfsegs.is_inline());
-        assert_eq!(load_line(&stored, &store), line);
+        assert_eq!(load_line(&stored, &store).unwrap(), line);
     }
 
     #[test]
@@ -204,6 +229,6 @@ mod tests {
         let mut store = PageStore::new();
         let stored = save_points(&points, &mut store);
         assert_eq!(stored.count, 2);
-        assert_eq!(load_points(&stored, &store), points);
+        assert_eq!(load_points(&stored, &store).unwrap(), points);
     }
 }

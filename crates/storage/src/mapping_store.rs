@@ -5,10 +5,11 @@
 //! `uregion`) store subarray references; all units of one `mapping`
 //! share the same database arrays, exactly as in Fig 7.
 
+use crate::checked::{count_u32, idx_usize};
 use crate::dbarray::{load_array, save_array, SavedArray, SubArrayRef};
 use crate::page::PageStore;
-use crate::record::{get_f64, put_f64, FixedRecord};
-use mob_base::{Real, TimeInterval};
+use crate::record::{get_bool, get_f64, put_f64, FixedRecord};
+use mob_base::{DecodeError, DecodeResult, Real, TimeInterval};
 use mob_core::{
     ConstUnit, MCycle, MFace, MSeg, Mapping, MovingBool, MovingLine, MovingPoint, MovingPoints,
     MovingReal, MovingRegion, PointMotion, ULine, UPoint, UPoints, UReal, URegion, Unit,
@@ -16,19 +17,20 @@ use mob_core::{
 
 impl FixedRecord for PointMotion {
     const SIZE: usize = 32;
+    const WHAT: &'static str = "point motion";
     fn write(&self, out: &mut Vec<u8>) {
         put_f64(out, self.x0.get());
         put_f64(out, self.x1.get());
         put_f64(out, self.y0.get());
         put_f64(out, self.y1.get());
     }
-    fn read(buf: &[u8]) -> Self {
-        PointMotion::new(
-            Real::new(get_f64(buf, 0)),
-            Real::new(get_f64(buf, 8)),
-            Real::new(get_f64(buf, 16)),
-            Real::new(get_f64(buf, 24)),
-        )
+    fn read(buf: &[u8]) -> DecodeResult<Self> {
+        Ok(PointMotion::new(
+            Real::try_new(get_f64(buf, 0)?)?,
+            Real::try_new(get_f64(buf, 8)?)?,
+            Real::try_new(get_f64(buf, 16)?)?,
+            Real::try_new(get_f64(buf, 24)?)?,
+        ))
     }
 }
 
@@ -47,15 +49,16 @@ pub struct UBoolRecord {
 
 impl FixedRecord for UBoolRecord {
     const SIZE: usize = TimeInterval::SIZE + 1;
+    const WHAT: &'static str = "ubool record";
     fn write(&self, out: &mut Vec<u8>) {
         self.interval.write(out);
         out.push(u8::from(self.value));
     }
-    fn read(buf: &[u8]) -> Self {
-        UBoolRecord {
-            interval: TimeInterval::read(buf),
-            value: buf[TimeInterval::SIZE] != 0,
-        }
+    fn read(buf: &[u8]) -> DecodeResult<Self> {
+        Ok(UBoolRecord {
+            interval: TimeInterval::read(buf)?,
+            value: get_bool(buf, TimeInterval::SIZE)?,
+        })
     }
 }
 
@@ -76,6 +79,7 @@ pub struct URealRecord {
 
 impl FixedRecord for URealRecord {
     const SIZE: usize = TimeInterval::SIZE + 25;
+    const WHAT: &'static str = "ureal record";
     fn write(&self, out: &mut Vec<u8>) {
         self.interval.write(out);
         put_f64(out, self.a);
@@ -83,15 +87,15 @@ impl FixedRecord for URealRecord {
         put_f64(out, self.c);
         out.push(u8::from(self.r));
     }
-    fn read(buf: &[u8]) -> Self {
+    fn read(buf: &[u8]) -> DecodeResult<Self> {
         let o = TimeInterval::SIZE;
-        URealRecord {
-            interval: TimeInterval::read(buf),
-            a: get_f64(buf, o),
-            b: get_f64(buf, o + 8),
-            c: get_f64(buf, o + 16),
-            r: buf[o + 24] != 0,
-        }
+        Ok(URealRecord {
+            interval: TimeInterval::read(buf)?,
+            a: get_f64(buf, o)?,
+            b: get_f64(buf, o + 8)?,
+            c: get_f64(buf, o + 16)?,
+            r: get_bool(buf, o + 24)?,
+        })
     }
 }
 
@@ -106,15 +110,17 @@ pub struct UPointRecord {
 
 impl FixedRecord for UPointRecord {
     const SIZE: usize = TimeInterval::SIZE + PointMotion::SIZE;
+    const WHAT: &'static str = "upoint record";
     fn write(&self, out: &mut Vec<u8>) {
         self.interval.write(out);
         self.motion.write(out);
     }
-    fn read(buf: &[u8]) -> Self {
-        UPointRecord {
-            interval: TimeInterval::read(buf),
-            motion: PointMotion::read(&buf[TimeInterval::SIZE..]),
-        }
+    fn read(buf: &[u8]) -> DecodeResult<Self> {
+        crate::record::need_bytes(buf, Self::SIZE, Self::WHAT)?;
+        Ok(UPointRecord {
+            interval: TimeInterval::read(buf)?,
+            motion: PointMotion::read(&buf[TimeInterval::SIZE..])?,
+        })
     }
 }
 
@@ -128,6 +134,18 @@ pub struct StoredMapping {
     pub units: SavedArray,
 }
 
+/// Check the root-record count against the saved units array.
+pub(crate) fn check_root_count(num_units: u32, units: &SavedArray) -> DecodeResult<()> {
+    if idx_usize(num_units) != units.count {
+        return Err(DecodeError::CountMismatch {
+            what: "mapping root record",
+            expected: idx_usize(num_units),
+            found: units.count,
+        });
+    }
+    Ok(())
+}
+
 /// Save `moving(bool)`.
 pub fn save_mbool(m: &MovingBool, store: &mut PageStore) -> StoredMapping {
     let records: Vec<UBoolRecord> = m
@@ -139,21 +157,21 @@ pub fn save_mbool(m: &MovingBool, store: &mut PageStore) -> StoredMapping {
         })
         .collect();
     StoredMapping {
-        num_units: records.len() as u32,
+        num_units: count_u32(records.len()),
         units: save_array(&records, store),
     }
 }
 
 /// Load `moving(bool)`.
-pub fn load_mbool(stored: &StoredMapping, store: &PageStore) -> MovingBool {
-    let records: Vec<UBoolRecord> = load_array(&stored.units, store);
-    Mapping::try_new(
+pub fn load_mbool(stored: &StoredMapping, store: &PageStore) -> DecodeResult<MovingBool> {
+    check_root_count(stored.num_units, &stored.units)?;
+    let records: Vec<UBoolRecord> = load_array(&stored.units, store)?;
+    Ok(Mapping::try_new(
         records
             .into_iter()
             .map(|r| ConstUnit::new(r.interval, r.value))
             .collect(),
-    )
-    .expect("stored mapping satisfies the invariants")
+    )?)
 }
 
 /// Save `moving(real)`.
@@ -173,30 +191,26 @@ pub fn save_mreal(m: &MovingReal, store: &mut PageStore) -> StoredMapping {
         })
         .collect();
     StoredMapping {
-        num_units: records.len() as u32,
+        num_units: count_u32(records.len()),
         units: save_array(&records, store),
     }
 }
 
 /// Load `moving(real)`.
-pub fn load_mreal(stored: &StoredMapping, store: &PageStore) -> MovingReal {
-    let records: Vec<URealRecord> = load_array(&stored.units, store);
-    Mapping::try_new(
-        records
-            .into_iter()
-            .map(|r| {
-                UReal::try_new(
-                    r.interval,
-                    Real::new(r.a),
-                    Real::new(r.b),
-                    Real::new(r.c),
-                    r.r,
-                )
-                .expect("stored ureal is valid")
-            })
-            .collect(),
-    )
-    .expect("stored mapping satisfies the invariants")
+pub fn load_mreal(stored: &StoredMapping, store: &PageStore) -> DecodeResult<MovingReal> {
+    check_root_count(stored.num_units, &stored.units)?;
+    let records: Vec<URealRecord> = load_array(&stored.units, store)?;
+    let mut units = Vec::with_capacity(records.len());
+    for r in records {
+        units.push(UReal::try_new(
+            r.interval,
+            Real::try_new(r.a)?,
+            Real::try_new(r.b)?,
+            Real::try_new(r.c)?,
+            r.r,
+        )?);
+    }
+    Ok(Mapping::try_new(units)?)
 }
 
 /// Save `moving(point)`.
@@ -210,21 +224,21 @@ pub fn save_mpoint(m: &MovingPoint, store: &mut PageStore) -> StoredMapping {
         })
         .collect();
     StoredMapping {
-        num_units: records.len() as u32,
+        num_units: count_u32(records.len()),
         units: save_array(&records, store),
     }
 }
 
 /// Load `moving(point)`.
-pub fn load_mpoint(stored: &StoredMapping, store: &PageStore) -> MovingPoint {
-    let records: Vec<UPointRecord> = load_array(&stored.units, store);
-    Mapping::try_new(
+pub fn load_mpoint(stored: &StoredMapping, store: &PageStore) -> DecodeResult<MovingPoint> {
+    check_root_count(stored.num_units, &stored.units)?;
+    let records: Vec<UPointRecord> = load_array(&stored.units, store)?;
+    Ok(Mapping::try_new(
         records
             .into_iter()
             .map(|r| UPoint::new(r.interval, r.motion))
             .collect(),
-    )
-    .expect("stored mapping satisfies the invariants")
+    )?)
 }
 
 // ---------------------------------------------------------------------
@@ -245,6 +259,7 @@ pub struct UPointsRecord {
 
 impl FixedRecord for UPointsRecord {
     const SIZE: usize = TimeInterval::SIZE + SubArrayRef::SIZE + 48;
+    const WHAT: &'static str = "upoints record";
     fn write(&self, out: &mut Vec<u8>) {
         self.interval.write(out);
         self.sub.write(out);
@@ -252,17 +267,18 @@ impl FixedRecord for UPointsRecord {
             put_f64(out, v);
         }
     }
-    fn read(buf: &[u8]) -> Self {
+    fn read(buf: &[u8]) -> DecodeResult<Self> {
+        crate::record::need_bytes(buf, Self::SIZE, Self::WHAT)?;
         let o = TimeInterval::SIZE + SubArrayRef::SIZE;
         let mut cube = [0.0; 6];
         for (k, c) in cube.iter_mut().enumerate() {
-            *c = get_f64(buf, o + 8 * k);
+            *c = get_f64(buf, o + 8 * k)?;
         }
-        UPointsRecord {
-            interval: TimeInterval::read(buf),
-            sub: SubArrayRef::read(&buf[TimeInterval::SIZE..]),
+        Ok(UPointsRecord {
+            interval: TimeInterval::read(buf)?,
+            sub: SubArrayRef::read(&buf[TimeInterval::SIZE..])?,
             cube,
-        }
+        })
     }
 }
 
@@ -284,14 +300,14 @@ pub fn save_mpoints(m: &MovingPoints, store: &mut PageStore) -> StoredMPoints {
     let mut motions: Vec<PointMotion> = Vec::new();
     let mut records: Vec<UPointsRecord> = Vec::with_capacity(m.num_units());
     for u in m.units() {
-        let start = motions.len() as u32;
+        let start = count_u32(motions.len());
         motions.extend_from_slice(u.motions());
         let cube = u.bounding_cube();
         records.push(UPointsRecord {
             interval: *u.interval(),
             sub: SubArrayRef {
                 start,
-                end: motions.len() as u32,
+                end: count_u32(motions.len()),
             },
             cube: [
                 cube.rect.min_x().get(),
@@ -304,26 +320,26 @@ pub fn save_mpoints(m: &MovingPoints, store: &mut PageStore) -> StoredMPoints {
         });
     }
     StoredMPoints {
-        num_units: records.len() as u32,
+        num_units: count_u32(records.len()),
         units: save_array(&records, store),
         motions: save_array(&motions, store),
     }
 }
 
 /// Load `moving(points)`.
-pub fn load_mpoints(stored: &StoredMPoints, store: &PageStore) -> MovingPoints {
-    let records: Vec<UPointsRecord> = load_array(&stored.units, store);
-    let motions: Vec<PointMotion> = load_array(&stored.motions, store);
-    Mapping::try_new(
-        records
-            .into_iter()
-            .map(|r| {
-                UPoints::try_new(r.interval, r.sub.slice(&motions).to_vec())
-                    .expect("stored upoints is valid")
-            })
-            .collect(),
-    )
-    .expect("stored mapping satisfies the invariants")
+pub fn load_mpoints(stored: &StoredMPoints, store: &PageStore) -> DecodeResult<MovingPoints> {
+    check_root_count(stored.num_units, &stored.units)?;
+    let records: Vec<UPointsRecord> = load_array(&stored.units, store)?;
+    let motions: Vec<PointMotion> = load_array(&stored.motions, store)?;
+    let mut units = Vec::with_capacity(records.len());
+    for r in records {
+        r.sub.check(motions.len(), UPointsRecord::WHAT)?;
+        units.push(UPoints::try_new(
+            r.interval,
+            r.sub.slice(&motions).to_vec(),
+        )?);
+    }
+    Ok(Mapping::try_new(units)?)
 }
 
 // ---------------------------------------------------------------------
@@ -344,6 +360,7 @@ pub struct ULineRecord {
 
 impl FixedRecord for ULineRecord {
     const SIZE: usize = TimeInterval::SIZE + SubArrayRef::SIZE + 48;
+    const WHAT: &'static str = "uline record";
     fn write(&self, out: &mut Vec<u8>) {
         self.interval.write(out);
         self.sub.write(out);
@@ -351,17 +368,18 @@ impl FixedRecord for ULineRecord {
             put_f64(out, v);
         }
     }
-    fn read(buf: &[u8]) -> Self {
+    fn read(buf: &[u8]) -> DecodeResult<Self> {
+        crate::record::need_bytes(buf, Self::SIZE, Self::WHAT)?;
         let o = TimeInterval::SIZE + SubArrayRef::SIZE;
         let mut cube = [0.0; 6];
         for (k, c) in cube.iter_mut().enumerate() {
-            *c = get_f64(buf, o + 8 * k);
+            *c = get_f64(buf, o + 8 * k)?;
         }
-        ULineRecord {
-            interval: TimeInterval::read(buf),
-            sub: SubArrayRef::read(&buf[TimeInterval::SIZE..]),
+        Ok(ULineRecord {
+            interval: TimeInterval::read(buf)?,
+            sub: SubArrayRef::read(&buf[TimeInterval::SIZE..])?,
             cube,
-        }
+        })
     }
 }
 
@@ -381,7 +399,7 @@ pub fn save_mline(m: &MovingLine, store: &mut PageStore) -> StoredMLine {
     let mut msegments: Vec<MSegRecord> = Vec::new();
     let mut records: Vec<ULineRecord> = Vec::with_capacity(m.num_units());
     for u in m.units() {
-        let start = msegments.len() as u32;
+        let start = count_u32(msegments.len());
         for ms in u.msegs() {
             msegments.push(MSegRecord {
                 s: *ms.start_motion(),
@@ -393,7 +411,7 @@ pub fn save_mline(m: &MovingLine, store: &mut PageStore) -> StoredMLine {
             interval: *u.interval(),
             sub: SubArrayRef {
                 start,
-                end: msegments.len() as u32,
+                end: count_u32(msegments.len()),
             },
             cube: [
                 cube.rect.min_x().get(),
@@ -406,31 +424,27 @@ pub fn save_mline(m: &MovingLine, store: &mut PageStore) -> StoredMLine {
         });
     }
     StoredMLine {
-        num_units: records.len() as u32,
+        num_units: count_u32(records.len()),
         units: save_array(&records, store),
         msegments: save_array(&msegments, store),
     }
 }
 
 /// Load `moving(line)`.
-pub fn load_mline(stored: &StoredMLine, store: &PageStore) -> MovingLine {
-    let records: Vec<ULineRecord> = load_array(&stored.units, store);
-    let msegments: Vec<MSegRecord> = load_array(&stored.msegments, store);
-    Mapping::try_new(
-        records
-            .into_iter()
-            .map(|r| {
-                let msegs = r
-                    .sub
-                    .slice(&msegments)
-                    .iter()
-                    .map(|rec| MSeg::try_new(rec.s, rec.e).expect("stored mseg is valid"))
-                    .collect();
-                ULine::try_new(r.interval, msegs).expect("stored uline is valid")
-            })
-            .collect(),
-    )
-    .expect("stored mapping satisfies the invariants")
+pub fn load_mline(stored: &StoredMLine, store: &PageStore) -> DecodeResult<MovingLine> {
+    check_root_count(stored.num_units, &stored.units)?;
+    let records: Vec<ULineRecord> = load_array(&stored.units, store)?;
+    let msegments: Vec<MSegRecord> = load_array(&stored.msegments, store)?;
+    let mut units = Vec::with_capacity(records.len());
+    for r in records {
+        r.sub.check(msegments.len(), ULineRecord::WHAT)?;
+        let mut msegs = Vec::with_capacity(r.sub.len());
+        for rec in r.sub.slice(&msegments) {
+            msegs.push(MSeg::try_new(rec.s, rec.e)?);
+        }
+        units.push(ULine::try_new(r.interval, msegs)?);
+    }
+    Ok(Mapping::try_new(units)?)
 }
 
 // ---------------------------------------------------------------------
@@ -448,15 +462,17 @@ pub struct MSegRecord {
 
 impl FixedRecord for MSegRecord {
     const SIZE: usize = 2 * PointMotion::SIZE;
+    const WHAT: &'static str = "mseg record";
     fn write(&self, out: &mut Vec<u8>) {
         self.s.write(out);
         self.e.write(out);
     }
-    fn read(buf: &[u8]) -> Self {
-        MSegRecord {
-            s: PointMotion::read(buf),
-            e: PointMotion::read(&buf[PointMotion::SIZE..]),
-        }
+    fn read(buf: &[u8]) -> DecodeResult<Self> {
+        crate::record::need_bytes(buf, Self::SIZE, Self::WHAT)?;
+        Ok(MSegRecord {
+            s: PointMotion::read(buf)?,
+            e: PointMotion::read(&buf[PointMotion::SIZE..])?,
+        })
     }
 }
 
@@ -471,15 +487,16 @@ pub struct MCycleRecord {
 
 impl FixedRecord for MCycleRecord {
     const SIZE: usize = SubArrayRef::SIZE + 1;
+    const WHAT: &'static str = "mcycle record";
     fn write(&self, out: &mut Vec<u8>) {
         self.msegs.write(out);
         out.push(u8::from(self.is_hole));
     }
-    fn read(buf: &[u8]) -> Self {
-        MCycleRecord {
-            msegs: SubArrayRef::read(buf),
-            is_hole: buf[SubArrayRef::SIZE] != 0,
-        }
+    fn read(buf: &[u8]) -> DecodeResult<Self> {
+        Ok(MCycleRecord {
+            msegs: SubArrayRef::read(buf)?,
+            is_hole: get_bool(buf, SubArrayRef::SIZE)?,
+        })
     }
 }
 
@@ -493,13 +510,14 @@ pub struct MFaceRecord {
 
 impl FixedRecord for MFaceRecord {
     const SIZE: usize = SubArrayRef::SIZE;
+    const WHAT: &'static str = "mface record";
     fn write(&self, out: &mut Vec<u8>) {
         self.cycles.write(out);
     }
-    fn read(buf: &[u8]) -> Self {
-        MFaceRecord {
-            cycles: SubArrayRef::read(buf),
-        }
+    fn read(buf: &[u8]) -> DecodeResult<Self> {
+        Ok(MFaceRecord {
+            cycles: SubArrayRef::read(buf)?,
+        })
     }
 }
 
@@ -521,6 +539,7 @@ pub struct URegionRecord {
 
 impl FixedRecord for URegionRecord {
     const SIZE: usize = TimeInterval::SIZE + SubArrayRef::SIZE + 48 + 24;
+    const WHAT: &'static str = "uregion record";
     fn write(&self, out: &mut Vec<u8>) {
         self.interval.write(out);
         self.faces.write(out);
@@ -531,22 +550,23 @@ impl FixedRecord for URegionRecord {
             put_f64(out, v);
         }
     }
-    fn read(buf: &[u8]) -> Self {
+    fn read(buf: &[u8]) -> DecodeResult<Self> {
+        crate::record::need_bytes(buf, Self::SIZE, Self::WHAT)?;
         let o = TimeInterval::SIZE + SubArrayRef::SIZE;
         let mut cube = [0.0; 6];
         for (k, c) in cube.iter_mut().enumerate() {
-            *c = get_f64(buf, o + 8 * k);
+            *c = get_f64(buf, o + 8 * k)?;
         }
         let mut area = [0.0; 3];
         for (k, c) in area.iter_mut().enumerate() {
-            *c = get_f64(buf, o + 48 + 8 * k);
+            *c = get_f64(buf, o + 48 + 8 * k)?;
         }
-        URegionRecord {
-            interval: TimeInterval::read(buf),
-            faces: SubArrayRef::read(&buf[TimeInterval::SIZE..]),
+        Ok(URegionRecord {
+            interval: TimeInterval::read(buf)?,
+            faces: SubArrayRef::read(&buf[TimeInterval::SIZE..])?,
             cube,
             area,
-        }
+        })
     }
 }
 
@@ -573,11 +593,11 @@ pub fn save_mregion(m: &MovingRegion, store: &mut PageStore) -> StoredMRegion {
     let mut mfaces: Vec<MFaceRecord> = Vec::new();
     let mut records: Vec<URegionRecord> = Vec::with_capacity(m.num_units());
     for u in m.units() {
-        let face_start = mfaces.len() as u32;
+        let face_start = count_u32(mfaces.len());
         for f in u.faces() {
-            let cycle_start = mcycles.len() as u32;
+            let cycle_start = count_u32(mcycles.len());
             let mut push_cycle = |cyc: &MCycle, is_hole: bool, mcycles: &mut Vec<MCycleRecord>| {
-                let seg_start = msegments.len() as u32;
+                let seg_start = count_u32(msegments.len());
                 for ms in cyc.msegs() {
                     msegments.push(MSegRecord {
                         s: *ms.start_motion(),
@@ -587,7 +607,7 @@ pub fn save_mregion(m: &MovingRegion, store: &mut PageStore) -> StoredMRegion {
                 mcycles.push(MCycleRecord {
                     msegs: SubArrayRef {
                         start: seg_start,
-                        end: msegments.len() as u32,
+                        end: count_u32(msegments.len()),
                     },
                     is_hole,
                 });
@@ -599,7 +619,7 @@ pub fn save_mregion(m: &MovingRegion, store: &mut PageStore) -> StoredMRegion {
             mfaces.push(MFaceRecord {
                 cycles: SubArrayRef {
                     start: cycle_start,
-                    end: mcycles.len() as u32,
+                    end: count_u32(mcycles.len()),
                 },
             });
         }
@@ -609,7 +629,7 @@ pub fn save_mregion(m: &MovingRegion, store: &mut PageStore) -> StoredMRegion {
             interval: *u.interval(),
             faces: SubArrayRef {
                 start: face_start,
-                end: mfaces.len() as u32,
+                end: count_u32(mfaces.len()),
             },
             cube: [
                 cube.rect.min_x().get(),
@@ -623,7 +643,7 @@ pub fn save_mregion(m: &MovingRegion, store: &mut PageStore) -> StoredMRegion {
         });
     }
     StoredMRegion {
-        num_units: records.len() as u32,
+        num_units: count_u32(records.len()),
         units: save_array(&records, store),
         msegments: save_array(&msegments, store),
         mcycles: save_array(&mcycles, store),
@@ -632,35 +652,42 @@ pub fn save_mregion(m: &MovingRegion, store: &mut PageStore) -> StoredMRegion {
 }
 
 /// Load `moving(region)` by reassembling cycles from the motion chains.
-pub fn load_mregion(stored: &StoredMRegion, store: &PageStore) -> MovingRegion {
-    let records: Vec<URegionRecord> = load_array(&stored.units, store);
-    let msegments: Vec<MSegRecord> = load_array(&stored.msegments, store);
-    let mcycles: Vec<MCycleRecord> = load_array(&stored.mcycles, store);
-    let mfaces: Vec<MFaceRecord> = load_array(&stored.mfaces, store);
-    let cycle_from = |rec: &MCycleRecord| -> MCycle {
+pub fn load_mregion(stored: &StoredMRegion, store: &PageStore) -> DecodeResult<MovingRegion> {
+    check_root_count(stored.num_units, &stored.units)?;
+    let records: Vec<URegionRecord> = load_array(&stored.units, store)?;
+    let msegments: Vec<MSegRecord> = load_array(&stored.msegments, store)?;
+    let mcycles: Vec<MCycleRecord> = load_array(&stored.mcycles, store)?;
+    let mfaces: Vec<MFaceRecord> = load_array(&stored.mfaces, store)?;
+    let cycle_from = |rec: &MCycleRecord| -> DecodeResult<MCycle> {
         // Each consecutive mseg shares its start motion with the
         // previous end; the vertex list is the start motions in order.
+        rec.msegs.check(msegments.len(), MCycleRecord::WHAT)?;
         let verts: Vec<PointMotion> = rec.msegs.slice(&msegments).iter().map(|ms| ms.s).collect();
-        MCycle::try_new(verts).expect("stored mcycle is valid")
+        Ok(MCycle::try_new(verts)?)
     };
-    let units: Vec<URegion> = records
-        .iter()
-        .map(|r| {
-            let faces: Vec<MFace> = r
-                .faces
-                .slice(&mfaces)
-                .iter()
-                .map(|fr| {
-                    let cycles = fr.cycles.slice(&mcycles);
-                    let outer = cycle_from(&cycles[0]);
-                    let holes = cycles[1..].iter().map(cycle_from).collect();
-                    MFace::new(outer, holes)
-                })
-                .collect();
-            URegion::try_new(r.interval, faces).expect("stored uregion is valid")
-        })
-        .collect();
-    Mapping::try_new(units).expect("stored mapping satisfies the invariants")
+    let mut units: Vec<URegion> = Vec::with_capacity(records.len());
+    for r in &records {
+        r.faces.check(mfaces.len(), URegionRecord::WHAT)?;
+        let mut faces: Vec<MFace> = Vec::with_capacity(r.faces.len());
+        for fr in r.faces.slice(&mfaces) {
+            fr.cycles.check(mcycles.len(), MFaceRecord::WHAT)?;
+            let cycles = fr.cycles.slice(&mcycles);
+            let Some((outer_rec, hole_recs)) = cycles.split_first() else {
+                return Err(DecodeError::BadStructure {
+                    what: MFaceRecord::WHAT,
+                    detail: "face references an empty cycle range".to_string(),
+                });
+            };
+            let outer = cycle_from(outer_rec)?;
+            let mut holes = Vec::with_capacity(hole_recs.len());
+            for h in hole_recs {
+                holes.push(cycle_from(h)?);
+            }
+            faces.push(MFace::new(outer, holes));
+        }
+        units.push(URegion::try_new(r.interval, faces)?);
+    }
+    Ok(Mapping::try_new(units)?)
 }
 
 #[cfg(test)]
@@ -683,7 +710,7 @@ mod tests {
         let mut store = PageStore::new();
         let stored = save_mbool(&m, &mut store);
         assert_eq!(stored.num_units, 2);
-        assert_eq!(load_mbool(&stored, &store), m);
+        assert_eq!(load_mbool(&stored, &store).unwrap(), m);
     }
 
     #[test]
@@ -700,7 +727,7 @@ mod tests {
         .unwrap();
         let mut store = PageStore::new();
         let stored = save_mreal(&m, &mut store);
-        let back = load_mreal(&stored, &store);
+        let back = load_mreal(&stored, &store).unwrap();
         assert_eq!(back, m);
         assert_eq!(back.at_instant(t(1.5)), Val::Def(r(2.0)));
     }
@@ -714,7 +741,7 @@ mod tests {
         ]);
         let mut store = PageStore::new();
         let stored = save_mpoint(&m, &mut store);
-        let back = load_mpoint(&stored, &store);
+        let back = load_mpoint(&stored, &store).unwrap();
         assert_eq!(back, m);
         assert_eq!(back.at_instant(t(0.5)), Val::Def(pt(1.0, 0.5)));
     }
@@ -743,9 +770,9 @@ mod tests {
         let stored = save_mpoints(&m, &mut store);
         assert_eq!(stored.num_units, 2);
         // One shared motions array holding 5 records.
-        let motions: Vec<PointMotion> = load_array(&stored.motions, &store);
+        let motions: Vec<PointMotion> = load_array(&stored.motions, &store).unwrap();
         assert_eq!(motions.len(), 5);
-        let back = load_mpoints(&stored, &store);
+        let back = load_mpoints(&stored, &store).unwrap();
         assert_eq!(back, m);
     }
 
@@ -767,7 +794,7 @@ mod tests {
         let mut store = PageStore::new();
         let stored = save_mregion(&m, &mut store);
         assert_eq!(stored.num_units, 2);
-        let back = load_mregion(&stored, &store);
+        let back = load_mregion(&stored, &store).unwrap();
         // Compare semantically: same region at probe instants.
         for k in [0.0, 0.5, 1.0, 1.5, 2.0] {
             let a = m.at_instant(t(k)).unwrap();
@@ -789,7 +816,7 @@ mod tests {
         let m: MovingRegion = Mapping::single(u.clone());
         let mut store = PageStore::new();
         let stored = save_mregion(&m, &mut store);
-        let rec: Vec<URegionRecord> = crate::dbarray::load_array(&stored.units, &store);
+        let rec: Vec<URegionRecord> = crate::dbarray::load_array(&stored.units, &store).unwrap();
         let [a, b, c] = rec[0].area;
         for k in [0.0f64, 0.5, 1.0] {
             let summary = a * k * k + b * k + c;
@@ -819,7 +846,7 @@ mod tests {
         );
         let mut store = PageStore::new();
         let stored = save_mregion(&m, &mut store);
-        let back = load_mregion(&stored, &store);
+        let back = load_mregion(&stored, &store).unwrap();
         let reg = back.at_instant(t(0.5)).unwrap();
         assert_eq!(reg.num_cycles(), 2);
         assert_eq!(reg.area(), r(15.0));
@@ -853,7 +880,7 @@ mod tests {
         let mut store = PageStore::new();
         let stored = save_mline(&ml, &mut store);
         assert_eq!(stored.num_units, 2);
-        let back = load_mline(&stored, &store);
+        let back = load_mline(&stored, &store).unwrap();
         assert_eq!(back, ml);
         for k in [0.0, 0.5, 1.5, 2.0] {
             assert_eq!(back.at_instant(t(k)).unwrap(), ml.at_instant(t(k)).unwrap());
@@ -865,6 +892,6 @@ mod tests {
         let mut store = PageStore::new();
         let stored = save_mpoint(&MovingPoint::empty(), &mut store);
         assert_eq!(stored.num_units, 0);
-        assert!(load_mpoint(&stored, &store).is_empty());
+        assert!(load_mpoint(&stored, &store).unwrap().is_empty());
     }
 }

@@ -6,6 +6,7 @@
 //! chains of fixed-size pages, and page reads/writes are counted so that
 //! experiments can measure I/O behaviour (experiment E5).
 
+use mob_base::{DecodeError, DecodeResult};
 use std::cell::Cell;
 
 /// Default page size (bytes), matching common DBMS pages.
@@ -14,6 +15,23 @@ pub const DEFAULT_PAGE_SIZE: usize = 4096;
 /// Identifier of a stored blob (a chain of pages).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub struct BlobId(usize);
+
+impl BlobId {
+    /// The raw index of the blob inside its [`PageStore`].
+    ///
+    /// Exposed so a serialized root record can reference its blob by
+    /// index; [`PageStore::write_blob`] assigns indices sequentially, so
+    /// rewriting blobs in index order reproduces the same ids.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Reconstruct a blob id from a raw index (used by store-file
+    /// loading; validity is checked at first access).
+    pub fn from_index(index: usize) -> BlobId {
+        BlobId(index)
+    }
+}
 
 struct Blob {
     /// Page images; all but the last are full.
@@ -68,7 +86,75 @@ impl PageStore {
         BlobId(self.blobs.len() - 1)
     }
 
+    /// Number of blobs currently stored.
+    pub fn num_blobs(&self) -> usize {
+        self.blobs.len()
+    }
+
+    /// Exact byte length of a blob, or a [`DecodeError`] for a dangling
+    /// blob id.
+    pub fn blob_len(&self, id: BlobId) -> DecodeResult<usize> {
+        match self.blobs.get(id.0) {
+            Some(b) => Ok(b.len),
+            None => Err(DecodeError::OutOfBounds {
+                what: "blob id",
+                index: id.0,
+                bound: self.blobs.len(),
+            }),
+        }
+    }
+
+    /// Fallible counterpart of [`PageStore::read_blob`]: dangling blob
+    /// ids (e.g. decoded from corrupt root records) surface as a
+    /// [`DecodeError`] instead of a panic.
+    pub fn try_read_blob(&self, id: BlobId) -> DecodeResult<Vec<u8>> {
+        let blob = match self.blobs.get(id.0) {
+            Some(b) => b,
+            None => {
+                return Err(DecodeError::OutOfBounds {
+                    what: "blob id",
+                    index: id.0,
+                    bound: self.blobs.len(),
+                })
+            }
+        };
+        self.pages_read
+            .set(self.pages_read.get() + blob.pages.len() as u64);
+        let mut out = Vec::with_capacity(blob.len);
+        for p in &blob.pages {
+            out.extend_from_slice(p);
+        }
+        Ok(out)
+    }
+
+    /// Fallible counterpart of [`PageStore::read_blob_range`]: dangling
+    /// ids and out-of-range byte ranges surface as [`DecodeError`]s.
+    pub fn try_read_blob_range(
+        &self,
+        id: BlobId,
+        offset: usize,
+        len: usize,
+    ) -> DecodeResult<Vec<u8>> {
+        let blob_len = self.blob_len(id)?;
+        let end = offset.checked_add(len).ok_or(DecodeError::OutOfBounds {
+            what: "blob range",
+            index: usize::MAX,
+            bound: blob_len,
+        })?;
+        if end > blob_len {
+            return Err(DecodeError::OutOfBounds {
+                what: "blob range",
+                index: end,
+                bound: blob_len,
+            });
+        }
+        Ok(self.read_blob_range(id, offset, len))
+    }
+
     /// Read a blob back, counting one page read per page.
+    ///
+    /// Panics on a dangling id — for trusted in-process ids only; decode
+    /// paths use [`PageStore::try_read_blob`].
     pub fn read_blob(&self, id: BlobId) -> Vec<u8> {
         let blob = &self.blobs[id.0];
         self.pages_read
@@ -190,6 +276,24 @@ mod tests {
         let id = store.write_blob(&[]);
         assert_eq!(store.blob_pages(id), 0);
         assert!(store.read_blob(id).is_empty());
+    }
+
+    #[test]
+    fn try_reads_reject_bad_ids_and_ranges() {
+        let mut store = PageStore::with_page_size(8);
+        let id = store.write_blob(&[1, 2, 3, 4]);
+        assert_eq!(store.num_blobs(), 1);
+        assert_eq!(store.blob_len(id).unwrap(), 4);
+        assert_eq!(store.try_read_blob(id).unwrap(), vec![1, 2, 3, 4]);
+        assert_eq!(store.try_read_blob_range(id, 1, 2).unwrap(), vec![2, 3]);
+        // Dangling id.
+        let dangling = BlobId::from_index(7);
+        assert!(store.blob_len(dangling).is_err());
+        assert!(store.try_read_blob(dangling).is_err());
+        assert!(store.try_read_blob_range(dangling, 0, 1).is_err());
+        // Out-of-range byte window.
+        assert!(store.try_read_blob_range(id, 2, 3).is_err());
+        assert!(store.try_read_blob_range(id, usize::MAX, 2).is_err());
     }
 
     #[test]

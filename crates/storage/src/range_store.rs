@@ -3,10 +3,11 @@
 //! type `range(α)` is represented as an array of interval records
 //! ordered by value".
 
+use crate::checked::count_u32;
 use crate::dbarray::{load_array, save_array, SavedArray};
 use crate::page::PageStore;
 use crate::record::FixedRecord;
-use mob_base::{Instant, Intime, Periods, TimeInterval};
+use mob_base::{DecodeResult, Instant, Intime, Periods, TimeInterval};
 use mob_spatial::Point;
 
 /// A stored `range(instant)` value.
@@ -22,15 +23,15 @@ pub struct StoredPeriods {
 pub fn save_periods(p: &Periods, store: &mut PageStore) -> StoredPeriods {
     let records: Vec<TimeInterval> = p.iter().copied().collect();
     StoredPeriods {
-        count: records.len() as u32,
+        count: count_u32(records.len()),
         intervals: save_array(&records, store),
     }
 }
 
 /// Load a periods value back.
-pub fn load_periods(stored: &StoredPeriods, store: &PageStore) -> Periods {
-    let records: Vec<TimeInterval> = load_array(&stored.intervals, store);
-    Periods::try_new(records).expect("stored periods satisfy the invariants")
+pub fn load_periods(stored: &StoredPeriods, store: &PageStore) -> DecodeResult<Periods> {
+    let records: Vec<TimeInterval> = load_array(&stored.intervals, store)?;
+    Ok(Periods::try_new(records)?)
 }
 
 /// An `intime(point)` record: instant plus position (Sec 4.1: "a value
@@ -45,15 +46,17 @@ pub struct IPointRecord {
 
 impl FixedRecord for IPointRecord {
     const SIZE: usize = Instant::SIZE + Point::SIZE;
+    const WHAT: &'static str = "intime(point) record";
     fn write(&self, out: &mut Vec<u8>) {
         self.instant.write(out);
         self.value.write(out);
     }
-    fn read(buf: &[u8]) -> Self {
-        IPointRecord {
-            instant: Instant::read(buf),
-            value: Point::read(&buf[Instant::SIZE..]),
-        }
+    fn read(buf: &[u8]) -> DecodeResult<Self> {
+        crate::record::need_bytes(buf, Self::SIZE, Self::WHAT)?;
+        Ok(IPointRecord {
+            instant: Instant::read(buf)?,
+            value: Point::read(&buf[Instant::SIZE..])?,
+        })
     }
 }
 
@@ -88,7 +91,7 @@ mod tests {
         let mut store = PageStore::new();
         let stored = save_periods(&p, &mut store);
         assert_eq!(stored.count, 3);
-        assert_eq!(load_periods(&stored, &store), p);
+        assert_eq!(load_periods(&stored, &store).unwrap(), p);
     }
 
     #[test]
@@ -96,7 +99,7 @@ mod tests {
         let mut store = PageStore::new();
         let stored = save_periods(&Periods::empty(), &mut store);
         assert_eq!(stored.count, 0);
-        assert!(load_periods(&stored, &store).is_empty());
+        assert!(load_periods(&stored, &store).unwrap().is_empty());
     }
 
     #[test]
@@ -109,7 +112,7 @@ mod tests {
         let mut store = PageStore::new();
         let stored = save_periods(&p, &mut store);
         assert!(!stored.intervals.is_inline());
-        assert_eq!(load_periods(&stored, &store), p);
+        assert_eq!(load_periods(&stored, &store).unwrap(), p);
     }
 
     #[test]
@@ -119,7 +122,7 @@ mod tests {
         let mut buf = Vec::new();
         rec.write(&mut buf);
         assert_eq!(buf.len(), IPointRecord::SIZE);
-        let back: Intime<Point> = IPointRecord::read(&buf).into();
+        let back: Intime<Point> = IPointRecord::read(&buf).unwrap().into();
         assert_eq!(back, it);
     }
 }

@@ -7,11 +7,12 @@
 //! to its first cycle. The root record carries counts, bounding box,
 //! area and perimeter summary fields.
 
+use crate::checked::{count_u32, idx_usize};
 use crate::dbarray::{load_array, save_array, SavedArray};
 use crate::line_store::HalfSegRecord;
 use crate::page::PageStore;
-use crate::record::{get_u32, put_u32, FixedRecord};
-use mob_base::error::Result;
+use crate::record::{get_bool, get_u32, put_u32, FixedRecord};
+use mob_base::{DecodeError, DecodeResult};
 use mob_spatial::{Face, HalfSeg, Point, Region, Ring, Seg};
 use std::collections::BTreeMap;
 
@@ -32,17 +33,18 @@ pub struct RegionHalfSegRecord {
 
 impl FixedRecord for RegionHalfSegRecord {
     const SIZE: usize = HalfSegRecord::SIZE + 8;
+    const WHAT: &'static str = "region halfsegment record";
     fn write(&self, out: &mut Vec<u8>) {
         self.hs.write(out);
         put_u32(out, self.next_in_cycle);
         put_u32(out, self.cycle);
     }
-    fn read(buf: &[u8]) -> Self {
-        RegionHalfSegRecord {
-            hs: HalfSegRecord::read(buf),
-            next_in_cycle: get_u32(buf, HalfSegRecord::SIZE),
-            cycle: get_u32(buf, HalfSegRecord::SIZE + 4),
-        }
+    fn read(buf: &[u8]) -> DecodeResult<Self> {
+        Ok(RegionHalfSegRecord {
+            hs: HalfSegRecord::read(buf)?,
+            next_in_cycle: get_u32(buf, HalfSegRecord::SIZE)?,
+            cycle: get_u32(buf, HalfSegRecord::SIZE + 4)?,
+        })
     }
 }
 
@@ -59,17 +61,18 @@ pub struct CycleRecord {
 
 impl FixedRecord for CycleRecord {
     const SIZE: usize = 9;
+    const WHAT: &'static str = "cycle record";
     fn write(&self, out: &mut Vec<u8>) {
         put_u32(out, self.first_halfseg);
         put_u32(out, self.next_cycle_in_face);
         out.push(u8::from(self.is_hole));
     }
-    fn read(buf: &[u8]) -> Self {
-        CycleRecord {
-            first_halfseg: get_u32(buf, 0),
-            next_cycle_in_face: get_u32(buf, 4),
-            is_hole: buf[8] != 0,
-        }
+    fn read(buf: &[u8]) -> DecodeResult<Self> {
+        Ok(CycleRecord {
+            first_halfseg: get_u32(buf, 0)?,
+            next_cycle_in_face: get_u32(buf, 4)?,
+            is_hole: get_bool(buf, 8)?,
+        })
     }
 }
 
@@ -82,13 +85,14 @@ pub struct FaceRecord {
 
 impl FixedRecord for FaceRecord {
     const SIZE: usize = 4;
+    const WHAT: &'static str = "face record";
     fn write(&self, out: &mut Vec<u8>) {
         put_u32(out, self.first_cycle);
     }
-    fn read(buf: &[u8]) -> Self {
-        FaceRecord {
-            first_cycle: get_u32(buf, 0),
-        }
+    fn read(buf: &[u8]) -> DecodeResult<Self> {
+        Ok(FaceRecord {
+            first_cycle: get_u32(buf, 0)?,
+        })
     }
 }
 
@@ -123,7 +127,7 @@ pub fn save_region(region: &Region, store: &mut PageStore) -> StoredRegion {
     let index: BTreeMap<(Seg, bool), u32> = hsegs
         .iter()
         .enumerate()
-        .map(|(i, h)| ((h.seg(), h.is_left()), i as u32))
+        .map(|(i, h)| ((h.seg(), h.is_left()), count_u32(i)))
         .collect();
     let mut records: Vec<RegionHalfSegRecord> = hsegs
         .iter()
@@ -136,12 +140,12 @@ pub fn save_region(region: &Region, store: &mut PageStore) -> StoredRegion {
     let mut cycles: Vec<CycleRecord> = Vec::new();
     let mut faces: Vec<FaceRecord> = Vec::new();
     for face in region.faces() {
-        let face_first_cycle = cycles.len() as u32;
+        let face_first_cycle = count_u32(cycles.len());
         faces.push(FaceRecord {
             first_cycle: face_first_cycle,
         });
         let mut link_cycle = |ring: &Ring, is_hole: bool, cycles: &mut Vec<CycleRecord>| {
-            let cycle_id = cycles.len() as u32;
+            let cycle_id = count_u32(cycles.len());
             // Both halfsegments of each ring edge, chained circularly in
             // ring order (left halfsegment then right halfsegment).
             let mut chain: Vec<u32> = Vec::with_capacity(ring.len() * 2);
@@ -170,9 +174,9 @@ pub fn save_region(region: &Region, store: &mut PageStore) -> StoredRegion {
     }
     let bbox = region.bbox();
     StoredRegion {
-        num_faces: region.num_faces() as u32,
-        num_cycles: region.num_cycles() as u32,
-        num_segments: region.num_segments() as u32,
+        num_faces: count_u32(region.num_faces()),
+        num_cycles: count_u32(region.num_cycles()),
+        num_segments: count_u32(region.num_segments()),
         area: region.area().get(),
         perimeter: region.perimeter().get(),
         bbox: [
@@ -189,24 +193,60 @@ pub fn save_region(region: &Region, store: &mut PageStore) -> StoredRegion {
 
 /// Load a `region` value back by following the face → cycle →
 /// halfsegment links.
-pub fn load_region(stored: &StoredRegion, store: &PageStore) -> Result<Region> {
-    let records: Vec<RegionHalfSegRecord> = load_array(&stored.halfsegments, store);
-    let cycles: Vec<CycleRecord> = load_array(&stored.cycles, store);
-    let faces: Vec<FaceRecord> = load_array(&stored.faces, store);
+///
+/// The link structure is untrusted: dangling indices, non-terminating
+/// chains and faces without an outer cycle are reported as
+/// [`DecodeError`]s (a corrupt `next_in_cycle` byte must not hang the
+/// loader).
+pub fn load_region(stored: &StoredRegion, store: &PageStore) -> DecodeResult<Region> {
+    let records: Vec<RegionHalfSegRecord> = load_array(&stored.halfsegments, store)?;
+    let cycles: Vec<CycleRecord> = load_array(&stored.cycles, store)?;
+    let faces: Vec<FaceRecord> = load_array(&stored.faces, store)?;
+    let hs_at = |i: u32| -> DecodeResult<&RegionHalfSegRecord> {
+        records.get(idx_usize(i)).ok_or(DecodeError::OutOfBounds {
+            what: RegionHalfSegRecord::WHAT,
+            index: idx_usize(i),
+            bound: records.len(),
+        })
+    };
     let mut region_faces: Vec<Face> = Vec::with_capacity(faces.len());
     for f in &faces {
         let mut outer: Option<Ring> = None;
         let mut holes: Vec<Ring> = Vec::new();
         let mut cid = f.first_cycle;
+        // Bound the cycle chain: a well-formed chain visits each cycle
+        // at most once.
+        let mut cycle_steps = 0usize;
         while cid != NIL {
-            let c = &cycles[cid as usize];
+            cycle_steps += 1;
+            if cycle_steps > cycles.len() {
+                return Err(DecodeError::BadStructure {
+                    what: CycleRecord::WHAT,
+                    detail: "next_cycle_in_face chain does not terminate".to_string(),
+                });
+            }
+            let c = cycles.get(idx_usize(cid)).ok_or(DecodeError::OutOfBounds {
+                what: CycleRecord::WHAT,
+                index: idx_usize(cid),
+                bound: cycles.len(),
+            })?;
             // Walk the circular chain; keep each edge once (left hs).
+            // Bound the walk: a valid chain has at most `records.len()`
+            // links before returning to its start.
             let mut segs: Vec<Seg> = Vec::new();
             let mut idx = c.first_halfseg;
+            let mut hs_steps = 0usize;
             loop {
-                let rec = &records[idx as usize];
+                hs_steps += 1;
+                if hs_steps > records.len() {
+                    return Err(DecodeError::BadStructure {
+                        what: RegionHalfSegRecord::WHAT,
+                        detail: "next_in_cycle chain does not return to its start".to_string(),
+                    });
+                }
+                let rec = hs_at(idx)?;
                 if rec.hs.left_dom {
-                    segs.push(rec.hs.seg());
+                    segs.push(rec.hs.try_seg()?);
                 }
                 idx = rec.next_in_cycle;
                 if idx == c.first_halfseg {
@@ -221,31 +261,65 @@ pub fn load_region(stored: &StoredRegion, store: &PageStore) -> Result<Region> {
             }
             cid = c.next_cycle_in_face;
         }
-        let outer = outer.expect("face must have an outer cycle");
+        let Some(outer) = outer else {
+            return Err(DecodeError::BadStructure {
+                what: FaceRecord::WHAT,
+                detail: "face has no outer cycle".to_string(),
+            });
+        };
         region_faces.push(Face::try_new(outer, holes)?);
     }
-    Region::try_new(region_faces)
+    Ok(Region::try_new(region_faces)?)
 }
 
 /// Chain an unordered set of cycle edges into a ring (vertex walk).
-pub fn ring_from_segs(segs: &[Seg]) -> Result<Ring> {
+///
+/// Rejects edge sets that are not a single simple cycle (every vertex
+/// must have degree exactly 2, and the walk must close after visiting
+/// all vertices) instead of panicking or looping.
+pub fn ring_from_segs(segs: &[Seg]) -> DecodeResult<Ring> {
     let mut adjacency: BTreeMap<Point, Vec<Point>> = BTreeMap::new();
     for s in segs {
         adjacency.entry(s.u()).or_default().push(s.v());
         adjacency.entry(s.v()).or_default().push(s.u());
     }
-    let start = *adjacency.keys().next().expect("non-empty cycle");
+    for (v, nbrs) in &adjacency {
+        if nbrs.len() != 2 {
+            return Err(DecodeError::BadStructure {
+                what: "cycle edges",
+                detail: format!("vertex {v:?} has degree {} (want 2)", nbrs.len()),
+            });
+        }
+    }
+    let Some(start) = adjacency.keys().next().copied() else {
+        return Err(DecodeError::BadStructure {
+            what: "cycle edges",
+            detail: "empty cycle".to_string(),
+        });
+    };
     let mut walk = vec![start];
     let mut prev = start;
     let mut cur = adjacency[&start][0];
     while cur != start {
+        if walk.len() > adjacency.len() {
+            return Err(DecodeError::BadStructure {
+                what: "cycle edges",
+                detail: "edge walk does not close".to_string(),
+            });
+        }
         walk.push(cur);
         let nbrs = &adjacency[&cur];
         let next = if nbrs[0] == prev { nbrs[1] } else { nbrs[0] };
         prev = cur;
         cur = next;
     }
-    Ring::try_new(walk)
+    if walk.len() != adjacency.len() {
+        return Err(DecodeError::BadStructure {
+            what: "cycle edges",
+            detail: "edges form more than one cycle".to_string(),
+        });
+    }
+    Ok(Ring::try_new(walk)?)
 }
 
 #[cfg(test)]
@@ -296,11 +370,11 @@ mod tests {
         let region = figure3_region();
         let mut store = PageStore::new();
         let stored = save_region(&region, &mut store);
-        let records: Vec<RegionHalfSegRecord> = load_array(&stored.halfsegments, &store);
+        let records: Vec<RegionHalfSegRecord> = load_array(&stored.halfsegments, &store).unwrap();
         // Every halfsegment belongs to exactly one cycle and the chains
         // partition the array.
         let mut seen = vec![false; records.len()];
-        let cycles: Vec<CycleRecord> = load_array(&stored.cycles, &store);
+        let cycles: Vec<CycleRecord> = load_array(&stored.cycles, &store).unwrap();
         for c in &cycles {
             let mut idx = c.first_halfseg;
             loop {

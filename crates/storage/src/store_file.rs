@@ -1,0 +1,608 @@
+//! A serialized store file: page store + named root records.
+//!
+//! Section 4 values are pairs of a *root record* and the database arrays
+//! it references. A [`StoreFile`] bundles a whole [`PageStore`] together
+//! with a catalog of named, typed root records into one byte buffer —
+//! the artifact the `mob-check` auditor and the corruption tests operate
+//! on. Decoding is fully untrusted: every length, tag, blob index and
+//! array reference is checked, and damage surfaces as a
+//! [`DecodeError`], never a panic.
+//!
+//! ## Layout
+//!
+//! ```text
+//! magic    "MOBSTOR1"                      8 bytes
+//! page_sz  u32
+//! n_blobs  u32
+//! blobs    n_blobs × (len u32, bytes)      in BlobId index order
+//! n_entry  u32
+//! entries  n_entry × (name_len u32, name utf-8, kind u8, root record)
+//! ```
+//!
+//! Blobs are written in [`BlobId::index`] order, so replaying them
+//! through [`PageStore::write_blob`] on load reproduces the same blob
+//! ids and every decoded [`SavedArray`] reference stays valid.
+
+use crate::dbarray::{Placement, SavedArray};
+use crate::line_store::{StoredLine, StoredPoints};
+use crate::mapping_store::{StoredMLine, StoredMPoints, StoredMRegion, StoredMapping};
+use crate::page::{BlobId, PageStore};
+use crate::range_store::StoredPeriods;
+use crate::record::{get_f64, get_u32, need_bytes, put_f64, put_u32};
+use crate::region_store::StoredRegion;
+use mob_base::{DecodeError, DecodeResult};
+
+/// File magic: identifies a serialized store file (version 1).
+pub const MAGIC: &[u8; 8] = b"MOBSTOR1";
+
+/// A typed root record held in a store file's catalog.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RootRecord {
+    /// `moving(bool)` (fixed-size units).
+    MBool(StoredMapping),
+    /// `moving(real)` (fixed-size units).
+    MReal(StoredMapping),
+    /// `moving(point)` (fixed-size units).
+    MPoint(StoredMapping),
+    /// `moving(points)` (units + shared motion array).
+    MPoints(StoredMPoints),
+    /// `moving(line)` (units + shared moving-segment array).
+    MLine(StoredMLine),
+    /// `moving(region)` (units + msegment/mcycle/mface arrays).
+    MRegion(StoredMRegion),
+    /// Static `line` (halfsegment array).
+    Line(StoredLine),
+    /// Static `points`.
+    Points(StoredPoints),
+    /// Static `region` (halfsegment + cycle + face arrays).
+    Region(StoredRegion),
+    /// `range(instant)` value.
+    Periods(StoredPeriods),
+}
+
+impl RootRecord {
+    /// The on-file kind tag.
+    fn tag(&self) -> u8 {
+        match self {
+            RootRecord::MBool(_) => 1,
+            RootRecord::MReal(_) => 2,
+            RootRecord::MPoint(_) => 3,
+            RootRecord::MPoints(_) => 4,
+            RootRecord::MLine(_) => 5,
+            RootRecord::MRegion(_) => 6,
+            RootRecord::Line(_) => 7,
+            RootRecord::Points(_) => 8,
+            RootRecord::Region(_) => 9,
+            RootRecord::Periods(_) => 10,
+        }
+    }
+
+    /// Human-readable kind name (used by the auditor's report).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            RootRecord::MBool(_) => "mbool",
+            RootRecord::MReal(_) => "mreal",
+            RootRecord::MPoint(_) => "mpoint",
+            RootRecord::MPoints(_) => "mpoints",
+            RootRecord::MLine(_) => "mline",
+            RootRecord::MRegion(_) => "mregion",
+            RootRecord::Line(_) => "line",
+            RootRecord::Points(_) => "points",
+            RootRecord::Region(_) => "region",
+            RootRecord::Periods(_) => "periods",
+        }
+    }
+}
+
+/// A page store plus a catalog of named root records, serializable to a
+/// single byte buffer.
+pub struct StoreFile {
+    store: PageStore,
+    entries: Vec<(String, RootRecord)>,
+}
+
+impl StoreFile {
+    /// Create an empty store file with the default page size.
+    pub fn new() -> StoreFile {
+        StoreFile {
+            store: PageStore::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Create an empty store file with a custom page size.
+    pub fn with_page_size(page_size: usize) -> StoreFile {
+        StoreFile {
+            store: PageStore::with_page_size(page_size),
+            entries: Vec::new(),
+        }
+    }
+
+    /// The underlying page store (for reads and view construction).
+    pub fn store(&self) -> &PageStore {
+        &self.store
+    }
+
+    /// Mutable page store access, for `save_*` calls that write blobs.
+    pub fn store_mut(&mut self) -> &mut PageStore {
+        &mut self.store
+    }
+
+    /// Register a named root record in the catalog.
+    pub fn put(&mut self, name: impl Into<String>, root: RootRecord) {
+        self.entries.push((name.into(), root));
+    }
+
+    /// The catalog, in insertion order.
+    pub fn entries(&self) -> &[(String, RootRecord)] {
+        &self.entries
+    }
+
+    /// Look up a root record by name.
+    pub fn get(&self, name: &str) -> Option<&RootRecord> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, r)| r)
+    }
+
+    /// Serialize the whole store file (pages + catalog) to bytes.
+    pub fn to_bytes(&self) -> DecodeResult<Vec<u8>> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        put_u32(&mut out, crate::checked::count_u32(self.store.page_size()));
+        let n_blobs = self.store.num_blobs();
+        put_u32(&mut out, crate::checked::count_u32(n_blobs));
+        for i in 0..n_blobs {
+            let bytes = self.store.try_read_blob(BlobId::from_index(i))?;
+            put_u32(&mut out, crate::checked::count_u32(bytes.len()));
+            out.extend_from_slice(&bytes);
+        }
+        put_u32(&mut out, crate::checked::count_u32(self.entries.len()));
+        for (name, root) in &self.entries {
+            put_u32(&mut out, crate::checked::count_u32(name.len()));
+            out.extend_from_slice(name.as_bytes());
+            out.push(root.tag());
+            write_root(&mut out, root);
+        }
+        Ok(out)
+    }
+
+    /// Decode a store file from untrusted bytes.
+    ///
+    /// All structural damage (bad magic, truncations, dangling blob
+    /// indices, unknown kind tags, non-UTF-8 names, trailing garbage)
+    /// surfaces as a [`DecodeError`]. Value-level damage inside the
+    /// blobs is *not* checked here — that is the auditor's job (open
+    /// views / load values and validate them).
+    pub fn from_bytes(bytes: &[u8]) -> DecodeResult<StoreFile> {
+        let mut cur = Cursor::new(bytes);
+        let magic = cur.take(MAGIC.len(), "store file magic")?;
+        if magic != MAGIC {
+            return Err(DecodeError::BadStructure {
+                what: "store file magic",
+                detail: format!("expected {MAGIC:?}, found {magic:?}"),
+            });
+        }
+        let page_size = cur.take_u32("store file page size")?;
+        if page_size == 0 {
+            return Err(DecodeError::BadStructure {
+                what: "store file page size",
+                detail: "page size must be positive".to_string(),
+            });
+        }
+        let mut store = PageStore::with_page_size(crate::checked::idx_usize(page_size));
+        let n_blobs = cur.take_u32("store file blob count")?;
+        for _ in 0..n_blobs {
+            let len = cur.take_u32("store file blob length")?;
+            let blob = cur.take(crate::checked::idx_usize(len), "store file blob bytes")?;
+            store.write_blob(blob);
+        }
+        let n_entries = cur.take_u32("store file entry count")?;
+        let mut entries = Vec::new();
+        for _ in 0..n_entries {
+            let name_len = cur.take_u32("store file entry name length")?;
+            let name_bytes =
+                cur.take(crate::checked::idx_usize(name_len), "store file entry name")?;
+            let name = match std::str::from_utf8(name_bytes) {
+                Ok(s) => s.to_string(),
+                Err(_) => {
+                    return Err(DecodeError::BadStructure {
+                        what: "store file entry name",
+                        detail: "entry name is not valid UTF-8".to_string(),
+                    })
+                }
+            };
+            let tag = cur.take_u8("store file entry kind")?;
+            let root = read_root(&mut cur, tag, store.num_blobs())?;
+            entries.push((name, root));
+        }
+        if !cur.at_end() {
+            return Err(DecodeError::BadStructure {
+                what: "store file",
+                detail: format!("{} trailing bytes after catalog", cur.remaining()),
+            });
+        }
+        store.reset_counters();
+        Ok(StoreFile { store, entries })
+    }
+}
+
+impl Default for StoreFile {
+    fn default() -> Self {
+        StoreFile::new()
+    }
+}
+
+/// A bounds-checked byte cursor over untrusted input.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> DecodeResult<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated {
+            what,
+            need: usize::MAX,
+            have: self.buf.len(),
+        })?;
+        need_bytes(&self.buf[self.pos..], n, what).map_err(|_| DecodeError::Truncated {
+            what,
+            need: end,
+            have: self.buf.len(),
+        })?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn take_u32(&mut self, what: &'static str) -> DecodeResult<u32> {
+        let s = self.take(4, what)?;
+        get_u32(s, 0)
+    }
+
+    fn take_u8(&mut self, what: &'static str) -> DecodeResult<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn take_f64(&mut self, what: &'static str) -> DecodeResult<f64> {
+        let s = self.take(8, what)?;
+        get_f64(s, 0)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+// ---- SavedArray (de)serialization -----------------------------------
+
+const PLACEMENT_INLINE: u8 = 0;
+const PLACEMENT_EXTERNAL: u8 = 1;
+
+fn write_saved(out: &mut Vec<u8>, a: &SavedArray) {
+    put_u32(out, crate::checked::count_u32(a.count));
+    match &a.placement {
+        Placement::Inline(b) => {
+            out.push(PLACEMENT_INLINE);
+            put_u32(out, crate::checked::count_u32(b.len()));
+            out.extend_from_slice(b);
+        }
+        Placement::External(id) => {
+            out.push(PLACEMENT_EXTERNAL);
+            put_u32(out, crate::checked::count_u32(id.index()));
+        }
+    }
+}
+
+fn read_saved(cur: &mut Cursor<'_>, n_blobs: usize) -> DecodeResult<SavedArray> {
+    let count = crate::checked::idx_usize(cur.take_u32("saved array count")?);
+    let placement = match cur.take_u8("saved array placement tag")? {
+        PLACEMENT_INLINE => {
+            let len = crate::checked::idx_usize(cur.take_u32("saved array inline length")?);
+            Placement::Inline(cur.take(len, "saved array inline bytes")?.to_vec())
+        }
+        PLACEMENT_EXTERNAL => {
+            let idx = crate::checked::idx_usize(cur.take_u32("saved array blob index")?);
+            if idx >= n_blobs {
+                return Err(DecodeError::OutOfBounds {
+                    what: "saved array blob index",
+                    index: idx,
+                    bound: n_blobs,
+                });
+            }
+            Placement::External(BlobId::from_index(idx))
+        }
+        tag => {
+            return Err(DecodeError::BadTag {
+                what: "saved array placement",
+                tag: u32::from(tag),
+            })
+        }
+    };
+    Ok(SavedArray { count, placement })
+}
+
+// ---- Root record (de)serialization ----------------------------------
+
+fn write_root(out: &mut Vec<u8>, root: &RootRecord) {
+    match root {
+        RootRecord::MBool(m) | RootRecord::MReal(m) | RootRecord::MPoint(m) => {
+            put_u32(out, m.num_units);
+            write_saved(out, &m.units);
+        }
+        RootRecord::MPoints(m) => {
+            put_u32(out, m.num_units);
+            write_saved(out, &m.units);
+            write_saved(out, &m.motions);
+        }
+        RootRecord::MLine(m) => {
+            put_u32(out, m.num_units);
+            write_saved(out, &m.units);
+            write_saved(out, &m.msegments);
+        }
+        RootRecord::MRegion(m) => {
+            put_u32(out, m.num_units);
+            write_saved(out, &m.units);
+            write_saved(out, &m.msegments);
+            write_saved(out, &m.mcycles);
+            write_saved(out, &m.mfaces);
+        }
+        RootRecord::Line(l) => {
+            put_u32(out, l.num_segments);
+            put_f64(out, l.length);
+            for v in l.bbox {
+                put_f64(out, v);
+            }
+            write_saved(out, &l.halfsegs);
+        }
+        RootRecord::Points(p) => {
+            put_u32(out, p.count);
+            write_saved(out, &p.points);
+        }
+        RootRecord::Region(r) => {
+            put_u32(out, r.num_faces);
+            put_u32(out, r.num_cycles);
+            put_u32(out, r.num_segments);
+            put_f64(out, r.area);
+            put_f64(out, r.perimeter);
+            for v in r.bbox {
+                put_f64(out, v);
+            }
+            write_saved(out, &r.halfsegments);
+            write_saved(out, &r.cycles);
+            write_saved(out, &r.faces);
+        }
+        RootRecord::Periods(p) => {
+            put_u32(out, p.count);
+            write_saved(out, &p.intervals);
+        }
+    }
+}
+
+fn read_root(cur: &mut Cursor<'_>, tag: u8, n_blobs: usize) -> DecodeResult<RootRecord> {
+    let root = match tag {
+        1..=3 => {
+            let m = StoredMapping {
+                num_units: cur.take_u32("mapping root units count")?,
+                units: read_saved(cur, n_blobs)?,
+            };
+            match tag {
+                1 => RootRecord::MBool(m),
+                2 => RootRecord::MReal(m),
+                _ => RootRecord::MPoint(m),
+            }
+        }
+        4 => RootRecord::MPoints(StoredMPoints {
+            num_units: cur.take_u32("mpoints root units count")?,
+            units: read_saved(cur, n_blobs)?,
+            motions: read_saved(cur, n_blobs)?,
+        }),
+        5 => RootRecord::MLine(StoredMLine {
+            num_units: cur.take_u32("mline root units count")?,
+            units: read_saved(cur, n_blobs)?,
+            msegments: read_saved(cur, n_blobs)?,
+        }),
+        6 => RootRecord::MRegion(StoredMRegion {
+            num_units: cur.take_u32("mregion root units count")?,
+            units: read_saved(cur, n_blobs)?,
+            msegments: read_saved(cur, n_blobs)?,
+            mcycles: read_saved(cur, n_blobs)?,
+            mfaces: read_saved(cur, n_blobs)?,
+        }),
+        7 => RootRecord::Line(StoredLine {
+            num_segments: cur.take_u32("line root segment count")?,
+            length: cur.take_f64("line root length")?,
+            bbox: [
+                cur.take_f64("line root bbox")?,
+                cur.take_f64("line root bbox")?,
+                cur.take_f64("line root bbox")?,
+                cur.take_f64("line root bbox")?,
+            ],
+            halfsegs: read_saved(cur, n_blobs)?,
+        }),
+        8 => RootRecord::Points(StoredPoints {
+            count: cur.take_u32("points root count")?,
+            points: read_saved(cur, n_blobs)?,
+        }),
+        9 => RootRecord::Region(StoredRegion {
+            num_faces: cur.take_u32("region root face count")?,
+            num_cycles: cur.take_u32("region root cycle count")?,
+            num_segments: cur.take_u32("region root segment count")?,
+            area: cur.take_f64("region root area")?,
+            perimeter: cur.take_f64("region root perimeter")?,
+            bbox: [
+                cur.take_f64("region root bbox")?,
+                cur.take_f64("region root bbox")?,
+                cur.take_f64("region root bbox")?,
+                cur.take_f64("region root bbox")?,
+            ],
+            halfsegments: read_saved(cur, n_blobs)?,
+            cycles: read_saved(cur, n_blobs)?,
+            faces: read_saved(cur, n_blobs)?,
+        }),
+        10 => RootRecord::Periods(StoredPeriods {
+            count: cur.take_u32("periods root count")?,
+            intervals: read_saved(cur, n_blobs)?,
+        }),
+        t => {
+            return Err(DecodeError::BadTag {
+                what: "root record kind",
+                tag: u32::from(t),
+            })
+        }
+    };
+    Ok(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping_store::{load_mpoint, save_mbool, save_mpoint};
+    use crate::view::{view_mbool, view_mpoint};
+    use mob_base::{t, Periods, TimeInterval};
+    use mob_core::{MovingBool, MovingPoint, UnitSeq};
+    use mob_spatial::pt;
+
+    fn sample_mpoint() -> MovingPoint {
+        let samples: Vec<_> = (0..40)
+            .map(|i| {
+                let k = f64::from(i);
+                (t(k), pt(k * 0.5, f64::from(i % 7)))
+            })
+            .collect();
+        MovingPoint::from_samples(&samples)
+    }
+
+    fn sample_mbool() -> MovingBool {
+        let periods = Periods::try_new(vec![TimeInterval::closed(t(0.0), t(1.0))]).unwrap();
+        MovingBool::from_periods(&periods, true)
+    }
+
+    fn sample_file() -> StoreFile {
+        let mut file = StoreFile::with_page_size(256);
+        let mp = sample_mpoint();
+        let stored = save_mpoint(&mp, file.store_mut());
+        file.put("trip", RootRecord::MPoint(stored));
+        let stored_b = save_mbool(&sample_mbool(), file.store_mut());
+        file.put("flag", RootRecord::MBool(stored_b));
+        file
+    }
+
+    #[test]
+    fn roundtrip_preserves_entries_and_values() {
+        let file = sample_file();
+        let bytes = file.to_bytes().unwrap();
+        let back = StoreFile::from_bytes(&bytes).unwrap();
+        assert_eq!(back.entries().len(), 2);
+        assert_eq!(back.entries()[0].0, "trip");
+        assert_eq!(back.entries()[1].0, "flag");
+        // The decoded root records open as valid views.
+        let Some(RootRecord::MPoint(stored)) = back.get("trip") else {
+            panic!("missing trip entry");
+        };
+        let view = view_mpoint(stored, back.store()).unwrap();
+        view.validate().unwrap();
+        let orig = sample_mpoint();
+        assert_eq!(view.len(), orig.len());
+        let loaded = load_mpoint(stored, back.store()).unwrap();
+        assert_eq!(loaded.len(), orig.len());
+        let Some(RootRecord::MBool(sb)) = back.get("flag") else {
+            panic!("missing flag entry");
+        };
+        view_mbool(sb, back.store()).unwrap().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = sample_file().to_bytes().unwrap();
+        bytes[0] ^= 0xff;
+        assert!(matches!(
+            StoreFile::from_bytes(&bytes),
+            Err(DecodeError::BadStructure { .. })
+        ));
+    }
+
+    #[test]
+    fn truncations_are_rejected_not_panics() {
+        let bytes = sample_file().to_bytes().unwrap();
+        for len in 0..bytes.len() {
+            assert!(
+                StoreFile::from_bytes(&bytes[..len]).is_err(),
+                "truncation to {len} bytes must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = sample_file().to_bytes().unwrap();
+        bytes.push(0);
+        assert!(matches!(
+            StoreFile::from_bytes(&bytes),
+            Err(DecodeError::BadStructure { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_kind_tag_is_rejected() {
+        let mut file = StoreFile::new();
+        let stored = save_mbool(&sample_mbool(), file.store_mut());
+        file.put("x", RootRecord::MBool(stored));
+        let bytes = file.to_bytes().unwrap();
+        // The kind tag byte follows magic(8)+page(4)+nblobs(4)+blobs+
+        // nentries(4)+namelen(4)+name(1); with no external blobs the blob
+        // section is empty.
+        let tag_pos = 8 + 4 + 4 + 4 + 4 + 1;
+        let mut bad = bytes.clone();
+        assert_eq!(bad[tag_pos], 1, "expected the mbool kind tag");
+        bad[tag_pos] = 99;
+        assert!(matches!(
+            StoreFile::from_bytes(&bad),
+            Err(DecodeError::BadTag { .. })
+        ));
+    }
+
+    #[test]
+    fn dangling_blob_index_is_rejected() {
+        // A root record whose units array points at blob 7 of an empty
+        // blob table: to_bytes succeeds (it only walks real blobs) but
+        // from_bytes must reject the dangling reference.
+        let mut forged = StoreFile::with_page_size(64);
+        forged.put(
+            "trip",
+            RootRecord::MPoint(StoredMapping {
+                num_units: 3,
+                units: SavedArray {
+                    count: 3,
+                    placement: Placement::External(BlobId::from_index(7)),
+                },
+            }),
+        );
+        let forged_bytes = forged.to_bytes().unwrap();
+        assert!(matches!(
+            StoreFile::from_bytes(&forged_bytes),
+            Err(DecodeError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn kind_names_cover_all_variants() {
+        let mb = StoredMapping {
+            num_units: 0,
+            units: SavedArray {
+                count: 0,
+                placement: Placement::Inline(Vec::new()),
+            },
+        };
+        assert_eq!(RootRecord::MBool(mb.clone()).kind_name(), "mbool");
+        assert_eq!(RootRecord::MReal(mb.clone()).kind_name(), "mreal");
+        assert_eq!(RootRecord::MPoint(mb).kind_name(), "mpoint");
+    }
+}

@@ -18,18 +18,35 @@
 //! Decode counters ([`MappingView::headers_read`],
 //! [`MappingView::units_decoded`]) make that claim testable, and the
 //! [`PageStore`] page counters make it measurable in page I/O.
-
-#![warn(missing_docs)]
+//!
+//! # Verify, then trust
+//!
+//! `UnitSeq` is an infallible interface (it is the hot path of every
+//! Section-5 algorithm), but stored bytes are untrusted. The view
+//! resolves that tension in two stages:
+//!
+//! 1. **Construction** (`view_*`) returns a [`DecodeResult`]: it checks
+//!    the array layouts (byte length = count × record size), reads every
+//!    unit record once — rejecting NaN fields, invalid intervals,
+//!    out-of-range subarray references ([`UnitRecord::check_structure`])
+//!    and out-of-order/overlapping unit intervals — before handing out a
+//!    view. In debug builds it additionally runs the deep
+//!    [`MappingView::validate`] pass.
+//! 2. **Access** trusts that verification: the two `expect`s in the
+//!    `UnitSeq` impl are unreachable for any view whose construction
+//!    (and, for value-level damage, [`MappingView::validate`]) passed.
+//!    Audit paths never rely on them — [`MappingView::try_unit`] and
+//!    friends surface [`DecodeError`]s instead.
 
 use crate::dbarray::{read_array_bytes, read_subarray, SavedArray};
 use crate::mapping_store::{
-    MCycleRecord, MFaceRecord, MSegRecord, StoredMLine, StoredMPoints, StoredMRegion,
-    StoredMapping, UBoolRecord, ULineRecord, UPointRecord, UPointsRecord, URealRecord,
-    URegionRecord,
+    check_root_count, MCycleRecord, MFaceRecord, MSegRecord, StoredMLine, StoredMPoints,
+    StoredMRegion, StoredMapping, UBoolRecord, ULineRecord, UPointRecord, UPointsRecord,
+    URealRecord, URegionRecord,
 };
 use crate::page::PageStore;
 use crate::record::FixedRecord;
-use mob_base::{Real, TimeInterval};
+use mob_base::{DecodeError, DecodeResult, InvariantViolation, Real, TimeInterval};
 use mob_core::{
     ConstUnit, MCycle, MFace, MSeg, PointMotion, ULine, UPoint, UPoints, UReal, URegion, Unit,
     UnitSeq,
@@ -51,17 +68,34 @@ pub trait UnitRecord: FixedRecord {
     /// into (`()` for fixed-size units without subarrays).
     type Shared<'s>;
 
+    /// The record's unit interval (byte offset 0).
+    fn interval(&self) -> TimeInterval;
+
+    /// Check the record's references into the shared arrays (subarray
+    /// bounds, nested link structure) without decoding the unit. Called
+    /// once per record at view construction.
+    fn check_structure(&self, shared: &Self::Shared<'_>) -> DecodeResult<()>;
+
     /// Decode the record into a live unit, reading only the subarray
-    /// ranges it references.
-    fn decode(&self, shared: &Self::Shared<'_>) -> Self::Unit;
+    /// ranges it references. All value-level invariants are re-checked;
+    /// damage surfaces as a [`DecodeError`].
+    fn try_decode(&self, shared: &Self::Shared<'_>) -> DecodeResult<Self::Unit>;
 }
 
 impl UnitRecord for UBoolRecord {
     type Unit = ConstUnit<bool>;
     type Shared<'s> = ();
 
-    fn decode(&self, _shared: &()) -> ConstUnit<bool> {
-        ConstUnit::new(self.interval, self.value)
+    fn interval(&self) -> TimeInterval {
+        self.interval
+    }
+
+    fn check_structure(&self, _shared: &()) -> DecodeResult<()> {
+        Ok(())
+    }
+
+    fn try_decode(&self, _shared: &()) -> DecodeResult<ConstUnit<bool>> {
+        Ok(ConstUnit::new(self.interval, self.value))
     }
 }
 
@@ -69,15 +103,22 @@ impl UnitRecord for URealRecord {
     type Unit = UReal;
     type Shared<'s> = ();
 
-    fn decode(&self, _shared: &()) -> UReal {
-        UReal::try_new(
+    fn interval(&self) -> TimeInterval {
+        self.interval
+    }
+
+    fn check_structure(&self, _shared: &()) -> DecodeResult<()> {
+        Ok(())
+    }
+
+    fn try_decode(&self, _shared: &()) -> DecodeResult<UReal> {
+        Ok(UReal::try_new(
             self.interval,
-            Real::new(self.a),
-            Real::new(self.b),
-            Real::new(self.c),
+            Real::try_new(self.a)?,
+            Real::try_new(self.b)?,
+            Real::try_new(self.c)?,
             self.r,
-        )
-        .expect("stored ureal is valid")
+        )?)
     }
 }
 
@@ -85,8 +126,16 @@ impl UnitRecord for UPointRecord {
     type Unit = UPoint;
     type Shared<'s> = ();
 
-    fn decode(&self, _shared: &()) -> UPoint {
-        UPoint::new(self.interval, self.motion)
+    fn interval(&self) -> TimeInterval {
+        self.interval
+    }
+
+    fn check_structure(&self, _shared: &()) -> DecodeResult<()> {
+        Ok(())
+    }
+
+    fn try_decode(&self, _shared: &()) -> DecodeResult<UPoint> {
+        Ok(UPoint::new(self.interval, self.motion))
     }
 }
 
@@ -100,9 +149,17 @@ impl UnitRecord for UPointsRecord {
     type Unit = UPoints;
     type Shared<'s> = PointsShared<'s>;
 
-    fn decode(&self, shared: &PointsShared<'_>) -> UPoints {
-        let motions: Vec<PointMotion> = read_subarray(shared.motions, shared.store, self.sub);
-        UPoints::try_new(self.interval, motions).expect("stored upoints is valid")
+    fn interval(&self) -> TimeInterval {
+        self.interval
+    }
+
+    fn check_structure(&self, shared: &PointsShared<'_>) -> DecodeResult<()> {
+        self.sub.check(shared.motions.count, Self::WHAT)
+    }
+
+    fn try_decode(&self, shared: &PointsShared<'_>) -> DecodeResult<UPoints> {
+        let motions: Vec<PointMotion> = read_subarray(shared.motions, shared.store, self.sub)?;
+        Ok(UPoints::try_new(self.interval, motions)?)
     }
 }
 
@@ -116,13 +173,21 @@ impl UnitRecord for ULineRecord {
     type Unit = ULine;
     type Shared<'s> = LineShared<'s>;
 
-    fn decode(&self, shared: &LineShared<'_>) -> ULine {
-        let msegs: Vec<MSeg> =
-            read_subarray::<MSegRecord>(shared.msegments, shared.store, self.sub)
-                .iter()
-                .map(|rec| MSeg::try_new(rec.s, rec.e).expect("stored mseg is valid"))
-                .collect();
-        ULine::try_new(self.interval, msegs).expect("stored uline is valid")
+    fn interval(&self) -> TimeInterval {
+        self.interval
+    }
+
+    fn check_structure(&self, shared: &LineShared<'_>) -> DecodeResult<()> {
+        self.sub.check(shared.msegments.count, Self::WHAT)
+    }
+
+    fn try_decode(&self, shared: &LineShared<'_>) -> DecodeResult<ULine> {
+        let recs = read_subarray::<MSegRecord>(shared.msegments, shared.store, self.sub)?;
+        let mut msegs: Vec<MSeg> = Vec::with_capacity(recs.len());
+        for rec in &recs {
+            msegs.push(MSeg::try_new(rec.s, rec.e)?);
+        }
+        Ok(ULine::try_new(self.interval, msegs)?)
     }
 }
 
@@ -139,27 +204,57 @@ impl UnitRecord for URegionRecord {
     type Unit = URegion;
     type Shared<'s> = RegionShared<'s>;
 
-    fn decode(&self, shared: &RegionShared<'_>) -> URegion {
-        let faces: Vec<MFace> =
-            read_subarray::<MFaceRecord>(shared.mfaces, shared.store, self.faces)
-                .iter()
-                .map(|fr| {
-                    let cycles: Vec<MCycleRecord> =
-                        read_subarray(shared.mcycles, shared.store, fr.cycles);
-                    let cycle_from = |rec: &MCycleRecord| -> MCycle {
-                        let verts: Vec<PointMotion> =
-                            read_subarray::<MSegRecord>(shared.msegments, shared.store, rec.msegs)
-                                .iter()
-                                .map(|ms| ms.s)
-                                .collect();
-                        MCycle::try_new(verts).expect("stored mcycle is valid")
-                    };
-                    let outer = cycle_from(&cycles[0]);
-                    let holes = cycles[1..].iter().map(cycle_from).collect();
-                    MFace::new(outer, holes)
-                })
-                .collect();
-        URegion::try_new(self.interval, faces).expect("stored uregion is valid")
+    fn interval(&self) -> TimeInterval {
+        self.interval
+    }
+
+    fn check_structure(&self, shared: &RegionShared<'_>) -> DecodeResult<()> {
+        self.faces.check(shared.mfaces.count, Self::WHAT)?;
+        let faces = read_subarray::<MFaceRecord>(shared.mfaces, shared.store, self.faces)?;
+        for fr in &faces {
+            fr.cycles.check(shared.mcycles.count, MFaceRecord::WHAT)?;
+            if fr.cycles.is_empty() {
+                return Err(DecodeError::BadStructure {
+                    what: MFaceRecord::WHAT,
+                    detail: "face references an empty cycle range".to_string(),
+                });
+            }
+            let cycles = read_subarray::<MCycleRecord>(shared.mcycles, shared.store, fr.cycles)?;
+            for cr in &cycles {
+                cr.msegs.check(shared.msegments.count, MCycleRecord::WHAT)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn try_decode(&self, shared: &RegionShared<'_>) -> DecodeResult<URegion> {
+        let face_recs = read_subarray::<MFaceRecord>(shared.mfaces, shared.store, self.faces)?;
+        let mut faces: Vec<MFace> = Vec::with_capacity(face_recs.len());
+        for fr in &face_recs {
+            fr.cycles.check(shared.mcycles.count, MFaceRecord::WHAT)?;
+            let cycles = read_subarray::<MCycleRecord>(shared.mcycles, shared.store, fr.cycles)?;
+            let cycle_from = |rec: &MCycleRecord| -> DecodeResult<MCycle> {
+                let verts: Vec<PointMotion> =
+                    read_subarray::<MSegRecord>(shared.msegments, shared.store, rec.msegs)?
+                        .iter()
+                        .map(|ms| ms.s)
+                        .collect();
+                Ok(MCycle::try_new(verts)?)
+            };
+            let Some((outer_rec, hole_recs)) = cycles.split_first() else {
+                return Err(DecodeError::BadStructure {
+                    what: MFaceRecord::WHAT,
+                    detail: "face references an empty cycle range".to_string(),
+                });
+            };
+            let outer = cycle_from(outer_rec)?;
+            let mut holes = Vec::with_capacity(hole_recs.len());
+            for h in hole_recs {
+                holes.push(cycle_from(h)?);
+            }
+            faces.push(MFace::new(outer, holes));
+        }
+        Ok(URegion::try_new(self.interval, faces)?)
     }
 }
 
@@ -167,7 +262,9 @@ impl UnitRecord for URegionRecord {
 /// and decoded **on demand**, straight out of the page store.
 ///
 /// Construct with [`view_mbool`], [`view_mreal`], [`view_mpoint`],
-/// [`view_mpoints`], [`view_mline`] or [`view_mregion`].
+/// [`view_mpoints`], [`view_mline`] or [`view_mregion`] — all of which
+/// verify the stored layout and record structure before returning a
+/// view (see the module docs).
 pub struct MappingView<'s, R: UnitRecord> {
     store: &'s PageStore,
     units: &'s SavedArray,
@@ -177,26 +274,105 @@ pub struct MappingView<'s, R: UnitRecord> {
 }
 
 impl<'s, R: UnitRecord> MappingView<'s, R> {
-    fn new(store: &'s PageStore, units: &'s SavedArray, shared: R::Shared<'s>) -> Self {
-        MappingView {
+    /// Construct and verify: layout checks plus a one-pass structural
+    /// verification of every unit record (and, in debug builds, the deep
+    /// [`MappingView::validate`] pass).
+    fn open(
+        store: &'s PageStore,
+        units: &'s SavedArray,
+        shared: R::Shared<'s>,
+    ) -> DecodeResult<Self> {
+        units.check_layout::<R>(store)?;
+        let view = MappingView {
             store,
             units,
             shared,
             headers_read: Cell::new(0),
             units_decoded: Cell::new(0),
+        };
+        view.verify_structure()?;
+        #[cfg(debug_assertions)]
+        view.validate()?;
+        view.reset_counters();
+        Ok(view)
+    }
+
+    /// One pass over the unit records: every record must read cleanly
+    /// (valid interval, no NaN fields), reference only existing shared
+    /// records, and the unit intervals must be sorted and pairwise
+    /// disjoint (Sec 3.2.4).
+    fn verify_structure(&self) -> DecodeResult<()> {
+        let mut prev: Option<TimeInterval> = None;
+        for i in 0..self.units.count {
+            let rec = self.try_record(i)?;
+            rec.check_structure(&self.shared)?;
+            let iv = UnitRecord::interval(&rec);
+            if let Some(p) = prev {
+                if p.cmp_start(&iv) != std::cmp::Ordering::Less || !p.r_disjoint(&iv) {
+                    return Err(DecodeError::Invariant(InvariantViolation::with_detail(
+                        "mapping: unit intervals sorted and pairwise disjoint",
+                        format!("units {} and {} violate the order", i - 1, i),
+                    )));
+                }
+            }
+            prev = Some(iv);
         }
+        Ok(())
+    }
+
+    /// Deep validation of the viewed mapping, without materializing it:
+    /// decodes each unit in turn (holding only one previous unit), and
+    /// checks every Section 3.2.4 condition — unit validity, interval
+    /// order/disjointness, and canonicity (mergeable adjacent units must
+    /// have been merged).
+    pub fn validate(&self) -> DecodeResult<()> {
+        let mut prev: Option<R::Unit> = None;
+        for i in 0..self.units.count {
+            let rec = self.try_record(i)?;
+            rec.check_structure(&self.shared)?;
+            let unit = rec.try_decode(&self.shared)?;
+            if let Some(p) = &prev {
+                let (a, b) = (p.interval(), unit.interval());
+                if a.cmp_start(b) != std::cmp::Ordering::Less || !a.r_disjoint(b) {
+                    return Err(DecodeError::Invariant(InvariantViolation::with_detail(
+                        "mapping: unit intervals sorted and pairwise disjoint",
+                        format!("units {} and {} violate the order", i - 1, i),
+                    )));
+                }
+                if a.r_adjacent(b) && p.value_eq(&unit) {
+                    return Err(DecodeError::Invariant(InvariantViolation::with_detail(
+                        "mapping: adjacent units must carry distinct values (canonicity)",
+                        format!("units {} and {} are mergeable", i - 1, i),
+                    )));
+                }
+            }
+            prev = Some(unit);
+        }
+        Ok(())
     }
 
     /// Raw bytes `[i*SIZE + off, i*SIZE + off + len)` of the `i`-th unit
     /// record.
-    fn record_bytes(&self, i: usize, len: usize) -> Vec<u8> {
+    fn try_record_bytes(&self, i: usize, len: usize) -> DecodeResult<Vec<u8>> {
         read_array_bytes(self.units, self.store, i * R::SIZE, len)
     }
 
     /// The `i`-th unit record, fully read but not yet decoded into a
     /// live unit.
-    pub fn record(&self, i: usize) -> R {
-        R::read(&self.record_bytes(i, R::SIZE))
+    pub fn try_record(&self, i: usize) -> DecodeResult<R> {
+        R::read(&self.try_record_bytes(i, R::SIZE)?)
+    }
+
+    /// Fallible interval read: the 18-byte header of the `i`-th record.
+    pub fn try_interval(&self, i: usize) -> DecodeResult<TimeInterval> {
+        self.headers_read.set(self.headers_read.get() + 1);
+        TimeInterval::read(&self.try_record_bytes(i, TimeInterval::SIZE)?)
+    }
+
+    /// Fallible unit decode of the `i`-th record.
+    pub fn try_unit(&self, i: usize) -> DecodeResult<R::Unit> {
+        self.units_decoded.set(self.units_decoded.get() + 1);
+        self.try_record(i)?.try_decode(&self.shared)
     }
 
     /// Interval headers read since the last counter reset (each is one
@@ -230,13 +406,17 @@ impl<'s, R: UnitRecord> UnitSeq for MappingView<'s, R> {
     }
 
     fn interval(&self, i: usize) -> TimeInterval {
-        self.headers_read.set(self.headers_read.get() + 1);
-        TimeInterval::read(&self.record_bytes(i, TimeInterval::SIZE))
+        #[allow(clippy::expect_used)] // unreachable: verified at view construction
+        self.try_interval(i)
+            .expect("mapping view verified at construction")
     }
 
     fn unit(&self, i: usize) -> Cow<'_, R::Unit> {
-        self.units_decoded.set(self.units_decoded.get() + 1);
-        Cow::Owned(self.record(i).decode(&self.shared))
+        #[allow(clippy::expect_used)] // unreachable: verified at view construction
+        Cow::Owned(
+            self.try_unit(i)
+                .expect("mapping view verified at construction"),
+        )
     }
 }
 
@@ -244,32 +424,37 @@ impl<'s, R: UnitRecord> UnitSeq for MappingView<'s, R> {
 pub fn view_mbool<'s>(
     stored: &'s StoredMapping,
     store: &'s PageStore,
-) -> MappingView<'s, UBoolRecord> {
-    MappingView::new(store, &stored.units, ())
+) -> DecodeResult<MappingView<'s, UBoolRecord>> {
+    check_root_count(stored.num_units, &stored.units)?;
+    MappingView::open(store, &stored.units, ())
 }
 
 /// Lazy view over a stored `moving(real)`.
 pub fn view_mreal<'s>(
     stored: &'s StoredMapping,
     store: &'s PageStore,
-) -> MappingView<'s, URealRecord> {
-    MappingView::new(store, &stored.units, ())
+) -> DecodeResult<MappingView<'s, URealRecord>> {
+    check_root_count(stored.num_units, &stored.units)?;
+    MappingView::open(store, &stored.units, ())
 }
 
 /// Lazy view over a stored `moving(point)`.
 pub fn view_mpoint<'s>(
     stored: &'s StoredMapping,
     store: &'s PageStore,
-) -> MappingView<'s, UPointRecord> {
-    MappingView::new(store, &stored.units, ())
+) -> DecodeResult<MappingView<'s, UPointRecord>> {
+    check_root_count(stored.num_units, &stored.units)?;
+    MappingView::open(store, &stored.units, ())
 }
 
 /// Lazy view over a stored `moving(points)` (one shared subarray).
 pub fn view_mpoints<'s>(
     stored: &'s StoredMPoints,
     store: &'s PageStore,
-) -> MappingView<'s, UPointsRecord> {
-    MappingView::new(
+) -> DecodeResult<MappingView<'s, UPointsRecord>> {
+    check_root_count(stored.num_units, &stored.units)?;
+    stored.motions.check_layout::<PointMotion>(store)?;
+    MappingView::open(
         store,
         &stored.units,
         PointsShared {
@@ -283,8 +468,10 @@ pub fn view_mpoints<'s>(
 pub fn view_mline<'s>(
     stored: &'s StoredMLine,
     store: &'s PageStore,
-) -> MappingView<'s, ULineRecord> {
-    MappingView::new(
+) -> DecodeResult<MappingView<'s, ULineRecord>> {
+    check_root_count(stored.num_units, &stored.units)?;
+    stored.msegments.check_layout::<MSegRecord>(store)?;
+    MappingView::open(
         store,
         &stored.units,
         LineShared {
@@ -298,8 +485,12 @@ pub fn view_mline<'s>(
 pub fn view_mregion<'s>(
     stored: &'s StoredMRegion,
     store: &'s PageStore,
-) -> MappingView<'s, URegionRecord> {
-    MappingView::new(
+) -> DecodeResult<MappingView<'s, URegionRecord>> {
+    check_root_count(stored.num_units, &stored.units)?;
+    stored.msegments.check_layout::<MSegRecord>(store)?;
+    stored.mcycles.check_layout::<MCycleRecord>(store)?;
+    stored.mfaces.check_layout::<MFaceRecord>(store)?;
+    MappingView::open(
         store,
         &stored.units,
         RegionShared {
@@ -331,7 +522,7 @@ mod tests {
         let m = long_mpoint(50);
         let mut store = PageStore::new();
         let stored = save_mpoint(&m, &mut store);
-        let view = view_mpoint(&stored, &store);
+        let view = view_mpoint(&stored, &store).unwrap();
         assert_eq!(view.len(), m.num_units());
         for k in [-1.0, 0.0, 0.5, 17.25, 49.9, 50.0, 51.0] {
             assert_eq!(view.at_instant(t(k)), m.at_instant(t(k)), "t={k}");
@@ -339,6 +530,7 @@ mod tests {
         }
         assert_eq!(view.deftime(), m.deftime());
         assert_eq!(view.materialize(), m);
+        view.validate().unwrap();
     }
 
     #[test]
@@ -347,7 +539,7 @@ mod tests {
         let m = long_mpoint(n);
         let mut store = PageStore::new();
         let stored = save_mpoint(&m, &mut store);
-        let view = view_mpoint(&stored, &store);
+        let view = view_mpoint(&stored, &store).unwrap();
         view.reset_counters();
         let v = view.at_instant(t(1234.5));
         assert!(v.is_def());
@@ -372,7 +564,7 @@ mod tests {
         let mut store = PageStore::new();
         let stored = save_mpoint(&m, &mut store);
         assert!(!stored.units.is_inline(), "large mapping goes external");
-        let view = view_mpoint(&stored, &store);
+        let view = view_mpoint(&stored, &store).unwrap();
         store.reset_counters();
         let _ = view.at_instant(t(2000.25));
         let full_pages = (n * UPointRecord::SIZE).div_ceil(crate::page::DEFAULT_PAGE_SIZE) as u64;
@@ -393,11 +585,12 @@ mod tests {
         .unwrap();
         let mut store = PageStore::new();
         let stored = save_mbool(&m, &mut store);
-        let view = view_mbool(&stored, &store);
+        let view = view_mbool(&stored, &store).unwrap();
         for k in [0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.5, 4.0, 9.0] {
             assert_eq!(view.at_instant(t(k)), m.at_instant(t(k)), "t={k}");
         }
         assert_eq!(view.materialize(), m);
+        view.validate().unwrap();
     }
 
     #[test]
@@ -417,7 +610,7 @@ mod tests {
         let m: MovingRegion = Mapping::try_new(vec![u1, u2]).unwrap();
         let mut store = PageStore::new();
         let stored = save_mregion(&m, &mut store);
-        let view = view_mregion(&stored, &store);
+        let view = view_mregion(&stored, &store).unwrap();
         view.reset_counters();
         for k in [0.0, 0.5, 1.0, 1.5, 2.0] {
             let a = m.at_instant(t(k)).unwrap();
@@ -427,6 +620,7 @@ mod tests {
         }
         // One decode per probe, no more.
         assert_eq!(view.units_decoded(), 5);
+        view.validate().unwrap();
     }
 
     #[test]
@@ -434,7 +628,7 @@ mod tests {
         let m = long_mpoint(100);
         let mut store = PageStore::new();
         let stored = save_mpoint(&m, &mut store);
-        let view = view_mpoint(&stored, &store);
+        let view = view_mpoint(&stored, &store).unwrap();
         let p = mob_base::Periods::from_unmerged(vec![
             Interval::closed(t(10.5), t(12.5)),
             Interval::closed(t(80.0), t(81.0)),
@@ -444,5 +638,80 @@ mod tests {
         assert_eq!(restricted, m.atperiods(&p));
         // Only the overlapped units were decoded.
         assert!(view.units_decoded() <= 6, "{}", view.units_decoded());
+    }
+
+    #[test]
+    fn corrupt_root_count_is_rejected_at_open() {
+        let m = long_mpoint(8);
+        let mut store = PageStore::new();
+        let mut stored = save_mpoint(&m, &mut store);
+        stored.num_units += 1;
+        assert!(matches!(
+            view_mpoint(&stored, &store),
+            Err(DecodeError::CountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unordered_unit_intervals_are_rejected_at_open() {
+        use crate::record::write_all;
+        // Hand-craft two out-of-order upoint records.
+        let u0 = UPointRecord {
+            interval: Interval::closed(t(5.0), t(6.0)),
+            motion: PointMotion::stationary(pt(0.0, 0.0)),
+        };
+        let u1 = UPointRecord {
+            interval: Interval::closed(t(0.0), t(1.0)),
+            motion: PointMotion::stationary(pt(1.0, 1.0)),
+        };
+        let bytes = write_all(&[u0, u1]);
+        let mut store = PageStore::new();
+        let stored = StoredMapping {
+            num_units: 2,
+            units: crate::dbarray::SavedArray {
+                count: 2,
+                placement: crate::dbarray::Placement::Inline(bytes),
+            },
+        };
+        let _ = &mut store;
+        assert!(matches!(
+            view_mpoint(&stored, &store),
+            Err(DecodeError::Invariant(_))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_non_canonical_adjacent_units() {
+        use crate::record::write_all;
+        // Two adjacent ubool units with the same value: valid structure,
+        // but violates canonicity (they should have been merged).
+        let u0 = UBoolRecord {
+            interval: Interval::closed_open(t(0.0), t(1.0)),
+            value: true,
+        };
+        let u1 = UBoolRecord {
+            interval: Interval::closed(t(1.0), t(2.0)),
+            value: true,
+        };
+        let bytes = write_all(&[u0, u1]);
+        let store = PageStore::new();
+        let stored = StoredMapping {
+            num_units: 2,
+            units: crate::dbarray::SavedArray {
+                count: 2,
+                placement: crate::dbarray::Placement::Inline(bytes),
+            },
+        };
+        // In debug builds the deep check already runs at open.
+        match view_mbool(&stored, &store) {
+            Err(DecodeError::Invariant(iv)) => {
+                assert!(iv.clause().contains("canonicity"), "{iv}");
+            }
+            Ok(view) => {
+                let err = view.validate().unwrap_err();
+                assert!(matches!(err, DecodeError::Invariant(_)));
+            }
+            Err(e) => panic!("unexpected error {e}"),
+        }
     }
 }

@@ -1,0 +1,3 @@
+// Fixture: a library crate missing both required crate-level lints.
+// The crate_lints rule must report two violations for this file.
+pub fn f() {}

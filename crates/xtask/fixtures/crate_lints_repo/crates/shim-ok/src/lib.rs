@@ -1,0 +1,4 @@
+// Fixture: a compliant shim crate — forbid(unsafe_code) present, and
+// shims are exempt from warn(missing_docs). Must produce no violations.
+#![forbid(unsafe_code)]
+pub fn f() {}

@@ -1,0 +1,577 @@
+//! The repo-specific lint rules.
+//!
+//! Four rules, each with an allowlist file under `crates/xtask/allow/`
+//! and a fixture under `crates/xtask/fixtures/` proving it fires:
+//!
+//! | rule             | scope                              | forbids |
+//! |------------------|------------------------------------|---------|
+//! | `no_panic`       | mob-storage, mob-core (non-test)   | `unwrap()`, `expect(`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
+//! | `narrowing_cast` | mob-storage, mob-core (non-test)   | `as u8/u16/u32/i8/i16/i32` (use `checked::count_u32` / `try_from`) |
+//! | `float_eq`       | base, spatial, core, storage (non-test, minus `real.rs`) | `==`/`!=` against raw `f64` (`.get()` or float literals) |
+//! | `crate_lints`    | every `crates/*/src/lib.rs`        | missing `#![forbid(unsafe_code)]` (+ `#![warn(missing_docs)]` outside shims) |
+//!
+//! All rules operate on *masked* source (comments/strings blanked, see
+//! [`crate::mask`]) and skip `#[cfg(test)]` regions, so doc examples and
+//! test code stay idiomatic.
+
+use crate::mask::mask_source;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// A single lint hit.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule identifier (`no_panic`, …).
+    pub rule: &'static str,
+    /// File, repo-relative with `/` separators.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Trimmed source line (also the allowlist key).
+    pub content: String,
+    /// What to do instead.
+    pub help: &'static str,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    {}",
+            self.path, self.line, self.rule, self.content, self.help
+        )
+    }
+}
+
+/// Names of all rules (used by the self-test driver).
+pub const RULES: [&str; 4] = ["no_panic", "narrowing_cast", "float_eq", "crate_lints"];
+
+const PANIC_TOKENS: [&str; 6] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+const NARROWING_TARGETS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Run every rule over the repo rooted at `root`. Returns the surviving
+/// violations and any allowlist errors (unused entries, unreadable
+/// files).
+pub fn run_all(root: &Path) -> (Vec<Violation>, Vec<String>) {
+    let mut violations = Vec::new();
+    let mut errors = Vec::new();
+
+    for rule in RULES {
+        let raw = run_rule(root, rule, &mut errors);
+        let (kept, allow_errors) = apply_allowlist(root, rule, raw);
+        violations.extend(kept);
+        errors.extend(allow_errors);
+    }
+    (violations, errors)
+}
+
+/// Run one rule (no allowlist filtering) over the repo.
+pub fn run_rule(root: &Path, rule: &'static str, errors: &mut Vec<String>) -> Vec<Violation> {
+    match rule {
+        "no_panic" | "narrowing_cast" => {
+            let scope = ["crates/storage/src", "crates/core/src"];
+            scan_scope(root, rule, &scope, errors, |src| match rule {
+                "no_panic" => scan_no_panic(src),
+                _ => scan_narrowing_cast(src),
+            })
+        }
+        "float_eq" => {
+            let scope = [
+                "crates/base/src",
+                "crates/spatial/src",
+                "crates/core/src",
+                "crates/storage/src",
+            ];
+            let mut v = scan_scope(root, rule, &scope, errors, scan_float_eq);
+            // `Real` (base/src/real.rs) is the designated epsilon module:
+            // the one place raw float comparison is the point.
+            v.retain(|x| x.path != "crates/base/src/real.rs");
+            v
+        }
+        "crate_lints" => scan_crate_lints(root, errors),
+        _ => {
+            errors.push(format!("unknown rule `{rule}`"));
+            Vec::new()
+        }
+    }
+}
+
+// ---- file walking ----------------------------------------------------
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>, errors: &mut Vec<String>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            errors.push(format!("read_dir {}: {e}", dir.display()));
+            return;
+        }
+    };
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            rust_files(&p, out, errors);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+    out.sort();
+}
+
+fn rel_path(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root)
+        .unwrap_or(p)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Scan all `.rs` files under the scope dirs with a per-file matcher
+/// that returns `(line_no, content, help)` triples against masked,
+/// test-stripped source.
+fn scan_scope(
+    root: &Path,
+    rule: &'static str,
+    scope: &[&str],
+    errors: &mut Vec<String>,
+    matcher: impl Fn(&MaskedFile) -> Vec<(usize, String, &'static str)>,
+) -> Vec<Violation> {
+    let mut files = Vec::new();
+    for dir in scope {
+        rust_files(&root.join(dir), &mut files, errors);
+    }
+    let mut out = Vec::new();
+    for file in files {
+        let src = match std::fs::read_to_string(&file) {
+            Ok(s) => s,
+            Err(e) => {
+                errors.push(format!("read {}: {e}", file.display()));
+                continue;
+            }
+        };
+        let masked = MaskedFile::new(&src);
+        for (line, content, help) in matcher(&masked) {
+            out.push(Violation {
+                rule,
+                path: rel_path(root, &file),
+                line,
+                content,
+                help,
+            });
+        }
+    }
+    out
+}
+
+/// A masked source file with `#[cfg(test)]` regions identified.
+pub struct MaskedFile {
+    /// Masked lines (same count/length as the original).
+    pub lines: Vec<String>,
+    /// Original (unmasked) lines, for reporting content.
+    pub raw_lines: Vec<String>,
+    /// `in_test[i]` is true if line `i` (0-based) is inside a
+    /// `#[cfg(test)]` item.
+    pub in_test: Vec<bool>,
+}
+
+impl MaskedFile {
+    /// Mask `src` and mark its test regions.
+    pub fn new(src: &str) -> MaskedFile {
+        let masked = mask_source(src);
+        let lines: Vec<String> = masked.lines().map(str::to_string).collect();
+        let raw_lines: Vec<String> = src.lines().map(str::to_string).collect();
+        let mut in_test = vec![false; lines.len()];
+        let mut depth = 0usize; // brace depth inside a test region
+        let mut pending = false; // saw #[cfg(test)], waiting for the `{`
+        for (i, line) in lines.iter().enumerate() {
+            let trimmed = line.trim();
+            if depth == 0 && !pending && is_test_attr(trimmed) {
+                pending = true;
+            }
+            if pending || depth > 0 {
+                in_test[i] = true;
+            }
+            if pending || depth > 0 {
+                for b in line.bytes() {
+                    match b {
+                        b'{' => {
+                            depth += 1;
+                            pending = false;
+                        }
+                        b'}' => {
+                            depth = depth.saturating_sub(1);
+                        }
+                        _ => {}
+                    }
+                }
+                if depth == 0 && !pending {
+                    // Region closed on this line.
+                }
+            }
+        }
+        MaskedFile {
+            lines,
+            raw_lines,
+            in_test,
+        }
+    }
+
+    /// Iterate `(1-based line, masked line, raw line)` over non-test lines.
+    fn code_lines(&self) -> impl Iterator<Item = (usize, &str, &str)> {
+        self.lines
+            .iter()
+            .zip(self.raw_lines.iter())
+            .enumerate()
+            .filter(move |(i, _)| !self.in_test[*i])
+            .map(|(i, (m, r))| (i + 1, m.as_str(), r.as_str()))
+    }
+}
+
+fn is_test_attr(trimmed: &str) -> bool {
+    (trimmed.starts_with("#[cfg(") && trimmed.contains("test")) || trimmed.starts_with("#[test]")
+}
+
+// ---- rule: no_panic --------------------------------------------------
+
+/// Match the panic tokens on masked non-test lines.
+pub fn scan_no_panic(file: &MaskedFile) -> Vec<(usize, String, &'static str)> {
+    let mut out = Vec::new();
+    for (n, masked, raw) in file.code_lines() {
+        if PANIC_TOKENS.iter().any(|t| masked.contains(t)) {
+            out.push((
+                n,
+                raw.trim().to_string(),
+                "return a DecodeError/InvariantViolation instead of panicking \
+                 (see crates/xtask/allow/no_panic.allow for the sanctioned exceptions)",
+            ));
+        }
+    }
+    out
+}
+
+// ---- rule: narrowing_cast --------------------------------------------
+
+/// Match narrowing `as` casts (` as u32` etc.) on masked non-test lines.
+pub fn scan_narrowing_cast(file: &MaskedFile) -> Vec<(usize, String, &'static str)> {
+    let mut out = Vec::new();
+    for (n, masked, raw) in file.code_lines() {
+        if has_narrowing_cast(masked) {
+            out.push((
+                n,
+                raw.trim().to_string(),
+                "use checked::count_u32 / u32::try_from — a silently truncated \
+                 count corrupts the record layout",
+            ));
+        }
+    }
+    out
+}
+
+fn has_narrowing_cast(line: &str) -> bool {
+    let mut rest = line;
+    while let Some(k) = rest.find(" as ") {
+        let after = &rest[k + 4..];
+        let target: String = after
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric())
+            .collect();
+        if NARROWING_TARGETS.contains(&target.as_str()) {
+            // `as` must follow an expression, not an identifier fragment.
+            return true;
+        }
+        rest = after;
+    }
+    false
+}
+
+// ---- rule: float_eq --------------------------------------------------
+
+/// Match `==`/`!=` where one side is a raw float (`.get()` call or a
+/// float literal) on masked non-test lines.
+pub fn scan_float_eq(file: &MaskedFile) -> Vec<(usize, String, &'static str)> {
+    let mut out = Vec::new();
+    for (n, masked, raw) in file.code_lines() {
+        if has_float_eq(masked) {
+            out.push((
+                n,
+                raw.trim().to_string(),
+                "compare through Real (eq/eps helpers in base/src/real.rs) — \
+                 raw f64 == is exact-representation equality",
+            ));
+        }
+    }
+    out
+}
+
+fn has_float_eq(line: &str) -> bool {
+    let b = line.as_bytes();
+    let mut i = 0;
+    while i + 1 < b.len() {
+        let op = &b[i..i + 2];
+        let is_eq = op == b"==";
+        let is_ne = op == b"!=" && (i + 2 >= b.len() || b[i + 2] != b'=');
+        if (is_eq
+            && (i == 0
+                || b[i - 1] != b'!'
+                    && b[i - 1] != b'<'
+                    && b[i - 1] != b'>'
+                    && b[i - 1] != b'='
+                    && b[i - 1] != b'+'))
+            || is_ne
+        {
+            let lhs = line[..i].trim_end();
+            let rhs = line[i + 2..].trim_start();
+            if is_floatish_suffix(lhs) || is_floatish_prefix(rhs) {
+                return true;
+            }
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    false
+}
+
+/// `… x.get()` or `… 0.5` immediately before the operator.
+fn is_floatish_suffix(lhs: &str) -> bool {
+    if lhs.ends_with(".get()") {
+        return true;
+    }
+    // Trailing float literal: digits '.' digits (possibly with _).
+    let tail: String = lhs
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '_')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    is_float_literal(&tail)
+}
+
+/// `x.get() …` or `0.5 …` immediately after the operator.
+fn is_floatish_prefix(rhs: &str) -> bool {
+    let head: String = rhs
+        .chars()
+        .take_while(|c| {
+            c.is_ascii_alphanumeric() || *c == '.' || *c == '_' || *c == '(' || *c == ')'
+        })
+        .collect();
+    if head.contains(".get()") {
+        return true;
+    }
+    let lit: String = rhs
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '_')
+        .collect();
+    is_float_literal(&lit)
+}
+
+fn is_float_literal(s: &str) -> bool {
+    let s = s.trim_matches('_');
+    let Some(dot) = s.find('.') else {
+        return false;
+    };
+    let (a, b) = (&s[..dot], &s[dot + 1..]);
+    !a.is_empty()
+        && !b.is_empty()
+        && a.chars().all(|c| c.is_ascii_digit() || c == '_')
+        && b.chars().all(|c| c.is_ascii_digit() || c == '_')
+}
+
+// ---- rule: crate_lints -----------------------------------------------
+
+/// Every `crates/*/src/lib.rs` must carry `#![forbid(unsafe_code)]`;
+/// non-shim libraries must also carry `#![warn(missing_docs)]`.
+fn scan_crate_lints(root: &Path, errors: &mut Vec<String>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    let entries = match std::fs::read_dir(&crates_dir) {
+        Ok(e) => e,
+        Err(e) => {
+            errors.push(format!("read_dir {}: {e}", crates_dir.display()));
+            return out;
+        }
+    };
+    let mut dirs: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    dirs.sort();
+    for dir in dirs {
+        let lib = dir.join("src").join("lib.rs");
+        if !lib.is_file() {
+            continue; // bin-only crate (e.g. xtask itself)
+        }
+        let name = dir.file_name().map(|s| s.to_string_lossy().to_string());
+        let is_shim = name.as_deref().is_some_and(|n| n.starts_with("shim-"));
+        let src = match std::fs::read_to_string(&lib) {
+            Ok(s) => s,
+            Err(e) => {
+                errors.push(format!("read {}: {e}", lib.display()));
+                continue;
+            }
+        };
+        let rel = rel_path(root, &lib);
+        if !src.contains("#![forbid(unsafe_code)]") {
+            out.push(Violation {
+                rule: "crate_lints",
+                path: rel.clone(),
+                line: 1,
+                content: "missing #![forbid(unsafe_code)]".to_string(),
+                help: "add `#![forbid(unsafe_code)]` at the top of the crate",
+            });
+        }
+        if !is_shim && !src.contains("#![warn(missing_docs)]") {
+            out.push(Violation {
+                rule: "crate_lints",
+                path: rel,
+                line: 1,
+                content: "missing #![warn(missing_docs)]".to_string(),
+                help: "add `#![warn(missing_docs)]` at the top of the crate",
+            });
+        }
+    }
+    out
+}
+
+// ---- allowlists ------------------------------------------------------
+
+/// Filter violations through `crates/xtask/allow/<rule>.allow`.
+///
+/// Entry format: `path: trimmed-line-content` (content matching survives
+/// line renumbering). `#` comments and blank lines are skipped. Every
+/// entry must match at least one raw violation, otherwise it is reported
+/// as stale.
+fn apply_allowlist(root: &Path, rule: &str, raw: Vec<Violation>) -> (Vec<Violation>, Vec<String>) {
+    let allow_path = root
+        .join("crates/xtask/allow")
+        .join(format!("{rule}.allow"));
+    let text = std::fs::read_to_string(&allow_path).unwrap_or_default();
+    let mut errors = Vec::new();
+    let mut entries: Vec<(String, String)> = Vec::new();
+    for (n, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match line.split_once(": ") {
+            Some((p, c)) => entries.push((p.trim().to_string(), c.trim().to_string())),
+            None => errors.push(format!(
+                "{}:{}: malformed allowlist entry (want `path: content`)",
+                rel_path(root, &allow_path),
+                n + 1
+            )),
+        }
+    }
+    let mut used: BTreeSet<usize> = BTreeSet::new();
+    let kept: Vec<Violation> = raw
+        .into_iter()
+        .filter(|v| {
+            for (k, (p, c)) in entries.iter().enumerate() {
+                if *p == v.path && *c == v.content {
+                    used.insert(k);
+                    return false;
+                }
+            }
+            true
+        })
+        .collect();
+    for (k, (p, c)) in entries.iter().enumerate() {
+        if !used.contains(&k) {
+            errors.push(format!(
+                "{}: stale allowlist entry `{p}: {c}` (no matching violation — remove it)",
+                rel_path(root, &allow_path),
+            ));
+        }
+    }
+    (kept, errors)
+}
+
+// ---- self-test -------------------------------------------------------
+
+/// Run each line-based rule against its fixture file, where every line
+/// carrying a `//~` marker must be flagged and every line without one
+/// must not. Proves the rules fire (and that masking suppresses
+/// lookalikes inside strings and comments).
+pub fn self_test(root: &Path) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    for rule in ["no_panic", "narrowing_cast", "float_eq"] {
+        let fixture = root
+            .join("crates/xtask/fixtures")
+            .join(format!("{rule}.rs.fixture"));
+        let src = match std::fs::read_to_string(&fixture) {
+            Ok(s) => s,
+            Err(e) => {
+                errors.push(format!("fixture {}: {e}", fixture.display()));
+                continue;
+            }
+        };
+        let expect: BTreeSet<usize> = src
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| l.contains("//~"))
+            .map(|(i, _)| i + 1)
+            .collect();
+        if expect.is_empty() {
+            errors.push(format!("fixture for `{rule}` has no //~ markers"));
+        }
+        let file = MaskedFile::new(&src);
+        let hits: BTreeSet<usize> = match rule {
+            "no_panic" => scan_no_panic(&file),
+            "narrowing_cast" => scan_narrowing_cast(&file),
+            _ => scan_float_eq(&file),
+        }
+        .into_iter()
+        .map(|(n, _, _)| n)
+        .collect();
+        for n in expect.difference(&hits) {
+            errors.push(format!(
+                "self-test {rule}: fixture line {n} should fire but did not"
+            ));
+        }
+        for n in hits.difference(&expect) {
+            errors.push(format!(
+                "self-test {rule}: fixture line {n} fired unexpectedly"
+            ));
+        }
+    }
+    // crate_lints self-test: scan a fixture "repo" containing one crate
+    // missing both attributes and one compliant shim crate. Exactly the
+    // two `badcrate` violations must fire.
+    let fixture_root = root.join("crates/xtask/fixtures/crate_lints_repo");
+    let mut fixture_errors = Vec::new();
+    let hits = scan_crate_lints(&fixture_root, &mut fixture_errors);
+    errors.extend(
+        fixture_errors
+            .into_iter()
+            .map(|e| format!("self-test crate_lints: {e}")),
+    );
+    let bad: Vec<&Violation> = hits
+        .iter()
+        .filter(|v| v.path == "crates/badcrate/src/lib.rs")
+        .collect();
+    if bad.len() != 2 {
+        errors.push(format!(
+            "self-test crate_lints: expected 2 violations for badcrate, got {}",
+            bad.len()
+        ));
+    }
+    if hits.len() != bad.len() {
+        errors.push(format!(
+            "self-test crate_lints: compliant shim crate fired: {:?}",
+            hits.iter()
+                .filter(|v| v.path != "crates/badcrate/src/lib.rs")
+                .map(|v| &v.path)
+                .collect::<Vec<_>>()
+        ));
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}

@@ -1,0 +1,73 @@
+//! `cargo run -p xtask -- lint [--self-test]`
+//!
+//! Dependency-free, repo-specific source lints for the moving-objects
+//! workspace. `lint` scans the library sources and exits non-zero on any
+//! violation not covered by `crates/xtask/allow/*.allow`; `--self-test`
+//! instead runs every rule against its fixture under
+//! `crates/xtask/fixtures/` and verifies the expected lines (marked
+//! `//~`) fire — and only those.
+
+mod lint;
+mod mask;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn repo_root() -> PathBuf {
+    // crates/xtask -> crates -> repo root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<&str> = args.iter().map(String::as_str).collect();
+    match args.as_slice() {
+        ["lint"] => run_lint(&repo_root()),
+        ["lint", "--self-test"] => run_self_test(&repo_root()),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint [--self-test]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_lint(root: &Path) -> ExitCode {
+    let (violations, errors) = lint::run_all(root);
+    for v in &violations {
+        println!("{v}");
+    }
+    for e in &errors {
+        eprintln!("error: {e}");
+    }
+    if violations.is_empty() && errors.is_empty() {
+        println!("xtask lint: {} rules, no violations", lint::RULES.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "xtask lint: {} violation(s), {} error(s)",
+            violations.len(),
+            errors.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn run_self_test(root: &Path) -> ExitCode {
+    match lint::self_test(root) {
+        Ok(()) => {
+            println!("xtask lint --self-test: all rules fire on their fixtures");
+            ExitCode::SUCCESS
+        }
+        Err(errors) => {
+            for e in &errors {
+                eprintln!("error: {e}");
+            }
+            eprintln!("xtask lint --self-test: {} failure(s)", errors.len());
+            ExitCode::FAILURE
+        }
+    }
+}

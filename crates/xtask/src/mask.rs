@@ -1,0 +1,199 @@
+//! Source masking: blank out comments, strings and char literals so the
+//! textual lint rules only ever match *code*.
+//!
+//! The masked output has exactly the same length and line structure as
+//! the input — every masked byte becomes a space (newlines are kept) —
+//! so line numbers and column positions survive.
+
+/// Replace the contents of comments, string literals, raw strings and
+/// char literals with spaces.
+///
+/// Handles `//` line comments (including doc comments), nested `/* */`
+/// block comments, `"…"` strings with escapes, `r"…"`/`r#"…"#` raw
+/// strings, byte strings, and char literals (including lifetimes, which
+/// are left untouched).
+pub fn mask_source(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+
+    // Push `n` bytes of `src` masked (newlines kept, the rest spaced).
+    let mask_into = |out: &mut Vec<u8>, from: usize, to: usize| {
+        for &b in &bytes[from..to] {
+            out.push(if b == b'\n' { b'\n' } else { b' ' });
+        }
+    };
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        // Line comment (also covers /// and //! doc comments).
+        if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            let end = src[i..].find('\n').map_or(bytes.len(), |k| i + k);
+            mask_into(&mut out, i, end);
+            i = end;
+            continue;
+        }
+        // Block comment, nesting like Rust.
+        if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < bytes.len() && depth > 0 {
+                if bytes[j] == b'/' && j + 1 < bytes.len() && bytes[j + 1] == b'*' {
+                    depth += 1;
+                    j += 2;
+                } else if bytes[j] == b'*' && j + 1 < bytes.len() && bytes[j + 1] == b'/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            mask_into(&mut out, i, j);
+            i = j;
+            continue;
+        }
+        // Raw string r"…" / r#"…"# / br#"…"# etc.
+        if (b == b'r' || b == b'b') && is_raw_string_start(bytes, i) {
+            let start = if b == b'b' { i + 1 } else { i };
+            let mut hashes = 0usize;
+            let mut j = start + 1;
+            while j < bytes.len() && bytes[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            // bytes[j] == b'"' guaranteed by is_raw_string_start.
+            j += 1;
+            let closer: Vec<u8> = std::iter::once(b'"')
+                .chain(std::iter::repeat_n(b'#', hashes))
+                .collect();
+            let end = find_subslice(bytes, j, &closer).map_or(bytes.len(), |k| k + closer.len());
+            out.extend_from_slice(&bytes[i..j]); // keep the opener visible
+            mask_into(&mut out, j, end);
+            i = end;
+            continue;
+        }
+        // Plain or byte string literal.
+        if b == b'"' || (b == b'b' && i + 1 < bytes.len() && bytes[i + 1] == b'"') {
+            let open = if b == b'b' { i + 1 } else { i };
+            out.extend_from_slice(&bytes[i..=open]);
+            let mut j = open + 1;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'\\' => j += 2,
+                    b'"' => break,
+                    _ => j += 1,
+                }
+            }
+            let end = j.min(bytes.len());
+            mask_into(&mut out, open + 1, end);
+            if end < bytes.len() {
+                out.push(b'"');
+                i = end + 1;
+            } else {
+                i = end;
+            }
+            continue;
+        }
+        // Char literal vs lifetime: 'a' is a literal, 'a (no close) is a
+        // lifetime. A literal closes within a few bytes ('x', '\n', '\u{…}').
+        if b == b'\'' {
+            if let Some(close) = char_literal_close(bytes, i) {
+                out.push(b'\'');
+                mask_into(&mut out, i + 1, close);
+                out.push(b'\'');
+                i = close + 1;
+                continue;
+            }
+        }
+        out.push(b);
+        i += 1;
+    }
+    // Masking only substitutes ASCII bytes for ASCII bytes, so the
+    // output is valid UTF-8 whenever the input was.
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let mut j = if bytes[i] == b'b' { i + 1 } else { i };
+    if j >= bytes.len() || bytes[j] != b'r' {
+        return bytes.get(i) == Some(&b'r') && {
+            j = i + 1;
+            while j < bytes.len() && bytes[j] == b'#' {
+                j += 1;
+            }
+            bytes.get(j) == Some(&b'"')
+        };
+    }
+    j += 1;
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+fn find_subslice(hay: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() || from >= hay.len() {
+        return None;
+    }
+    hay[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|k| from + k)
+}
+
+/// If `bytes[i] == '\''` starts a char literal, return the index of the
+/// closing quote; `None` for lifetimes.
+fn char_literal_close(bytes: &[u8], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if j >= bytes.len() {
+        return None;
+    }
+    if bytes[j] == b'\\' {
+        // Escape: \n, \t, \\, \', \u{..}, \x7f — scan to the quote.
+        j += 2;
+        while j < bytes.len() && bytes[j] != b'\'' && bytes[j] != b'\n' && j - i < 12 {
+            j += 1;
+        }
+        return (bytes.get(j) == Some(&b'\'')).then_some(j);
+    }
+    // Unescaped char: exactly one (possibly multi-byte) char then '\''.
+    let mut k = j + 1;
+    while k < bytes.len() && (bytes[k] & 0xC0) == 0x80 {
+        k += 1; // skip UTF-8 continuation bytes
+    }
+    (bytes.get(k) == Some(&b'\'')).then_some(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings() {
+        let src = "let x = 1; // panic!(\"no\")\nlet s = \"unwrap()\";\n/* .expect( */ let y = 2;";
+        let m = mask_source(src);
+        assert!(!m.contains("panic!"));
+        assert!(!m.contains("unwrap"));
+        assert!(!m.contains(".expect("));
+        assert!(m.contains("let x = 1;"));
+        assert!(m.contains("let y = 2;"));
+        assert_eq!(m.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn masks_raw_strings_and_chars() {
+        let src = "let r = r#\"as u32\"#; let c = '\"'; let l: &'static str = \"x\";";
+        let m = mask_source(src);
+        assert!(!m.contains("as u32"));
+        assert!(m.contains("&'static str"));
+    }
+
+    #[test]
+    fn preserves_length_per_line() {
+        let src = "abc \"def\" ghi\n'x' // tail";
+        let m = mask_source(src);
+        for (a, b) in src.lines().zip(m.lines()) {
+            assert_eq!(a.len(), b.len());
+        }
+    }
+}

@@ -42,7 +42,7 @@ fn main() {
 
     // Reading it back costs exactly those pages.
     store.reset_counters();
-    let reloaded = load_mpoint(&stored_big, &store);
+    let reloaded = load_mpoint(&stored_big, &store).expect("store is well-formed");
     println!(
         "reload: {} pages read, value identical: {}",
         store.pages_read(),

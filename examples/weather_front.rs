@@ -89,7 +89,7 @@ fn main() {
     // Persist and reload (Fig 7 layout with one shared msegments array).
     let mut store = PageStore::new();
     let stored = save_mline(&front, &mut store);
-    let back = load_mline(&stored, &store);
+    let back = load_mline(&stored, &store).expect("store is well-formed");
     println!(
         "\nstored: {} unit records + {} mseg records; reload identical: {}",
         stored.num_units,

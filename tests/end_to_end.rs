@@ -22,7 +22,7 @@ fn queries_survive_storage_roundtrip() {
             (
                 p.airline.clone(),
                 p.id.clone(),
-                load_mpoint(&stored, &store),
+                load_mpoint(&stored, &store).expect("round-trip decodes"),
             )
         })
         .collect();
@@ -52,7 +52,7 @@ fn storm_tracking_pipeline() {
     // Store and reload the moving region.
     let mut store = PageStore::new();
     let stored = save_mregion(&hurricane, &mut store);
-    let back = load_mregion(&stored, &store);
+    let back = load_mregion(&stored, &store).expect("round-trip decodes");
 
     // Taxis vs the storm: the lifted inside must agree before/after
     // storage, and with per-instant evaluation.

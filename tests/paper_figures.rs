@@ -237,9 +237,10 @@ fn figure7_mapping_store_shape() {
     // Exactly the figure: a units array with three records and ONE
     // shared motions subarray holding all 6 motion records.
     assert_eq!(stored.num_units, 3);
-    let motions: Vec<PointMotion> = load_array(&stored.motions, &store);
+    let motions: Vec<PointMotion> =
+        load_array(&stored.motions, &store).expect("saved array decodes");
     assert_eq!(motions.len(), 6);
-    assert_eq!(load_mpoints(&stored, &store), m);
+    assert_eq!(load_mpoints(&stored, &store), Ok(m));
 }
 
 /// Figure 8: the refinement partition of two sets of time intervals.

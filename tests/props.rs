@@ -211,7 +211,7 @@ proptest! {
     fn storage_roundtrip_mpoint(m in mpoint_strategy()) {
         let mut store = PageStore::new();
         let stored = save_mpoint(&m, &mut store);
-        prop_assert_eq!(load_mpoint(&stored, &store), m);
+        prop_assert_eq!(load_mpoint(&stored, &store), Ok(m));
     }
 
     #[test]
