@@ -1,0 +1,83 @@
+//! Experiments E7/E8 (DESIGN.md §8): the batch/parallel query layer.
+//!
+//! * `parallel/atinstant-batch-vs-per-call` — a sorted probe set over
+//!   one large mapping, answered by `q` independent `at_instant` binary
+//!   searches (`O(q log n)`) versus one `batch_at_instant` merge scan
+//!   with a galloping cursor (`O(q log(n/q) + q)`), on both the
+//!   in-memory mapping and the storage-backed view (where the batch
+//!   kernel additionally bounds decoded units by `min(q, n)`).
+//! * `parallel/snapshot-threads` — the relation-wide `snapshot_at`
+//!   scan over a seeded plane fleet at increasing worker counts. The
+//!   result is byte-identical at every thread count (see
+//!   `tests/parallel_scans.rs`); this bench measures only the wall
+//!   clock. Speedups require real cores — single-core CI boxes will
+//!   (and should) show a flat profile.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mob_base::t;
+use mob_bench::{bench_fleet, crossing_point, probe_instants, SPAN};
+use mob_core::{batch_at_instant, UnitSeq};
+use mob_par::Pool;
+use mob_storage::mapping_store::save_mpoint;
+use mob_storage::{view_mpoint, PageStore};
+use std::hint::black_box;
+
+const UNITS: usize = 16384;
+const PROBES: usize = 1024;
+
+fn batch_vs_per_call(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel/atinstant-batch-vs-per-call");
+    let m = crossing_point(UNITS);
+    let probes = probe_instants(PROBES);
+    let mut store = PageStore::new();
+    let stored = save_mpoint(&m, &mut store);
+    let view = view_mpoint(&stored, &store).expect("saved mapping reopens");
+
+    group.bench_with_input(BenchmarkId::new("per-call", "memory"), &(), |b, _| {
+        b.iter(|| {
+            for ti in &probes {
+                black_box(m.at_instant(*ti));
+            }
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("batch", "memory"), &(), |b, _| {
+        b.iter(|| black_box(batch_at_instant(&m, &probes)));
+    });
+    group.bench_with_input(BenchmarkId::new("per-call", "stored"), &(), |b, _| {
+        b.iter(|| {
+            for ti in &probes {
+                black_box(view.at_instant(*ti));
+            }
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("batch", "stored"), &(), |b, _| {
+        b.iter(|| black_box(batch_at_instant(&view, &probes)));
+    });
+    group.finish();
+}
+
+fn snapshot_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel/snapshot-threads");
+    let fleet = bench_fleet(2048, 12);
+    let probe = t(SPAN * 0.5);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &th| {
+            b.iter(|| black_box(fleet.snapshot_at_with(Pool::with_threads(th), probe)));
+        });
+    }
+    group.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = batch_vs_per_call, snapshot_threads
+}
+criterion_main!(benches);

@@ -20,7 +20,7 @@ use mob_rel::{long_flights, planes_relation, save_relation, Relation};
 use mob_storage::mapping_store::{load_mpoint, save_mpoint};
 use mob_storage::{view_mpoint, PageStore};
 use std::hint::black_box;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn atinstant_backends(c: &mut Criterion) {
     let mut group = c.benchmark_group("qos/atinstant");
@@ -56,7 +56,7 @@ fn query1_backends(c: &mut Criterion) {
         );
         let mut store = PageStore::new();
         let stored = save_relation(&planes, &mut store).expect("fleet serializes");
-        let store = Rc::new(store);
+        let store = Arc::new(store);
         group.bench_with_input(BenchmarkId::new("materialize", n), &n, |b, _| {
             b.iter(|| {
                 let rel = mob_rel::load_relation(&stored, &store).expect("loads");

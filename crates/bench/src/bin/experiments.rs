@@ -220,8 +220,15 @@ fn e6() {
     use mob_storage::view_mpoint;
     header("E6  query-over-storage: atinstant on serialized mpoints [UnitSeq]");
     println!(
-        "{:>8} {:>14} {:>14} {:>8} {:>10} {:>10}",
-        "n units", "material ns", "in-place ns", "speedup", "pages(m)", "pages(ip)"
+        "{:>8} {:>14} {:>14} {:>8} {:>10} {:>10} {:>8} {:>6}",
+        "n units",
+        "material ns",
+        "in-place ns",
+        "speedup",
+        "pages(m)",
+        "pages(ip)",
+        "decoded",
+        "hits"
     );
     for n in [64usize, 256, 1024, 4096, 16384] {
         let m = crossing_point(n);
@@ -238,21 +245,117 @@ fn e6() {
         // the per-query cost.
         let view = view_mpoint(&stored, &store).expect("store is well-formed");
         store.reset_counters();
+        view.reset_counters();
         let inp = median_nanos(9, || {
             std::hint::black_box(view.at_instant(probe));
         });
         let pages_ip = store.pages_read();
         println!(
-            "{:>8} {:>14} {:>14} {:>8.1} {:>10} {:>10}",
+            "{:>8} {:>14} {:>14} {:>8.1} {:>10} {:>10} {:>8} {:>6}",
             m.num_units(),
             mat,
             inp,
             mat as f64 / inp.max(1) as f64,
             pages_m,
-            pages_ip
+            pages_ip,
+            view.units_decoded(),
+            view.cache_hits()
         );
     }
     println!("expected shape: materialize linear in n; in-place ~flat (O(log n) header reads + 1 decode)");
+    println!("decoded/hits: 9 repeated probes of one instant decode its unit once, then hit the view cache");
+}
+
+/// E7: batch atinstant — one merge scan vs q independent binary searches.
+fn e7() {
+    use mob_core::batch_at_instant;
+    use mob_storage::view_mpoint;
+    header("E7  batch atinstant: merge scan vs per-call binary search [DESIGN.md §8]");
+    let n = 16384usize;
+    let m = crossing_point(n);
+    let mut store = PageStore::new();
+    let stored = save_mpoint(&m, &mut store);
+    println!(
+        "workload: one {}-unit mpoint, sorted probe sets of growing size",
+        m.num_units()
+    );
+    println!(
+        "{:>8} {:>14} {:>14} {:>8} {:>9} {:>8} {:>6}",
+        "probes", "per-call ns", "batch ns", "speedup", "headers", "decoded", "hits"
+    );
+    for q in [16usize, 64, 256, 1024, 4096] {
+        let probes = probe_instants(q);
+        // In-memory mapping: q·O(log n) vs one galloping merge scan.
+        let per_call = median_nanos(7, || {
+            for ti in &probes {
+                std::hint::black_box(m.at_instant(*ti));
+            }
+        });
+        let batch = median_nanos(7, || {
+            std::hint::black_box(batch_at_instant(&m, &probes));
+        });
+        // Storage-backed view: count header reads and unit decodes for
+        // ONE batch pass (the decode bound is min(q, n)).
+        let view = view_mpoint(&stored, &store).expect("store is well-formed");
+        view.reset_counters();
+        let answers = batch_at_instant(&view, &probes);
+        assert_eq!(answers.len(), q);
+        println!(
+            "{:>8} {:>14} {:>14} {:>8.1} {:>9} {:>8} {:>6}",
+            q,
+            per_call,
+            batch,
+            per_call as f64 / batch.max(1) as f64,
+            view.headers_read(),
+            view.units_decoded(),
+            view.cache_hits()
+        );
+    }
+    println!(
+        "expected shape: batch ~linear in q with a small constant; per-call pays log n per probe;"
+    );
+    println!("decoded units stay <= min(q, n) on the stored path (merge order, no re-decodes)");
+}
+
+/// E8: thread scaling of the relation-wide snapshot scan.
+fn e8() {
+    use mob_par::Pool;
+    header("E8  parallel snapshot_at: thread scaling on a plane fleet [DESIGN.md §8]");
+    let n = 10_000usize;
+    let fleet = bench_fleet(n, 12);
+    let probe = t(SPAN * 0.5);
+    let baseline = fleet.snapshot_at_with(Pool::with_threads(1), probe);
+    println!(
+        "workload: snapshot_at over {} tuples (12-leg flights); host cores: {}",
+        fleet.len(),
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    );
+    println!(
+        "{:>8} {:>14} {:>9} {:>13}",
+        "threads", "median ns", "speedup", "deterministic"
+    );
+    let t1 = median_nanos(5, || {
+        std::hint::black_box(fleet.snapshot_at_with(Pool::with_threads(1), probe));
+    });
+    for th in [1usize, 2, 4, 8] {
+        let ns = if th == 1 {
+            t1
+        } else {
+            median_nanos(5, || {
+                std::hint::black_box(fleet.snapshot_at_with(Pool::with_threads(th), probe));
+            })
+        };
+        let same = fleet.snapshot_at_with(Pool::with_threads(th), probe) == baseline;
+        println!(
+            "{:>8} {:>14} {:>9.2} {:>13}",
+            th,
+            ns,
+            t1 as f64 / ns.max(1) as f64,
+            same
+        );
+    }
+    println!("expected shape: near-linear speedup up to the physical core count, flat beyond;");
+    println!("on a single-core host the profile is flat — the determinism column must stay true everywhere");
 }
 
 /// A1: ablation of the bounding-cube summary field (Sec 4.2).
@@ -372,6 +475,8 @@ fn main() {
     e4();
     e5();
     e6();
+    e7();
+    e8();
     ablation();
     queries();
     figures();

@@ -55,6 +55,17 @@ pub fn probe_instants(n: usize) -> Vec<Instant> {
         .collect()
 }
 
+/// A seeded `n`-plane fleet relation with ~`units` units per flight —
+/// the workload behind the relation-wide parallel scans (E8).
+pub fn bench_fleet(n: usize, units: usize) -> mob_rel::Relation {
+    mob_rel::planes_relation(
+        mob_gen::plane_fleet(0xF1EE7, n, units)
+            .into_iter()
+            .map(|p| (p.airline, p.id, p.flight))
+            .collect(),
+    )
+}
+
 /// The boundary soup of `k` disjoint unit squares — `4k` segments that
 /// `close()` must assemble into `k` faces.
 pub fn square_grid_soup(k: usize) -> Vec<Seg> {

@@ -20,6 +20,10 @@
 //! * [`refinement`](mod@crate::refinement) — the refinement partition (Fig 8);
 //! * [`lift`] — the generic skeleton of binary lifted operations
 //!   (Algorithm 5.2's outer loop), generic over [`seq::UnitSeq`];
+//! * [`batch`] — set-at-a-time query kernels: a monotone
+//!   [`batch::UnitCursor`] with galloping seek, `batch_at_instant` over
+//!   sorted probe sets, and one-probe-many-mappings `batch_lift2` /
+//!   `batch_inside`;
 //! * [`moving`] — the eight moving types of Table 3 with their
 //!   operations (`trajectory`, `distance`, `atmin`, `inside`, `area`, …);
 //! * [`ops`] — Tables 1–3 as inspectable catalogues;
@@ -30,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod lift;
 pub mod mapping;
 pub mod moving;
@@ -47,16 +52,19 @@ pub mod ureal;
 pub mod uregion;
 pub mod validate;
 
+pub use batch::{batch_at_instant, batch_inside, batch_lift2, UnitCursor};
 pub use lift::{lift1, lift2};
 pub use mapping::{Mapping, MappingBuilder};
-pub use moving::mpoint::{distance_seq, distance_travelled_seq, trajectory_seq};
+pub use moving::mpoint::{distance_seq, distance_travelled_seq, inside_region_seq, trajectory_seq};
 pub use moving::mregion::inside;
 pub use moving::{
     MovingBool, MovingInt, MovingLine, MovingPoint, MovingPoints, MovingReal, MovingRegion,
     MovingString,
 };
 pub use mseg::MSeg;
-pub use refinement::{refinement, refinement_both, refinement_both_seq, RefinedSlice};
+pub use refinement::{
+    refinement, refinement_both, refinement_both_seq, walk_refinement, RefinedSlice,
+};
 pub use seq::UnitSeq;
 pub use uconst::ConstUnit;
 pub use uline::ULine;

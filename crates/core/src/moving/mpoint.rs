@@ -44,6 +44,30 @@ where
     lift2(a, b, |iv, ua, ub| vec![ua.distance_ureal(ub, *iv)])
 }
 
+/// Lifted `inside` against a *static* region, generic over the access
+/// path — [`Mapping::inside_region`] for any `upoint` sequence
+/// (in-memory or storage-backed). The relation-wide `filter_inside`
+/// scan of `mob-rel` evaluates this per tuple.
+pub fn inside_region_seq<S: UnitSeq<Unit = UPoint>>(s: &S, region: &Region) -> MovingBool {
+    let all_false = |s: &S| -> MovingBool {
+        let mut builder = MappingBuilder::new();
+        for i in 0..s.len() {
+            builder.push(ConstUnit::new(s.interval(i), false));
+        }
+        builder.finish()
+    };
+    if region.is_empty() || s.len() == 0 {
+        return all_false(s);
+    }
+    let span = TimeInterval::closed(*s.interval(0).start(), *s.interval(s.len() - 1).end());
+    match URegion::stationary(span, region) {
+        Ok(ur) => crate::moving::mregion::inside(s, &Mapping::single(ur)),
+        // Unreachable for a valid non-empty region; degrade to "never
+        // inside" rather than panic on the infallible access path.
+        Err(_) => all_false(s),
+    }
+}
+
 impl Mapping<UPoint> {
     /// Build a moving point from a sequence of `(instant, position)`
     /// samples, linearly interpolated between consecutive samples
@@ -158,18 +182,7 @@ impl Mapping<UPoint> {
     /// fully dynamic version against a moving region is
     /// `MovingRegion::inside`.)
     pub fn inside_region(&self, region: &Region) -> MovingBool {
-        if region.is_empty() || self.is_empty() {
-            return self.map_units(|u| ConstUnit::new(*u.interval(), false));
-        }
-        let span = self.deftime();
-        let Some(first) = span.iter().next().map(|iv| *iv.start()) else {
-            return MovingBool::empty();
-        };
-        let last = span.iter().last().map(|iv| *iv.end()).unwrap_or(first);
-        let ur = URegion::stationary(TimeInterval::closed(first, last), region)
-            .expect("a valid static region yields a valid stationary uregion");
-        let mr = Mapping::single(ur);
-        crate::moving::mregion::inside(self, &mr)
+        inside_region_seq(self, region)
     }
 
     /// The `at` operation for a region value: restrict the moving point

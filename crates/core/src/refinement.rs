@@ -4,6 +4,7 @@
 //! "traverse the two lists in parallel, computing the refinement
 //! partition of the time axis on the way".
 
+use crate::batch::UnitCursor;
 use crate::mapping::Mapping;
 use crate::seq::UnitSeq;
 use crate::unit::Unit;
@@ -30,18 +31,7 @@ pub fn refinement<'a, A: Unit, B: Unit>(
     ma: &'a Mapping<A>,
     mb: &'a Mapping<B>,
 ) -> Vec<RefinedSlice<'a, A, B>> {
-    // Collect and merge the boundary instants of both mappings.
-    let mut bounds: Vec<Instant> = Vec::with_capacity(2 * (ma.num_units() + mb.num_units()));
-    for u in ma.units() {
-        bounds.push(*u.interval().start());
-        bounds.push(*u.interval().end());
-    }
-    for u in mb.units() {
-        bounds.push(*u.interval().start());
-        bounds.push(*u.interval().end());
-    }
-    bounds.sort();
-    bounds.dedup();
+    let bounds = merged_bounds(ma, mb);
 
     let mut out = Vec::new();
     let mut emit = |iv: TimeInterval| {
@@ -66,6 +56,89 @@ pub fn refinement<'a, A: Unit, B: Unit>(
     out
 }
 
+/// The merged boundary instants of two mappings, **strictly increasing**
+/// and duplicate-free.
+///
+/// Each mapping's own boundary stream `s₀, e₀, s₁, e₁, …` is already
+/// non-decreasing (unit intervals are sorted and pairwise r-disjoint,
+/// Sec 3.2.4), so the two streams are merged in one `O(n + m)` pass,
+/// dropping duplicates as they are produced — no `2·(n + m)` scratch
+/// vector, no sort, no post-hoc `dedup`. Duplicates are the common
+/// case, not the exception: adjacent units *within* a mapping share a
+/// boundary instant (`e_i = s_{i+1}`), and aligned units *across* the
+/// two mappings share all of them.
+///
+/// The strict-increase invariant is what guarantees each elementary
+/// part of the refinement partition — every point part in particular —
+/// is emitted exactly once by [`refinement`].
+fn merged_bounds<A: Unit, B: Unit>(ma: &Mapping<A>, mb: &Mapping<B>) -> Vec<Instant> {
+    let (ua, ub) = (ma.units(), mb.units());
+    // Flattened bound streams: element 2k is unit k's start, 2k+1 its end.
+    let bound_a = |k: usize| -> Instant {
+        let iv = ua[k / 2].interval();
+        if k.is_multiple_of(2) {
+            *iv.start()
+        } else {
+            *iv.end()
+        }
+    };
+    let bound_b = |k: usize| -> Instant {
+        let iv = ub[k / 2].interval();
+        if k.is_multiple_of(2) {
+            *iv.start()
+        } else {
+            *iv.end()
+        }
+    };
+    let (na, nb) = (2 * ua.len(), 2 * ub.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut out: Vec<Instant> = Vec::with_capacity(na + nb);
+    while i < na || j < nb {
+        let take_a = i < na && (j >= nb || bound_a(i) <= bound_b(j));
+        let next = if take_a {
+            i += 1;
+            bound_a(i - 1)
+        } else {
+            j += 1;
+            bound_b(j - 1)
+        };
+        if out.last() != Some(&next) {
+            out.push(next);
+        }
+    }
+    debug_assert!(
+        out.windows(2).all(|w| w[0] < w[1]),
+        "merged bounds must be strictly increasing"
+    );
+    out
+}
+
+/// The shared boundary-merge walk beneath [`refinement_both`] and
+/// [`refinement_both_seq`]: traverse the two sorted unit lists with two
+/// pointers and call `visit(common, i, j)` for every pair of units
+/// whose intervals intersect, in time order. `O(n + m)` interval reads,
+/// no unit decodes — what the visitor does with the indices (borrow,
+/// decode through a cursor, count) is its business.
+pub fn walk_refinement<SA: UnitSeq, SB: UnitSeq>(
+    sa: &SA,
+    sb: &SB,
+    mut visit: impl FnMut(TimeInterval, usize, usize),
+) {
+    let (n, m) = (sa.len(), sb.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < n && j < m {
+        let (ia, ib) = (sa.interval(i), sb.interval(j));
+        if let Some(common) = ia.intersection(&ib) {
+            visit(common, i, j);
+        }
+        if advance_first(&ia, &ib) {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+}
+
 /// The refinement parts where *both* arguments are defined — the inputs
 /// of strict binary lifted operations ("if both up and ur exist",
 /// Alg `inside`). Each item is `(interval, unit_a, unit_b)` with the
@@ -75,21 +148,11 @@ pub fn refinement_both<'a, A: Unit, B: Unit>(
     ma: &'a Mapping<A>,
     mb: &'a Mapping<B>,
 ) -> Vec<(TimeInterval, &'a A, &'a B)> {
-    // Two-pointer walk over the sorted unit lists: O(n + m) parts.
+    // The shared walk ([`walk_refinement`]) with borrowing visitors:
+    // O(n + m) parts, zero copies.
     let (ua, ub) = (ma.units(), mb.units());
-    let (mut i, mut j) = (0usize, 0usize);
     let mut out = Vec::new();
-    while i < ua.len() && j < ub.len() {
-        let (ia, ib) = (ua[i].interval(), ub[j].interval());
-        if let Some(common) = ia.intersection(ib) {
-            out.push((common, &ua[i], &ub[j]));
-        }
-        if advance_first(ia, ib) {
-            i += 1;
-        } else {
-            j += 1;
-        }
-    }
+    walk_refinement(ma, mb, |common, i, j| out.push((common, &ua[i], &ub[j])));
     out
 }
 
@@ -126,45 +189,16 @@ pub fn refinement_both_seq<'a, SA: UnitSeq, SB: UnitSeq>(
     sa: &'a SA,
     sb: &'a SB,
 ) -> Vec<RefinedPart<'a, SA, SB>> {
-    let (n, m) = (sa.len(), sb.len());
-    let (mut i, mut j) = (0usize, 0usize);
-    // Per-index decode caches so a unit overlapping several units of the
-    // other argument is decoded once, not once per part.
-    let mut cache_a: Option<(usize, Cow<'a, SA::Unit>)> = None;
-    let mut cache_b: Option<(usize, Cow<'a, SB::Unit>)> = None;
+    // The same walk as [`refinement_both`], with a [`UnitCursor`] per
+    // argument as the decode cache: a unit overlapping several units of
+    // the other argument is decoded once, not once per part.
+    let mut ca = UnitCursor::new(sa);
+    let mut cb = UnitCursor::new(sb);
     let mut out = Vec::new();
-    while i < n && j < m {
-        let (ia, ib) = (sa.interval(i), sb.interval(j));
-        if let Some(common) = ia.intersection(&ib) {
-            let ua = cached_unit(&mut cache_a, sa, i);
-            let ub = cached_unit(&mut cache_b, sb, j);
-            out.push((common, ua, ub));
-        }
-        if advance_first(&ia, &ib) {
-            i += 1;
-        } else {
-            j += 1;
-        }
-    }
+    walk_refinement(sa, sb, |common, i, j| {
+        out.push((common, ca.unit(i), cb.unit(j)));
+    });
     out
-}
-
-/// Fetch unit `i` through a one-slot decode cache: hits clone the cached
-/// [`Cow`] (cheap for borrowed units), misses decode once and refill the
-/// slot.
-fn cached_unit<'a, S: UnitSeq>(
-    cache: &mut Option<(usize, Cow<'a, S::Unit>)>,
-    seq: &'a S,
-    i: usize,
-) -> Cow<'a, S::Unit> {
-    match cache {
-        Some((k, u)) if *k == i => u.clone(),
-        _ => {
-            let u = seq.unit(i);
-            *cache = Some((i, u.clone()));
-            u
-        }
-    }
 }
 
 #[cfg(test)]
@@ -258,6 +292,65 @@ mod tests {
         assert_eq!(parts.len(), 1);
         assert!(parts[0].0.is_point());
         assert_eq!(*parts[0].0.start(), t(1.0));
+    }
+
+    #[test]
+    fn shared_boundary_instant_yields_exactly_one_point_slice() {
+        // Regression: `merged_bounds` must drop duplicate boundary
+        // instants on the fly. Adjacent units inside a mapping share
+        // `e_i = s_{i+1}`, and here *both* mappings put a boundary at
+        // t = 2, so the instant appears four times across the two bound
+        // streams — the point part at t = 2 must still be emitted
+        // exactly once.
+        let a = Mapping::try_new(vec![
+            cu(0.0, 2.0, true, true, 1),
+            cu(2.0, 4.0, false, true, 2),
+        ])
+        .unwrap();
+        let b = Mapping::try_new(vec![
+            cu(1.0, 2.0, true, true, 10),
+            cu(2.0, 3.0, false, true, 20),
+        ])
+        .unwrap();
+        let parts = refinement(&a, &b);
+        let point_parts_at_2: Vec<_> = parts
+            .iter()
+            .filter(|p| p.interval.is_point() && *p.interval.start() == t(2.0))
+            .collect();
+        assert_eq!(
+            point_parts_at_2.len(),
+            1,
+            "the shared boundary instant must produce exactly one slice"
+        );
+        let p = point_parts_at_2[0];
+        assert_eq!(p.a.map(|u| *u.value()), Some(1));
+        assert_eq!(p.b.map(|u| *u.value()), Some(10));
+        // No interval appears twice anywhere in the partition.
+        for (k, pk) in parts.iter().enumerate() {
+            for pl in &parts[k + 1..] {
+                assert_ne!(pk.interval, pl.interval, "duplicate part emitted");
+            }
+        }
+    }
+
+    #[test]
+    fn merged_bounds_strictly_increasing_under_heavy_sharing() {
+        // All four units of `a` and both units of `b` share boundaries.
+        let a = Mapping::try_new(vec![
+            cu(0.0, 1.0, true, false, 1),
+            cu(1.0, 2.0, true, false, 2),
+            cu(2.0, 3.0, true, false, 3),
+            cu(3.0, 4.0, true, true, 4),
+        ])
+        .unwrap();
+        let b = Mapping::try_new(vec![
+            cu(0.0, 2.0, true, false, 10),
+            cu(2.0, 4.0, true, true, 20),
+        ])
+        .unwrap();
+        let bounds = merged_bounds(&a, &b);
+        assert_eq!(bounds, vec![t(0.0), t(1.0), t(2.0), t(3.0), t(4.0)]);
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

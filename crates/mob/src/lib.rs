@@ -13,6 +13,8 @@
 //!   constructor, lifted operations and the Sec 5 algorithms;
 //! * [`storage`] — the Sec 4 attribute data structures (root records,
 //!   database arrays, subarrays, page store);
+//! * [`par`] — the dependency-free scoped worker pool behind the
+//!   relation-wide parallel scans;
 //! * [`rel`] — a minimal relational engine so the paper's queries run;
 //! * [`gen`] — seeded workload generators.
 //!
@@ -35,6 +37,7 @@
 pub use mob_base as base;
 pub use mob_core as core;
 pub use mob_gen as gen;
+pub use mob_par as par;
 pub use mob_rel as rel;
 pub use mob_spatial as spatial;
 pub use mob_storage as storage;

@@ -1,0 +1,243 @@
+//! # `mob-par` — a dependency-free scoped worker pool
+//!
+//! The paper's motivating queries are *set-at-a-time* ("where were all
+//! taxis at 8:00?", Sec 2): the natural unit of execution is the
+//! relation scan, not the single tuple. This crate supplies the one
+//! piece of machinery that makes those scans parallel without adding
+//! any dependency or any `unsafe`:
+//!
+//! * [`Pool`] — a scoped worker pool over [`std::thread::scope`],
+//!   honoring the `MOB_THREADS` environment variable and falling back
+//!   to plain sequential execution at one thread;
+//! * [`Pool::chunked_map`] / [`Pool::chunked_for_each`] — split a slice
+//!   into contiguous chunks, process chunks on the workers (dynamic
+//!   chunk stealing over an atomic cursor), and reassemble results **in
+//!   input order**.
+//!
+//! # Determinism guarantee
+//!
+//! `chunked_map(items, f)` returns exactly
+//! `items.iter().map(f).collect()` — element `i` of the output is
+//! `f(&items[i])`, for every thread count. Chunks are contiguous and
+//! results are stitched back together by chunk index, so scheduling
+//! order never leaks into the output. The parallel relation operators
+//! in `mob-rel` (and the determinism proptests behind them) rely on
+//! this.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker count (`0` or unset ⇒
+/// auto-detect from [`std::thread::available_parallelism`]).
+pub const THREADS_ENV: &str = "MOB_THREADS";
+
+/// The worker count [`Pool::new`] uses: `MOB_THREADS` if set to a
+/// positive integer, otherwise the machine's available parallelism
+/// (at least 1).
+pub fn default_threads() -> usize {
+    match std::env::var(THREADS_ENV) {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => detected_threads(),
+        },
+        Err(_) => detected_threads(),
+    }
+}
+
+fn detected_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A scoped worker pool: `threads` workers created per call via
+/// [`std::thread::scope`] (no long-lived threads, no channels, no
+/// `unsafe`), with dynamic chunk scheduling and deterministic result
+/// ordering.
+#[derive(Clone, Copy, Debug)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool honoring `MOB_THREADS` (see [`default_threads`]).
+    pub fn new() -> Pool {
+        Pool::with_threads(default_threads())
+    }
+
+    /// A pool with an explicit worker count (clamped to ≥ 1). One
+    /// thread means strictly sequential execution on the caller's
+    /// thread — no worker is ever spawned.
+    pub fn with_threads(threads: usize) -> Pool {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Map `f` over `items` in parallel, preserving input order in the
+    /// result (see the crate-level determinism guarantee).
+    ///
+    /// The slice is split into contiguous chunks (a few per worker for
+    /// load balancing); workers claim chunks through an atomic cursor
+    /// and the per-chunk results are reassembled by chunk index.
+    pub fn chunked_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let workers = self.threads.min(items.len()).max(1);
+        if workers == 1 {
+            return items.iter().map(f).collect();
+        }
+        // A few chunks per worker so a slow chunk does not serialize the
+        // tail; chunks stay contiguous so output order is trivial to
+        // restore.
+        let chunk_size = chunk_size_for(items.len(), workers);
+        let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+        let cursor = AtomicUsize::new(0);
+        let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(chunks.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(chunk) = chunks.get(k) else { break };
+                    let mapped: Vec<R> = chunk.iter().map(&f).collect();
+                    if let Ok(mut d) = done.lock() {
+                        d.push((k, mapped));
+                    }
+                });
+            }
+        });
+        let mut parts = match done.into_inner() {
+            Ok(p) => p,
+            Err(poison) => poison.into_inner(),
+        };
+        parts.sort_by_key(|(k, _)| *k);
+        let mut out = Vec::with_capacity(items.len());
+        for (_, mut part) in parts.drain(..) {
+            out.append(&mut part);
+        }
+        debug_assert_eq!(out.len(), items.len(), "every chunk must be mapped");
+        out
+    }
+
+    /// Run `f` on every item, in parallel, for its side effects only
+    /// (counters, logging). Iteration order *within* a chunk is the
+    /// input order; chunk scheduling across workers is unspecified.
+    pub fn chunked_for_each<T, F>(&self, items: &[T], f: F)
+    where
+        T: Sync,
+        F: Fn(&T) + Sync,
+    {
+        let workers = self.threads.min(items.len()).max(1);
+        if workers == 1 {
+            items.iter().for_each(f);
+            return;
+        }
+        let chunk_size = chunk_size_for(items.len(), workers);
+        let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(chunk) = chunks.get(k) else { break };
+                    chunk.iter().for_each(&f);
+                });
+            }
+        });
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::new()
+    }
+}
+
+/// Contiguous chunk size: aim for ~4 chunks per worker, at least 1
+/// element each.
+fn chunk_size_for(len: usize, workers: usize) -> usize {
+    len.div_ceil(workers.saturating_mul(4).max(1)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_preserves_order_for_every_thread_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1usize, 2, 3, 4, 7, 16, 1000, 2000] {
+            let pool = Pool::with_threads(threads);
+            assert_eq!(pool.chunked_map(&items, |x| x * 3 + 1), expect, "{threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_edge_sizes() {
+        let pool = Pool::with_threads(4);
+        assert!(pool.chunked_map(&[] as &[u32], |x| *x).is_empty());
+        assert_eq!(pool.chunked_map(&[7u32], |x| x + 1), vec![8]);
+        assert_eq!(pool.chunked_map(&[1u32, 2], |x| x * 10), vec![10, 20]);
+    }
+
+    #[test]
+    fn for_each_visits_every_item_once() {
+        let items: Vec<u64> = (1..=500).collect();
+        for threads in [1usize, 3, 8] {
+            let sum = AtomicU64::new(0);
+            Pool::with_threads(threads).chunked_for_each(&items, |x| {
+                sum.fetch_add(*x, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 500 * 501 / 2, "{threads}");
+        }
+    }
+
+    #[test]
+    fn with_threads_clamps_to_one() {
+        assert_eq!(Pool::with_threads(0).threads(), 1);
+        assert_eq!(Pool::with_threads(5).threads(), 5);
+        assert!(Pool::new().threads() >= 1);
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn chunk_sizing_covers_the_slice() {
+        for len in [1usize, 2, 7, 64, 1001] {
+            for workers in [1usize, 2, 8] {
+                let cs = chunk_size_for(len, workers);
+                assert!(cs >= 1);
+                assert!(cs * len.div_ceil(cs) >= len);
+            }
+        }
+    }
+
+    #[test]
+    fn results_are_not_affected_by_uneven_work() {
+        // Heavier work at the front must not reorder results.
+        let items: Vec<u64> = (0..257).collect();
+        let pool = Pool::with_threads(4);
+        let got = pool.chunked_map(&items, |&x| {
+            let spin = if x < 8 { 20_000 } else { 10 };
+            let mut acc = x;
+            for k in 0..spin {
+                acc = acc.wrapping_mul(31).wrapping_add(k);
+            }
+            std::hint::black_box(acc);
+            x
+        });
+        assert_eq!(got, items);
+    }
+}

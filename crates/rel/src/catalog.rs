@@ -18,7 +18,7 @@ use mob_storage::mapping_store::{
 };
 use mob_storage::region_store::{load_region, save_region, StoredRegion};
 use mob_storage::{PageStore, TupleLayout};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// One stored attribute value: the persistent form of [`AttrValue`].
 ///
@@ -174,7 +174,7 @@ impl Relation {
     /// (untrusted bytes are never probed blindly), after which a
     /// single-instant query costs `O(log n)` record reads instead of
     /// materializing all `n` units.
-    pub fn from_store(stored: &StoredRelation, store: Rc<PageStore>) -> DecodeResult<Relation> {
+    pub fn from_store(stored: &StoredRelation, store: Arc<PageStore>) -> DecodeResult<Relation> {
         let attrs: Vec<(&str, AttrType)> = stored
             .schema
             .iter()

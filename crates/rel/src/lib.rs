@@ -13,6 +13,7 @@
 pub mod catalog;
 pub mod queries;
 pub mod relation;
+pub mod scan;
 pub mod schema;
 pub mod value;
 

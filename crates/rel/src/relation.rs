@@ -50,6 +50,13 @@ impl Relation {
         &self.schema
     }
 
+    /// Assemble a relation from parts already known to match (used by
+    /// the operators in [`crate::scan`], whose output tuples are
+    /// constructed column-by-column from a validated input relation).
+    pub(crate) fn from_parts(schema: Schema, tuples: Vec<Tuple>) -> Relation {
+        Relation { schema, tuples }
+    }
+
     /// Number of tuples.
     pub fn len(&self) -> usize {
         self.tuples.len()

@@ -1,0 +1,212 @@
+//! Relation-wide **parallel batch scans** — the set-at-a-time queries
+//! of Sec 2 ("where were all planes at 8:00?") executed tuple-parallel
+//! over a `mob-par` worker pool.
+//!
+//! The operators are backend-agnostic per tuple: an in-memory
+//! [`AttrValue::MPoint`] is probed directly, a storage-backed
+//! [`AttrValue::MPointRef`](crate::value::MPointRef) through a
+//! short-lived lazy view each worker opens for itself (the page store
+//! behind the `Arc` is `Sync`; its blobs are immutable).
+//!
+//! # Determinism
+//!
+//! Both operators inherit the ordering guarantee of
+//! [`Pool::chunked_map`]: output tuples appear in input-tuple order for
+//! **every** thread count, so `snapshot_at` / `filter_inside` results
+//! are byte-identical whether `MOB_THREADS` is 1 or 64.
+
+use crate::relation::{Relation, Tuple};
+use crate::schema::Schema;
+use crate::value::{AttrType, AttrValue};
+use mob_base::Instant;
+use mob_core::{inside_region_seq, UnitSeq};
+use mob_par::Pool;
+use mob_spatial::Region;
+
+impl Relation {
+    /// Snapshot the whole relation at one instant: every
+    /// `moving(point)` attribute becomes a `point` attribute holding
+    /// its value at `t` (⊥ where the object is undefined at `t`); all
+    /// other attributes pass through unchanged.
+    ///
+    /// Tuples are scanned in parallel on a pool honoring `MOB_THREADS`
+    /// ([`Pool::new`]); use [`Relation::snapshot_at_with`] for an
+    /// explicit pool.
+    pub fn snapshot_at(&self, t: Instant) -> Relation {
+        self.snapshot_at_with(Pool::new(), t)
+    }
+
+    /// [`Relation::snapshot_at`] on an explicit worker pool.
+    pub fn snapshot_at_with(&self, pool: Pool, t: Instant) -> Relation {
+        let attrs: Vec<(String, AttrType)> = self
+            .schema()
+            .attrs()
+            .iter()
+            .map(|(n, ty)| {
+                let ty = if *ty == AttrType::MPoint {
+                    AttrType::Point
+                } else {
+                    *ty
+                };
+                (n.clone(), ty)
+            })
+            .collect();
+        let refs: Vec<(&str, AttrType)> = attrs.iter().map(|(n, ty)| (n.as_str(), *ty)).collect();
+        let schema = Schema::new(&refs).expect("snapshot schema mirrors a valid schema");
+        let tuples = pool.chunked_map(self.tuples(), |tup| {
+            Tuple::new(
+                tup.values()
+                    .iter()
+                    .map(|v| match v.as_mpoint_seq() {
+                        Some(seq) => AttrValue::Point(seq.at_instant(t)),
+                        None => v.clone(),
+                    })
+                    .collect(),
+            )
+        });
+        Relation::from_parts(schema, tuples)
+    }
+
+    /// Keep the tuples whose `moving(point)` attribute `attr` is ever
+    /// inside the (static) `region` — the relation-wide lifted `inside`
+    /// scan, evaluated tuple-parallel. Tuples whose attribute is not a
+    /// moving point (or never inside) are dropped; input order is
+    /// preserved.
+    ///
+    /// Panics if `attr` is not an attribute of the schema (same
+    /// contract as [`Relation::attr`]).
+    pub fn filter_inside(&self, attr: &str, region: &Region) -> Relation {
+        self.filter_inside_with(Pool::new(), attr, region)
+    }
+
+    /// [`Relation::filter_inside`] on an explicit worker pool.
+    pub fn filter_inside_with(&self, pool: Pool, attr: &str, region: &Region) -> Relation {
+        let idx = self.attr(attr);
+        let keep = pool.chunked_map(self.tuples(), |tup| {
+            tup.at(idx)
+                .as_mpoint_seq()
+                .map(|seq| !inside_region_seq(&seq, region).when_true().is_empty())
+                .unwrap_or(false)
+        });
+        let tuples = self
+            .tuples()
+            .iter()
+            .zip(&keep)
+            .filter(|(_, k)| **k)
+            .map(|(t, _)| t.clone())
+            .collect();
+        Relation::from_parts(self.schema().clone(), tuples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::save_relation;
+    use crate::queries::planes_relation;
+    use mob_base::{t, Val};
+    use mob_core::MovingPoint;
+    use mob_spatial::{pt, rect_ring, Region};
+    use mob_storage::PageStore;
+    use std::sync::Arc;
+
+    fn fleet(n: usize) -> Relation {
+        planes_relation(
+            (0..n)
+                .map(|k| {
+                    let x0 = k as f64;
+                    (
+                        format!("A{}", k % 3),
+                        format!("F{k}"),
+                        MovingPoint::from_samples(&[
+                            (t(0.0), pt(x0, 0.0)),
+                            (t(10.0), pt(x0, 10.0)),
+                        ]),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn snapshot_replaces_mpoint_with_point() {
+        let rel = fleet(7);
+        let snap = rel.snapshot_at(t(5.0));
+        assert_eq!(snap.len(), rel.len());
+        let f = snap.attr("flight");
+        assert_eq!(snap.schema().attrs()[f].1, AttrType::Point);
+        for (k, tup) in snap.tuples().iter().enumerate() {
+            match tup.at(f) {
+                AttrValue::Point(Val::Def(p)) => {
+                    assert_eq!(p.x.get(), k as f64);
+                    assert_eq!(p.y.get(), 5.0);
+                }
+                other => panic!("expected a defined point, got {other:?}"),
+            }
+        }
+        // Outside every lifetime: all positions undefined, tuples kept.
+        let missed = rel.snapshot_at(t(99.0));
+        assert_eq!(missed.len(), rel.len());
+        assert!(missed
+            .tuples()
+            .iter()
+            .all(|tup| matches!(tup.at(f), AttrValue::Point(Val::Undef))));
+    }
+
+    #[test]
+    fn snapshot_deterministic_across_thread_counts() {
+        let rel = fleet(23);
+        let expect = rel.snapshot_at_with(Pool::with_threads(1), t(3.25));
+        for threads in [2usize, 3, 4, 8] {
+            let got = rel.snapshot_at_with(Pool::with_threads(threads), t(3.25));
+            assert_eq!(got, expect, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn filter_inside_keeps_crossing_flights_in_order() {
+        let rel = fleet(9);
+        // Flights k = 2, 3, 4 pass through x ∈ [1.5, 4.5].
+        let zone = Region::from_ring(rect_ring(1.5, 2.0, 4.5, 8.0));
+        let hit = rel.filter_inside("flight", &zone);
+        let ids: Vec<&str> = hit
+            .tuples()
+            .iter()
+            .filter_map(|tup| tup.at(1).as_str())
+            .collect();
+        assert_eq!(ids, ["F2", "F3", "F4"]);
+        assert_eq!(hit.schema(), rel.schema());
+        for threads in [1usize, 2, 4] {
+            assert_eq!(
+                rel.filter_inside_with(Pool::with_threads(threads), "flight", &zone),
+                hit,
+                "{threads} threads"
+            );
+        }
+        // Empty region keeps nothing.
+        assert!(rel.filter_inside("flight", &Region::empty()).is_empty());
+    }
+
+    #[test]
+    fn scans_agree_across_backends() {
+        // The same fleet, in memory and opened from storage, must give
+        // identical scan results.
+        let rel = fleet(11);
+        let mut store = PageStore::new();
+        let stored = save_relation(&rel, &mut store).unwrap();
+        let opened = Relation::from_store(&stored, Arc::new(store)).unwrap();
+        let ti = t(6.5);
+        assert_eq!(rel.snapshot_at(ti), opened.snapshot_at(ti));
+        let zone = Region::from_ring(rect_ring(2.5, 0.0, 6.5, 10.0));
+        let a = rel.filter_inside("flight", &zone);
+        let b = opened.filter_inside("flight", &zone);
+        assert_eq!(a.len(), b.len());
+        let ids = |r: &Relation| -> Vec<String> {
+            r.tuples()
+                .iter()
+                .filter_map(|tup| tup.at(1).as_str().map(str::to_owned))
+                .collect()
+        };
+        assert_eq!(ids(&a), ids(&b));
+    }
+}

@@ -6,19 +6,26 @@ use mob_base::{Instant, Real, Text, TimeInterval, Val};
 use mob_core::{MovingBool, MovingPoint, MovingReal, MovingRegion, UPoint, UnitSeq};
 use mob_spatial::{Line, Point, Points, Region};
 use mob_storage::mapping_store::{load_mpoint, StoredMapping, UPointRecord};
-use mob_storage::{view_mpoint, MappingView, PageStore};
+use mob_storage::{view_mpoint, view_mpoint_preverified, MappingView, PageStore};
 use std::borrow::Cow;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A **storage-backed** `moving(point)` attribute: the root record
 /// ([`StoredMapping`]) of a serialized flight plus a shared handle to
 /// the page store holding its unit array. Queries access it through
 /// [`MPointSeq`] — unit records are decoded lazily, so `atinstant` costs
 /// `O(log n)` record reads instead of materializing all `n` units.
+///
+/// The store handle is an [`Arc`] and [`PageStore`] counters are
+/// atomic, so tuples holding `MPointRef`s are `Send + Sync`: the
+/// parallel relation scans ([`crate::Relation::snapshot_at`],
+/// [`crate::Relation::filter_inside`]) fan tuples out across `mob-par`
+/// workers, each opening its own short-lived view over the shared,
+/// immutable store.
 #[derive(Clone)]
 pub struct MPointRef {
-    store: Rc<PageStore>,
+    store: Arc<PageStore>,
     stored: StoredMapping,
 }
 
@@ -28,14 +35,19 @@ impl MPointRef {
     /// same pass [`view_mpoint`] runs). A reference is only handed out
     /// for a well-formed stored value, so the probing accessors below
     /// are infallible.
-    pub fn new(store: Rc<PageStore>, stored: StoredMapping) -> DecodeResult<MPointRef> {
+    pub fn new(store: Arc<PageStore>, stored: StoredMapping) -> DecodeResult<MPointRef> {
         view_mpoint(&stored, &store)?;
         Ok(MPointRef { store, stored })
     }
 
     /// A lazy [`UnitSeq`] view over the stored units.
+    ///
+    /// Opens through the **preverified** fast path: the full `O(n)`
+    /// structural scan already ran once in [`MPointRef::new`], and page
+    /// store blobs are append-only and immutable, so per-query view
+    /// opens pay only the `O(1)` layout checks.
     pub fn view(&self) -> MappingView<'_, UPointRecord> {
-        view_mpoint(&self.stored, &self.store)
+        view_mpoint_preverified(&self.stored, &self.store)
             .expect("stored mapping verified at MPointRef construction")
     }
 
@@ -52,7 +64,7 @@ impl MPointRef {
     }
 
     /// The page store this reference reads from.
-    pub fn store(&self) -> &Rc<PageStore> {
+    pub fn store(&self) -> &Arc<PageStore> {
         &self.store
     }
 
@@ -64,7 +76,7 @@ impl MPointRef {
 
 impl PartialEq for MPointRef {
     fn eq(&self, other: &MPointRef) -> bool {
-        Rc::ptr_eq(&self.store, &other.store) && self.stored == other.stored
+        Arc::ptr_eq(&self.store, &other.store) && self.stored == other.stored
     }
 }
 

@@ -43,6 +43,6 @@ pub use record::FixedRecord;
 pub use store_file::{RootRecord, StoreFile};
 pub use tuple::TupleLayout;
 pub use view::{
-    view_mbool, view_mline, view_mpoint, view_mpoints, view_mreal, view_mregion, MappingView,
-    UnitRecord,
+    view_mbool, view_mline, view_mpoint, view_mpoint_preverified, view_mpoints, view_mreal,
+    view_mregion, MappingView, UnitRecord, DEFAULT_UNIT_CACHE,
 };

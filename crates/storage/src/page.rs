@@ -7,7 +7,7 @@
 //! experiments can measure I/O behaviour (experiment E5).
 
 use mob_base::{DecodeError, DecodeResult};
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Default page size (bytes), matching common DBMS pages.
 pub const DEFAULT_PAGE_SIZE: usize = 4096;
@@ -41,11 +41,17 @@ struct Blob {
 }
 
 /// A page-based blob store with I/O counters.
+///
+/// The counters are relaxed atomics, so a `PageStore` is `Sync`: the
+/// parallel relation scans of `mob-rel` share one store across worker
+/// threads behind an `Arc`, each worker opening its own [`crate::view`]
+/// over the immutable, append-only blob data. Counter totals remain
+/// exact under concurrency; only the interleaving is unspecified.
 pub struct PageStore {
     page_size: usize,
     blobs: Vec<Blob>,
-    pages_written: Cell<u64>,
-    pages_read: Cell<u64>,
+    pages_written: AtomicU64,
+    pages_read: AtomicU64,
 }
 
 impl PageStore {
@@ -60,8 +66,8 @@ impl PageStore {
         PageStore {
             page_size,
             blobs: Vec::new(),
-            pages_written: Cell::new(0),
-            pages_read: Cell::new(0),
+            pages_written: AtomicU64::new(0),
+            pages_read: AtomicU64::new(0),
         }
     }
 
@@ -78,7 +84,7 @@ impl PageStore {
             bytes.chunks(self.page_size).map(|c| c.to_vec()).collect()
         };
         self.pages_written
-            .set(self.pages_written.get() + pages.len() as u64);
+            .fetch_add(pages.len() as u64, Ordering::Relaxed);
         self.blobs.push(Blob {
             pages,
             len: bytes.len(),
@@ -119,7 +125,7 @@ impl PageStore {
             }
         };
         self.pages_read
-            .set(self.pages_read.get() + blob.pages.len() as u64);
+            .fetch_add(blob.pages.len() as u64, Ordering::Relaxed);
         let mut out = Vec::with_capacity(blob.len);
         for p in &blob.pages {
             out.extend_from_slice(p);
@@ -158,7 +164,7 @@ impl PageStore {
     pub fn read_blob(&self, id: BlobId) -> Vec<u8> {
         let blob = &self.blobs[id.0];
         self.pages_read
-            .set(self.pages_read.get() + blob.pages.len() as u64);
+            .fetch_add(blob.pages.len() as u64, Ordering::Relaxed);
         let mut out = Vec::with_capacity(blob.len);
         for p in &blob.pages {
             out.extend_from_slice(p);
@@ -185,7 +191,7 @@ impl PageStore {
         let first = offset / self.page_size;
         let last = (offset + len - 1) / self.page_size;
         self.pages_read
-            .set(self.pages_read.get() + (last - first + 1) as u64);
+            .fetch_add((last - first + 1) as u64, Ordering::Relaxed);
         let mut out = Vec::with_capacity(len);
         for p in first..=last {
             let page = &blob.pages[p];
@@ -208,18 +214,18 @@ impl PageStore {
 
     /// Pages written since the last counter reset.
     pub fn pages_written(&self) -> u64 {
-        self.pages_written.get()
+        self.pages_written.load(Ordering::Relaxed)
     }
 
     /// Pages read since the last counter reset.
     pub fn pages_read(&self) -> u64 {
-        self.pages_read.get()
+        self.pages_read.load(Ordering::Relaxed)
     }
 
     /// Reset both I/O counters.
     pub fn reset_counters(&self) {
-        self.pages_written.set(0);
-        self.pages_read.set(0);
+        self.pages_written.store(0, Ordering::Relaxed);
+        self.pages_read.store(0, Ordering::Relaxed);
     }
 }
 

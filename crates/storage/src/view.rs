@@ -52,7 +52,17 @@ use mob_core::{
     UnitSeq,
 };
 use std::borrow::Cow;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+
+/// Default capacity of the per-view decoded-unit cache (entries).
+///
+/// Small on purpose: the batch kernels of `mob-core` probe with
+/// monotone cursors, so the working set at any moment is a handful of
+/// units around the current boundary — a few slots absorb the repeated
+/// decodes of `refinement`-style walks without holding a materialized
+/// copy of the mapping alive. [`MappingView::warm`] grows the capacity
+/// when a range is prefetched explicitly.
+pub const DEFAULT_UNIT_CACHE: usize = 8;
 
 /// A unit record type that can be decoded into a live unit, given access
 /// to the mapping's shared database arrays (Fig 7).
@@ -271,6 +281,13 @@ pub struct MappingView<'s, R: UnitRecord> {
     shared: R::Shared<'s>,
     headers_read: Cell<u64>,
     units_decoded: Cell<u64>,
+    /// Decoded-unit LRU: `(unit index, decoded unit)`, most recent
+    /// first. Touched only by [`UnitSeq::unit`] and
+    /// [`MappingView::warm`]; the fallible `try_*` accessors always go
+    /// to the store so audits observe the raw bytes.
+    cache: RefCell<Vec<(usize, R::Unit)>>,
+    cache_cap: Cell<usize>,
+    cache_hits: Cell<u64>,
 }
 
 impl<'s, R: UnitRecord> MappingView<'s, R> {
@@ -282,19 +299,34 @@ impl<'s, R: UnitRecord> MappingView<'s, R> {
         units: &'s SavedArray,
         shared: R::Shared<'s>,
     ) -> DecodeResult<Self> {
-        units.check_layout::<R>(store)?;
-        let view = MappingView {
-            store,
-            units,
-            shared,
-            headers_read: Cell::new(0),
-            units_decoded: Cell::new(0),
-        };
+        let view = Self::open_unchecked(store, units, shared)?;
         view.verify_structure()?;
         #[cfg(debug_assertions)]
         view.validate()?;
         view.reset_counters();
         Ok(view)
+    }
+
+    /// Construct with the `O(1)` layout checks only, skipping the
+    /// `O(n)` per-record structural pass. Callers must have verified
+    /// the same `(units, store)` pair before — see the `*_preverified`
+    /// view constructors.
+    fn open_unchecked(
+        store: &'s PageStore,
+        units: &'s SavedArray,
+        shared: R::Shared<'s>,
+    ) -> DecodeResult<Self> {
+        units.check_layout::<R>(store)?;
+        Ok(MappingView {
+            store,
+            units,
+            shared,
+            headers_read: Cell::new(0),
+            units_decoded: Cell::new(0),
+            cache: RefCell::new(Vec::new()),
+            cache_cap: Cell::new(DEFAULT_UNIT_CACHE),
+            cache_hits: Cell::new(0),
+        })
     }
 
     /// One pass over the unit records: every record must read cleanly
@@ -375,6 +407,54 @@ impl<'s, R: UnitRecord> MappingView<'s, R> {
         self.try_record(i)?.try_decode(&self.shared)
     }
 
+    /// Look up unit `i` in the decoded-unit cache, promoting a hit to
+    /// the front (most-recently-used) and counting it.
+    fn cache_get(&self, i: usize) -> Option<R::Unit> {
+        let mut cache = self.cache.borrow_mut();
+        let pos = cache.iter().position(|(k, _)| *k == i)?;
+        if pos != 0 {
+            let entry = cache.remove(pos);
+            cache.insert(0, entry);
+        }
+        self.cache_hits.set(self.cache_hits.get() + 1);
+        cache.first().map(|(_, u)| u.clone())
+    }
+
+    /// Insert a freshly decoded unit at the front of the cache,
+    /// evicting the least-recently-used entries beyond capacity.
+    fn cache_put(&self, i: usize, unit: R::Unit) {
+        let mut cache = self.cache.borrow_mut();
+        cache.insert(0, (i, unit));
+        cache.truncate(self.cache_cap.get().max(1));
+    }
+
+    /// Prefetch a contiguous range of units into the decoded-unit
+    /// cache, growing its capacity to hold the whole range. Subsequent
+    /// [`UnitSeq::unit`] calls inside the range are pure cache hits —
+    /// the explicit warm-up of a scan that will revisit its units
+    /// (e.g. a lifted operation against many other mappings).
+    ///
+    /// The range is clipped to the unit count; already cached units are
+    /// not re-decoded (and not counted as hits).
+    pub fn warm(&self, range: std::ops::Range<usize>) -> DecodeResult<()> {
+        let range = range.start..range.end.min(self.units.count);
+        if range.start >= range.end {
+            return Ok(());
+        }
+        let need = range.end - range.start;
+        if self.cache_cap.get() < need {
+            self.cache_cap.set(need);
+        }
+        for i in range {
+            let already = self.cache.borrow().iter().any(|(k, _)| *k == i);
+            if !already {
+                let unit = self.try_unit(i)?;
+                self.cache_put(i, unit);
+            }
+        }
+        Ok(())
+    }
+
     /// Interval headers read since the last counter reset (each is one
     /// 18-byte read — the probes of the binary search).
     pub fn headers_read(&self) -> u64 {
@@ -386,10 +466,19 @@ impl<'s, R: UnitRecord> MappingView<'s, R> {
         self.units_decoded.get()
     }
 
-    /// Reset both decode counters.
+    /// [`UnitSeq::unit`] calls served from the decoded-unit cache since
+    /// the last counter reset (these do **not** count as
+    /// [`MappingView::units_decoded`]).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.get()
+    }
+
+    /// Reset the decode and cache counters (the cache *contents* are
+    /// kept — only the tallies restart).
     pub fn reset_counters(&self) {
         self.headers_read.set(0);
         self.units_decoded.set(0);
+        self.cache_hits.set(0);
     }
 
     /// The underlying page store (for its page-I/O counters).
@@ -412,11 +501,15 @@ impl<'s, R: UnitRecord> UnitSeq for MappingView<'s, R> {
     }
 
     fn unit(&self, i: usize) -> Cow<'_, R::Unit> {
+        if let Some(unit) = self.cache_get(i) {
+            return Cow::Owned(unit);
+        }
         #[allow(clippy::expect_used)] // unreachable: verified at view construction
-        Cow::Owned(
-            self.try_unit(i)
-                .expect("mapping view verified at construction"),
-        )
+        let unit = self
+            .try_unit(i)
+            .expect("mapping view verified at construction");
+        self.cache_put(i, unit.clone());
+        Cow::Owned(unit)
     }
 }
 
@@ -445,6 +538,24 @@ pub fn view_mpoint<'s>(
 ) -> DecodeResult<MappingView<'s, UPointRecord>> {
     check_root_count(stored.num_units, &stored.units)?;
     MappingView::open(store, &stored.units, ())
+}
+
+/// Lazy view over a stored `moving(point)` **without** the `O(n)`
+/// structural re-scan of [`view_mpoint`] — only the `O(1)` layout check
+/// runs.
+///
+/// Sound only when the same `(stored, store)` pair has already passed a
+/// full [`view_mpoint`] open once: [`PageStore`] blobs are append-only
+/// and immutable, so a verification performed at load time remains
+/// valid for every later view. `mob-rel` relies on this to open a fresh
+/// view per query (per worker thread) without paying a relation-sized
+/// scan each time.
+pub fn view_mpoint_preverified<'s>(
+    stored: &'s StoredMapping,
+    store: &'s PageStore,
+) -> DecodeResult<MappingView<'s, UPointRecord>> {
+    check_root_count(stored.num_units, &stored.units)?;
+    MappingView::open_unchecked(store, &stored.units, ())
 }
 
 /// Lazy view over a stored `moving(points)` (one shared subarray).
@@ -618,8 +729,10 @@ mod tests {
             assert_eq!(a.area(), b.area(), "t={k}");
             assert_eq!(a.num_faces(), b.num_faces(), "t={k}");
         }
-        // One decode per probe, no more.
-        assert_eq!(view.units_decoded(), 5);
+        // Five probes hit only two distinct units: the decoded-unit
+        // cache serves the repeats.
+        assert_eq!(view.units_decoded(), 2);
+        assert_eq!(view.cache_hits(), 3);
         view.validate().unwrap();
     }
 
@@ -638,6 +751,79 @@ mod tests {
         assert_eq!(restricted, m.atperiods(&p));
         // Only the overlapped units were decoded.
         assert!(view.units_decoded() <= 6, "{}", view.units_decoded());
+    }
+
+    #[test]
+    fn warm_makes_probes_pure_cache_hits() {
+        let m = long_mpoint(32);
+        let mut store = PageStore::new();
+        let stored = save_mpoint(&m, &mut store);
+        let view = view_mpoint(&stored, &store).unwrap();
+        view.reset_counters();
+        view.warm(0..view.len()).unwrap();
+        let warmed = view.units_decoded();
+        assert_eq!(warmed, view.len() as u64, "warm decodes each unit once");
+        assert_eq!(view.cache_hits(), 0, "warming is not a hit");
+        // Every subsequent probe is served from the cache.
+        for k in 0..32 {
+            assert!(view.at_instant(t(k as f64 + 0.5)).is_def());
+        }
+        assert_eq!(view.units_decoded(), warmed, "no decode after warm");
+        assert_eq!(view.cache_hits(), 32);
+        // Re-warming an already warm range decodes nothing.
+        view.warm(0..view.len()).unwrap();
+        assert_eq!(view.units_decoded(), warmed);
+        // Out-of-range warms are clipped, empty warms are no-ops.
+        view.warm(1_000..2_000).unwrap();
+        view.warm(3..3).unwrap();
+        assert_eq!(view.units_decoded(), warmed);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used() {
+        let m = long_mpoint(64);
+        let mut store = PageStore::new();
+        let stored = save_mpoint(&m, &mut store);
+        let view = view_mpoint(&stored, &store).unwrap();
+        let n = view.len();
+        assert!(n > DEFAULT_UNIT_CACHE + 1, "need more units than slots");
+        view.reset_counters();
+        // Touch more distinct units than the default capacity …
+        for i in 0..n {
+            let _ = view.unit(i);
+        }
+        assert_eq!(view.units_decoded(), n as u64);
+        // … the most recent one is still cached, the oldest is not.
+        view.reset_counters();
+        let _ = view.unit(n - 1);
+        assert_eq!(view.cache_hits(), 1);
+        let _ = view.unit(0);
+        assert_eq!(view.units_decoded(), 1, "unit 0 was evicted");
+    }
+
+    #[test]
+    fn preverified_open_skips_the_structural_scan() {
+        let n = 2048;
+        let m = long_mpoint(n);
+        let mut store = PageStore::new();
+        let stored = save_mpoint(&m, &mut store);
+        // Full open once (the load-time verification).
+        let _ = view_mpoint(&stored, &store).unwrap();
+        store.reset_counters();
+        let view = view_mpoint_preverified(&stored, &store).unwrap();
+        assert_eq!(
+            store.pages_read(),
+            0,
+            "preverified open reads no data pages"
+        );
+        // The view still answers queries identically.
+        for k in [0.0, 512.25, 2048.0] {
+            assert_eq!(view.at_instant(t(k)), m.at_instant(t(k)), "t={k}");
+        }
+        // Root-count damage is still caught by the O(1) checks.
+        let mut bad = save_mpoint(&m, &mut store);
+        bad.num_units += 1;
+        assert!(view_mpoint_preverified(&bad, &store).is_err());
     }
 
     #[test]

@@ -11,7 +11,7 @@ use mob::core::UnitSeq;
 use mob::prelude::*;
 use mob::rel::{long_flights, planes_relation, save_relation};
 use mob::storage::PageStore;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn main() {
     // A seeded fleet: 16 planes, ~512 units per flight.
@@ -41,7 +41,7 @@ fn main() {
 
     // Open it for query-in-place: zero pages read, flights stay as lazy
     // MPointRef handles over the store.
-    let store = Rc::new(store);
+    let store = Arc::new(store);
     store.reset_counters();
     let lazy = Relation::from_store(&stored, store.clone()).expect("opens");
     println!(

@@ -18,7 +18,7 @@ use mob::rel::{
 use mob::storage::mapping_store::{save_mpoint, save_mreal, save_mregion};
 use mob::storage::{view_mpoint, view_mreal, view_mregion, PageStore};
 use proptest::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 // ---------------------------------------------------------------------
 // Strategies
@@ -142,7 +142,7 @@ fn section2_queries_identical_on_both_backends() {
     let mem = fleet();
     let mut store = PageStore::new();
     let stored = save_relation(&mem, &mut store).expect("fleet serializes");
-    let store = Rc::new(store);
+    let store = Arc::new(store);
 
     // Opening the stored relation for query-in-place runs one
     // structural verification scan per flight (untrusted bytes are never
