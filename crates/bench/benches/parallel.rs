@@ -17,9 +17,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mob_base::t;
 use mob_bench::{bench_fleet, crossing_point, probe_instants, SPAN};
 use mob_core::{batch_at_instant, UnitSeq};
-use mob_par::Pool;
+use mob_rel::ScanOpts;
 use mob_storage::mapping_store::save_mpoint;
-use mob_storage::{view_mpoint, PageStore};
+use mob_storage::{open_mpoint, PageStore, Verify};
 use std::hint::black_box;
 
 const UNITS: usize = 16384;
@@ -31,7 +31,7 @@ fn batch_vs_per_call(c: &mut Criterion) {
     let probes = probe_instants(PROBES);
     let mut store = PageStore::new();
     let stored = save_mpoint(&m, &mut store);
-    let view = view_mpoint(&stored, &store).expect("saved mapping reopens");
+    let view = open_mpoint(&stored, &store, Verify::Full).expect("saved mapping reopens");
 
     group.bench_with_input(BenchmarkId::new("per-call", "memory"), &(), |b, _| {
         b.iter(|| {
@@ -62,7 +62,8 @@ fn snapshot_threads(c: &mut Criterion) {
     let probe = t(SPAN * 0.5);
     for threads in [1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &th| {
-            b.iter(|| black_box(fleet.snapshot_at_with(Pool::with_threads(th), probe)));
+            let opts = ScanOpts::new().threads(th);
+            b.iter(|| black_box(fleet.snapshot_at(probe, &opts).0));
         });
     }
     group.finish();

@@ -3,9 +3,10 @@
 //! Compares the two ways of answering a single-instant query against a
 //! serialized `moving(point)`:
 //!
-//! * **materialize-then-query** — `load_mpoint` decodes all `n` unit
-//!   records into a `Mapping`, then `at_instant` binary-searches it;
-//! * **query-in-place** — `view_mpoint` wraps the stored records in a
+//! * **materialize-then-query** — `open_mpoint(..)?.materialize_validated()`
+//!   decodes all `n` unit records into a `Mapping`, then `at_instant`
+//!   binary-searches it;
+//! * **query-in-place** — `open_mpoint` wraps the stored records in a
 //!   lazy [`MappingView`] (verified once, outside the measured loop —
 //!   that cost is paid at open time, not per query) and the *same*
 //!   `at_instant` (a `UnitSeq` default method) probes `O(log n)`
@@ -17,8 +18,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mob_bench::{crossing_point, SPAN};
 use mob_core::UnitSeq;
 use mob_rel::{long_flights, planes_relation, save_relation, Relation};
-use mob_storage::mapping_store::{load_mpoint, save_mpoint};
-use mob_storage::{view_mpoint, PageStore};
+use mob_storage::mapping_store::save_mpoint;
+use mob_storage::{open_mpoint, PageStore, Verify};
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -32,11 +33,13 @@ fn atinstant_backends(c: &mut Criterion) {
         let probe = mob_base::t(SPAN * 0.37);
         group.bench_with_input(BenchmarkId::new("materialize-then-query", n), &n, |b, _| {
             b.iter(|| {
-                let mem = load_mpoint(&stored, &store).expect("store is well-formed");
+                let mem = open_mpoint(&stored, &store, Verify::Full)
+                    .and_then(|v| v.materialize_validated())
+                    .expect("store is well-formed");
                 black_box(mem.at_instant(probe))
             });
         });
-        let view = view_mpoint(&stored, &store).expect("store is well-formed");
+        let view = open_mpoint(&stored, &store, Verify::Full).expect("store is well-formed");
         group.bench_with_input(BenchmarkId::new("query-in-place", n), &n, |b, _| {
             b.iter(|| black_box(view.at_instant(probe)));
         });

@@ -4,9 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mob_bench::{bench_storm, crossing_point};
-use mob_storage::mapping_store::{load_mpoint, load_mregion, save_mpoint, save_mregion};
+use mob_storage::mapping_store::{save_mpoint, save_mregion};
 use mob_storage::region_store::{load_region, save_region};
-use mob_storage::PageStore;
+use mob_storage::{open_mpoint, open_mregion, PageStore, Verify};
 use std::hint::black_box;
 
 fn mpoint_roundtrip(c: &mut Criterion) {
@@ -22,7 +22,12 @@ fn mpoint_roundtrip(c: &mut Criterion) {
         let mut store = PageStore::new();
         let stored = save_mpoint(&m, &mut store);
         group.bench_with_input(BenchmarkId::new("load", n), &n, |b, _| {
-            b.iter(|| black_box(load_mpoint(&stored, &store)));
+            b.iter(|| {
+                black_box(
+                    open_mpoint(&stored, &store, Verify::Full)
+                        .and_then(|v| v.materialize_validated()),
+                )
+            });
         });
     }
     group.finish();
@@ -43,7 +48,12 @@ fn mregion_roundtrip(c: &mut Criterion) {
         let mut store = PageStore::new();
         let stored = save_mregion(&m, &mut store);
         group.bench_with_input(BenchmarkId::new("load", label), &label, |b, _| {
-            b.iter(|| black_box(load_mregion(&stored, &store)));
+            b.iter(|| {
+                black_box(
+                    open_mregion(&stored, &store, Verify::Full)
+                        .and_then(|v| v.materialize_validated()),
+                )
+            });
         });
     }
     group.finish();

@@ -9,17 +9,23 @@
 //! Times are medians of repeated runs (wall clock); the *shape* of each
 //! series (logarithmic / linear / flat) is the reproduced result, not
 //! the absolute numbers.
+//!
+//! `--explain` skips the timing tables and instead re-derives the E6/E7
+//! *complexity* columns (header probes, unit decodes) purely from the
+//! `mob-obs` registry, printing one EXPLAIN operator tree per query and
+//! checking the Section-5 bounds (O(log n) `atinstant`,
+//! O(q·log(n/q) + q) batch probing) against the measured counts.
 
 use mob_base::t;
 use mob_bench::*;
 use mob_core::moving::mregion::inside;
 use mob_core::{ConstUnit, Mapping, MappingBuilder, UReal, Unit};
 use mob_gen::plane_fleet;
-use mob_rel::{close_encounters, long_flights, planes_relation};
+use mob_rel::{close_encounters, long_flights, planes_relation, ScanOpts};
 use mob_spatial::Region;
 use mob_storage::dbarray::save_array_with_threshold;
-use mob_storage::mapping_store::{load_mpoint, save_mpoint};
-use mob_storage::PageStore;
+use mob_storage::mapping_store::save_mpoint;
+use mob_storage::{open_mpoint, PageStore, Verify};
 
 fn header(title: &str) {
     println!("\n{title}");
@@ -174,7 +180,11 @@ fn e5() {
         };
         let pages = store.pages_written();
         let ns = median_nanos(9, || {
-            std::hint::black_box(load_mpoint(&stored, &store).expect("store is well-formed"));
+            std::hint::black_box(
+                open_mpoint(&stored, &store, Verify::Full)
+                    .and_then(|v| v.materialize_validated())
+                    .expect("store is well-formed"),
+            );
         });
         println!(
             "{:>10} {:>12} {:>10} {:>10} {:>12}",
@@ -217,7 +227,6 @@ fn e5() {
 /// E6: query-over-storage — materialize-then-query vs query-in-place.
 fn e6() {
     use mob_core::UnitSeq;
-    use mob_storage::view_mpoint;
     header("E6  query-over-storage: atinstant on serialized mpoints [UnitSeq]");
     println!(
         "{:>8} {:>14} {:>14} {:>8} {:>10} {:>10} {:>8} {:>6}",
@@ -237,13 +246,15 @@ fn e6() {
         let probe = t(SPAN * 0.37);
         store.reset_counters();
         let mat = median_nanos(9, || {
-            let mem = load_mpoint(&stored, &store).expect("store is well-formed");
+            let mem = open_mpoint(&stored, &store, Verify::Full)
+                .and_then(|v| v.materialize_validated())
+                .expect("store is well-formed");
             std::hint::black_box(mem.at_instant(probe));
         });
         let pages_m = store.pages_read();
         // Verification happens once at open time; the measured loop is
         // the per-query cost.
-        let view = view_mpoint(&stored, &store).expect("store is well-formed");
+        let view = open_mpoint(&stored, &store, Verify::Full).expect("store is well-formed");
         store.reset_counters();
         view.reset_counters();
         let inp = median_nanos(9, || {
@@ -269,7 +280,6 @@ fn e6() {
 /// E7: batch atinstant — one merge scan vs q independent binary searches.
 fn e7() {
     use mob_core::batch_at_instant;
-    use mob_storage::view_mpoint;
     header("E7  batch atinstant: merge scan vs per-call binary search [DESIGN.md §8]");
     let n = 16384usize;
     let m = crossing_point(n);
@@ -296,7 +306,7 @@ fn e7() {
         });
         // Storage-backed view: count header reads and unit decodes for
         // ONE batch pass (the decode bound is min(q, n)).
-        let view = view_mpoint(&stored, &store).expect("store is well-formed");
+        let view = open_mpoint(&stored, &store, Verify::Full).expect("store is well-formed");
         view.reset_counters();
         let answers = batch_at_instant(&view, &probes);
         assert_eq!(answers.len(), q);
@@ -319,12 +329,11 @@ fn e7() {
 
 /// E8: thread scaling of the relation-wide snapshot scan.
 fn e8() {
-    use mob_par::Pool;
     header("E8  parallel snapshot_at: thread scaling on a plane fleet [DESIGN.md §8]");
     let n = 10_000usize;
     let fleet = bench_fleet(n, 12);
     let probe = t(SPAN * 0.5);
-    let baseline = fleet.snapshot_at_with(Pool::with_threads(1), probe);
+    let baseline = fleet.snapshot_at(probe, &ScanOpts::default()).0;
     println!(
         "workload: snapshot_at over {} tuples (12-leg flights); host cores: {}",
         fleet.len(),
@@ -335,17 +344,18 @@ fn e8() {
         "threads", "median ns", "speedup", "deterministic"
     );
     let t1 = median_nanos(5, || {
-        std::hint::black_box(fleet.snapshot_at_with(Pool::with_threads(1), probe));
+        std::hint::black_box(fleet.snapshot_at(probe, &ScanOpts::default()).0);
     });
     for th in [1usize, 2, 4, 8] {
+        let opts = ScanOpts::new().threads(th);
         let ns = if th == 1 {
             t1
         } else {
             median_nanos(5, || {
-                std::hint::black_box(fleet.snapshot_at_with(Pool::with_threads(th), probe));
+                std::hint::black_box(fleet.snapshot_at(probe, &opts).0);
             })
         };
-        let same = fleet.snapshot_at_with(Pool::with_threads(th), probe) == baseline;
+        let same = fleet.snapshot_at(probe, &opts).0 == baseline;
         println!(
             "{:>8} {:>14} {:>9.2} {:>13}",
             th,
@@ -466,7 +476,99 @@ fn figures() {
     );
 }
 
+/// `ceil(log2 n)` for `n >= 1`.
+fn ceil_log2(n: usize) -> u64 {
+    u64::from(usize::BITS - n.max(1).next_power_of_two().leading_zeros()) - 1
+}
+
+/// `--explain`: re-derive the E6/E7 complexity columns **solely from
+/// the `mob-obs` registry** — every count below is a registry delta
+/// captured by [`mob_obs::explain`], none comes from a bespoke
+/// per-object accessor — and check them against the paper's bounds.
+fn explain_mode() {
+    use mob_core::{batch_at_instant, UnitSeq};
+
+    header("EXPLAIN  E6/E7 complexity columns derived from the mob-obs registry");
+    if !mob_obs::enabled() {
+        println!(
+            "observability is disabled ({}=0) — nothing to derive",
+            mob_obs::OBS_ENV
+        );
+        return;
+    }
+
+    // E6: one query-in-place atinstant = O(log n) header probes + at
+    // most one unit decode (Sec 5.1 over the storage layout of Sec 4).
+    println!("\nE6  atinstant on a stored mpoint: headers <= ceil(log2 n)+1, decodes <= 1");
+    for n in [64usize, 1024, 16384] {
+        let m = crossing_point(n);
+        let mut store = PageStore::new();
+        let stored = save_mpoint(&m, &mut store);
+        let view = open_mpoint(&stored, &store, Verify::Full).expect("store is well-formed");
+        let probe = t(SPAN * 0.37);
+        let (val, report) = mob_obs::explain("e6.atinstant(stored)", || {
+            let _op = mob_obs::span("qos.at_instant");
+            view.at_instant(probe)
+        });
+        std::hint::black_box(val);
+        print!("{report}");
+        let headers = report.metrics().get("view.headers_read");
+        let decoded = report.metrics().get("view.units_decoded");
+        let bound = ceil_log2(n) + 1;
+        let ok = headers <= bound && decoded <= 1;
+        println!(
+            "  n={n:>6}  headers={headers} (bound {bound})  decoded={decoded} (bound 1)  ok={ok}"
+        );
+        assert!(
+            ok,
+            "E6 bound violated for n={n}: headers={headers} > {bound} or decoded={decoded} > 1"
+        );
+    }
+
+    // E7: a sorted q-probe batch = O(q·log(n/q) + q) header probes via
+    // the galloping merge scan — the constant is 2 per level (a gallop
+    // read plus a binary-search read) — and at most min(q, n) unit
+    // decodes.
+    let n = 16384usize;
+    let m = crossing_point(n);
+    let mut store = PageStore::new();
+    let stored = save_mpoint(&m, &mut store);
+    let view = open_mpoint(&stored, &store, Verify::Full).expect("store is well-formed");
+    println!("\nE7  batch atinstant on a {n}-unit stored mpoint:");
+    println!("    headers <= 2q*(ceil(log2(n/q)) + 2), decodes <= min(q, n)");
+    for q in [16usize, 256, 4096] {
+        let probes = probe_instants(q);
+        let (answers, report) = mob_obs::explain("e7.batch_at_instant(stored)", || {
+            batch_at_instant(&view, &probes)
+        });
+        assert_eq!(answers.len(), q);
+        print!("{report}");
+        let counted = report.metrics().get("core.batch_at_instant.probes");
+        let headers = report.metrics().get("view.headers_read");
+        let decoded = report.metrics().get("view.units_decoded");
+        let hbound = 2 * q as u64 * (ceil_log2(n.div_ceil(q)) + 2);
+        let dbound = q.min(UnitSeq::len(&m)) as u64;
+        let ok = counted == q as u64 && headers <= hbound && decoded <= dbound;
+        println!(
+            "  q={q:>5}  probes={counted}  headers={headers} (bound {hbound})  \
+             decoded={decoded} (bound {dbound})  ok={ok}"
+        );
+        assert!(
+            ok,
+            "E7 bound violated for q={q}: probes={counted}, headers={headers} > {hbound} \
+             or decoded={decoded} > {dbound}"
+        );
+    }
+    println!("\nall registry-derived counts satisfy the Section-5 bounds.");
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--explain") {
+        println!("mob experiment driver — EXPLAIN mode (registry-derived complexity columns)");
+        explain_mode();
+        println!("\ndone.");
+        return;
+    }
     println!("mob experiment driver — reproduces the measurable artifacts of");
     println!("\"A Data Model and Data Structures for Moving Objects Databases\" (SIGMOD 2000)");
     e1();

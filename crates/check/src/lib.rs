@@ -151,15 +151,15 @@ pub fn audit_store_file(file: &StoreFile) -> AuditReport {
 pub fn audit_entry(name: &str, root: &RootRecord, store: &PageStore) -> EntryReport {
     let kind = root.kind_name();
     macro_rules! moving {
-        ($stored:expr, $view:path, $load:path) => {{
-            let view = match $view($stored, store) {
+        ($stored:expr, $open:path) => {{
+            let view = match $open($stored, store, view::Verify::Full) {
                 Ok(v) => v,
                 Err(e) => return EntryReport::fail(name, kind, "open", e),
             };
             if let Err(e) = view.validate() {
                 return EntryReport::fail(name, kind, "validate", e);
             }
-            let loaded = match $load($stored, store) {
+            let loaded = match view.materialize_validated() {
                 Ok(v) => v,
                 Err(e) => return EntryReport::fail(name, kind, "load", e),
             };
@@ -170,12 +170,12 @@ pub fn audit_entry(name: &str, root: &RootRecord, store: &PageStore) -> EntryRep
         }};
     }
     match root {
-        RootRecord::MBool(s) => moving!(s, view::view_mbool, mapping_store::load_mbool),
-        RootRecord::MReal(s) => moving!(s, view::view_mreal, mapping_store::load_mreal),
-        RootRecord::MPoint(s) => moving!(s, view::view_mpoint, mapping_store::load_mpoint),
-        RootRecord::MPoints(s) => moving!(s, view::view_mpoints, mapping_store::load_mpoints),
-        RootRecord::MLine(s) => moving!(s, view::view_mline, mapping_store::load_mline),
-        RootRecord::MRegion(s) => moving!(s, view::view_mregion, mapping_store::load_mregion),
+        RootRecord::MBool(s) => moving!(s, view::open_mbool),
+        RootRecord::MReal(s) => moving!(s, view::open_mreal),
+        RootRecord::MPoint(s) => moving!(s, view::open_mpoint),
+        RootRecord::MPoints(s) => moving!(s, view::open_mpoints),
+        RootRecord::MLine(s) => moving!(s, view::open_mline),
+        RootRecord::MRegion(s) => moving!(s, view::open_mregion),
         RootRecord::Line(s) => match line_store::load_line(s, store) {
             Ok(l) => EntryReport::ok(name, kind, l.num_segments()),
             Err(e) => EntryReport::fail(name, kind, "load", e),

@@ -181,6 +181,8 @@ pub fn batch_at_instant<S: UnitSeq>(
         sorted_instants.windows(2).all(|w| w[0] <= w[1]),
         "batch_at_instant probes must be sorted (non-decreasing)"
     );
+    let _span = mob_obs::span("core.batch_at_instant");
+    mob_obs::metric!("core.batch_at_instant.probes").add(sorted_instants.len() as u64);
     let mut cursor = UnitCursor::new(seq);
     sorted_instants
         .iter()
@@ -203,6 +205,8 @@ where
     UC: Unit,
     F: Fn(&TimeInterval, &SA::Unit, &SB::Unit) -> Vec<UC>,
 {
+    let _span = mob_obs::span("core.batch_lift2");
+    mob_obs::metric!("core.batch_lift2.pairs").add(bs.len() as u64);
     let probe: Mapping<SA::Unit> = a.materialize();
     bs.iter().map(|b| lift2(&probe, b, &kernel)).collect()
 }
@@ -219,6 +223,8 @@ where
     SP: UnitSeq<Unit = UPoint>,
     SR: UnitSeq<Unit = URegion>,
 {
+    let _span = mob_obs::span("core.batch_inside");
+    mob_obs::metric!("core.batch_inside.pairs").add(points.len() as u64);
     let probe: Mapping<URegion> = region.materialize();
     points
         .iter()

@@ -150,9 +150,11 @@ pub fn refinement_both<'a, A: Unit, B: Unit>(
 ) -> Vec<(TimeInterval, &'a A, &'a B)> {
     // The shared walk ([`walk_refinement`]) with borrowing visitors:
     // O(n + m) parts, zero copies.
+    let _span = mob_obs::span("core.refinement");
     let (ua, ub) = (ma.units(), mb.units());
     let mut out = Vec::new();
     walk_refinement(ma, mb, |common, i, j| out.push((common, &ua[i], &ub[j])));
+    mob_obs::metric!("core.refinement.parts").add(out.len() as u64);
     out
 }
 
@@ -192,12 +194,14 @@ pub fn refinement_both_seq<'a, SA: UnitSeq, SB: UnitSeq>(
     // The same walk as [`refinement_both`], with a [`UnitCursor`] per
     // argument as the decode cache: a unit overlapping several units of
     // the other argument is decoded once, not once per part.
+    let _span = mob_obs::span("core.refinement");
     let mut ca = UnitCursor::new(sa);
     let mut cb = UnitCursor::new(sb);
     let mut out = Vec::new();
     walk_refinement(sa, sb, |common, i, j| {
         out.push((common, ca.unit(i), cb.unit(j)));
     });
+    mob_obs::metric!("core.refinement.parts").add(out.len() as u64);
     out
 }
 

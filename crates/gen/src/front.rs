@@ -130,11 +130,14 @@ mod tests {
 
     #[test]
     fn front_storage_roundtrip() {
-        use mob_storage::mapping_store::{load_mline, save_mline};
-        use mob_storage::PageStore;
+        use mob_storage::mapping_store::save_mline;
+        use mob_storage::{open_mline, PageStore, Verify};
         let front = moving_front(7, &FrontConfig::default());
         let mut store = PageStore::new();
         let stored = save_mline(&front, &mut store);
-        assert_eq!(load_mline(&stored, &store), Ok(front));
+        let back = open_mline(&stored, &store, Verify::Full)
+            .unwrap()
+            .materialize_validated();
+        assert_eq!(back, Ok(front));
     }
 }

@@ -13,9 +13,11 @@
 //!   constructor, lifted operations and the Sec 5 algorithms;
 //! * [`storage`] — the Sec 4 attribute data structures (root records,
 //!   database arrays, subarrays, page store);
-//! * [`par`] — the dependency-free scoped worker pool behind the
-//!   relation-wide parallel scans;
+//! * [`par`] — the scoped worker pool behind the relation-wide
+//!   parallel scans;
 //! * [`rel`] — a minimal relational engine so the paper's queries run;
+//! * [`obs`] — query observability: the metrics registry, span timing
+//!   and the EXPLAIN capture every layer above reports into;
 //! * [`gen`] — seeded workload generators.
 //!
 //! ```
@@ -37,6 +39,7 @@
 pub use mob_base as base;
 pub use mob_core as core;
 pub use mob_gen as gen;
+pub use mob_obs as obs;
 pub use mob_par as par;
 pub use mob_rel as rel;
 pub use mob_spatial as spatial;

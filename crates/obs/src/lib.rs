@@ -1,0 +1,126 @@
+//! # `mob-obs` — query observability for the moving-objects stack
+//!
+//! The paper's Section-5 complexity claims (`atinstant` = O(log n) header
+//! probes, `inside` refinement = O(n+m), batch probing =
+//! O(q·log(n/q) + q)) must be *measured*, not asserted. This crate is the
+//! single place every layer reports into:
+//!
+//! * [`Registry`] — a process-wide table of named atomic counters and
+//!   power-of-two [`Histogram`]s. The hot path is a relaxed `fetch_add` on
+//!   a `Copy` handle; registration (the only locking operation) happens
+//!   once per distinct name, cached at the call site by [`metric!`] /
+//!   [`histo!`]. With `MOB_OBS=0` every handle is an inert no-op and the
+//!   registry registers **nothing** — [`Registry::num_counters`] stays 0.
+//! * [`span`] / [`Span`] — RAII wall-time measurement with thread-local
+//!   nesting. Worker threads drain their shard ([`take_thread_shard`]);
+//!   coordinators merge in worker-index order ([`merge_shards`]) and
+//!   replay ([`record_stats`]) so aggregation is deterministic under
+//!   `mob-par` scheduling.
+//! * [`explain`] / [`Report`] — capture a query as an operator tree: every
+//!   span becomes a node annotated with the registry delta it caused
+//!   (units decoded, header probes, cache hits, pool chunks) and its wall
+//!   time, rendered `EXPLAIN`-style by the [`Report`] `Display` impl.
+//! * [`LocalCounter`] / [`SharedCounter`] — per-object counters (storage
+//!   views, page stores) that stay exact locally even when the registry is
+//!   disabled, and mirror into it when enabled.
+//!
+//! Determinism contract: for a fixed workload, the
+//! [`Snapshot::deterministic`] subset of registry totals is identical for
+//! any `MOB_THREADS` value — mirroring the result-determinism contract of
+//! `mob-par` — while `par.*` scheduling metrics and `*.ns` wall-clock
+//! metrics may vary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod registry;
+mod report;
+mod span;
+
+pub use registry::{
+    Counter, HistoCell, Histogram, LocalCounter, Registry, SharedCounter, Snapshot, OBS_ENV,
+};
+pub use report::{explain, fmt_ns, Node, Report};
+pub use span::{
+    merge_shards, record_stats, span, take_thread_shard, thread_span_stats, Span, SpanStat,
+};
+
+/// True when the process-wide registry records (i.e. [`OBS_ENV`] is not
+/// `0`/`false`/`off`/`no`). Resolved once, on first use.
+#[must_use]
+pub fn enabled() -> bool {
+    Registry::global().enabled()
+}
+
+/// Register (or fetch) a counter on the process-wide registry.
+///
+/// This takes the registry lock — cache the returned handle (it is `Copy`)
+/// or use [`metric!`] which does so automatically.
+pub fn counter(name: &'static str) -> Counter {
+    Registry::global().counter(name)
+}
+
+/// Register (or fetch) a histogram on the process-wide registry.
+///
+/// Like [`counter`], cache the handle or use [`histo!`].
+pub fn histogram(name: &'static str) -> Histogram {
+    Registry::global().histogram(name)
+}
+
+/// A cached counter handle: registers `$name` on the global registry the
+/// first time the call site runs, then reuses the `Copy` handle — the hot
+/// path never takes the registry lock.
+///
+/// ```
+/// let probes = mob_obs::metric!("core.batch_at_instant.probes");
+/// probes.add(3);
+/// ```
+#[macro_export]
+macro_rules! metric {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::Counter> = ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::Registry::global().counter($name))
+    }};
+}
+
+/// A cached histogram handle; see [`metric!`].
+///
+/// ```
+/// let q = mob_obs::histo!("core.batch_at_instant.probes_per_call");
+/// q.record(128);
+/// ```
+#[macro_export]
+macro_rules! histo {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<$crate::Histogram> = ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::Registry::global().histogram($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn metric_macro_caches_one_handle() {
+        if !crate::enabled() {
+            // Disabled: handles must be inert and register nothing.
+            let c = metric!("obs.test.macro_disabled");
+            assert!(!c.is_live());
+            return;
+        }
+        let a = metric!("obs.test.macro");
+        let b = metric!("obs.test.macro");
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.get(), 5);
+    }
+
+    #[test]
+    fn histo_macro_records() {
+        if !crate::enabled() {
+            return;
+        }
+        let h = histo!("obs.test.macro_h");
+        h.record(7);
+        assert!(h.count() >= 1);
+    }
+}

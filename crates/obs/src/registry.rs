@@ -1,0 +1,628 @@
+//! The process-wide metrics registry: named counters and histograms.
+//!
+//! The hot path is lock-free: a [`Counter`] is a `Copy` handle to a leaked
+//! `AtomicU64` cell, so `add` is a single relaxed `fetch_add`. The registry
+//! mutex is only taken at registration time (once per distinct name — cache
+//! the handle, e.g. via the [`metric!`](crate::metric) macro) and when taking
+//! a [`Snapshot`].
+//!
+//! When observability is disabled (`MOB_OBS=0`) every registration returns a
+//! no-op handle **without allocating or registering anything** — the
+//! counter-of-counters ([`Registry::num_counters`]) stays at zero, which is
+//! what the zero-cost test asserts.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Environment variable that disables observability when set to `0`,
+/// `false`, `off` or `no` (any other value — or unset — leaves it enabled).
+pub const OBS_ENV: &str = "MOB_OBS";
+
+fn env_enabled() -> bool {
+    match std::env::var(OBS_ENV) {
+        Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
+        Err(_) => true,
+    }
+}
+
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A registry of named counters and histograms.
+///
+/// Queries normally go through the process-wide instance
+/// ([`Registry::global`], whose enabled/disabled state is resolved **once**
+/// from [`OBS_ENV`]); local instances ([`Registry::new`]) exist so unit tests
+/// can exercise both states without touching the environment.
+///
+/// Counter cells are intentionally leaked (`Box::leak`) so handles are
+/// `'static` and `Copy`; the leak is bounded by the number of distinct metric
+/// names ever registered.
+pub struct Registry {
+    enabled: bool,
+    counters: Mutex<BTreeMap<&'static str, &'static AtomicU64>>,
+    histograms: Mutex<BTreeMap<&'static str, &'static HistoCell>>,
+}
+
+impl Registry {
+    /// Create a local registry, explicitly enabled or disabled.
+    #[must_use]
+    pub fn new(enabled: bool) -> Self {
+        Registry {
+            enabled,
+            counters: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The process-wide registry. Enabled state is read from [`OBS_ENV`]
+    /// exactly once, on first access.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(|| Registry::new(env_enabled()))
+    }
+
+    /// Whether this registry records anything at all.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Register (or fetch) the named counter.
+    ///
+    /// Disabled registries hand back [`Counter::noop`] without allocating.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        if !self.enabled {
+            return Counter::noop();
+        }
+        let mut map = relock(&self.counters);
+        let cell = map
+            .entry(name)
+            .or_insert_with(|| Box::leak(Box::new(AtomicU64::new(0))));
+        Counter(Some(cell))
+    }
+
+    /// Register (or fetch) the named histogram.
+    ///
+    /// Disabled registries hand back [`Histogram::noop`] without allocating.
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        if !self.enabled {
+            return Histogram::noop();
+        }
+        let mut map = relock(&self.histograms);
+        let cell = map
+            .entry(name)
+            .or_insert_with(|| Box::leak(Box::new(HistoCell::new())));
+        Histogram(Some(cell))
+    }
+
+    /// Number of registered counters — the "counter of counters". Stays `0`
+    /// for a disabled registry no matter how much work runs through it.
+    #[must_use]
+    pub fn num_counters(&self) -> usize {
+        relock(&self.counters).len()
+    }
+
+    /// Number of registered histograms (also `0` when disabled).
+    #[must_use]
+    pub fn num_histograms(&self) -> usize {
+        relock(&self.histograms).len()
+    }
+
+    /// Current value of every registered counter, by name.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let map = relock(&self.counters);
+        Snapshot {
+            values: map
+                .iter()
+                .map(|(name, cell)| (*name, cell.load(Ordering::Relaxed)))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry")
+            .field("enabled", &self.enabled)
+            .field("num_counters", &self.num_counters())
+            .field("num_histograms", &self.num_histograms())
+            .finish()
+    }
+}
+
+/// A `Copy` handle to a named registry counter. `add` is a single relaxed
+/// `fetch_add`; the no-op variant is a predictable untaken branch.
+#[derive(Clone, Copy, Default)]
+pub struct Counter(Option<&'static AtomicU64>);
+
+impl Counter {
+    /// A counter that records nothing (what disabled registries hand out).
+    #[must_use]
+    pub const fn noop() -> Self {
+        Counter(None)
+    }
+
+    /// Whether this handle is backed by a live registry cell.
+    #[must_use]
+    pub fn is_live(self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(self, n: u64) {
+        if let Some(cell) = self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(self) {
+        self.add(1);
+    }
+
+    /// Current value (0 for a no-op handle).
+    #[must_use]
+    pub fn get(self) -> u64 {
+        self.0.map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Some(cell) => write!(f, "Counter({})", cell.load(Ordering::Relaxed)),
+            None => write!(f, "Counter(noop)"),
+        }
+    }
+}
+
+/// A per-object counter for single-threaded owners (e.g. a storage view):
+/// always counts locally in a cheap `Cell` — so per-object accessors stay
+/// exact even with observability disabled — and mirrors every increment into
+/// a registry [`Counter`] when one is live.
+#[derive(Debug)]
+pub struct LocalCounter {
+    local: Cell<u64>,
+    global: Counter,
+}
+
+impl LocalCounter {
+    /// A local counter mirroring into `global` (which may be a no-op).
+    #[must_use]
+    pub fn new(global: Counter) -> Self {
+        LocalCounter {
+            local: Cell::new(0),
+            global,
+        }
+    }
+
+    /// A local counter with no registry mirror.
+    #[must_use]
+    pub fn detached() -> Self {
+        LocalCounter::new(Counter::noop())
+    }
+
+    /// Add `n` locally and to the registry mirror.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.local.set(self.local.get() + n);
+        self.global.add(n);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The local (per-object) count.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.local.get()
+    }
+
+    /// Reset the local count. The registry mirror is monotone and is
+    /// deliberately left untouched (process totals never go backwards).
+    pub fn reset_local(&self) {
+        self.local.set(0);
+    }
+}
+
+/// Like [`LocalCounter`] but `Sync`, for shared owners (e.g. a page store
+/// behind an `Arc` touched by many workers).
+#[derive(Debug)]
+pub struct SharedCounter {
+    local: AtomicU64,
+    global: Counter,
+}
+
+impl SharedCounter {
+    /// A shared counter mirroring into `global` (which may be a no-op).
+    #[must_use]
+    pub fn new(global: Counter) -> Self {
+        SharedCounter {
+            local: AtomicU64::new(0),
+            global,
+        }
+    }
+
+    /// A shared counter with no registry mirror.
+    #[must_use]
+    pub fn detached() -> Self {
+        SharedCounter::new(Counter::noop())
+    }
+
+    /// Add `n` locally and to the registry mirror.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.local.fetch_add(n, Ordering::Relaxed);
+        self.global.add(n);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The local (per-object) count.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.local.load(Ordering::Relaxed)
+    }
+
+    /// Reset the local count (registry mirror stays monotone).
+    pub fn reset_local(&self) {
+        self.local.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of every counter in a registry.
+///
+/// `Snapshot` is the unit of account for query attribution: take one before
+/// and one after a query, and [`Snapshot::delta`] is what the query did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    values: BTreeMap<&'static str, u64>,
+}
+
+impl Snapshot {
+    /// Value of `name` at snapshot time (0 if absent).
+    #[must_use]
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// `self - earlier`, per counter, dropping zero entries — counters that
+    /// did not move between the snapshots simply do not appear.
+    #[must_use]
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        Snapshot {
+            values: self
+                .values
+                .iter()
+                .filter_map(|(name, v)| {
+                    let d = v.saturating_sub(earlier.get(name));
+                    (d > 0).then_some((*name, d))
+                })
+                .collect(),
+        }
+    }
+
+    /// The deterministic subset: drops scheduling-dependent metrics
+    /// (`par.*` — chunk/worker accounting varies with `MOB_THREADS`) and
+    /// wall-clock metrics (names ending in `.ns`). Everything that remains
+    /// is contractually identical across thread counts for the same
+    /// workload, mirroring the result-determinism contract of `mob-par`.
+    #[must_use]
+    pub fn deterministic(&self) -> Snapshot {
+        Snapshot {
+            values: self
+                .values
+                .iter()
+                .filter(|(name, _)| !name.starts_with("par.") && !name.ends_with(".ns"))
+                .map(|(name, v)| (*name, *v))
+                .collect(),
+        }
+    }
+
+    /// Merge `other` into `self`, summing per counter.
+    pub fn add(&mut self, other: &Snapshot) {
+        for (name, v) in &other.values {
+            *self.values.entry(name).or_insert(0) += v;
+        }
+    }
+
+    /// Iterate `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.values.iter().map(|(name, v)| (*name, *v))
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no counter is present.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl fmt::Display for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (name, v) in &self.values {
+            if !first {
+                write!(f, " ")?;
+            }
+            first = false;
+            write!(f, "{name}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+const HISTO_BUCKETS: usize = 65;
+
+/// Backing storage for a [`Histogram`]: power-of-two buckets plus exact
+/// count and sum. Bucket `i` holds values `v` with `floor(log2 v) = i - 1`
+/// (bucket 0 holds zero).
+pub struct HistoCell {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTO_BUCKETS],
+}
+
+impl HistoCell {
+    fn new() -> Self {
+        HistoCell {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros()) as usize
+    }
+}
+
+/// Upper bound of the values that land in `bucket`.
+fn bucket_upper(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else if bucket >= HISTO_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << bucket) - 1
+    }
+}
+
+/// A `Copy` handle to a named registry histogram (power-of-two buckets,
+/// lock-free `record`). Like [`Counter`], the disabled variant is a no-op.
+#[derive(Clone, Copy, Default)]
+pub struct Histogram(Option<&'static HistoCell>);
+
+impl Histogram {
+    /// A histogram that records nothing.
+    #[must_use]
+    pub const fn noop() -> Self {
+        Histogram(None)
+    }
+
+    /// Whether this handle is backed by a live registry cell.
+    #[must_use]
+    pub fn is_live(self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(self, v: u64) {
+        if let Some(cell) = self.0 {
+            cell.count.fetch_add(1, Ordering::Relaxed);
+            cell.sum.fetch_add(v, Ordering::Relaxed);
+            cell.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(self) -> u64 {
+        self.0.map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+
+    /// Sum of observations.
+    #[must_use]
+    pub fn sum(self) -> u64 {
+        self.0.map_or(0, |c| c.sum.load(Ordering::Relaxed))
+    }
+
+    /// Mean observation (0 when empty).
+    #[must_use]
+    pub fn mean(self) -> u64 {
+        self.sum().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (clamped to
+    /// `[0, 1]`); 0 when empty. Power-of-two resolution: the answer is at
+    /// most 2x the true quantile.
+    #[must_use]
+    pub fn approx_quantile(self, q: f64) -> u64 {
+        let Some(cell) = self.0 else { return 0 };
+        let n = cell.count.load(Ordering::Relaxed);
+        if n == 0 {
+            return 0;
+        }
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
+        let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in cell.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return bucket_upper(i);
+            }
+        }
+        u64::MAX
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Some(_) => write!(f, "Histogram(count={}, sum={})", self.count(), self.sum()),
+            None => write!(f, "Histogram(noop)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_register_once_and_accumulate() {
+        let reg = Registry::new(true);
+        let a = reg.counter("t.a");
+        let a2 = reg.counter("t.a");
+        a.add(3);
+        a2.incr();
+        assert_eq!(a.get(), 4);
+        assert_eq!(reg.num_counters(), 1);
+        assert!(a.is_live());
+    }
+
+    #[test]
+    fn disabled_registry_registers_nothing() {
+        let reg = Registry::new(false);
+        let c = reg.counter("t.never");
+        let h = reg.histogram("t.never_h");
+        c.add(10);
+        h.record(10);
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(reg.num_counters(), 0);
+        assert_eq!(reg.num_histograms(), 0);
+        assert!(reg.snapshot().is_empty());
+        assert!(!c.is_live());
+        assert!(!h.is_live());
+    }
+
+    #[test]
+    fn local_counter_counts_even_without_mirror() {
+        let lc = LocalCounter::detached();
+        lc.add(2);
+        lc.incr();
+        assert_eq!(lc.get(), 3);
+        lc.reset_local();
+        assert_eq!(lc.get(), 0);
+    }
+
+    #[test]
+    fn local_counter_mirrors_into_registry() {
+        let reg = Registry::new(true);
+        let lc = LocalCounter::new(reg.counter("t.local"));
+        lc.add(5);
+        lc.reset_local();
+        lc.add(2);
+        assert_eq!(lc.get(), 2);
+        // The registry mirror is monotone: reset_local does not rewind it.
+        assert_eq!(reg.snapshot().get("t.local"), 7);
+    }
+
+    #[test]
+    fn shared_counter_mirrors_and_resets_locally() {
+        let reg = Registry::new(true);
+        let sc = SharedCounter::new(reg.counter("t.shared"));
+        sc.add(4);
+        sc.reset_local();
+        sc.incr();
+        assert_eq!(sc.get(), 1);
+        assert_eq!(reg.snapshot().get("t.shared"), 5);
+    }
+
+    #[test]
+    fn snapshot_delta_drops_unmoved_counters() {
+        let reg = Registry::new(true);
+        let a = reg.counter("t.a");
+        let b = reg.counter("t.b");
+        a.add(1);
+        b.add(1);
+        let before = reg.snapshot();
+        a.add(9);
+        let d = reg.snapshot().delta(&before);
+        assert_eq!(d.get("t.a"), 9);
+        assert_eq!(d.get("t.b"), 0);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_filters_par_and_ns() {
+        let reg = Registry::new(true);
+        reg.counter("par.chunks").add(7);
+        reg.counter("rel.snapshot_at.ns").add(123);
+        reg.counter("view.units_decoded").add(5);
+        let det = reg.snapshot().deterministic();
+        assert_eq!(det.len(), 1);
+        assert_eq!(det.get("view.units_decoded"), 5);
+    }
+
+    #[test]
+    fn snapshot_display_and_add() {
+        let reg = Registry::new(true);
+        reg.counter("t.x").add(1);
+        reg.counter("t.y").add(2);
+        let mut s = reg.snapshot();
+        let s2 = s.clone();
+        s.add(&s2);
+        assert_eq!(s.get("t.x"), 2);
+        assert_eq!(format!("{s}"), "t.x=2 t.y=4");
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let reg = Registry::new(true);
+        let h = reg.histogram("t.h");
+        for v in [0u64, 1, 2, 3, 4, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 1110);
+        assert_eq!(h.mean(), 158);
+        assert_eq!(h.approx_quantile(0.0), 0);
+        // Median of 7 values is the 4th (=3), whose bucket upper bound is 3.
+        assert_eq!(h.approx_quantile(0.5), 3);
+        assert!(h.approx_quantile(1.0) >= 1000);
+        assert_eq!(reg.num_histograms(), 1);
+    }
+
+    #[test]
+    fn bucket_index_is_floor_log2_plus_one() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper(2), 3);
+    }
+}

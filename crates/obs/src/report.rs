@@ -1,0 +1,452 @@
+//! EXPLAIN capture: per-query operator trees with metric deltas.
+//!
+//! [`explain`] runs a closure with a thread-local **capture** active. Every
+//! [`span`](crate::span) entered on this thread while the capture is live
+//! becomes an operator [`Node`]; nesting of spans becomes nesting of nodes,
+//! and same-name siblings are coalesced (their counts, times and metrics
+//! summed). Each node is annotated with the **registry delta** observed
+//! between its entry and exit — units decoded, header probes, cache
+//! hits/misses, pool chunks — attributed *inclusively* (a parent's delta
+//! contains its children's).
+//!
+//! Worker-thread spans do not capture directly (the capture is
+//! thread-local); the `mob-par` pool replays merged worker shards through
+//! [`crate::record_stats`], which attaches them as children of the
+//! currently open node — so a parallel scan still renders as one tree.
+
+use crate::registry::{Registry, Snapshot};
+use crate::span::SpanStat;
+use std::cell::RefCell;
+use std::fmt;
+use std::time::Instant;
+
+/// One operator in an EXPLAIN tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Node {
+    /// Span name (or report label for the root).
+    pub name: String,
+    /// How many times this operator ran (same-name siblings coalesce).
+    pub count: u64,
+    /// Total wall time in nanoseconds.
+    pub total_ns: u64,
+    /// Registry counters moved while this operator ran (inclusive of
+    /// children). Empty for nodes replayed from worker shards.
+    pub metrics: Snapshot,
+    /// Nested operators, in first-entered order.
+    pub children: Vec<Node>,
+}
+
+impl Node {
+    fn empty(name: &str) -> Node {
+        Node {
+            name: name.to_string(),
+            count: 0,
+            total_ns: 0,
+            metrics: Snapshot::default(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Depth-first search for the first node named `name` (including self).
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<&Node> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+}
+
+/// The result of an [`explain`] capture: a labelled operator tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Report {
+    /// The label passed to [`explain`].
+    pub label: String,
+    /// False when observability was disabled (or a capture was already
+    /// active): the tree is empty and renders as a one-line notice.
+    pub captured: bool,
+    /// The root operator (its `metrics` are the whole query's delta).
+    pub root: Node,
+}
+
+impl Report {
+    /// Depth-first search for the first node named `name`.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<&Node> {
+        self.root.find(name)
+    }
+
+    /// The whole query's registry delta (root metrics).
+    #[must_use]
+    pub fn metrics(&self) -> &Snapshot {
+        &self.root.metrics
+    }
+}
+
+struct Builder {
+    name: &'static str,
+    at_entry: Snapshot,
+    children: Vec<Node>,
+}
+
+struct Capture {
+    root_children: Vec<Node>,
+    stack: Vec<Builder>,
+}
+
+thread_local! {
+    static CAPTURE: RefCell<Option<Capture>> = const { RefCell::new(None) };
+}
+
+/// True when an EXPLAIN capture is active on this thread.
+fn capture_active() -> bool {
+    CAPTURE.with(|c| c.borrow().is_some())
+}
+
+/// Called by `span()`: open a capture node if a capture is active.
+/// Returns whether a node was opened (so the span knows to close it).
+pub(crate) fn try_open_node(name: &'static str) -> bool {
+    let active = capture_active();
+    if active {
+        // Snapshot outside the borrow: Registry access is independent of
+        // the capture cell, but keep the borrow scopes disjoint anyway.
+        let at_entry = Registry::global().snapshot();
+        CAPTURE.with(|c| {
+            if let Some(cap) = c.borrow_mut().as_mut() {
+                cap.stack.push(Builder {
+                    name,
+                    at_entry,
+                    children: Vec::new(),
+                });
+            }
+        });
+    }
+    active
+}
+
+/// Called by `Span::drop` when the span opened a capture node: close it,
+/// annotate it with the registry delta, and attach it to its parent
+/// (coalescing same-name siblings).
+pub(crate) fn close_node(total_ns: u64) {
+    let now = Registry::global().snapshot();
+    CAPTURE.with(|c| {
+        let mut borrow = c.borrow_mut();
+        let Some(cap) = borrow.as_mut() else { return };
+        let Some(b) = cap.stack.pop() else { return };
+        let node = Node {
+            name: b.name.to_string(),
+            count: 1,
+            total_ns,
+            metrics: now.delta(&b.at_entry),
+            children: b.children,
+        };
+        let siblings = match cap.stack.last_mut() {
+            Some(parent) => &mut parent.children,
+            None => &mut cap.root_children,
+        };
+        merge_child(siblings, node);
+    });
+}
+
+/// Called by [`crate::record_stats`]: attach replayed worker stats as
+/// children of the current node (or of the root when no span is open).
+pub(crate) fn absorb_stats(stats: &[SpanStat]) {
+    CAPTURE.with(|c| {
+        let mut borrow = c.borrow_mut();
+        let Some(cap) = borrow.as_mut() else { return };
+        let siblings = match cap.stack.last_mut() {
+            Some(parent) => &mut parent.children,
+            None => &mut cap.root_children,
+        };
+        for stat in stats {
+            merge_child(
+                siblings,
+                Node {
+                    name: stat.name.to_string(),
+                    count: stat.count,
+                    total_ns: stat.total_ns,
+                    metrics: Snapshot::default(),
+                    children: Vec::new(),
+                },
+            );
+        }
+    });
+}
+
+/// Coalesce `node` into `siblings`: same-name siblings merge (counts, times
+/// and metrics summed; children merged recursively), otherwise append.
+fn merge_child(siblings: &mut Vec<Node>, node: Node) {
+    if let Some(existing) = siblings.iter_mut().find(|s| s.name == node.name) {
+        existing.count += node.count;
+        existing.total_ns += node.total_ns;
+        existing.metrics.add(&node.metrics);
+        for child in node.children {
+            merge_child(&mut existing.children, child);
+        }
+    } else {
+        siblings.push(node);
+    }
+}
+
+/// Run `f` with an EXPLAIN capture active on this thread and return its
+/// result together with the captured [`Report`].
+///
+/// With observability disabled (`MOB_OBS=0`), or when called while another
+/// capture is already active on this thread (captures do not nest), `f`
+/// runs untouched and the report comes back with `captured = false`.
+pub fn explain<R, F: FnOnce() -> R>(label: &str, f: F) -> (R, Report) {
+    let reg = Registry::global();
+    if !reg.enabled() || capture_active() {
+        let out = f();
+        return (
+            out,
+            Report {
+                label: label.to_string(),
+                captured: false,
+                root: Node::empty(label),
+            },
+        );
+    }
+    let at_entry = reg.snapshot();
+    let start = Instant::now();
+    CAPTURE.with(|c| {
+        *c.borrow_mut() = Some(Capture {
+            root_children: Vec::new(),
+            stack: Vec::new(),
+        });
+    });
+    let out = f();
+    let total_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let cap = CAPTURE.with(|c| c.borrow_mut().take());
+    let mut root_children = Vec::new();
+    if let Some(mut cap) = cap {
+        // Fold any still-open builders (leaked spans) down into the tree.
+        while let Some(b) = cap.stack.pop() {
+            let node = Node {
+                name: b.name.to_string(),
+                count: 1,
+                total_ns: 0,
+                metrics: Snapshot::default(),
+                children: b.children,
+            };
+            let siblings = match cap.stack.last_mut() {
+                Some(parent) => &mut parent.children,
+                None => &mut cap.root_children,
+            };
+            merge_child(siblings, node);
+        }
+        root_children = cap.root_children;
+    }
+    let root = Node {
+        name: label.to_string(),
+        count: 1,
+        total_ns,
+        metrics: reg.snapshot().delta(&at_entry),
+        children: root_children,
+    };
+    (
+        out,
+        Report {
+            label: label.to_string(),
+            captured: true,
+            root,
+        },
+    )
+}
+
+/// Render nanoseconds with an adaptive unit (`ns`, `µs`, `ms`, `s`).
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.captured {
+            return writeln!(
+                f,
+                "EXPLAIN {}: no capture (observability disabled via {}=0?)",
+                self.label,
+                crate::OBS_ENV
+            );
+        }
+        writeln!(
+            f,
+            "EXPLAIN {}  wall={}",
+            self.label,
+            fmt_ns(self.root.total_ns)
+        )?;
+        for (name, v) in self.root.metrics.iter() {
+            writeln!(f, "  {name} = {v}")?;
+        }
+        render_children(&self.root.children, "  ", f)
+    }
+}
+
+fn render_children(children: &[Node], prefix: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    for (i, child) in children.iter().enumerate() {
+        let last = i + 1 == children.len();
+        let (branch, cont) = if last {
+            ("└─ ", "   ")
+        } else {
+            ("├─ ", "│  ")
+        };
+        write!(
+            f,
+            "{prefix}{branch}{} ×{}  {}",
+            child.name,
+            child.count,
+            fmt_ns(child.total_ns)
+        )?;
+        if !child.metrics.is_empty() {
+            write!(f, "  [{}]", child.metrics)?;
+        }
+        writeln!(f)?;
+        let deeper = format!("{prefix}{cont}");
+        render_children(&child.children, &deeper, f)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::span;
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(999), "999 ns");
+        assert_eq!(fmt_ns(1_500), "1.5 µs");
+        assert_eq!(fmt_ns(2_000_000), "2.00 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00 s");
+    }
+
+    #[test]
+    fn merge_child_coalesces_same_name_siblings() {
+        let mut siblings = Vec::new();
+        let mk = |n: u64| Node {
+            name: "op".to_string(),
+            count: 1,
+            total_ns: n,
+            metrics: Snapshot::default(),
+            children: Vec::new(),
+        };
+        merge_child(&mut siblings, mk(5));
+        merge_child(&mut siblings, mk(7));
+        assert_eq!(siblings.len(), 1);
+        assert_eq!(siblings[0].count, 2);
+        assert_eq!(siblings[0].total_ns, 12);
+    }
+
+    #[test]
+    fn explain_captures_nested_spans() {
+        if !crate::enabled() {
+            return; // MOB_OBS=0: explain degrades to a pass-through.
+        }
+        // Fresh thread: captures are thread-local, keep this test isolated.
+        std::thread::spawn(|| {
+            let (value, report) = explain("test.query", || {
+                let _outer = span("test.outer");
+                {
+                    let _inner = span("test.inner");
+                }
+                {
+                    let _inner = span("test.inner");
+                }
+                42
+            });
+            assert_eq!(value, 42);
+            assert!(report.captured);
+            assert_eq!(report.root.name, "test.query");
+            let outer = report.find("test.outer").expect("outer captured");
+            assert_eq!(outer.count, 1);
+            let inner = report.find("test.inner").expect("inner captured");
+            assert_eq!(inner.count, 2);
+            // inner is nested under outer, not a sibling of it.
+            assert!(outer.find("test.inner").is_some());
+            assert_eq!(report.root.children.len(), 1);
+            // The renderer produces the header plus one line per node.
+            let text = format!("{report}");
+            assert!(text.starts_with("EXPLAIN test.query"));
+            assert!(text.contains("test.outer ×1"));
+            assert!(text.contains("test.inner ×2"));
+        })
+        .join()
+        .expect("thread ok");
+    }
+
+    #[test]
+    fn explain_attributes_registry_deltas_per_node() {
+        if !crate::enabled() {
+            return;
+        }
+        std::thread::spawn(|| {
+            let c = crate::counter("test.report_metric");
+            let (_, report) = explain("test.metrics", || {
+                let _op = span("test.op");
+                c.add(3);
+            });
+            assert_eq!(report.metrics().get("test.report_metric"), 3);
+            let op = report.find("test.op").expect("op captured");
+            assert_eq!(op.metrics.get("test.report_metric"), 3);
+        })
+        .join()
+        .expect("thread ok");
+    }
+
+    #[test]
+    fn absorbed_worker_stats_become_children() {
+        if !crate::enabled() {
+            return;
+        }
+        std::thread::spawn(|| {
+            let (_, report) = explain("test.absorb", || {
+                let _scan = span("test.scan");
+                crate::record_stats(&[
+                    SpanStat {
+                        name: "test.kernel",
+                        count: 8,
+                        total_ns: 80,
+                    },
+                    SpanStat {
+                        name: "test.kernel",
+                        count: 2,
+                        total_ns: 20,
+                    },
+                ]);
+            });
+            let scan = report.find("test.scan").expect("scan captured");
+            let kernel = scan.find("test.kernel").expect("kernel absorbed");
+            assert_eq!(kernel.count, 10);
+            assert_eq!(kernel.total_ns, 100);
+        })
+        .join()
+        .expect("thread ok");
+    }
+
+    #[test]
+    fn nested_explain_degrades_gracefully() {
+        if !crate::enabled() {
+            return;
+        }
+        std::thread::spawn(|| {
+            let (_, outer) = explain("test.outer_q", || {
+                let (v, inner) = explain("test.inner_q", || 7);
+                assert_eq!(v, 7);
+                assert!(!inner.captured);
+            });
+            assert!(outer.captured);
+        })
+        .join()
+        .expect("thread ok");
+    }
+}

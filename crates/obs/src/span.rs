@@ -1,0 +1,255 @@
+//! RAII span timing with thread-local shards.
+//!
+//! A [`Span`] measures wall time between construction and drop and folds it
+//! into this thread's **shard** — a small per-thread table aggregating
+//! `(name, count, total ns)`. Worker threads (e.g. inside the `mob-par`
+//! pool) drain their shard with [`take_thread_shard`] when their slice of
+//! work ends; the coordinator merges the drained shards **in worker-index
+//! order** with [`merge_shards`] and replays the merged totals on its own
+//! thread with [`record_stats`]. Because shards are aggregated per name,
+//! merged counts are independent of scheduling — only wall times vary.
+//!
+//! When observability is disabled ([`crate::enabled`] is false) `span()`
+//! returns an inert value: no clock read, no thread-local touch, no
+//! allocation.
+
+use crate::registry::Registry;
+use crate::report;
+use std::cell::RefCell;
+use std::time::Instant;
+
+/// Aggregated timing for one span name on one thread (or merged across
+/// threads by [`merge_shards`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanStat {
+    /// The span name, as passed to [`span`].
+    pub name: &'static str,
+    /// How many times the span was entered.
+    pub count: u64,
+    /// Total wall time across all entries, in nanoseconds.
+    pub total_ns: u64,
+}
+
+thread_local! {
+    static SHARD: RefCell<Vec<SpanStat>> = const { RefCell::new(Vec::new()) };
+}
+
+fn record_local(name: &'static str, count: u64, total_ns: u64) {
+    SHARD.with(|shard| {
+        let mut shard = shard.borrow_mut();
+        if let Some(stat) = shard.iter_mut().find(|s| s.name == name) {
+            stat.count += count;
+            stat.total_ns += total_ns;
+        } else {
+            shard.push(SpanStat {
+                name,
+                count,
+                total_ns,
+            });
+        }
+    });
+}
+
+/// An RAII wall-time measurement; see [`span`].
+#[must_use = "a span measures the time until it is dropped"]
+#[derive(Debug)]
+pub struct Span(Option<SpanInner>);
+
+#[derive(Debug)]
+struct SpanInner {
+    name: &'static str,
+    start: Instant,
+    captured: bool,
+}
+
+/// Start timing `name`. The measurement ends when the returned [`Span`] is
+/// dropped; the elapsed time is folded into this thread's shard and, when an
+/// EXPLAIN capture is active on this thread (see [`crate::explain`]), into
+/// the capture tree as an operator node.
+pub fn span(name: &'static str) -> Span {
+    if !Registry::global().enabled() {
+        return Span(None);
+    }
+    let captured = report::try_open_node(name);
+    Span(Some(SpanInner {
+        name,
+        start: Instant::now(),
+        captured,
+    }))
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.0.take() else { return };
+        let total_ns = u64::try_from(inner.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        record_local(inner.name, 1, total_ns);
+        if inner.captured {
+            report::close_node(total_ns);
+        }
+    }
+}
+
+/// Drain and return this thread's shard. Worker threads call this after
+/// finishing their slice of work so the coordinator can merge.
+#[must_use]
+pub fn take_thread_shard() -> Vec<SpanStat> {
+    SHARD.with(|shard| std::mem::take(&mut *shard.borrow_mut()))
+}
+
+/// A copy of this thread's shard, without draining it.
+#[must_use]
+pub fn thread_span_stats() -> Vec<SpanStat> {
+    SHARD.with(|shard| shard.borrow().clone())
+}
+
+/// Merge per-worker shards into one aggregated table.
+///
+/// Pass shards **in worker-index order**: the merged table lists names in
+/// first-seen order across that sequence, making the merge deterministic
+/// for a deterministic workload partition.
+#[must_use]
+pub fn merge_shards<I>(shards: I) -> Vec<SpanStat>
+where
+    I: IntoIterator<Item = Vec<SpanStat>>,
+{
+    let mut merged: Vec<SpanStat> = Vec::new();
+    for shard in shards {
+        for stat in shard {
+            if let Some(existing) = merged.iter_mut().find(|s| s.name == stat.name) {
+                existing.count += stat.count;
+                existing.total_ns += stat.total_ns;
+            } else {
+                merged.push(stat);
+            }
+        }
+    }
+    merged
+}
+
+/// Replay merged worker stats on the calling thread: fold them into this
+/// thread's shard and, when an EXPLAIN capture is active, attach them as
+/// children of the current operator node.
+pub fn record_stats(stats: &[SpanStat]) {
+    if !Registry::global().enabled() {
+        return;
+    }
+    for stat in stats {
+        record_local(stat.name, stat.count, stat.total_ns);
+    }
+    report::absorb_stats(stats);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_preserves_first_seen_order_and_sums() {
+        let a = vec![
+            SpanStat {
+                name: "x",
+                count: 2,
+                total_ns: 10,
+            },
+            SpanStat {
+                name: "y",
+                count: 1,
+                total_ns: 5,
+            },
+        ];
+        let b = vec![
+            SpanStat {
+                name: "y",
+                count: 3,
+                total_ns: 7,
+            },
+            SpanStat {
+                name: "z",
+                count: 1,
+                total_ns: 1,
+            },
+        ];
+        let m = merge_shards([a, b]);
+        assert_eq!(m.len(), 3);
+        assert_eq!(
+            m[0],
+            SpanStat {
+                name: "x",
+                count: 2,
+                total_ns: 10
+            }
+        );
+        assert_eq!(
+            m[1],
+            SpanStat {
+                name: "y",
+                count: 4,
+                total_ns: 12
+            }
+        );
+        assert_eq!(
+            m[2],
+            SpanStat {
+                name: "z",
+                count: 1,
+                total_ns: 1
+            }
+        );
+    }
+
+    #[test]
+    fn spans_aggregate_into_the_thread_shard() {
+        if !crate::enabled() {
+            return; // MOB_OBS=0: spans are inert by contract.
+        }
+        // Run on a fresh thread so this test owns its shard exclusively.
+        std::thread::spawn(|| {
+            {
+                let _a = span("t.span_a");
+                let _b = span("t.span_b");
+            }
+            {
+                let _a = span("t.span_a");
+            }
+            let stats = take_thread_shard();
+            let a = stats
+                .iter()
+                .find(|s| s.name == "t.span_a")
+                .expect("a recorded");
+            let b = stats
+                .iter()
+                .find(|s| s.name == "t.span_b")
+                .expect("b recorded");
+            assert_eq!(a.count, 2);
+            assert_eq!(b.count, 1);
+            // Shard drained.
+            assert!(take_thread_shard().is_empty());
+        })
+        .join()
+        .expect("thread ok");
+    }
+
+    #[test]
+    fn record_stats_replays_into_shard() {
+        if !crate::enabled() {
+            return;
+        }
+        std::thread::spawn(|| {
+            record_stats(&[SpanStat {
+                name: "t.replayed",
+                count: 4,
+                total_ns: 44,
+            }]);
+            let stats = thread_span_stats();
+            let r = stats
+                .iter()
+                .find(|s| s.name == "t.replayed")
+                .expect("replayed");
+            assert_eq!(r.count, 4);
+            assert_eq!(r.total_ns, 44);
+            let _ = take_thread_shard();
+        })
+        .join()
+        .expect("thread ok");
+    }
+}

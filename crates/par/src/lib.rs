@@ -1,10 +1,10 @@
-//! # `mob-par` — a dependency-free scoped worker pool
+//! # `mob-par` — a scoped worker pool (std + `mob-obs` only)
 //!
 //! The paper's motivating queries are *set-at-a-time* ("where were all
 //! taxis at 8:00?", Sec 2): the natural unit of execution is the
 //! relation scan, not the single tuple. This crate supplies the one
 //! piece of machinery that makes those scans parallel without adding
-//! any dependency or any `unsafe`:
+//! any external dependency or any `unsafe`:
 //!
 //! * [`Pool`] — a scoped worker pool over [`std::thread::scope`],
 //!   honoring the `MOB_THREADS` environment variable and falling back
@@ -23,6 +23,21 @@
 //! order never leaks into the output. The parallel relation operators
 //! in `mob-rel` (and the determinism proptests behind them) rely on
 //! this.
+//!
+//! # Observability
+//!
+//! The pool reports into `mob-obs`: `par.items` / `par.chunks` count
+//! the work dispatched, each dispatch is timed under a
+//! `par.chunked_map` / `par.chunked_for_each` span, and every worker
+//! drains its thread-local span shard when its slice of work ends. The
+//! coordinator merges the shards **in worker-index order**
+//! ([`mob_obs::merge_shards`]) and replays them on its own thread
+//! ([`mob_obs::record_stats`]), so span *counts* aggregated from the
+//! workers are as deterministic as the results — only wall times (and
+//! the `par.*` scheduling metrics themselves) vary run to run. At one
+//! thread (the inline path) no worker is spawned and nothing is
+//! drained: spans stay on the caller's shard, exactly as if the kernel
+//! had been called directly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -95,28 +110,49 @@ impl Pool {
         F: Fn(&T) -> R + Sync,
     {
         let workers = self.threads.min(items.len()).max(1);
+        mob_obs::metric!("par.items").add(items.len() as u64);
         if workers == 1 {
+            // Inline path: spans land on the caller's own shard — do
+            // not drain it, the caller (or an outer EXPLAIN capture)
+            // owns it.
+            mob_obs::metric!("par.chunks").add(u64::from(!items.is_empty()));
             return items.iter().map(f).collect();
         }
+        let _span = mob_obs::span("par.chunked_map");
         // A few chunks per worker so a slow chunk does not serialize the
         // tail; chunks stay contiguous so output order is trivial to
         // restore.
         let chunk_size = chunk_size_for(items.len(), workers);
         let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+        mob_obs::metric!("par.chunks").add(chunks.len() as u64);
         let cursor = AtomicUsize::new(0);
         let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(chunks.len()));
+        let obs = mob_obs::enabled();
+        let shards: Mutex<Vec<(usize, Vec<mob_obs::SpanStat>)>> =
+            Mutex::new(Vec::with_capacity(workers));
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let k = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(chunk) = chunks.get(k) else { break };
-                    let mapped: Vec<R> = chunk.iter().map(&f).collect();
-                    if let Ok(mut d) = done.lock() {
-                        d.push((k, mapped));
+            let (chunks, cursor, done, shards, f) = (&chunks, &cursor, &done, &shards, &f);
+            for w in 0..workers {
+                scope.spawn(move || {
+                    loop {
+                        let k = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(chunk) = chunks.get(k) else { break };
+                        let mapped: Vec<R> = chunk.iter().map(f).collect();
+                        if let Ok(mut d) = done.lock() {
+                            d.push((k, mapped));
+                        }
+                    }
+                    if obs {
+                        if let Ok(mut s) = shards.lock() {
+                            s.push((w, mob_obs::take_thread_shard()));
+                        }
                     }
                 });
             }
         });
+        if obs {
+            merge_worker_shards(shards);
+        }
         let mut parts = match done.into_inner() {
             Ok(p) => p,
             Err(poison) => poison.into_inner(),
@@ -139,22 +175,40 @@ impl Pool {
         F: Fn(&T) + Sync,
     {
         let workers = self.threads.min(items.len()).max(1);
+        mob_obs::metric!("par.items").add(items.len() as u64);
         if workers == 1 {
+            mob_obs::metric!("par.chunks").add(u64::from(!items.is_empty()));
             items.iter().for_each(f);
             return;
         }
+        let _span = mob_obs::span("par.chunked_for_each");
         let chunk_size = chunk_size_for(items.len(), workers);
         let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+        mob_obs::metric!("par.chunks").add(chunks.len() as u64);
         let cursor = AtomicUsize::new(0);
+        let obs = mob_obs::enabled();
+        let shards: Mutex<Vec<(usize, Vec<mob_obs::SpanStat>)>> =
+            Mutex::new(Vec::with_capacity(workers));
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let k = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(chunk) = chunks.get(k) else { break };
-                    chunk.iter().for_each(&f);
+            let (chunks, cursor, shards, f) = (&chunks, &cursor, &shards, &f);
+            for w in 0..workers {
+                scope.spawn(move || {
+                    loop {
+                        let k = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(chunk) = chunks.get(k) else { break };
+                        chunk.iter().for_each(f);
+                    }
+                    if obs {
+                        if let Ok(mut s) = shards.lock() {
+                            s.push((w, mob_obs::take_thread_shard()));
+                        }
+                    }
                 });
             }
         });
+        if obs {
+            merge_worker_shards(shards);
+        }
     }
 }
 
@@ -168,6 +222,20 @@ impl Default for Pool {
 /// element each.
 fn chunk_size_for(len: usize, workers: usize) -> usize {
     len.div_ceil(workers.saturating_mul(4).max(1)).max(1)
+}
+
+/// Merge the drained worker shards **in worker-index order** and replay
+/// the merged span totals on the coordinator's thread — the
+/// determinism half of the `mob-obs` contract (span counts independent
+/// of scheduling; see the crate docs).
+fn merge_worker_shards(shards: Mutex<Vec<(usize, Vec<mob_obs::SpanStat>)>>) {
+    let mut per_worker = match shards.into_inner() {
+        Ok(s) => s,
+        Err(poison) => poison.into_inner(),
+    };
+    per_worker.sort_by_key(|(w, _)| *w);
+    let merged = mob_obs::merge_shards(per_worker.into_iter().map(|(_, shard)| shard));
+    mob_obs::record_stats(&merged);
 }
 
 #[cfg(test)]

@@ -13,11 +13,12 @@ use mob_storage::line_store::{
     load_line, load_points, save_line, save_points, StoredLine, StoredPoints,
 };
 use mob_storage::mapping_store::{
-    load_mbool, load_mpoint, load_mreal, load_mregion, save_mbool, save_mpoint, save_mreal,
-    save_mregion, StoredMRegion, StoredMapping,
+    save_mbool, save_mpoint, save_mreal, save_mregion, StoredMRegion, StoredMapping,
 };
 use mob_storage::region_store::{load_region, save_region, StoredRegion};
-use mob_storage::{PageStore, TupleLayout};
+use mob_storage::{
+    open_mbool, open_mpoint, open_mreal, open_mregion, PageStore, TupleLayout, Verify,
+};
 use std::sync::Arc;
 
 /// One stored attribute value: the persistent form of [`AttrValue`].
@@ -117,10 +118,18 @@ fn load_attr(a: &StoredAttr, store: &PageStore) -> DecodeResult<AttrValue> {
         StoredAttr::Points(ps) => AttrValue::Points(load_points(ps, store)?),
         StoredAttr::Line(l) => AttrValue::Line(load_line(l, store)?),
         StoredAttr::Region(r) => AttrValue::Region(load_region(r, store)?),
-        StoredAttr::MPoint(m) => AttrValue::MPoint(load_mpoint(m, store)?),
-        StoredAttr::MReal(m) => AttrValue::MReal(load_mreal(m, store)?),
-        StoredAttr::MBool(m) => AttrValue::MBool(load_mbool(m, store)?),
-        StoredAttr::MRegion(m) => AttrValue::MRegion(load_mregion(m, store)?),
+        StoredAttr::MPoint(m) => {
+            AttrValue::MPoint(open_mpoint(m, store, Verify::Full)?.materialize_validated()?)
+        }
+        StoredAttr::MReal(m) => {
+            AttrValue::MReal(open_mreal(m, store, Verify::Full)?.materialize_validated()?)
+        }
+        StoredAttr::MBool(m) => {
+            AttrValue::MBool(open_mbool(m, store, Verify::Full)?.materialize_validated()?)
+        }
+        StoredAttr::MRegion(m) => {
+            AttrValue::MRegion(open_mregion(m, store, Verify::Full)?.materialize_validated()?)
+        }
     })
 }
 

@@ -89,12 +89,23 @@ impl Relation {
         Ok(())
     }
 
+    /// Resolve an attribute name to its index, fallibly — the
+    /// resolution path every name-taking operator goes through
+    /// ([`Relation::project`], the scans in [`crate::scan`]).
+    pub fn try_attr(&self, name: &str) -> Result<usize> {
+        self.schema.index_of(name).ok_or_else(|| {
+            InvariantViolation::with_detail("relation: unknown attribute", name.to_string())
+        })
+    }
+
     /// A named accessor closure factory: `rel.attr("flight")` returns the
     /// attribute index for use in predicates.
+    ///
+    /// Panics on an unknown name — use [`Relation::try_attr`] when the
+    /// name is not statically known to be in the schema.
     pub fn attr(&self, name: &str) -> usize {
-        self.schema
-            .index_of(name)
-            .unwrap_or_else(|| panic!("unknown attribute {name}"))
+        self.try_attr(name)
+            .unwrap_or_else(|e| panic!("{}", e.to_string()))
     }
 
     /// Selection: keep the tuples satisfying the predicate.
@@ -110,8 +121,8 @@ impl Relation {
         let schema = self.schema.project(names)?;
         let idx: Vec<usize> = names
             .iter()
-            .map(|n| self.schema.index_of(n).expect("validated by project"))
-            .collect();
+            .map(|n| self.try_attr(n))
+            .collect::<Result<_>>()?;
         let tuples = self
             .tuples
             .iter()

@@ -18,10 +18,122 @@
 use crate::relation::{Relation, Tuple};
 use crate::schema::Schema;
 use crate::value::{AttrType, AttrValue};
+use mob_base::error::Result;
 use mob_base::Instant;
 use mob_core::{inside_region_seq, UnitSeq};
+use mob_obs::{Registry, Snapshot};
 use mob_par::Pool;
 use mob_spatial::Region;
+
+/// Options for the relation-wide scans — one struct instead of the old
+/// `snapshot_at` / `snapshot_at_with(pool, ..)` method matrix.
+///
+/// The default is **sequential, no stats**: one worker thread, results
+/// only. Opt into parallelism with [`ScanOpts::parallel`] (honors
+/// `MOB_THREADS`) or an explicit [`ScanOpts::pool`], and into
+/// per-query observability with [`ScanOpts::stats`].
+#[derive(Clone, Copy, Debug)]
+pub struct ScanOpts {
+    pool: Pool,
+    stats: bool,
+}
+
+impl Default for ScanOpts {
+    fn default() -> Self {
+        ScanOpts {
+            pool: Pool::with_threads(1),
+            stats: false,
+        }
+    }
+}
+
+impl ScanOpts {
+    /// Sequential scan, no stats (same as `Default`).
+    #[must_use]
+    pub fn new() -> ScanOpts {
+        ScanOpts::default()
+    }
+
+    /// A parallel scan on a pool honoring `MOB_THREADS`
+    /// ([`Pool::new`]).
+    #[must_use]
+    pub fn parallel() -> ScanOpts {
+        ScanOpts::default().pool(Pool::new())
+    }
+
+    /// Run on an explicit worker pool.
+    #[must_use]
+    pub fn pool(mut self, pool: Pool) -> ScanOpts {
+        self.pool = pool;
+        self
+    }
+
+    /// Run on `n` worker threads (shorthand for
+    /// [`Pool::with_threads`]).
+    #[must_use]
+    pub fn threads(self, n: usize) -> ScanOpts {
+        self.pool(Pool::with_threads(n))
+    }
+
+    /// Collect a [`QueryStats`] alongside the result.
+    #[must_use]
+    pub fn stats(mut self, on: bool) -> ScanOpts {
+        self.stats = on;
+        self
+    }
+}
+
+/// What one relation scan did: the per-query observability summary
+/// returned when [`ScanOpts::stats`] is on.
+///
+/// `metrics` is the delta of the process-wide `mob-obs` registry across
+/// the scan — with observability disabled (`MOB_OBS=0`) it is empty,
+/// while `tuples` / `threads` / `wall_ns` are always filled. The delta
+/// is attributed from global counters, so concurrent queries in other
+/// threads show up in it; attribute queries one at a time (or use
+/// [`mob_obs::explain`]) when exact attribution matters.
+#[derive(Clone, Debug)]
+pub struct QueryStats {
+    /// Tuples scanned (the input relation's cardinality).
+    pub tuples: usize,
+    /// Worker threads of the pool that ran the scan.
+    pub threads: usize,
+    /// Wall time of the whole scan, in nanoseconds.
+    pub wall_ns: u64,
+    /// Registry counter deltas caused while the scan ran.
+    pub metrics: Snapshot,
+}
+
+/// Run `f` under a named span, optionally bracketed by registry
+/// snapshots for [`QueryStats`] attribution.
+fn observed<R>(
+    name: &'static str,
+    opts: &ScanOpts,
+    tuples: usize,
+    f: impl FnOnce(Pool) -> R,
+) -> (R, Option<QueryStats>) {
+    if !opts.stats {
+        let _span = mob_obs::span(name);
+        return (f(opts.pool), None);
+    }
+    let before = Registry::global().snapshot();
+    let start = std::time::Instant::now();
+    let out = {
+        let _span = mob_obs::span(name);
+        f(opts.pool)
+    };
+    let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let metrics = Registry::global().snapshot().delta(&before);
+    (
+        out,
+        Some(QueryStats {
+            tuples,
+            threads: opts.pool.threads(),
+            wall_ns,
+            metrics,
+        }),
+    )
+}
 
 impl Relation {
     /// Snapshot the whole relation at one instant: every
@@ -29,73 +141,73 @@ impl Relation {
     /// its value at `t` (⊥ where the object is undefined at `t`); all
     /// other attributes pass through unchanged.
     ///
-    /// Tuples are scanned in parallel on a pool honoring `MOB_THREADS`
-    /// ([`Pool::new`]); use [`Relation::snapshot_at_with`] for an
-    /// explicit pool.
-    pub fn snapshot_at(&self, t: Instant) -> Relation {
-        self.snapshot_at_with(Pool::new(), t)
-    }
-
-    /// [`Relation::snapshot_at`] on an explicit worker pool.
-    pub fn snapshot_at_with(&self, pool: Pool, t: Instant) -> Relation {
-        let attrs: Vec<(String, AttrType)> = self
-            .schema()
-            .attrs()
-            .iter()
-            .map(|(n, ty)| {
-                let ty = if *ty == AttrType::MPoint {
-                    AttrType::Point
-                } else {
-                    *ty
-                };
-                (n.clone(), ty)
-            })
-            .collect();
-        let refs: Vec<(&str, AttrType)> = attrs.iter().map(|(n, ty)| (n.as_str(), *ty)).collect();
-        let schema = Schema::new(&refs).expect("snapshot schema mirrors a valid schema");
-        let tuples = pool.chunked_map(self.tuples(), |tup| {
-            Tuple::new(
-                tup.values()
-                    .iter()
-                    .map(|v| match v.as_mpoint_seq() {
-                        Some(seq) => AttrValue::Point(seq.at_instant(t)),
-                        None => v.clone(),
-                    })
-                    .collect(),
-            )
-        });
-        Relation::from_parts(schema, tuples)
+    /// Scheduling and observability are controlled by `opts`
+    /// ([`ScanOpts::default`] = sequential, no stats); the result
+    /// relation is identical for every pool width.
+    pub fn snapshot_at(&self, t: Instant, opts: &ScanOpts) -> (Relation, Option<QueryStats>) {
+        observed("rel.snapshot_at", opts, self.len(), |pool| {
+            let attrs: Vec<(String, AttrType)> = self
+                .schema()
+                .attrs()
+                .iter()
+                .map(|(n, ty)| {
+                    let ty = if *ty == AttrType::MPoint {
+                        AttrType::Point
+                    } else {
+                        *ty
+                    };
+                    (n.clone(), ty)
+                })
+                .collect();
+            let refs: Vec<(&str, AttrType)> =
+                attrs.iter().map(|(n, ty)| (n.as_str(), *ty)).collect();
+            let schema = Schema::new(&refs).expect("snapshot schema mirrors a valid schema");
+            let tuples = pool.chunked_map(self.tuples(), |tup| {
+                Tuple::new(
+                    tup.values()
+                        .iter()
+                        .map(|v| match v.as_mpoint_seq() {
+                            Some(seq) => AttrValue::Point(seq.at_instant(t)),
+                            None => v.clone(),
+                        })
+                        .collect(),
+                )
+            });
+            Relation::from_parts(schema, tuples)
+        })
     }
 
     /// Keep the tuples whose `moving(point)` attribute `attr` is ever
     /// inside the (static) `region` — the relation-wide lifted `inside`
-    /// scan, evaluated tuple-parallel. Tuples whose attribute is not a
-    /// moving point (or never inside) are dropped; input order is
-    /// preserved.
+    /// scan. Tuples whose attribute is not a moving point (or never
+    /// inside) are dropped; input order is preserved.
     ///
-    /// Panics if `attr` is not an attribute of the schema (same
-    /// contract as [`Relation::attr`]).
-    pub fn filter_inside(&self, attr: &str, region: &Region) -> Relation {
-        self.filter_inside_with(Pool::new(), attr, region)
-    }
-
-    /// [`Relation::filter_inside`] on an explicit worker pool.
-    pub fn filter_inside_with(&self, pool: Pool, attr: &str, region: &Region) -> Relation {
-        let idx = self.attr(attr);
-        let keep = pool.chunked_map(self.tuples(), |tup| {
-            tup.at(idx)
-                .as_mpoint_seq()
-                .map(|seq| !inside_region_seq(&seq, region).when_true().is_empty())
-                .unwrap_or(false)
-        });
-        let tuples = self
-            .tuples()
-            .iter()
-            .zip(&keep)
-            .filter(|(_, k)| **k)
-            .map(|(t, _)| t.clone())
-            .collect();
-        Relation::from_parts(self.schema().clone(), tuples)
+    /// Fails (instead of panicking) when `attr` is not an attribute of
+    /// the schema — the name is resolved through
+    /// [`Relation::try_attr`].
+    pub fn filter_inside(
+        &self,
+        attr: &str,
+        region: &Region,
+        opts: &ScanOpts,
+    ) -> Result<(Relation, Option<QueryStats>)> {
+        let idx = self.try_attr(attr)?;
+        Ok(observed("rel.filter_inside", opts, self.len(), |pool| {
+            let keep = pool.chunked_map(self.tuples(), |tup| {
+                tup.at(idx)
+                    .as_mpoint_seq()
+                    .map(|seq| !inside_region_seq(&seq, region).when_true().is_empty())
+                    .unwrap_or(false)
+            });
+            let tuples = self
+                .tuples()
+                .iter()
+                .zip(&keep)
+                .filter(|(_, k)| **k)
+                .map(|(t, _)| t.clone())
+                .collect();
+            Relation::from_parts(self.schema().clone(), tuples)
+        }))
     }
 }
 
@@ -131,7 +243,8 @@ mod tests {
     #[test]
     fn snapshot_replaces_mpoint_with_point() {
         let rel = fleet(7);
-        let snap = rel.snapshot_at(t(5.0));
+        let (snap, stats) = rel.snapshot_at(t(5.0), &ScanOpts::default());
+        assert!(stats.is_none(), "default opts carry no stats");
         assert_eq!(snap.len(), rel.len());
         let f = snap.attr("flight");
         assert_eq!(snap.schema().attrs()[f].1, AttrType::Point);
@@ -145,7 +258,7 @@ mod tests {
             }
         }
         // Outside every lifetime: all positions undefined, tuples kept.
-        let missed = rel.snapshot_at(t(99.0));
+        let (missed, _) = rel.snapshot_at(t(99.0), &ScanOpts::default());
         assert_eq!(missed.len(), rel.len());
         assert!(missed
             .tuples()
@@ -156,10 +269,27 @@ mod tests {
     #[test]
     fn snapshot_deterministic_across_thread_counts() {
         let rel = fleet(23);
-        let expect = rel.snapshot_at_with(Pool::with_threads(1), t(3.25));
+        let (expect, _) = rel.snapshot_at(t(3.25), &ScanOpts::default());
         for threads in [2usize, 3, 4, 8] {
-            let got = rel.snapshot_at_with(Pool::with_threads(threads), t(3.25));
+            let (got, _) = rel.snapshot_at(t(3.25), &ScanOpts::new().threads(threads));
             assert_eq!(got, expect, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn snapshot_stats_report_the_scan() {
+        let rel = fleet(23);
+        let (_, stats) = rel.snapshot_at(t(3.25), &ScanOpts::new().threads(4).stats(true));
+        let stats = stats.expect("stats requested");
+        assert_eq!(stats.tuples, 23);
+        assert_eq!(stats.threads, 4);
+        assert!(stats.wall_ns > 0);
+        if mob_obs::enabled() {
+            // The pool dispatched our 23 tuples (concurrent tests may
+            // add more — the registry is process-wide).
+            assert!(stats.metrics.get("par.items") >= 23);
+        } else {
+            assert!(stats.metrics.is_empty());
         }
     }
 
@@ -168,7 +298,9 @@ mod tests {
         let rel = fleet(9);
         // Flights k = 2, 3, 4 pass through x ∈ [1.5, 4.5].
         let zone = Region::from_ring(rect_ring(1.5, 2.0, 4.5, 8.0));
-        let hit = rel.filter_inside("flight", &zone);
+        let (hit, _) = rel
+            .filter_inside("flight", &zone, &ScanOpts::default())
+            .unwrap();
         let ids: Vec<&str> = hit
             .tuples()
             .iter()
@@ -177,14 +309,20 @@ mod tests {
         assert_eq!(ids, ["F2", "F3", "F4"]);
         assert_eq!(hit.schema(), rel.schema());
         for threads in [1usize, 2, 4] {
-            assert_eq!(
-                rel.filter_inside_with(Pool::with_threads(threads), "flight", &zone),
-                hit,
-                "{threads} threads"
-            );
+            let (got, _) = rel
+                .filter_inside("flight", &zone, &ScanOpts::new().threads(threads))
+                .unwrap();
+            assert_eq!(got, hit, "{threads} threads");
         }
         // Empty region keeps nothing.
-        assert!(rel.filter_inside("flight", &Region::empty()).is_empty());
+        let (none, _) = rel
+            .filter_inside("flight", &Region::empty(), &ScanOpts::default())
+            .unwrap();
+        assert!(none.is_empty());
+        // Unknown attribute: an error, not a panic.
+        assert!(rel
+            .filter_inside("nope", &zone, &ScanOpts::default())
+            .is_err());
     }
 
     #[test]
@@ -196,10 +334,14 @@ mod tests {
         let stored = save_relation(&rel, &mut store).unwrap();
         let opened = Relation::from_store(&stored, Arc::new(store)).unwrap();
         let ti = t(6.5);
-        assert_eq!(rel.snapshot_at(ti), opened.snapshot_at(ti));
+        let opts = ScanOpts::parallel();
+        assert_eq!(
+            rel.snapshot_at(ti, &opts).0,
+            opened.snapshot_at(ti, &opts).0
+        );
         let zone = Region::from_ring(rect_ring(2.5, 0.0, 6.5, 10.0));
-        let a = rel.filter_inside("flight", &zone);
-        let b = opened.filter_inside("flight", &zone);
+        let (a, _) = rel.filter_inside("flight", &zone, &opts).unwrap();
+        let (b, _) = opened.filter_inside("flight", &zone, &opts).unwrap();
         assert_eq!(a.len(), b.len());
         let ids = |r: &Relation| -> Vec<String> {
             r.tuples()

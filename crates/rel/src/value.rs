@@ -5,8 +5,8 @@ use mob_base::DecodeResult;
 use mob_base::{Instant, Real, Text, TimeInterval, Val};
 use mob_core::{MovingBool, MovingPoint, MovingReal, MovingRegion, UPoint, UnitSeq};
 use mob_spatial::{Line, Point, Points, Region};
-use mob_storage::mapping_store::{load_mpoint, StoredMapping, UPointRecord};
-use mob_storage::{view_mpoint, view_mpoint_preverified, MappingView, PageStore};
+use mob_storage::mapping_store::{StoredMapping, UPointRecord};
+use mob_storage::{open_mpoint, MappingView, PageStore, Verify};
 use std::borrow::Cow;
 use std::fmt;
 use std::sync::Arc;
@@ -32,29 +32,30 @@ pub struct MPointRef {
 impl MPointRef {
     /// Wrap a stored mapping living in `store`, **verifying its
     /// structure once** (record layouts, bounds, interval order — the
-    /// same pass [`view_mpoint`] runs). A reference is only handed out
-    /// for a well-formed stored value, so the probing accessors below
-    /// are infallible.
+    /// same pass `open_mpoint(.., Verify::Full)` runs). A reference is
+    /// only handed out for a well-formed stored value, so the probing
+    /// accessors below are infallible.
     pub fn new(store: Arc<PageStore>, stored: StoredMapping) -> DecodeResult<MPointRef> {
-        view_mpoint(&stored, &store)?;
+        open_mpoint(&stored, &store, Verify::Full)?;
         Ok(MPointRef { store, stored })
     }
 
     /// A lazy [`UnitSeq`] view over the stored units.
     ///
-    /// Opens through the **preverified** fast path: the full `O(n)`
-    /// structural scan already ran once in [`MPointRef::new`], and page
-    /// store blobs are append-only and immutable, so per-query view
-    /// opens pay only the `O(1)` layout checks.
+    /// Opens through the [`Verify::Preverified`] fast path: the full
+    /// `O(n)` structural scan already ran once in [`MPointRef::new`],
+    /// and page store blobs are append-only and immutable, so per-query
+    /// view opens pay only the `O(1)` layout checks.
     pub fn view(&self) -> MappingView<'_, UPointRecord> {
-        view_mpoint_preverified(&self.stored, &self.store)
+        open_mpoint(&self.stored, &self.store, Verify::Preverified)
             .expect("stored mapping verified at MPointRef construction")
     }
 
     /// Materialize the full in-memory [`MovingPoint`] (reads the whole
     /// unit array — the eager path the lazy view exists to avoid).
     pub fn materialize(&self) -> MovingPoint {
-        load_mpoint(&self.stored, &self.store)
+        self.view()
+            .materialize_validated()
             .expect("stored mapping verified at MPointRef construction")
     }
 

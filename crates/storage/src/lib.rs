@@ -43,6 +43,11 @@ pub use record::FixedRecord;
 pub use store_file::{RootRecord, StoreFile};
 pub use tuple::TupleLayout;
 pub use view::{
+    open_mbool, open_mline, open_mpoint, open_mpoints, open_mreal, open_mregion, MappingView,
+    UnitRecord, Verify, DEFAULT_UNIT_CACHE,
+};
+#[allow(deprecated)] // re-exported for one release; callers get the deprecation note
+pub use view::{
     view_mbool, view_mline, view_mpoint, view_mpoint_preverified, view_mpoints, view_mreal,
-    view_mregion, MappingView, UnitRecord, DEFAULT_UNIT_CACHE,
+    view_mregion,
 };

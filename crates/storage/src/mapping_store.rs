@@ -6,13 +6,13 @@
 //! share the same database arrays, exactly as in Fig 7.
 
 use crate::checked::{count_u32, idx_usize};
-use crate::dbarray::{load_array, save_array, SavedArray, SubArrayRef};
+use crate::dbarray::{save_array, SavedArray, SubArrayRef};
 use crate::page::PageStore;
 use crate::record::{get_bool, get_f64, put_f64, FixedRecord};
 use mob_base::{DecodeError, DecodeResult, Real, TimeInterval};
 use mob_core::{
-    ConstUnit, MCycle, MFace, MSeg, Mapping, MovingBool, MovingLine, MovingPoint, MovingPoints,
-    MovingReal, MovingRegion, PointMotion, ULine, UPoint, UPoints, UReal, URegion, Unit,
+    MCycle, MovingBool, MovingLine, MovingPoint, MovingPoints, MovingReal, MovingRegion,
+    PointMotion, Unit,
 };
 
 impl FixedRecord for PointMotion {
@@ -163,15 +163,9 @@ pub fn save_mbool(m: &MovingBool, store: &mut PageStore) -> StoredMapping {
 }
 
 /// Load `moving(bool)`.
+#[deprecated(note = "use `view::open_mbool(stored, store, Verify::Full)?.materialize_validated()`")]
 pub fn load_mbool(stored: &StoredMapping, store: &PageStore) -> DecodeResult<MovingBool> {
-    check_root_count(stored.num_units, &stored.units)?;
-    let records: Vec<UBoolRecord> = load_array(&stored.units, store)?;
-    Ok(Mapping::try_new(
-        records
-            .into_iter()
-            .map(|r| ConstUnit::new(r.interval, r.value))
-            .collect(),
-    )?)
+    crate::view::open_mbool(stored, store, crate::view::Verify::Full)?.materialize_validated()
 }
 
 /// Save `moving(real)`.
@@ -197,20 +191,9 @@ pub fn save_mreal(m: &MovingReal, store: &mut PageStore) -> StoredMapping {
 }
 
 /// Load `moving(real)`.
+#[deprecated(note = "use `view::open_mreal(stored, store, Verify::Full)?.materialize_validated()`")]
 pub fn load_mreal(stored: &StoredMapping, store: &PageStore) -> DecodeResult<MovingReal> {
-    check_root_count(stored.num_units, &stored.units)?;
-    let records: Vec<URealRecord> = load_array(&stored.units, store)?;
-    let mut units = Vec::with_capacity(records.len());
-    for r in records {
-        units.push(UReal::try_new(
-            r.interval,
-            Real::try_new(r.a)?,
-            Real::try_new(r.b)?,
-            Real::try_new(r.c)?,
-            r.r,
-        )?);
-    }
-    Ok(Mapping::try_new(units)?)
+    crate::view::open_mreal(stored, store, crate::view::Verify::Full)?.materialize_validated()
 }
 
 /// Save `moving(point)`.
@@ -230,15 +213,11 @@ pub fn save_mpoint(m: &MovingPoint, store: &mut PageStore) -> StoredMapping {
 }
 
 /// Load `moving(point)`.
+#[deprecated(
+    note = "use `view::open_mpoint(stored, store, Verify::Full)?.materialize_validated()`"
+)]
 pub fn load_mpoint(stored: &StoredMapping, store: &PageStore) -> DecodeResult<MovingPoint> {
-    check_root_count(stored.num_units, &stored.units)?;
-    let records: Vec<UPointRecord> = load_array(&stored.units, store)?;
-    Ok(Mapping::try_new(
-        records
-            .into_iter()
-            .map(|r| UPoint::new(r.interval, r.motion))
-            .collect(),
-    )?)
+    crate::view::open_mpoint(stored, store, crate::view::Verify::Full)?.materialize_validated()
 }
 
 // ---------------------------------------------------------------------
@@ -327,19 +306,11 @@ pub fn save_mpoints(m: &MovingPoints, store: &mut PageStore) -> StoredMPoints {
 }
 
 /// Load `moving(points)`.
+#[deprecated(
+    note = "use `view::open_mpoints(stored, store, Verify::Full)?.materialize_validated()`"
+)]
 pub fn load_mpoints(stored: &StoredMPoints, store: &PageStore) -> DecodeResult<MovingPoints> {
-    check_root_count(stored.num_units, &stored.units)?;
-    let records: Vec<UPointsRecord> = load_array(&stored.units, store)?;
-    let motions: Vec<PointMotion> = load_array(&stored.motions, store)?;
-    let mut units = Vec::with_capacity(records.len());
-    for r in records {
-        r.sub.check(motions.len(), UPointsRecord::WHAT)?;
-        units.push(UPoints::try_new(
-            r.interval,
-            r.sub.slice(&motions).to_vec(),
-        )?);
-    }
-    Ok(Mapping::try_new(units)?)
+    crate::view::open_mpoints(stored, store, crate::view::Verify::Full)?.materialize_validated()
 }
 
 // ---------------------------------------------------------------------
@@ -431,20 +402,9 @@ pub fn save_mline(m: &MovingLine, store: &mut PageStore) -> StoredMLine {
 }
 
 /// Load `moving(line)`.
+#[deprecated(note = "use `view::open_mline(stored, store, Verify::Full)?.materialize_validated()`")]
 pub fn load_mline(stored: &StoredMLine, store: &PageStore) -> DecodeResult<MovingLine> {
-    check_root_count(stored.num_units, &stored.units)?;
-    let records: Vec<ULineRecord> = load_array(&stored.units, store)?;
-    let msegments: Vec<MSegRecord> = load_array(&stored.msegments, store)?;
-    let mut units = Vec::with_capacity(records.len());
-    for r in records {
-        r.sub.check(msegments.len(), ULineRecord::WHAT)?;
-        let mut msegs = Vec::with_capacity(r.sub.len());
-        for rec in r.sub.slice(&msegments) {
-            msegs.push(MSeg::try_new(rec.s, rec.e)?);
-        }
-        units.push(ULine::try_new(r.interval, msegs)?);
-    }
-    Ok(Mapping::try_new(units)?)
+    crate::view::open_mline(stored, store, crate::view::Verify::Full)?.materialize_validated()
 }
 
 // ---------------------------------------------------------------------
@@ -652,48 +612,22 @@ pub fn save_mregion(m: &MovingRegion, store: &mut PageStore) -> StoredMRegion {
 }
 
 /// Load `moving(region)` by reassembling cycles from the motion chains.
+#[deprecated(
+    note = "use `view::open_mregion(stored, store, Verify::Full)?.materialize_validated()`"
+)]
 pub fn load_mregion(stored: &StoredMRegion, store: &PageStore) -> DecodeResult<MovingRegion> {
-    check_root_count(stored.num_units, &stored.units)?;
-    let records: Vec<URegionRecord> = load_array(&stored.units, store)?;
-    let msegments: Vec<MSegRecord> = load_array(&stored.msegments, store)?;
-    let mcycles: Vec<MCycleRecord> = load_array(&stored.mcycles, store)?;
-    let mfaces: Vec<MFaceRecord> = load_array(&stored.mfaces, store)?;
-    let cycle_from = |rec: &MCycleRecord| -> DecodeResult<MCycle> {
-        // Each consecutive mseg shares its start motion with the
-        // previous end; the vertex list is the start motions in order.
-        rec.msegs.check(msegments.len(), MCycleRecord::WHAT)?;
-        let verts: Vec<PointMotion> = rec.msegs.slice(&msegments).iter().map(|ms| ms.s).collect();
-        Ok(MCycle::try_new(verts)?)
-    };
-    let mut units: Vec<URegion> = Vec::with_capacity(records.len());
-    for r in &records {
-        r.faces.check(mfaces.len(), URegionRecord::WHAT)?;
-        let mut faces: Vec<MFace> = Vec::with_capacity(r.faces.len());
-        for fr in r.faces.slice(&mfaces) {
-            fr.cycles.check(mcycles.len(), MFaceRecord::WHAT)?;
-            let cycles = fr.cycles.slice(&mcycles);
-            let Some((outer_rec, hole_recs)) = cycles.split_first() else {
-                return Err(DecodeError::BadStructure {
-                    what: MFaceRecord::WHAT,
-                    detail: "face references an empty cycle range".to_string(),
-                });
-            };
-            let outer = cycle_from(outer_rec)?;
-            let mut holes = Vec::with_capacity(hole_recs.len());
-            for h in hole_recs {
-                holes.push(cycle_from(h)?);
-            }
-            faces.push(MFace::new(outer, holes));
-        }
-        units.push(URegion::try_new(r.interval, faces)?);
-    }
-    Ok(Mapping::try_new(units)?)
+    crate::view::open_mregion(stored, store, crate::view::Verify::Full)?.materialize_validated()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dbarray::load_array;
+    use crate::view::{
+        open_mbool, open_mline, open_mpoint, open_mpoints, open_mreal, open_mregion, Verify,
+    };
     use mob_base::{r, t, Interval, Val};
+    use mob_core::{ConstUnit, MFace, MSeg, Mapping, ULine, UPoints, UReal, URegion};
     use mob_spatial::{pt, rect_ring};
 
     fn iv(s: f64, e: f64) -> TimeInterval {
@@ -710,7 +644,8 @@ mod tests {
         let mut store = PageStore::new();
         let stored = save_mbool(&m, &mut store);
         assert_eq!(stored.num_units, 2);
-        assert_eq!(load_mbool(&stored, &store).unwrap(), m);
+        let view = open_mbool(&stored, &store, Verify::Full).unwrap();
+        assert_eq!(view.materialize_validated().unwrap(), m);
     }
 
     #[test]
@@ -727,7 +662,10 @@ mod tests {
         .unwrap();
         let mut store = PageStore::new();
         let stored = save_mreal(&m, &mut store);
-        let back = load_mreal(&stored, &store).unwrap();
+        let back = open_mreal(&stored, &store, Verify::Full)
+            .unwrap()
+            .materialize_validated()
+            .unwrap();
         assert_eq!(back, m);
         assert_eq!(back.at_instant(t(1.5)), Val::Def(r(2.0)));
     }
@@ -741,7 +679,10 @@ mod tests {
         ]);
         let mut store = PageStore::new();
         let stored = save_mpoint(&m, &mut store);
-        let back = load_mpoint(&stored, &store).unwrap();
+        let back = open_mpoint(&stored, &store, Verify::Full)
+            .unwrap()
+            .materialize_validated()
+            .unwrap();
         assert_eq!(back, m);
         assert_eq!(back.at_instant(t(0.5)), Val::Def(pt(1.0, 0.5)));
     }
@@ -772,7 +713,10 @@ mod tests {
         // One shared motions array holding 5 records.
         let motions: Vec<PointMotion> = load_array(&stored.motions, &store).unwrap();
         assert_eq!(motions.len(), 5);
-        let back = load_mpoints(&stored, &store).unwrap();
+        let back = open_mpoints(&stored, &store, Verify::Full)
+            .unwrap()
+            .materialize_validated()
+            .unwrap();
         assert_eq!(back, m);
     }
 
@@ -794,7 +738,10 @@ mod tests {
         let mut store = PageStore::new();
         let stored = save_mregion(&m, &mut store);
         assert_eq!(stored.num_units, 2);
-        let back = load_mregion(&stored, &store).unwrap();
+        let back = open_mregion(&stored, &store, Verify::Full)
+            .unwrap()
+            .materialize_validated()
+            .unwrap();
         // Compare semantically: same region at probe instants.
         for k in [0.0, 0.5, 1.0, 1.5, 2.0] {
             let a = m.at_instant(t(k)).unwrap();
@@ -846,7 +793,10 @@ mod tests {
         );
         let mut store = PageStore::new();
         let stored = save_mregion(&m, &mut store);
-        let back = load_mregion(&stored, &store).unwrap();
+        let back = open_mregion(&stored, &store, Verify::Full)
+            .unwrap()
+            .materialize_validated()
+            .unwrap();
         let reg = back.at_instant(t(0.5)).unwrap();
         assert_eq!(reg.num_cycles(), 2);
         assert_eq!(reg.area(), r(15.0));
@@ -880,7 +830,10 @@ mod tests {
         let mut store = PageStore::new();
         let stored = save_mline(&ml, &mut store);
         assert_eq!(stored.num_units, 2);
-        let back = load_mline(&stored, &store).unwrap();
+        let back = open_mline(&stored, &store, Verify::Full)
+            .unwrap()
+            .materialize_validated()
+            .unwrap();
         assert_eq!(back, ml);
         for k in [0.0, 0.5, 1.5, 2.0] {
             assert_eq!(back.at_instant(t(k)).unwrap(), ml.at_instant(t(k)).unwrap());
@@ -892,6 +845,7 @@ mod tests {
         let mut store = PageStore::new();
         let stored = save_mpoint(&MovingPoint::empty(), &mut store);
         assert_eq!(stored.num_units, 0);
-        assert!(load_mpoint(&stored, &store).unwrap().is_empty());
+        let view = open_mpoint(&stored, &store, Verify::Full).unwrap();
+        assert!(view.materialize_validated().unwrap().is_empty());
     }
 }

@@ -7,7 +7,7 @@
 //! experiments can measure I/O behaviour (experiment E5).
 
 use mob_base::{DecodeError, DecodeResult};
-use std::sync::atomic::{AtomicU64, Ordering};
+use mob_obs::SharedCounter;
 
 /// Default page size (bytes), matching common DBMS pages.
 pub const DEFAULT_PAGE_SIZE: usize = 4096;
@@ -42,16 +42,18 @@ struct Blob {
 
 /// A page-based blob store with I/O counters.
 ///
-/// The counters are relaxed atomics, so a `PageStore` is `Sync`: the
-/// parallel relation scans of `mob-rel` share one store across worker
-/// threads behind an `Arc`, each worker opening its own [`crate::view`]
-/// over the immutable, append-only blob data. Counter totals remain
-/// exact under concurrency; only the interleaving is unspecified.
+/// The counters are [`SharedCounter`]s (relaxed atomics mirrored into the
+/// `mob-obs` registry as `store.pages_read` / `store.pages_written`), so a
+/// `PageStore` is `Sync`: the parallel relation scans of `mob-rel` share
+/// one store across worker threads behind an `Arc`, each worker opening
+/// its own [`crate::view`] over the immutable, append-only blob data.
+/// Counter totals remain exact under concurrency; only the interleaving
+/// is unspecified.
 pub struct PageStore {
     page_size: usize,
     blobs: Vec<Blob>,
-    pages_written: AtomicU64,
-    pages_read: AtomicU64,
+    pages_written: SharedCounter,
+    pages_read: SharedCounter,
 }
 
 impl PageStore {
@@ -66,8 +68,8 @@ impl PageStore {
         PageStore {
             page_size,
             blobs: Vec::new(),
-            pages_written: AtomicU64::new(0),
-            pages_read: AtomicU64::new(0),
+            pages_written: SharedCounter::new(mob_obs::metric!("store.pages_written")),
+            pages_read: SharedCounter::new(mob_obs::metric!("store.pages_read")),
         }
     }
 
@@ -83,8 +85,7 @@ impl PageStore {
         } else {
             bytes.chunks(self.page_size).map(|c| c.to_vec()).collect()
         };
-        self.pages_written
-            .fetch_add(pages.len() as u64, Ordering::Relaxed);
+        self.pages_written.add(pages.len() as u64);
         self.blobs.push(Blob {
             pages,
             len: bytes.len(),
@@ -124,8 +125,7 @@ impl PageStore {
                 })
             }
         };
-        self.pages_read
-            .fetch_add(blob.pages.len() as u64, Ordering::Relaxed);
+        self.pages_read.add(blob.pages.len() as u64);
         let mut out = Vec::with_capacity(blob.len);
         for p in &blob.pages {
             out.extend_from_slice(p);
@@ -163,8 +163,7 @@ impl PageStore {
     /// paths use [`PageStore::try_read_blob`].
     pub fn read_blob(&self, id: BlobId) -> Vec<u8> {
         let blob = &self.blobs[id.0];
-        self.pages_read
-            .fetch_add(blob.pages.len() as u64, Ordering::Relaxed);
+        self.pages_read.add(blob.pages.len() as u64);
         let mut out = Vec::with_capacity(blob.len);
         for p in &blob.pages {
             out.extend_from_slice(p);
@@ -190,8 +189,7 @@ impl PageStore {
         }
         let first = offset / self.page_size;
         let last = (offset + len - 1) / self.page_size;
-        self.pages_read
-            .fetch_add((last - first + 1) as u64, Ordering::Relaxed);
+        self.pages_read.add((last - first + 1) as u64);
         let mut out = Vec::with_capacity(len);
         for p in first..=last {
             let page = &blob.pages[p];
@@ -214,18 +212,18 @@ impl PageStore {
 
     /// Pages written since the last counter reset.
     pub fn pages_written(&self) -> u64 {
-        self.pages_written.load(Ordering::Relaxed)
+        self.pages_written.get()
     }
 
     /// Pages read since the last counter reset.
     pub fn pages_read(&self) -> u64 {
-        self.pages_read.load(Ordering::Relaxed)
+        self.pages_read.get()
     }
 
     /// Reset both I/O counters.
     pub fn reset_counters(&self) {
-        self.pages_written.store(0, Ordering::Relaxed);
-        self.pages_read.store(0, Ordering::Relaxed);
+        self.pages_written.reset_local();
+        self.pages_read.reset_local();
     }
 }
 

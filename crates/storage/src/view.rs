@@ -12,8 +12,8 @@
 //! * [`UnitSeq::unit`] decodes the one record (plus, for variable-size
 //!   units, exactly the subarray ranges it references);
 //! * consequently `atinstant` performs `O(log n)` header reads plus **one**
-//!   unit decode, instead of the `O(n)` full deserialization of the
-//!   `load_*` functions.
+//!   unit decode, instead of the `O(n)` full deserialization of
+//!   [`MappingView::materialize_validated`].
 //!
 //! Decode counters ([`MappingView::headers_read`],
 //! [`MappingView::units_decoded`]) make that claim testable, and the
@@ -25,7 +25,8 @@
 //! Section-5 algorithm), but stored bytes are untrusted. The view
 //! resolves that tension in two stages:
 //!
-//! 1. **Construction** (`view_*`) returns a [`DecodeResult`]: it checks
+//! 1. **Construction** (`open_*` with [`Verify::Full`]) returns a
+//!    [`DecodeResult`]: it checks
 //!    the array layouts (byte length = count × record size), reads every
 //!    unit record once — rejecting NaN fields, invalid intervals,
 //!    out-of-range subarray references ([`UnitRecord::check_structure`])
@@ -48,9 +49,10 @@ use crate::page::PageStore;
 use crate::record::FixedRecord;
 use mob_base::{DecodeError, DecodeResult, InvariantViolation, Real, TimeInterval};
 use mob_core::{
-    ConstUnit, MCycle, MFace, MSeg, PointMotion, ULine, UPoint, UPoints, UReal, URegion, Unit,
-    UnitSeq,
+    ConstUnit, MCycle, MFace, MSeg, Mapping, PointMotion, ULine, UPoint, UPoints, UReal, URegion,
+    Unit, UnitSeq,
 };
+use mob_obs::LocalCounter;
 use std::borrow::Cow;
 use std::cell::{Cell, RefCell};
 
@@ -60,9 +62,33 @@ use std::cell::{Cell, RefCell};
 /// monotone cursors, so the working set at any moment is a handful of
 /// units around the current boundary — a few slots absorb the repeated
 /// decodes of `refinement`-style walks without holding a materialized
-/// copy of the mapping alive. [`MappingView::warm`] grows the capacity
-/// when a range is prefetched explicitly.
+/// copy of the mapping alive. Capacity never changes behind the
+/// caller's back: grow it explicitly with
+/// [`MappingView::set_cache_capacity`] (e.g. before a
+/// [`MappingView::warm`] prefetch of a larger range).
 pub const DEFAULT_UNIT_CACHE: usize = 8;
+
+/// How much verification a record-opening entry point performs.
+///
+/// The unified `open_*` constructors ([`open_mpoint`],
+/// [`crate::StoreFile::open_mpoint`], …) take this instead of splitting
+/// into `view_*` / `view_*_preverified` / `load_*` families.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verify {
+    /// Full structural verification: the `O(1)` layout checks plus a
+    /// one-pass `O(n)` structural scan of every unit record (and, in
+    /// debug builds, the deep [`MappingView::validate`] pass). Use this
+    /// the first time a `(stored, store)` pair is opened.
+    Full,
+    /// The `O(1)` layout checks only. Sound **only** when the same
+    /// `(stored, store)` pair has already passed a [`Verify::Full`] open
+    /// once: [`PageStore`] blobs are append-only and immutable, so a
+    /// verification performed at load time remains valid for every later
+    /// view. `mob-rel` relies on this to open a fresh view per query
+    /// (per worker thread) without paying a relation-sized scan each
+    /// time.
+    Preverified,
+}
 
 /// A unit record type that can be decoded into a live unit, given access
 /// to the mapping's shared database arrays (Fig 7).
@@ -279,15 +305,18 @@ pub struct MappingView<'s, R: UnitRecord> {
     store: &'s PageStore,
     units: &'s SavedArray,
     shared: R::Shared<'s>,
-    headers_read: Cell<u64>,
-    units_decoded: Cell<u64>,
+    /// `view.headers_read` in the `mob-obs` registry.
+    headers_read: LocalCounter,
+    /// `view.units_decoded` in the `mob-obs` registry.
+    units_decoded: LocalCounter,
     /// Decoded-unit LRU: `(unit index, decoded unit)`, most recent
     /// first. Touched only by [`UnitSeq::unit`] and
     /// [`MappingView::warm`]; the fallible `try_*` accessors always go
     /// to the store so audits observe the raw bytes.
     cache: RefCell<Vec<(usize, R::Unit)>>,
     cache_cap: Cell<usize>,
-    cache_hits: Cell<u64>,
+    /// `view.cache_hits` in the `mob-obs` registry.
+    cache_hits: LocalCounter,
 }
 
 impl<'s, R: UnitRecord> MappingView<'s, R> {
@@ -321,11 +350,11 @@ impl<'s, R: UnitRecord> MappingView<'s, R> {
             store,
             units,
             shared,
-            headers_read: Cell::new(0),
-            units_decoded: Cell::new(0),
+            headers_read: LocalCounter::new(mob_obs::metric!("view.headers_read")),
+            units_decoded: LocalCounter::new(mob_obs::metric!("view.units_decoded")),
             cache: RefCell::new(Vec::new()),
             cache_cap: Cell::new(DEFAULT_UNIT_CACHE),
-            cache_hits: Cell::new(0),
+            cache_hits: LocalCounter::new(mob_obs::metric!("view.cache_hits")),
         })
     }
 
@@ -397,14 +426,27 @@ impl<'s, R: UnitRecord> MappingView<'s, R> {
 
     /// Fallible interval read: the 18-byte header of the `i`-th record.
     pub fn try_interval(&self, i: usize) -> DecodeResult<TimeInterval> {
-        self.headers_read.set(self.headers_read.get() + 1);
+        self.headers_read.incr();
         TimeInterval::read(&self.try_record_bytes(i, TimeInterval::SIZE)?)
     }
 
     /// Fallible unit decode of the `i`-th record.
     pub fn try_unit(&self, i: usize) -> DecodeResult<R::Unit> {
-        self.units_decoded.set(self.units_decoded.get() + 1);
+        self.units_decoded.incr();
         self.try_record(i)?.try_decode(&self.shared)
+    }
+
+    /// Decode every unit and assemble an in-memory [`Mapping`],
+    /// re-checking the Section 3.2.4 mapping invariants (order,
+    /// disjointness, canonicity) via [`Mapping::try_new`] — the moral
+    /// equivalent of the old eager `load_*` functions, expressed over
+    /// the unified `open_*` entry points.
+    pub fn materialize_validated(&self) -> DecodeResult<Mapping<R::Unit>> {
+        let mut units = Vec::with_capacity(self.units.count);
+        for i in 0..self.units.count {
+            units.push(self.try_unit(i)?);
+        }
+        Ok(Mapping::try_new(units)?)
     }
 
     /// Look up unit `i` in the decoded-unit cache, promoting a hit to
@@ -416,7 +458,7 @@ impl<'s, R: UnitRecord> MappingView<'s, R> {
             let entry = cache.remove(pos);
             cache.insert(0, entry);
         }
-        self.cache_hits.set(self.cache_hits.get() + 1);
+        self.cache_hits.incr();
         cache.first().map(|(_, u)| u.clone())
     }
 
@@ -429,23 +471,23 @@ impl<'s, R: UnitRecord> MappingView<'s, R> {
     }
 
     /// Prefetch a contiguous range of units into the decoded-unit
-    /// cache, growing its capacity to hold the whole range. Subsequent
-    /// [`UnitSeq::unit`] calls inside the range are pure cache hits —
-    /// the explicit warm-up of a scan that will revisit its units
-    /// (e.g. a lifted operation against many other mappings).
+    /// cache — the explicit warm-up of a scan that will revisit its
+    /// units (e.g. a lifted operation against many other mappings).
     ///
-    /// The range is clipped to the unit count; already cached units are
-    /// not re-decoded (and not counted as hits).
+    /// Warming **never grows the cache**: the prefetch is clipped to the
+    /// unit count *and* to [`MappingView::cache_capacity`] slots, so a
+    /// view's memory footprint only changes through the explicit
+    /// [`MappingView::set_cache_capacity`] call (or the `cache_capacity`
+    /// field of `mob-rel`'s `ScanOpts`). Warming more units than the
+    /// cache can hold would only churn the LRU, so the excess is simply
+    /// not decoded. Already cached units are not re-decoded (and not
+    /// counted as hits).
     pub fn warm(&self, range: std::ops::Range<usize>) -> DecodeResult<()> {
-        let range = range.start..range.end.min(self.units.count);
-        if range.start >= range.end {
-            return Ok(());
-        }
-        let need = range.end - range.start;
-        if self.cache_cap.get() < need {
-            self.cache_cap.set(need);
-        }
-        for i in range {
+        let end = range
+            .end
+            .min(self.units.count)
+            .min(range.start.saturating_add(self.cache_cap.get()));
+        for i in range.start..end {
             let already = self.cache.borrow().iter().any(|(k, _)| *k == i);
             if !already {
                 let unit = self.try_unit(i)?;
@@ -455,30 +497,48 @@ impl<'s, R: UnitRecord> MappingView<'s, R> {
         Ok(())
     }
 
+    /// Current capacity of the decoded-unit cache, in entries.
+    pub fn cache_capacity(&self) -> usize {
+        self.cache_cap.get()
+    }
+
+    /// Explicitly resize the decoded-unit cache (clamped to ≥ 1 entry).
+    /// Shrinking evicts least-recently-used entries immediately. This is
+    /// the only way a view's cache grows — see [`MappingView::warm`].
+    pub fn set_cache_capacity(&self, cap: usize) {
+        self.cache_cap.set(cap.max(1));
+        self.cache.borrow_mut().truncate(self.cache_cap.get());
+    }
+
     /// Interval headers read since the last counter reset (each is one
-    /// 18-byte read — the probes of the binary search).
+    /// 18-byte read — the probes of the binary search). Mirrored into
+    /// the `mob-obs` registry as `view.headers_read`.
     pub fn headers_read(&self) -> u64 {
         self.headers_read.get()
     }
 
     /// Full unit records decoded since the last counter reset.
+    /// Mirrored into the `mob-obs` registry as `view.units_decoded`.
     pub fn units_decoded(&self) -> u64 {
         self.units_decoded.get()
     }
 
     /// [`UnitSeq::unit`] calls served from the decoded-unit cache since
     /// the last counter reset (these do **not** count as
-    /// [`MappingView::units_decoded`]).
+    /// [`MappingView::units_decoded`]). Mirrored into the `mob-obs`
+    /// registry as `view.cache_hits`.
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits.get()
     }
 
-    /// Reset the decode and cache counters (the cache *contents* are
-    /// kept — only the tallies restart).
+    /// Reset the per-view decode and cache counters (the cache
+    /// *contents* are kept — only the tallies restart). The `mob-obs`
+    /// registry mirrors are monotone process totals and are deliberately
+    /// not rewound.
     pub fn reset_counters(&self) {
-        self.headers_read.set(0);
-        self.units_decoded.set(0);
-        self.cache_hits.set(0);
+        self.headers_read.reset_local();
+        self.units_decoded.reset_local();
+        self.cache_hits.reset_local();
     }
 
     /// The underlying page store (for its page-I/O counters).
@@ -513,95 +573,105 @@ impl<'s, R: UnitRecord> UnitSeq for MappingView<'s, R> {
     }
 }
 
-/// Lazy view over a stored `moving(bool)`.
-pub fn view_mbool<'s>(
+impl<'s, R: UnitRecord> MappingView<'s, R> {
+    /// Dispatch on [`Verify`] after the shared `O(1)` checks have run.
+    fn open_with(
+        store: &'s PageStore,
+        units: &'s SavedArray,
+        shared: R::Shared<'s>,
+        verify: Verify,
+    ) -> DecodeResult<Self> {
+        match verify {
+            Verify::Full => MappingView::open(store, units, shared),
+            Verify::Preverified => MappingView::open_unchecked(store, units, shared),
+        }
+    }
+}
+
+/// Open a lazy view over a stored `moving(bool)`.
+pub fn open_mbool<'s>(
     stored: &'s StoredMapping,
     store: &'s PageStore,
+    verify: Verify,
 ) -> DecodeResult<MappingView<'s, UBoolRecord>> {
     check_root_count(stored.num_units, &stored.units)?;
-    MappingView::open(store, &stored.units, ())
+    MappingView::open_with(store, &stored.units, (), verify)
 }
 
-/// Lazy view over a stored `moving(real)`.
-pub fn view_mreal<'s>(
+/// Open a lazy view over a stored `moving(real)`.
+pub fn open_mreal<'s>(
     stored: &'s StoredMapping,
     store: &'s PageStore,
+    verify: Verify,
 ) -> DecodeResult<MappingView<'s, URealRecord>> {
     check_root_count(stored.num_units, &stored.units)?;
-    MappingView::open(store, &stored.units, ())
+    MappingView::open_with(store, &stored.units, (), verify)
 }
 
-/// Lazy view over a stored `moving(point)`.
-pub fn view_mpoint<'s>(
+/// Open a lazy view over a stored `moving(point)` — the unified,
+/// fallible record-opening entry point (see [`Verify`] for the
+/// verification levels; [`MappingView::materialize_validated`] recovers
+/// the old eager-load behaviour).
+pub fn open_mpoint<'s>(
     stored: &'s StoredMapping,
     store: &'s PageStore,
+    verify: Verify,
 ) -> DecodeResult<MappingView<'s, UPointRecord>> {
     check_root_count(stored.num_units, &stored.units)?;
-    MappingView::open(store, &stored.units, ())
+    MappingView::open_with(store, &stored.units, (), verify)
 }
 
-/// Lazy view over a stored `moving(point)` **without** the `O(n)`
-/// structural re-scan of [`view_mpoint`] — only the `O(1)` layout check
-/// runs.
-///
-/// Sound only when the same `(stored, store)` pair has already passed a
-/// full [`view_mpoint`] open once: [`PageStore`] blobs are append-only
-/// and immutable, so a verification performed at load time remains
-/// valid for every later view. `mob-rel` relies on this to open a fresh
-/// view per query (per worker thread) without paying a relation-sized
-/// scan each time.
-pub fn view_mpoint_preverified<'s>(
-    stored: &'s StoredMapping,
-    store: &'s PageStore,
-) -> DecodeResult<MappingView<'s, UPointRecord>> {
-    check_root_count(stored.num_units, &stored.units)?;
-    MappingView::open_unchecked(store, &stored.units, ())
-}
-
-/// Lazy view over a stored `moving(points)` (one shared subarray).
-pub fn view_mpoints<'s>(
+/// Open a lazy view over a stored `moving(points)` (one shared
+/// subarray).
+pub fn open_mpoints<'s>(
     stored: &'s StoredMPoints,
     store: &'s PageStore,
+    verify: Verify,
 ) -> DecodeResult<MappingView<'s, UPointsRecord>> {
     check_root_count(stored.num_units, &stored.units)?;
     stored.motions.check_layout::<PointMotion>(store)?;
-    MappingView::open(
+    MappingView::open_with(
         store,
         &stored.units,
         PointsShared {
             store,
             motions: &stored.motions,
         },
+        verify,
     )
 }
 
-/// Lazy view over a stored `moving(line)` (one shared subarray).
-pub fn view_mline<'s>(
+/// Open a lazy view over a stored `moving(line)` (one shared subarray).
+pub fn open_mline<'s>(
     stored: &'s StoredMLine,
     store: &'s PageStore,
+    verify: Verify,
 ) -> DecodeResult<MappingView<'s, ULineRecord>> {
     check_root_count(stored.num_units, &stored.units)?;
     stored.msegments.check_layout::<MSegRecord>(store)?;
-    MappingView::open(
+    MappingView::open_with(
         store,
         &stored.units,
         LineShared {
             store,
             msegments: &stored.msegments,
         },
+        verify,
     )
 }
 
-/// Lazy view over a stored `moving(region)` (three shared subarrays).
-pub fn view_mregion<'s>(
+/// Open a lazy view over a stored `moving(region)` (three shared
+/// subarrays).
+pub fn open_mregion<'s>(
     stored: &'s StoredMRegion,
     store: &'s PageStore,
+    verify: Verify,
 ) -> DecodeResult<MappingView<'s, URegionRecord>> {
     check_root_count(stored.num_units, &stored.units)?;
     stored.msegments.check_layout::<MSegRecord>(store)?;
     stored.mcycles.check_layout::<MCycleRecord>(store)?;
     stored.mfaces.check_layout::<MFaceRecord>(store)?;
-    MappingView::open(
+    MappingView::open_with(
         store,
         &stored.units,
         RegionShared {
@@ -610,7 +680,72 @@ pub fn view_mregion<'s>(
             mcycles: &stored.mcycles,
             mfaces: &stored.mfaces,
         },
+        verify,
     )
+}
+
+/// Lazy view over a stored `moving(bool)`.
+#[deprecated(note = "use `open_mbool(stored, store, Verify::Full)`")]
+pub fn view_mbool<'s>(
+    stored: &'s StoredMapping,
+    store: &'s PageStore,
+) -> DecodeResult<MappingView<'s, UBoolRecord>> {
+    open_mbool(stored, store, Verify::Full)
+}
+
+/// Lazy view over a stored `moving(real)`.
+#[deprecated(note = "use `open_mreal(stored, store, Verify::Full)`")]
+pub fn view_mreal<'s>(
+    stored: &'s StoredMapping,
+    store: &'s PageStore,
+) -> DecodeResult<MappingView<'s, URealRecord>> {
+    open_mreal(stored, store, Verify::Full)
+}
+
+/// Lazy view over a stored `moving(point)`.
+#[deprecated(note = "use `open_mpoint(stored, store, Verify::Full)`")]
+pub fn view_mpoint<'s>(
+    stored: &'s StoredMapping,
+    store: &'s PageStore,
+) -> DecodeResult<MappingView<'s, UPointRecord>> {
+    open_mpoint(stored, store, Verify::Full)
+}
+
+/// Lazy view over a stored `moving(point)` without the `O(n)`
+/// structural re-scan.
+#[deprecated(note = "use `open_mpoint(stored, store, Verify::Preverified)`")]
+pub fn view_mpoint_preverified<'s>(
+    stored: &'s StoredMapping,
+    store: &'s PageStore,
+) -> DecodeResult<MappingView<'s, UPointRecord>> {
+    open_mpoint(stored, store, Verify::Preverified)
+}
+
+/// Lazy view over a stored `moving(points)`.
+#[deprecated(note = "use `open_mpoints(stored, store, Verify::Full)`")]
+pub fn view_mpoints<'s>(
+    stored: &'s StoredMPoints,
+    store: &'s PageStore,
+) -> DecodeResult<MappingView<'s, UPointsRecord>> {
+    open_mpoints(stored, store, Verify::Full)
+}
+
+/// Lazy view over a stored `moving(line)`.
+#[deprecated(note = "use `open_mline(stored, store, Verify::Full)`")]
+pub fn view_mline<'s>(
+    stored: &'s StoredMLine,
+    store: &'s PageStore,
+) -> DecodeResult<MappingView<'s, ULineRecord>> {
+    open_mline(stored, store, Verify::Full)
+}
+
+/// Lazy view over a stored `moving(region)`.
+#[deprecated(note = "use `open_mregion(stored, store, Verify::Full)`")]
+pub fn view_mregion<'s>(
+    stored: &'s StoredMRegion,
+    store: &'s PageStore,
+) -> DecodeResult<MappingView<'s, URegionRecord>> {
+    open_mregion(stored, store, Verify::Full)
 }
 
 #[cfg(test)]
@@ -633,7 +768,7 @@ mod tests {
         let m = long_mpoint(50);
         let mut store = PageStore::new();
         let stored = save_mpoint(&m, &mut store);
-        let view = view_mpoint(&stored, &store).unwrap();
+        let view = open_mpoint(&stored, &store, Verify::Full).unwrap();
         assert_eq!(view.len(), m.num_units());
         for k in [-1.0, 0.0, 0.5, 17.25, 49.9, 50.0, 51.0] {
             assert_eq!(view.at_instant(t(k)), m.at_instant(t(k)), "t={k}");
@@ -650,7 +785,7 @@ mod tests {
         let m = long_mpoint(n);
         let mut store = PageStore::new();
         let stored = save_mpoint(&m, &mut store);
-        let view = view_mpoint(&stored, &store).unwrap();
+        let view = open_mpoint(&stored, &store, Verify::Full).unwrap();
         view.reset_counters();
         let v = view.at_instant(t(1234.5));
         assert!(v.is_def());
@@ -675,7 +810,7 @@ mod tests {
         let mut store = PageStore::new();
         let stored = save_mpoint(&m, &mut store);
         assert!(!stored.units.is_inline(), "large mapping goes external");
-        let view = view_mpoint(&stored, &store).unwrap();
+        let view = open_mpoint(&stored, &store, Verify::Full).unwrap();
         store.reset_counters();
         let _ = view.at_instant(t(2000.25));
         let full_pages = (n * UPointRecord::SIZE).div_ceil(crate::page::DEFAULT_PAGE_SIZE) as u64;
@@ -696,7 +831,7 @@ mod tests {
         .unwrap();
         let mut store = PageStore::new();
         let stored = save_mbool(&m, &mut store);
-        let view = view_mbool(&stored, &store).unwrap();
+        let view = open_mbool(&stored, &store, Verify::Full).unwrap();
         for k in [0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.5, 4.0, 9.0] {
             assert_eq!(view.at_instant(t(k)), m.at_instant(t(k)), "t={k}");
         }
@@ -721,7 +856,7 @@ mod tests {
         let m: MovingRegion = Mapping::try_new(vec![u1, u2]).unwrap();
         let mut store = PageStore::new();
         let stored = save_mregion(&m, &mut store);
-        let view = view_mregion(&stored, &store).unwrap();
+        let view = open_mregion(&stored, &store, Verify::Full).unwrap();
         view.reset_counters();
         for k in [0.0, 0.5, 1.0, 1.5, 2.0] {
             let a = m.at_instant(t(k)).unwrap();
@@ -741,7 +876,7 @@ mod tests {
         let m = long_mpoint(100);
         let mut store = PageStore::new();
         let stored = save_mpoint(&m, &mut store);
-        let view = view_mpoint(&stored, &store).unwrap();
+        let view = open_mpoint(&stored, &store, Verify::Full).unwrap();
         let p = mob_base::Periods::from_unmerged(vec![
             Interval::closed(t(10.5), t(12.5)),
             Interval::closed(t(80.0), t(81.0)),
@@ -758,7 +893,9 @@ mod tests {
         let m = long_mpoint(32);
         let mut store = PageStore::new();
         let stored = save_mpoint(&m, &mut store);
-        let view = view_mpoint(&stored, &store).unwrap();
+        let view = open_mpoint(&stored, &store, Verify::Full).unwrap();
+        // Growth is explicit: size the cache for the whole range first.
+        view.set_cache_capacity(view.len());
         view.reset_counters();
         view.warm(0..view.len()).unwrap();
         let warmed = view.units_decoded();
@@ -780,11 +917,51 @@ mod tests {
     }
 
     #[test]
+    fn warm_never_grows_the_cache_and_hits_stay_honest() {
+        // Regression: `warm` used to grow the cache capacity as a silent
+        // per-view side effect, so a "cold" view (default capacity)
+        // warmed over a large range would report every later probe as a
+        // cache hit. Now the prefetch is clipped to capacity and the
+        // capacity is untouched.
+        let m = long_mpoint(32);
+        let mut store = PageStore::new();
+        let stored = save_mpoint(&m, &mut store);
+        let view = open_mpoint(&stored, &store, Verify::Full).unwrap();
+        assert_eq!(view.cache_capacity(), DEFAULT_UNIT_CACHE);
+        view.reset_counters();
+        view.warm(0..view.len()).unwrap();
+        assert_eq!(
+            view.cache_capacity(),
+            DEFAULT_UNIT_CACHE,
+            "warm must not grow the cache"
+        );
+        assert_eq!(
+            view.units_decoded(),
+            DEFAULT_UNIT_CACHE as u64,
+            "prefetch is clipped to capacity"
+        );
+        // A sequential sweep over all units: only the warmed prefix can
+        // hit; the tail decodes honestly instead of claiming hits.
+        view.reset_counters();
+        let n = view.len();
+        for i in 0..n {
+            let _ = view.unit(i);
+        }
+        assert_eq!(view.cache_hits(), DEFAULT_UNIT_CACHE as u64);
+        assert_eq!(view.units_decoded(), (n - DEFAULT_UNIT_CACHE) as u64);
+        // Explicit growth is available, and shrinking evicts eagerly.
+        view.set_cache_capacity(n);
+        assert_eq!(view.cache_capacity(), n);
+        view.set_cache_capacity(0);
+        assert_eq!(view.cache_capacity(), 1, "capacity clamps to >= 1");
+    }
+
+    #[test]
     fn cache_evicts_least_recently_used() {
         let m = long_mpoint(64);
         let mut store = PageStore::new();
         let stored = save_mpoint(&m, &mut store);
-        let view = view_mpoint(&stored, &store).unwrap();
+        let view = open_mpoint(&stored, &store, Verify::Full).unwrap();
         let n = view.len();
         assert!(n > DEFAULT_UNIT_CACHE + 1, "need more units than slots");
         view.reset_counters();
@@ -808,9 +985,9 @@ mod tests {
         let mut store = PageStore::new();
         let stored = save_mpoint(&m, &mut store);
         // Full open once (the load-time verification).
-        let _ = view_mpoint(&stored, &store).unwrap();
+        let _ = open_mpoint(&stored, &store, Verify::Full).unwrap();
         store.reset_counters();
-        let view = view_mpoint_preverified(&stored, &store).unwrap();
+        let view = open_mpoint(&stored, &store, Verify::Preverified).unwrap();
         assert_eq!(
             store.pages_read(),
             0,
@@ -823,7 +1000,7 @@ mod tests {
         // Root-count damage is still caught by the O(1) checks.
         let mut bad = save_mpoint(&m, &mut store);
         bad.num_units += 1;
-        assert!(view_mpoint_preverified(&bad, &store).is_err());
+        assert!(open_mpoint(&bad, &store, Verify::Preverified).is_err());
     }
 
     #[test]
@@ -833,7 +1010,7 @@ mod tests {
         let mut stored = save_mpoint(&m, &mut store);
         stored.num_units += 1;
         assert!(matches!(
-            view_mpoint(&stored, &store),
+            open_mpoint(&stored, &store, Verify::Full),
             Err(DecodeError::CountMismatch { .. })
         ));
     }
@@ -861,7 +1038,7 @@ mod tests {
         };
         let _ = &mut store;
         assert!(matches!(
-            view_mpoint(&stored, &store),
+            open_mpoint(&stored, &store, Verify::Full),
             Err(DecodeError::Invariant(_))
         ));
     }
@@ -889,7 +1066,7 @@ mod tests {
             },
         };
         // In debug builds the deep check already runs at open.
-        match view_mbool(&stored, &store) {
+        match open_mbool(&stored, &store, Verify::Full) {
             Err(DecodeError::Invariant(iv)) => {
                 assert!(iv.clause().contains("canonicity"), "{iv}");
             }

@@ -43,20 +43,20 @@ fn exercise(bytes: &[u8]) -> Result<(), String> {
     let store = file.store();
     for (_, root) in file.entries() {
         macro_rules! moving {
-            ($stored:expr, $view:path, $load:path) => {{
-                let view = $view($stored, store).map_err(|e| e.to_string())?;
+            ($stored:expr, $open:path) => {{
+                let view = $open($stored, store, view::Verify::Full).map_err(|e| e.to_string())?;
                 view.validate().map_err(|e| e.to_string())?;
-                let loaded = $load($stored, store).map_err(|e| e.to_string())?;
+                let loaded = view.materialize_validated().map_err(|e| e.to_string())?;
                 loaded.validate().map_err(|e| e.to_string())?;
             }};
         }
         match root {
-            RootRecord::MBool(s) => moving!(s, view::view_mbool, mapping_store::load_mbool),
-            RootRecord::MReal(s) => moving!(s, view::view_mreal, mapping_store::load_mreal),
-            RootRecord::MPoint(s) => moving!(s, view::view_mpoint, mapping_store::load_mpoint),
-            RootRecord::MPoints(s) => moving!(s, view::view_mpoints, mapping_store::load_mpoints),
-            RootRecord::MLine(s) => moving!(s, view::view_mline, mapping_store::load_mline),
-            RootRecord::MRegion(s) => moving!(s, view::view_mregion, mapping_store::load_mregion),
+            RootRecord::MBool(s) => moving!(s, view::open_mbool),
+            RootRecord::MReal(s) => moving!(s, view::open_mreal),
+            RootRecord::MPoint(s) => moving!(s, view::open_mpoint),
+            RootRecord::MPoints(s) => moving!(s, view::open_mpoints),
+            RootRecord::MLine(s) => moving!(s, view::open_mline),
+            RootRecord::MRegion(s) => moving!(s, view::open_mregion),
             RootRecord::Line(s) => {
                 line_store::load_line(s, store).map_err(|e| e.to_string())?;
             }

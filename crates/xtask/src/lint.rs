@@ -1,6 +1,6 @@
 //! The repo-specific lint rules.
 //!
-//! Four rules, each with an allowlist file under `crates/xtask/allow/`
+//! Five rules, each with an allowlist file under `crates/xtask/allow/`
 //! and a fixture under `crates/xtask/fixtures/` proving it fires:
 //!
 //! | rule             | scope                              | forbids |
@@ -9,6 +9,7 @@
 //! | `narrowing_cast` | mob-storage, mob-core (non-test)   | `as u8/u16/u32/i8/i16/i32` (use `checked::count_u32` / `try_from`) |
 //! | `float_eq`       | base, spatial, core, storage (non-test, minus `real.rs`) | `==`/`!=` against raw `f64` (`.get()` or float literals) |
 //! | `crate_lints`    | every `crates/*/src/lib.rs`        | missing `#![forbid(unsafe_code)]` (+ `#![warn(missing_docs)]` outside shims) |
+//! | `no_raw_counter` | every `crates/*/src` except `obs` and shims (non-test) | bare `AtomicU64` / `Cell<u64>` counters (count through `mob-obs` instead) |
 //!
 //! All rules operate on *masked* source (comments/strings blanked, see
 //! [`crate::mask`]) and skip `#[cfg(test)]` regions, so doc examples and
@@ -44,7 +45,13 @@ impl std::fmt::Display for Violation {
 }
 
 /// Names of all rules (used by the self-test driver).
-pub const RULES: [&str; 4] = ["no_panic", "narrowing_cast", "float_eq", "crate_lints"];
+pub const RULES: [&str; 5] = [
+    "no_panic",
+    "narrowing_cast",
+    "float_eq",
+    "crate_lints",
+    "no_raw_counter",
+];
 
 const PANIC_TOKENS: [&str; 6] = [
     ".unwrap()",
@@ -56,6 +63,8 @@ const PANIC_TOKENS: [&str; 6] = [
 ];
 
 const NARROWING_TARGETS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+const COUNTER_TOKENS: [&str; 2] = ["AtomicU64", "Cell<u64>"];
 
 /// Run every rule over the repo rooted at `root`. Returns the surviving
 /// violations and any allowlist errors (unused entries, unreadable
@@ -97,6 +106,11 @@ pub fn run_rule(root: &Path, rule: &'static str, errors: &mut Vec<String>) -> Ve
             v
         }
         "crate_lints" => scan_crate_lints(root, errors),
+        "no_raw_counter" => {
+            let owned = counter_scope(root, errors);
+            let scope: Vec<&str> = owned.iter().map(String::as_str).collect();
+            scan_scope(root, rule, &scope, errors, scan_no_raw_counter)
+        }
         _ => {
             errors.push(format!("unknown rule `{rule}`"));
             Vec::new()
@@ -286,6 +300,68 @@ fn has_narrowing_cast(line: &str) -> bool {
             return true;
         }
         rest = after;
+    }
+    false
+}
+
+// ---- rule: no_raw_counter --------------------------------------------
+
+/// `crates/*/src` for every crate except `obs` (where raw atomics *are*
+/// the registry) and the `shim-*` crates (vendored API stand-ins).
+fn counter_scope(root: &Path, errors: &mut Vec<String>) -> Vec<String> {
+    let crates_dir = root.join("crates");
+    let entries = match std::fs::read_dir(&crates_dir) {
+        Ok(e) => e,
+        Err(e) => {
+            errors.push(format!("read_dir {}: {e}", crates_dir.display()));
+            return Vec::new();
+        }
+    };
+    let mut dirs: Vec<String> = entries
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name().to_string_lossy().to_string();
+            if name == "obs" || name.starts_with("shim-") || !e.path().join("src").is_dir() {
+                None
+            } else {
+                Some(format!("crates/{name}/src"))
+            }
+        })
+        .collect();
+    dirs.sort();
+    dirs
+}
+
+/// Match bare counter primitives (`AtomicU64`, `Cell<u64>`) on masked
+/// non-test lines. The preceding character must not be part of an
+/// identifier, so `RefCell<u64>` (interior mutability, not a counter)
+/// and names merely containing the token do not fire.
+pub fn scan_no_raw_counter(file: &MaskedFile) -> Vec<(usize, String, &'static str)> {
+    let mut out = Vec::new();
+    for (n, masked, raw) in file.code_lines() {
+        if COUNTER_TOKENS.iter().any(|t| has_bare_token(masked, t)) {
+            out.push((
+                n,
+                raw.trim().to_string(),
+                "count through mob-obs (metric!/Counter/LocalCounter/SharedCounter) \
+                 so the total lands in the registry and shows up in EXPLAIN",
+            ));
+        }
+    }
+    out
+}
+
+/// `token` occurs in `line` not immediately preceded by an identifier
+/// character.
+fn has_bare_token(line: &str, token: &str) -> bool {
+    let mut start = 0;
+    while let Some(k) = line[start..].find(token) {
+        let at = start + k;
+        let prev = line[..at].chars().next_back();
+        if !prev.is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return true;
+        }
+        start = at + token.len();
     }
     false
 }
@@ -499,7 +575,7 @@ fn apply_allowlist(root: &Path, rule: &str, raw: Vec<Violation>) -> (Vec<Violati
 /// lookalikes inside strings and comments).
 pub fn self_test(root: &Path) -> Result<(), Vec<String>> {
     let mut errors = Vec::new();
-    for rule in ["no_panic", "narrowing_cast", "float_eq"] {
+    for rule in ["no_panic", "narrowing_cast", "float_eq", "no_raw_counter"] {
         let fixture = root
             .join("crates/xtask/fixtures")
             .join(format!("{rule}.rs.fixture"));
@@ -523,6 +599,7 @@ pub fn self_test(root: &Path) -> Result<(), Vec<String>> {
         let hits: BTreeSet<usize> = match rule {
             "no_panic" => scan_no_panic(&file),
             "narrowing_cast" => scan_narrowing_cast(&file),
+            "no_raw_counter" => scan_no_raw_counter(&file),
             _ => scan_float_eq(&file),
         }
         .into_iter()

@@ -6,9 +6,9 @@
 
 use mob::gen::{plane_fleet, storm};
 use mob::storage::line_store::save_line;
-use mob::storage::mapping_store::{load_mpoint, save_mpoint, save_mregion};
+use mob::storage::mapping_store::{save_mpoint, save_mregion};
 use mob::storage::region_store::save_region;
-use mob::storage::{PageStore, TupleLayout};
+use mob::storage::{open_mpoint, PageStore, TupleLayout, Verify};
 
 fn main() {
     let mut store = PageStore::new();
@@ -42,7 +42,9 @@ fn main() {
 
     // Reading it back costs exactly those pages.
     store.reset_counters();
-    let reloaded = load_mpoint(&stored_big, &store).expect("store is well-formed");
+    let reloaded = open_mpoint(&stored_big, &store, Verify::Full)
+        .and_then(|v| v.materialize_validated())
+        .expect("store is well-formed");
     println!(
         "reload: {} pages read, value identical: {}",
         store.pages_read(),

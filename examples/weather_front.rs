@@ -9,8 +9,8 @@
 
 use mob::gen::{moving_front, FrontConfig};
 use mob::prelude::*;
-use mob::storage::mapping_store::{load_mline, save_mline};
-use mob::storage::PageStore;
+use mob::storage::mapping_store::save_mline;
+use mob::storage::{open_mline, PageStore, Verify};
 
 fn main() {
     let front = moving_front(
@@ -89,7 +89,9 @@ fn main() {
     // Persist and reload (Fig 7 layout with one shared msegments array).
     let mut store = PageStore::new();
     let stored = save_mline(&front, &mut store);
-    let back = load_mline(&stored, &store).expect("store is well-formed");
+    let back = open_mline(&stored, &store, Verify::Full)
+        .and_then(|v| v.materialize_validated())
+        .expect("store is well-formed");
     println!(
         "\nstored: {} unit records + {} mseg records; reload identical: {}",
         stored.num_units,

@@ -5,9 +5,9 @@
 use mob::gen::{plane_fleet, storm, taxi_fleet};
 use mob::prelude::*;
 use mob::rel::{close_encounters, closest_approach, long_flights, planes_relation};
-use mob::storage::mapping_store::{load_mpoint, load_mregion, save_mpoint, save_mregion};
+use mob::storage::mapping_store::{save_mpoint, save_mregion};
 use mob::storage::region_store::{load_region, save_region};
-use mob::storage::PageStore;
+use mob::storage::{open_mpoint, open_mregion, PageStore, Verify};
 
 #[test]
 fn queries_survive_storage_roundtrip() {
@@ -22,7 +22,9 @@ fn queries_survive_storage_roundtrip() {
             (
                 p.airline.clone(),
                 p.id.clone(),
-                load_mpoint(&stored, &store).expect("round-trip decodes"),
+                open_mpoint(&stored, &store, Verify::Full)
+                    .and_then(|v| v.materialize_validated())
+                    .expect("round-trip decodes"),
             )
         })
         .collect();
@@ -52,7 +54,9 @@ fn storm_tracking_pipeline() {
     // Store and reload the moving region.
     let mut store = PageStore::new();
     let stored = save_mregion(&hurricane, &mut store);
-    let back = load_mregion(&stored, &store).expect("round-trip decodes");
+    let back = open_mregion(&stored, &store, Verify::Full)
+        .and_then(|v| v.materialize_validated())
+        .expect("round-trip decodes");
 
     // Taxis vs the storm: the lifted inside must agree before/after
     // storage, and with per-instant evaluation.

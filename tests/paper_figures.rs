@@ -214,8 +214,8 @@ fn figure6_uregion_endpoint_degeneracy() {
 /// Figure 7: the mapping store — three units sharing one subarray.
 #[test]
 fn figure7_mapping_store_shape() {
-    use mob::storage::mapping_store::{load_mpoints, save_mpoints};
-    use mob::storage::{load_array, PageStore};
+    use mob::storage::mapping_store::save_mpoints;
+    use mob::storage::{load_array, open_mpoints, PageStore, Verify};
 
     let mk = |s: f64, e: f64, pts: &[(f64, f64)]| {
         UPoints::try_new(
@@ -240,7 +240,10 @@ fn figure7_mapping_store_shape() {
     let motions: Vec<PointMotion> =
         load_array(&stored.motions, &store).expect("saved array decodes");
     assert_eq!(motions.len(), 6);
-    assert_eq!(load_mpoints(&stored, &store), Ok(m));
+    let back = open_mpoints(&stored, &store, Verify::Full)
+        .unwrap()
+        .materialize_validated();
+    assert_eq!(back, Ok(m));
 }
 
 /// Figure 8: the refinement partition of two sets of time intervals.

@@ -12,9 +12,9 @@
 use mob::core::{batch_at_instant, UnitSeq};
 use mob::par::Pool;
 use mob::prelude::*;
-use mob::rel::{planes_relation, save_relation};
+use mob::rel::{planes_relation, save_relation, ScanOpts};
 use mob::storage::mapping_store::save_mpoint;
-use mob::storage::{view_mpoint, PageStore};
+use mob::storage::{open_mpoint, PageStore, Verify};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -104,7 +104,7 @@ proptest! {
         // decodes more units than it has probes or units.
         let mut store = PageStore::new();
         let stored = save_mpoint(&m, &mut store);
-        let view = view_mpoint(&stored, &store).expect("saved mapping reopens");
+        let view = open_mpoint(&stored, &store, Verify::Full).expect("saved mapping reopens");
         view.reset_counters();
         let batch_view = batch_at_instant(&view, &probes);
         prop_assert_eq!(batch_view, batch);
@@ -128,10 +128,10 @@ proptest! {
         x in instant_strategy(),
     ) {
         let ti = t(x);
-        let expect = rel.snapshot_at_with(Pool::with_threads(1), ti);
+        let expect = rel.snapshot_at(ti, &ScanOpts::new().threads(1)).0;
         // Same relation, any thread count.
         for threads in 2..=4usize {
-            let got = rel.snapshot_at_with(Pool::with_threads(threads), ti);
+            let got = rel.snapshot_at(ti, &ScanOpts::new().threads(threads)).0;
             prop_assert_eq!(&got, &expect, "{} threads", threads);
         }
         // Storage-backed relation: snapshots land in plain `point`
@@ -140,7 +140,7 @@ proptest! {
         let stored = save_relation(&rel, &mut store).expect("fleet saves");
         let opened = Relation::from_store(&stored, Arc::new(store)).expect("fleet reopens");
         for threads in 1..=4usize {
-            let got = opened.snapshot_at_with(Pool::with_threads(threads), ti);
+            let got = opened.snapshot_at(ti, &ScanOpts::new().threads(threads)).0;
             prop_assert_eq!(&got, &expect, "stored, {} threads", threads);
         }
     }
@@ -150,9 +150,9 @@ proptest! {
         rel in fleet_strategy(),
         zone in rect_region_strategy(),
     ) {
-        let expect = rel.filter_inside_with(Pool::with_threads(1), "flight", &zone);
+        let expect = rel.filter_inside("flight", &zone, &ScanOpts::new().threads(1)).expect("flight is an attribute").0;
         for threads in 2..=4usize {
-            let got = rel.filter_inside_with(Pool::with_threads(threads), "flight", &zone);
+            let got = rel.filter_inside("flight", &zone, &ScanOpts::new().threads(threads)).expect("flight is an attribute").0;
             prop_assert_eq!(&got, &expect, "{} threads", threads);
         }
         // Stored backend keeps `MPointRef` attributes, so compare by
@@ -161,7 +161,7 @@ proptest! {
         let stored = save_relation(&rel, &mut store).expect("fleet saves");
         let opened = Relation::from_store(&stored, Arc::new(store)).expect("fleet reopens");
         for threads in 1..=4usize {
-            let got = opened.filter_inside_with(Pool::with_threads(threads), "flight", &zone);
+            let got = opened.filter_inside("flight", &zone, &ScanOpts::new().threads(threads)).expect("flight is an attribute").0;
             prop_assert_eq!(ids(&got), ids(&expect), "stored, {} threads", threads);
         }
     }

@@ -2,7 +2,7 @@
 
 use mob::prelude::*;
 use mob::spatial::setops::{region_difference, region_intersection, region_union};
-use mob::storage::mapping_store::{load_mpoint, save_mpoint};
+use mob::storage::mapping_store::save_mpoint;
 use mob::storage::PageStore;
 use proptest::prelude::*;
 
@@ -211,7 +211,10 @@ proptest! {
     fn storage_roundtrip_mpoint(m in mpoint_strategy()) {
         let mut store = PageStore::new();
         let stored = save_mpoint(&m, &mut store);
-        prop_assert_eq!(load_mpoint(&stored, &store), Ok(m));
+        let back = mob::storage::open_mpoint(&stored, &store, mob::storage::Verify::Full)
+            .unwrap()
+            .materialize_validated();
+        prop_assert_eq!(back, Ok(m));
     }
 
     #[test]

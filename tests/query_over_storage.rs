@@ -16,7 +16,7 @@ use mob::rel::{
     close_encounters, load_relation, long_flights, planes_relation, save_relation, storm_exposure,
 };
 use mob::storage::mapping_store::{save_mpoint, save_mreal, save_mregion};
-use mob::storage::{view_mpoint, view_mreal, view_mregion, PageStore};
+use mob::storage::{open_mpoint, open_mreal, open_mregion, PageStore, Verify};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -75,7 +75,7 @@ proptest! {
     fn mpoint_at_instant_agrees(m in mpoint_strategy(), probes in proptest::collection::vec(probe_strategy(), 1..16)) {
         let mut store = PageStore::new();
         let stored = save_mpoint(&m, &mut store);
-        let view = view_mpoint(&stored, &store).expect("saved mapping opens");
+        let view = open_mpoint(&stored, &store, Verify::Full).expect("saved mapping opens");
         for p in probes {
             let ti = t(p);
             prop_assert_eq!(m.at_instant(ti), view.at_instant(ti));
@@ -90,7 +90,7 @@ proptest! {
         let speed: MovingReal = m.speed();
         let mut store = PageStore::new();
         let stored = save_mreal(&speed, &mut store);
-        let view = view_mreal(&stored, &store).expect("saved mapping opens");
+        let view = open_mreal(&stored, &store, Verify::Full).expect("saved mapping opens");
         for p in probes {
             let ti = t(p);
             prop_assert_eq!(speed.at_instant(ti), view.at_instant(ti));
@@ -102,7 +102,7 @@ proptest! {
     fn mregion_at_instant_agrees(m in mregion_strategy(), probes in proptest::collection::vec(probe_strategy(), 1..8)) {
         let mut store = PageStore::new();
         let stored = save_mregion(&m, &mut store);
-        let view = view_mregion(&stored, &store).expect("saved mapping opens");
+        let view = open_mregion(&stored, &store, Verify::Full).expect("saved mapping opens");
         for p in probes {
             let ti = t(p);
             prop_assert_eq!(m.at_instant(ti), view.at_instant(ti));
@@ -114,7 +114,7 @@ proptest! {
     fn mpoint_at_periods_agrees(m in mpoint_strategy()) {
         let mut store = PageStore::new();
         let stored = save_mpoint(&m, &mut store);
-        let view = view_mpoint(&stored, &store).expect("saved mapping opens");
+        let view = open_mpoint(&stored, &store, Verify::Full).expect("saved mapping opens");
         let periods = Periods::from_unmerged(vec![
             Interval::closed(t(0.5), t(2.25)),
             Interval::closed_open(t(4.0), t(5.5)),
@@ -193,7 +193,7 @@ fn closest_approach_seq_mixes_backends() {
     let b = MovingPoint::from_samples(&[(t(0.0), pt(2.0, 0.0)), (t(2.0), pt(0.0, 0.0))]);
     let mut store = PageStore::new();
     let stored = save_mpoint(&b, &mut store);
-    let view = view_mpoint(&stored, &store).expect("saved mapping opens");
+    let view = open_mpoint(&stored, &store, Verify::Full).expect("saved mapping opens");
     let mixed = mob::rel::closest_approach_seq(&a, &view);
     assert_eq!(mixed, mob::rel::closest_approach(&a, &b));
     assert_eq!(mixed, Val::Def(r(0.0)));
