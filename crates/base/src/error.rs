@@ -126,6 +126,26 @@ pub enum DecodeError {
     /// An I/O error while reading a store file (message only, so the
     /// error stays `Clone`/`PartialEq`).
     Io(String),
+    /// A stored checksum does not match the bytes it covers: the data
+    /// was damaged at rest (bit rot, torn write) and must not reach the
+    /// structural decoder.
+    ChecksumMismatch {
+        /// What was being verified (superblock, page frame, …).
+        what: &'static str,
+        /// Checksum recorded on disk.
+        expected: u64,
+        /// Checksum recomputed over the bytes found.
+        found: u64,
+    },
+    /// The value lives in a region of storage that failed its integrity
+    /// checks and has been quarantined: readers that can degrade
+    /// gracefully skip it, everything else refuses to decode it.
+    Quarantined {
+        /// What kind of stored object is quarantined.
+        what: &'static str,
+        /// Why it was quarantined (the first detected damage).
+        detail: String,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -167,6 +187,17 @@ impl fmt::Display for DecodeError {
             }
             DecodeError::Invariant(iv) => write!(f, "decode: {iv}"),
             DecodeError::Io(msg) => write!(f, "decode: i/o error: {msg}"),
+            DecodeError::ChecksumMismatch {
+                what,
+                expected,
+                found,
+            } => write!(
+                f,
+                "verify {what}: checksum mismatch (stored {expected:#018x}, computed {found:#018x})"
+            ),
+            DecodeError::Quarantined { what, detail } => {
+                write!(f, "quarantined {what}: {detail}")
+            }
         }
     }
 }

@@ -63,7 +63,7 @@ fn snapshot_threads(c: &mut Criterion) {
     for threads in [1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &th| {
             let opts = ScanOpts::new().threads(th);
-            b.iter(|| black_box(fleet.snapshot_at(probe, &opts).0));
+            b.iter(|| black_box(fleet.snapshot_at(probe, &opts).unwrap().0));
         });
     }
     group.finish();

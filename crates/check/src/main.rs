@@ -1,67 +1,154 @@
 //! `mob-check` — audit a serialized moving-objects store file.
 //!
 //! ```text
-//! mob-check <file>            audit an existing store file
-//! mob-check --demo <file>     write a generated demo store, then audit it
-//! mob-check --demo-seed N ... seed for --demo (default 42)
+//! mob-check <file>                  audit an existing store file
+//! mob-check verify <file>           same as the bare form
+//! mob-check verify --deep <file>    deep-verify a DURABLE SNAPSHOT IMAGE:
+//!                                   superblock + per-chunk checksums +
+//!                                   per-entry recoverability verdicts
+//! mob-check --demo <file>           write a generated demo store, audit it
+//! mob-check --demo-image <file>     write a durable SNAPSHOT IMAGE of the
+//!                                   demo store (input for verify --deep)
+//! mob-check --demo-seed N ...       seed for --demo / --self-test (default 42)
+//! mob-check --self-test             hermetic fault-injection self-test
 //! ```
 //!
-//! Exit status: 0 if every entry passes, 1 if any entry fails, 2 on
-//! usage or I/O errors.
+//! Exit status: 0 if every entry passes (for `--deep`: every entry
+//! intact), 1 if any entry fails, 2 on usage or I/O errors.
 
+use mob_storage::{FsIo, StoreIo};
+use std::path::Path;
 use std::process::ExitCode;
+
+/// Open a [`FsIo`] on the file's parent directory and return it with the
+/// bare file name — `FsIo` speaks a flat namespace, the CLI speaks paths.
+fn io_for(path: &str) -> Result<(FsIo, String), String> {
+    let p = Path::new(path);
+    let name = p
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| format!("{path}: not a file path"))?
+        .to_string();
+    let parent = match p.parent() {
+        Some(dir) if dir.as_os_str().is_empty() => Path::new("."),
+        Some(dir) => dir,
+        None => Path::new("."),
+    };
+    let io = FsIo::open(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
+    Ok((io, name))
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut demo = false;
+    let mut demo_image = false;
+    let mut deep = false;
+    let mut verify = false;
+    let mut self_test = false;
     let mut seed: u64 = 42;
     let mut path: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "verify" if path.is_none() && !verify => verify = true,
+            "--deep" => deep = true,
             "--demo" => demo = true,
+            "--demo-image" => demo_image = true,
+            "--self-test" => self_test = true,
             "--demo-seed" => match it.next().and_then(|s| s.parse().ok()) {
                 Some(s) => seed = s,
                 None => return usage("--demo-seed needs an integer"),
             },
             "-h" | "--help" => {
-                eprintln!("usage: mob-check [--demo [--demo-seed N]] <file>");
+                eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             _ if path.is_none() && !a.starts_with('-') => path = Some(a),
             _ => return usage(&format!("unexpected argument `{a}`")),
         }
     }
+    if deep && !verify {
+        return usage("--deep only applies to the `verify` subcommand");
+    }
+
+    if self_test {
+        return match mob_check::self_test(seed) {
+            Ok(summary) => {
+                println!("{summary}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("mob-check: self-test FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let Some(path) = path else {
         return usage("missing <file>");
     };
+    let (io, name) = match io_for(&path) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("mob-check: {e}");
+            return ExitCode::from(2);
+        }
+    };
 
-    if demo {
+    if demo || demo_image {
         let file = mob_check::demo_store_file(seed);
-        let bytes = match file.to_bytes() {
-            Ok(b) => b,
-            Err(e) => {
-                eprintln!("mob-check: serializing demo store failed: {e}");
-                return ExitCode::from(2);
+        let bytes = if demo_image {
+            match demo_image_bytes(&file) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("mob-check: committing demo image failed: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            match file.to_bytes() {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("mob-check: serializing demo store failed: {e}");
+                    return ExitCode::from(2);
+                }
             }
         };
-        if let Err(e) = std::fs::write(&path, &bytes) {
+        if let Err(e) = io.write_file(&name, &bytes).and_then(|()| io.sync(&name)) {
             eprintln!("mob-check: writing {path}: {e}");
             return ExitCode::from(2);
         }
+        let what = if demo_image {
+            "demo snapshot image"
+        } else {
+            "demo store"
+        };
         println!(
-            "wrote demo store ({} bytes, seed {seed}) to {path}",
+            "wrote {what} ({} bytes, seed {seed}) to {path}",
             bytes.len()
         );
     }
+    // A snapshot image only makes sense under the deep verifier.
+    let deep = deep || demo_image;
 
-    let bytes = match std::fs::read(&path) {
+    let bytes = match io.read_file(&name) {
         Ok(b) => b,
         Err(e) => {
             eprintln!("mob-check: reading {path}: {e}");
             return ExitCode::from(2);
         }
     };
+
+    if deep {
+        let report = mob_check::deep_verify_image(&bytes);
+        print!("{}", report.render());
+        return if report.all_intact() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
     let report = mob_check::audit_bytes(&bytes);
     print!("{}", report.render());
     if report.all_ok() {
@@ -71,7 +158,27 @@ fn main() -> ExitCode {
     }
 }
 
+/// Commit the demo store through the durable lifecycle (in memory) and
+/// return the resulting snapshot image bytes.
+fn demo_image_bytes(file: &mob_storage::StoreFile) -> Result<Vec<u8>, String> {
+    use mob_storage::{DurableStore, MemIo};
+    let dir = MemIo::new();
+    let mut store = DurableStore::create(dir.clone(), 4096).map_err(|e| e.to_string())?;
+    store.commit_store_file(file).map_err(|e| e.to_string())?;
+    let snap = dir
+        .list()
+        .map_err(|e| e.to_string())?
+        .into_iter()
+        .find(|n| n.starts_with("snap-"))
+        .ok_or("commit produced no snapshot")?;
+    dir.read_file(&snap).map_err(|e| e.to_string())
+}
+
+const USAGE: &str =
+    "usage: mob-check [verify [--deep]] [--demo|--demo-image [--demo-seed N]] <file>
+       mob-check --self-test [--demo-seed N]";
+
 fn usage(msg: &str) -> ExitCode {
-    eprintln!("mob-check: {msg}\nusage: mob-check [--demo [--demo-seed N]] <file>");
+    eprintln!("mob-check: {msg}\n{USAGE}");
     ExitCode::from(2)
 }

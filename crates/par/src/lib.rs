@@ -27,8 +27,9 @@
 //! # Observability
 //!
 //! The pool reports into `mob-obs`: `par.items` / `par.chunks` count
-//! the work dispatched, each dispatch is timed under a
-//! `par.chunked_map` / `par.chunked_for_each` span, and every worker
+//! the work dispatched (and `par.panics` the contained worker panics),
+//! each parallel dispatch is timed under a `par.chunked_map` span
+//! (`chunked_for_each` delegates to the map path), and every worker
 //! drains its thread-local span shard when its slice of work ends. The
 //! coordinator merges the shards **in worker-index order**
 //! ([`mob_obs::merge_shards`]) and replays them on its own thread
@@ -39,11 +40,73 @@
 //! drained: spans stay on the caller's shard, exactly as if the kernel
 //! had been called directly.
 
+//! # Panic containment
+//!
+//! A panicking per-item closure does **not** bring the process (or the
+//! sibling workers) down: every chunk runs under
+//! [`std::panic::catch_unwind`], the pool drains the remaining chunks,
+//! and [`Pool::try_chunked_map`] / [`Pool::try_chunked_for_each`]
+//! resurface a single structured [`PoolError`] naming the lowest
+//! panicking chunk. The infallible [`Pool::chunked_map`] /
+//! [`Pool::chunked_for_each`] re-panic with that message on the
+//! *caller's* thread — never a cross-thread join abort.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// A worker closure panicked. The pool catches the unwind per chunk,
+/// finishes (drains) the remaining chunks, and reports the failure with
+/// the **lowest** panicking chunk index — deterministic for every
+/// thread count, because every chunk is attempted regardless of where
+/// the first panic lands.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PoolError {
+    /// Index of the (contiguous, input-ordered) chunk whose closure
+    /// panicked. The lowest failing index is reported when several do.
+    pub chunk: usize,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker closure panicked in chunk {}: {}",
+            self.chunk, self.message
+        )
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Stringify a caught panic payload (`&str` and `String` payloads keep
+/// their text; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Fold the per-chunk errors gathered during a dispatch into the single
+/// reported [`PoolError`] (lowest chunk index), counting them in
+/// `par.panics`.
+fn first_error(mut errors: Vec<PoolError>) -> Option<PoolError> {
+    if errors.is_empty() {
+        return None;
+    }
+    mob_obs::metric!("par.panics").add(errors.len() as u64);
+    errors.sort_by_key(|e| e.chunk);
+    errors.into_iter().next()
+}
 
 /// Environment variable overriding the worker count (`0` or unset ⇒
 /// auto-detect from [`std::thread::available_parallelism`]).
@@ -109,37 +172,90 @@ impl Pool {
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
+        match self.try_chunked_map(items, f) {
+            Ok(out) => out,
+            // Re-panic on the caller's thread with the contained,
+            // structured message — never a scoped-join abort.
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Pool::chunked_map`] with **panic containment**: a panicking
+    /// closure yields `Err(`[`PoolError`]`)` naming the lowest
+    /// panicking chunk instead of unwinding through the pool. All
+    /// remaining chunks are still attempted (work is drained, sibling
+    /// workers are undisturbed), so the reported chunk is deterministic
+    /// for every thread count.
+    pub fn try_chunked_map<T, R, F>(&self, items: &[T], f: F) -> Result<Vec<R>, PoolError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
         let workers = self.threads.min(items.len()).max(1);
         mob_obs::metric!("par.items").add(items.len() as u64);
-        if workers == 1 {
-            // Inline path: spans land on the caller's own shard — do
-            // not drain it, the caller (or an outer EXPLAIN capture)
-            // owns it.
-            mob_obs::metric!("par.chunks").add(u64::from(!items.is_empty()));
-            return items.iter().map(f).collect();
-        }
-        let _span = mob_obs::span("par.chunked_map");
         // A few chunks per worker so a slow chunk does not serialize the
         // tail; chunks stay contiguous so output order is trivial to
         // restore.
         let chunk_size = chunk_size_for(items.len(), workers);
+        if workers == 1 {
+            // Inline path: spans land on the caller's own shard — do
+            // not drain it, the caller (or an outer EXPLAIN capture)
+            // owns it.
+            let mut out = Vec::with_capacity(items.len());
+            let mut errors = Vec::new();
+            let mut n_chunks = 0u64;
+            for (k, chunk) in items.chunks(chunk_size).enumerate() {
+                n_chunks += 1;
+                match catch_unwind(AssertUnwindSafe(|| {
+                    chunk.iter().map(&f).collect::<Vec<R>>()
+                })) {
+                    Ok(mut part) => out.append(&mut part),
+                    Err(payload) => errors.push(PoolError {
+                        chunk: k,
+                        message: panic_message(payload.as_ref()),
+                    }),
+                }
+            }
+            mob_obs::metric!("par.chunks").add(n_chunks);
+            if let Some(e) = first_error(errors) {
+                return Err(e);
+            }
+            return Ok(out);
+        }
+        let _span = mob_obs::span("par.chunked_map");
         let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
         mob_obs::metric!("par.chunks").add(chunks.len() as u64);
         let cursor = AtomicUsize::new(0);
         let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(chunks.len()));
+        let errors: Mutex<Vec<PoolError>> = Mutex::new(Vec::new());
         let obs = mob_obs::enabled();
         let shards: Mutex<Vec<(usize, Vec<mob_obs::SpanStat>)>> =
             Mutex::new(Vec::with_capacity(workers));
         std::thread::scope(|scope| {
-            let (chunks, cursor, done, shards, f) = (&chunks, &cursor, &done, &shards, &f);
+            let (chunks, cursor, done, errors, shards, f) =
+                (&chunks, &cursor, &done, &errors, &shards, &f);
             for w in 0..workers {
                 scope.spawn(move || {
                     loop {
                         let k = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(chunk) = chunks.get(k) else { break };
-                        let mapped: Vec<R> = chunk.iter().map(f).collect();
-                        if let Ok(mut d) = done.lock() {
-                            d.push((k, mapped));
+                        match catch_unwind(AssertUnwindSafe(|| {
+                            chunk.iter().map(f).collect::<Vec<R>>()
+                        })) {
+                            Ok(mapped) => {
+                                if let Ok(mut d) = done.lock() {
+                                    d.push((k, mapped));
+                                }
+                            }
+                            Err(payload) => {
+                                if let Ok(mut e) = errors.lock() {
+                                    e.push(PoolError {
+                                        chunk: k,
+                                        message: panic_message(payload.as_ref()),
+                                    });
+                                }
+                            }
                         }
                     }
                     if obs {
@@ -152,6 +268,13 @@ impl Pool {
         });
         if obs {
             merge_worker_shards(shards);
+        }
+        let gathered = match errors.into_inner() {
+            Ok(e) => e,
+            Err(poison) => poison.into_inner(),
+        };
+        if let Some(e) = first_error(gathered) {
+            return Err(e);
         }
         let mut parts = match done.into_inner() {
             Ok(p) => p,
@@ -163,7 +286,7 @@ impl Pool {
             out.append(&mut part);
         }
         debug_assert_eq!(out.len(), items.len(), "every chunk must be mapped");
-        out
+        Ok(out)
     }
 
     /// Run `f` on every item, in parallel, for its side effects only
@@ -174,41 +297,24 @@ impl Pool {
         T: Sync,
         F: Fn(&T) + Sync,
     {
-        let workers = self.threads.min(items.len()).max(1);
-        mob_obs::metric!("par.items").add(items.len() as u64);
-        if workers == 1 {
-            mob_obs::metric!("par.chunks").add(u64::from(!items.is_empty()));
-            items.iter().for_each(f);
-            return;
+        if let Err(e) = self.try_chunked_for_each(items, f) {
+            panic!("{e}");
         }
-        let _span = mob_obs::span("par.chunked_for_each");
-        let chunk_size = chunk_size_for(items.len(), workers);
-        let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
-        mob_obs::metric!("par.chunks").add(chunks.len() as u64);
-        let cursor = AtomicUsize::new(0);
-        let obs = mob_obs::enabled();
-        let shards: Mutex<Vec<(usize, Vec<mob_obs::SpanStat>)>> =
-            Mutex::new(Vec::with_capacity(workers));
-        std::thread::scope(|scope| {
-            let (chunks, cursor, shards, f) = (&chunks, &cursor, &shards, &f);
-            for w in 0..workers {
-                scope.spawn(move || {
-                    loop {
-                        let k = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(chunk) = chunks.get(k) else { break };
-                        chunk.iter().for_each(f);
-                    }
-                    if obs {
-                        if let Ok(mut s) = shards.lock() {
-                            s.push((w, mob_obs::take_thread_shard()));
-                        }
-                    }
-                });
-            }
-        });
-        if obs {
-            merge_worker_shards(shards);
-        }
+    }
+
+    /// [`Pool::chunked_for_each`] with panic containment (see
+    /// [`Pool::try_chunked_map`]): side effects of chunks scheduled
+    /// after a panic still run, the panic surfaces once as a
+    /// [`PoolError`].
+    pub fn try_chunked_for_each<T, F>(&self, items: &[T], f: F) -> Result<(), PoolError>
+    where
+        T: Sync,
+        F: Fn(&T) + Sync,
+    {
+        self.try_chunked_map(items, |item| {
+            f(item);
+        })
+        .map(|_| ())
     }
 }
 
@@ -290,6 +396,82 @@ mod tests {
                 assert!(cs * len.div_ceil(cs) >= len);
             }
         }
+    }
+
+    #[test]
+    fn panicking_closure_is_contained_at_one_and_four_threads() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1usize, 4] {
+            let pool = Pool::with_threads(threads);
+            let err = pool
+                .try_chunked_map(&items, |&x| {
+                    assert!(x != 37, "boom at {x}");
+                    x * 2
+                })
+                .unwrap_err();
+            assert!(err.message.contains("boom at 37"), "{threads}: {err}");
+            let cs = chunk_size_for(items.len(), threads.min(items.len()));
+            assert_eq!(err.chunk, 37 / cs, "{threads} threads");
+            assert!(err.to_string().contains("chunk"), "{err}");
+            // The pool survives: the very next dispatch is clean.
+            let ok = pool.try_chunked_map(&items, |&x| x + 1).unwrap();
+            assert_eq!(ok, (1..=100).collect::<Vec<u64>>(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn lowest_panicking_chunk_wins_deterministically() {
+        // Many panicking items: every chunk is attempted (remaining
+        // work drains), so the reported chunk is the lowest failing one
+        // for every thread count — and identical across repeats.
+        let items: Vec<u64> = (0..200).collect();
+        for threads in [1usize, 2, 4, 8] {
+            let pool = Pool::with_threads(threads);
+            for _ in 0..3 {
+                let err = pool
+                    .try_chunked_map(&items, |&x| {
+                        assert!(x % 10 != 3, "p{x}");
+                        x
+                    })
+                    .unwrap_err();
+                let cs = chunk_size_for(items.len(), threads.min(items.len()));
+                assert_eq!(err.chunk, 3 / cs, "{threads} threads");
+                assert!(err.message.contains("p3"), "{threads}: {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_contains_panics_too() {
+        let items: Vec<u64> = (0..64).collect();
+        for threads in [1usize, 4] {
+            let hits = AtomicU64::new(0);
+            let err = Pool::with_threads(threads)
+                .try_chunked_for_each(&items, |&x| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    assert!(x != 0, "first item explodes");
+                })
+                .unwrap_err();
+            assert_eq!(err.chunk, 0, "{threads} threads");
+            // Work drained: everything before the panic in chunk 0 plus
+            // all other chunks still ran.
+            let cs = chunk_size_for(items.len(), threads.min(items.len())) as u64;
+            assert_eq!(
+                hits.load(Ordering::Relaxed),
+                64 - cs + 1,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker closure panicked in chunk")]
+    fn infallible_map_repanics_on_the_caller_thread() {
+        let items: Vec<u64> = (0..32).collect();
+        Pool::with_threads(4).chunked_map(&items, |&x| {
+            assert!(x != 5, "contained");
+            x
+        });
     }
 
     #[test]

@@ -5,9 +5,10 @@
 //! chains).
 
 use crate::relation::{Relation, Tuple};
+use crate::scan::OnError;
 use crate::schema::Schema;
 use crate::value::{AttrType, AttrValue, MPointRef};
-use mob_base::error::{DecodeResult, Result};
+use mob_base::error::{DecodeError, DecodeResult, InvariantViolation, Result};
 use mob_base::{Real, Text, Val};
 use mob_storage::line_store::{
     load_line, load_points, save_line, save_points, StoredLine, StoredPoints,
@@ -93,7 +94,35 @@ fn save_attr(v: &AttrValue, store: &mut PageStore) -> Result<StoredAttr> {
         AttrValue::MReal(m) => StoredAttr::MReal(save_mreal(m, store)),
         AttrValue::MBool(m) => StoredAttr::MBool(save_mbool(m, store)),
         AttrValue::MRegion(m) => StoredAttr::MRegion(save_mregion(m, store)),
+        // A quarantined value has no bytes to save: persisting it would
+        // silently launder damage into a "clean" store.
+        AttrValue::Quarantined { ty, detail } => {
+            return Err(InvariantViolation::with_detail(
+                "save: attribute value is quarantined",
+                format!("{ty:?}: {detail}"),
+            ))
+        }
     })
+}
+
+/// The schema type a stored attribute decodes to (used to type the
+/// [`AttrValue::Quarantined`] placeholder when decoding is impossible).
+fn stored_attr_type(a: &StoredAttr) -> AttrType {
+    match a {
+        StoredAttr::Int(_) => AttrType::Int,
+        StoredAttr::Real(_) => AttrType::Real,
+        StoredAttr::Str(_) => AttrType::Str,
+        StoredAttr::Bool(_) => AttrType::Bool,
+        StoredAttr::Instant(_) => AttrType::Instant,
+        StoredAttr::Point(_) => AttrType::Point,
+        StoredAttr::Points(_) => AttrType::Points,
+        StoredAttr::Line(_) => AttrType::Line,
+        StoredAttr::Region(_) => AttrType::Region,
+        StoredAttr::MPoint(_) => AttrType::MPoint,
+        StoredAttr::MReal(_) => AttrType::MReal,
+        StoredAttr::MBool(_) => AttrType::MBool,
+        StoredAttr::MRegion(_) => AttrType::MRegion,
+    }
 }
 
 fn load_attr(a: &StoredAttr, store: &PageStore) -> DecodeResult<AttrValue> {
@@ -184,6 +213,35 @@ impl Relation {
     /// single-instant query costs `O(log n)` record reads instead of
     /// materializing all `n` units.
     pub fn from_store(stored: &StoredRelation, store: Arc<PageStore>) -> DecodeResult<Relation> {
+        Relation::from_store_with(stored, store, OnError::Fail)
+    }
+
+    /// [`Relation::from_store`] with an explicit damage policy — the
+    /// open path for stores recovered **degraded** (e.g.
+    /// `DurableStore::open_store_file_degraded` after bit rot), where
+    /// some page-store blobs are quarantined.
+    ///
+    /// Under [`OnError::Fail`] any quarantined attribute aborts the open
+    /// (identical to [`Relation::from_store`]). Under
+    /// [`OnError::SkipAndRecord`] a quarantined attribute becomes an
+    /// [`AttrValue::Quarantined`] placeholder — the relation opens with
+    /// every tuple present, healthy values fully queryable, and the
+    /// scans ([`Relation::snapshot_at`], [`Relation::filter_inside`])
+    /// apply their own `on_error` policy to the damaged tuples. Each
+    /// placeholder advances the `rel.attrs_quarantined` registry
+    /// counter.
+    ///
+    /// # Errors
+    ///
+    /// Structural damage (anything other than
+    /// [`DecodeError::Quarantined`]) always fails: degradation covers
+    /// values whose bytes are *known missing*, not records that decode
+    /// to nonsense.
+    pub fn from_store_with(
+        stored: &StoredRelation,
+        store: Arc<PageStore>,
+        on_error: OnError,
+    ) -> DecodeResult<Relation> {
         let attrs: Vec<(&str, AttrType)> = stored
             .schema
             .iter()
@@ -193,11 +251,24 @@ impl Relation {
         for t in &stored.tuples {
             let mut values = Vec::with_capacity(t.attrs.len());
             for a in &t.attrs {
-                values.push(match a {
+                let loaded = match a {
                     StoredAttr::MPoint(m) => {
-                        AttrValue::MPointRef(MPointRef::new(store.clone(), m.clone())?)
+                        MPointRef::new(store.clone(), m.clone()).map(AttrValue::MPointRef)
                     }
-                    other => load_attr(other, &store)?,
+                    other => load_attr(other, &store),
+                };
+                values.push(match loaded {
+                    Ok(v) => v,
+                    Err(e @ DecodeError::Quarantined { .. })
+                        if on_error == OnError::SkipAndRecord =>
+                    {
+                        mob_obs::metric!("rel.attrs_quarantined").add(1);
+                        AttrValue::Quarantined {
+                            ty: stored_attr_type(a),
+                            detail: e.to_string(),
+                        }
+                    }
+                    Err(e) => return Err(e),
                 });
             }
             rel.insert(Tuple::new(values))?;

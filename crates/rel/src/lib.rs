@@ -23,6 +23,6 @@ pub use queries::{
     planes_schema, storm_exposure,
 };
 pub use relation::{Relation, Tuple};
-pub use scan::{QueryStats, ScanOpts};
+pub use scan::{OnError, QueryStats, ScanOpts};
 pub use schema::Schema;
 pub use value::{AttrType, AttrValue, MPointRef, MPointSeq};

@@ -18,7 +18,7 @@
 use crate::relation::{Relation, Tuple};
 use crate::schema::Schema;
 use crate::value::{AttrType, AttrValue};
-use mob_base::error::Result;
+use mob_base::error::{DecodeError, DecodeResult};
 use mob_base::Instant;
 use mob_core::{inside_region_seq, UnitSeq};
 use mob_obs::{Registry, Snapshot};
@@ -36,6 +36,26 @@ use mob_spatial::Region;
 pub struct ScanOpts {
     pool: Pool,
     stats: bool,
+    on_error: OnError,
+}
+
+/// What a relation scan does when it meets a tuple carrying an
+/// [`AttrValue::Quarantined`] attribute (produced by a degraded open of
+/// a damaged store, [`Relation::from_store_with`]).
+///
+/// [`Relation::from_store_with`]: crate::Relation::from_store_with
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum OnError {
+    /// Abort the whole scan with [`DecodeError::Quarantined`] naming the
+    /// first damaged tuple. The default: damage is loud unless the
+    /// caller explicitly opts into degradation.
+    #[default]
+    Fail,
+    /// Drop the damaged tuple and keep scanning the healthy ones. Every
+    /// skip is recorded: the `scan.tuples_quarantined` registry counter
+    /// and [`QueryStats::tuples_quarantined`] both advance by the number
+    /// of tuples dropped.
+    SkipAndRecord,
 }
 
 impl Default for ScanOpts {
@@ -43,6 +63,7 @@ impl Default for ScanOpts {
         ScanOpts {
             pool: Pool::with_threads(1),
             stats: false,
+            on_error: OnError::Fail,
         }
     }
 }
@@ -81,6 +102,14 @@ impl ScanOpts {
         self.stats = on;
         self
     }
+
+    /// What to do with tuples carrying quarantined attribute values
+    /// (default: [`OnError::Fail`]).
+    #[must_use]
+    pub fn on_error(mut self, policy: OnError) -> ScanOpts {
+        self.on_error = policy;
+        self
+    }
 }
 
 /// What one relation scan did: the per-query observability summary
@@ -100,8 +129,19 @@ pub struct QueryStats {
     pub threads: usize,
     /// Wall time of the whole scan, in nanoseconds.
     pub wall_ns: u64,
+    /// Tuples dropped because an attribute value was quarantined
+    /// (always 0 under [`OnError::Fail`] — the scan errors instead).
+    pub tuples_quarantined: u64,
     /// Registry counter deltas caused while the scan ran.
     pub metrics: Snapshot,
+}
+
+impl QueryStats {
+    /// Fill in the quarantine tally after the observed section ran.
+    fn with_quarantined(mut self, n: u64) -> QueryStats {
+        self.tuples_quarantined = n;
+        self
+    }
 }
 
 /// Run `f` under a named span, optionally bracketed by registry
@@ -130,9 +170,34 @@ fn observed<R>(
             tuples,
             threads: opts.pool.threads(),
             wall_ns,
+            tuples_quarantined: 0,
             metrics,
         }),
     )
+}
+
+/// Apply the scan's [`OnError`] policy to per-tuple outcomes where
+/// `None` marks a tuple that carries a quarantined attribute: under
+/// [`OnError::Fail`] the first damaged tuple aborts the scan, under
+/// [`OnError::SkipAndRecord`] the damaged ones are counted (registry
+/// counter `scan.tuples_quarantined`) and the survivors returned.
+fn apply_on_error<T>(outcomes: Vec<Option<T>>, policy: OnError) -> DecodeResult<(Vec<T>, u64)> {
+    let quarantined = outcomes.iter().filter(|o| o.is_none()).count() as u64;
+    if quarantined > 0 {
+        if policy == OnError::Fail {
+            let first = outcomes.iter().position(Option::is_none).unwrap_or(0);
+            return Err(DecodeError::Quarantined {
+                what: "relation scan",
+                detail: format!(
+                    "tuple {first} carries a quarantined attribute \
+                     ({quarantined} damaged in total); rerun with \
+                     OnError::SkipAndRecord to scan around the damage"
+                ),
+            });
+        }
+        mob_obs::metric!("scan.tuples_quarantined").add(quarantined);
+    }
+    Ok((outcomes.into_iter().flatten().collect(), quarantined))
 }
 
 impl Relation {
@@ -144,37 +209,61 @@ impl Relation {
     /// Scheduling and observability are controlled by `opts`
     /// ([`ScanOpts::default`] = sequential, no stats); the result
     /// relation is identical for every pool width.
-    pub fn snapshot_at(&self, t: Instant, opts: &ScanOpts) -> (Relation, Option<QueryStats>) {
-        observed("rel.snapshot_at", opts, self.len(), |pool| {
-            let attrs: Vec<(String, AttrType)> = self
-                .schema()
-                .attrs()
-                .iter()
-                .map(|(n, ty)| {
-                    let ty = if *ty == AttrType::MPoint {
-                        AttrType::Point
-                    } else {
-                        *ty
-                    };
-                    (n.clone(), ty)
-                })
-                .collect();
-            let refs: Vec<(&str, AttrType)> =
-                attrs.iter().map(|(n, ty)| (n.as_str(), *ty)).collect();
-            let schema = Schema::new(&refs).expect("snapshot schema mirrors a valid schema");
-            let tuples = pool.chunked_map(self.tuples(), |tup| {
-                Tuple::new(
-                    tup.values()
-                        .iter()
-                        .map(|v| match v.as_mpoint_seq() {
-                            Some(seq) => AttrValue::Point(seq.at_instant(t)),
-                            None => v.clone(),
-                        })
-                        .collect(),
-                )
-            });
-            Relation::from_parts(schema, tuples)
-        })
+    ///
+    /// # Errors
+    ///
+    /// On a relation opened degraded ([`Relation::from_store_with`]),
+    /// tuples may carry [`AttrValue::Quarantined`] attributes; what
+    /// happens then is the [`ScanOpts::on_error`] policy — the default
+    /// [`OnError::Fail`] aborts with [`DecodeError::Quarantined`],
+    /// [`OnError::SkipAndRecord`] drops and counts the damaged tuples
+    /// ([`QueryStats::tuples_quarantined`]).
+    pub fn snapshot_at(
+        &self,
+        t: Instant,
+        opts: &ScanOpts,
+    ) -> DecodeResult<(Relation, Option<QueryStats>)> {
+        let (res, stats) = observed(
+            "rel.snapshot_at",
+            opts,
+            self.len(),
+            |pool| -> DecodeResult<(Relation, u64)> {
+                let attrs: Vec<(String, AttrType)> = self
+                    .schema()
+                    .attrs()
+                    .iter()
+                    .map(|(n, ty)| {
+                        let ty = if *ty == AttrType::MPoint {
+                            AttrType::Point
+                        } else {
+                            *ty
+                        };
+                        (n.clone(), ty)
+                    })
+                    .collect();
+                let refs: Vec<(&str, AttrType)> =
+                    attrs.iter().map(|(n, ty)| (n.as_str(), *ty)).collect();
+                let schema = Schema::new(&refs)?;
+                let outcomes = pool.chunked_map(self.tuples(), |tup| {
+                    if tup.values().iter().any(AttrValue::is_quarantined) {
+                        return None;
+                    }
+                    Some(Tuple::new(
+                        tup.values()
+                            .iter()
+                            .map(|v| match v.as_mpoint_seq() {
+                                Some(seq) => AttrValue::Point(seq.at_instant(t)),
+                                None => v.clone(),
+                            })
+                            .collect(),
+                    ))
+                });
+                let (tuples, quarantined) = apply_on_error(outcomes, opts.on_error)?;
+                Ok((Relation::from_parts(schema, tuples), quarantined))
+            },
+        );
+        let (rel, quarantined) = res?;
+        Ok((rel, stats.map(|s| s.with_quarantined(quarantined))))
     }
 
     /// Keep the tuples whose `moving(point)` attribute `attr` is ever
@@ -182,32 +271,48 @@ impl Relation {
     /// scan. Tuples whose attribute is not a moving point (or never
     /// inside) are dropped; input order is preserved.
     ///
+    /// # Errors
+    ///
     /// Fails (instead of panicking) when `attr` is not an attribute of
     /// the schema — the name is resolved through
-    /// [`Relation::try_attr`].
+    /// [`Relation::try_attr`]. Tuples carrying quarantined attributes
+    /// follow the [`ScanOpts::on_error`] policy, exactly as in
+    /// [`Relation::snapshot_at`].
     pub fn filter_inside(
         &self,
         attr: &str,
         region: &Region,
         opts: &ScanOpts,
-    ) -> Result<(Relation, Option<QueryStats>)> {
+    ) -> DecodeResult<(Relation, Option<QueryStats>)> {
         let idx = self.try_attr(attr)?;
-        Ok(observed("rel.filter_inside", opts, self.len(), |pool| {
-            let keep = pool.chunked_map(self.tuples(), |tup| {
-                tup.at(idx)
-                    .as_mpoint_seq()
-                    .map(|seq| !inside_region_seq(&seq, region).when_true().is_empty())
-                    .unwrap_or(false)
-            });
-            let tuples = self
-                .tuples()
-                .iter()
-                .zip(&keep)
-                .filter(|(_, k)| **k)
-                .map(|(t, _)| t.clone())
-                .collect();
-            Relation::from_parts(self.schema().clone(), tuples)
-        }))
+        let (res, stats) = observed(
+            "rel.filter_inside",
+            opts,
+            self.len(),
+            |pool| -> DecodeResult<(Relation, u64)> {
+                // Three-way per-tuple outcome: quarantined (None), kept
+                // (Some(Some(tuple))), filtered out (Some(None)).
+                let outcomes = pool.chunked_map(self.tuples(), |tup| {
+                    if tup.values().iter().any(AttrValue::is_quarantined) {
+                        return None;
+                    }
+                    let keep = tup
+                        .at(idx)
+                        .as_mpoint_seq()
+                        .map(|seq| !inside_region_seq(&seq, region).when_true().is_empty())
+                        .unwrap_or(false);
+                    Some(if keep { Some(tup.clone()) } else { None })
+                });
+                let (kept, quarantined) = apply_on_error(outcomes, opts.on_error)?;
+                let tuples = kept.into_iter().flatten().collect();
+                Ok((
+                    Relation::from_parts(self.schema().clone(), tuples),
+                    quarantined,
+                ))
+            },
+        );
+        let (rel, quarantined) = res?;
+        Ok((rel, stats.map(|s| s.with_quarantined(quarantined))))
     }
 }
 
@@ -243,7 +348,7 @@ mod tests {
     #[test]
     fn snapshot_replaces_mpoint_with_point() {
         let rel = fleet(7);
-        let (snap, stats) = rel.snapshot_at(t(5.0), &ScanOpts::default());
+        let (snap, stats) = rel.snapshot_at(t(5.0), &ScanOpts::default()).unwrap();
         assert!(stats.is_none(), "default opts carry no stats");
         assert_eq!(snap.len(), rel.len());
         let f = snap.attr("flight");
@@ -258,7 +363,7 @@ mod tests {
             }
         }
         // Outside every lifetime: all positions undefined, tuples kept.
-        let (missed, _) = rel.snapshot_at(t(99.0), &ScanOpts::default());
+        let (missed, _) = rel.snapshot_at(t(99.0), &ScanOpts::default()).unwrap();
         assert_eq!(missed.len(), rel.len());
         assert!(missed
             .tuples()
@@ -269,9 +374,11 @@ mod tests {
     #[test]
     fn snapshot_deterministic_across_thread_counts() {
         let rel = fleet(23);
-        let (expect, _) = rel.snapshot_at(t(3.25), &ScanOpts::default());
+        let (expect, _) = rel.snapshot_at(t(3.25), &ScanOpts::default()).unwrap();
         for threads in [2usize, 3, 4, 8] {
-            let (got, _) = rel.snapshot_at(t(3.25), &ScanOpts::new().threads(threads));
+            let (got, _) = rel
+                .snapshot_at(t(3.25), &ScanOpts::new().threads(threads))
+                .unwrap();
             assert_eq!(got, expect, "{threads} threads");
         }
     }
@@ -279,7 +386,9 @@ mod tests {
     #[test]
     fn snapshot_stats_report_the_scan() {
         let rel = fleet(23);
-        let (_, stats) = rel.snapshot_at(t(3.25), &ScanOpts::new().threads(4).stats(true));
+        let (_, stats) = rel
+            .snapshot_at(t(3.25), &ScanOpts::new().threads(4).stats(true))
+            .unwrap();
         let stats = stats.expect("stats requested");
         assert_eq!(stats.tuples, 23);
         assert_eq!(stats.threads, 4);
@@ -325,6 +434,70 @@ mod tests {
             .is_err());
     }
 
+    /// A fleet with tuple 2's mpoint replaced by a quarantine
+    /// placeholder (what a degraded open produces for a damaged blob).
+    fn damaged_fleet(n: usize) -> Relation {
+        let rel = fleet(n);
+        let mut out = Relation::new(rel.schema().clone());
+        for (i, tup) in rel.tuples().iter().enumerate() {
+            let values = tup
+                .values()
+                .iter()
+                .map(|v| {
+                    if i == 2 && v.attr_type() == AttrType::MPoint {
+                        AttrValue::Quarantined {
+                            ty: AttrType::MPoint,
+                            detail: "blob quarantined (test)".into(),
+                        }
+                    } else {
+                        v.clone()
+                    }
+                })
+                .collect();
+            out.insert(Tuple::new(values)).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn quarantined_tuples_follow_the_on_error_policy() {
+        let rel = damaged_fleet(6);
+        // Default policy: loud failure naming the damaged tuple.
+        let err = rel.snapshot_at(t(5.0), &ScanOpts::default()).unwrap_err();
+        assert!(err.to_string().contains("tuple 2"), "{err}");
+        let zone = Region::from_ring(rect_ring(-1.0, -1.0, 99.0, 99.0));
+        assert!(rel
+            .filter_inside("flight", &zone, &ScanOpts::default())
+            .is_err());
+
+        // SkipAndRecord: healthy tuples survive, the skip is counted.
+        for threads in [1usize, 4] {
+            let opts = ScanOpts::new()
+                .threads(threads)
+                .stats(true)
+                .on_error(OnError::SkipAndRecord);
+            let (snap, stats) = rel.snapshot_at(t(5.0), &opts).unwrap();
+            assert_eq!(snap.len(), 5, "{threads} threads");
+            let stats = stats.expect("stats requested");
+            assert_eq!(stats.tuples_quarantined, 1);
+            assert_eq!(stats.tuples, 6, "input cardinality unchanged");
+            let ids: Vec<&str> = snap
+                .tuples()
+                .iter()
+                .filter_map(|tup| tup.at(1).as_str())
+                .collect();
+            assert_eq!(ids, ["F0", "F1", "F3", "F4", "F5"]);
+            if mob_obs::enabled() {
+                assert!(stats.metrics.get("scan.tuples_quarantined") >= 1);
+            }
+
+            // The zone covers every flight; the damaged one still drops.
+            let (hit, fstats) = rel.filter_inside("flight", &zone, &opts).unwrap();
+            assert_eq!(hit.len(), 5);
+            assert_eq!(fstats.expect("stats").tuples_quarantined, 1);
+        }
+    }
+
     #[test]
     fn scans_agree_across_backends() {
         // The same fleet, in memory and opened from storage, must give
@@ -336,8 +509,8 @@ mod tests {
         let ti = t(6.5);
         let opts = ScanOpts::parallel();
         assert_eq!(
-            rel.snapshot_at(ti, &opts).0,
-            opened.snapshot_at(ti, &opts).0
+            rel.snapshot_at(ti, &opts).unwrap().0,
+            opened.snapshot_at(ti, &opts).unwrap().0
         );
         let zone = Region::from_ring(rect_ring(2.5, 0.0, 6.5, 10.0));
         let (a, _) = rel.filter_inside("flight", &zone, &opts).unwrap();

@@ -186,6 +186,20 @@ pub enum AttrValue {
     MBool(MovingBool),
     /// `moving(region)` value.
     MRegion(MovingRegion),
+    /// A value whose stored bytes failed their integrity checks during a
+    /// **degraded** open ([`crate::Relation::from_store_with`]): the
+    /// page-store blob behind it is quarantined, so the value cannot be
+    /// decoded. The variant keeps the tuple structurally intact — it
+    /// remembers the schema type the value would have had plus the first
+    /// detected damage — so relation scans can apply their
+    /// [`crate::scan::OnError`] policy per tuple instead of refusing to
+    /// open the whole relation.
+    Quarantined {
+        /// The schema type of the unavailable value.
+        ty: AttrType,
+        /// Why the value is unavailable (the quarantine diagnostic).
+        detail: String,
+    },
 }
 
 impl AttrValue {
@@ -206,6 +220,21 @@ impl AttrValue {
             AttrValue::MReal(_) => AttrType::MReal,
             AttrValue::MBool(_) => AttrType::MBool,
             AttrValue::MRegion(_) => AttrType::MRegion,
+            AttrValue::Quarantined { ty, .. } => *ty,
+        }
+    }
+
+    /// `true` when this value was quarantined by a degraded open and
+    /// carries no data ([`AttrValue::Quarantined`]).
+    pub fn is_quarantined(&self) -> bool {
+        matches!(self, AttrValue::Quarantined { .. })
+    }
+
+    /// The quarantine diagnostic, if this value is quarantined.
+    pub fn quarantine_detail(&self) -> Option<&str> {
+        match self {
+            AttrValue::Quarantined { detail, .. } => Some(detail),
+            _ => None,
         }
     }
 
@@ -334,6 +363,9 @@ impl fmt::Debug for AttrValue {
             AttrValue::MReal(v) => write!(f, "mreal({} units)", v.num_units()),
             AttrValue::MBool(v) => write!(f, "mbool({} units)", v.num_units()),
             AttrValue::MRegion(v) => write!(f, "mregion({} units)", v.num_units()),
+            AttrValue::Quarantined { ty, detail } => {
+                write!(f, "quarantined({ty:?}: {detail})")
+            }
         }
     }
 }
@@ -356,6 +388,20 @@ mod tests {
             AttrValue::MPoint(MovingPoint::empty()).attr_type(),
             AttrType::MPoint
         );
+    }
+
+    #[test]
+    fn quarantined_values() {
+        let q = AttrValue::Quarantined {
+            ty: AttrType::MPoint,
+            detail: "blob 3 quarantined".into(),
+        };
+        assert!(q.is_quarantined());
+        assert_eq!(q.attr_type(), AttrType::MPoint);
+        assert_eq!(q.quarantine_detail(), Some("blob 3 quarantined"));
+        assert!(q.as_mpoint_seq().is_none(), "no data behind a quarantine");
+        assert_eq!(format!("{q:?}"), "quarantined(MPoint: blob 3 quarantined)");
+        assert!(!AttrValue::int(1).is_quarantined());
     }
 
     #[test]

@@ -1,0 +1,642 @@
+//! Crash-consistent durable store files.
+//!
+//! A [`DurableStore`] keeps a sequence of *immutable, generation-numbered
+//! snapshot files* inside one [`StoreIo`] directory:
+//!
+//! ```text
+//! snap-0000000000000007.mob      ← previous committed generation
+//! snap-0000000000000008.mob      ← current committed generation
+//! tmp-0000000000000009.mob       ← a commit in flight (ignored by open)
+//! ```
+//!
+//! # Commit protocol (shadow write → fsync → atomic rename)
+//!
+//! ```text
+//!   commit(payload):
+//!     1. encode payload into a checksummed image  (pure, in memory)
+//!     2. write_file("tmp-<g>")                    ── crash here: old state
+//!     3. sync("tmp-<g>")                          ── crash here: old state
+//!     4. rename("tmp-<g>", "snap-<g>") + dir sync ── crash here: old OR new
+//!     5. prune snapshots older than <g>-1         ── crash here: new state
+//! ```
+//!
+//! A snapshot file is **never modified after it gains its final name**,
+//! so the previously committed generation stays byte-identical on disk
+//! while the next one is being shadow-written. Combined with the framing
+//! below, recovery ([`DurableStore::open`]) always yields exactly the
+//! *old* or the *new* committed payload — never a hybrid:
+//!
+//! * a crash before the rename leaves only a `tmp-` file, which `open`
+//!   ignores and deletes;
+//! * a crash during/after the rename leaves a `snap-` file that is
+//!   either fully valid (new state) or fails its checksums, in which
+//!   case `open` skips it, counts a `durable.recoveries` event and falls
+//!   back to the previous generation (old state).
+//!
+//! # Image framing
+//!
+//! Every byte of a snapshot file is covered by a checksum *before* any
+//! structural decoder touches it:
+//!
+//! ```text
+//! frame 0:   [crc u64 | len u32 | superblock (32 bytes)]
+//! frame 1…n: [crc u64 | len u32 | payload chunk (≤ chunk_size bytes)]
+//! ```
+//!
+//! The superblock records magic, format version, generation, chunk size
+//! and exact payload length, so every chunk frame's position and size is
+//! *computable* — a damaged chunk cannot desynchronize the reader. The
+//! strict decoder ([`DurableStore::open`]) rejects a file on the first
+//! bad frame; the degraded decoder ([`DurableStore::open_degraded`])
+//! requires only the superblock to be intact and reports the byte ranges
+//! of damaged chunks (`store.pages_corrupt`), letting the caller
+//! quarantine exactly the affected blobs via
+//! [`StoreFile::from_bytes_with_damage`](crate::store_file::StoreFile::from_bytes_with_damage)
+//! while healthy data keeps serving.
+
+use crate::io::StoreIo;
+use crate::page::{open_frame, seal_frame, validate_page_size, FRAME_OVERHEAD};
+use crate::store_file::StoreFile;
+use mob_base::{DecodeError, DecodeResult};
+
+/// Magic bytes identifying a durable snapshot image (version 1).
+pub const DURABLE_MAGIC: &[u8; 8] = b"MOBDUR01";
+
+/// Durable image format version written into every superblock.
+pub const DURABLE_VERSION: u32 = 1;
+
+/// Default chunk size for payload framing (one checksum per this many
+/// payload bytes).
+pub const DEFAULT_CHUNK_SIZE: usize = 4096;
+
+/// Serialized superblock length: magic(8) + version(4) + generation(8) +
+/// chunk_size(4) + payload_len(8).
+const SUPERBLOCK_LEN: usize = 32;
+
+/// Final name of a committed snapshot: zero-padded hex keeps
+/// lexicographic and numeric order identical.
+fn snapshot_name(generation: u64) -> String {
+    format!("snap-{generation:016x}.mob")
+}
+
+/// Shadow-write name for a commit in flight.
+fn tmp_name(generation: u64) -> String {
+    format!("tmp-{generation:016x}.mob")
+}
+
+/// Parse a snapshot file name back to its generation (`None` for
+/// anything that is not exactly a snapshot name).
+fn parse_snapshot_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("snap-")?.strip_suffix(".mob")?;
+    if hex.len() != 16 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// A decoded snapshot image, possibly with damaged (zero-filled) chunk
+/// ranges when decoded in degraded mode.
+#[derive(Debug, Clone)]
+pub struct DecodedImage {
+    /// Generation recorded in the (checksum-verified) superblock.
+    pub generation: u64,
+    /// Chunk size the payload was framed with.
+    pub chunk_size: usize,
+    /// The payload bytes. Damaged chunks are zero-filled; their ranges
+    /// are listed in `damaged`.
+    pub payload: Vec<u8>,
+    /// Half-open byte ranges of `payload` whose chunk frames failed
+    /// verification (empty after a strict decode).
+    pub damaged: Vec<(usize, usize)>,
+    /// Number of chunk frames that failed verification.
+    pub chunks_corrupt: usize,
+    /// Total number of chunk frames in the image.
+    pub chunks_total: usize,
+}
+
+struct Superblock {
+    generation: u64,
+    chunk_size: usize,
+    payload_len: usize,
+}
+
+fn get_u32_at(b: &[u8], at: usize) -> u32 {
+    let mut v = [0u8; 4];
+    v.copy_from_slice(&b[at..at + 4]);
+    u32::from_le_bytes(v)
+}
+
+fn get_u64_at(b: &[u8], at: usize) -> u64 {
+    let mut v = [0u8; 8];
+    v.copy_from_slice(&b[at..at + 8]);
+    u64::from_le_bytes(v)
+}
+
+fn parse_superblock(sb: &[u8]) -> DecodeResult<Superblock> {
+    if sb.len() != SUPERBLOCK_LEN {
+        return Err(DecodeError::CountMismatch {
+            what: "durable superblock",
+            expected: SUPERBLOCK_LEN,
+            found: sb.len(),
+        });
+    }
+    if &sb[..8] != DURABLE_MAGIC {
+        return Err(DecodeError::BadStructure {
+            what: "durable magic",
+            detail: format!("expected {DURABLE_MAGIC:?}, found {:?}", &sb[..8]),
+        });
+    }
+    let version = get_u32_at(sb, 8);
+    if version != DURABLE_VERSION {
+        return Err(DecodeError::BadTag {
+            what: "durable format version",
+            tag: version,
+        });
+    }
+    let generation = get_u64_at(sb, 12);
+    let chunk_size = validate_page_size(crate::checked::idx_usize(get_u32_at(sb, 20)))?;
+    let payload_len =
+        usize::try_from(get_u64_at(sb, 24)).map_err(|_| DecodeError::BadStructure {
+            what: "durable payload length",
+            detail: "payload length exceeds the address space".to_string(),
+        })?;
+    Ok(Superblock {
+        generation,
+        chunk_size,
+        payload_len,
+    })
+}
+
+/// Encode a payload into a snapshot image (superblock frame + chunk
+/// frames, every byte checksummed).
+fn encode_image(generation: u64, chunk_size: usize, payload: &[u8]) -> Vec<u8> {
+    let chunk_size = chunk_size.max(1);
+    let mut sb = Vec::with_capacity(SUPERBLOCK_LEN);
+    sb.extend_from_slice(DURABLE_MAGIC);
+    sb.extend_from_slice(&DURABLE_VERSION.to_le_bytes());
+    sb.extend_from_slice(&generation.to_le_bytes());
+    sb.extend_from_slice(&crate::checked::count_u32(chunk_size).to_le_bytes());
+    sb.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    let n_chunks = payload.len().div_ceil(chunk_size);
+    let mut out = Vec::with_capacity(
+        FRAME_OVERHEAD + SUPERBLOCK_LEN + payload.len() + n_chunks * FRAME_OVERHEAD,
+    );
+    seal_frame(&mut out, &sb);
+    for chunk in payload.chunks(chunk_size) {
+        seal_frame(&mut out, chunk);
+    }
+    out
+}
+
+/// Decode a snapshot image. In strict mode (`tolerate_chunk_damage =
+/// false`) any damage anywhere fails the decode; in degraded mode the
+/// superblock must verify but damaged chunk frames are zero-filled and
+/// reported in [`DecodedImage::damaged`].
+fn decode_image(bytes: &[u8], tolerate_chunk_damage: bool) -> DecodeResult<DecodedImage> {
+    let (sb_payload, mut rest) = open_frame(bytes)?;
+    let sb = parse_superblock(sb_payload)?;
+    let n_chunks = sb.payload_len.div_ceil(sb.chunk_size);
+    let mut payload = vec![0u8; sb.payload_len];
+    let mut damaged = Vec::new();
+    let mut off = 0usize;
+    for _ in 0..n_chunks {
+        let clen = sb.chunk_size.min(sb.payload_len - off);
+        let flen = FRAME_OVERHEAD + clen;
+        let mut ok = false;
+        if rest.len() >= flen {
+            match open_frame(&rest[..flen]) {
+                Ok((chunk, _)) if chunk.len() == clen => {
+                    payload[off..off + clen].copy_from_slice(chunk);
+                    ok = true;
+                }
+                Ok((chunk, _)) => {
+                    if !tolerate_chunk_damage {
+                        return Err(DecodeError::CountMismatch {
+                            what: "durable chunk frame",
+                            expected: clen,
+                            found: chunk.len(),
+                        });
+                    }
+                }
+                Err(e) => {
+                    if !tolerate_chunk_damage {
+                        return Err(e);
+                    }
+                }
+            }
+        } else if !tolerate_chunk_damage {
+            return Err(DecodeError::Truncated {
+                what: "durable chunk frame",
+                need: flen,
+                have: rest.len(),
+            });
+        }
+        if !ok {
+            damaged.push((off, off + clen));
+        }
+        rest = &rest[flen.min(rest.len())..];
+        off += clen;
+    }
+    if !rest.is_empty() && !tolerate_chunk_damage {
+        return Err(DecodeError::BadStructure {
+            what: "durable image",
+            detail: format!("{} trailing bytes after the last chunk frame", rest.len()),
+        });
+    }
+    let chunks_corrupt = damaged.len();
+    Ok(DecodedImage {
+        generation: sb.generation,
+        chunk_size: sb.chunk_size,
+        payload,
+        damaged,
+        chunks_corrupt,
+        chunks_total: n_chunks,
+    })
+}
+
+/// Strictly verify and decode a snapshot image: any damaged byte
+/// anywhere (superblock or chunk frames) fails with a frame-level error
+/// ([`DecodeError::ChecksumMismatch`] / [`DecodeError::Truncated`] /
+/// [`DecodeError::BadStructure`]) — the structural payload decoder is
+/// never reached with damaged bytes.
+pub fn decode_image_strict(bytes: &[u8]) -> DecodeResult<DecodedImage> {
+    decode_image(bytes, false)
+}
+
+/// Decode a snapshot image in degraded mode: the superblock must verify,
+/// damaged chunk frames are zero-filled and reported in
+/// [`DecodedImage::damaged`]. Used by `mob-check verify --deep` to
+/// report per-chunk verdicts on a damaged file.
+pub fn decode_image_degraded(bytes: &[u8]) -> DecodeResult<DecodedImage> {
+    decode_image(bytes, true)
+}
+
+/// A crash-consistent store of committed payload snapshots over a
+/// [`StoreIo`] directory (see the module docs for the protocol and the
+/// recovery invariant).
+pub struct DurableStore<I: StoreIo> {
+    io: I,
+    chunk_size: usize,
+    generation: u64,
+}
+
+/// Result payload of [`DurableStore::open_store_file_degraded`]: the
+/// store handle plus, when a committed snapshot exists, the decoded
+/// [`StoreFile`] and the ids of the blobs quarantined by at-rest damage.
+pub type DegradedOpen<I> = (DurableStore<I>, Option<(StoreFile, Vec<usize>)>);
+
+impl<I: StoreIo> DurableStore<I> {
+    /// Start a durable store in a **fresh** directory.
+    ///
+    /// Fails if the directory already contains snapshot files — reopen
+    /// those with [`DurableStore::open`] instead. The first
+    /// [`commit`](DurableStore::commit) writes generation 1.
+    pub fn create(io: I, chunk_size: usize) -> DecodeResult<DurableStore<I>> {
+        let chunk_size = validate_page_size(chunk_size)?;
+        if io.list()?.iter().any(|n| parse_snapshot_name(n).is_some()) {
+            return Err(DecodeError::Io(
+                "durable create: directory already contains snapshots (use open)".to_string(),
+            ));
+        }
+        Ok(DurableStore {
+            io,
+            chunk_size,
+            generation: 0,
+        })
+    }
+
+    /// Recover the latest fully-valid committed payload.
+    ///
+    /// Scans snapshot files in descending generation order and returns
+    /// the payload of the first one whose every frame verifies. Newer
+    /// snapshots that fail verification (a commit torn by a crash) are
+    /// skipped, deleted, and counted in the `durable.recoveries` metric;
+    /// stale `tmp-` shadow files are cleaned up. `Ok((store, None))`
+    /// means no committed generation exists (a fresh directory).
+    pub fn open(io: I, chunk_size: usize) -> DecodeResult<(DurableStore<I>, Option<Vec<u8>>)> {
+        let (store, img) = DurableStore::open_inner(io, chunk_size, false)?;
+        Ok((store, img.map(|i| i.payload)))
+    }
+
+    /// Recover the latest snapshot whose *superblock* is intact, even if
+    /// some chunk frames are damaged (bit rot on a committed file).
+    ///
+    /// Damaged chunks are zero-filled and their payload byte ranges
+    /// reported in the returned [`DecodedImage::damaged`], ready to feed
+    /// into
+    /// [`StoreFile::from_bytes_with_damage`](crate::store_file::StoreFile::from_bytes_with_damage).
+    /// Corrupt chunk frames are counted in the `store.pages_corrupt`
+    /// metric.
+    pub fn open_degraded(
+        io: I,
+        chunk_size: usize,
+    ) -> DecodeResult<(DurableStore<I>, Option<DecodedImage>)> {
+        DurableStore::open_inner(io, chunk_size, true)
+    }
+
+    fn open_inner(
+        io: I,
+        chunk_size: usize,
+        tolerate_chunk_damage: bool,
+    ) -> DecodeResult<(DurableStore<I>, Option<DecodedImage>)> {
+        let chunk_size = validate_page_size(chunk_size)?;
+        let names = io.list()?;
+        let mut snaps: Vec<(u64, &String)> = names
+            .iter()
+            .filter_map(|n| parse_snapshot_name(n).map(|g| (g, n)))
+            .collect();
+        snaps.sort_by_key(|&(gen, _)| std::cmp::Reverse(gen));
+        let mut skipped = 0u64;
+        let mut found: Option<DecodedImage> = None;
+        for (gen, name) in &snaps {
+            let decoded = io
+                .read_file(name)
+                .and_then(|bytes| decode_image(&bytes, tolerate_chunk_damage));
+            match decoded {
+                Ok(img) if img.generation == *gen => {
+                    found = Some(img);
+                    break;
+                }
+                Ok(_) | Err(_) => {
+                    // A torn or forged commit: never expose it, fall back
+                    // to the previous generation. Deleting it is
+                    // best-effort cleanup.
+                    skipped += 1;
+                    let _ = io.remove(name);
+                }
+            }
+        }
+        if skipped > 0 {
+            mob_obs::metric!("durable.recoveries").add(skipped);
+        }
+        if let Some(img) = &found {
+            if img.chunks_corrupt > 0 {
+                mob_obs::metric!("store.pages_corrupt").add(img.chunks_corrupt as u64);
+            }
+        }
+        // Shadow files from interrupted commits are dead weight.
+        for name in &names {
+            if name.starts_with("tmp-") {
+                let _ = io.remove(name);
+            }
+        }
+        let generation = found.as_ref().map_or(0, |img| img.generation);
+        Ok((
+            DurableStore {
+                io,
+                chunk_size,
+                generation,
+            },
+            found,
+        ))
+    }
+
+    /// Commit a payload as the next generation (shadow write → fsync →
+    /// atomic rename), then prune snapshots older than the previous
+    /// generation. Returns the committed generation number.
+    ///
+    /// On an error return the commit may or may not have become durable
+    /// (exactly like a real crashed process); reopening the directory
+    /// yields either the previous or the new payload, never a mix.
+    pub fn commit(&mut self, payload: &[u8]) -> DecodeResult<u64> {
+        let generation = self.generation + 1;
+        let image = encode_image(generation, self.chunk_size, payload);
+        let tmp = tmp_name(generation);
+        let fin = snapshot_name(generation);
+        self.io.write_file(&tmp, &image)?;
+        self.io.sync(&tmp)?;
+        self.io.rename(&tmp, &fin)?;
+        self.generation = generation;
+        mob_obs::metric!("durable.commits").add(1);
+        // Keep the current and the previous generation; everything older
+        // is garbage (and every prune happens *after* the new snapshot
+        // is durable).
+        for name in self.io.list()? {
+            if let Some(g) = parse_snapshot_name(&name) {
+                if g + 1 < generation {
+                    self.io.remove(&name)?;
+                }
+            }
+        }
+        Ok(generation)
+    }
+
+    /// Commit a whole [`StoreFile`] (its serialized bytes) as the next
+    /// generation.
+    pub fn commit_store_file(&mut self, file: &StoreFile) -> DecodeResult<u64> {
+        let bytes = file.to_bytes()?;
+        self.commit(&bytes)
+    }
+
+    /// Open the latest committed [`StoreFile`] strictly (any damage
+    /// anywhere is an error). `Ok(None)` for a fresh directory.
+    pub fn open_store_file(
+        io: I,
+        chunk_size: usize,
+    ) -> DecodeResult<(DurableStore<I>, Option<StoreFile>)> {
+        let (store, payload) = DurableStore::open(io, chunk_size)?;
+        let file = match payload {
+            Some(bytes) => Some(StoreFile::from_bytes(&bytes)?),
+            None => None,
+        };
+        Ok((store, file))
+    }
+
+    /// Open the latest committed [`StoreFile`] in degraded mode
+    /// (see [`DegradedOpen`]): blobs
+    /// whose bytes were damaged at rest are quarantined (reads surface
+    /// [`DecodeError::Quarantined`]) and their indices returned, while
+    /// the catalog and every healthy blob stay fully readable. Damage in
+    /// structural bytes still fails the open.
+    pub fn open_store_file_degraded(io: I, chunk_size: usize) -> DecodeResult<DegradedOpen<I>> {
+        let (store, img) = DurableStore::open_degraded(io, chunk_size)?;
+        let file = match img {
+            Some(img) => Some(StoreFile::from_bytes_with_damage(
+                &img.payload,
+                &img.damaged,
+            )?),
+            None => None,
+        };
+        Ok((store, file))
+    }
+
+    /// The last committed generation (0 if none).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The chunk size used for payload framing on future commits.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Borrow the underlying I/O layer.
+    pub fn io(&self) -> &I {
+        &self.io
+    }
+
+    /// Consume the store, returning the I/O layer (used by the fault
+    /// campaign to extract a crashed [`crate::io::FaultyIo`] and build
+    /// its survivor state).
+    pub fn into_io(self) -> I {
+        self.io
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::MemIo;
+
+    #[test]
+    fn snapshot_names_roundtrip_and_reject_noise() {
+        assert_eq!(parse_snapshot_name(&snapshot_name(0)), Some(0));
+        assert_eq!(
+            parse_snapshot_name(&snapshot_name(0xdead_beef)),
+            Some(0xdead_beef)
+        );
+        assert_eq!(
+            parse_snapshot_name(&snapshot_name(u64::MAX)),
+            Some(u64::MAX)
+        );
+        for bad in [
+            "snap-.mob",
+            "snap-123.mob",
+            "snap-00000000000000zz.mob",
+            "tmp-0000000000000001.mob",
+            "snap-0000000000000001.tmp",
+            "other",
+        ] {
+            assert_eq!(parse_snapshot_name(bad), None, "{bad}");
+        }
+    }
+
+    #[test]
+    fn image_roundtrip_across_chunk_boundaries() {
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 100] {
+            let payload: Vec<u8> = (0..len)
+                .map(|i| u8::try_from(i % 251).unwrap_or(0))
+                .collect();
+            let image = encode_image(7, 16, &payload);
+            let img = decode_image(&image, false).unwrap();
+            assert_eq!(img.generation, 7);
+            assert_eq!(img.chunk_size, 16);
+            assert_eq!(img.payload, payload);
+            assert!(img.damaged.is_empty());
+            assert_eq!(img.chunks_total, len.div_ceil(16));
+        }
+    }
+
+    #[test]
+    fn strict_decode_rejects_any_bit_flip() {
+        let payload: Vec<u8> = (0..100u8).collect();
+        let image = encode_image(3, 16, &payload);
+        for pos in 0..image.len() {
+            let mut bad = image.clone();
+            bad[pos] ^= 1;
+            assert!(
+                decode_image(&bad, false).is_err(),
+                "flip at byte {pos} escaped the strict decoder"
+            );
+        }
+    }
+
+    #[test]
+    fn degraded_decode_zero_fills_and_reports_damaged_chunks() {
+        let payload: Vec<u8> = (0..100u8).collect();
+        let image = encode_image(3, 16, &payload);
+        // Flip one byte inside chunk 2's frame. Frames: superblock at
+        // 0..12+32, then chunks of 12+16 bytes each.
+        let chunk2_frame = (12 + 32) + 2 * (12 + 16);
+        let mut bad = image.clone();
+        bad[chunk2_frame + 12 + 3] ^= 0x40;
+        let img = decode_image(&bad, true).unwrap();
+        assert_eq!(img.chunks_corrupt, 1);
+        assert_eq!(img.damaged, vec![(32, 48)]);
+        // Healthy bytes intact, damaged chunk zero-filled.
+        assert_eq!(&img.payload[..32], &payload[..32]);
+        assert_eq!(&img.payload[32..48], &[0u8; 16]);
+        assert_eq!(&img.payload[48..], &payload[48..]);
+        // Superblock damage is fatal even in degraded mode.
+        let mut sbbad = image.clone();
+        sbbad[12 + 3] ^= 1;
+        assert!(decode_image(&sbbad, true).is_err());
+    }
+
+    #[test]
+    fn commit_open_roundtrip_and_generation_sequence() {
+        let dir = MemIo::new();
+        let mut store = DurableStore::create(dir.clone(), 32).unwrap();
+        assert_eq!(store.generation(), 0);
+        assert_eq!(store.commit(b"alpha").unwrap(), 1);
+        assert_eq!(store.commit(b"beta").unwrap(), 2);
+        assert_eq!(store.commit(b"gamma").unwrap(), 3);
+        // Prune keeps exactly the current and previous generation.
+        let names = dir.list().unwrap();
+        assert_eq!(
+            names,
+            vec![snapshot_name(2), snapshot_name(3)],
+            "prune keeps current + previous"
+        );
+        let (reopened, payload) = DurableStore::open(dir.clone(), 32).unwrap();
+        assert_eq!(reopened.generation(), 3);
+        assert_eq!(payload.as_deref(), Some(&b"gamma"[..]));
+        // create refuses a populated directory.
+        assert!(DurableStore::create(dir, 32).is_err());
+    }
+
+    #[test]
+    fn open_fresh_directory_yields_none() {
+        let (store, payload) = DurableStore::open(MemIo::new(), 64).unwrap();
+        assert_eq!(store.generation(), 0);
+        assert!(payload.is_none());
+    }
+
+    #[test]
+    fn open_skips_a_torn_newest_snapshot() {
+        let dir = MemIo::new();
+        let mut store = DurableStore::create(dir.clone(), 32).unwrap();
+        store.commit(b"good old state").unwrap();
+        // Forge a torn generation-2 snapshot: valid name, damaged bytes.
+        let mut image = encode_image(2, 32, b"half-written new state");
+        let mid = image.len() / 2;
+        image.truncate(mid);
+        dir.write_file(&snapshot_name(2), &image).unwrap();
+        // And a stale shadow file.
+        dir.write_file(&tmp_name(3), b"junk").unwrap();
+        let (reopened, payload) = DurableStore::open(dir.clone(), 32).unwrap();
+        assert_eq!(payload.as_deref(), Some(&b"good old state"[..]));
+        assert_eq!(reopened.generation(), 1);
+        // The torn snapshot and the shadow file were cleaned up.
+        assert_eq!(dir.list().unwrap(), vec![snapshot_name(1)]);
+    }
+
+    #[test]
+    fn open_rejects_a_snapshot_whose_name_lies_about_its_generation() {
+        let dir = MemIo::new();
+        // A fully valid generation-1 image filed under the name of
+        // generation 5: the mismatch must not be trusted.
+        let image = encode_image(1, 32, b"impostor");
+        dir.write_file(&snapshot_name(5), &image).unwrap();
+        let (_, payload) = DurableStore::open(dir, 32).unwrap();
+        assert!(payload.is_none());
+    }
+
+    #[test]
+    fn zero_or_absurd_chunk_sizes_are_errors() {
+        assert!(DurableStore::create(MemIo::new(), 0).is_err());
+        assert!(DurableStore::open(MemIo::new(), usize::MAX).is_err());
+        // And arriving from a corrupt superblock: patch chunk_size to 0
+        // and re-seal the superblock frame so only the field is wrong.
+        let image = encode_image(1, 32, b"payload");
+        let mut sb = image[12..12 + 32].to_vec();
+        sb[20..24].copy_from_slice(&0u32.to_le_bytes());
+        let mut forged = Vec::new();
+        seal_frame(&mut forged, &sb);
+        forged.extend_from_slice(&image[12 + 32..]);
+        assert!(matches!(
+            decode_image(&forged, false),
+            Err(DecodeError::BadStructure { .. })
+        ));
+    }
+}

@@ -1,0 +1,665 @@
+//! `StoreIo` — the only gate between the storage layer and the world.
+//!
+//! Everything the durable store lifecycle ([`crate::durable`]) does to
+//! the outside world goes through this small trait: whole-file reads,
+//! whole-file writes, fsync, atomic rename, remove, list. Three
+//! implementations cover the whole test matrix:
+//!
+//! * [`MemIo`] — an in-memory directory (`BTreeMap` behind a mutex);
+//!   hermetic tests and the `mob-check --self-test` fixtures.
+//! * [`FsIo`] — real `std::fs` rooted at a directory. The *only* module
+//!   in the workspace allowed to call `std::fs` write paths (enforced by
+//!   the `no_unchecked_io` xtask lint).
+//! * [`FaultyIo`] — a deterministic, seeded fault injector wrapping any
+//!   inner `StoreIo`: crash points measured in *write units* (every
+//!   payload byte is one unit, every metadata operation one more), torn
+//!   writes at the crash point, loss or scrambling of un-synced data at
+//!   the crash, read-side bit flips, and forced operation errors. The
+//!   crash-consistency campaign sweeps its crash budget over every unit
+//!   of a commit.
+//!
+//! # Fault model
+//!
+//! [`FaultyIo`] models a page cache over a durable disk:
+//!
+//! * `write_file` lands in the **cache** only. If the crash budget runs
+//!   out mid-write, a prefix of the bytes lands (a torn write) and the
+//!   process is dead: every later operation fails with a crashed error.
+//! * `sync` flushes one file's cached content to the **disk** image.
+//! * `rename` is atomic in the cache; it flushes through to disk only
+//!   what the cache holds — renaming a never-synced file moves whatever
+//!   prefix the cache has (exactly the hazard that makes
+//!   *shadow-write → fsync → rename* an ordering, not a style choice).
+//! * At crash time the surviving state is: the disk image, plus — per
+//!   un-synced cached file — either nothing, a prefix, or a
+//!   same-length scramble, chosen by the seed ([`FaultMask`]).
+//!
+//! After a simulated crash, [`FaultyIo::into_survivor`] produces a clean
+//! [`MemIo`] holding exactly what a rebooted process would find.
+
+use crate::checksum::checksum64_seeded;
+use mob_base::{DecodeError, DecodeResult};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Abstract file operations for store files. All paths are flat names
+/// inside one logical directory; implementations may map them onto a
+/// real directory ([`FsIo`]) or a map ([`MemIo`]).
+pub trait StoreIo {
+    /// Read a whole file. Missing files are a [`DecodeError::Io`].
+    fn read_file(&self, name: &str) -> DecodeResult<Vec<u8>>;
+
+    /// Write (create or truncate) a whole file. Not durable until
+    /// [`StoreIo::sync`] — a crash may tear or drop it.
+    fn write_file(&self, name: &str, bytes: &[u8]) -> DecodeResult<()>;
+
+    /// Make a previously written file durable (fsync).
+    fn sync(&self, name: &str) -> DecodeResult<()>;
+
+    /// Atomically rename `from` over `to` (replacing `to` if present).
+    fn rename(&self, from: &str, to: &str) -> DecodeResult<()>;
+
+    /// Remove a file. Removing a missing file is an error.
+    fn remove(&self, name: &str) -> DecodeResult<()>;
+
+    /// Whether a file exists.
+    fn exists(&self, name: &str) -> bool;
+
+    /// All file names, sorted.
+    fn list(&self) -> DecodeResult<Vec<String>>;
+}
+
+fn io_err(op: &str, name: &str, detail: impl std::fmt::Display) -> DecodeError {
+    DecodeError::Io(format!("{op} {name}: {detail}"))
+}
+
+// ---------------------------------------------------------------------
+// MemIo
+// ---------------------------------------------------------------------
+
+/// An in-memory [`StoreIo`]: a map of name → bytes behind a mutex.
+/// Cloning shares the underlying directory (it is an `Arc`), so a
+/// [`FaultyIo`] wrapper and a post-crash reopen can observe the same
+/// surviving state.
+#[derive(Clone, Default)]
+pub struct MemIo {
+    files: Arc<Mutex<BTreeMap<String, Vec<u8>>>>,
+}
+
+impl MemIo {
+    /// An empty in-memory directory.
+    #[must_use]
+    pub fn new() -> MemIo {
+        MemIo::default()
+    }
+
+    /// Direct snapshot of the directory contents (test introspection).
+    pub fn dump(&self) -> Vec<(String, Vec<u8>)> {
+        match self.files.lock() {
+            Ok(f) => f.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+            Err(p) => p
+                .into_inner()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut BTreeMap<String, Vec<u8>>) -> R) -> R {
+        match self.files.lock() {
+            Ok(mut g) => f(&mut g),
+            Err(p) => f(&mut p.into_inner()),
+        }
+    }
+}
+
+impl StoreIo for MemIo {
+    fn read_file(&self, name: &str) -> DecodeResult<Vec<u8>> {
+        self.with(|f| {
+            f.get(name)
+                .cloned()
+                .ok_or_else(|| io_err("read", name, "no such file"))
+        })
+    }
+
+    fn write_file(&self, name: &str, bytes: &[u8]) -> DecodeResult<()> {
+        self.with(|f| {
+            f.insert(name.to_string(), bytes.to_vec());
+        });
+        Ok(())
+    }
+
+    fn sync(&self, _name: &str) -> DecodeResult<()> {
+        Ok(()) // memory is always "durable" for the process lifetime
+    }
+
+    fn rename(&self, from: &str, to: &str) -> DecodeResult<()> {
+        self.with(|f| match f.remove(from) {
+            Some(bytes) => {
+                f.insert(to.to_string(), bytes);
+                Ok(())
+            }
+            None => Err(io_err("rename", from, "no such file")),
+        })
+    }
+
+    fn remove(&self, name: &str) -> DecodeResult<()> {
+        self.with(|f| match f.remove(name) {
+            Some(_) => Ok(()),
+            None => Err(io_err("remove", name, "no such file")),
+        })
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.with(|f| f.contains_key(name))
+    }
+
+    fn list(&self) -> DecodeResult<Vec<String>> {
+        Ok(self.with(|f| f.keys().cloned().collect()))
+    }
+}
+
+// ---------------------------------------------------------------------
+// FsIo
+// ---------------------------------------------------------------------
+
+/// Real-filesystem [`StoreIo`] rooted at a directory.
+///
+/// This is the single sanctioned home of `std::fs` write calls in the
+/// workspace (`no_unchecked_io` lint): every other crate that wants to
+/// put bytes on disk goes through a `StoreIo`, which is what makes the
+/// fault-injection campaign representative of the real write path.
+pub struct FsIo {
+    root: PathBuf,
+}
+
+impl FsIo {
+    /// Open (creating if needed) a directory as the store root.
+    pub fn open(root: impl AsRef<Path>) -> DecodeResult<FsIo> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root)
+            .map_err(|e| io_err("create_dir_all", &root.display().to_string(), e))?;
+        Ok(FsIo { root })
+    }
+
+    /// The root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_of(&self, name: &str) -> DecodeResult<PathBuf> {
+        // Flat namespace only: no separators, no traversal.
+        if name.is_empty() || name.contains(['/', '\\']) || name == "." || name == ".." {
+            return Err(io_err("resolve", name, "invalid store file name"));
+        }
+        Ok(self.root.join(name))
+    }
+
+    fn sync_root_dir(&self) -> DecodeResult<()> {
+        // Directory fsync makes renames durable on POSIX. Failure to
+        // *open* the directory is reported; platforms where directories
+        // cannot be fsynced degrade silently (the rename itself is still
+        // atomic there).
+        let dir = std::fs::File::open(&self.root)
+            .map_err(|e| io_err("open dir", &self.root.display().to_string(), e))?;
+        let _ = dir.sync_all();
+        Ok(())
+    }
+}
+
+impl StoreIo for FsIo {
+    fn read_file(&self, name: &str) -> DecodeResult<Vec<u8>> {
+        let path = self.path_of(name)?;
+        std::fs::read(&path).map_err(|e| io_err("read", name, e))
+    }
+
+    fn write_file(&self, name: &str, bytes: &[u8]) -> DecodeResult<()> {
+        let path = self.path_of(name)?;
+        let mut f = std::fs::File::create(&path).map_err(|e| io_err("create", name, e))?;
+        f.write_all(bytes).map_err(|e| io_err("write", name, e))?;
+        Ok(())
+    }
+
+    fn sync(&self, name: &str) -> DecodeResult<()> {
+        let path = self.path_of(name)?;
+        let f = std::fs::File::open(&path).map_err(|e| io_err("open", name, e))?;
+        f.sync_all().map_err(|e| io_err("fsync", name, e))
+    }
+
+    fn rename(&self, from: &str, to: &str) -> DecodeResult<()> {
+        let from_p = self.path_of(from)?;
+        let to_p = self.path_of(to)?;
+        std::fs::rename(&from_p, &to_p).map_err(|e| io_err("rename", from, e))?;
+        self.sync_root_dir()
+    }
+
+    fn remove(&self, name: &str) -> DecodeResult<()> {
+        let path = self.path_of(name)?;
+        std::fs::remove_file(&path).map_err(|e| io_err("remove", name, e))
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.path_of(name).map(|p| p.exists()).unwrap_or(false)
+    }
+
+    fn list(&self) -> DecodeResult<Vec<String>> {
+        let rd = std::fs::read_dir(&self.root)
+            .map_err(|e| io_err("read_dir", &self.root.display().to_string(), e))?;
+        let mut out: Vec<String> = rd
+            .flatten()
+            .filter(|e| e.path().is_file())
+            .map(|e| e.file_name().to_string_lossy().to_string())
+            .collect();
+        out.sort();
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------
+// FaultyIo
+// ---------------------------------------------------------------------
+
+/// What happens to each un-synced cached file at crash time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultMask {
+    /// Un-synced writes survive intact (a kind filesystem).
+    KeepUnsynced,
+    /// Un-synced writes are truncated to a seed-chosen prefix.
+    DropUnsynced,
+    /// Un-synced writes keep their length but a seed-chosen suffix is
+    /// scrambled (the page cache wrote some pages, not others).
+    ScrambleUnsynced,
+}
+
+/// All fault masks, for campaign sweeps.
+pub const FAULT_MASKS: [FaultMask; 3] = [
+    FaultMask::KeepUnsynced,
+    FaultMask::DropUnsynced,
+    FaultMask::ScrambleUnsynced,
+];
+
+#[derive(Default)]
+struct FaultState {
+    /// Un-flushed file contents (the page cache).
+    cache: BTreeMap<String, Vec<u8>>,
+    /// Names written since their last sync (what a crash may damage).
+    dirty: BTreeMap<String, ()>,
+    /// Write units consumed so far.
+    spent: u64,
+    /// Whether the crash point has fired.
+    crashed: bool,
+}
+
+/// A deterministic fault-injecting [`StoreIo`] wrapper (see the module
+/// docs for the fault model).
+pub struct FaultyIo {
+    disk: MemIo,
+    state: Mutex<FaultState>,
+    /// Crash after this many write units (`u64::MAX` = never).
+    crash_after: u64,
+    mask: FaultMask,
+    seed: u64,
+    /// Flip this many read-side bits per `read_file` (bit rot).
+    read_flips: u32,
+}
+
+impl FaultyIo {
+    /// Wrap `disk` with a crash point at `crash_after` write units and
+    /// the given un-synced-data policy. `seed` drives every
+    /// pseudo-random choice (truncation points, scramble bytes, read
+    /// flips), so a `(crash_after, mask, seed)` triple is fully
+    /// reproducible.
+    #[must_use]
+    pub fn new(disk: MemIo, crash_after: u64, mask: FaultMask, seed: u64) -> FaultyIo {
+        FaultyIo {
+            disk,
+            state: Mutex::new(FaultState::default()),
+            crash_after,
+            mask,
+            seed,
+            read_flips: 0,
+        }
+    }
+
+    /// A wrapper that never crashes but flips `flips` deterministic bits
+    /// in every `read_file` result (bit rot / bad sector injection).
+    #[must_use]
+    pub fn with_read_flips(disk: MemIo, flips: u32, seed: u64) -> FaultyIo {
+        FaultyIo {
+            disk,
+            state: Mutex::new(FaultState::default()),
+            crash_after: u64::MAX,
+            mask: FaultMask::KeepUnsynced,
+            seed,
+            read_flips: flips,
+        }
+    }
+
+    /// Total write units a workload would consume (run it against a
+    /// `crash_after = u64::MAX` wrapper, then ask). Sweeping
+    /// `0..=write_units()` visits **every** crash point of the workload.
+    #[must_use]
+    pub fn write_units(&self) -> u64 {
+        self.with_state(|s| s.spent)
+    }
+
+    /// Whether the crash point has fired.
+    #[must_use]
+    pub fn crashed(&self) -> bool {
+        self.with_state(|s| s.crashed)
+    }
+
+    /// Tear down the dead process: apply the fault mask to every
+    /// un-synced cached file and return the surviving durable state as a
+    /// clean [`MemIo`] — what a rebooted process finds.
+    #[must_use]
+    pub fn into_survivor(self) -> MemIo {
+        let state = match self.state.into_inner() {
+            Ok(s) => s,
+            Err(p) => p.into_inner(),
+        };
+        let seed = self.seed;
+        let mask = self.mask;
+        let disk = self.disk;
+        for (name, ()) in &state.dirty {
+            let Some(cached) = state.cache.get(name) else {
+                continue;
+            };
+            let file_seed = checksum64_seeded(name.as_bytes(), seed);
+            match mask {
+                FaultMask::KeepUnsynced => {
+                    let _ = disk.write_file(name, cached);
+                }
+                FaultMask::DropUnsynced => {
+                    // Keep a seed-chosen prefix (possibly empty, possibly
+                    // everything — the filesystem wrote some pages).
+                    let keep = if cached.is_empty() {
+                        0
+                    } else {
+                        usize::try_from(file_seed % (cached.len() as u64 + 1)).unwrap_or(0)
+                    };
+                    let _ = disk.write_file(name, &cached[..keep]);
+                }
+                FaultMask::ScrambleUnsynced => {
+                    let mut bytes = cached.clone();
+                    if !bytes.is_empty() {
+                        let from = usize::try_from(file_seed % (bytes.len() as u64)).unwrap_or(0);
+                        for (i, b) in bytes.iter_mut().enumerate().skip(from) {
+                            let r = checksum64_seeded(&(i as u64).to_le_bytes(), file_seed);
+                            *b ^= u8::try_from(r & 0xff).unwrap_or(1);
+                        }
+                    }
+                    let _ = disk.write_file(name, &bytes);
+                }
+            }
+        }
+        // Synced files already live on `disk`; cached-but-clean files
+        // were flushed by `sync`. Nothing else survives.
+        disk
+    }
+
+    fn with_state<R>(&self, f: impl FnOnce(&mut FaultState) -> R) -> R {
+        match self.state.lock() {
+            Ok(mut g) => f(&mut g),
+            Err(p) => f(&mut p.into_inner()),
+        }
+    }
+
+    /// Spend `cost` write units; returns how many were granted before
+    /// the crash point (and marks the crash once the budget is gone).
+    fn spend(&self, cost: u64) -> DecodeResult<u64> {
+        self.with_state(|s| {
+            if s.crashed {
+                return Err(DecodeError::Io("simulated crash: process is dead".into()));
+            }
+            let budget = self.crash_after.saturating_sub(s.spent);
+            let granted = budget.min(cost);
+            s.spent += granted;
+            if granted < cost {
+                s.crashed = true;
+            }
+            Ok(granted)
+        })
+    }
+
+    fn crashed_err() -> DecodeError {
+        DecodeError::Io("simulated crash: torn write".into())
+    }
+
+    /// Current content of `name` as the process sees it (cache over
+    /// disk).
+    fn visible(&self, name: &str) -> DecodeResult<Vec<u8>> {
+        let cached = self.with_state(|s| s.cache.get(name).cloned());
+        match cached {
+            Some(b) => Ok(b),
+            None => self.disk.read_file(name),
+        }
+    }
+}
+
+impl StoreIo for FaultyIo {
+    fn read_file(&self, name: &str) -> DecodeResult<Vec<u8>> {
+        self.spend(0)?; // dead processes do not read
+        let mut bytes = self.visible(name)?;
+        if self.read_flips > 0 && !bytes.is_empty() {
+            let file_seed = checksum64_seeded(name.as_bytes(), self.seed ^ 0xB17F);
+            for k in 0..u64::from(self.read_flips) {
+                let r = checksum64_seeded(&k.to_le_bytes(), file_seed);
+                let pos = usize::try_from(r % (bytes.len() as u64)).unwrap_or(0);
+                bytes[pos] ^= 1 << ((r >> 32) & 7);
+            }
+        }
+        Ok(bytes)
+    }
+
+    fn write_file(&self, name: &str, bytes: &[u8]) -> DecodeResult<()> {
+        let granted = self.spend(bytes.len() as u64)?;
+        let torn = granted < bytes.len() as u64;
+        let landed = usize::try_from(granted).unwrap_or(bytes.len());
+        self.with_state(|s| {
+            s.cache.insert(name.to_string(), bytes[..landed].to_vec());
+            s.dirty.insert(name.to_string(), ());
+        });
+        if torn {
+            Err(Self::crashed_err())
+        } else {
+            Ok(())
+        }
+    }
+
+    fn sync(&self, name: &str) -> DecodeResult<()> {
+        let granted = self.spend(1)?;
+        if granted < 1 {
+            return Err(Self::crashed_err());
+        }
+        let cached = self.with_state(|s| {
+            s.dirty.remove(name);
+            s.cache.get(name).cloned()
+        });
+        if let Some(bytes) = cached {
+            self.disk.write_file(name, &bytes)?;
+        }
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> DecodeResult<()> {
+        let granted = self.spend(1)?;
+        if granted < 1 {
+            return Err(Self::crashed_err());
+        }
+        // Atomic in the visible namespace; what lands on disk is
+        // whatever the cache holds (possibly a torn prefix, if the
+        // caller skipped the fsync).
+        let content = self.visible(from)?;
+        let was_dirty = self.with_state(|s| {
+            let dirty = s.dirty.remove(from).is_some();
+            s.cache.remove(from);
+            dirty
+        });
+        if self.disk.exists(from) {
+            self.disk.remove(from)?;
+        }
+        if was_dirty {
+            // The rename's directory update is durable (journaled
+            // metadata), but the *data* it points at keeps its un-synced
+            // status: model by re-dirtying under the new name.
+            self.with_state(|s| {
+                s.cache.insert(to.to_string(), content.clone());
+                s.dirty.insert(to.to_string(), ());
+            });
+            // Ensure the name exists on disk even if the data is later
+            // damaged by the crash mask.
+            self.disk.write_file(to, &content)?;
+        } else {
+            self.disk.write_file(to, &content)?;
+        }
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) -> DecodeResult<()> {
+        let granted = self.spend(1)?;
+        if granted < 1 {
+            return Err(Self::crashed_err());
+        }
+        let had_cache = self.with_state(|s| {
+            s.dirty.remove(name);
+            s.cache.remove(name).is_some()
+        });
+        if self.disk.exists(name) {
+            self.disk.remove(name)?;
+        } else if !had_cache {
+            return Err(io_err("remove", name, "no such file"));
+        }
+        Ok(())
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        if self.crashed() {
+            return false;
+        }
+        self.with_state(|s| s.cache.contains_key(name)) || self.disk.exists(name)
+    }
+
+    fn list(&self) -> DecodeResult<Vec<String>> {
+        self.spend(0)?;
+        let mut names = self.disk.list()?;
+        self.with_state(|s| names.extend(s.cache.keys().cloned()));
+        names.sort();
+        names.dedup();
+        Ok(names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_io_roundtrip_and_errors() {
+        let io = MemIo::new();
+        assert!(io.read_file("a").is_err());
+        io.write_file("a", b"hello").unwrap();
+        assert_eq!(io.read_file("a").unwrap(), b"hello");
+        assert!(io.exists("a"));
+        io.sync("a").unwrap();
+        io.rename("a", "b").unwrap();
+        assert!(!io.exists("a"));
+        assert_eq!(io.read_file("b").unwrap(), b"hello");
+        assert_eq!(io.list().unwrap(), vec!["b".to_string()]);
+        io.remove("b").unwrap();
+        assert!(io.remove("b").is_err());
+        assert!(io.rename("b", "c").is_err());
+    }
+
+    #[test]
+    fn fs_io_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("mob-io-test-{}", std::process::id()));
+        let io = FsIo::open(&dir).unwrap();
+        io.write_file("x.bin", &[1, 2, 3]).unwrap();
+        io.sync("x.bin").unwrap();
+        assert_eq!(io.read_file("x.bin").unwrap(), vec![1, 2, 3]);
+        io.rename("x.bin", "y.bin").unwrap();
+        assert!(io.exists("y.bin") && !io.exists("x.bin"));
+        assert_eq!(io.list().unwrap(), vec!["y.bin".to_string()]);
+        io.remove("y.bin").unwrap();
+        // Traversal is rejected.
+        assert!(io.write_file("../evil", b"x").is_err());
+        assert!(io.write_file("a/b", b"x").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faulty_io_counts_units_and_tears_writes() {
+        // Budget-free run to count units.
+        let io = FaultyIo::new(MemIo::new(), u64::MAX, FaultMask::KeepUnsynced, 1);
+        io.write_file("f", &[9; 10]).unwrap();
+        io.sync("f").unwrap();
+        io.rename("f", "g").unwrap();
+        assert_eq!(io.write_units(), 12); // 10 bytes + sync + rename
+        assert!(!io.crashed());
+
+        // Crash mid-write: 4 of 10 bytes land, everything after fails.
+        let io = FaultyIo::new(MemIo::new(), 4, FaultMask::KeepUnsynced, 1);
+        assert!(io.write_file("f", &[9; 10]).is_err());
+        assert!(io.crashed());
+        assert!(io.sync("f").is_err());
+        let survivor = io.into_survivor();
+        assert_eq!(survivor.read_file("f").unwrap(), vec![9; 4]);
+    }
+
+    #[test]
+    fn unsynced_data_obeys_the_fault_mask() {
+        for mask in FAULT_MASKS {
+            // Write 8 bytes un-synced, then crash on the sync (budget 8
+            // covers the write, not the sync op).
+            let io = FaultyIo::new(MemIo::new(), 8, mask, 7);
+            io.write_file("f", &[0xAB; 8]).unwrap();
+            assert!(io.sync("f").is_err());
+            let survivor = io.into_survivor();
+            let got = survivor.read_file("f").unwrap_or_default();
+            match mask {
+                FaultMask::KeepUnsynced => assert_eq!(got, vec![0xAB; 8]),
+                FaultMask::DropUnsynced => {
+                    assert!(got.len() <= 8);
+                    assert!(got.iter().all(|&b| b == 0xAB));
+                }
+                FaultMask::ScrambleUnsynced => assert_eq!(got.len(), 8),
+            }
+        }
+    }
+
+    #[test]
+    fn synced_data_survives_every_mask() {
+        for mask in FAULT_MASKS {
+            let io = FaultyIo::new(MemIo::new(), 10, mask, 3);
+            io.write_file("f", &[1, 2, 3]).unwrap();
+            io.sync("f").unwrap();
+            // Crash later, on an unrelated write.
+            let _ = io.write_file("g", &[0; 100]);
+            let survivor = io.into_survivor();
+            assert_eq!(survivor.read_file("f").unwrap(), vec![1, 2, 3], "{mask:?}");
+        }
+    }
+
+    #[test]
+    fn read_flips_are_deterministic() {
+        let disk = MemIo::new();
+        disk.write_file("f", &[0u8; 64]).unwrap();
+        let a = FaultyIo::with_read_flips(disk.clone(), 3, 99)
+            .read_file("f")
+            .unwrap();
+        let b = FaultyIo::with_read_flips(disk.clone(), 3, 99)
+            .read_file("f")
+            .unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, vec![0u8; 64]);
+        // At most 3 bytes differ (flips may collide).
+        let diffs = a.iter().filter(|&&x| x != 0).count();
+        assert!((1..=3).contains(&diffs));
+        // The underlying disk is untouched.
+        assert_eq!(disk.read_file("f").unwrap(), vec![0u8; 64]);
+    }
+}

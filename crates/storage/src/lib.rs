@@ -5,7 +5,17 @@
 //! only), a fixed *root record* per value, and *database arrays* that are
 //! stored inline or in separate page chains depending on size \[DG98\].
 //!
-//! * [`page::PageStore`] — a simulated page store with I/O counters;
+//! * [`page::PageStore`] — a simulated page store with I/O counters,
+//!   blob quarantine, and checksummed page frames;
+//! * [`io`](mod@crate::io) — the [`io::StoreIo`] gate to the outside
+//!   world: in-memory, real-filesystem, and deterministic
+//!   fault-injecting ([`io::FaultyIo`]) implementations;
+//! * [`durable`](mod@crate::durable) — crash-consistent snapshot files
+//!   ([`durable::DurableStore`]): shadow write → fsync → atomic rename,
+//!   generation-numbered immutable snapshots, strict and degraded
+//!   recovery;
+//! * [`checksum`](mod@crate::checksum) — the dependency-free 64-bit
+//!   content checksum sealing every durable byte;
 //! * [`record::FixedRecord`] — pointer-free fixed-size records;
 //! * [`dbarray`] — database arrays with automatic inline/external
 //!   placement and Fig 7's *subarrays*;
@@ -23,7 +33,10 @@
 #![warn(missing_docs)]
 
 pub mod checked;
+pub mod checksum;
 pub mod dbarray;
+pub mod durable;
+pub mod io;
 pub mod line_store;
 pub mod mapping_store;
 pub mod page;
@@ -34,11 +47,20 @@ pub mod store_file;
 pub mod tuple;
 pub mod view;
 
+pub use checksum::{checksum64, checksum64_seeded, CHECKSUM_SEED};
 pub use dbarray::{
     load_array, read_array_bytes, read_subarray, save_array, Placement, SavedArray, SubArrayRef,
     INLINE_THRESHOLD,
 };
-pub use page::{BlobId, PageStore, DEFAULT_PAGE_SIZE};
+pub use durable::{
+    decode_image_degraded, decode_image_strict, DecodedImage, DurableStore, DEFAULT_CHUNK_SIZE,
+    DURABLE_MAGIC, DURABLE_VERSION,
+};
+pub use io::{FaultMask, FaultyIo, FsIo, MemIo, StoreIo, FAULT_MASKS};
+pub use page::{
+    open_frame, seal_frame, validate_page_size, BlobId, PageStore, DEFAULT_PAGE_SIZE,
+    FRAME_OVERHEAD, MAX_PAGE_SIZE,
+};
 pub use record::FixedRecord;
 pub use store_file::{RootRecord, StoreFile};
 pub use tuple::TupleLayout;

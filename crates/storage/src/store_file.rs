@@ -115,11 +115,15 @@ impl StoreFile {
     }
 
     /// Create an empty store file with a custom page size.
-    pub fn with_page_size(page_size: usize) -> StoreFile {
-        StoreFile {
-            store: PageStore::with_page_size(page_size),
+    ///
+    /// Zero and absurd page sizes are a [`DecodeError`] (see
+    /// [`crate::page::validate_page_size`]), never a panic — the same
+    /// chokepoint a decoded superblock page size goes through.
+    pub fn with_page_size(page_size: usize) -> DecodeResult<StoreFile> {
+        Ok(StoreFile {
+            store: PageStore::with_page_size(page_size)?,
             entries: Vec::new(),
-        }
+        })
     }
 
     /// The underlying page store (for reads and view construction).
@@ -145,6 +149,13 @@ impl StoreFile {
     /// Look up a root record by name.
     pub fn get(&self, name: &str) -> Option<&RootRecord> {
         self.entries.iter().find(|(n, _)| n == name).map(|(_, r)| r)
+    }
+
+    /// Decompose into the page store and the catalog entries — for
+    /// layers that need an **owning** store handle (e.g. wrapping it in
+    /// an `Arc<PageStore>` shared across relation-scan workers).
+    pub fn into_parts(self) -> (PageStore, Vec<(String, RootRecord)>) {
+        (self.store, self.entries)
     }
 
     /// Resolve a catalog entry fallibly: a missing name is a
@@ -276,6 +287,73 @@ impl StoreFile {
     /// blobs is *not* checked here — that is the auditor's job (open
     /// views / load values and validate them).
     pub fn from_bytes(bytes: &[u8]) -> DecodeResult<StoreFile> {
+        Ok(StoreFile::decode(bytes)?.0)
+    }
+
+    /// Decode a store file from bytes with known-damaged byte ranges,
+    /// quarantining blobs instead of trusting their contents.
+    ///
+    /// `damaged` lists half-open byte ranges `(start, end)` of `bytes`
+    /// that failed an integrity check upstream (a durable-file page
+    /// frame whose checksum did not match). The decode proceeds as long
+    /// as the damage is confined to **blob data bytes**: each affected
+    /// blob is [quarantined](PageStore::mark_quarantined) so later reads
+    /// surface [`DecodeError::Quarantined`] rather than corrupt data,
+    /// while every healthy blob and the whole catalog stay readable.
+    ///
+    /// Damage touching *structural* bytes (magic, counts, lengths,
+    /// catalog entries, root records) means the file's shape itself is
+    /// untrusted, so the whole decode fails with
+    /// [`DecodeError::Quarantined`] naming the offending range.
+    ///
+    /// Returns the store file plus the sorted indices of the blobs that
+    /// were quarantined.
+    pub fn from_bytes_with_damage(
+        bytes: &[u8],
+        damaged: &[(usize, usize)],
+    ) -> DecodeResult<(StoreFile, Vec<usize>)> {
+        let (mut file, blob_ranges) = StoreFile::decode(bytes)?;
+        let mut quarantined = Vec::new();
+        for &(dmg_start, dmg_end) in damaged {
+            if dmg_start >= dmg_end {
+                continue;
+            }
+            // Every damaged byte must fall inside some blob's data
+            // bytes; walk the damage left to right across blob ranges.
+            let mut pos = dmg_start;
+            while pos < dmg_end {
+                match blob_ranges
+                    .iter()
+                    .enumerate()
+                    .find(|(_, &(s, e))| s <= pos && pos < e)
+                {
+                    Some((idx, &(_, blob_end))) => {
+                        file.store.mark_quarantined(BlobId::from_index(idx))?;
+                        if !quarantined.contains(&idx) {
+                            quarantined.push(idx);
+                        }
+                        pos = blob_end;
+                    }
+                    None => {
+                        return Err(DecodeError::Quarantined {
+                            what: "store file structure",
+                            detail: format!(
+                                "damaged bytes {dmg_start}..{dmg_end} touch structural \
+                                 byte {pos} outside all blob data"
+                            ),
+                        })
+                    }
+                }
+            }
+        }
+        quarantined.sort_unstable();
+        Ok((file, quarantined))
+    }
+
+    /// Shared decode path: returns the store file plus, for each blob in
+    /// [`BlobId::index`] order, the half-open byte range its **data
+    /// bytes** (not its length prefix) occupy inside `bytes`.
+    fn decode(bytes: &[u8]) -> DecodeResult<(StoreFile, Vec<(usize, usize)>)> {
         let mut cur = Cursor::new(bytes);
         let magic = cur.take(MAGIC.len(), "store file magic")?;
         if magic != MAGIC {
@@ -285,17 +363,14 @@ impl StoreFile {
             });
         }
         let page_size = cur.take_u32("store file page size")?;
-        if page_size == 0 {
-            return Err(DecodeError::BadStructure {
-                what: "store file page size",
-                detail: "page size must be positive".to_string(),
-            });
-        }
-        let mut store = PageStore::with_page_size(crate::checked::idx_usize(page_size));
+        let mut store = PageStore::with_page_size(crate::checked::idx_usize(page_size))?;
         let n_blobs = cur.take_u32("store file blob count")?;
+        let mut blob_ranges = Vec::new();
         for _ in 0..n_blobs {
             let len = cur.take_u32("store file blob length")?;
+            let start = cur.pos;
             let blob = cur.take(crate::checked::idx_usize(len), "store file blob bytes")?;
+            blob_ranges.push((start, cur.pos));
             store.write_blob(blob);
         }
         let n_entries = cur.take_u32("store file entry count")?;
@@ -324,7 +399,7 @@ impl StoreFile {
             });
         }
         store.reset_counters();
-        Ok(StoreFile { store, entries })
+        Ok((StoreFile { store, entries }, blob_ranges))
     }
 }
 
@@ -588,7 +663,7 @@ mod tests {
     }
 
     fn sample_file() -> StoreFile {
-        let mut file = StoreFile::with_page_size(256);
+        let mut file = StoreFile::with_page_size(256).unwrap();
         let mp = sample_mpoint();
         let stored = save_mpoint(&mp, file.store_mut());
         file.put("trip", RootRecord::MPoint(stored));
@@ -699,7 +774,7 @@ mod tests {
         // A root record whose units array points at blob 7 of an empty
         // blob table: to_bytes succeeds (it only walks real blobs) but
         // from_bytes must reject the dangling reference.
-        let mut forged = StoreFile::with_page_size(64);
+        let mut forged = StoreFile::with_page_size(64).unwrap();
         forged.put(
             "trip",
             RootRecord::MPoint(StoredMapping {
@@ -715,6 +790,77 @@ mod tests {
             StoreFile::from_bytes(&forged_bytes),
             Err(DecodeError::OutOfBounds { .. })
         ));
+    }
+
+    #[test]
+    fn zero_and_absurd_page_sizes_are_errors_not_panics() {
+        assert!(StoreFile::with_page_size(0).is_err());
+        assert!(StoreFile::with_page_size(usize::MAX).is_err());
+        // The same damage arriving through serialized bytes: patch the
+        // page-size field (bytes 8..12) of a valid file.
+        let bytes = sample_file().to_bytes().unwrap();
+        for forged_size in [0u32, u32::MAX] {
+            let mut bad = bytes.clone();
+            bad[8..12].copy_from_slice(&forged_size.to_le_bytes());
+            assert!(
+                matches!(
+                    StoreFile::from_bytes(&bad),
+                    Err(DecodeError::BadStructure {
+                        what: "page size",
+                        ..
+                    })
+                ),
+                "page size {forged_size} must be structural damage"
+            );
+        }
+    }
+
+    #[test]
+    fn damage_in_blob_data_quarantines_only_that_blob() {
+        let file = sample_file();
+        let bytes = file.to_bytes().unwrap();
+        let (clean, q) = StoreFile::from_bytes_with_damage(&bytes, &[]).unwrap();
+        assert!(q.is_empty());
+        assert_eq!(clean.store().num_quarantined(), 0);
+
+        // Locate blob 0's data bytes: magic(8) page(4) nblobs(4) len(4).
+        let n_blobs = file.store().num_blobs();
+        assert!(n_blobs >= 1, "sample file must have external blobs");
+        let blob0_start = 8 + 4 + 4 + 4;
+        let blob0_len = file.store().blob_len(BlobId::from_index(0)).unwrap();
+        let dmg = (blob0_start + 1, blob0_start + 2);
+        let (tolerant, q) = StoreFile::from_bytes_with_damage(&bytes, &[dmg]).unwrap();
+        assert_eq!(q, vec![0]);
+        assert!(tolerant.store().is_quarantined(BlobId::from_index(0)));
+        assert!(matches!(
+            tolerant.store().try_read_blob(BlobId::from_index(0)),
+            Err(DecodeError::Quarantined { .. })
+        ));
+        // Whole-blob damage is equivalent.
+        let (_, q) =
+            StoreFile::from_bytes_with_damage(&bytes, &[(blob0_start, blob0_start + blob0_len)])
+                .unwrap();
+        assert_eq!(q, vec![0]);
+        // Empty ranges are ignored.
+        let (_, q) =
+            StoreFile::from_bytes_with_damage(&bytes, &[(blob0_start, blob0_start)]).unwrap();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn damage_in_structural_bytes_fails_the_decode() {
+        let bytes = sample_file().to_bytes().unwrap();
+        let expect_structural =
+            |damaged: &[(usize, usize)]| match StoreFile::from_bytes_with_damage(&bytes, damaged) {
+                Err(DecodeError::Quarantined { .. }) => {}
+                Err(other) => panic!("expected structural quarantine error, got {other}"),
+                Ok(_) => panic!("structural damage {damaged:?} must fail the decode"),
+            };
+        // The magic is structural.
+        expect_structural(&[(0, 4)]);
+        // A blob length prefix is structural too: bytes 16..20 hold
+        // blob 0's length.
+        expect_structural(&[(16, 18)]);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The repo-specific lint rules.
 //!
-//! Five rules, each with an allowlist file under `crates/xtask/allow/`
+//! Six rules, each with an allowlist file under `crates/xtask/allow/`
 //! and a fixture under `crates/xtask/fixtures/` proving it fires:
 //!
 //! | rule             | scope                              | forbids |
@@ -10,6 +10,7 @@
 //! | `float_eq`       | base, spatial, core, storage (non-test, minus `real.rs`) | `==`/`!=` against raw `f64` (`.get()` or float literals) |
 //! | `crate_lints`    | every `crates/*/src/lib.rs`        | missing `#![forbid(unsafe_code)]` (+ `#![warn(missing_docs)]` outside shims) |
 //! | `no_raw_counter` | every `crates/*/src` except `obs` and shims (non-test) | bare `AtomicU64` / `Cell<u64>` counters (count through `mob-obs` instead) |
+//! | `no_unchecked_io` | every `crates/*/src` except `storage/src/io.rs` (non-test) | bare `fs::write(` / `File::create(` (go through `StoreIo` so writes are synced, atomic and fault-injectable) |
 //!
 //! All rules operate on *masked* source (comments/strings blanked, see
 //! [`crate::mask`]) and skip `#[cfg(test)]` regions, so doc examples and
@@ -45,12 +46,13 @@ impl std::fmt::Display for Violation {
 }
 
 /// Names of all rules (used by the self-test driver).
-pub const RULES: [&str; 5] = [
+pub const RULES: [&str; 6] = [
     "no_panic",
     "narrowing_cast",
     "float_eq",
     "crate_lints",
     "no_raw_counter",
+    "no_unchecked_io",
 ];
 
 const PANIC_TOKENS: [&str; 6] = [
@@ -65,6 +67,8 @@ const PANIC_TOKENS: [&str; 6] = [
 const NARROWING_TARGETS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
 
 const COUNTER_TOKENS: [&str; 2] = ["AtomicU64", "Cell<u64>"];
+
+const UNCHECKED_IO_TOKENS: [&str; 2] = ["fs::write(", "File::create("];
 
 /// Run every rule over the repo rooted at `root`. Returns the surviving
 /// violations and any allowlist errors (unused entries, unreadable
@@ -110,6 +114,15 @@ pub fn run_rule(root: &Path, rule: &'static str, errors: &mut Vec<String>) -> Ve
             let owned = counter_scope(root, errors);
             let scope: Vec<&str> = owned.iter().map(String::as_str).collect();
             scan_scope(root, rule, &scope, errors, scan_no_raw_counter)
+        }
+        "no_unchecked_io" => {
+            let owned = all_crate_src_dirs(root, errors);
+            let scope: Vec<&str> = owned.iter().map(String::as_str).collect();
+            let mut v = scan_scope(root, rule, &scope, errors, scan_no_unchecked_io);
+            // `storage::io` is the one sanctioned raw-filesystem site: it
+            // *implements* the checked I/O everything else must use.
+            v.retain(|x| x.path != "crates/storage/src/io.rs");
+            v
         }
         _ => {
             errors.push(format!("unknown rule `{rule}`"));
@@ -366,6 +379,52 @@ fn has_bare_token(line: &str, token: &str) -> bool {
     false
 }
 
+// ---- rule: no_unchecked_io -------------------------------------------
+
+/// `crates/*/src` for every crate — including shims and `obs`; nothing
+/// but `storage::io` (filtered by the caller) may write files raw.
+fn all_crate_src_dirs(root: &Path, errors: &mut Vec<String>) -> Vec<String> {
+    let crates_dir = root.join("crates");
+    let entries = match std::fs::read_dir(&crates_dir) {
+        Ok(e) => e,
+        Err(e) => {
+            errors.push(format!("read_dir {}: {e}", crates_dir.display()));
+            return Vec::new();
+        }
+    };
+    let mut dirs: Vec<String> = entries
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name().to_string_lossy().to_string();
+            e.path()
+                .join("src")
+                .is_dir()
+                .then(|| format!("crates/{name}/src"))
+        })
+        .collect();
+    dirs.sort();
+    dirs
+}
+
+/// Match bare filesystem writes (`fs::write(`, `File::create(`) on
+/// masked non-test lines. Both tokens are suffix-matched, so
+/// `std::fs::write(` and `std::fs::File::create(` fire too.
+pub fn scan_no_unchecked_io(file: &MaskedFile) -> Vec<(usize, String, &'static str)> {
+    let mut out = Vec::new();
+    for (n, masked, raw) in file.code_lines() {
+        if UNCHECKED_IO_TOKENS.iter().any(|t| masked.contains(t)) {
+            out.push((
+                n,
+                raw.trim().to_string(),
+                "write through StoreIo (FsIo for real disks) — bare fs writes \
+                 skip fsync, atomic rename and fault injection; \
+                 storage/src/io.rs is the only sanctioned raw site",
+            ));
+        }
+    }
+    out
+}
+
 // ---- rule: float_eq --------------------------------------------------
 
 /// Match `==`/`!=` where one side is a raw float (`.get()` call or a
@@ -575,7 +634,13 @@ fn apply_allowlist(root: &Path, rule: &str, raw: Vec<Violation>) -> (Vec<Violati
 /// lookalikes inside strings and comments).
 pub fn self_test(root: &Path) -> Result<(), Vec<String>> {
     let mut errors = Vec::new();
-    for rule in ["no_panic", "narrowing_cast", "float_eq", "no_raw_counter"] {
+    for rule in [
+        "no_panic",
+        "narrowing_cast",
+        "float_eq",
+        "no_raw_counter",
+        "no_unchecked_io",
+    ] {
         let fixture = root
             .join("crates/xtask/fixtures")
             .join(format!("{rule}.rs.fixture"));
@@ -600,6 +665,7 @@ pub fn self_test(root: &Path) -> Result<(), Vec<String>> {
             "no_panic" => scan_no_panic(&file),
             "narrowing_cast" => scan_narrowing_cast(&file),
             "no_raw_counter" => scan_no_raw_counter(&file),
+            "no_unchecked_io" => scan_no_unchecked_io(&file),
             _ => scan_float_eq(&file),
         }
         .into_iter()

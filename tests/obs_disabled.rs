@@ -68,11 +68,11 @@ fn disabled_observability_registers_nothing_and_changes_nothing() {
 
     let probe = t(1.0);
     let zone = Region::from_ring(rect_ring(-1.0, -1.0, 4.0, 5.0));
-    let expect_snap = rel.snapshot_at(probe, &ScanOpts::default()).0;
+    let expect_snap = rel.snapshot_at(probe, &ScanOpts::default()).unwrap().0;
     for threads in [1usize, 2, 4] {
         let opts = ScanOpts::new().threads(threads);
-        assert_eq!(rel.snapshot_at(probe, &opts).0, expect_snap);
-        assert_eq!(opened.snapshot_at(probe, &opts).0, expect_snap);
+        assert_eq!(rel.snapshot_at(probe, &opts).unwrap().0, expect_snap);
+        assert_eq!(opened.snapshot_at(probe, &opts).unwrap().0, expect_snap);
         let hits = rel
             .filter_inside("flight", &zone, &opts)
             .expect("flight is an attribute")
@@ -83,7 +83,9 @@ fn disabled_observability_registers_nothing_and_changes_nothing() {
     }
 
     // Asking for stats still works — it just reports an empty snapshot.
-    let (_, stats) = rel.snapshot_at(probe, &ScanOpts::new().threads(2).stats(true));
+    let (_, stats) = rel
+        .snapshot_at(probe, &ScanOpts::new().threads(2).stats(true))
+        .unwrap();
     let stats = stats.expect("stats(true) always yields QueryStats");
     assert_eq!(stats.tuples, 2);
     assert!(

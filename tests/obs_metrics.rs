@@ -127,8 +127,8 @@ proptest! {
                 open_mpoint(&stored_m, &store, Verify::Full).expect("saved mapping reopens");
 
             let before = reg.snapshot();
-            let snap_mem = rel.snapshot_at(ti, &opts).0;
-            let snap_store = opened.snapshot_at(ti, &opts).0;
+            let snap_mem = rel.snapshot_at(ti, &opts).unwrap().0;
+            let snap_store = opened.snapshot_at(ti, &opts).unwrap().0;
             let hits = opened
                 .filter_inside("flight", &zone, &opts)
                 .expect("flight is an attribute")

@@ -128,10 +128,10 @@ proptest! {
         x in instant_strategy(),
     ) {
         let ti = t(x);
-        let expect = rel.snapshot_at(ti, &ScanOpts::new().threads(1)).0;
+        let expect = rel.snapshot_at(ti, &ScanOpts::new().threads(1)).unwrap().0;
         // Same relation, any thread count.
         for threads in 2..=4usize {
-            let got = rel.snapshot_at(ti, &ScanOpts::new().threads(threads)).0;
+            let got = rel.snapshot_at(ti, &ScanOpts::new().threads(threads)).unwrap().0;
             prop_assert_eq!(&got, &expect, "{} threads", threads);
         }
         // Storage-backed relation: snapshots land in plain `point`
@@ -140,7 +140,7 @@ proptest! {
         let stored = save_relation(&rel, &mut store).expect("fleet saves");
         let opened = Relation::from_store(&stored, Arc::new(store)).expect("fleet reopens");
         for threads in 1..=4usize {
-            let got = opened.snapshot_at(ti, &ScanOpts::new().threads(threads)).0;
+            let got = opened.snapshot_at(ti, &ScanOpts::new().threads(threads)).unwrap().0;
             prop_assert_eq!(&got, &expect, "stored, {} threads", threads);
         }
     }
