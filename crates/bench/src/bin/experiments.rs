@@ -14,7 +14,9 @@
 //! *complexity* columns (header probes, unit decodes) purely from the
 //! `mob-obs` registry, printing one EXPLAIN operator tree per query and
 //! checking the Section-5 bounds (O(log n) `atinstant`,
-//! O(q·log(n/q) + q) batch probing) against the measured counts.
+//! O(q·log(n/q) + q) batch probing) against the measured counts, plus
+//! the E10 planner bound (`index.nodes_visited + index.candidates <
+//! scan.tuples` on a selective window query, answers index-invariant).
 
 use mob_base::t;
 use mob_bench::*;
@@ -428,6 +430,71 @@ fn e9() {
     println!("the durability tax is the honest price of old-or-new crash atomicity");
 }
 
+/// E10: selective window query — plan/prune/execute over the packed
+/// R-tree vs the reference full scan (DESIGN.md §11).
+fn e10() {
+    use mob_base::Interval;
+    use mob_rel::IndexPolicy;
+    use mob_spatial::rect_ring;
+    header("E10  selective window query: packed R-tree pruning vs full scan [DESIGN.md §11]");
+    let zone = Region::from_ring(rect_ring(-60.0, -60.0, 60.0, 60.0));
+    let window = Interval::closed(t(40.0), t(55.0));
+    println!("probe: passes(flight, 120x120 zone of the 2000x2000 arena, window [40, 55]);");
+    println!("full = IndexPolicy::Off reference scan, indexed = Force over the bulk-loaded");
+    println!("STR R-tree; `same` is byte-identical relation equality, asserted not sampled");
+    println!(
+        "{:>8} {:>12} {:>14} {:>14} {:>10} {:>8} {:>6}",
+        "flights", "build ns", "full ns", "indexed ns", "cands", "speedup", "same"
+    );
+    for n in [1000usize, 4000, 10000] {
+        let mut fleet = bench_fleet(n, 12);
+        let build = median_nanos(3, || {
+            let mut f = fleet.clone();
+            f.build_index("flight").expect("flight is an mpoint attr");
+            std::hint::black_box(&f);
+        });
+        fleet
+            .build_index("flight")
+            .expect("flight is an mpoint attr");
+        let off = ScanOpts::new().stats(true).index(IndexPolicy::Off);
+        let on = off.index(IndexPolicy::Force);
+        let (expect, _) = fleet
+            .passes("flight", &zone, &window, &off)
+            .expect("full scan");
+        let full = median_nanos(5, || {
+            std::hint::black_box(
+                fleet
+                    .passes("flight", &zone, &window, &off)
+                    .expect("scan")
+                    .0,
+            );
+        });
+        let indexed = median_nanos(5, || {
+            std::hint::black_box(fleet.passes("flight", &zone, &window, &on).expect("scan").0);
+        });
+        let (got, stats) = fleet
+            .passes("flight", &zone, &window, &on)
+            .expect("pruned scan");
+        let stats = stats.expect("stats requested");
+        assert_eq!(stats.index_fallbacks, 0, "clean index must not fall back");
+        println!(
+            "{:>8} {:>12} {:>14} {:>14} {:>10} {:>8.1} {:>6}",
+            n,
+            build,
+            full,
+            indexed,
+            stats.candidates.expect("pruned path reports candidates"),
+            full as f64 / indexed.max(1) as f64,
+            got == expect
+        );
+        assert_eq!(got, expect, "pruning must never change the answer");
+    }
+    println!("expected shape: candidates stay a small fraction of the fleet, so the indexed");
+    println!("scan's advantage grows with fleet size while build cost stays a one-off sort;");
+    println!("`same` must read true everywhere — pruning is a performance story, never a");
+    println!("correctness one (the planner falls back to the full scan before risking it)");
+}
+
 /// A1: ablation of the bounding-cube summary field (Sec 4.2).
 fn ablation() {
     header("A1  ablation: bounding-cube fast path (disjoint workloads)");
@@ -619,7 +686,46 @@ fn explain_mode() {
              or decoded={decoded} > {dbound}"
         );
     }
-    println!("\nall registry-derived counts satisfy the Section-5 bounds.");
+    // E10: the planner's pruning bound on a selective window query.
+    // Every count is a registry delta; the pruned answer must be
+    // byte-identical to the index-off reference.
+    use mob_rel::IndexPolicy;
+    let n = 10_000usize;
+    let mut fleet = bench_fleet(n, 12);
+    fleet
+        .build_index("flight")
+        .expect("flight is an mpoint attr");
+    let zone = Region::from_ring(mob_spatial::rect_ring(-60.0, -60.0, 60.0, 60.0));
+    let window = mob_base::Interval::closed(t(40.0), t(55.0));
+    let off = ScanOpts::new().index(IndexPolicy::Off);
+    let on = ScanOpts::new().index(IndexPolicy::Force);
+    println!("\nE10  indexed passes() on a {n}-flight fleet:");
+    println!("     index.nodes_visited + index.candidates < scan.tuples, answers index-invariant");
+    let (reference, _) = fleet
+        .passes("flight", &zone, &window, &off)
+        .expect("full scan");
+    let ((pruned, _), report) = mob_obs::explain("e10.passes(indexed)", || {
+        fleet
+            .passes("flight", &zone, &window, &on)
+            .expect("pruned scan")
+    });
+    print!("{report}");
+    let nodes = report.metrics().get("index.nodes_visited");
+    let cands = report.metrics().get("index.candidates");
+    let tuples = report.metrics().get("scan.tuples");
+    let identical = pruned == reference;
+    let ok = nodes + cands < tuples && identical;
+    println!(
+        "  n={n:>6}  nodes_visited={nodes}  candidates={cands}  scan.tuples={tuples}  \
+         identical={identical}  ok={ok}"
+    );
+    assert!(
+        ok,
+        "E10 bound violated: nodes_visited={nodes} + candidates={cands} >= scan.tuples={tuples}, \
+         or the pruned answer diverged (identical={identical})"
+    );
+
+    println!("\nall registry-derived counts satisfy the Section-5 and planner bounds.");
 }
 
 fn main() {
@@ -640,6 +746,7 @@ fn main() {
     e7();
     e8();
     e9();
+    e10();
     ablation();
     queries();
     figures();

@@ -1,7 +1,7 @@
 //! # `mob-check` — deep auditing of serialized moving-object values
 //!
 //! The storage layer already verifies structure when a value is opened
-//! (`view_*` constructors) and decoded (`load_*`); this crate drives
+//! (`open_*` constructors) and decoded (`load_array`); this crate drives
 //! those checks over a whole [`StoreFile`] and reports per-entry
 //! results, so a store produced by one process can be audited by
 //! another without trusting a single byte of it:
@@ -24,7 +24,7 @@
 use mob_base::Validate;
 use mob_storage::store_file::RootRecord;
 use mob_storage::{
-    line_store, mapping_store, range_store, region_store, view, PageStore, StoreFile,
+    index_store, line_store, mapping_store, range_store, region_store, view, PageStore, StoreFile,
 };
 
 /// Audit outcome for one catalog entry.
@@ -195,6 +195,13 @@ pub fn audit_entry(name: &str, root: &RootRecord, store: &PageStore) -> EntryRep
             },
             Err(e) => EntryReport::fail(name, kind, "load", e),
         },
+        // `load_index` re-runs the full structural validation: every
+        // child cube contained in its parent, every level tiling the
+        // one below, every leaf tuple id in range.
+        RootRecord::Index(s) => match index_store::load_index(s, store) {
+            Ok(tree) => EntryReport::ok(name, kind, tree.num_entries()),
+            Err(e) => EntryReport::fail(name, kind, "load", e),
+        },
     }
 }
 
@@ -345,6 +352,20 @@ pub fn deep_verify_image(bytes: &[u8]) -> DeepReport {
     }
 }
 
+/// Probe a durable image's `planes/index` entry: decode degraded, load
+/// (and so fully re-validate) the index, and return its candidate tuple
+/// set at `at`. `None` when the image is refused or the index is
+/// unavailable — the outcomes a query planner degrades through.
+fn image_index_candidates(bytes: &[u8], at: mob_base::Instant) -> Option<Vec<u32>> {
+    let img = mob_storage::decode_image_degraded(bytes).ok()?;
+    let (file, _) = StoreFile::from_bytes_with_damage(&img.payload, &img.damaged).ok()?;
+    let RootRecord::Index(stored) = file.get("planes/index")? else {
+        return None;
+    };
+    let tree = index_store::load_index(stored, file.store()).ok()?;
+    Some(tree.query_instant(at).tuples)
+}
+
 /// Hermetic fault-injection self-test (the CLI's `--self-test`): commit
 /// the demo store durably in memory, then deep-verify the pristine image
 /// plus one single-byte-flipped image per 13-byte stride. Proves, on
@@ -355,13 +376,32 @@ pub fn deep_verify_image(bytes: &[u8]) -> DeepReport {
 /// * every flip is *seen* — either the image is refused (superblock /
 ///   structural damage) or at least one chunk reports corrupt;
 /// * both refusal and per-entry quarantine actually occur across the
-///   campaign (the harness is not vacuous).
+///   campaign (the harness is not vacuous);
+/// * the index entry never lies: on every damaged image it is either
+///   unavailable (refused or quarantined — the planner's fallback) or
+///   answers a fixed probe with exactly the pristine candidate set.
 ///
 /// Returns a human-readable summary, or the first violated expectation.
 pub fn self_test(seed: u64) -> Result<String, String> {
     use mob_storage::{DurableStore, MemIo, StoreIo};
 
     let file = demo_store_file(seed);
+
+    // The fixed index probe: the middle of the fleet's lifetime, and
+    // the candidate set the pristine tree answers for it.
+    let (probe_at, pristine_cands) = {
+        let Some(RootRecord::Index(stored)) = file.get("planes/index") else {
+            return Err("demo store lost its planes/index entry".to_string());
+        };
+        let tree = index_store::load_index(stored, file.store())
+            .map_err(|e| format!("pristine index: {e}"))?;
+        let root = tree.nodes().last().ok_or("pristine index is empty")?;
+        let at = mob_base::t((root.cube.t_min.as_f64() + root.cube.t_max.as_f64()) / 2.0);
+        (at, tree.query_instant(at).tuples)
+    };
+    if pristine_cands.is_empty() {
+        return Err("pristine index probe matched nothing — probe too weak".to_string());
+    }
     let dir = MemIo::new();
     let mut store = DurableStore::create(dir.clone(), 256).map_err(|e| format!("create: {e}"))?;
     store
@@ -390,10 +430,25 @@ pub fn self_test(seed: u64) -> Result<String, String> {
 
     let (mut refused, mut with_quarantine, mut with_corrupt, mut fully_intact) =
         (0u32, 0u32, 0u32, 0u32);
+    let (mut index_served, mut index_fallback) = (0u32, 0u32);
     let mut cases = 0u32;
     for pos in (0..image.len()).step_by(13) {
         let mut bad = image.clone();
         bad[pos] ^= 0x40;
+
+        // The index contract: whatever the flip hit, the index is
+        // either unavailable (a planner fallback) or exactly right.
+        match image_index_candidates(&bad, probe_at) {
+            Some(cands) if cands != pristine_cands => {
+                return Err(format!(
+                    "flip at byte {pos}: index served a WRONG candidate set \
+                     ({cands:?} instead of {pristine_cands:?})"
+                ));
+            }
+            Some(_) => index_served += 1,
+            None => index_fallback += 1,
+        }
+
         let rep = deep_verify_image(&bad);
         cases += 1;
         if rep.structural.is_err() {
@@ -422,10 +477,14 @@ pub fn self_test(seed: u64) -> Result<String, String> {
     if with_quarantine == 0 {
         return Err("no flip ever quarantined an entry — degradation path untested".to_string());
     }
+    if index_fallback == 0 {
+        return Err("no flip ever made the index unavailable — index frames untested".to_string());
+    }
     Ok(format!(
         "self-test ok: {cases} damaged images — {refused} refused, \
          {with_quarantine} with quarantined entries, {with_corrupt} with corrupt entries, \
          {fully_intact} recovered fully intact (damage in unreferenced bytes); \
+         index probe: {index_served} served (all byte-exact), {index_fallback} fell back; \
          pristine image intact ({} entries)",
         pristine.entries.len()
     ))
@@ -462,6 +521,16 @@ pub fn demo_store_file(seed: u64) -> StoreFile {
     let front = moving_front(seed ^ 4, &FrontConfig::default());
     let stored = mapping_store::save_mline(&front, file.store_mut());
     file.put("front", RootRecord::MLine(stored));
+
+    // The planner's pruning structure: an R-tree over the fleet's
+    // per-unit bounding cubes, one leaf entry per flight unit.
+    let mut cubes = Vec::new();
+    for (i, plane) in planes.iter().enumerate() {
+        cubes.extend(mob_core::unit_cubes(i as u32, &plane.flight));
+    }
+    let tree = mob_core::RTree::bulk(planes.len(), cubes);
+    let stored = index_store::save_index(&tree, file.store_mut());
+    file.put("planes/index", RootRecord::Index(stored));
 
     // Derived values exercise the remaining kinds.
     let deftime = taxi.deftime();

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod index;
 pub mod lift;
 pub mod mapping;
 pub mod moving;
@@ -53,6 +54,7 @@ pub mod uregion;
 pub mod validate;
 
 pub use batch::{batch_at_instant, batch_inside, batch_lift2, UnitCursor};
+pub use index::{unit_cubes, Candidates, IndexEntry, IndexNode, RTree, DEFAULT_FANOUT};
 pub use lift::{lift1, lift2};
 pub use mapping::{Mapping, MappingBuilder};
 pub use moving::mpoint::{distance_seq, distance_travelled_seq, inside_region_seq, trajectory_seq};

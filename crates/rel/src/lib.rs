@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod plan;
 pub mod queries;
 pub mod relation;
 pub mod scan;
@@ -18,11 +19,12 @@ pub mod schema;
 pub mod value;
 
 pub use catalog::{load_relation, save_relation, StoredRelation};
+pub use plan::{Plan, PlanReport, Probe};
 pub use queries::{
     close_encounters, closest_approach, closest_approach_seq, long_flights, planes_relation,
     planes_schema, storm_exposure,
 };
-pub use relation::{Relation, Tuple};
-pub use scan::{OnError, QueryStats, ScanOpts};
+pub use relation::{RelIndex, Relation, Tuple};
+pub use scan::{IndexPolicy, OnError, QueryStats, ScanOpts};
 pub use schema::Schema;
 pub use value::{AttrType, AttrValue, MPointRef, MPointSeq};

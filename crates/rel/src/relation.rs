@@ -1,10 +1,16 @@
 //! Relations and the operators needed to run the paper's queries:
 //! selection, projection, extension (computed attributes) and the
-//! nested-loop join used by the spatio-temporal join of Sec 2.
+//! nested-loop join used by the spatio-temporal join of Sec 2 — plus
+//! the optional per-relation R-tree index consulted by the scan
+//! planner ([`crate::plan`]).
 
 use crate::schema::Schema;
 use crate::value::{AttrType, AttrValue};
 use mob_base::error::{InvariantViolation, Result};
+use mob_core::{unit_cubes, RTree};
+use mob_storage::index_store::{load_index, StoredIndex};
+use mob_storage::PageStore;
+use std::sync::Arc;
 
 /// A tuple: attribute values matching a schema.
 #[derive(Clone, PartialEq, Debug)]
@@ -29,20 +35,44 @@ impl Tuple {
     }
 }
 
+/// A spatio-temporal index over one `moving(point)` attribute of a
+/// relation: a packed [`RTree`] over per-unit bounding cubes, plus the
+/// tuples that must bypass pruning entirely.
+///
+/// `always` lists the tuple ids the tree cannot speak for — tuples
+/// carrying a quarantined attribute (their outcome is an *error*, which
+/// pruning must not hide) or whose indexed attribute yields no unit
+/// sequence. They join every candidate set, so the pruned path reports
+/// quarantine damage byte-identically to a full scan.
+#[derive(Debug)]
+pub struct RelIndex {
+    pub(crate) attr: usize,
+    pub(crate) tree: RTree,
+    pub(crate) always: Vec<u32>,
+}
+
 /// A materialized relation.
-#[derive(Clone, PartialEq, Debug)]
+///
+/// Equality and hashing consider only schema and tuples; the optional
+/// index is an access path, never part of the value.
+#[derive(Clone, Debug)]
 pub struct Relation {
     schema: Schema,
     tuples: Vec<Tuple>,
+    index: Option<Arc<RelIndex>>,
+    index_damaged: bool,
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Relation) -> bool {
+        self.schema == other.schema && self.tuples == other.tuples
+    }
 }
 
 impl Relation {
     /// An empty relation over a schema.
     pub fn new(schema: Schema) -> Relation {
-        Relation {
-            schema,
-            tuples: Vec::new(),
-        }
+        Relation::from_parts(schema, Vec::new())
     }
 
     /// The schema.
@@ -54,7 +84,12 @@ impl Relation {
     /// the operators in [`crate::scan`], whose output tuples are
     /// constructed column-by-column from a validated input relation).
     pub(crate) fn from_parts(schema: Schema, tuples: Vec<Tuple>) -> Relation {
-        Relation { schema, tuples }
+        Relation {
+            schema,
+            tuples,
+            index: None,
+            index_damaged: false,
+        }
     }
 
     /// Number of tuples.
@@ -86,7 +121,126 @@ impl Relation {
             }
         }
         self.tuples.push(tuple);
+        // The tree no longer covers the relation; drop it rather than
+        // serve stale candidate sets.
+        self.index = None;
         Ok(())
+    }
+
+    /// Build (or rebuild) the R-tree index over the `moving(point)`
+    /// attribute `attr` from the relation's own unit summaries: one
+    /// [`unit_cubes`] entry per unit, bulk-loaded via [`RTree::bulk`].
+    ///
+    /// Tuples whose indexed attribute cannot be opened (quarantined, or
+    /// any attribute quarantined) go to the index's `always` list so
+    /// pruned scans still see them.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `attr` is unknown or not of type `mpoint`.
+    pub fn build_index(&mut self, attr: &str) -> Result<()> {
+        let idx = self.index_attr_checked(attr)?;
+        let mut entries = Vec::new();
+        let mut always = Vec::new();
+        for (i, tup) in self.tuples.iter().enumerate() {
+            let i = u32::try_from(i).expect("tuple count fits u32");
+            if tup.values().iter().any(AttrValue::is_quarantined) {
+                always.push(i);
+                continue;
+            }
+            match tup.at(idx as usize).as_mpoint_seq() {
+                Some(seq) => entries.extend(unit_cubes(i, &seq)),
+                None => always.push(i),
+            }
+        }
+        let tree = RTree::bulk(self.tuples.len(), entries);
+        self.index = Some(Arc::new(RelIndex {
+            attr: idx as usize,
+            tree,
+            always,
+        }));
+        self.index_damaged = false;
+        Ok(())
+    }
+
+    /// Attach a deserialized index ([`StoredIndex`], the tag-11 root
+    /// record) to this relation.
+    ///
+    /// Returns `Ok(true)` when the index loaded, re-validated and
+    /// matched the relation's cardinality. `Ok(false)` means the stored
+    /// index was unusable — damaged, forged, or built for a different
+    /// cardinality; the relation is marked *index-damaged* so the next
+    /// scan records a planner fallback (`index.fallbacks`) and runs
+    /// full. Results are never wrong either way.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on caller misuse: `attr` unknown or not `mpoint`.
+    pub fn attach_stored_index(
+        &mut self,
+        attr: &str,
+        stored: &StoredIndex,
+        store: &PageStore,
+    ) -> Result<bool> {
+        let idx = self.index_attr_checked(attr)?;
+        match load_index(stored, store) {
+            Ok(tree) if tree.num_tuples() == self.len() => {
+                let always = (0..self.tuples.len())
+                    .filter(|&i| {
+                        let tup = &self.tuples[i];
+                        tup.values().iter().any(AttrValue::is_quarantined)
+                            || tup.at(idx as usize).as_mpoint_seq().is_none()
+                    })
+                    .map(|i| u32::try_from(i).expect("tuple count fits u32"))
+                    .collect();
+                self.index = Some(Arc::new(RelIndex {
+                    attr: idx as usize,
+                    tree,
+                    always,
+                }));
+                self.index_damaged = false;
+                Ok(true)
+            }
+            _ => {
+                self.index = None;
+                self.index_damaged = true;
+                Ok(false)
+            }
+        }
+    }
+
+    /// Resolve `attr` and require it to be a `moving(point)` column.
+    fn index_attr_checked(&self, attr: &str) -> Result<u32> {
+        let idx = self.try_attr(attr)?;
+        if self.schema.attrs()[idx].1 != AttrType::MPoint {
+            return Err(InvariantViolation::with_detail(
+                "relation: index attribute is not a moving point",
+                attr.to_string(),
+            ));
+        }
+        Ok(u32::try_from(idx).expect("arity fits u32"))
+    }
+
+    /// The attached index, if any (consulted by the scan planner).
+    pub(crate) fn index(&self) -> Option<&RelIndex> {
+        self.index.as_deref()
+    }
+
+    /// The attached index's R-tree, e.g. for persisting via
+    /// [`mob_storage::index_store::save_index`].
+    pub fn index_tree(&self) -> Option<&RTree> {
+        self.index.as_ref().map(|ix| &ix.tree)
+    }
+
+    /// `true` when an index is attached.
+    pub fn has_index(&self) -> bool {
+        self.index.is_some()
+    }
+
+    /// `true` when the last [`Relation::attach_stored_index`] found the
+    /// stored index unusable — the planner will record a fallback.
+    pub fn index_damaged(&self) -> bool {
+        self.index_damaged
     }
 
     /// Resolve an attribute name to its index, fallibly — the
@@ -110,10 +264,10 @@ impl Relation {
 
     /// Selection: keep the tuples satisfying the predicate.
     pub fn select(&self, pred: impl Fn(&Tuple) -> bool) -> Relation {
-        Relation {
-            schema: self.schema.clone(),
-            tuples: self.tuples.iter().filter(|t| pred(t)).cloned().collect(),
-        }
+        Relation::from_parts(
+            self.schema.clone(),
+            self.tuples.iter().filter(|t| pred(t)).cloned().collect(),
+        )
     }
 
     /// Projection onto named attributes.
@@ -128,7 +282,7 @@ impl Relation {
             .iter()
             .map(|t| Tuple::new(idx.iter().map(|&i| t.values[i].clone()).collect()))
             .collect();
-        Ok(Relation { schema, tuples })
+        Ok(Relation::from_parts(schema, tuples))
     }
 
     /// Extension: add a computed attribute (the algebra's `extend`, used
@@ -152,17 +306,14 @@ impl Relation {
             values.push(v);
             tuples.push(Tuple::new(values));
         }
-        Ok(Relation { schema, tuples })
+        Ok(Relation::from_parts(schema, tuples))
     }
 
     /// Sort by a key extracted from each tuple (the algebra's `sortby`).
     pub fn order_by<K: Ord>(&self, key: impl Fn(&Tuple) -> K) -> Relation {
         let mut tuples = self.tuples.clone();
         tuples.sort_by_key(|t| key(t));
-        Relation {
-            schema: self.schema.clone(),
-            tuples,
-        }
+        Relation::from_parts(self.schema.clone(), tuples)
     }
 
     /// Remove exact duplicate tuples (the algebra's `rdup`).
@@ -173,10 +324,7 @@ impl Relation {
                 tuples.push(t.clone());
             }
         }
-        Relation {
-            schema: self.schema.clone(),
-            tuples,
-        }
+        Relation::from_parts(self.schema.clone(), tuples)
     }
 
     /// Aggregate a real-valued expression over all tuples (`sum`).
@@ -206,7 +354,7 @@ impl Relation {
                 }
             }
         }
-        Relation { schema, tuples }
+        Relation::from_parts(schema, tuples)
     }
 }
 

@@ -8,22 +8,33 @@
 //! short-lived lazy view each worker opens for itself (the page store
 //! behind the `Arc` is `Sync`; its blobs are immutable).
 //!
+//! # The pipeline
+//!
+//! Each scan runs in three stages: **plan** (choose full vs pruned
+//! access, [`crate::plan::plan_scan`]), **prune** (consult the
+//! relation's R-tree for the candidate tuple set) and **execute** (the
+//! batch kernels below, over candidates only). The planner never
+//! changes answers — see the equivalence contract in
+//! [`crate::plan`].
+//!
 //! # Determinism
 //!
-//! Both operators inherit the ordering guarantee of
+//! All operators inherit the ordering guarantee of
 //! [`Pool::chunked_map`]: output tuples appear in input-tuple order for
-//! **every** thread count, so `snapshot_at` / `filter_inside` results
-//! are byte-identical whether `MOB_THREADS` is 1 or 64.
+//! **every** thread count, so `snapshot_at` / `filter_inside` /
+//! `passes` results are byte-identical whether `MOB_THREADS` is 1 or
+//! 64 — and whether the index is on, off, or quarantined.
 
+use crate::plan::{plan_scan, AttrNeed, Plan, PlanReport, Probe};
 use crate::relation::{Relation, Tuple};
 use crate::schema::Schema;
 use crate::value::{AttrType, AttrValue};
 use mob_base::error::{DecodeError, DecodeResult};
-use mob_base::Instant;
+use mob_base::{Instant, Periods, TimeInterval, Val};
 use mob_core::{inside_region_seq, UnitSeq};
 use mob_obs::{Registry, Snapshot};
 use mob_par::Pool;
-use mob_spatial::Region;
+use mob_spatial::{Cube, Region};
 
 /// Options for the relation-wide scans — one struct instead of the old
 /// `snapshot_at` / `snapshot_at_with(pool, ..)` method matrix.
@@ -37,6 +48,23 @@ pub struct ScanOpts {
     pool: Pool,
     stats: bool,
     on_error: OnError,
+    pub(crate) index: IndexPolicy,
+}
+
+/// Whether the planner may, must, or must not use the relation's
+/// R-tree index for a scan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum IndexPolicy {
+    /// Use the index when one is attached and covers the scanned
+    /// attribute; silently scan fully otherwise. The default.
+    #[default]
+    Auto,
+    /// Demand the index: with no usable index the scan still runs full
+    /// (answers are never withheld) but records a planner fallback
+    /// (`index.fallbacks`, [`QueryStats::index_fallbacks`]).
+    Force,
+    /// Never consult the index — the reference full-scan path.
+    Off,
 }
 
 /// What a relation scan does when it meets a tuple carrying an
@@ -64,6 +92,7 @@ impl Default for ScanOpts {
             pool: Pool::with_threads(1),
             stats: false,
             on_error: OnError::Fail,
+            index: IndexPolicy::Auto,
         }
     }
 }
@@ -110,6 +139,13 @@ impl ScanOpts {
         self.on_error = policy;
         self
     }
+
+    /// Index policy for the planner (default: [`IndexPolicy::Auto`]).
+    #[must_use]
+    pub fn index(mut self, policy: IndexPolicy) -> ScanOpts {
+        self.index = policy;
+        self
+    }
 }
 
 /// What one relation scan did: the per-query observability summary
@@ -132,6 +168,13 @@ pub struct QueryStats {
     /// Tuples dropped because an attribute value was quarantined
     /// (always 0 under [`OnError::Fail`] — the scan errors instead).
     pub tuples_quarantined: u64,
+    /// Candidate tuples after index pruning; `None` when the planner
+    /// chose (or was forced into) a full scan.
+    pub candidates: Option<usize>,
+    /// 1 when the scan wanted an index but the planner had to degrade
+    /// to a full scan (damaged, mismatched or missing-under-`Force`
+    /// index); 0 otherwise.
+    pub index_fallbacks: u64,
     /// Registry counter deltas caused while the scan ran.
     pub metrics: Snapshot,
 }
@@ -140,6 +183,13 @@ impl QueryStats {
     /// Fill in the quarantine tally after the observed section ran.
     fn with_quarantined(mut self, n: u64) -> QueryStats {
         self.tuples_quarantined = n;
+        self
+    }
+
+    /// Fill in the planner's summary.
+    fn with_plan(mut self, report: &PlanReport) -> QueryStats {
+        self.candidates = report.candidates;
+        self.index_fallbacks = report.fallbacks;
         self
     }
 }
@@ -171,6 +221,8 @@ fn observed<R>(
             threads: opts.pool.threads(),
             wall_ns,
             tuples_quarantined: 0,
+            candidates: None,
+            index_fallbacks: 0,
             metrics,
         }),
     )
@@ -200,6 +252,28 @@ fn apply_on_error<T>(outcomes: Vec<Option<T>>, policy: OnError) -> DecodeResult<
     Ok((outcomes.into_iter().flatten().collect(), quarantined))
 }
 
+/// Stage 3, **execute**: run `f` over every tuple in input order,
+/// telling it whether the tuple survived pruning. Non-candidates still
+/// flow through `f` (so quarantine accounting and ordering are
+/// identical to a full scan), but `f` must not probe their units —
+/// that is the planner's whole saving.
+fn execute_scan<T: Send>(
+    pool: Pool,
+    tuples: &[Tuple],
+    plan: &Plan,
+    f: impl Fn(&Tuple, bool) -> T + Sync,
+) -> Vec<T> {
+    let _span = mob_obs::span("scan.execute");
+    mob_obs::metric!("scan.tuples").add(tuples.len() as u64);
+    let probed = match plan {
+        Plan::Full => tuples.len(),
+        Plan::Pruned { count, .. } => *count,
+    };
+    mob_obs::metric!("scan.tuples_probed").add(probed as u64);
+    let idxs: Vec<usize> = (0..tuples.len()).collect();
+    pool.chunked_map(&idxs, |&i| f(&tuples[i], plan.is_candidate(i)))
+}
+
 impl Relation {
     /// Snapshot the whole relation at one instant: every
     /// `moving(point)` attribute becomes a `point` attribute holding
@@ -227,7 +301,7 @@ impl Relation {
             "rel.snapshot_at",
             opts,
             self.len(),
-            |pool| -> DecodeResult<(Relation, u64)> {
+            |pool| -> DecodeResult<(Relation, u64, PlanReport)> {
                 let attrs: Vec<(String, AttrType)> = self
                     .schema()
                     .attrs()
@@ -244,7 +318,9 @@ impl Relation {
                 let refs: Vec<(&str, AttrType)> =
                     attrs.iter().map(|(n, ty)| (n.as_str(), *ty)).collect();
                 let schema = Schema::new(&refs)?;
-                let outcomes = pool.chunked_map(self.tuples(), |tup| {
+                let (plan, report) =
+                    plan_scan(self, &Probe::At(t), AttrNeed::AllMPoints, opts.index);
+                let outcomes = execute_scan(pool, self.tuples(), &plan, |tup, candidate| {
                     if tup.values().iter().any(AttrValue::is_quarantined) {
                         return None;
                     }
@@ -252,6 +328,9 @@ impl Relation {
                         tup.values()
                             .iter()
                             .map(|v| match v.as_mpoint_seq() {
+                                // A non-candidate has no unit alive at
+                                // `t` — ⊥ without touching its units.
+                                Some(_) if !candidate => AttrValue::Point(Val::Undef),
                                 Some(seq) => AttrValue::Point(seq.at_instant(t)),
                                 None => v.clone(),
                             })
@@ -259,11 +338,14 @@ impl Relation {
                     ))
                 });
                 let (tuples, quarantined) = apply_on_error(outcomes, opts.on_error)?;
-                Ok((Relation::from_parts(schema, tuples), quarantined))
+                Ok((Relation::from_parts(schema, tuples), quarantined, report))
             },
         );
-        let (rel, quarantined) = res?;
-        Ok((rel, stats.map(|s| s.with_quarantined(quarantined))))
+        let (rel, quarantined, report) = res?;
+        Ok((
+            rel,
+            stats.map(|s| s.with_quarantined(quarantined).with_plan(&report)),
+        ))
     }
 
     /// Keep the tuples whose `moving(point)` attribute `attr` is ever
@@ -289,12 +371,23 @@ impl Relation {
             "rel.filter_inside",
             opts,
             self.len(),
-            |pool| -> DecodeResult<(Relation, u64)> {
+            |pool| -> DecodeResult<(Relation, u64, PlanReport)> {
+                let (plan, report) = plan_scan(
+                    self,
+                    &Probe::Window(region.bbox()),
+                    AttrNeed::Exactly(idx),
+                    opts.index,
+                );
                 // Three-way per-tuple outcome: quarantined (None), kept
                 // (Some(Some(tuple))), filtered out (Some(None)).
-                let outcomes = pool.chunked_map(self.tuples(), |tup| {
+                let outcomes = execute_scan(pool, self.tuples(), &plan, |tup, candidate| {
                     if tup.values().iter().any(AttrValue::is_quarantined) {
                         return None;
+                    }
+                    if !candidate {
+                        // Pruned: its trajectory never meets the
+                        // region's bounding box.
+                        return Some(None);
                     }
                     let keep = tup
                         .at(idx)
@@ -308,11 +401,73 @@ impl Relation {
                 Ok((
                     Relation::from_parts(self.schema().clone(), tuples),
                     quarantined,
+                    report,
                 ))
             },
         );
-        let (rel, quarantined) = res?;
-        Ok((rel, stats.map(|s| s.with_quarantined(quarantined))))
+        let (rel, quarantined, report) = res?;
+        Ok((
+            rel,
+            stats.map(|s| s.with_quarantined(quarantined).with_plan(&report)),
+        ))
+    }
+
+    /// Keep the tuples whose `moving(point)` attribute `attr` is inside
+    /// `region` at some instant of `window` — the selective
+    /// space × time window query ("which flights pass the storm zone
+    /// tonight?"), and the scan the R-tree prunes best: the probe is a
+    /// single bounding cube.
+    ///
+    /// # Errors
+    ///
+    /// Unknown `attr` fails; quarantined tuples follow
+    /// [`ScanOpts::on_error`], exactly as in [`Relation::snapshot_at`].
+    pub fn passes(
+        &self,
+        attr: &str,
+        region: &Region,
+        window: &TimeInterval,
+        opts: &ScanOpts,
+    ) -> DecodeResult<(Relation, Option<QueryStats>)> {
+        let idx = self.try_attr(attr)?;
+        let (res, stats) = observed(
+            "rel.passes",
+            opts,
+            self.len(),
+            |pool| -> DecodeResult<(Relation, u64, PlanReport)> {
+                let probe = Probe::Volume(Cube::new(region.bbox(), window));
+                let (plan, report) = plan_scan(self, &probe, AttrNeed::Exactly(idx), opts.index);
+                let outcomes = execute_scan(pool, self.tuples(), &plan, |tup, candidate| {
+                    if tup.values().iter().any(AttrValue::is_quarantined) {
+                        return None;
+                    }
+                    if !candidate {
+                        return Some(None);
+                    }
+                    let keep = tup
+                        .at(idx)
+                        .as_mpoint_seq()
+                        .map(|seq| {
+                            let clipped = seq.at_periods(&Periods::single(*window));
+                            !inside_region_seq(&clipped, region).when_true().is_empty()
+                        })
+                        .unwrap_or(false);
+                    Some(if keep { Some(tup.clone()) } else { None })
+                });
+                let (kept, quarantined) = apply_on_error(outcomes, opts.on_error)?;
+                let tuples = kept.into_iter().flatten().collect();
+                Ok((
+                    Relation::from_parts(self.schema().clone(), tuples),
+                    quarantined,
+                    report,
+                ))
+            },
+        );
+        let (rel, quarantined, report) = res?;
+        Ok((
+            rel,
+            stats.map(|s| s.with_quarantined(quarantined).with_plan(&report)),
+        ))
     }
 }
 
@@ -495,6 +650,121 @@ mod tests {
             let (hit, fstats) = rel.filter_inside("flight", &zone, &opts).unwrap();
             assert_eq!(hit.len(), 5);
             assert_eq!(fstats.expect("stats").tuples_quarantined, 1);
+        }
+    }
+
+    #[test]
+    fn indexed_scans_match_full_scans_and_prune() {
+        let mut rel = fleet(40);
+        rel.build_index("flight").unwrap();
+        assert!(rel.has_index());
+        let opts_full = ScanOpts::new().stats(true).index(IndexPolicy::Off);
+        let opts_ix = ScanOpts::new().stats(true).index(IndexPolicy::Force);
+
+        // snapshot_at: all flights alive at t=5, none at t=99.
+        for ti in [t(5.0), t(99.0)] {
+            let (a, _) = rel.snapshot_at(ti, &opts_full).unwrap();
+            let (b, sb) = rel.snapshot_at(ti, &opts_ix).unwrap();
+            assert_eq!(a, b, "t={ti:?}");
+            assert_eq!(sb.unwrap().index_fallbacks, 0);
+        }
+        let (_, s99) = rel.snapshot_at(t(99.0), &opts_ix).unwrap();
+        assert_eq!(
+            s99.unwrap().candidates,
+            Some(0),
+            "no flight is alive at t=99"
+        );
+
+        // filter_inside: a selective x-window catches flights 10..=13.
+        let zone = Region::from_ring(rect_ring(9.5, 2.0, 13.5, 8.0));
+        let (a, sa) = rel.filter_inside("flight", &zone, &opts_full).unwrap();
+        let (b, sb) = rel.filter_inside("flight", &zone, &opts_ix).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        let sa = sa.unwrap();
+        let sb = sb.unwrap();
+        assert_eq!(sa.candidates, None, "full path reports no pruning");
+        let cand = sb.candidates.expect("pruned path");
+        assert!(
+            (4..rel.len()).contains(&cand),
+            "pruning kept {cand} of {} tuples",
+            rel.len()
+        );
+
+        // passes: space × time window.
+        let window = mob_base::Interval::closed(t(2.0), t(8.0));
+        let (a, _) = rel.passes("flight", &zone, &window, &opts_full).unwrap();
+        let (b, sb) = rel.passes("flight", &zone, &window, &opts_ix).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        assert!(sb.unwrap().candidates.unwrap() < rel.len());
+
+        // A disjoint window prunes everything.
+        let early = mob_base::Interval::closed(t(90.0), t(95.0));
+        let (none, s) = rel.passes("flight", &zone, &early, &opts_ix).unwrap();
+        assert!(none.is_empty());
+        assert_eq!(s.unwrap().candidates, Some(0));
+    }
+
+    #[test]
+    fn force_without_index_records_a_fallback() {
+        let rel = fleet(5);
+        let opts = ScanOpts::new().stats(true).index(IndexPolicy::Force);
+        let (snap, stats) = rel.snapshot_at(t(5.0), &opts).unwrap();
+        let stats = stats.unwrap();
+        assert_eq!(stats.index_fallbacks, 1, "forced index, none attached");
+        assert_eq!(stats.candidates, None);
+        // Auto without an index is a plain full scan, not a fallback.
+        let (_, auto_stats) = rel
+            .snapshot_at(t(5.0), &ScanOpts::new().stats(true))
+            .unwrap();
+        assert_eq!(auto_stats.unwrap().index_fallbacks, 0);
+        // And the answers are the full-scan answers either way.
+        let (full, _) = rel
+            .snapshot_at(t(5.0), &ScanOpts::new().index(IndexPolicy::Off))
+            .unwrap();
+        assert_eq!(snap, full);
+    }
+
+    #[test]
+    fn index_on_wrong_attr_or_stale_cardinality_falls_back() {
+        let mut rel = fleet(6);
+        rel.build_index("flight").unwrap();
+        // Insert invalidates: the index is dropped, scans run full.
+        let extra = rel.tuples()[0].clone();
+        rel.insert(extra).unwrap();
+        assert!(!rel.has_index());
+        let (_, stats) = rel
+            .snapshot_at(t(5.0), &ScanOpts::new().stats(true))
+            .unwrap();
+        assert_eq!(stats.unwrap().index_fallbacks, 0, "Auto, index dropped");
+
+        // Unknown / non-mpoint attributes are rejected at build time.
+        assert!(rel.build_index("nope").is_err());
+        assert!(rel.build_index("airline").is_err());
+    }
+
+    #[test]
+    fn quarantined_tuples_survive_pruning_accounting() {
+        let mut rel = damaged_fleet(8);
+        rel.build_index("flight").unwrap();
+        // Fail policy: the pruned scan names the damaged tuple exactly
+        // like the full scan does, even when pruning would skip it.
+        let tiny = Region::from_ring(rect_ring(90.0, 90.0, 91.0, 91.0));
+        let err = rel
+            .filter_inside("flight", &tiny, &ScanOpts::new().index(IndexPolicy::Force))
+            .unwrap_err();
+        assert!(err.to_string().contains("tuple 2"), "{err}");
+
+        // SkipAndRecord: same survivors, same tally, index on or off.
+        for policy in [IndexPolicy::Off, IndexPolicy::Force] {
+            let opts = ScanOpts::new()
+                .stats(true)
+                .on_error(OnError::SkipAndRecord)
+                .index(policy);
+            let (hit, stats) = rel.filter_inside("flight", &tiny, &opts).unwrap();
+            assert!(hit.is_empty());
+            assert_eq!(stats.unwrap().tuples_quarantined, 1, "{policy:?}");
         }
     }
 

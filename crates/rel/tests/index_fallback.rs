@@ -1,0 +1,222 @@
+//! End-to-end index lifecycle over the durable store: **build → commit
+//! → recover → prune**, and the degradation contract — a damaged index
+//! frame costs performance (a recorded planner fallback), never
+//! correctness.
+//!
+//! The campaign commits a fleet plus its R-tree (tag-11 root record),
+//! then reopens through a [`FaultyIo`] that flips bits deterministically
+//! per seed. Whatever the flips hit, pruned and full scans must return
+//! identical relations; when the index blob is the casualty, attaching
+//! reports failure and the next scan records `index.fallbacks = 1`.
+
+use mob_base::{t, Interval};
+use mob_core::MovingPoint;
+use mob_rel::catalog::{StoredAttr, StoredTuple};
+use mob_rel::{
+    AttrType, AttrValue, IndexPolicy, OnError, Relation, ScanOpts, StoredRelation, Tuple,
+};
+use mob_spatial::{pt, rect_ring, Region};
+use mob_storage::{DurableStore, FaultyIo, MemIo, RootRecord, StoreFile, StoreIo};
+use std::sync::Arc;
+
+const CHUNK: usize = 128;
+const FLIGHTS: usize = 6;
+const LEGS: usize = 48;
+const FLIPS: u32 = 6;
+
+/// Fresh in-memory copy of a directory (shared-storage [`MemIo::clone`]
+/// would let one seed's recovery prune another's snapshot).
+fn deep_copy(dir: &MemIo) -> MemIo {
+    let copy = MemIo::new();
+    for (name, bytes) in dir.dump() {
+        copy.write_file(&name, &bytes).expect("copy file");
+    }
+    copy
+}
+
+/// The in-memory fleet: zigzag flights so every sample is its own unit
+/// and all arrays stay external.
+fn fleet() -> Relation {
+    let schema =
+        mob_rel::Schema::new(&[("flight", AttrType::Str), ("trip", AttrType::MPoint)]).unwrap();
+    let mut rel = Relation::new(schema);
+    for k in 0..FLIGHTS {
+        let x0 = k as f64;
+        let samples: Vec<_> = (0..LEGS)
+            .map(|i| (t(i as f64), pt(x0 + (i % 2) as f64, i as f64 * 0.5)))
+            .collect();
+        rel.insert(Tuple::new(vec![
+            AttrValue::str(&format!("F{k}")),
+            AttrValue::MPoint(MovingPoint::from_samples(&samples)),
+        ]))
+        .unwrap();
+    }
+    rel
+}
+
+/// Commit the fleet *and its index* into a fresh durable directory.
+fn committed_dir() -> MemIo {
+    let mut rel = fleet();
+    let mut file = StoreFile::new();
+    for tup in rel.tuples() {
+        let name = tup.at(0).as_str().unwrap().to_owned();
+        let AttrValue::MPoint(m) = tup.at(1) else {
+            panic!("fleet holds mpoints");
+        };
+        let stored = mob_storage::mapping_store::save_mpoint(m, file.store_mut());
+        assert!(!stored.units.is_inline(), "unit arrays must be external");
+        file.put(name, RootRecord::MPoint(stored));
+    }
+    rel.build_index("trip").unwrap();
+    let tree = rel.index_tree().expect("just built");
+    let stored_ix = mob_storage::index_store::save_index(tree, file.store_mut());
+    assert!(
+        !stored_ix.entries.is_inline(),
+        "index entries must be external so frame damage quarantines them"
+    );
+    file.put("fleet/index", RootRecord::Index(stored_ix));
+
+    let dir = MemIo::new();
+    let mut store = DurableStore::create(dir.clone(), CHUNK).expect("fresh dir");
+    store
+        .commit_store_file(&file)
+        .expect("commit fleet + index");
+    dir
+}
+
+/// Split an opened catalog into the relation part and the index entry.
+fn catalog(
+    entries: &[(String, RootRecord)],
+) -> (StoredRelation, &mob_storage::index_store::StoredIndex) {
+    let mut tuples = Vec::new();
+    let mut index = None;
+    for (name, root) in entries {
+        match root {
+            RootRecord::MPoint(m) => tuples.push(StoredTuple {
+                attrs: vec![
+                    StoredAttr::Str(Some(name.clone())),
+                    StoredAttr::MPoint(m.clone()),
+                ],
+            }),
+            RootRecord::Index(ix) => index = Some(ix),
+            other => panic!("unexpected entry kind {}", other.kind_name()),
+        }
+    }
+    (
+        StoredRelation {
+            schema: vec![
+                ("flight".to_string(), AttrType::Str),
+                ("trip".to_string(), AttrType::MPoint),
+            ],
+            tuples,
+        },
+        index.expect("index entry committed"),
+    )
+}
+
+/// The selective probe: a small window around flight 2's corridor,
+/// early in the timeline.
+fn probe() -> (Region, Interval<mob_base::Instant>) {
+    (
+        Region::from_ring(rect_ring(1.6, 0.0, 2.4, 30.0)),
+        Interval::closed(t(2.0), t(9.0)),
+    )
+}
+
+#[test]
+fn recovered_index_prunes_the_committed_fleet() {
+    let dir = committed_dir();
+    let (_, file) = DurableStore::open_store_file(dir, CHUNK).expect("clean open");
+    let (store, entries) = file.expect("committed").into_parts();
+    let store = Arc::new(store);
+    let (stored_rel, stored_ix) = catalog(&entries);
+    let mut rel = Relation::from_store(&stored_rel, store.clone()).expect("clean fleet");
+    assert!(
+        rel.attach_stored_index("trip", stored_ix, &store).unwrap(),
+        "clean index must attach"
+    );
+
+    let (zone, window) = probe();
+    let full = ScanOpts::new().stats(true).index(IndexPolicy::Off);
+    let pruned = full.index(IndexPolicy::Force);
+    let (a, _) = rel.passes("trip", &zone, &window, &full).unwrap();
+    let (b, stats) = rel.passes("trip", &zone, &window, &pruned).unwrap();
+    assert_eq!(a, b, "pruning must not change the answer");
+    assert_eq!(
+        a.len(),
+        2,
+        "the zigzags of flights 1 and 2 cross the corridor"
+    );
+    let stats = stats.unwrap();
+    assert_eq!(stats.index_fallbacks, 0);
+    let cand = stats.candidates.expect("pruned path");
+    assert!(cand < FLIGHTS, "candidates {cand} must beat {FLIGHTS}");
+    if mob_obs::enabled() {
+        let nodes = stats.metrics.get("index.nodes_visited");
+        let touched = stats.metrics.get("scan.tuples_probed");
+        assert!(touched <= cand as u64);
+        assert!(nodes > 0, "the prune stage walked the tree");
+    }
+}
+
+#[test]
+fn flipped_index_frames_degrade_to_recorded_full_scans() {
+    let dir = committed_dir();
+    let (zone, window) = probe();
+    let mut opens_ok = 0u32;
+    let mut index_casualties = 0u32;
+    for seed in 0..140u64 {
+        let faulty = FaultyIo::with_read_flips(deep_copy(&dir), FLIPS, seed);
+        let Ok((_, Some((file, _)))) = DurableStore::open_store_file_degraded(faulty, CHUNK) else {
+            // Structural damage: refusing the whole file is the correct
+            // loud outcome — no index question arises.
+            continue;
+        };
+        opens_ok += 1;
+        let (store, entries) = file.into_parts();
+        let store = Arc::new(store);
+        let (stored_rel, stored_ix) = catalog(&entries);
+        let rel = Relation::from_store_with(&stored_rel, store.clone(), OnError::SkipAndRecord)
+            .expect("degraded open tolerates quarantined blobs");
+
+        // Reference answer first, on an index-free twin.
+        let opts_full = ScanOpts::new()
+            .stats(true)
+            .on_error(OnError::SkipAndRecord)
+            .index(IndexPolicy::Off);
+        let (expect, _) = rel
+            .passes("trip", &zone, &window, &opts_full)
+            .expect("full scan survives quarantine");
+
+        let mut rel = rel;
+        let attached = rel
+            .attach_stored_index("trip", stored_ix, &store)
+            .expect("attr is valid");
+        let opts_auto = ScanOpts::new()
+            .stats(true)
+            .on_error(OnError::SkipAndRecord)
+            .index(IndexPolicy::Auto);
+        let (got, stats) = rel
+            .passes("trip", &zone, &window, &opts_auto)
+            .expect("scan never fails because of the index");
+        let stats = stats.unwrap();
+        assert_eq!(got, expect, "seed {seed}: answers are damage-invariant");
+        if attached {
+            assert_eq!(stats.index_fallbacks, 0, "seed {seed}");
+            assert!(stats.candidates.is_some(), "seed {seed}: pruned path");
+        } else {
+            index_casualties += 1;
+            assert!(rel.index_damaged(), "seed {seed}");
+            assert_eq!(
+                stats.index_fallbacks, 1,
+                "seed {seed}: fallback must be recorded"
+            );
+            assert_eq!(stats.candidates, None, "seed {seed}: full path");
+        }
+    }
+    assert!(opens_ok >= 10, "only {opens_ok} degraded opens succeeded");
+    assert!(
+        index_casualties >= 3,
+        "only {index_casualties} seeds damaged the index — campaign too weak"
+    );
+}

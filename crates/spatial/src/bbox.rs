@@ -104,6 +104,18 @@ impl Rect {
             && other.min_y <= self.max_y
     }
 
+    /// `true` if `other` lies entirely inside the (closed) rectangle.
+    /// The empty rectangle is contained in everything and contains only
+    /// itself — the usual union/subset semantics.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.is_empty()
+            || (!self.is_empty()
+                && self.min_x <= other.min_x
+                && other.max_x <= self.max_x
+                && self.min_y <= other.min_y
+                && other.max_y <= self.max_y)
+    }
+
     /// `true` if the point lies in the (closed) rectangle.
     pub fn contains_point(&self, p: Point) -> bool {
         !self.is_empty()
@@ -173,6 +185,16 @@ impl Cube {
     /// conservative test used by the `inside` fast path).
     pub fn intersects(&self, other: &Cube) -> bool {
         self.rect.intersects(&other.rect) && self.t_min <= other.t_max && other.t_min <= self.t_max
+    }
+
+    /// `true` if `other` lies entirely inside this cube (closed
+    /// semantics on both the spatial and the temporal axis) — the
+    /// containment invariant an R-tree node must satisfy for each of
+    /// its children.
+    pub fn contains(&self, other: &Cube) -> bool {
+        self.rect.contains_rect(&other.rect)
+            && self.t_min <= other.t_min
+            && other.t_max <= self.t_max
     }
 
     /// The time span as a closed interval.

@@ -36,6 +36,7 @@ pub mod checked;
 pub mod checksum;
 pub mod dbarray;
 pub mod durable;
+pub mod index_store;
 pub mod io;
 pub mod line_store;
 pub mod mapping_store;
@@ -56,6 +57,7 @@ pub use durable::{
     decode_image_degraded, decode_image_strict, DecodedImage, DurableStore, DEFAULT_CHUNK_SIZE,
     DURABLE_MAGIC, DURABLE_VERSION,
 };
+pub use index_store::{load_index, save_index, StoredIndex};
 pub use io::{FaultMask, FaultyIo, FsIo, MemIo, StoreIo, FAULT_MASKS};
 pub use page::{
     open_frame, seal_frame, validate_page_size, BlobId, PageStore, DEFAULT_PAGE_SIZE,
@@ -67,9 +69,4 @@ pub use tuple::TupleLayout;
 pub use view::{
     open_mbool, open_mline, open_mpoint, open_mpoints, open_mreal, open_mregion, MappingView,
     UnitRecord, Verify, DEFAULT_UNIT_CACHE,
-};
-#[allow(deprecated)] // re-exported for one release; callers get the deprecation note
-pub use view::{
-    view_mbool, view_mline, view_mpoint, view_mpoint_preverified, view_mpoints, view_mreal,
-    view_mregion,
 };

@@ -162,12 +162,6 @@ pub fn save_mbool(m: &MovingBool, store: &mut PageStore) -> StoredMapping {
     }
 }
 
-/// Load `moving(bool)`.
-#[deprecated(note = "use `view::open_mbool(stored, store, Verify::Full)?.materialize_validated()`")]
-pub fn load_mbool(stored: &StoredMapping, store: &PageStore) -> DecodeResult<MovingBool> {
-    crate::view::open_mbool(stored, store, crate::view::Verify::Full)?.materialize_validated()
-}
-
 /// Save `moving(real)`.
 pub fn save_mreal(m: &MovingReal, store: &mut PageStore) -> StoredMapping {
     let records: Vec<URealRecord> = m
@@ -190,12 +184,6 @@ pub fn save_mreal(m: &MovingReal, store: &mut PageStore) -> StoredMapping {
     }
 }
 
-/// Load `moving(real)`.
-#[deprecated(note = "use `view::open_mreal(stored, store, Verify::Full)?.materialize_validated()`")]
-pub fn load_mreal(stored: &StoredMapping, store: &PageStore) -> DecodeResult<MovingReal> {
-    crate::view::open_mreal(stored, store, crate::view::Verify::Full)?.materialize_validated()
-}
-
 /// Save `moving(point)`.
 pub fn save_mpoint(m: &MovingPoint, store: &mut PageStore) -> StoredMapping {
     let records: Vec<UPointRecord> = m
@@ -210,14 +198,6 @@ pub fn save_mpoint(m: &MovingPoint, store: &mut PageStore) -> StoredMapping {
         num_units: count_u32(records.len()),
         units: save_array(&records, store),
     }
-}
-
-/// Load `moving(point)`.
-#[deprecated(
-    note = "use `view::open_mpoint(stored, store, Verify::Full)?.materialize_validated()`"
-)]
-pub fn load_mpoint(stored: &StoredMapping, store: &PageStore) -> DecodeResult<MovingPoint> {
-    crate::view::open_mpoint(stored, store, crate::view::Verify::Full)?.materialize_validated()
 }
 
 // ---------------------------------------------------------------------
@@ -303,14 +283,6 @@ pub fn save_mpoints(m: &MovingPoints, store: &mut PageStore) -> StoredMPoints {
         units: save_array(&records, store),
         motions: save_array(&motions, store),
     }
-}
-
-/// Load `moving(points)`.
-#[deprecated(
-    note = "use `view::open_mpoints(stored, store, Verify::Full)?.materialize_validated()`"
-)]
-pub fn load_mpoints(stored: &StoredMPoints, store: &PageStore) -> DecodeResult<MovingPoints> {
-    crate::view::open_mpoints(stored, store, crate::view::Verify::Full)?.materialize_validated()
 }
 
 // ---------------------------------------------------------------------
@@ -399,12 +371,6 @@ pub fn save_mline(m: &MovingLine, store: &mut PageStore) -> StoredMLine {
         units: save_array(&records, store),
         msegments: save_array(&msegments, store),
     }
-}
-
-/// Load `moving(line)`.
-#[deprecated(note = "use `view::open_mline(stored, store, Verify::Full)?.materialize_validated()`")]
-pub fn load_mline(stored: &StoredMLine, store: &PageStore) -> DecodeResult<MovingLine> {
-    crate::view::open_mline(stored, store, crate::view::Verify::Full)?.materialize_validated()
 }
 
 // ---------------------------------------------------------------------
@@ -609,14 +575,6 @@ pub fn save_mregion(m: &MovingRegion, store: &mut PageStore) -> StoredMRegion {
         mcycles: save_array(&mcycles, store),
         mfaces: save_array(&mfaces, store),
     }
-}
-
-/// Load `moving(region)` by reassembling cycles from the motion chains.
-#[deprecated(
-    note = "use `view::open_mregion(stored, store, Verify::Full)?.materialize_validated()`"
-)]
-pub fn load_mregion(stored: &StoredMRegion, store: &PageStore) -> DecodeResult<MovingRegion> {
-    crate::view::open_mregion(stored, store, crate::view::Verify::Full)?.materialize_validated()
 }
 
 #[cfg(test)]

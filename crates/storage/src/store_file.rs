@@ -24,6 +24,7 @@
 //! ids and every decoded [`SavedArray`] reference stays valid.
 
 use crate::dbarray::{Placement, SavedArray};
+use crate::index_store::StoredIndex;
 use crate::line_store::{StoredLine, StoredPoints};
 use crate::mapping_store::{
     StoredMLine, StoredMPoints, StoredMRegion, StoredMapping, UBoolRecord, ULineRecord,
@@ -62,6 +63,9 @@ pub enum RootRecord {
     Region(StoredRegion),
     /// `range(instant)` value.
     Periods(StoredPeriods),
+    /// Packed R-tree over per-unit bounding cubes (the query planner's
+    /// pruning structure).
+    Index(StoredIndex),
 }
 
 impl RootRecord {
@@ -78,6 +82,7 @@ impl RootRecord {
             RootRecord::Points(_) => 8,
             RootRecord::Region(_) => 9,
             RootRecord::Periods(_) => 10,
+            RootRecord::Index(_) => 11,
         }
     }
 
@@ -94,6 +99,7 @@ impl RootRecord {
             RootRecord::Points(_) => "points",
             RootRecord::Region(_) => "region",
             RootRecord::Periods(_) => "periods",
+            RootRecord::Index(_) => "index",
         }
     }
 }
@@ -561,6 +567,12 @@ fn write_root(out: &mut Vec<u8>, root: &RootRecord) {
             put_u32(out, p.count);
             write_saved(out, &p.intervals);
         }
+        RootRecord::Index(ix) => {
+            put_u32(out, ix.num_tuples);
+            put_u32(out, ix.fanout);
+            write_saved(out, &ix.entries);
+            write_saved(out, &ix.nodes);
+        }
     }
 }
 
@@ -628,6 +640,12 @@ fn read_root(cur: &mut Cursor<'_>, tag: u8, n_blobs: usize) -> DecodeResult<Root
         10 => RootRecord::Periods(StoredPeriods {
             count: cur.take_u32("periods root count")?,
             intervals: read_saved(cur, n_blobs)?,
+        }),
+        11 => RootRecord::Index(StoredIndex {
+            num_tuples: cur.take_u32("index root tuple count")?,
+            fanout: cur.take_u32("index root fanout")?,
+            entries: read_saved(cur, n_blobs)?,
+            nodes: read_saved(cur, n_blobs)?,
         }),
         t => {
             return Err(DecodeError::BadTag {

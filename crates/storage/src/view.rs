@@ -297,8 +297,8 @@ impl UnitRecord for URegionRecord {
 /// A lazy [`UnitSeq`] over a serialized mapping: unit records are read
 /// and decoded **on demand**, straight out of the page store.
 ///
-/// Construct with [`view_mbool`], [`view_mreal`], [`view_mpoint`],
-/// [`view_mpoints`], [`view_mline`] or [`view_mregion`] — all of which
+/// Construct with [`open_mbool`], [`open_mreal`], [`open_mpoint`],
+/// [`open_mpoints`], [`open_mline`] or [`open_mregion`] — all of which
 /// verify the stored layout and record structure before returning a
 /// view (see the module docs).
 pub struct MappingView<'s, R: UnitRecord> {
@@ -682,70 +682,6 @@ pub fn open_mregion<'s>(
         },
         verify,
     )
-}
-
-/// Lazy view over a stored `moving(bool)`.
-#[deprecated(note = "use `open_mbool(stored, store, Verify::Full)`")]
-pub fn view_mbool<'s>(
-    stored: &'s StoredMapping,
-    store: &'s PageStore,
-) -> DecodeResult<MappingView<'s, UBoolRecord>> {
-    open_mbool(stored, store, Verify::Full)
-}
-
-/// Lazy view over a stored `moving(real)`.
-#[deprecated(note = "use `open_mreal(stored, store, Verify::Full)`")]
-pub fn view_mreal<'s>(
-    stored: &'s StoredMapping,
-    store: &'s PageStore,
-) -> DecodeResult<MappingView<'s, URealRecord>> {
-    open_mreal(stored, store, Verify::Full)
-}
-
-/// Lazy view over a stored `moving(point)`.
-#[deprecated(note = "use `open_mpoint(stored, store, Verify::Full)`")]
-pub fn view_mpoint<'s>(
-    stored: &'s StoredMapping,
-    store: &'s PageStore,
-) -> DecodeResult<MappingView<'s, UPointRecord>> {
-    open_mpoint(stored, store, Verify::Full)
-}
-
-/// Lazy view over a stored `moving(point)` without the `O(n)`
-/// structural re-scan.
-#[deprecated(note = "use `open_mpoint(stored, store, Verify::Preverified)`")]
-pub fn view_mpoint_preverified<'s>(
-    stored: &'s StoredMapping,
-    store: &'s PageStore,
-) -> DecodeResult<MappingView<'s, UPointRecord>> {
-    open_mpoint(stored, store, Verify::Preverified)
-}
-
-/// Lazy view over a stored `moving(points)`.
-#[deprecated(note = "use `open_mpoints(stored, store, Verify::Full)`")]
-pub fn view_mpoints<'s>(
-    stored: &'s StoredMPoints,
-    store: &'s PageStore,
-) -> DecodeResult<MappingView<'s, UPointsRecord>> {
-    open_mpoints(stored, store, Verify::Full)
-}
-
-/// Lazy view over a stored `moving(line)`.
-#[deprecated(note = "use `open_mline(stored, store, Verify::Full)`")]
-pub fn view_mline<'s>(
-    stored: &'s StoredMLine,
-    store: &'s PageStore,
-) -> DecodeResult<MappingView<'s, ULineRecord>> {
-    open_mline(stored, store, Verify::Full)
-}
-
-/// Lazy view over a stored `moving(region)`.
-#[deprecated(note = "use `open_mregion(stored, store, Verify::Full)`")]
-pub fn view_mregion<'s>(
-    stored: &'s StoredMRegion,
-    store: &'s PageStore,
-) -> DecodeResult<MappingView<'s, URegionRecord>> {
-    open_mregion(stored, store, Verify::Full)
 }
 
 #[cfg(test)]

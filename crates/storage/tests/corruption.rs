@@ -20,11 +20,14 @@
 
 use mob_base::{t, Interval, Periods, TimeInterval, Validate};
 use mob_core::{
-    ConstUnit, MSeg, Mapping, MovingPoint, PointMotion, ULine, UPoints, UReal, URegion,
+    unit_cubes, ConstUnit, MSeg, Mapping, MovingPoint, PointMotion, RTree, ULine, UPoints, UReal,
+    URegion,
 };
 use mob_spatial::{pt, rect_ring, seg, Face, Line, Points, Region};
 use mob_storage::store_file::RootRecord;
-use mob_storage::{line_store, mapping_store, range_store, region_store, view, StoreFile};
+use mob_storage::{
+    index_store, line_store, mapping_store, range_store, region_store, view, StoreFile,
+};
 use proptest::prelude::*;
 
 const MASKS: [u8; 11] = [
@@ -69,6 +72,9 @@ fn exercise(bytes: &[u8]) -> Result<(), String> {
             RootRecord::Periods(s) => {
                 let p = range_store::load_periods(s, store).map_err(|e| e.to_string())?;
                 p.validate().map_err(|e| e.to_string())?;
+            }
+            RootRecord::Index(s) => {
+                index_store::load_index(s, store).map_err(|e| e.to_string())?;
             }
         }
     }
@@ -263,13 +269,31 @@ fn put_periods(file: &mut StoreFile) {
     file.put("periods", RootRecord::Periods(stored));
 }
 
+fn put_index(file: &mut StoreFile) {
+    let mut entries = Vec::new();
+    for k in 0..6u32 {
+        let samples: Vec<_> = (0..8)
+            .map(|i| {
+                (
+                    t(f64::from(i)),
+                    pt(f64::from(k) + f64::from(i % 2), f64::from(i)),
+                )
+            })
+            .collect();
+        entries.extend(unit_cubes(k, &MovingPoint::from_samples(&samples)));
+    }
+    let tree = RTree::bulk(6, entries);
+    let stored = index_store::save_index(&tree, file.store_mut());
+    file.put("index", RootRecord::Index(stored));
+}
+
 fn single(put: fn(&mut StoreFile)) -> StoreFile {
     let mut file = StoreFile::new();
     put(&mut file);
     file
 }
 
-/// All ten kinds in one file (the randomized fuzz target).
+/// All eleven kinds in one file (the randomized fuzz target).
 fn all_kinds_bytes() -> Vec<u8> {
     let mut file = StoreFile::new();
     for put in [
@@ -283,6 +307,7 @@ fn all_kinds_bytes() -> Vec<u8> {
         put_points,
         put_region,
         put_periods,
+        put_index,
     ] {
         put(&mut file);
     }
@@ -341,6 +366,11 @@ fn sweep_region() {
 #[test]
 fn sweep_periods() {
     sweep(&single(put_periods), "periods");
+}
+
+#[test]
+fn sweep_index() {
+    sweep(&single(put_index), "index");
 }
 
 #[test]
