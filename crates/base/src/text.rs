@@ -29,8 +29,15 @@ impl Text {
             ));
         }
         let mut bytes = [0u8; Text::CAPACITY];
-        bytes[..s.len()].copy_from_slice(s.as_bytes());
-        let len = u8::try_from(s.len()).expect("length checked against CAPACITY above");
+        for (d, b) in bytes.iter_mut().zip(s.as_bytes()) {
+            *d = *b;
+        }
+        let len = u8::try_from(s.len()).map_err(|_| {
+            InvariantViolation::with_detail(
+                "string: length exceeds u8 range",
+                format!("{} > {}", s.len(), u8::MAX),
+            )
+        })?;
         Ok(Text { len, bytes })
     }
 

@@ -238,7 +238,11 @@ impl Pool {
             for w in 0..workers {
                 scope.spawn(move || {
                     loop {
-                        let k = cursor.fetch_add(1, Ordering::Relaxed);
+                        // AcqRel: the Release half publishes this worker's
+                        // claim before it touches chunk k; the Acquire half
+                        // pairs with the other workers' claims so no two
+                        // workers ever observe the same k.
+                        let k = cursor.fetch_add(1, Ordering::AcqRel);
                         let Some(chunk) = chunks.get(k) else { break };
                         match catch_unwind(AssertUnwindSafe(|| {
                             chunk.iter().map(f).collect::<Vec<R>>()

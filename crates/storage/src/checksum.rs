@@ -41,16 +41,22 @@ fn merge_round(acc: u64, val: u64) -> u64 {
 }
 
 #[inline]
-fn read_u64(b: &[u8]) -> u64 {
+fn read_u64_at(b: &[u8], off: usize) -> u64 {
+    // Total zip-copy: missing bytes read as zero (the loop guards below
+    // always supply the full word, but nothing here can panic).
     let mut v = [0u8; 8];
-    v.copy_from_slice(&b[..8]);
+    for (d, s) in v.iter_mut().zip(b.iter().skip(off)) {
+        *d = *s;
+    }
     u64::from_le_bytes(v)
 }
 
 #[inline]
 fn read_u32(b: &[u8]) -> u64 {
     let mut v = [0u8; 4];
-    v.copy_from_slice(&b[..4]);
+    for (d, s) in v.iter_mut().zip(b) {
+        *d = *s;
+    }
     u64::from(u32::from_le_bytes(v))
 }
 
@@ -72,11 +78,11 @@ pub fn checksum64_seeded(bytes: &[u8], seed: u64) -> u64 {
         let mut v3 = seed;
         let mut v4 = seed.wrapping_sub(PRIME_1);
         while rest.len() >= 32 {
-            v1 = round(v1, read_u64(rest));
-            v2 = round(v2, read_u64(&rest[8..]));
-            v3 = round(v3, read_u64(&rest[16..]));
-            v4 = round(v4, read_u64(&rest[24..]));
-            rest = &rest[32..];
+            v1 = round(v1, read_u64_at(rest, 0));
+            v2 = round(v2, read_u64_at(rest, 8));
+            v3 = round(v3, read_u64_at(rest, 16));
+            v4 = round(v4, read_u64_at(rest, 24));
+            rest = rest.get(32..).unwrap_or_default();
         }
         h = v1
             .rotate_left(1)
@@ -92,18 +98,18 @@ pub fn checksum64_seeded(bytes: &[u8], seed: u64) -> u64 {
     }
     h = h.wrapping_add(len);
     while rest.len() >= 8 {
-        h = (h ^ round(0, read_u64(rest)))
+        h = (h ^ round(0, read_u64_at(rest, 0)))
             .rotate_left(27)
             .wrapping_mul(PRIME_1)
             .wrapping_add(PRIME_4);
-        rest = &rest[8..];
+        rest = rest.get(8..).unwrap_or_default();
     }
     if rest.len() >= 4 {
         h = (h ^ read_u32(rest).wrapping_mul(PRIME_1))
             .rotate_left(23)
             .wrapping_mul(PRIME_2)
             .wrapping_add(PRIME_3);
-        rest = &rest[4..];
+        rest = rest.get(4..).unwrap_or_default();
     }
     for &b in rest {
         h = (h ^ u64::from(b).wrapping_mul(PRIME_5))

@@ -121,14 +121,20 @@ struct Superblock {
 }
 
 fn get_u32_at(b: &[u8], at: usize) -> u32 {
+    // Total zip-copy: missing bytes read as zero (callers have already
+    // length-checked the superblock, but nothing here can panic).
     let mut v = [0u8; 4];
-    v.copy_from_slice(&b[at..at + 4]);
+    for (d, s) in v.iter_mut().zip(b.iter().skip(at)) {
+        *d = *s;
+    }
     u32::from_le_bytes(v)
 }
 
 fn get_u64_at(b: &[u8], at: usize) -> u64 {
     let mut v = [0u8; 8];
-    v.copy_from_slice(&b[at..at + 8]);
+    for (d, s) in v.iter_mut().zip(b.iter().skip(at)) {
+        *d = *s;
+    }
     u64::from_le_bytes(v)
 }
 
@@ -140,10 +146,11 @@ fn parse_superblock(sb: &[u8]) -> DecodeResult<Superblock> {
             found: sb.len(),
         });
     }
-    if &sb[..8] != DURABLE_MAGIC {
+    let magic = sb.get(..8).unwrap_or_default();
+    if magic != DURABLE_MAGIC {
         return Err(DecodeError::BadStructure {
             what: "durable magic",
-            detail: format!("expected {DURABLE_MAGIC:?}, found {:?}", &sb[..8]),
+            detail: format!("expected {DURABLE_MAGIC:?}, found {magic:?}"),
         });
     }
     let version = get_u32_at(sb, 8);
@@ -203,10 +210,12 @@ fn decode_image(bytes: &[u8], tolerate_chunk_damage: bool) -> DecodeResult<Decod
         let clen = sb.chunk_size.min(sb.payload_len - off);
         let flen = FRAME_OVERHEAD + clen;
         let mut ok = false;
-        if rest.len() >= flen {
-            match open_frame(&rest[..flen]) {
+        if let Some(frame) = rest.get(..flen) {
+            match open_frame(frame) {
                 Ok((chunk, _)) if chunk.len() == clen => {
-                    payload[off..off + clen].copy_from_slice(chunk);
+                    for (d, s) in payload.iter_mut().skip(off).zip(chunk) {
+                        *d = *s;
+                    }
                     ok = true;
                 }
                 Ok((chunk, _)) => {
@@ -234,7 +243,7 @@ fn decode_image(bytes: &[u8], tolerate_chunk_damage: bool) -> DecodeResult<Decod
         if !ok {
             damaged.push((off, off + clen));
         }
-        rest = &rest[flen.min(rest.len())..];
+        rest = rest.get(flen..).unwrap_or_default();
         off += clen;
     }
     if !rest.is_empty() && !tolerate_chunk_damage {

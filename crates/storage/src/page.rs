@@ -361,11 +361,17 @@ pub fn open_frame(bytes: &[u8]) -> DecodeResult<(&[u8], &[u8])> {
             have: bytes.len(),
         });
     }
+    // Total zip-copies: the length check above guarantees the full
+    // header is present, and nothing here can panic regardless.
     let mut crc8 = [0u8; 8];
-    crc8.copy_from_slice(&bytes[..8]);
+    for (d, s) in crc8.iter_mut().zip(bytes) {
+        *d = *s;
+    }
     let stored = u64::from_le_bytes(crc8);
     let mut len4 = [0u8; 4];
-    len4.copy_from_slice(&bytes[8..12]);
+    for (d, s) in len4.iter_mut().zip(bytes.iter().skip(8)) {
+        *d = *s;
+    }
     let len = crate::checked::idx_usize(u32::from_le_bytes(len4));
     let end = FRAME_OVERHEAD
         .checked_add(len)
@@ -381,7 +387,7 @@ pub fn open_frame(bytes: &[u8]) -> DecodeResult<(&[u8], &[u8])> {
             have: bytes.len(),
         });
     }
-    let found = checksum64(&bytes[8..end]);
+    let found = checksum64(bytes.get(8..end).unwrap_or_default());
     if found != stored {
         return Err(DecodeError::ChecksumMismatch {
             what: "page frame",
@@ -389,7 +395,9 @@ pub fn open_frame(bytes: &[u8]) -> DecodeResult<(&[u8], &[u8])> {
             found,
         });
     }
-    Ok((&bytes[FRAME_OVERHEAD..end], &bytes[end..]))
+    let payload = bytes.get(FRAME_OVERHEAD..end).unwrap_or_default();
+    let rest = bytes.get(end..).unwrap_or_default();
+    Ok((payload, rest))
 }
 
 #[cfg(test)]

@@ -56,7 +56,9 @@ pub fn get_f64(buf: &[u8], off: usize) -> DecodeResult<f64> {
     match buf.get(off..off + 8) {
         Some(b) => {
             let mut arr = [0u8; 8];
-            arr.copy_from_slice(b);
+            for (d, s) in arr.iter_mut().zip(b) {
+                *d = *s;
+            }
             Ok(f64::from_le_bytes(arr))
         }
         None => Err(DecodeError::Truncated {
@@ -77,7 +79,9 @@ pub fn get_u32(buf: &[u8], off: usize) -> DecodeResult<u32> {
     match buf.get(off..off + 4) {
         Some(b) => {
             let mut arr = [0u8; 4];
-            arr.copy_from_slice(b);
+            for (d, s) in arr.iter_mut().zip(b) {
+                *d = *s;
+            }
             Ok(u32::from_le_bytes(arr))
         }
         None => Err(DecodeError::Truncated {
@@ -120,7 +124,9 @@ impl FixedRecord for i64 {
     fn read(buf: &[u8]) -> DecodeResult<i64> {
         need_bytes(buf, 8, "i64")?;
         let mut arr = [0u8; 8];
-        arr.copy_from_slice(&buf[..8]);
+        for (d, s) in arr.iter_mut().zip(buf) {
+            *d = *s;
+        }
         Ok(i64::from_le_bytes(arr))
     }
 }

@@ -1,0 +1,20 @@
+//! Direct-sink and unresolved-call cases for the `panic_reach`
+//! self-test (see lib.rs for the marker contract).
+
+/// Seed: data-derived indexing fires on both sink lines.
+pub fn decode_image_header(bytes: &[u8]) -> u8 {
+    let at = usize::from(bytes[0]); //~ untrusted index
+    bytes[at] //~ untrusted index
+}
+
+/// Seed: full-range reslices and `debug_assert!` bodies are exempt.
+pub fn decode_image_body(bytes: &[u8]) -> &[u8] {
+    debug_assert!(bytes[0] > 0); // compiled out of release builds
+    &bytes[..]
+}
+
+/// Seed: a call that resolves to no workspace fn and no audited-total
+/// builtin is treated as potentially panicking.
+pub fn decode_image_footer(bytes: &[u8]) -> usize {
+    mystery_widen(bytes.len()) //~ unresolved call
+}

@@ -1,0 +1,50 @@
+//! Miniature decode surface for the `panic_reach` self-test. Every line
+//! carrying a tilde marker must be reported; every other line must not.
+//!
+//! The pairing demonstrated here is the one the acceptance criteria ask
+//! for: `open_mpoint` reaches a panic through a transitive helper and
+//! fires, while `open_mpoint_checked` — the same shape with the panic
+//! replaced by `?`-propagation — stays silent. Deleting that fix (say,
+//! turning `checked_helper`'s `ok_or` back into `unwrap`) makes the
+//! pass fire on it again.
+
+mod decode;
+
+/// Decode failure marker for the `?`-propagating twin.
+pub struct DecodeError;
+
+/// Seed: reaches a panic transitively (seed -> helper -> unwrap).
+pub fn open_mpoint(bytes: &[u8]) -> usize {
+    helper(bytes)
+}
+
+/// Seed twin: identical shape, `?`-propagated — must NOT fire.
+pub fn open_mpoint_checked(bytes: &[u8]) -> Result<usize, DecodeError> {
+    checked_helper(bytes)
+}
+
+fn helper(bytes: &[u8]) -> usize {
+    let first = bytes.first().unwrap(); //~ transitive unwrap
+    usize::from(*first)
+}
+
+fn checked_helper(bytes: &[u8]) -> Result<usize, DecodeError> {
+    let first = bytes.first().ok_or(DecodeError)?;
+    Ok(usize::from(*first))
+}
+
+/// Seed gated `#[cfg(not(test))]`: still production code, still audited.
+#[cfg(not(test))]
+pub fn open_mpoint_raw(bytes: &[u8]) -> u8 {
+    bytes[0] //~ cfg(not(test)) is not a test gate
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_invisible_to_the_pass() {
+        assert_eq!(super::open_mpoint(&[3]), 3);
+        let v = vec![1, 2];
+        let _ = v[0]; // test-gated indexing: never reported
+    }
+}

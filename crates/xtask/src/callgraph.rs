@@ -1,0 +1,1236 @@
+//! Item extraction and an over-approximate intra-workspace call graph
+//! over the token stream from [`crate::lex`].
+//!
+//! The extractor walks each file's tokens structurally: it records every
+//! `fn` item (with its enclosing `impl`/`trait` type so methods get a
+//! `Type::name` qualified identity), tuple-struct and enum-variant
+//! constructors, `use` imports, and which token ranges are gated behind
+//! `#[cfg(test)]` / `#[test]` — at token level, so `#[cfg(not(test))]`
+//! is correctly *not* a test region (the old masked-line scanner got
+//! that wrong) and braces inside literals can never desynchronize the
+//! region tracking.
+//!
+//! Function bodies are then scanned for **call sites** (plain calls,
+//! `Type::method` calls, `.method()` calls — turbofish handled) and
+//! **panic sinks**: `panic!`/`unreachable!`/`todo!`/`unimplemented!`,
+//! `.unwrap()`, `.expect(…)`, and postfix `[…]` index/slice expressions.
+//! Anything inside a `debug_assert!`/`debug_assert_eq!`/
+//! `debug_assert_ne!` argument list is exempt (those bodies compile out
+//! of release builds and assert programmer invariants, not data).
+//!
+//! Call resolution is deliberately **over-approximate**: a call edge is
+//! drawn to *every* workspace `fn` with a matching name (narrowed by
+//! the `Type::` qualifier when one is written). A call that resolves to
+//! no workspace `fn`, no recorded constructor, and no entry of the
+//! audited [`TOTAL_BUILTINS`] table is treated as **potentially
+//! panicking** — the analysis refuses to assume an unknown callee is
+//! total.
+
+use crate::lex::{is_keyword, lex, Kind, Tok};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Index of the file (into [`Graph::files`]) this fn lives in.
+    pub file: usize,
+    /// Bare name (`open_mpoint`).
+    pub name: String,
+    /// Enclosing `impl`/`trait` type (`StoreFile`), if any.
+    pub qual: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Facts gathered from the body.
+    pub facts: BodyFacts,
+    /// Inside `#[cfg(test)]` / `#[test]` gated code.
+    pub is_test: bool,
+}
+
+impl FnItem {
+    /// `Type::name` when qualified, else the bare name.
+    pub fn qualified(&self) -> String {
+        match &self.qual {
+            Some(q) => format!("{q}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// A call site inside a fn body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Callee name (last path segment / method name).
+    pub name: String,
+    /// Written qualifier (`checked` in `checked::idx_usize(…)`,
+    /// `Vec` in `Vec::new()`), with `Self` already substituted.
+    pub qual: Option<String>,
+    /// True for `.method()` receiver calls.
+    pub method: bool,
+    /// 1-based line of the call.
+    pub line: usize,
+}
+
+/// A direct panic-capable site inside a fn body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkKind {
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+    PanicMacro,
+    /// `.unwrap()`.
+    Unwrap,
+    /// `.expect(…)`.
+    Expect,
+    /// Postfix `[…]` index or sub-range slice expression.
+    Index,
+}
+
+impl SinkKind {
+    /// Human label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SinkKind::PanicMacro => "panic-family macro",
+            SinkKind::Unwrap => ".unwrap()",
+            SinkKind::Expect => ".expect(…)",
+            SinkKind::Index => "[…] index/slice",
+        }
+    }
+}
+
+/// Calls and sinks of one fn body.
+#[derive(Debug, Clone, Default)]
+pub struct BodyFacts {
+    /// Every call site found.
+    pub calls: Vec<Call>,
+    /// Every direct panic sink found.
+    pub sinks: Vec<(SinkKind, usize)>,
+}
+
+/// One lexed + extracted source file.
+pub struct SourceFile {
+    /// Repo-relative path with `/` separators.
+    pub path: String,
+    /// Crate directory name (`storage`, `core`, …).
+    pub crate_name: String,
+    /// Token stream.
+    pub toks: Vec<Tok>,
+    /// Raw source lines (for violation content).
+    pub raw_lines: Vec<String>,
+    /// Per-token: inside a test-gated region.
+    pub in_test: Vec<bool>,
+    /// `use` imports: leaf/alias name → first path segment.
+    pub imports: BTreeMap<String, String>,
+}
+
+/// Extraction results for one file that live outside [`SourceFile`].
+pub struct FileItems {
+    /// The fn items found.
+    pub fns: Vec<RawFn>,
+    /// Tuple-struct / tuple-variant constructor names (bare and
+    /// `Enum::Variant`).
+    pub constructors: BTreeSet<String>,
+    /// Type names defined or implemented in this file.
+    pub types: BTreeSet<String>,
+}
+
+impl SourceFile {
+    /// Lex and extract `src`. `path` is stored verbatim; `crate_name`
+    /// tags which crate the file belongs to.
+    pub fn new(path: String, crate_name: String, src: &str) -> (SourceFile, FileItems) {
+        let toks = lex(src);
+        let raw_lines: Vec<String> = src.lines().map(str::to_string).collect();
+        let mut p = Parser {
+            toks: &toks,
+            out: Extract::default(),
+        };
+        p.items(0, toks.len(), None, false);
+        let Extract {
+            fns,
+            constructors,
+            types,
+            imports,
+            test_ranges,
+        } = p.out;
+        let mut in_test = vec![false; toks.len()];
+        for (s, e) in test_ranges {
+            for flag in in_test.iter_mut().take(e.min(toks.len())).skip(s) {
+                *flag = true;
+            }
+        }
+        let sf = SourceFile {
+            path,
+            crate_name,
+            toks,
+            raw_lines,
+            in_test,
+            imports,
+        };
+        (
+            sf,
+            FileItems {
+                fns,
+                constructors,
+                types,
+            },
+        )
+    }
+
+    /// Trimmed raw source of 1-based `line` (empty if out of range).
+    pub fn line_content(&self, line: usize) -> String {
+        self.raw_lines
+            .get(line.saturating_sub(1))
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }
+}
+
+/// A fn as the parser sees it, before graph assembly.
+#[derive(Debug, Clone)]
+pub struct RawFn {
+    /// Bare name.
+    pub name: String,
+    /// Enclosing impl/trait type.
+    pub qual: Option<String>,
+    /// Line of the `fn` keyword.
+    pub line: usize,
+    /// Token range of the body (`{`..=`}`), empty for bodyless decls.
+    pub body: (usize, usize),
+    /// Parameter names: a call to one of these is a higher-order
+    /// invocation of a value, not of a free fn.
+    pub params: Vec<String>,
+    /// Test-gated.
+    pub is_test: bool,
+}
+
+#[derive(Default)]
+struct Extract {
+    fns: Vec<RawFn>,
+    constructors: BTreeSet<String>,
+    types: BTreeSet<String>,
+    imports: BTreeMap<String, String>,
+    test_ranges: Vec<(usize, usize)>,
+}
+
+// ---- item parser -----------------------------------------------------
+
+struct Parser<'t> {
+    toks: &'t [Tok],
+    out: Extract,
+}
+
+impl<'t> Parser<'t> {
+    fn tok(&self, i: usize) -> Option<&Tok> {
+        self.toks.get(i)
+    }
+
+    /// Index just past the delimiter group opening at `i` (which must
+    /// be an `Open` token); tolerant of unbalanced input.
+    fn skip_group(&self, i: usize) -> usize {
+        let Some(open) = self.tok(i) else {
+            return i + 1;
+        };
+        if open.kind != Kind::Open {
+            return i + 1;
+        }
+        let mut depth = 0usize;
+        let mut j = i;
+        while let Some(t) = self.tok(j) {
+            match t.kind {
+                Kind::Open => depth += 1,
+                Kind::Close => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Skip a generics group `<…>` starting at `i` (a `<` punct).
+    /// Counts `<`/`<<` against `>`/`>>`/`>=`-style tokens.
+    fn skip_angles(&self, i: usize) -> usize {
+        let mut depth = 0i64;
+        let mut j = i;
+        while let Some(t) = self.tok(j) {
+            match t.kind {
+                Kind::Punct => {
+                    depth += match t.text.as_str() {
+                        "<" => 1,
+                        "<<" => 2,
+                        ">" => -1,
+                        ">>" => -2,
+                        _ => 0,
+                    };
+                    if depth <= 0 && j > i {
+                        return j + 1;
+                    }
+                }
+                // groups inside generics (const generics, fn types)
+                Kind::Open => {
+                    j = self.skip_group(j);
+                    continue;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Skip to just past the next `;` at group depth 0.
+    fn skip_to_semi(&self, mut i: usize) -> usize {
+        while let Some(t) = self.tok(i) {
+            if t.kind == Kind::Open {
+                i = self.skip_group(i);
+                continue;
+            }
+            if t.is_punct(";") {
+                return i + 1;
+            }
+            i += 1;
+        }
+        i
+    }
+
+    /// Parse items in `[i, end)`; `qual` is the enclosing impl/trait
+    /// type, `in_test` whether the region is already test-gated.
+    fn items(&mut self, mut i: usize, end: usize, qual: Option<&str>, in_test: bool) {
+        let mut pending_test = false;
+        let mut attr_start: Option<usize> = None;
+        while i < end {
+            let Some(t) = self.tok(i) else { break };
+            // attribute: #[…] or #![…]
+            if t.is_punct("#") {
+                let mut j = i + 1;
+                if self.tok(j).is_some_and(|t| t.is_punct("!")) {
+                    j += 1;
+                }
+                if self.tok(j).is_some_and(|t| t.is_open('[')) {
+                    let close = self.skip_group(j);
+                    if attr_is_test(&self.toks[j..close]) {
+                        pending_test = true;
+                    }
+                    attr_start.get_or_insert(i);
+                    i = close;
+                    continue;
+                }
+                i += 1;
+                continue;
+            }
+            if t.kind != Kind::Ident {
+                i += 1;
+                continue;
+            }
+            match t.text.as_str() {
+                // modifiers — keep pending attrs
+                "pub" => {
+                    i += 1;
+                    if self.tok(i).is_some_and(|t| t.is_open('(')) {
+                        i = self.skip_group(i);
+                    }
+                }
+                "unsafe" | "async" | "default" => i += 1,
+                "extern" => {
+                    i += 1;
+                    if self.tok(i).is_some_and(|t| t.kind == Kind::Str) {
+                        i += 1;
+                    }
+                    if self.tok(i).is_some_and(|t| t.is_ident("crate")) {
+                        i = self.skip_to_semi(i);
+                        (pending_test, attr_start) = (false, None);
+                    }
+                }
+                "const" => {
+                    if self.tok(i + 1).is_some_and(|t| t.is_ident("fn")) {
+                        i += 1; // fall through to fn on next loop turn
+                    } else {
+                        let start = attr_start.unwrap_or(i);
+                        i = self.skip_to_semi(i);
+                        if pending_test {
+                            self.out.test_ranges.push((start, i));
+                        }
+                        (pending_test, attr_start) = (false, None);
+                    }
+                }
+                "fn" => {
+                    let start = attr_start.unwrap_or(i);
+                    i = self.parse_fn(i, qual, in_test || pending_test);
+                    if pending_test && !in_test {
+                        self.out.test_ranges.push((start, i));
+                    }
+                    (pending_test, attr_start) = (false, None);
+                }
+                "mod" => {
+                    let start = attr_start.unwrap_or(i);
+                    let mut j = i + 2; // mod name
+                    if self.tok(j).is_some_and(|t| t.is_open('{')) {
+                        let close = self.skip_group(j);
+                        self.items(j + 1, close - 1, None, in_test || pending_test);
+                        if pending_test && !in_test {
+                            self.out.test_ranges.push((start, close));
+                        }
+                        j = close;
+                    } else {
+                        j = self.skip_to_semi(j);
+                    }
+                    i = j;
+                    (pending_test, attr_start) = (false, None);
+                }
+                "impl" => {
+                    let start = attr_start.unwrap_or(i);
+                    i = self.parse_impl(i, in_test || pending_test);
+                    if pending_test && !in_test {
+                        self.out.test_ranges.push((start, i));
+                    }
+                    (pending_test, attr_start) = (false, None);
+                }
+                "trait" => {
+                    let start = attr_start.unwrap_or(i);
+                    let name = self
+                        .tok(i + 1)
+                        .filter(|t| t.kind == Kind::Ident)
+                        .map(|t| t.text.clone());
+                    if let Some(n) = &name {
+                        self.out.types.insert(n.clone());
+                    }
+                    let mut j = i + 2;
+                    while let Some(t) = self.tok(j) {
+                        if t.is_open('{') {
+                            break;
+                        }
+                        if t.is_punct(";") {
+                            break;
+                        }
+                        j += 1;
+                    }
+                    if self.tok(j).is_some_and(|t| t.is_open('{')) {
+                        let close = self.skip_group(j);
+                        self.items(j + 1, close - 1, name.as_deref(), in_test || pending_test);
+                        if pending_test && !in_test {
+                            self.out.test_ranges.push((start, close));
+                        }
+                        i = close;
+                    } else {
+                        i = j + 1;
+                    }
+                    (pending_test, attr_start) = (false, None);
+                }
+                "struct" | "enum" | "union" => {
+                    let is_enum = t.text == "enum";
+                    let start = attr_start.unwrap_or(i);
+                    i = self.parse_type_def(i, is_enum);
+                    if pending_test {
+                        self.out.test_ranges.push((start, i));
+                    }
+                    (pending_test, attr_start) = (false, None);
+                }
+                "static" | "type" => {
+                    let start = attr_start.unwrap_or(i);
+                    // a type alias name is callable like the aliased type
+                    if t.text == "type" {
+                        if let Some(n) = self.tok(i + 1).filter(|t| t.kind == Kind::Ident) {
+                            self.out.types.insert(n.text.clone());
+                        }
+                    }
+                    i = self.skip_to_semi(i);
+                    if pending_test {
+                        self.out.test_ranges.push((start, i));
+                    }
+                    (pending_test, attr_start) = (false, None);
+                }
+                "use" => {
+                    let semi = self.skip_to_semi(i);
+                    let start = attr_start.unwrap_or(i);
+                    self.parse_use(i + 1, semi - 1);
+                    if pending_test {
+                        self.out.test_ranges.push((start, semi));
+                    }
+                    i = semi;
+                    (pending_test, attr_start) = (false, None);
+                }
+                "macro_rules" => {
+                    // macro_rules! name { … }
+                    let mut j = i + 1;
+                    while let Some(t) = self.tok(j) {
+                        if t.kind == Kind::Open {
+                            j = self.skip_group(j);
+                            break;
+                        }
+                        j += 1;
+                    }
+                    i = j;
+                    (pending_test, attr_start) = (false, None);
+                }
+                _ => {
+                    i += 1;
+                    (pending_test, attr_start) = (false, None);
+                }
+            }
+        }
+    }
+
+    /// Parse `fn name …` at `i` (the `fn` token). Returns the index
+    /// just past the item.
+    fn parse_fn(&mut self, i: usize, qual: Option<&str>, is_test: bool) -> usize {
+        let line = self.toks[i].line;
+        let Some(name_tok) = self.tok(i + 1).filter(|t| t.kind == Kind::Ident) else {
+            return i + 1;
+        };
+        let name = name_tok.text.clone();
+        let mut j = i + 2;
+        if self.tok(j).is_some_and(|t| t.is_punct("<")) {
+            j = self.skip_angles(j);
+        }
+        let mut params = Vec::new();
+        if self.tok(j).is_some_and(|t| t.is_open('(')) {
+            let close = self.skip_group(j);
+            // `name:` pairs inside the argument list are binding names
+            for k in j + 1..close.saturating_sub(1) {
+                if self.toks[k].kind == Kind::Ident
+                    && !is_keyword(&self.toks[k].text)
+                    && self.tok(k + 1).is_some_and(|t| t.is_punct(":"))
+                {
+                    params.push(self.toks[k].text.clone());
+                }
+            }
+            j = close;
+        }
+        // return type / where clause: scan to the body `{` or a `;`
+        let mut body = (0usize, 0usize);
+        while let Some(t) = self.tok(j) {
+            if t.is_punct("<") {
+                j = self.skip_angles(j);
+                continue;
+            }
+            if t.is_open('(') || t.is_open('[') {
+                j = self.skip_group(j);
+                continue;
+            }
+            if t.is_open('{') {
+                let close = self.skip_group(j);
+                body = (j, close);
+                j = close;
+                break;
+            }
+            if t.is_punct(";") {
+                j += 1;
+                break;
+            }
+            j += 1;
+        }
+        self.out.fns.push(RawFn {
+            name,
+            qual: qual.map(str::to_string),
+            line,
+            body,
+            params,
+            is_test,
+        });
+        j
+    }
+
+    /// Parse `impl …` at `i`. Returns index past the block.
+    fn parse_impl(&mut self, i: usize, in_test: bool) -> usize {
+        let mut j = i + 1;
+        if self.tok(j).is_some_and(|t| t.is_punct("<")) {
+            j = self.skip_angles(j);
+        }
+        let mut last_ident: Option<String> = None;
+        while let Some(t) = self.tok(j) {
+            match t.kind {
+                Kind::Open if t.is_open('{') => break,
+                Kind::Open => {
+                    j = self.skip_group(j);
+                    continue;
+                }
+                Kind::Punct if t.text == "<" => {
+                    j = self.skip_angles(j);
+                    continue;
+                }
+                Kind::Punct if t.text == ";" => return j + 1,
+                Kind::Ident if t.text == "for" => last_ident = None,
+                Kind::Ident if t.text != "where" && t.text != "dyn" && t.text != "mut" => {
+                    last_ident = Some(t.text.clone());
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let ty = last_ident;
+        if let Some(ty) = &ty {
+            self.out.types.insert(ty.clone());
+        }
+        if self.tok(j).is_some_and(|t| t.is_open('{')) {
+            let close = self.skip_group(j);
+            self.items(j + 1, close - 1, ty.as_deref(), in_test);
+            return close;
+        }
+        j + 1
+    }
+
+    /// Parse `struct`/`enum`/`union` definitions, recording tuple-struct
+    /// and tuple-variant constructors.
+    fn parse_type_def(&mut self, i: usize, is_enum: bool) -> usize {
+        let Some(name_tok) = self.tok(i + 1).filter(|t| t.kind == Kind::Ident) else {
+            return i + 1;
+        };
+        let name = name_tok.text.clone();
+        self.out.types.insert(name.clone());
+        let mut j = i + 2;
+        if self.tok(j).is_some_and(|t| t.is_punct("<")) {
+            j = self.skip_angles(j);
+        }
+        // where clause, then `(…);` | `{…}` | `;`
+        while let Some(t) = self.tok(j) {
+            if t.is_punct("<") {
+                j = self.skip_angles(j);
+                continue;
+            }
+            if t.is_open('(') {
+                // tuple struct: the name is callable
+                self.out.constructors.insert(name.clone());
+                return self.skip_to_semi(self.skip_group(j));
+            }
+            if t.is_open('{') {
+                let close = self.skip_group(j);
+                if is_enum {
+                    self.enum_variants(&name, j + 1, close - 1);
+                }
+                return close;
+            }
+            if t.is_punct(";") {
+                // unit struct — `Name` alone is a value, not a call
+                return j + 1;
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Record tuple variants of `enum name { … }` as constructors, both
+    /// bare (`Variant`) and qualified (`Enum::Variant`).
+    fn enum_variants(&mut self, enum_name: &str, mut i: usize, end: usize) {
+        let mut expect_variant = true;
+        while i < end {
+            let Some(t) = self.tok(i) else { break };
+            if t.is_punct("#") {
+                let mut j = i + 1;
+                if self.tok(j).is_some_and(|t| t.is_open('[')) {
+                    j = self.skip_group(j);
+                }
+                i = j;
+                continue;
+            }
+            if expect_variant && t.kind == Kind::Ident {
+                let variant = t.text.clone();
+                if self.tok(i + 1).is_some_and(|t| t.is_open('(')) {
+                    self.out.constructors.insert(variant.clone());
+                    self.out
+                        .constructors
+                        .insert(format!("{enum_name}::{variant}"));
+                    i = self.skip_group(i + 1);
+                } else if self.tok(i + 1).is_some_and(|t| t.is_open('{')) {
+                    i = self.skip_group(i + 1);
+                } else {
+                    i += 1;
+                }
+                // optional discriminant `= expr`
+                while i < end && !self.tok(i).is_some_and(|t| t.is_punct(",")) {
+                    if self.tok(i).is_some_and(|t| t.kind == Kind::Open) {
+                        i = self.skip_group(i);
+                    } else {
+                        i += 1;
+                    }
+                }
+                expect_variant = false;
+                continue;
+            }
+            if t.is_punct(",") {
+                expect_variant = true;
+            }
+            i += 1;
+        }
+    }
+
+    /// Parse the tree of a `use` statement (tokens `[i, end)`, the part
+    /// between `use` and `;`), recording leaf → root-segment imports.
+    fn parse_use(&mut self, i: usize, end: usize) {
+        let toks = &self.toks[i..end.min(self.toks.len())];
+        let root = toks
+            .iter()
+            .find(|t| t.kind == Kind::Ident)
+            .map(|t| t.text.clone())
+            .unwrap_or_default();
+        // Walk leaves: an ident is a leaf if the next non-ident token is
+        // not `::` (i.e. it ends a path), unless followed by `as` (then
+        // the alias is the leaf).
+        let mut k = 0;
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.kind == Kind::Ident && t.text != "as" {
+                let next = toks.get(k + 1);
+                let is_path_sep = next.is_some_and(|n| n.is_punct("::"));
+                if !is_path_sep {
+                    if next.is_some_and(|n| n.is_ident("as")) {
+                        if let Some(alias) = toks.get(k + 2) {
+                            self.out.imports.insert(alias.text.clone(), root.clone());
+                        }
+                        k += 3;
+                        continue;
+                    }
+                    self.out.imports.insert(t.text.clone(), root.clone());
+                }
+            }
+            k += 1;
+        }
+    }
+}
+
+/// Does an attribute token group (starting at its `[`) gate test code?
+/// True for `#[test]`, `#[cfg(test)]`, `#[cfg(any(test, …))]`; false
+/// for `#[cfg(not(test))]` (and `not(any(test, …))`): the ident `test`
+/// must appear *outside* any `not(…)`.
+fn attr_is_test(toks: &[Tok]) -> bool {
+    let mut depth = 0usize;
+    let mut not_depth: Option<usize> = None;
+    let mut k = 0;
+    while k < toks.len() {
+        let t = &toks[k];
+        match t.kind {
+            Kind::Open => depth += 1,
+            Kind::Close => {
+                depth = depth.saturating_sub(1);
+                if not_depth.is_some_and(|d| depth < d) {
+                    not_depth = None;
+                }
+            }
+            Kind::Ident
+                if t.text == "not"
+                    && toks.get(k + 1).is_some_and(|n| n.is_open('('))
+                    && not_depth.is_none() =>
+            {
+                not_depth = Some(depth + 1);
+            }
+            Kind::Ident if t.text == "test" && not_depth.is_none() => return true,
+            _ => {}
+        }
+        k += 1;
+    }
+    false
+}
+
+// ---- body scanning ---------------------------------------------------
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Scan a fn body (`toks[range]`) for calls and sinks. `self_ty` is the
+/// enclosing impl type, substituted for `Self::` qualifiers. `params`
+/// are the fn's parameter names: a plain call to a parameter or to a
+/// `let`-bound local invokes a *value* (usually a closure), not a free
+/// fn — no call edge is recorded, because a closure's body is scanned
+/// inline wherever it is defined.
+pub fn scan_body(
+    toks: &[Tok],
+    range: (usize, usize),
+    self_ty: Option<&str>,
+    params: &[String],
+) -> BodyFacts {
+    let mut facts = BodyFacts::default();
+    let (start, end) = range;
+    let end = end.min(toks.len());
+    let mut locals: BTreeSet<&str> = params.iter().map(String::as_str).collect();
+    let mut j = start;
+    // pre-pass: `let [mut] name` bindings
+    while j < end {
+        if toks[j].is_ident("let") {
+            let mut k = j + 1;
+            if toks.get(k).is_some_and(|t| t.is_ident("mut")) {
+                k += 1;
+            }
+            if let Some(n) = toks.get(k).filter(|t| t.kind == Kind::Ident) {
+                if !is_keyword(&n.text) {
+                    locals.insert(n.text.as_str());
+                }
+            }
+        }
+        j += 1;
+    }
+    let mut j = start;
+    // significant previous token index (for index-expression detection)
+    let mut prev: Option<usize> = None;
+    while j < end {
+        let t = &toks[j];
+        // statement attribute — skip entirely
+        if t.is_punct("#") {
+            let mut k = j + 1;
+            if toks.get(k).is_some_and(|t| t.is_punct("!")) {
+                k += 1;
+            }
+            if toks.get(k).is_some_and(|t| t.is_open('[')) {
+                j = skip_group_at(toks, k);
+                continue;
+            }
+            j += 1;
+            continue;
+        }
+        // debug_assert bodies are exempt
+        if t.kind == Kind::Ident
+            && t.text.starts_with("debug_assert")
+            && toks.get(j + 1).is_some_and(|t| t.is_punct("!"))
+            && toks.get(j + 2).is_some_and(|t| t.kind == Kind::Open)
+        {
+            j = skip_group_at(toks, j + 2);
+            prev = None;
+            continue;
+        }
+        // method call / field access
+        if t.is_punct(".") {
+            if let Some(m) = toks.get(j + 1).filter(|t| t.kind == Kind::Ident) {
+                let mut k = j + 2;
+                // turbofish: .collect::<Vec<_>>()
+                if toks.get(k).is_some_and(|t| t.is_punct("::"))
+                    && toks.get(k + 1).is_some_and(|t| t.is_punct("<"))
+                {
+                    k = skip_angles_at(toks, k + 1);
+                }
+                if toks.get(k).is_some_and(|t| t.is_open('(')) {
+                    let name = m.text.clone();
+                    if name == "unwrap" && toks.get(k + 1).is_some_and(|t| t.is_close(')')) {
+                        facts.sinks.push((SinkKind::Unwrap, m.line));
+                    } else if name == "expect" {
+                        facts.sinks.push((SinkKind::Expect, m.line));
+                    } else {
+                        facts.calls.push(Call {
+                            name,
+                            qual: None,
+                            method: true,
+                            line: m.line,
+                        });
+                    }
+                    // consume `.name` and leave `(` to be walked (its
+                    // argument tokens still get scanned)
+                    prev = Some(j + 1);
+                    j = k;
+                    continue;
+                }
+                prev = Some(j + 1);
+                j += 2;
+                continue;
+            }
+            // tuple index `.0`
+            prev = Some(j);
+            j += 1;
+            continue;
+        }
+        // path / plain call / macro
+        if t.kind == Kind::Ident && !is_keyword(&t.text) {
+            // walk the path: ident (:: <…>? ident)*
+            let mut segs: Vec<String> = vec![t.text.clone()];
+            let mut k = j + 1;
+            loop {
+                if toks.get(k).is_some_and(|t| t.is_punct("::")) {
+                    if toks.get(k + 1).is_some_and(|t| t.is_punct("<")) {
+                        // path generics: `Foo::<T>::new` — skip them
+                        let after = skip_angles_at(toks, k + 1);
+                        if toks.get(after).is_some_and(|t| t.is_punct("::")) {
+                            k = after;
+                            continue;
+                        }
+                        // turbofish right before the call parens
+                        k = after;
+                        break;
+                    }
+                    if let Some(n) = toks.get(k + 1).filter(|t| t.kind == Kind::Ident) {
+                        segs.push(n.text.clone());
+                        k += 2;
+                        continue;
+                    }
+                }
+                break;
+            }
+            let last = segs.last().cloned().unwrap_or_default();
+            // macro invocation?
+            if toks.get(k).is_some_and(|t| t.is_punct("!"))
+                && toks.get(k + 1).is_some_and(|t| t.kind == Kind::Open)
+            {
+                if PANIC_MACROS.contains(&last.as_str()) {
+                    facts.sinks.push((SinkKind::PanicMacro, t.line));
+                }
+                // walk into the macro args (they are expressions)
+                prev = None;
+                j = k + 1;
+                continue;
+            }
+            // call?
+            if toks.get(k).is_some_and(|t| t.is_open('(')) {
+                let qual = if segs.len() >= 2 {
+                    let q = segs[segs.len() - 2].clone();
+                    Some(if q == "Self" {
+                        self_ty.unwrap_or("Self").to_string()
+                    } else {
+                        q
+                    })
+                } else {
+                    None
+                };
+                // a bare call to a param/local invokes a value, not a fn
+                let is_local_value = qual.is_none() && locals.contains(last.as_str());
+                if !is_local_value {
+                    facts.calls.push(Call {
+                        name: last,
+                        qual,
+                        method: false,
+                        line: t.line,
+                    });
+                }
+            }
+            prev = Some(k - 1);
+            j = k;
+            continue;
+        }
+        // index / slice expression: postfix `[` after a value producer
+        if t.is_open('[') {
+            let is_postfix = prev.and_then(|p| toks.get(p)).is_some_and(|p| {
+                (p.kind == Kind::Ident && !is_keyword(&p.text))
+                    || p.is_close(')')
+                    || p.is_close(']')
+            });
+            if is_postfix && !is_total_range(toks, j, end) {
+                facts.sinks.push((SinkKind::Index, t.line));
+            }
+            prev = Some(j);
+            j += 1;
+            continue;
+        }
+        match t.kind {
+            Kind::Ident | Kind::Num | Kind::Str | Kind::Char => prev = Some(j),
+            Kind::Close => prev = Some(j),
+            Kind::Open => prev = None,
+            _ => prev = None,
+        }
+        j += 1;
+    }
+    facts
+}
+
+/// `[..]` — a full-range slice — can never panic; every other index or
+/// sub-range can.
+fn is_total_range(toks: &[Tok], open: usize, end: usize) -> bool {
+    toks.get(open + 1)
+        .is_some_and(|t| t.is_punct("..") && open + 2 < end)
+        && toks.get(open + 2).is_some_and(|t| t.is_close(']'))
+}
+
+fn skip_group_at(toks: &[Tok], i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while let Some(t) = toks.get(j) {
+        match t.kind {
+            Kind::Open => depth += 1,
+            Kind::Close => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+fn skip_angles_at(toks: &[Tok], i: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = i;
+    while let Some(t) = toks.get(j) {
+        match t.kind {
+            Kind::Punct => {
+                depth += match t.text.as_str() {
+                    "<" => 1,
+                    "<<" => 2,
+                    ">" => -1,
+                    ">>" => -2,
+                    _ => 0,
+                };
+                if depth <= 0 && j > i {
+                    return j + 1;
+                }
+            }
+            Kind::Open => {
+                j = skip_group_at(toks, j);
+                continue;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+// ---- the graph -------------------------------------------------------
+
+/// The workspace call graph.
+pub struct Graph {
+    /// Every scanned file.
+    pub files: Vec<SourceFile>,
+    /// Every fn item (facts included).
+    pub fns: Vec<FnItem>,
+    /// Bare name → fn indices.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// `Type::name` → fn indices.
+    pub by_qual: BTreeMap<String, Vec<usize>>,
+    /// Tuple-struct / enum-variant constructor names (bare and
+    /// `Enum::Variant` qualified).
+    pub constructors: BTreeSet<String>,
+    /// All struct/enum/trait/impl type names in the workspace.
+    pub types: BTreeSet<String>,
+}
+
+impl Graph {
+    /// Build the graph over every `.rs` file under the given
+    /// `(crate_name, src_dir)` roots. I/O problems are reported in the
+    /// error vector (the graph still covers what was readable).
+    pub fn build(root: &Path, crate_dirs: &[(String, std::path::PathBuf)]) -> (Graph, Vec<String>) {
+        let mut errors = Vec::new();
+        let mut g = Graph {
+            files: Vec::new(),
+            fns: Vec::new(),
+            by_name: BTreeMap::new(),
+            by_qual: BTreeMap::new(),
+            constructors: BTreeSet::new(),
+            types: BTreeSet::new(),
+        };
+        for (crate_name, dir) in crate_dirs {
+            let mut paths = Vec::new();
+            rust_files(dir, &mut paths, &mut errors);
+            for p in paths {
+                let src = match std::fs::read_to_string(&p) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        errors.push(format!("read {}: {e}", p.display()));
+                        continue;
+                    }
+                };
+                let rel = p
+                    .strip_prefix(root)
+                    .unwrap_or(&p)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                let (sf, items) = SourceFile::new(rel, crate_name.clone(), &src);
+                let file_idx = g.files.len();
+                g.constructors.extend(items.constructors);
+                g.types.extend(items.types);
+                for rf in items.fns {
+                    let is_test = rf.is_test || sf.in_test.get(rf.body.0).copied().unwrap_or(false);
+                    let facts = scan_body(&sf.toks, rf.body, rf.qual.as_deref(), &rf.params);
+                    let idx = g.fns.len();
+                    let item = FnItem {
+                        file: file_idx,
+                        name: rf.name,
+                        qual: rf.qual,
+                        line: rf.line,
+                        facts,
+                        is_test,
+                    };
+                    g.by_name.entry(item.name.clone()).or_default().push(idx);
+                    g.by_qual.entry(item.qualified()).or_default().push(idx);
+                    g.fns.push(item);
+                }
+                g.files.push(sf);
+            }
+        }
+        (g, errors)
+    }
+}
+
+fn rust_files(dir: &Path, out: &mut Vec<std::path::PathBuf>, errors: &mut Vec<String>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            errors.push(format!("read_dir {}: {e}", dir.display()));
+            return;
+        }
+    };
+    let mut local: Vec<std::path::PathBuf> = Vec::new();
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            rust_files(&p, out, errors);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            local.push(p);
+        }
+    }
+    local.sort();
+    out.extend(local);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_of(src: &str) -> (SourceFile, Vec<RawFn>) {
+        let (sf, items) = SourceFile::new("test.rs".into(), "test".into(), src);
+        (sf, items.fns)
+    }
+
+    #[test]
+    fn finds_fns_and_impl_methods() {
+        let (_, fns) = graph_of(
+            "fn free() {}\nimpl Foo { fn method(&self) {} }\nimpl Bar for Foo { fn t(&self) {} }",
+        );
+        let names: Vec<String> = fns
+            .iter()
+            .map(|f| match &f.qual {
+                Some(q) => format!("{q}::{}", f.name),
+                None => f.name.clone(),
+            })
+            .collect();
+        assert_eq!(names, vec!["free", "Foo::method", "Foo::t"]);
+    }
+
+    #[test]
+    fn cfg_test_gates_items_but_not_cfg_not_test() {
+        let (sf, fns) = graph_of(
+            "#[cfg(test)]\nmod tests { fn helper() {} }\n\
+             #[cfg(not(test))]\nfn prod() { x.unwrap(); }",
+        );
+        let prod = fns.iter().position(|f| f.name == "prod").unwrap();
+        // helper is inside the test mod; prod is NOT test-gated
+        assert!(fns.iter().any(|f| f.name == "helper" && f.is_test));
+        assert!(!fns[prod].is_test);
+        // prod's unwrap is visible to the body scanner
+        let facts = scan_body(&sf.toks, fns[prod].body, None, &[]);
+        assert_eq!(facts.sinks.len(), 1);
+        assert_eq!(facts.sinks[0].0, SinkKind::Unwrap);
+    }
+
+    #[test]
+    fn sinks_unwrap_expect_macros_index() {
+        let (sf, fns) = graph_of(
+            "fn f(v: &[u8], i: usize) {\n\
+             v.first().unwrap();\n\
+             v.iter().next().expect(\"x\");\n\
+             panic!(\"boom\");\n\
+             let _ = v[i];\n\
+             let _ = &v[..];\n\
+             let _ = &v[1..];\n\
+             unreachable!();\n\
+             }",
+        );
+        let facts = scan_body(&sf.toks, fns[0].body, None, &[]);
+        let kinds: Vec<SinkKind> = facts.sinks.iter().map(|s| s.0).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                SinkKind::Unwrap,
+                SinkKind::Expect,
+                SinkKind::PanicMacro,
+                SinkKind::Index, // v[i]
+                SinkKind::Index, // v[1..] — sub-range CAN panic; v[..] cannot
+                SinkKind::PanicMacro,
+            ]
+        );
+    }
+
+    #[test]
+    fn debug_assert_bodies_are_exempt() {
+        let (sf, fns) = graph_of(
+            "fn f(v: &[u8]) {\n\
+             debug_assert!(v[0] == 1 && v.iter().next().unwrap() > 0);\n\
+             debug_assert_eq!(v[1], 2);\n\
+             let x = v[2];\n\
+             }",
+        );
+        let facts = scan_body(&sf.toks, fns[0].body, None, &[]);
+        let kinds: Vec<SinkKind> = facts.sinks.iter().map(|s| s.0).collect();
+        assert_eq!(kinds, vec![SinkKind::Index]); // only v[2]
+    }
+
+    #[test]
+    fn unwrap_split_across_lines_is_caught() {
+        // the masked-line scanner missed `.unwrap\n()`
+        let (sf, fns) = graph_of("fn f(x: Option<u8>) {\n    x.unwrap\n        ();\n}");
+        let facts = scan_body(&sf.toks, fns[0].body, None, &[]);
+        assert_eq!(facts.sinks.len(), 1);
+        assert_eq!(facts.sinks[0].0, SinkKind::Unwrap);
+    }
+
+    #[test]
+    fn unwrap_or_is_not_a_sink() {
+        let (sf, fns) = graph_of("fn f(x: Option<u8>) { x.unwrap_or(0); x.unwrap_or_else(|| 1); }");
+        let facts = scan_body(&sf.toks, fns[0].body, None, &[]);
+        assert!(facts.sinks.is_empty());
+        assert!(facts.calls.iter().any(|c| c.name == "unwrap_or"));
+    }
+
+    #[test]
+    fn calls_plain_qualified_method_turbofish() {
+        let (sf, fns) = graph_of(
+            "fn f() {\n\
+             helper(1);\n\
+             checked::idx_usize(2);\n\
+             Self::assoc(3);\n\
+             x.method(4);\n\
+             y.collect::<Vec<_>>();\n\
+             }",
+        );
+        let facts = scan_body(&sf.toks, fns[0].body, Some("Me"), &[]);
+        let calls: Vec<(Option<String>, String, bool)> = facts
+            .calls
+            .iter()
+            .map(|c| (c.qual.clone(), c.name.clone(), c.method))
+            .collect();
+        assert!(calls.contains(&(None, "helper".into(), false)));
+        assert!(calls.contains(&(Some("checked".into()), "idx_usize".into(), false)));
+        assert!(calls.contains(&(Some("Me".into()), "assoc".into(), false)));
+        assert!(calls.contains(&(None, "method".into(), true)));
+        assert!(calls.contains(&(None, "collect".into(), true)));
+    }
+
+    #[test]
+    fn slice_patterns_and_attrs_do_not_index() {
+        let (sf, fns) = graph_of(
+            "fn f(v: &[u8]) {\n\
+             let [a, b] = [1u8, 2];\n\
+             #[allow(unused)]\n\
+             let w: [u8; 2] = [a, b];\n\
+             let _ = (a, w, v);\n\
+             }",
+        );
+        let facts = scan_body(&sf.toks, fns[0].body, None, &[]);
+        assert!(facts.sinks.is_empty(), "spurious sinks: {:?}", facts.sinks);
+    }
+
+    #[test]
+    fn tuple_structs_and_enum_variants_are_constructors() {
+        let (_, items) = SourceFile::new(
+            "t.rs".into(),
+            "t".into(),
+            "struct P(u8); enum E { A(u8), B { x: u8 }, C }",
+        );
+        assert!(items.constructors.contains("P"));
+        assert!(items.constructors.contains("A"));
+        assert!(items.constructors.contains("E::A"));
+        assert!(!items.constructors.contains("B"));
+        assert!(!items.constructors.contains("C"));
+        assert!(items.types.contains("P"));
+        assert!(items.types.contains("E"));
+    }
+
+    #[test]
+    fn use_imports_record_roots() {
+        let (sf, _) = graph_of(
+            "use std::collections::{BTreeMap, HashMap as Map};\nuse crate::checked::idx_usize;",
+        );
+        assert_eq!(sf.imports.get("BTreeMap").map(String::as_str), Some("std"));
+        assert_eq!(sf.imports.get("Map").map(String::as_str), Some("std"));
+        assert_eq!(
+            sf.imports.get("idx_usize").map(String::as_str),
+            Some("crate")
+        );
+    }
+}

@@ -1,0 +1,359 @@
+//! Hand-rolled JSON output for `lint --json` plus a minimal parser used
+//! by the self-test to prove the emitted bytes round-trip (no
+//! dependencies allowed in this workspace, so both directions live
+//! here).
+
+use crate::lint::Violation;
+use std::collections::BTreeMap;
+
+// ---- rendering -------------------------------------------------------
+
+/// Render the lint outcome as a single JSON object:
+/// `{"violations": […], "errors": […]}`.
+pub fn render(violations: &[Violation], errors: &[String]) -> String {
+    let mut s = String::from("{\"violations\":[");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("{\"rule\":");
+        escape_into(&mut s, v.rule);
+        s.push_str(",\"path\":");
+        escape_into(&mut s, &v.path);
+        s.push_str(",\"line\":");
+        s.push_str(&v.line.to_string());
+        s.push_str(",\"content\":");
+        escape_into(&mut s, &v.content);
+        s.push_str(",\"help\":");
+        escape_into(&mut s, &v.help);
+        s.push_str(",\"chain\":[");
+        for (j, c) in v.chain.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            escape_into(&mut s, c);
+        }
+        s.push_str("]}");
+    }
+    s.push_str("],\"errors\":[");
+    for (i, e) in errors.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        escape_into(&mut s, e);
+    }
+    s.push_str("]}");
+    s
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- parsing ---------------------------------------------------------
+
+/// A parsed JSON value (just enough for round-trip validation).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Numbers (parsed as f64; lint only emits line numbers).
+    Num(f64),
+    /// Strings, unescaped.
+    Str(String),
+    /// Arrays.
+    Arr(Vec<Value>),
+    /// Objects (order-insensitive).
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The elements, when an array.
+    pub fn items(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The unescaped text, when a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number, when numeric.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a complete JSON document. Errors carry a byte offset.
+pub fn parse(src: &str) -> Result<Value, String> {
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let v = parse_value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing bytes at offset {i}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn parse_value(b: &[u8], i: &mut usize) -> Result<Value, String> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        Some(b'{') => parse_obj(b, i),
+        Some(b'[') => parse_arr(b, i),
+        Some(b'"') => parse_str(b, i).map(Value::Str),
+        Some(b't') => parse_lit(b, i, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, i, "false", Value::Bool(false)),
+        Some(b'n') => parse_lit(b, i, "null", Value::Null),
+        Some(_) => parse_num(b, i),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_lit(b: &[u8], i: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+    if b[*i..].starts_with(lit.as_bytes()) {
+        *i += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at offset {}", *i))
+    }
+}
+
+fn parse_num(b: &[u8], i: &mut usize) -> Result<Value, String> {
+    let start = *i;
+    while *i < b.len() && matches!(b[*i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *i += 1;
+    }
+    std::str::from_utf8(&b[start..*i])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Value::Num)
+        .ok_or_else(|| format!("bad number at offset {start}"))
+}
+
+fn parse_str(b: &[u8], i: &mut usize) -> Result<String, String> {
+    if b.get(*i) != Some(&b'"') {
+        return Err(format!("expected string at offset {}", *i));
+    }
+    *i += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*i) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *i += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*i + 1..*i + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at offset {}", *i))?;
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *i += 4;
+                    }
+                    _ => return Err(format!("bad escape at offset {}", *i)),
+                }
+                *i += 1;
+            }
+            Some(_) => {
+                // multi-byte UTF-8 sequences pass through unchanged
+                let s = std::str::from_utf8(&b[*i..])
+                    .map_err(|_| format!("invalid utf-8 at offset {}", *i))?;
+                let c = s.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *i += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], i: &mut usize) -> Result<Value, String> {
+    *i += 1; // [
+    let mut out = Vec::new();
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b']') {
+        *i += 1;
+        return Ok(Value::Arr(out));
+    }
+    loop {
+        out.push(parse_value(b, i)?);
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b']') => {
+                *i += 1;
+                return Ok(Value::Arr(out));
+            }
+            _ => return Err(format!("expected , or ] at offset {}", *i)),
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], i: &mut usize) -> Result<Value, String> {
+    *i += 1; // {
+    let mut out = BTreeMap::new();
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b'}') {
+        *i += 1;
+        return Ok(Value::Obj(out));
+    }
+    loop {
+        skip_ws(b, i);
+        let key = parse_str(b, i)?;
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b':') {
+            return Err(format!("expected : at offset {}", *i));
+        }
+        *i += 1;
+        out.insert(key, parse_value(b, i)?);
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b'}') => {
+                *i += 1;
+                return Ok(Value::Obj(out));
+            }
+            _ => return Err(format!("expected , or }} at offset {}", *i)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Violation> {
+        vec![
+            Violation {
+                rule: "panic_reach",
+                path: "crates/x/src/a.rs".to_string(),
+                line: 7,
+                content: "v[i] // \"quoted\" \\ backslash".to_string(),
+                help: "indexed\nhelp".to_string(),
+                chain: vec![
+                    "open_mpoint (a.rs:1)".to_string(),
+                    "helper (a.rs:5)".to_string(),
+                ],
+            },
+            Violation {
+                rule: "determinism",
+                path: "crates/y/src/b.rs".to_string(),
+                line: 2,
+                content: "HashMap<u8, u8>".to_string(),
+                help: "use BTreeMap".to_string(),
+                chain: Vec::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_violations_and_errors() {
+        let errs = vec!["stale entry `x`\twith tab".to_string()];
+        let rendered = render(&sample(), &errs);
+        let doc = parse(&rendered).expect("parse back");
+        let vs = doc.get("violations").and_then(Value::items).unwrap();
+        assert_eq!(vs.len(), 2);
+        assert_eq!(
+            vs[0].get("rule").and_then(Value::as_str),
+            Some("panic_reach")
+        );
+        assert_eq!(vs[0].get("line").and_then(Value::as_num), Some(7.0));
+        assert_eq!(
+            vs[0].get("content").and_then(Value::as_str),
+            Some("v[i] // \"quoted\" \\ backslash")
+        );
+        assert_eq!(
+            vs[0]
+                .get("chain")
+                .and_then(Value::items)
+                .map(<[Value]>::len),
+            Some(2)
+        );
+        assert_eq!(
+            vs[1]
+                .get("chain")
+                .and_then(Value::items)
+                .map(<[Value]>::len),
+            Some(0)
+        );
+        let es = doc.get("errors").and_then(Value::items).unwrap();
+        assert_eq!(es[0].as_str(), Some("stale entry `x`\twith tab"));
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let rendered = render(&[], &[]);
+        assert_eq!(rendered, "{\"violations\":[],\"errors\":[]}");
+        assert!(parse(&rendered).is_ok());
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("[1,2").is_err());
+        assert!(parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn control_chars_are_escaped() {
+        let rendered = render(&[], &["bell \u{7} end".to_string()]);
+        assert!(rendered.contains("\\u0007"));
+        let doc = parse(&rendered).unwrap();
+        assert_eq!(
+            doc.get("errors").and_then(Value::items).unwrap()[0].as_str(),
+            Some("bell \u{7} end")
+        );
+    }
+}

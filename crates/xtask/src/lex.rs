@@ -1,0 +1,564 @@
+//! A dependency-free Rust lexer for the lint engine.
+//!
+//! Produces a flat token stream with 1-based line numbers. Comments and
+//! whitespace are dropped (they can never be code), but every token that
+//! *can* participate in a lint match survives with its exact text:
+//! identifiers (including keywords), lifetimes, numeric/string/char
+//! literals, multi-character operators, and the six delimiters.
+//!
+//! The tricky corners the old masked-line scanner approximated are
+//! handled exactly here:
+//!
+//! * **raw strings** `r"…"` / `r#"…"#` / `br##"…"##` / `c"…"` — hash
+//!   depth respected, interior never tokenized;
+//! * **nested block comments** `/* /* */ */` — depth counted;
+//! * **lifetime vs char literal** — `'a` is a lifetime, `'a'` is a
+//!   char, `'\u{1F600}'` is a char, `b'x'` is a byte char;
+//! * **multi-char operators** — `==`, `!=`, `::`, `->`, `..=` etc. are
+//!   single tokens, so `a == b` can never be confused with `a = = b`.
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`fn`, `unwrap`, `u32`, …).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — quote included in the text.
+    Lifetime,
+    /// Numeric literal (`0x1F`, `1_000`, `2.5e-3f64`).
+    Num,
+    /// Any string-ish literal (plain, raw, byte, C) — text is the
+    /// opener only (`"`, `r#"`, `b"`, …); the interior is discarded.
+    Str,
+    /// Char or byte-char literal — text is `'…'` verbatim.
+    Char,
+    /// Operator / punctuation (possibly multi-char: `==`, `::`, `->`).
+    Punct,
+    /// Opening delimiter: `(`, `[` or `{`.
+    Open,
+    /// Closing delimiter: `)`, `]` or `}`.
+    Close,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: Kind,
+    /// Exact source text (see [`Kind`] for the literal conventions).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Tok {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == Kind::Ident && self.text == s
+    }
+
+    /// Is this a punct with exactly this text?
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == Kind::Punct && self.text == s
+    }
+
+    /// Is this the opening delimiter `c`?
+    pub fn is_open(&self, c: char) -> bool {
+        self.kind == Kind::Open && self.text.starts_with(c)
+    }
+
+    /// Is this the closing delimiter `c`?
+    pub fn is_close(&self, c: char) -> bool {
+        self.kind == Kind::Close && self.text.starts_with(c)
+    }
+}
+
+/// Multi-char operators, longest first so the match is greedy.
+const OPERATORS: [&str; 25] = [
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..", "'",
+];
+
+/// Rust keywords that can never be a call/index receiver. Used by the
+/// call-graph scanner to keep `let [a, b] = …` patterns from looking
+/// like index expressions and `if (…)` from looking like a call.
+pub const KEYWORDS: [&str; 34] = [
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where",
+];
+
+/// Is `s` a Rust keyword (per [`KEYWORDS`])?
+pub fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+/// Lex `src` into a token stream. Never fails: unknown bytes become
+/// single-char puncts, unterminated literals run to end of input.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        b: src.as_bytes(),
+        src,
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    b: &'s [u8],
+    src: &'s str,
+    i: usize,
+    line: usize,
+    out: Vec<Tok>,
+}
+
+impl<'s> Lexer<'s> {
+    fn run(mut self) -> Vec<Tok> {
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            match c {
+                b' ' | b'\t' | b'\r' => self.i += 1,
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.i),
+                b'\'' => self.quote(),
+                b'0'..=b'9' => self.number(),
+                b'(' | b'[' | b'{' => self.delim(Kind::Open),
+                b')' | b']' | b'}' => self.delim(Kind::Close),
+                c if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 => self.ident_or_prefixed(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, k: usize) -> Option<u8> {
+        self.b.get(self.i + k).copied()
+    }
+
+    fn push(&mut self, kind: Kind, text: String, line: usize) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn bump_lines(&mut self, from: usize, to: usize) {
+        self.line += self.b[from..to].iter().filter(|&&b| b == b'\n').count();
+    }
+
+    fn line_comment(&mut self) {
+        let end = self.src[self.i..]
+            .find('\n')
+            .map_or(self.b.len(), |k| self.i + k);
+        self.i = end; // the '\n' itself is handled by the main loop
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.i;
+        let mut depth = 1usize;
+        let mut j = self.i + 2;
+        while j < self.b.len() && depth > 0 {
+            if self.b[j] == b'/' && self.b.get(j + 1) == Some(&b'*') {
+                depth += 1;
+                j += 2;
+            } else if self.b[j] == b'*' && self.b.get(j + 1) == Some(&b'/') {
+                depth -= 1;
+                j += 2;
+            } else {
+                j += 1;
+            }
+        }
+        self.bump_lines(start, j);
+        self.i = j;
+    }
+
+    /// A plain/byte/C string starting with optional hashes already
+    /// consumed by the caller logic: `opener_start` points at the first
+    /// byte of the whole literal (the prefix if any). `self.i` must be
+    /// at the `"`.
+    fn string(&mut self, opener_start: usize) {
+        let line = self.line;
+        let opener = self.src[opener_start..=self.i].to_string();
+        let mut j = self.i + 1;
+        while j < self.b.len() {
+            match self.b[j] {
+                b'\\' => j += 2,
+                b'"' => break,
+                _ => j += 1,
+            }
+        }
+        let end = j.min(self.b.len());
+        self.bump_lines(self.i, end);
+        self.push(Kind::Str, opener, line);
+        self.i = if end < self.b.len() { end + 1 } else { end };
+    }
+
+    /// Raw string: `self.i` at the `r` (prefix byte(s) before it are
+    /// part of `opener_start`). Consumes hashes, quote, interior,
+    /// closing quote + hashes.
+    fn raw_string(&mut self, opener_start: usize) {
+        let line = self.line;
+        // skip to the first '#' or '"' after the r
+        let mut j = self.i + 1;
+        let mut hashes = 0usize;
+        while self.b.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        debug_assert_eq!(self.b.get(j), Some(&b'"'));
+        let opener = self.src[opener_start..=j.min(self.b.len() - 1)].to_string();
+        j += 1;
+        let closer: Vec<u8> = std::iter::once(b'"')
+            .chain(std::iter::repeat_n(b'#', hashes))
+            .collect();
+        let end = find_subslice(self.b, j, &closer).map_or(self.b.len(), |k| k + closer.len());
+        self.bump_lines(opener_start, end);
+        self.push(Kind::Str, opener, line);
+        self.i = end;
+    }
+
+    /// `'` — lifetime or char literal.
+    fn quote(&mut self) {
+        let line = self.line;
+        let i = self.i;
+        // Escaped char: '\n', '\'', '\u{…}' — scan to the closing quote.
+        if self.peek(1) == Some(b'\\') {
+            let mut j = i + 2;
+            // skip the escaped char itself so '\'' works
+            j += 1;
+            while j < self.b.len() && self.b[j] != b'\'' && self.b[j] != b'\n' && j - i < 16 {
+                j += 1;
+            }
+            if self.b.get(j) == Some(&b'\'') {
+                self.push(Kind::Char, self.src[i..=j].to_string(), line);
+                self.i = j + 1;
+                return;
+            }
+            // malformed; emit the quote as punct and move on
+            self.push(Kind::Punct, "'".to_string(), line);
+            self.i = i + 1;
+            return;
+        }
+        // Identifier-ish after the quote: lifetime unless closed by '.
+        let after = self.peek(1);
+        if after.is_some_and(|c| c == b'_' || c.is_ascii_alphabetic()) {
+            let mut j = i + 1;
+            while j < self.b.len()
+                && (self.b[j] == b'_' || self.b[j].is_ascii_alphanumeric() || self.b[j] >= 0x80)
+            {
+                j += 1;
+            }
+            if self.b.get(j) == Some(&b'\'') {
+                // 'a' — a char literal (only if exactly one char long,
+                // but for lint purposes the distinction is moot).
+                self.push(Kind::Char, self.src[i..=j].to_string(), line);
+                self.i = j + 1;
+            } else {
+                self.push(Kind::Lifetime, self.src[i..j].to_string(), line);
+                self.i = j;
+            }
+            return;
+        }
+        // Single non-alphanumeric char: '(' , '√', ' ' …
+        let mut j = i + 1;
+        if j < self.b.len() {
+            j += 1;
+            while j < self.b.len() && (self.b[j] & 0xC0) == 0x80 {
+                j += 1; // UTF-8 continuation bytes
+            }
+        }
+        if self.b.get(j) == Some(&b'\'') {
+            self.push(Kind::Char, self.src[i..=j].to_string(), line);
+            self.i = j + 1;
+        } else {
+            self.push(Kind::Punct, "'".to_string(), line);
+            self.i = i + 1;
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let i = self.i;
+        let mut j = i;
+        if self.b[i] == b'0' && matches!(self.peek(1), Some(b'x' | b'o' | b'b')) {
+            j = i + 2;
+            while j < self.b.len() && (self.b[j].is_ascii_alphanumeric() || self.b[j] == b'_') {
+                j += 1;
+            }
+        } else {
+            while j < self.b.len() && (self.b[j].is_ascii_digit() || self.b[j] == b'_') {
+                j += 1;
+            }
+            // fraction: '.' followed by a digit (so `1..n` stays a range)
+            if self.b.get(j) == Some(&b'.') && self.b.get(j + 1).is_some_and(u8::is_ascii_digit) {
+                j += 1;
+                while j < self.b.len() && (self.b[j].is_ascii_digit() || self.b[j] == b'_') {
+                    j += 1;
+                }
+            }
+            // exponent
+            if matches!(self.b.get(j), Some(b'e' | b'E'))
+                && (self.b.get(j + 1).is_some_and(u8::is_ascii_digit)
+                    || (matches!(self.b.get(j + 1), Some(b'+' | b'-'))
+                        && self.b.get(j + 2).is_some_and(u8::is_ascii_digit)))
+            {
+                j += 2;
+                while j < self.b.len() && (self.b[j].is_ascii_digit() || self.b[j] == b'_') {
+                    j += 1;
+                }
+            }
+            // type suffix (f64, u32, usize…)
+            while j < self.b.len() && (self.b[j].is_ascii_alphanumeric() || self.b[j] == b'_') {
+                j += 1;
+            }
+        }
+        self.push(Kind::Num, self.src[i..j].to_string(), line);
+        self.i = j;
+    }
+
+    fn delim(&mut self, kind: Kind) {
+        let line = self.line;
+        let text = self.src[self.i..=self.i].to_string();
+        self.push(kind, text, line);
+        self.i += 1;
+    }
+
+    fn ident_or_prefixed(&mut self) {
+        let line = self.line;
+        let i = self.i;
+        let mut j = i;
+        while j < self.b.len()
+            && (self.b[j] == b'_' || self.b[j].is_ascii_alphanumeric() || self.b[j] >= 0x80)
+        {
+            j += 1;
+        }
+        let word = &self.src[i..j];
+        // String prefixes: r"…", r#"…"#, b"…", br#"…"#, c"…", cr#"…"#.
+        let is_str_prefix = matches!(word, "r" | "b" | "br" | "c" | "cr" | "rb");
+        if is_str_prefix {
+            let next = self.b.get(j).copied();
+            let has_raw = word.contains('r');
+            if next == Some(b'"') && !has_raw {
+                // b"…" / c"…": plain-string escaping rules
+                self.i = j;
+                self.string(i);
+                return;
+            }
+            if has_raw && (next == Some(b'"') || next == Some(b'#')) {
+                // check hashes end in a quote before committing
+                let mut k = j;
+                while self.b.get(k) == Some(&b'#') {
+                    k += 1;
+                }
+                if self.b.get(k) == Some(&b'"') {
+                    self.i = j - 1; // position at the final 'r'
+                    self.raw_string(i);
+                    return;
+                }
+            }
+            if word == "b" && next == Some(b'\'') {
+                // byte char b'x'
+                self.i = j;
+                self.quote();
+                // rewrite the pushed token to include the prefix
+                if let Some(t) = self.out.last_mut() {
+                    if t.kind == Kind::Char {
+                        t.text.insert(0, 'b');
+                    }
+                }
+                return;
+            }
+        }
+        // raw identifier r#ident
+        if word == "r" && self.b.get(j) == Some(&b'#') {
+            let mut k = j + 1;
+            while k < self.b.len()
+                && (self.b[k] == b'_' || self.b[k].is_ascii_alphanumeric() || self.b[k] >= 0x80)
+            {
+                k += 1;
+            }
+            if k > j + 1 {
+                self.push(Kind::Ident, self.src[j + 1..k].to_string(), line);
+                self.i = k;
+                return;
+            }
+        }
+        self.push(Kind::Ident, word.to_string(), line);
+        self.i = j;
+    }
+
+    fn punct(&mut self) {
+        let line = self.line;
+        for op in OPERATORS {
+            if op != "'" && self.src[self.i..].starts_with(op) {
+                self.push(Kind::Punct, op.to_string(), line);
+                self.i += op.len();
+                return;
+            }
+        }
+        // single byte (or a single multi-byte char)
+        let mut j = self.i + 1;
+        while j < self.b.len() && (self.b[j] & 0xC0) == 0x80 {
+            j += 1;
+        }
+        self.push(Kind::Punct, self.src[self.i..j].to_string(), line);
+        self.i = j;
+    }
+}
+
+fn find_subslice(hay: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() || from >= hay.len() {
+        return None;
+    }
+    hay[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|k| from + k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<(Kind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_keywords_puncts() {
+        let t = texts("fn f(x: u32) -> bool { x == 3 }");
+        assert!(t.contains(&(Kind::Ident, "fn".into())));
+        assert!(t.contains(&(Kind::Punct, "->".into())));
+        assert!(t.contains(&(Kind::Punct, "==".into())));
+        assert!(t.contains(&(Kind::Num, "3".into())));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn comments_are_dropped() {
+        let t = texts("a // unwrap() panic!\nb /* .expect( */ c");
+        let idents: Vec<&str> = t
+            .iter()
+            .filter(|(k, _)| *k == Kind::Ident)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(idents, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let t = texts("a /* outer /* inner */ still comment */ b");
+        let idents: Vec<&str> = t.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(idents, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn block_comment_line_tracking() {
+        let toks = lex("/* one\ntwo\nthree */ x");
+        assert_eq!(toks[0].line, 3);
+        assert_eq!(toks[0].text, "x");
+    }
+
+    #[test]
+    fn plain_strings_mask_interiors() {
+        let t = texts(r#"let s = "x.unwrap() \" as u32"; done"#);
+        assert!(t.iter().all(|(_, s)| !s.contains("unwrap")));
+        assert!(t.contains(&(Kind::Str, "\"".into())));
+        assert!(t.contains(&(Kind::Ident, "done".into())));
+    }
+
+    #[test]
+    fn raw_strings_all_hash_depths() {
+        for src in [
+            "let s = r\"panic!(1)\"; end",
+            "let s = r#\"panic!(\"x\")\"#; end",
+            "let s = r##\"q #\"# q\"##; end",
+            "let s = br#\"panic!\"#; end",
+            "let s = cr#\"panic!\"#; end",
+        ] {
+            let t = texts(src);
+            assert!(
+                t.iter().all(|(_, s)| !s.contains("panic")),
+                "interior leaked in {src:?}"
+            );
+            assert!(
+                t.contains(&(Kind::Ident, "end".into())),
+                "lost the tail in {src:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn raw_string_multiline_lines() {
+        let toks = lex("r#\"a\nb\nc\"# x");
+        let x = toks.iter().find(|t| t.text == "x").unwrap();
+        assert_eq!(x.line, 3);
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let t = texts("fn f<'a>(x: &'a str, c: char) { let y = 'z'; let s = '\\''; }");
+        assert!(t.contains(&(Kind::Lifetime, "'a".into())));
+        assert!(t.contains(&(Kind::Char, "'z'".into())));
+        assert!(t.contains(&(Kind::Char, "'\\''".into())));
+        // 'a appears twice as a lifetime, never as a char
+        assert!(!t.iter().any(|(k, s)| *k == Kind::Char && s == "'a'"));
+    }
+
+    #[test]
+    fn static_lifetime_and_unicode_char() {
+        let t = texts("let s: &'static str = x; let c = '√';");
+        assert!(t.contains(&(Kind::Lifetime, "'static".into())));
+        assert!(t.contains(&(Kind::Char, "'√'".into())));
+    }
+
+    #[test]
+    fn byte_char_and_escapes() {
+        let t = texts(r"let a = b'x'; let b = '\u{1F600}'; let c = '\n';");
+        assert!(t.contains(&(Kind::Char, "b'x'".into())));
+        assert!(t.contains(&(Kind::Char, r"'\u{1F600}'".into())));
+        assert!(t.contains(&(Kind::Char, r"'\n'".into())));
+    }
+
+    #[test]
+    fn char_literal_containing_quote_then_code() {
+        // '"' must not open a string: the following unwrap is real code.
+        let t = texts("let c = '\"'; x.unwrap()");
+        assert!(t.contains(&(Kind::Ident, "unwrap".into())));
+        assert!(t.contains(&(Kind::Char, "'\"'".into())));
+    }
+
+    #[test]
+    fn numbers() {
+        let t = texts("1_000 0xFF_u8 2.5e-3f64 1..n 7.");
+        assert!(t.contains(&(Kind::Num, "1_000".into())));
+        assert!(t.contains(&(Kind::Num, "0xFF_u8".into())));
+        assert!(t.contains(&(Kind::Num, "2.5e-3f64".into())));
+        // `1..n` is Num(1) Punct(..) Ident(n)
+        assert!(t.contains(&(Kind::Punct, "..".into())));
+        assert!(t.contains(&(Kind::Ident, "n".into())));
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let t = texts("let r#type = 1;");
+        assert!(t.contains(&(Kind::Ident, "type".into())));
+    }
+
+    #[test]
+    fn multichar_operators_are_single_tokens() {
+        let t = texts("a::b c..=d e != f g == h i -> j");
+        for op in ["::", "..=", "!=", "==", "->"] {
+            assert!(t.contains(&(Kind::Punct, op.into())), "missing {op}");
+        }
+    }
+}

@@ -1,6 +1,6 @@
-//! The repo-specific lint rules.
+//! The repo-specific lint rules, token-based since mob-audit v3.
 //!
-//! Six rules, each with an allowlist file under `crates/xtask/allow/`
+//! Nine rules, each with an allowlist file under `crates/xtask/allow/`
 //! and a fixture under `crates/xtask/fixtures/` proving it fires:
 //!
 //! | rule             | scope                              | forbids |
@@ -10,13 +10,21 @@
 //! | `float_eq`       | base, spatial, core, storage (non-test, minus `real.rs`) | `==`/`!=` against raw `f64` (`.get()` or float literals) |
 //! | `crate_lints`    | every `crates/*/src/lib.rs`        | missing `#![forbid(unsafe_code)]` (+ `#![warn(missing_docs)]` outside shims) |
 //! | `no_raw_counter` | every `crates/*/src` except `obs` and shims (non-test) | bare `AtomicU64` / `Cell<u64>` counters (count through `mob-obs` instead) |
-//! | `no_unchecked_io` | every `crates/*/src` except `storage/src/io.rs` (non-test) | bare `fs::write(` / `File::create(` (go through `StoreIo` so writes are synced, atomic and fault-injectable) |
+//! | `no_unchecked_io` | every `crates/*/src` except `storage/src/io.rs` (non-test) | bare `fs::write(` / `File::create(` (go through `StoreIo`) |
+//! | `panic_reach`    | whole workspace call graph         | any path from an untrusted decode entry point to a panic sink ([`crate::passes`]) |
+//! | `atomics_order`  | every crate except `obs` and shims | `Ordering::Relaxed` (counters live in mob-obs; hand-off uses Acquire/Release) |
+//! | `determinism`    | mob-core, mob-rel, mob-storage     | `HashMap`/`HashSet` (iteration order is randomized; results are contractually byte-identical) |
 //!
-//! All rules operate on *masked* source (comments/strings blanked, see
-//! [`crate::mask`]) and skip `#[cfg(test)]` regions, so doc examples and
-//! test code stay idiomatic.
+//! All rules operate on the real token stream from [`crate::lex`]:
+//! comments and string interiors simply do not produce tokens, multiline
+//! constructs (`.unwrap\n()`) cannot hide from line matching, and
+//! `#[cfg(test)]` regions are identified structurally — so
+//! `#[cfg(not(test))]` code is correctly *linted*, where the old
+//! masked-line scanner wrongly exempted it.
 
-use crate::mask::mask_source;
+use crate::callgraph::{scan_body, SinkKind, SourceFile};
+use crate::lex::Tok;
+use crate::passes;
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
@@ -32,7 +40,9 @@ pub struct Violation {
     /// Trimmed source line (also the allowlist key).
     pub content: String,
     /// What to do instead.
-    pub help: &'static str,
+    pub help: String,
+    /// For `panic_reach`: the call chain from the seed entry point.
+    pub chain: Vec<String>,
 }
 
 impl std::fmt::Display for Violation {
@@ -41,34 +51,32 @@ impl std::fmt::Display for Violation {
             f,
             "{}:{}: [{}] {}\n    {}",
             self.path, self.line, self.rule, self.content, self.help
-        )
+        )?;
+        if !self.chain.is_empty() {
+            write!(f, "\n    chain from decode entry point:")?;
+            for (i, hop) in self.chain.iter().enumerate() {
+                let arrow = if i == 0 { "  " } else { "-> " };
+                write!(f, "\n      {arrow}{hop}")?;
+            }
+        }
+        Ok(())
     }
 }
 
-/// Names of all rules (used by the self-test driver).
-pub const RULES: [&str; 6] = [
+/// Names of all rules (used by the self-test driver and `run_all`).
+pub const RULES: [&str; 9] = [
     "no_panic",
     "narrowing_cast",
     "float_eq",
     "crate_lints",
     "no_raw_counter",
     "no_unchecked_io",
-];
-
-const PANIC_TOKENS: [&str; 6] = [
-    ".unwrap()",
-    ".expect(",
-    "panic!(",
-    "unreachable!(",
-    "todo!(",
-    "unimplemented!(",
+    "panic_reach",
+    "atomics_order",
+    "determinism",
 ];
 
 const NARROWING_TARGETS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
-
-const COUNTER_TOKENS: [&str; 2] = ["AtomicU64", "Cell<u64>"];
-
-const UNCHECKED_IO_TOKENS: [&str; 2] = ["fs::write(", "File::create("];
 
 /// Run every rule over the repo rooted at `root`. Returns the surviving
 /// violations and any allowlist errors (unused entries, unreadable
@@ -91,9 +99,9 @@ pub fn run_rule(root: &Path, rule: &'static str, errors: &mut Vec<String>) -> Ve
     match rule {
         "no_panic" | "narrowing_cast" => {
             let scope = ["crates/storage/src", "crates/core/src"];
-            scan_scope(root, rule, &scope, errors, |src| match rule {
-                "no_panic" => scan_no_panic(src),
-                _ => scan_narrowing_cast(src),
+            scan_scope(root, rule, &scope, errors, |sf| match rule {
+                "no_panic" => scan_no_panic(sf),
+                _ => scan_narrowing_cast(sf),
             })
         }
         "float_eq" => {
@@ -124,6 +132,9 @@ pub fn run_rule(root: &Path, rule: &'static str, errors: &mut Vec<String>) -> Ve
             v.retain(|x| x.path != "crates/storage/src/io.rs");
             v
         }
+        "panic_reach" => passes::panic_reach(root, errors),
+        "atomics_order" => passes::atomics_order(root, errors),
+        "determinism" => passes::determinism(root, errors),
         _ => {
             errors.push(format!("unknown rule `{rule}`"));
             Vec::new()
@@ -160,14 +171,13 @@ fn rel_path(root: &Path, p: &Path) -> String {
 }
 
 /// Scan all `.rs` files under the scope dirs with a per-file matcher
-/// that returns `(line_no, content, help)` triples against masked,
-/// test-stripped source.
+/// that returns `(line_no, help)` pairs over the lexed file.
 fn scan_scope(
     root: &Path,
     rule: &'static str,
     scope: &[&str],
     errors: &mut Vec<String>,
-    matcher: impl Fn(&MaskedFile) -> Vec<(usize, String, &'static str)>,
+    matcher: impl Fn(&SourceFile) -> Vec<(usize, String)>,
 ) -> Vec<Violation> {
     let mut files = Vec::new();
     for dir in scope {
@@ -182,139 +192,90 @@ fn scan_scope(
                 continue;
             }
         };
-        let masked = MaskedFile::new(&src);
-        for (line, content, help) in matcher(&masked) {
+        let (sf, _) = SourceFile::new(rel_path(root, &file), String::new(), &src);
+        for (line, help) in matcher(&sf) {
             out.push(Violation {
                 rule,
-                path: rel_path(root, &file),
+                path: sf.path.clone(),
                 line,
-                content,
+                content: sf.line_content(line),
                 help,
+                chain: Vec::new(),
             });
         }
     }
     out
 }
 
-/// A masked source file with `#[cfg(test)]` regions identified.
-pub struct MaskedFile {
-    /// Masked lines (same count/length as the original).
-    pub lines: Vec<String>,
-    /// Original (unmasked) lines, for reporting content.
-    pub raw_lines: Vec<String>,
-    /// `in_test[i]` is true if line `i` (0-based) is inside a
-    /// `#[cfg(test)]` item.
-    pub in_test: Vec<bool>,
+/// 1-based lines that contain at least one test-gated token.
+fn test_lines(sf: &SourceFile) -> BTreeSet<usize> {
+    sf.toks
+        .iter()
+        .zip(sf.in_test.iter())
+        .filter(|(_, t)| **t)
+        .map(|(tok, _)| tok.line)
+        .collect()
 }
 
-impl MaskedFile {
-    /// Mask `src` and mark its test regions.
-    pub fn new(src: &str) -> MaskedFile {
-        let masked = mask_source(src);
-        let lines: Vec<String> = masked.lines().map(str::to_string).collect();
-        let raw_lines: Vec<String> = src.lines().map(str::to_string).collect();
-        let mut in_test = vec![false; lines.len()];
-        let mut depth = 0usize; // brace depth inside a test region
-        let mut pending = false; // saw #[cfg(test)], waiting for the `{`
-        for (i, line) in lines.iter().enumerate() {
-            let trimmed = line.trim();
-            if depth == 0 && !pending && is_test_attr(trimmed) {
-                pending = true;
-            }
-            if pending || depth > 0 {
-                in_test[i] = true;
-            }
-            if pending || depth > 0 {
-                for b in line.bytes() {
-                    match b {
-                        b'{' => {
-                            depth += 1;
-                            pending = false;
-                        }
-                        b'}' => {
-                            depth = depth.saturating_sub(1);
-                        }
-                        _ => {}
-                    }
-                }
-                if depth == 0 && !pending {
-                    // Region closed on this line.
-                }
-            }
-        }
-        MaskedFile {
-            lines,
-            raw_lines,
-            in_test,
-        }
-    }
-
-    /// Iterate `(1-based line, masked line, raw line)` over non-test lines.
-    fn code_lines(&self) -> impl Iterator<Item = (usize, &str, &str)> {
-        self.lines
-            .iter()
-            .zip(self.raw_lines.iter())
-            .enumerate()
-            .filter(move |(i, _)| !self.in_test[*i])
-            .map(|(i, (m, r))| (i + 1, m.as_str(), r.as_str()))
-    }
-}
-
-fn is_test_attr(trimmed: &str) -> bool {
-    (trimmed.starts_with("#[cfg(") && trimmed.contains("test")) || trimmed.starts_with("#[test]")
+/// Iterate `(index, token)` over non-test tokens.
+fn code_tokens(sf: &SourceFile) -> impl Iterator<Item = (usize, &Tok)> {
+    sf.toks.iter().enumerate().filter(|(i, _)| !sf.in_test[*i])
 }
 
 // ---- rule: no_panic --------------------------------------------------
 
-/// Match the panic tokens on masked non-test lines.
-pub fn scan_no_panic(file: &MaskedFile) -> Vec<(usize, String, &'static str)> {
-    let mut out = Vec::new();
-    for (n, masked, raw) in file.code_lines() {
-        if PANIC_TOKENS.iter().any(|t| masked.contains(t)) {
-            out.push((
-                n,
-                raw.trim().to_string(),
-                "return a DecodeError/InvariantViolation instead of panicking \
-                 (see crates/xtask/allow/no_panic.allow for the sanctioned exceptions)",
-            ));
+/// Match panic sinks (macro family, `.unwrap()`, `.expect(`) on non-test
+/// tokens. Reuses the call-graph body scanner, so split-across-lines
+/// spellings and `debug_assert!` exemption behave identically to the
+/// `panic_reach` pass.
+pub fn scan_no_panic(sf: &SourceFile) -> Vec<(usize, String)> {
+    let in_test = test_lines(sf);
+    let facts = scan_body(&sf.toks, (0, sf.toks.len()), None, &[]);
+    let mut lines = BTreeSet::new();
+    for (kind, line) in facts.sinks {
+        if kind != SinkKind::Index && !in_test.contains(&line) {
+            lines.insert(line);
         }
     }
-    out
+    lines
+        .into_iter()
+        .map(|n| {
+            (
+                n,
+                "return a DecodeError/InvariantViolation instead of panicking \
+                 (see crates/xtask/allow/no_panic.allow for the sanctioned exceptions)"
+                    .to_string(),
+            )
+        })
+        .collect()
 }
 
 // ---- rule: narrowing_cast --------------------------------------------
 
-/// Match narrowing `as` casts (` as u32` etc.) on masked non-test lines.
-pub fn scan_narrowing_cast(file: &MaskedFile) -> Vec<(usize, String, &'static str)> {
-    let mut out = Vec::new();
-    for (n, masked, raw) in file.code_lines() {
-        if has_narrowing_cast(masked) {
-            out.push((
+/// Match narrowing `as` casts (`as u32` etc.) on non-test tokens.
+pub fn scan_narrowing_cast(sf: &SourceFile) -> Vec<(usize, String)> {
+    let mut lines = BTreeSet::new();
+    for (i, t) in code_tokens(sf) {
+        if t.is_ident("as")
+            && sf
+                .toks
+                .get(i + 1)
+                .is_some_and(|n| NARROWING_TARGETS.contains(&n.text.as_str()))
+        {
+            lines.insert(t.line);
+        }
+    }
+    lines
+        .into_iter()
+        .map(|n| {
+            (
                 n,
-                raw.trim().to_string(),
                 "use checked::count_u32 / u32::try_from — a silently truncated \
-                 count corrupts the record layout",
-            ));
-        }
-    }
-    out
-}
-
-fn has_narrowing_cast(line: &str) -> bool {
-    let mut rest = line;
-    while let Some(k) = rest.find(" as ") {
-        let after = &rest[k + 4..];
-        let target: String = after
-            .chars()
-            .take_while(|c| c.is_ascii_alphanumeric())
-            .collect();
-        if NARROWING_TARGETS.contains(&target.as_str()) {
-            // `as` must follow an expression, not an identifier fragment.
-            return true;
-        }
-        rest = after;
-    }
-    false
+                 count corrupts the record layout"
+                    .to_string(),
+            )
+        })
+        .collect()
 }
 
 // ---- rule: no_raw_counter --------------------------------------------
@@ -345,38 +306,31 @@ fn counter_scope(root: &Path, errors: &mut Vec<String>) -> Vec<String> {
     dirs
 }
 
-/// Match bare counter primitives (`AtomicU64`, `Cell<u64>`) on masked
-/// non-test lines. The preceding character must not be part of an
-/// identifier, so `RefCell<u64>` (interior mutability, not a counter)
-/// and names merely containing the token do not fire.
-pub fn scan_no_raw_counter(file: &MaskedFile) -> Vec<(usize, String, &'static str)> {
-    let mut out = Vec::new();
-    for (n, masked, raw) in file.code_lines() {
-        if COUNTER_TOKENS.iter().any(|t| has_bare_token(masked, t)) {
-            out.push((
+/// Match bare counter primitives (`AtomicU64`, `Cell<u64>`) on non-test
+/// tokens. Idents are exact tokens, so `RefCell<u64>` (interior
+/// mutability, not a counter) cannot fire.
+pub fn scan_no_raw_counter(sf: &SourceFile) -> Vec<(usize, String)> {
+    let mut lines = BTreeSet::new();
+    for (i, t) in code_tokens(sf) {
+        let hit = t.is_ident("AtomicU64")
+            || (t.is_ident("Cell")
+                && sf.toks.get(i + 1).is_some_and(|n| n.is_punct("<"))
+                && sf.toks.get(i + 2).is_some_and(|n| n.is_ident("u64")));
+        if hit {
+            lines.insert(t.line);
+        }
+    }
+    lines
+        .into_iter()
+        .map(|n| {
+            (
                 n,
-                raw.trim().to_string(),
                 "count through mob-obs (metric!/Counter/LocalCounter/SharedCounter) \
-                 so the total lands in the registry and shows up in EXPLAIN",
-            ));
-        }
-    }
-    out
-}
-
-/// `token` occurs in `line` not immediately preceded by an identifier
-/// character.
-fn has_bare_token(line: &str, token: &str) -> bool {
-    let mut start = 0;
-    while let Some(k) = line[start..].find(token) {
-        let at = start + k;
-        let prev = line[..at].chars().next_back();
-        if !prev.is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
-            return true;
-        }
-        start = at + token.len();
-    }
-    false
+                 so the total lands in the registry and shows up in EXPLAIN"
+                    .to_string(),
+            )
+        })
+        .collect()
 }
 
 // ---- rule: no_unchecked_io -------------------------------------------
@@ -407,123 +361,116 @@ fn all_crate_src_dirs(root: &Path, errors: &mut Vec<String>) -> Vec<String> {
 }
 
 /// Match bare filesystem writes (`fs::write(`, `File::create(`) on
-/// masked non-test lines. Both tokens are suffix-matched, so
-/// `std::fs::write(` and `std::fs::File::create(` fire too.
-pub fn scan_no_unchecked_io(file: &MaskedFile) -> Vec<(usize, String, &'static str)> {
-    let mut out = Vec::new();
-    for (n, masked, raw) in file.code_lines() {
-        if UNCHECKED_IO_TOKENS.iter().any(|t| masked.contains(t)) {
-            out.push((
-                n,
-                raw.trim().to_string(),
-                "write through StoreIo (FsIo for real disks) — bare fs writes \
-                 skip fsync, atomic rename and fault injection; \
-                 storage/src/io.rs is the only sanctioned raw site",
-            ));
+/// non-test tokens. Path-segment matching catches `std::fs::write(` and
+/// `std::fs::File::create(` too.
+pub fn scan_no_unchecked_io(sf: &SourceFile) -> Vec<(usize, String)> {
+    let mut lines = BTreeSet::new();
+    for (i, t) in code_tokens(sf) {
+        let path_call = |head: &str, leaf: &str| {
+            t.is_ident(head)
+                && sf.toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                && sf.toks.get(i + 2).is_some_and(|n| n.is_ident(leaf))
+                && sf.toks.get(i + 3).is_some_and(|n| n.is_open('('))
+        };
+        if path_call("fs", "write") || path_call("File", "create") {
+            lines.insert(t.line);
         }
     }
-    out
+    lines
+        .into_iter()
+        .map(|n| {
+            (
+                n,
+                "write through StoreIo (FsIo for real disks) — bare fs writes \
+                 skip fsync, atomic rename and fault injection; \
+                 storage/src/io.rs is the only sanctioned raw site"
+                    .to_string(),
+            )
+        })
+        .collect()
 }
 
 // ---- rule: float_eq --------------------------------------------------
 
 /// Match `==`/`!=` where one side is a raw float (`.get()` call or a
-/// float literal) on masked non-test lines.
-pub fn scan_float_eq(file: &MaskedFile) -> Vec<(usize, String, &'static str)> {
-    let mut out = Vec::new();
-    for (n, masked, raw) in file.code_lines() {
-        if has_float_eq(masked) {
-            out.push((
-                n,
-                raw.trim().to_string(),
-                "compare through Real (eq/eps helpers in base/src/real.rs) — \
-                 raw f64 == is exact-representation equality",
-            ));
-        }
-    }
-    out
-}
-
-fn has_float_eq(line: &str) -> bool {
-    let b = line.as_bytes();
-    let mut i = 0;
-    while i + 1 < b.len() {
-        let op = &b[i..i + 2];
-        let is_eq = op == b"==";
-        let is_ne = op == b"!=" && (i + 2 >= b.len() || b[i + 2] != b'=');
-        if (is_eq
-            && (i == 0
-                || b[i - 1] != b'!'
-                    && b[i - 1] != b'<'
-                    && b[i - 1] != b'>'
-                    && b[i - 1] != b'='
-                    && b[i - 1] != b'+'))
-            || is_ne
-        {
-            let lhs = line[..i].trim_end();
-            let rhs = line[i + 2..].trim_start();
-            if is_floatish_suffix(lhs) || is_floatish_prefix(rhs) {
-                return true;
-            }
-            i += 2;
+/// float literal) on non-test tokens.
+pub fn scan_float_eq(sf: &SourceFile) -> Vec<(usize, String)> {
+    let mut lines = BTreeSet::new();
+    for (i, t) in code_tokens(sf) {
+        if !(t.is_punct("==") || t.is_punct("!=")) {
             continue;
         }
-        i += 1;
+        if floatish_before(&sf.toks, i) || floatish_after(&sf.toks, i) {
+            lines.insert(t.line);
+        }
+    }
+    lines
+        .into_iter()
+        .map(|n| {
+            (
+                n,
+                "compare through Real (eq/eps helpers in base/src/real.rs) — \
+                 raw f64 == is exact-representation equality"
+                    .to_string(),
+            )
+        })
+        .collect()
+}
+
+fn is_float_num(t: &Tok) -> bool {
+    t.kind == crate::lex::Kind::Num
+        && (t.text.contains('.') || t.text.ends_with("f64") || t.text.ends_with("f32"))
+}
+
+/// `… x.get() ==` / `… 1.5 ==`: look at the tokens just before the op.
+fn floatish_before(toks: &[Tok], op: usize) -> bool {
+    if op >= 1 && is_float_num(&toks[op - 1]) {
+        return true;
+    }
+    op >= 4
+        && toks[op - 1].is_close(')')
+        && toks[op - 2].is_open('(')
+        && toks[op - 3].is_ident("get")
+        && toks[op - 4].is_punct(".")
+}
+
+/// `== 0.25` / `== y.get()`: scan forward (bounded, stopping at
+/// expression terminators) for a float literal or a `.get()` call.
+fn floatish_after(toks: &[Tok], op: usize) -> bool {
+    let mut k = op + 1;
+    let stop = (op + 12).min(toks.len());
+    while k < stop {
+        let t = &toks[k];
+        if is_float_num(t) {
+            return true;
+        }
+        if t.is_punct(".")
+            && toks.get(k + 1).is_some_and(|n| n.is_ident("get"))
+            && toks.get(k + 2).is_some_and(|n| n.is_open('('))
+            && toks.get(k + 3).is_some_and(|n| n.is_close(')'))
+        {
+            return true;
+        }
+        if t.is_punct(",")
+            || t.is_punct(";")
+            || t.is_punct("&&")
+            || t.is_punct("||")
+            || t.is_open('{')
+            || t.is_close('}')
+        {
+            return false;
+        }
+        k += 1;
     }
     false
-}
-
-/// `… x.get()` or `… 0.5` immediately before the operator.
-fn is_floatish_suffix(lhs: &str) -> bool {
-    if lhs.ends_with(".get()") {
-        return true;
-    }
-    // Trailing float literal: digits '.' digits (possibly with _).
-    let tail: String = lhs
-        .chars()
-        .rev()
-        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '_')
-        .collect::<String>()
-        .chars()
-        .rev()
-        .collect();
-    is_float_literal(&tail)
-}
-
-/// `x.get() …` or `0.5 …` immediately after the operator.
-fn is_floatish_prefix(rhs: &str) -> bool {
-    let head: String = rhs
-        .chars()
-        .take_while(|c| {
-            c.is_ascii_alphanumeric() || *c == '.' || *c == '_' || *c == '(' || *c == ')'
-        })
-        .collect();
-    if head.contains(".get()") {
-        return true;
-    }
-    let lit: String = rhs
-        .chars()
-        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '_')
-        .collect();
-    is_float_literal(&lit)
-}
-
-fn is_float_literal(s: &str) -> bool {
-    let s = s.trim_matches('_');
-    let Some(dot) = s.find('.') else {
-        return false;
-    };
-    let (a, b) = (&s[..dot], &s[dot + 1..]);
-    !a.is_empty()
-        && !b.is_empty()
-        && a.chars().all(|c| c.is_ascii_digit() || c == '_')
-        && b.chars().all(|c| c.is_ascii_digit() || c == '_')
 }
 
 // ---- rule: crate_lints -----------------------------------------------
 
 /// Every `crates/*/src/lib.rs` must carry `#![forbid(unsafe_code)]`;
-/// non-shim libraries must also carry `#![warn(missing_docs)]`.
+/// non-shim libraries must also carry `#![warn(missing_docs)]`. The
+/// check is token-based: an attribute spelled out inside a comment or
+/// string can no longer satisfy it.
 fn scan_crate_lints(root: &Path, errors: &mut Vec<String>) -> Vec<Violation> {
     let mut out = Vec::new();
     let crates_dir = root.join("crates");
@@ -550,27 +497,44 @@ fn scan_crate_lints(root: &Path, errors: &mut Vec<String>) -> Vec<Violation> {
                 continue;
             }
         };
+        let toks = crate::lex::lex(&src);
         let rel = rel_path(root, &lib);
-        if !src.contains("#![forbid(unsafe_code)]") {
+        if !has_inner_lint_attr(&toks, "forbid", "unsafe_code") {
             out.push(Violation {
                 rule: "crate_lints",
                 path: rel.clone(),
                 line: 1,
                 content: "missing #![forbid(unsafe_code)]".to_string(),
-                help: "add `#![forbid(unsafe_code)]` at the top of the crate",
+                help: "add `#![forbid(unsafe_code)]` at the top of the crate".to_string(),
+                chain: Vec::new(),
             });
         }
-        if !is_shim && !src.contains("#![warn(missing_docs)]") {
+        if !is_shim && !has_inner_lint_attr(&toks, "warn", "missing_docs") {
             out.push(Violation {
                 rule: "crate_lints",
                 path: rel,
                 line: 1,
                 content: "missing #![warn(missing_docs)]".to_string(),
-                help: "add `#![warn(missing_docs)]` at the top of the crate",
+                help: "add `#![warn(missing_docs)]` at the top of the crate".to_string(),
+                chain: Vec::new(),
             });
         }
     }
     out
+}
+
+/// `#![level(lint)]` as real tokens: `#` `!` `[` level `(` lint `)` `]`.
+fn has_inner_lint_attr(toks: &[Tok], level: &str, lint: &str) -> bool {
+    toks.windows(8).any(|w| {
+        w[0].is_punct("#")
+            && w[1].is_punct("!")
+            && w[2].is_open('[')
+            && w[3].is_ident(level)
+            && w[4].is_open('(')
+            && w[5].is_ident(lint)
+            && w[6].is_close(')')
+            && w[7].is_close(']')
+    })
 }
 
 // ---- allowlists ------------------------------------------------------
@@ -628,10 +592,50 @@ fn apply_allowlist(root: &Path, rule: &str, raw: Vec<Violation>) -> (Vec<Violati
 
 // ---- self-test -------------------------------------------------------
 
-/// Run each line-based rule against its fixture file, where every line
-/// carrying a `//~` marker must be flagged and every line without one
-/// must not. Proves the rules fire (and that masking suppresses
-/// lookalikes inside strings and comments).
+fn fixture_source(root: &Path, name: &str, errors: &mut Vec<String>) -> Option<String> {
+    let fixture = root.join("crates/xtask/fixtures").join(name);
+    match std::fs::read_to_string(&fixture) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            errors.push(format!("fixture {}: {e}", fixture.display()));
+            None
+        }
+    }
+}
+
+fn marker_lines(src: &str) -> BTreeSet<usize> {
+    src.lines()
+        .enumerate()
+        .filter(|(_, l)| l.contains("//~"))
+        .map(|(i, _)| i + 1)
+        .collect()
+}
+
+fn diff_lines(
+    rule: &str,
+    expect: &BTreeSet<usize>,
+    hits: &BTreeSet<usize>,
+    errors: &mut Vec<String>,
+) {
+    for n in expect.difference(hits) {
+        errors.push(format!(
+            "self-test {rule}: fixture line {n} should fire but did not"
+        ));
+    }
+    for n in hits.difference(expect) {
+        errors.push(format!(
+            "self-test {rule}: fixture line {n} fired unexpectedly"
+        ));
+    }
+}
+
+/// Run each rule against its fixture, where every line carrying a `//~`
+/// marker must be flagged and every line without one must not. Proves
+/// the rules fire (and that the lexer suppresses lookalikes inside
+/// strings and comments). The `panic_reach` fixture is a miniature
+/// workspace under `fixtures/panic_reach_repo/` whose markers prove
+/// chains fire through transitive calls — and that the `?`-propagating
+/// twins of each seeded bug do *not* fire.
 pub fn self_test(root: &Path) -> Result<(), Vec<String>> {
     let mut errors = Vec::new();
     for rule in [
@@ -640,51 +644,46 @@ pub fn self_test(root: &Path) -> Result<(), Vec<String>> {
         "float_eq",
         "no_raw_counter",
         "no_unchecked_io",
+        "atomics_order",
+        "determinism",
     ] {
-        let fixture = root
-            .join("crates/xtask/fixtures")
-            .join(format!("{rule}.rs.fixture"));
-        let src = match std::fs::read_to_string(&fixture) {
-            Ok(s) => s,
-            Err(e) => {
-                errors.push(format!("fixture {}: {e}", fixture.display()));
-                continue;
-            }
+        let Some(src) = fixture_source(root, &format!("{rule}.rs.fixture"), &mut errors) else {
+            continue;
         };
-        let expect: BTreeSet<usize> = src
-            .lines()
-            .enumerate()
-            .filter(|(_, l)| l.contains("//~"))
-            .map(|(i, _)| i + 1)
-            .collect();
+        let expect = marker_lines(&src);
         if expect.is_empty() {
             errors.push(format!("fixture for `{rule}` has no //~ markers"));
         }
-        let file = MaskedFile::new(&src);
+        let (sf, _) = SourceFile::new(format!("{rule}.rs.fixture"), String::new(), &src);
         let hits: BTreeSet<usize> = match rule {
-            "no_panic" => scan_no_panic(&file),
-            "narrowing_cast" => scan_narrowing_cast(&file),
-            "no_raw_counter" => scan_no_raw_counter(&file),
-            "no_unchecked_io" => scan_no_unchecked_io(&file),
-            _ => scan_float_eq(&file),
-        }
-        .into_iter()
-        .map(|(n, _, _)| n)
-        .collect();
-        for n in expect.difference(&hits) {
-            errors.push(format!(
-                "self-test {rule}: fixture line {n} should fire but did not"
-            ));
-        }
-        for n in hits.difference(&expect) {
-            errors.push(format!(
-                "self-test {rule}: fixture line {n} fired unexpectedly"
-            ));
-        }
+            "no_panic" => to_lines(scan_no_panic(&sf)),
+            "narrowing_cast" => to_lines(scan_narrowing_cast(&sf)),
+            "no_raw_counter" => to_lines(scan_no_raw_counter(&sf)),
+            "no_unchecked_io" => to_lines(scan_no_unchecked_io(&sf)),
+            "float_eq" => to_lines(scan_float_eq(&sf)),
+            "atomics_order" => passes::scan_atomics(&sf).into_iter().collect(),
+            _ => passes::scan_determinism(&sf).into_iter().collect(),
+        };
+        diff_lines(rule, &expect, &hits, &mut errors);
     }
-    // crate_lints self-test: scan a fixture "repo" containing one crate
-    // missing both attributes and one compliant shim crate. Exactly the
-    // two `badcrate` violations must fire.
+    self_test_crate_lints(root, &mut errors);
+    self_test_panic_reach(root, &mut errors);
+    self_test_json(&mut errors);
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn to_lines(hits: Vec<(usize, String)>) -> BTreeSet<usize> {
+    hits.into_iter().map(|(n, _)| n).collect()
+}
+
+/// crate_lints self-test: scan a fixture "repo" containing one crate
+/// missing both attributes (with comment/string lookalikes that must
+/// not satisfy the check) and one compliant shim crate.
+fn self_test_crate_lints(root: &Path, errors: &mut Vec<String>) {
     let fixture_root = root.join("crates/xtask/fixtures/crate_lints_repo");
     let mut fixture_errors = Vec::new();
     let hits = scan_crate_lints(&fixture_root, &mut fixture_errors);
@@ -712,9 +711,103 @@ pub fn self_test(root: &Path) -> Result<(), Vec<String>> {
                 .collect::<Vec<_>>()
         ));
     }
-    if errors.is_empty() {
-        Ok(())
-    } else {
-        Err(errors)
+}
+
+/// panic_reach self-test: build the call graph over the miniature
+/// workspace in `fixtures/panic_reach_repo/` and compare (path, line)
+/// hits against the `//~` markers across all of its files. Also asserts
+/// that at least one violation carries a transitive chain (seed →
+/// helper → sink) naming the seed entry point.
+fn self_test_panic_reach(root: &Path, errors: &mut Vec<String>) {
+    let fixture_root = root.join("crates/xtask/fixtures/panic_reach_repo");
+    let mut build_errors = Vec::new();
+    let dirs = passes::graph_crate_dirs(&fixture_root, &mut build_errors);
+    let (g, graph_errors) = crate::callgraph::Graph::build(&fixture_root, &dirs);
+    build_errors.extend(graph_errors);
+    errors.extend(
+        build_errors
+            .into_iter()
+            .map(|e| format!("self-test panic_reach: {e}")),
+    );
+    let hits: BTreeSet<(String, usize)> = passes::reach_violations(&g)
+        .iter()
+        .map(|v| (v.path.clone(), v.line))
+        .collect();
+    // expected = all //~ markers across the fixture workspace
+    let mut expect: BTreeSet<(String, usize)> = BTreeSet::new();
+    for sf in &g.files {
+        for (i, l) in sf.raw_lines.iter().enumerate() {
+            if l.contains("//~") {
+                expect.insert((sf.path.clone(), i + 1));
+            }
+        }
+    }
+    if expect.is_empty() {
+        errors.push("self-test panic_reach: fixture repo has no //~ markers".to_string());
+    }
+    for (p, n) in expect.difference(&hits) {
+        errors.push(format!(
+            "self-test panic_reach: {p}:{n} should fire but did not"
+        ));
+    }
+    for (p, n) in hits.difference(&expect) {
+        errors.push(format!("self-test panic_reach: {p}:{n} fired unexpectedly"));
+    }
+    // chains must actually walk the graph: some violation is transitive
+    // (chain length >= 2) and roots at the seeded entry point.
+    let chains: Vec<Vec<String>> = passes::reach_violations(&g)
+        .into_iter()
+        .map(|v| v.chain)
+        .collect();
+    if !chains
+        .iter()
+        .any(|c| c.len() >= 2 && c[0].contains("open_mpoint"))
+    {
+        errors.push(
+            "self-test panic_reach: no transitive chain rooted at open_mpoint was reported"
+                .to_string(),
+        );
+    }
+}
+
+/// JSON self-test: render a non-trivial report, parse it back with the
+/// in-crate parser, and require field-level agreement with the text
+/// mode's inputs.
+fn self_test_json(errors: &mut Vec<String>) {
+    let violations = vec![Violation {
+        rule: "panic_reach",
+        path: "crates/demo/src/lib.rs".to_string(),
+        line: 3,
+        content: "let x = v[i];".to_string(),
+        help: "indexing \"reachable\"\nfrom decode".to_string(),
+        chain: vec!["open_mpoint (crates/demo/src/lib.rs:1)".to_string()],
+    }];
+    let errs = vec!["stale entry".to_string()];
+    let rendered = crate::json::render(&violations, &errs);
+    match crate::json::parse(&rendered) {
+        Err(e) => errors.push(format!("self-test json: emitted JSON failed to parse: {e}")),
+        Ok(doc) => {
+            let v0 = doc
+                .get("violations")
+                .and_then(|v| v.items())
+                .and_then(<[crate::json::Value]>::first);
+            let ok = v0.is_some_and(|v| {
+                v.get("rule").and_then(crate::json::Value::as_str) == Some("panic_reach")
+                    && v.get("line").and_then(crate::json::Value::as_num) == Some(3.0)
+                    && v.get("help").and_then(crate::json::Value::as_str)
+                        == Some("indexing \"reachable\"\nfrom decode")
+                    && v.get("chain")
+                        .and_then(|c| c.items())
+                        .is_some_and(|c| c.len() == 1)
+            }) && doc
+                .get("errors")
+                .and_then(|e| e.items())
+                .is_some_and(|e| e.len() == 1);
+            if !ok {
+                errors.push(
+                    "self-test json: parsed JSON disagrees with the rendered report".to_string(),
+                );
+            }
+        }
     }
 }

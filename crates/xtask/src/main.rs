@@ -1,50 +1,80 @@
-//! `cargo run -p xtask -- lint [--self-test]`
+//! `cargo run -p xtask -- lint [--self-test] [--json]`
 //!
-//! Dependency-free, repo-specific source lints for the moving-objects
-//! workspace. `lint` scans the library sources and exits non-zero on any
-//! violation not covered by `crates/xtask/allow/*.allow`; `--self-test`
-//! instead runs every rule against its fixture under
-//! `crates/xtask/fixtures/` and verifies the expected lines (marked
-//! `//~`) fire — and only those.
+//! Dependency-free, repo-specific static analysis for the
+//! moving-objects workspace: six token-level source lints plus three
+//! analysis passes (panic-reachability over the untrusted decode
+//! surface, atomics-ordering audit, determinism audit). `lint` scans
+//! the workspace and exits non-zero on any violation not covered by
+//! `crates/xtask/allow/*.allow`; `--json` emits the same report as one
+//! machine-readable JSON object on stdout; `--self-test` instead runs
+//! every rule against its fixture under `crates/xtask/fixtures/` and
+//! verifies the expected lines (marked `//~`) fire — and only those.
 
+mod callgraph;
+mod json;
+mod lex;
 mod lint;
-mod mask;
+mod passes;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-fn repo_root() -> PathBuf {
+/// The workspace root, derived from this crate's manifest directory.
+/// A miscomputed root would make every scope empty and let `lint`
+/// "pass" over nothing, so failure to resolve it is a hard error.
+fn repo_root() -> Result<PathBuf, String> {
     // crates/xtask -> crates -> repo root
-    Path::new(env!("CARGO_MANIFEST_DIR"))
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest
         .ancestors()
         .nth(2)
-        .map(Path::to_path_buf)
-        .unwrap_or_else(|| PathBuf::from("."))
+        .ok_or_else(|| format!("cannot derive repo root from {}", manifest.display()))?;
+    if !root.join("crates").is_dir() {
+        return Err(format!(
+            "derived repo root {} has no crates/ directory — refusing to lint the wrong tree",
+            root.display()
+        ));
+    }
+    Ok(root.to_path_buf())
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let args: Vec<&str> = args.iter().map(String::as_str).collect();
+    let root = match repo_root() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
     match args.as_slice() {
-        ["lint"] => run_lint(&repo_root()),
-        ["lint", "--self-test"] => run_self_test(&repo_root()),
+        ["lint"] => run_lint(&root, false),
+        ["lint", "--json"] => run_lint(&root, true),
+        ["lint", "--self-test"] => run_self_test(&root),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint [--self-test]");
+            eprintln!("usage: cargo run -p xtask -- lint [--self-test] [--json]");
             ExitCode::from(2)
         }
     }
 }
 
-fn run_lint(root: &Path) -> ExitCode {
+fn run_lint(root: &Path, as_json: bool) -> ExitCode {
     let (violations, errors) = lint::run_all(root);
-    for v in &violations {
-        println!("{v}");
-    }
-    for e in &errors {
-        eprintln!("error: {e}");
+    if as_json {
+        println!("{}", json::render(&violations, &errors));
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        for e in &errors {
+            eprintln!("error: {e}");
+        }
     }
     if violations.is_empty() && errors.is_empty() {
-        println!("xtask lint: {} rules, no violations", lint::RULES.len());
+        if !as_json {
+            println!("xtask lint: {} rules, no violations", lint::RULES.len());
+        }
         ExitCode::SUCCESS
     } else {
         eprintln!(
