@@ -17,7 +17,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mob_bench::{crossing_point, SPAN};
 use mob_core::UnitSeq;
-use mob_rel::{long_flights, planes_relation, save_relation, Relation};
+use mob_rel::{long_flights, planes_relation, save_relation, OnError, Relation};
 use mob_storage::mapping_store::save_mpoint;
 use mob_storage::{open_mpoint, PageStore, Verify};
 use std::hint::black_box;
@@ -68,7 +68,8 @@ fn query1_backends(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("in-place", n), &n, |b, _| {
             b.iter(|| {
-                let rel = Relation::from_store(&stored, store.clone()).expect("opens");
+                let rel =
+                    Relation::from_stored(&stored, store.clone(), OnError::Fail).expect("opens");
                 black_box(long_flights(&rel, "Lufthansa", 1500.0).len())
             });
         });

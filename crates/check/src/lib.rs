@@ -403,10 +403,14 @@ pub fn self_test(seed: u64) -> Result<String, String> {
         return Err("pristine index probe matched nothing — probe too weak".to_string());
     }
     let dir = MemIo::new();
-    let mut store = DurableStore::create(dir.clone(), 256).map_err(|e| format!("create: {e}"))?;
-    store
-        .commit_store_file(&file)
-        .map_err(|e| format!("commit: {e}"))?;
+    let mut store = DurableStore::options()
+        .chunk_size(256)
+        .open(dir.clone())
+        .map_err(|e| format!("open: {e}"))?;
+    let mut txn = store.begin();
+    txn.put_store_file(&file)
+        .map_err(|e| format!("stage: {e}"))?;
+    txn.commit().map_err(|e| format!("commit: {e}"))?;
     let snaps: Vec<String> = dir
         .list()
         .map_err(|e| format!("list: {e}"))?
@@ -550,6 +554,232 @@ fn distance_pair(planes: &[mob_gen::Plane]) -> mob_core::MovingReal {
     }
 }
 
+/// What role a file in a durable directory plays in the snapshot/delta
+/// chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainRole {
+    /// A `snap-<gen>.mob` snapshot image.
+    Snapshot(u64),
+    /// A `delta-<gen>.mob` WAL segment.
+    Delta(u64),
+    /// A `tmp-*` shadow file left by a crashed commit (harmless).
+    Tmp,
+    /// Anything else in the directory (ignored by recovery).
+    Other,
+}
+
+/// Per-file verdict of a [`audit_chain`] run.
+#[derive(Debug)]
+pub struct ChainFile {
+    /// File name inside the durable directory.
+    pub name: String,
+    /// Role the name claims in the chain.
+    pub role: ChainRole,
+    /// `Ok(summary)` or why the file fails its role.
+    pub verdict: Result<String, String>,
+}
+
+/// Outcome of auditing a durable directory's snapshot + delta chain.
+#[derive(Debug)]
+pub struct ChainReport {
+    /// Per-file verdicts, sorted by name.
+    pub files: Vec<ChainFile>,
+    /// Generation of the newest intact snapshot (recovery's base), if
+    /// any snapshot decodes.
+    pub base: Option<u64>,
+    /// Generation recovery would reach after replaying the contiguous
+    /// delta chain above `base`.
+    pub head: Option<u64>,
+}
+
+impl ChainReport {
+    /// `true` when every file passes its role — the directory recovers
+    /// to `head` with nothing lost or shadowed.
+    pub fn all_ok(&self) -> bool {
+        self.files.iter().all(|f| f.verdict.is_ok())
+    }
+
+    /// Render the report as the CLI's text output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.files {
+            let role = match f.role {
+                ChainRole::Snapshot(g) => format!("snapshot g={g}"),
+                ChainRole::Delta(g) => format!("delta    g={g}"),
+                ChainRole::Tmp => "tmp".to_string(),
+                ChainRole::Other => "other".to_string(),
+            };
+            match &f.verdict {
+                Ok(note) => out.push_str(&format!("ok   {:<28} {role}  {note}\n", f.name)),
+                Err(err) => out.push_str(&format!("FAIL {:<28} {role}  {err}\n", f.name)),
+            }
+        }
+        match (self.base, self.head) {
+            (Some(b), Some(h)) => out.push_str(&format!(
+                "chain: base snapshot g={b}, replays to g={h} ({} files)\n",
+                self.files.len()
+            )),
+            _ => out.push_str(&format!(
+                "chain: no intact snapshot ({} files)\n",
+                self.files.len()
+            )),
+        }
+        out
+    }
+}
+
+/// Audit a durable directory's snapshot/delta chain without opening a
+/// [`mob_storage::DurableStore`]: classify every file, strictly decode
+/// each snapshot and delta, and verify the WAL chain is contiguous from
+/// the newest intact snapshot (`base + 1, base + 2, …`) with each
+/// delta's recorded `base_generation` linking to its predecessor.
+///
+/// Shadowed deltas (generation ≤ base) and stale snapshots are reported
+/// as failures — recovery would silently discard them, and an operator
+/// auditing a directory should know bytes are about to be dropped.
+pub fn audit_chain<I: mob_storage::StoreIo>(io: &I) -> Result<ChainReport, String> {
+    use mob_storage::{decode_delta_payload, decode_image_strict, parse_delta_name};
+
+    let mut names = io.list().map_err(|e| format!("list: {e}"))?;
+    names.sort();
+
+    // Pass 1: find the recovery base — the newest strictly-intact
+    // snapshot, exactly as `StoreOptions::open` would.
+    let mut base: Option<u64> = None;
+    for name in &names {
+        let Some(g) = mob_storage::parse_snapshot_name(name) else {
+            continue;
+        };
+        let intact = io
+            .read_file(name)
+            .ok()
+            .and_then(|b| decode_image_strict(&b).ok())
+            .is_some_and(|img| img.generation == g);
+        if intact && base.is_none_or(|b| g > b) {
+            base = Some(g);
+        }
+    }
+
+    // Pass 2: walk the delta chain upward from the base.
+    let mut expect = base.and_then(|b| b.checked_add(1));
+    let mut head = base;
+    let mut deltas: Vec<(u64, String)> = names
+        .iter()
+        .filter_map(|n| parse_delta_name(n).map(|g| (g, n.clone())))
+        .collect();
+    deltas.sort();
+    let mut delta_verdicts: Vec<(String, Result<String, String>)> = Vec::new();
+    for (g, name) in deltas {
+        if base.is_some_and(|b| g <= b) {
+            delta_verdicts.push((
+                name,
+                Err(format!("shadowed: generation {g} is at or below the base")),
+            ));
+            continue;
+        }
+        if Some(g) != expect {
+            delta_verdicts.push((
+                name,
+                Err(format!(
+                    "chain gap: expected generation {expect:?}, found {g} — \
+                     this delta and everything above it is unreachable"
+                )),
+            ));
+            expect = None;
+            continue;
+        }
+        // A delta file is a chunk-framed image whose payload is the
+        // WAL record: unwrap the frame, then decode the record.
+        let verdict = io
+            .read_file(&name)
+            .map_err(|e| format!("read: {e}"))
+            .and_then(|b| decode_image_strict(&b).map_err(|e| format!("frame: {e}")))
+            .and_then(|img| {
+                if img.generation == g {
+                    Ok(img)
+                } else {
+                    Err(format!(
+                        "name/superblock mismatch: superblock says g={}",
+                        img.generation
+                    ))
+                }
+            })
+            .and_then(|img| decode_delta_payload(&img.payload).map_err(|e| format!("decode: {e}")))
+            .and_then(|p| {
+                if p.base_generation.checked_add(1) == Some(g) {
+                    Ok(format!(
+                        "{} object batch(es) over base g={}",
+                        p.appends.len(),
+                        p.base_generation
+                    ))
+                } else {
+                    Err(format!(
+                        "link mismatch: records base g={}, name claims g={g}",
+                        p.base_generation
+                    ))
+                }
+            });
+        if verdict.is_ok() {
+            head = Some(g);
+            expect = g.checked_add(1);
+        } else {
+            expect = None;
+        }
+        delta_verdicts.push((name, verdict));
+    }
+
+    // Pass 3: assemble per-file verdicts in name order.
+    let mut files = Vec::new();
+    for name in names {
+        if let Some(g) = mob_storage::parse_snapshot_name(&name) {
+            let verdict = io
+                .read_file(&name)
+                .map_err(|e| format!("read: {e}"))
+                .and_then(|b| decode_image_strict(&b).map_err(|e| format!("decode: {e}")))
+                .and_then(|img| {
+                    if img.generation != g {
+                        Err(format!(
+                            "name/superblock mismatch: superblock says g={}",
+                            img.generation
+                        ))
+                    } else if base.is_some_and(|b| g < b) {
+                        Err(format!("stale: shadowed by base snapshot g={base:?}"))
+                    } else {
+                        Ok(format!("{} payload bytes", img.payload.len()))
+                    }
+                });
+            files.push(ChainFile {
+                name,
+                role: ChainRole::Snapshot(g),
+                verdict,
+            });
+        } else if let Some(g) = mob_storage::parse_delta_name(&name) {
+            let verdict = delta_verdicts
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map_or(Err("delta not walked".to_string()), |(_, v)| v.clone());
+            files.push(ChainFile {
+                name,
+                role: ChainRole::Delta(g),
+                verdict,
+            });
+        } else if name.starts_with("tmp-") {
+            files.push(ChainFile {
+                name,
+                role: ChainRole::Tmp,
+                verdict: Err("leftover shadow file from a crashed commit".to_string()),
+            });
+        } else {
+            files.push(ChainFile {
+                name,
+                role: ChainRole::Other,
+                verdict: Ok("ignored by recovery".to_string()),
+            });
+        }
+    }
+    Ok(ChainReport { files, base, head })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -595,8 +825,13 @@ mod tests {
         use mob_storage::{DurableStore, MemIo, StoreIo};
 
         let dir = MemIo::new();
-        let mut store = DurableStore::create(dir.clone(), 256).unwrap();
-        store.commit_store_file(&demo_store_file(11)).unwrap();
+        let mut store = DurableStore::options()
+            .chunk_size(256)
+            .open(dir.clone())
+            .unwrap();
+        let mut txn = store.begin();
+        txn.put_store_file(&demo_store_file(11)).unwrap();
+        txn.commit().unwrap();
         let snap = dir
             .list()
             .unwrap()
@@ -630,5 +865,65 @@ mod tests {
     fn self_test_passes() {
         let summary = self_test(42).expect("self-test must pass on a healthy build");
         assert!(summary.contains("self-test ok"), "{summary}");
+    }
+
+    /// A directory with a snapshot plus a contiguous delta chain audits
+    /// clean, and the report names the right base and head.
+    #[test]
+    fn chain_audit_accepts_a_healthy_directory() {
+        use mob_base::t;
+        use mob_spatial::pt;
+        use mob_storage::{DurableStore, Ingestor, MemIo};
+
+        let dir = MemIo::new();
+        let mut store = DurableStore::options().open(dir.clone()).unwrap();
+        let mut txn = store.begin();
+        txn.put_store_file(&demo_store_file(5)).unwrap();
+        txn.commit().unwrap();
+        let mut ingest = Ingestor::new();
+        for k in 0..3u32 {
+            ingest
+                .append("chase/0", t(f64::from(k)), pt(f64::from(k), 0.0))
+                .unwrap();
+            ingest
+                .append("chase/1", t(f64::from(k)), pt(0.0, f64::from(k)))
+                .unwrap();
+        }
+        let mut txn = store.begin();
+        ingest.seal_into(&mut txn);
+        txn.commit().unwrap();
+
+        let report = audit_chain(&dir).unwrap();
+        assert!(report.all_ok(), "healthy chain:\n{}", report.render());
+        assert_eq!(report.base, Some(1));
+        assert_eq!(report.head, Some(2));
+        assert!(report.render().contains("replays to g=2"));
+    }
+
+    /// Gaps, torn deltas, and leftover tmp files are all called out.
+    #[test]
+    fn chain_audit_flags_gaps_and_torn_files() {
+        use mob_storage::{delta_name, DurableStore, MemIo, StoreIo};
+
+        let dir = MemIo::new();
+        let mut store = DurableStore::options().open(dir.clone()).unwrap();
+        let mut txn = store.begin();
+        txn.put_payload(b"base payload");
+        txn.commit().unwrap();
+
+        // A gap: delta for generation 3 with no generation-2 link.
+        dir.write_file(&delta_name(3), b"MOBDELT1 torn nonsense")
+            .unwrap();
+        // A crashed commit's shadow file.
+        dir.write_file("tmp-0000000000000009.mob", b"partial")
+            .unwrap();
+
+        let report = audit_chain(&dir).unwrap();
+        assert!(!report.all_ok());
+        assert_eq!(report.base, Some(1));
+        assert_eq!(report.head, Some(1), "gap must stop the replay walk");
+        let rendered = report.render();
+        assert!(rendered.contains("chain gap"), "{rendered}");
+        assert!(rendered.contains("leftover shadow"), "{rendered}");
     }
 }

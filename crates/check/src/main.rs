@@ -44,6 +44,7 @@ fn main() -> ExitCode {
     let mut demo_image = false;
     let mut deep = false;
     let mut verify = false;
+    let mut chain = false;
     let mut self_test = false;
     let mut seed: u64 = 42;
     let mut path: Option<String> = None;
@@ -51,6 +52,7 @@ fn main() -> ExitCode {
     while let Some(a) = it.next() {
         match a.as_str() {
             "verify" if path.is_none() && !verify => verify = true,
+            "chain" if path.is_none() && !chain => chain = true,
             "--deep" => deep = true,
             "--demo" => demo = true,
             "--demo-image" => demo_image = true,
@@ -69,6 +71,36 @@ fn main() -> ExitCode {
     }
     if deep && !verify {
         return usage("--deep only applies to the `verify` subcommand");
+    }
+    if chain && (verify || demo || demo_image) {
+        return usage("`chain` does not combine with other modes");
+    }
+
+    if chain {
+        let Some(dir) = path else {
+            return usage("chain needs a <dir>");
+        };
+        let io = match mob_storage::FsIo::open(Path::new(&dir)) {
+            Ok(io) => io,
+            Err(e) => {
+                eprintln!("mob-check: {dir}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        return match mob_check::audit_chain(&io) {
+            Ok(report) => {
+                print!("{}", report.render());
+                if report.all_ok() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("mob-check: chain audit: {e}");
+                ExitCode::from(2)
+            }
+        };
     }
 
     if self_test {
@@ -163,8 +195,12 @@ fn main() -> ExitCode {
 fn demo_image_bytes(file: &mob_storage::StoreFile) -> Result<Vec<u8>, String> {
     use mob_storage::{DurableStore, MemIo};
     let dir = MemIo::new();
-    let mut store = DurableStore::create(dir.clone(), 4096).map_err(|e| e.to_string())?;
-    store.commit_store_file(file).map_err(|e| e.to_string())?;
+    let mut store = DurableStore::options()
+        .open(dir.clone())
+        .map_err(|e| e.to_string())?;
+    let mut txn = store.begin();
+    txn.put_store_file(file).map_err(|e| e.to_string())?;
+    txn.commit().map_err(|e| e.to_string())?;
     let snap = dir
         .list()
         .map_err(|e| e.to_string())?
@@ -176,6 +212,7 @@ fn demo_image_bytes(file: &mob_storage::StoreFile) -> Result<Vec<u8>, String> {
 
 const USAGE: &str =
     "usage: mob-check [verify [--deep]] [--demo|--demo-image [--demo-seed N]] <file>
+       mob-check chain <dir>
        mob-check --self-test [--demo-seed N]";
 
 fn usage(msg: &str) -> ExitCode {

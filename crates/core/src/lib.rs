@@ -36,6 +36,7 @@
 
 pub mod batch;
 pub mod index;
+pub mod ingest;
 pub mod lift;
 pub mod mapping;
 pub mod moving;
@@ -55,6 +56,7 @@ pub mod validate;
 
 pub use batch::{batch_at_instant, batch_inside, batch_lift2, UnitCursor};
 pub use index::{unit_cubes, Candidates, IndexEntry, IndexNode, RTree, DEFAULT_FANOUT};
+pub use ingest::TailBuilder;
 pub use lift::{lift1, lift2};
 pub use mapping::{Mapping, MappingBuilder};
 pub use moving::mpoint::{distance_seq, distance_travelled_seq, inside_region_seq, trajectory_seq};

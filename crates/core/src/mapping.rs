@@ -52,7 +52,8 @@ impl<U: Unit> Mapping<U> {
     /// disjoint, and adjacent units must carry distinct unit functions.
     pub fn try_new(units: Vec<U>) -> Result<Mapping<U>> {
         for w in units.windows(2) {
-            let (i1, i2) = (w[0].interval(), w[1].interval());
+            let [u1, u2] = w else { continue };
+            let (i1, i2) = (u1.interval(), u2.interval());
             if i1.cmp_start(i2) != Ordering::Less {
                 return Err(InvariantViolation::new(
                     "mapping: units must be sorted by time interval",
@@ -63,7 +64,7 @@ impl<U: Unit> Mapping<U> {
                     "mapping: unit intervals must be pairwise disjoint",
                 ));
             }
-            if i1.adjacent(i2) && w[0].value_eq(&w[1]) {
+            if i1.adjacent(i2) && u1.value_eq(u2) {
                 return Err(InvariantViolation::new(
                     "mapping: adjacent units must carry distinct values",
                 ));

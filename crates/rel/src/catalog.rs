@@ -18,7 +18,8 @@ use mob_storage::mapping_store::{
 };
 use mob_storage::region_store::{load_region, save_region, StoredRegion};
 use mob_storage::{
-    open_mbool, open_mpoint, open_mreal, open_mregion, PageStore, TupleLayout, Verify,
+    open_mbool, open_mpoint, open_mreal, open_mregion, Generation, PageStore, RootRecord,
+    TupleLayout, Verify,
 };
 use std::sync::Arc;
 
@@ -201,6 +202,84 @@ pub fn load_relation(stored: &StoredRelation, store: &PageStore) -> DecodeResult
     Ok(rel)
 }
 
+/// Options for [`Relation::open`] — how a [`Generation`]'s catalog of
+/// `moving(point)` roots becomes a queryable relation.
+///
+/// ```
+/// use mob_rel::{OnError, OpenRelOpts};
+///
+/// let opts = OpenRelOpts::new()
+///     .name_attr("flight")
+///     .mpoint_attr("trip")
+///     .on_error(OnError::SkipAndRecord)
+///     .index("fleet/index");
+/// assert_eq!(opts.index_root(), Some("fleet/index"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct OpenRelOpts {
+    name_attr: String,
+    mpoint_attr: String,
+    on_error: OnError,
+    index: Option<String>,
+}
+
+impl Default for OpenRelOpts {
+    fn default() -> Self {
+        OpenRelOpts::new()
+    }
+}
+
+impl OpenRelOpts {
+    /// Defaults: schema `(name: string, trip: mpoint)`, [`OnError::Fail`],
+    /// no index attach.
+    #[must_use]
+    pub fn new() -> OpenRelOpts {
+        OpenRelOpts {
+            name_attr: "name".to_string(),
+            mpoint_attr: "trip".to_string(),
+            on_error: OnError::Fail,
+            index: None,
+        }
+    }
+
+    /// Name of the string attribute carrying the root names.
+    #[must_use]
+    pub fn name_attr(mut self, name: &str) -> OpenRelOpts {
+        self.name_attr = name.to_string();
+        self
+    }
+
+    /// Name of the `moving(point)` attribute.
+    #[must_use]
+    pub fn mpoint_attr(mut self, name: &str) -> OpenRelOpts {
+        self.mpoint_attr = name.to_string();
+        self
+    }
+
+    /// Damage policy for quarantined roots (see [`Relation::from_stored`]).
+    #[must_use]
+    pub fn on_error(mut self, policy: OnError) -> OpenRelOpts {
+        self.on_error = policy;
+        self
+    }
+
+    /// Attach the stored index committed under this root name (a tag-11
+    /// [`RootRecord::Index`] entry). A missing, damaged, or unusable
+    /// index marks the relation *index-damaged* — scans fall back to
+    /// full, recording `index.fallbacks` — and never fails the open.
+    #[must_use]
+    pub fn index(mut self, root_name: &str) -> OpenRelOpts {
+        self.index = Some(root_name.to_string());
+        self
+    }
+
+    /// The configured index root name, if any.
+    #[must_use]
+    pub fn index_root(&self) -> Option<&str> {
+        self.index.as_deref()
+    }
+}
+
 impl Relation {
     /// Open a stored relation for **query-in-place**: scalar and small
     /// attributes are loaded eagerly (they live in the root record
@@ -212,24 +291,136 @@ impl Relation {
     /// (untrusted bytes are never probed blindly), after which a
     /// single-instant query costs `O(log n)` record reads instead of
     /// materializing all `n` units.
+    #[deprecated(note = "use Relation::from_stored(stored, store, OnError::Fail)")]
     pub fn from_store(stored: &StoredRelation, store: Arc<PageStore>) -> DecodeResult<Relation> {
-        Relation::from_store_with(stored, store, OnError::Fail)
+        Relation::from_stored(stored, store, OnError::Fail)
     }
 
-    /// [`Relation::from_store`] with an explicit damage policy — the
-    /// open path for stores recovered **degraded** (e.g.
-    /// `DurableStore::open_store_file_degraded` after bit rot), where
-    /// some page-store blobs are quarantined.
+    /// [`Relation::from_stored`] under its pre-MVCC name.
+    #[deprecated(note = "use Relation::from_stored")]
+    pub fn from_store_with(
+        stored: &StoredRelation,
+        store: Arc<PageStore>,
+        on_error: OnError,
+    ) -> DecodeResult<Relation> {
+        Relation::from_stored(stored, store, on_error)
+    }
+
+    /// Open a pinned [`Generation`] as a relation: one tuple per
+    /// `moving(point)` root, `(name, mpoint-ref)` in catalog order, the
+    /// unit arrays decoded lazily from the generation's page store.
+    /// Entries of other kinds (indexes, scalars) are skipped — they are
+    /// catalog metadata, not fleet members.
     ///
-    /// Under [`OnError::Fail`] any quarantined attribute aborts the open
-    /// (identical to [`Relation::from_store`]). Under
-    /// [`OnError::SkipAndRecord`] a quarantined attribute becomes an
-    /// [`AttrValue::Quarantined`] placeholder — the relation opens with
-    /// every tuple present, healthy values fully queryable, and the
-    /// scans ([`Relation::snapshot_at`], [`Relation::filter_inside`])
-    /// apply their own `on_error` policy to the damaged tuples. Each
-    /// placeholder advances the `rel.attrs_quarantined` registry
-    /// counter.
+    /// Because a [`Generation`] is immutable, the relation keeps
+    /// answering queries bit-for-bit identically while a writer ingests
+    /// deltas and compacts newer generations of the same store.
+    ///
+    /// Damage policy ([`OpenRelOpts::on_error`]): quarantined roots
+    /// (recovered degraded) abort under [`OnError::Fail`] or become
+    /// [`AttrValue::Quarantined`] placeholders under
+    /// [`OnError::SkipAndRecord`], exactly like [`Relation::from_stored`].
+    ///
+    /// Index attach ([`OpenRelOpts::index`]): the stored tree may be
+    /// *stale* — built before later deltas appended units or objects.
+    /// Tuples the tree cannot speak for (ids past its coverage, roots
+    /// listed stale by the generation, quarantined tuples) bypass
+    /// pruning via the index's `always` list, so a stale index costs
+    /// pruning efficiency, never correctness. An unusable index marks
+    /// the relation index-damaged (next scan records `index.fallbacks`).
+    ///
+    /// # Errors
+    ///
+    /// Structural damage in the root records, or quarantine under
+    /// [`OnError::Fail`].
+    pub fn open(generation: &Generation, opts: &OpenRelOpts) -> DecodeResult<Relation> {
+        let schema = Schema::new(&[
+            (opts.name_attr.as_str(), AttrType::Str),
+            (opts.mpoint_attr.as_str(), AttrType::MPoint),
+        ])
+        .map_err(|e| DecodeError::BadStructure {
+            what: "relation open",
+            detail: e.to_string(),
+        })?;
+        let store = generation.store_arc();
+        let mut rel = Relation::new(schema);
+        let mut stale_ids: Vec<u32> = Vec::new();
+        let mut stored_ix: Option<&mob_storage::index_store::StoredIndex> = None;
+        let mut tuple_id = 0u32;
+        for (name, root) in generation.entries() {
+            match root {
+                RootRecord::MPoint(m) => {
+                    let value = match MPointRef::new(store.clone(), m.clone()) {
+                        Ok(r) => AttrValue::MPointRef(r),
+                        Err(e @ DecodeError::Quarantined { .. })
+                            if opts.on_error == OnError::SkipAndRecord =>
+                        {
+                            mob_obs::metric!("rel.attrs_quarantined").add(1);
+                            AttrValue::Quarantined {
+                                ty: AttrType::MPoint,
+                                detail: e.to_string(),
+                            }
+                        }
+                        Err(e) => return Err(e),
+                    };
+                    if generation.is_stale(name) {
+                        stale_ids.push(tuple_id);
+                    }
+                    let name_val =
+                        AttrValue::Str(mob_base::Val::Def(mob_base::Text::try_new(name)?));
+                    rel.insert(Tuple::new(vec![name_val, value])).map_err(|e| {
+                        DecodeError::BadStructure {
+                            what: "relation open",
+                            detail: e.to_string(),
+                        }
+                    })?;
+                    tuple_id = tuple_id.saturating_add(1);
+                }
+                RootRecord::Index(ix) if opts.index.as_deref() == Some(name.as_str()) => {
+                    stored_ix = Some(ix);
+                }
+                _ => {}
+            }
+        }
+        if let Some(want) = &opts.index {
+            let attached = match stored_ix {
+                Some(ix) => rel
+                    .attach_stored_index_stale(
+                        &opts.mpoint_attr,
+                        ix,
+                        generation.store(),
+                        &stale_ids,
+                        true,
+                    )
+                    .map_err(|e| DecodeError::BadStructure {
+                        what: "relation open",
+                        detail: e.to_string(),
+                    })?,
+                None => false,
+            };
+            if !attached {
+                // Missing or unusable: fall back loudly, never fail the
+                // open because of an access path.
+                rel.mark_index_damaged();
+                mob_obs::metric!("rel.index_unusable").add(1);
+                let _ = want;
+            }
+        }
+        Ok(rel)
+    }
+
+    /// Open a [`StoredRelation`] with an explicit damage policy — the
+    /// open path for hand-assembled catalogs and stores recovered
+    /// **degraded** (bit rot quarantined some page-store blobs).
+    ///
+    /// Under [`OnError::Fail`] any quarantined attribute aborts the
+    /// open. Under [`OnError::SkipAndRecord`] a quarantined attribute
+    /// becomes an [`AttrValue::Quarantined`] placeholder — the relation
+    /// opens with every tuple present, healthy values fully queryable,
+    /// and the scans ([`Relation::snapshot_at`],
+    /// [`Relation::filter_inside`]) apply their own `on_error` policy to
+    /// the damaged tuples. Each placeholder advances the
+    /// `rel.attrs_quarantined` registry counter.
     ///
     /// # Errors
     ///
@@ -237,7 +428,7 @@ impl Relation {
     /// [`DecodeError::Quarantined`]) always fails: degradation covers
     /// values whose bytes are *known missing*, not records that decode
     /// to nonsense.
-    pub fn from_store_with(
+    pub fn from_stored(
         stored: &StoredRelation,
         store: Arc<PageStore>,
         on_error: OnError,

@@ -18,7 +18,7 @@ pub mod scan;
 pub mod schema;
 pub mod value;
 
-pub use catalog::{load_relation, save_relation, StoredRelation};
+pub use catalog::{load_relation, save_relation, OpenRelOpts, StoredRelation};
 pub use plan::{Plan, PlanReport, Probe};
 pub use queries::{
     close_encounters, closest_approach, closest_approach_seq, long_flights, planes_relation,

@@ -182,17 +182,56 @@ impl Relation {
         stored: &StoredIndex,
         store: &PageStore,
     ) -> Result<bool> {
+        self.attach_stored_index_stale(attr, stored, store, &[], false)
+    }
+
+    /// [`Relation::attach_stored_index`] tolerating a *stale* index —
+    /// the attach path for relations opened from a [generation] whose
+    /// delta chain grew past the committed index.
+    ///
+    /// The tree may cover a **prefix** of the relation (`num_tuples() <=
+    /// len`, requires `allow_partial`): tuples beyond its coverage and
+    /// every tuple id in `stale` (objects whose mapping gained units the
+    /// tree has never seen) join the `always` list, so pruned scans
+    /// still visit them and results stay byte-identical to a full scan —
+    /// staleness costs pruning efficiency, never correctness.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on caller misuse: `attr` unknown or not `mpoint`.
+    ///
+    /// [generation]: mob_storage::Generation
+    pub fn attach_stored_index_stale(
+        &mut self,
+        attr: &str,
+        stored: &StoredIndex,
+        store: &PageStore,
+        stale: &[u32],
+        allow_partial: bool,
+    ) -> Result<bool> {
         let idx = self.index_attr_checked(attr)?;
+        let usable = |n: usize| {
+            if allow_partial {
+                n <= self.len()
+            } else {
+                n == self.len()
+            }
+        };
         match load_index(stored, store) {
-            Ok(tree) if tree.num_tuples() == self.len() => {
-                let always = (0..self.tuples.len())
+            Ok(tree) if usable(tree.num_tuples()) => {
+                let covered = tree.num_tuples();
+                let mut always: Vec<u32> = (0..self.tuples.len())
                     .filter(|&i| {
                         let tup = &self.tuples[i];
-                        tup.values().iter().any(AttrValue::is_quarantined)
+                        i >= covered
+                            || tup.values().iter().any(AttrValue::is_quarantined)
                             || tup.at(idx as usize).as_mpoint_seq().is_none()
                     })
                     .map(|i| u32::try_from(i).expect("tuple count fits u32"))
                     .collect();
+                always.extend(stale.iter().copied().filter(|&i| (i as usize) < self.len()));
+                always.sort_unstable();
+                always.dedup();
                 self.index = Some(Arc::new(RelIndex {
                     attr: idx as usize,
                     tree,
@@ -219,6 +258,15 @@ impl Relation {
             ));
         }
         Ok(u32::try_from(idx).expect("arity fits u32"))
+    }
+
+    /// Record that a requested access path could not be attached (used
+    /// by [`Relation::open`] so the next scan logs a planner fallback).
+    ///
+    /// [`Relation::open`]: crate::Relation::open
+    pub(crate) fn mark_index_damaged(&mut self) {
+        self.index = None;
+        self.index_damaged = true;
     }
 
     /// The attached index, if any (consulted by the scan planner).

@@ -69,9 +69,9 @@ pub enum IndexPolicy {
 
 /// What a relation scan does when it meets a tuple carrying an
 /// [`AttrValue::Quarantined`] attribute (produced by a degraded open of
-/// a damaged store, [`Relation::from_store_with`]).
+/// a damaged store, [`Relation::from_stored`]).
 ///
-/// [`Relation::from_store_with`]: crate::Relation::from_store_with
+/// [`Relation::from_stored`]: crate::Relation::from_stored
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum OnError {
     /// Abort the whole scan with [`DecodeError::Quarantined`] naming the
@@ -286,7 +286,7 @@ impl Relation {
     ///
     /// # Errors
     ///
-    /// On a relation opened degraded ([`Relation::from_store_with`]),
+    /// On a relation opened degraded ([`Relation::from_stored`]),
     /// tuples may carry [`AttrValue::Quarantined`] attributes; what
     /// happens then is the [`ScanOpts::on_error`] policy — the default
     /// [`OnError::Fail`] aborts with [`DecodeError::Quarantined`],
@@ -775,7 +775,7 @@ mod tests {
         let rel = fleet(11);
         let mut store = PageStore::new();
         let stored = save_relation(&rel, &mut store).unwrap();
-        let opened = Relation::from_store(&stored, Arc::new(store)).unwrap();
+        let opened = Relation::from_stored(&stored, Arc::new(store), OnError::Fail).unwrap();
         let ti = t(6.5);
         let opts = ScanOpts::parallel();
         assert_eq!(

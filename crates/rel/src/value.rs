@@ -187,7 +187,7 @@ pub enum AttrValue {
     /// `moving(region)` value.
     MRegion(MovingRegion),
     /// A value whose stored bytes failed their integrity checks during a
-    /// **degraded** open ([`crate::Relation::from_store_with`]): the
+    /// **degraded** open ([`crate::Relation::from_stored`]): the
     /// page-store blob behind it is quarantined, so the value cannot be
     /// decoded. The variant keeps the tuple structurally intact — it
     /// remembers the schema type the value would have had plus the first

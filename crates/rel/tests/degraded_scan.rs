@@ -12,14 +12,12 @@
 
 use mob_base::t;
 use mob_core::MovingPoint;
-use mob_rel::catalog::{StoredAttr, StoredTuple};
-use mob_rel::{AttrType, AttrValue, OnError, Relation, ScanOpts, StoredRelation, Tuple};
+use mob_rel::{AttrValue, OnError, OpenRelOpts, Relation, ScanOpts, Tuple};
 use mob_spatial::pt;
 use mob_storage::mapping_store::save_mpoint;
 use mob_storage::{
-    DurableStore, FaultyIo, MemIo, PageStore, Placement, RootRecord, StoreFile, StoreIo,
+    DurableStore, FaultyIo, Generation, MemIo, PageStore, Placement, RootRecord, StoreFile, StoreIo,
 };
-use std::sync::Arc;
 
 /// An independent copy of an in-memory directory. [`MemIo::clone`]
 /// shares storage, and recovery *prunes* snapshots it finds damaged —
@@ -59,39 +57,24 @@ fn committed_dir() -> MemIo {
         file.put(format!("F{k}"), RootRecord::MPoint(stored));
     }
     let dir = MemIo::new();
-    let mut store = DurableStore::create(dir.clone(), CHUNK).expect("fresh dir");
-    store.commit_store_file(&file).expect("commit fleet");
+    let mut store = DurableStore::options()
+        .chunk_size(CHUNK)
+        .open(dir.clone())
+        .expect("fresh dir");
+    let mut txn = store.begin();
+    txn.put_store_file(&file).expect("stage fleet");
+    txn.commit().expect("commit fleet");
     dir
 }
 
-/// Synthesize the relation catalog over an opened store file: one tuple
-/// per flight, `(flight: string, trip: mpoint)`.
-fn stored_relation(entries: &[(String, RootRecord)]) -> StoredRelation {
-    StoredRelation {
-        schema: vec![
-            ("flight".to_string(), AttrType::Str),
-            ("trip".to_string(), AttrType::MPoint),
-        ],
-        tuples: entries
-            .iter()
-            .map(|(name, root)| {
-                let RootRecord::MPoint(m) = root else {
-                    panic!("fleet holds only mpoints");
-                };
-                StoredTuple {
-                    attrs: vec![
-                        StoredAttr::Str(Some(name.clone())),
-                        StoredAttr::MPoint(m.clone()),
-                    ],
-                }
-            })
-            .collect(),
-    }
+/// Open options matching the fleet catalog.
+fn rel_opts() -> OpenRelOpts {
+    OpenRelOpts::new().name_attr("flight").mpoint_attr("trip")
 }
 
 /// The flights whose unit blob was quarantined by the degraded open.
-fn damaged_flights(entries: &[(String, RootRecord)], store: &PageStore) -> Vec<String> {
-    entries
+fn damaged_flights(gen: &Generation, store: &PageStore) -> Vec<String> {
+    gen.entries()
         .iter()
         .filter_map(|(name, root)| {
             let RootRecord::MPoint(m) = root else {
@@ -111,9 +94,11 @@ fn bit_rot_scans_skip_and_record_exactly_the_damage() {
     let probe = t(7.5);
 
     // Clean baseline: strict open, strict scan.
-    let (_, file) = DurableStore::open_store_file(dir.clone(), CHUNK).expect("clean open");
-    let (store, entries) = file.expect("committed").into_parts();
-    let baseline = Relation::from_store(&stored_relation(&entries), Arc::new(store))
+    let clean = DurableStore::options()
+        .chunk_size(CHUNK)
+        .open(dir.clone())
+        .expect("clean open");
+    let baseline = Relation::open(&clean.snapshot().expect("committed"), &rel_opts())
         .expect("clean store opens strictly");
     let (base_snap, _) = baseline
         .snapshot_at(probe, &ScanOpts::default())
@@ -124,29 +109,34 @@ fn bit_rot_scans_skip_and_record_exactly_the_damage() {
     let mut seeds_with_damage = 0u32;
     for seed in 0..120u64 {
         let faulty = FaultyIo::with_read_flips(deep_copy(&dir), FLIPS, seed);
-        let Ok((_, Some((file, _)))) = DurableStore::open_store_file_degraded(faulty, CHUNK) else {
-            // The flips hit structural bytes (catalog, blob table):
-            // refusing the degraded open is the correct loud outcome.
-            // The strict open must not hand out a file either — it may
-            // error, or prune the seemingly-torn snapshot and report an
-            // empty directory, but never serve damaged data.
-            let strict = FaultyIo::with_read_flips(deep_copy(&dir), FLIPS, seed);
-            assert!(
-                !matches!(
-                    DurableStore::open_store_file(strict, CHUNK),
-                    Ok((_, Some(_)))
-                ),
-                "seed {seed}: degraded open failed but strict served a file"
-            );
-            continue;
+        let degraded = DurableStore::options()
+            .chunk_size(CHUNK)
+            .degraded(true)
+            .open(faulty);
+        let snap = match degraded {
+            Ok(s) if s.generation() > 0 => s.snapshot().expect("store-file payload"),
+            _ => {
+                // The flips hit structural bytes (catalog, blob table):
+                // refusing the degraded open is the correct loud outcome.
+                // The strict open must not hand out a generation either —
+                // it may error, or prune the seemingly-torn snapshot and
+                // report an empty directory, but never serve damaged data.
+                let strict = FaultyIo::with_read_flips(deep_copy(&dir), FLIPS, seed);
+                let served = DurableStore::options()
+                    .chunk_size(CHUNK)
+                    .open(strict)
+                    .is_ok_and(|s| s.generation() > 0);
+                assert!(
+                    !served,
+                    "seed {seed}: degraded open failed but strict served a file"
+                );
+                continue;
+            }
         };
         opens_ok += 1;
-        let (store, entries) = file.into_parts();
-        let store = Arc::new(store);
-        let expected = damaged_flights(&entries, &store);
-        let stored_rel = stored_relation(&entries);
+        let expected = damaged_flights(&snap, snap.store());
 
-        let strict = Relation::from_store(&stored_rel, store.clone());
+        let strict = Relation::open(&snap, &rel_opts());
         if expected.is_empty() {
             // Flips cancelled out or hit bytes no tuple references.
             assert!(strict.is_ok(), "seed {seed}: no damage, strict must open");
@@ -159,7 +149,7 @@ fn bit_rot_scans_skip_and_record_exactly_the_damage() {
         );
 
         // Degraded open keeps every tuple, damaged values placeholdered.
-        let rel = Relation::from_store_with(&stored_rel, store.clone(), OnError::SkipAndRecord)
+        let rel = Relation::open(&snap, &rel_opts().on_error(OnError::SkipAndRecord))
             .expect("degraded open tolerates quarantined blobs");
         assert_eq!(rel.len(), FLIGHTS);
         let damaged: Vec<String> = rel

@@ -146,7 +146,7 @@ proptest! {
         // over the stored views.
         let mut store = PageStore::new();
         let stored = save_relation(&mem, &mut store).unwrap();
-        let mut opened = Relation::from_store(&stored, Arc::new(store)).unwrap();
+        let mut opened = Relation::from_stored(&stored, Arc::new(store), OnError::Fail).unwrap();
         opened.build_index("flight").unwrap();
         assert_equivalent(&opened, probe_t, &zone, w0, w0 + dw, OnError::Fail);
 

@@ -11,13 +11,9 @@
 
 use mob_base::{t, Interval};
 use mob_core::MovingPoint;
-use mob_rel::catalog::{StoredAttr, StoredTuple};
-use mob_rel::{
-    AttrType, AttrValue, IndexPolicy, OnError, Relation, ScanOpts, StoredRelation, Tuple,
-};
+use mob_rel::{AttrType, AttrValue, IndexPolicy, OnError, OpenRelOpts, Relation, ScanOpts, Tuple};
 use mob_spatial::{pt, rect_ring, Region};
 use mob_storage::{DurableStore, FaultyIo, MemIo, RootRecord, StoreFile, StoreIo};
-use std::sync::Arc;
 
 const CHUNK: usize = 128;
 const FLIGHTS: usize = 6;
@@ -77,41 +73,22 @@ fn committed_dir() -> MemIo {
     file.put("fleet/index", RootRecord::Index(stored_ix));
 
     let dir = MemIo::new();
-    let mut store = DurableStore::create(dir.clone(), CHUNK).expect("fresh dir");
-    store
-        .commit_store_file(&file)
-        .expect("commit fleet + index");
+    let mut store = DurableStore::options()
+        .chunk_size(CHUNK)
+        .open(dir.clone())
+        .expect("fresh dir");
+    let mut txn = store.begin();
+    txn.put_store_file(&file).expect("stage fleet + index");
+    txn.commit().expect("commit fleet + index");
     dir
 }
 
-/// Split an opened catalog into the relation part and the index entry.
-fn catalog(
-    entries: &[(String, RootRecord)],
-) -> (StoredRelation, &mob_storage::index_store::StoredIndex) {
-    let mut tuples = Vec::new();
-    let mut index = None;
-    for (name, root) in entries {
-        match root {
-            RootRecord::MPoint(m) => tuples.push(StoredTuple {
-                attrs: vec![
-                    StoredAttr::Str(Some(name.clone())),
-                    StoredAttr::MPoint(m.clone()),
-                ],
-            }),
-            RootRecord::Index(ix) => index = Some(ix),
-            other => panic!("unexpected entry kind {}", other.kind_name()),
-        }
-    }
-    (
-        StoredRelation {
-            schema: vec![
-                ("flight".to_string(), AttrType::Str),
-                ("trip".to_string(), AttrType::MPoint),
-            ],
-            tuples,
-        },
-        index.expect("index entry committed"),
-    )
+/// Open options matching the fleet catalog, index attach requested.
+fn rel_opts() -> OpenRelOpts {
+    OpenRelOpts::new()
+        .name_attr("flight")
+        .mpoint_attr("trip")
+        .index("fleet/index")
 }
 
 /// The selective probe: a small window around flight 2's corridor,
@@ -126,15 +103,13 @@ fn probe() -> (Region, Interval<mob_base::Instant>) {
 #[test]
 fn recovered_index_prunes_the_committed_fleet() {
     let dir = committed_dir();
-    let (_, file) = DurableStore::open_store_file(dir, CHUNK).expect("clean open");
-    let (store, entries) = file.expect("committed").into_parts();
-    let store = Arc::new(store);
-    let (stored_rel, stored_ix) = catalog(&entries);
-    let mut rel = Relation::from_store(&stored_rel, store.clone()).expect("clean fleet");
-    assert!(
-        rel.attach_stored_index("trip", stored_ix, &store).unwrap(),
-        "clean index must attach"
-    );
+    let store = DurableStore::options()
+        .chunk_size(CHUNK)
+        .open(dir)
+        .expect("clean open");
+    let snap = store.snapshot().expect("committed");
+    let rel = Relation::open(&snap, &rel_opts()).expect("clean fleet");
+    assert!(rel.has_index(), "clean index must attach");
 
     let (zone, window) = probe();
     let full = ScanOpts::new().stats(true).index(IndexPolicy::Off);
@@ -167,31 +142,40 @@ fn flipped_index_frames_degrade_to_recorded_full_scans() {
     let mut index_casualties = 0u32;
     for seed in 0..140u64 {
         let faulty = FaultyIo::with_read_flips(deep_copy(&dir), FLIPS, seed);
-        let Ok((_, Some((file, _)))) = DurableStore::open_store_file_degraded(faulty, CHUNK) else {
-            // Structural damage: refusing the whole file is the correct
-            // loud outcome — no index question arises.
-            continue;
+        let degraded = DurableStore::options()
+            .chunk_size(CHUNK)
+            .degraded(true)
+            .open(faulty);
+        let snap = match degraded {
+            Ok(s) if s.generation() > 0 => s.snapshot().expect("store-file payload"),
+            _ => {
+                // Structural damage: refusing the whole file is the
+                // correct loud outcome — no index question arises.
+                continue;
+            }
         };
         opens_ok += 1;
-        let (store, entries) = file.into_parts();
-        let store = Arc::new(store);
-        let (stored_rel, stored_ix) = catalog(&entries);
-        let rel = Relation::from_store_with(&stored_rel, store.clone(), OnError::SkipAndRecord)
+        let rel = Relation::open(&snap, &rel_opts().on_error(OnError::SkipAndRecord))
             .expect("degraded open tolerates quarantined blobs");
 
         // Reference answer first, on an index-free twin.
+        let twin = Relation::open(
+            &snap,
+            &OpenRelOpts::new()
+                .name_attr("flight")
+                .mpoint_attr("trip")
+                .on_error(OnError::SkipAndRecord),
+        )
+        .expect("degraded open tolerates quarantined blobs");
         let opts_full = ScanOpts::new()
             .stats(true)
             .on_error(OnError::SkipAndRecord)
             .index(IndexPolicy::Off);
-        let (expect, _) = rel
+        let (expect, _) = twin
             .passes("trip", &zone, &window, &opts_full)
             .expect("full scan survives quarantine");
 
-        let mut rel = rel;
-        let attached = rel
-            .attach_stored_index("trip", stored_ix, &store)
-            .expect("attr is valid");
+        let attached = rel.has_index();
         let opts_auto = ScanOpts::new()
             .stats(true)
             .on_error(OnError::SkipAndRecord)

@@ -1,42 +1,70 @@
-//! Crash-consistent durable store files.
+//! Crash-consistent durable store files with generational MVCC.
 //!
-//! A [`DurableStore`] keeps a sequence of *immutable, generation-numbered
-//! snapshot files* inside one [`StoreIo`] directory:
+//! A [`DurableStore`] keeps a chain of *immutable, generation-numbered
+//! files* inside one [`StoreIo`] directory: full snapshots plus the WAL
+//! deltas committed on top of the newest snapshot:
 //!
 //! ```text
-//! snap-0000000000000007.mob      ← previous committed generation
-//! snap-0000000000000008.mob      ← current committed generation
-//! tmp-0000000000000009.mob       ← a commit in flight (ignored by open)
+//! snap-0000000000000007.mob      ← previous committed full snapshot
+//! snap-0000000000000008.mob      ← newest committed full snapshot
+//! delta-0000000000000009.mob     ← appends producing generation 9
+//! delta-000000000000000a.mob     ← appends producing generation 10
+//! tmp-000000000000000b.mob       ← a full commit in flight (ignored)
 //! ```
 //!
-//! # Commit protocol (shadow write → fsync → atomic rename)
+//! Opening ([`StoreOptions::open`]) recovers the newest valid snapshot,
+//! then replays the contiguous delta chain above it in generation order;
+//! the first torn, forged, or out-of-sequence delta ends the chain (it
+//! and everything after it are removed and counted in
+//! `durable.recoveries`). [`DurableStore::compact`] folds the chain back
+//! into a fresh full snapshot.
+//!
+//! # Commit protocols
+//!
+//! All commits go through a [`Txn`] handle ([`DurableStore::begin`]).
+//!
+//! **Full image** (shadow write → fsync → atomic rename):
 //!
 //! ```text
-//!   commit(payload):
+//!   txn.put_store_file(f) / txn.put_payload(b); txn.commit():
 //!     1. encode payload into a checksummed image  (pure, in memory)
 //!     2. write_file("tmp-<g>")                    ── crash here: old state
 //!     3. sync("tmp-<g>")                          ── crash here: old state
 //!     4. rename("tmp-<g>", "snap-<g>") + dir sync ── crash here: old OR new
-//!     5. prune snapshots older than <g>-1         ── crash here: new state
+//!     5. prune older snapshots + superseded deltas── crash here: new state
 //! ```
 //!
-//! A snapshot file is **never modified after it gains its final name**,
-//! so the previously committed generation stays byte-identical on disk
-//! while the next one is being shadow-written. Combined with the framing
-//! below, recovery ([`DurableStore::open`]) always yields exactly the
-//! *old* or the *new* committed payload — never a hybrid:
+//! **Delta** (append → fsync; cost is O(appended units), not O(store)):
 //!
-//! * a crash before the rename leaves only a `tmp-` file, which `open`
-//!   ignores and deletes;
-//! * a crash during/after the rename leaves a `snap-` file that is
-//!   either fully valid (new state) or fails its checksums, in which
-//!   case `open` skips it, counts a `durable.recoveries` event and falls
-//!   back to the previous generation (old state).
+//! ```text
+//!   txn.append_units(name, units); txn.commit():
+//!     1. apply the appends to the current generation in memory
+//!        (pure validation: a bad batch fails before any I/O)
+//!     2. encode the delta payload into a checksummed image
+//!     3. append_file("delta-<g>")                 ── crash here: old state
+//!     4. sync("delta-<g>")                        ── crash here: old OR new
+//! ```
+//!
+//! A snapshot or delta file is **never modified after its generation is
+//! durable**, so every committed generation stays byte-identical on disk
+//! while its successor is written. Recovery therefore always yields a
+//! prefix of the committed chain — the *old* or the *new* state, never a
+//! hybrid: a torn delta fails its checksums and is discarded together
+//! with everything above it.
+//!
+//! # MVCC reads
+//!
+//! [`DurableStore::snapshot`] returns the current [`Generation`] behind
+//! an `Arc`: an immutable view of the store that reader threads keep
+//! querying — bit-for-bit unchanged — while the writer commits deltas
+//! and compactions. Commits build *new* generations (sharing untouched
+//! pages with the old one) and swap the store's current pointer; pinned
+//! readers are unaffected.
 //!
 //! # Image framing
 //!
-//! Every byte of a snapshot file is covered by a checksum *before* any
-//! structural decoder touches it:
+//! Every byte of a snapshot or delta file is covered by a checksum
+//! *before* any structural decoder touches it:
 //!
 //! ```text
 //! frame 0:   [crc u64 | len u32 | superblock (32 bytes)]
@@ -46,18 +74,24 @@
 //! The superblock records magic, format version, generation, chunk size
 //! and exact payload length, so every chunk frame's position and size is
 //! *computable* — a damaged chunk cannot desynchronize the reader. The
-//! strict decoder ([`DurableStore::open`]) rejects a file on the first
-//! bad frame; the degraded decoder ([`DurableStore::open_degraded`])
-//! requires only the superblock to be intact and reports the byte ranges
-//! of damaged chunks (`store.pages_corrupt`), letting the caller
-//! quarantine exactly the affected blobs via
+//! strict decoder rejects a file on the first bad frame; the degraded
+//! decoder ([`StoreOptions::degraded`]) requires only the superblock to
+//! be intact and reports the byte ranges of damaged chunks
+//! (`store.pages_corrupt`), letting the open quarantine exactly the
+//! affected blobs via
 //! [`StoreFile::from_bytes_with_damage`](crate::store_file::StoreFile::from_bytes_with_damage)
-//! while healthy data keeps serving.
+//! while healthy data keeps serving. Delta files are always decoded
+//! strictly: a damaged delta is discarded, not partially applied.
 
+use crate::delta::{decode_delta_payload, delta_name, encode_delta_payload, parse_delta_name};
+use crate::generation::Generation;
 use crate::io::StoreIo;
+use crate::mapping_store::UPointRecord;
 use crate::page::{open_frame, seal_frame, validate_page_size, FRAME_OVERHEAD};
 use crate::store_file::StoreFile;
 use mob_base::{DecodeError, DecodeResult};
+use mob_core::{UPoint, Unit};
+use std::sync::Arc;
 
 /// Magic bytes identifying a durable snapshot image (version 1).
 pub const DURABLE_MAGIC: &[u8; 8] = b"MOBDUR01";
@@ -75,7 +109,8 @@ const SUPERBLOCK_LEN: usize = 32;
 
 /// Final name of a committed snapshot: zero-padded hex keeps
 /// lexicographic and numeric order identical.
-fn snapshot_name(generation: u64) -> String {
+#[must_use]
+pub fn snapshot_name(generation: u64) -> String {
     format!("snap-{generation:016x}.mob")
 }
 
@@ -86,7 +121,8 @@ fn tmp_name(generation: u64) -> String {
 
 /// Parse a snapshot file name back to its generation (`None` for
 /// anything that is not exactly a snapshot name).
-fn parse_snapshot_name(name: &str) -> Option<u64> {
+#[must_use]
+pub fn parse_snapshot_name(name: &str) -> Option<u64> {
     let hex = name.strip_prefix("snap-")?.strip_suffix(".mob")?;
     if hex.len() != 16 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
         return None;
@@ -280,26 +316,244 @@ pub fn decode_image_degraded(bytes: &[u8]) -> DecodeResult<DecodedImage> {
     decode_image(bytes, true)
 }
 
-/// A crash-consistent store of committed payload snapshots over a
-/// [`StoreIo`] directory (see the module docs for the protocol and the
-/// recovery invariant).
+/// What the store currently holds (the committed state the last open or
+/// commit produced).
+enum StoreState {
+    /// No committed generation (a fresh directory).
+    Empty,
+    /// A committed payload that is not a [`StoreFile`] image (arbitrary
+    /// bytes committed through [`Txn::put_payload`]). Delta commits and
+    /// snapshots are unavailable.
+    Raw(Vec<u8>),
+    /// A committed [`Generation`] (store-file payload, possibly with
+    /// replayed deltas on top).
+    Gen(Arc<Generation>),
+}
+
+/// How [`StoreOptions::open`] treats WAL delta files found above the
+/// newest valid snapshot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ReplayPolicy {
+    /// Replay the contiguous delta chain in generation order (the
+    /// default). The first invalid or out-of-sequence delta ends the
+    /// chain; it and everything above it are removed and counted in
+    /// `durable.recoveries`.
+    #[default]
+    Deltas,
+    /// Ignore and delete all delta files: recover exactly the newest
+    /// valid full snapshot (an escape hatch for damaged chains and a
+    /// compatibility mode for pre-WAL tooling).
+    SnapshotOnly,
+}
+
+/// Builder for opening a [`DurableStore`] — the single entry point that
+/// replaces the old `create`/`open`/`open_degraded`/`open_store_file`/
+/// `open_store_file_degraded` constructor matrix:
+///
+/// ```
+/// use mob_storage::{DurableStore, MemIo, ReplayPolicy};
+///
+/// let store = DurableStore::options()
+///     .chunk_size(4096)
+///     .degraded(false)
+///     .replay(ReplayPolicy::Deltas)
+///     .open(MemIo::new())
+///     .unwrap();
+/// assert_eq!(store.generation(), 0); // fresh directory
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct StoreOptions {
+    chunk_size: usize,
+    degraded: bool,
+    replay: ReplayPolicy,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions::new()
+    }
+}
+
+impl StoreOptions {
+    /// Default options: [`DEFAULT_CHUNK_SIZE`], strict decoding, delta
+    /// replay on.
+    #[must_use]
+    pub fn new() -> StoreOptions {
+        StoreOptions {
+            chunk_size: DEFAULT_CHUNK_SIZE,
+            degraded: false,
+            replay: ReplayPolicy::Deltas,
+        }
+    }
+
+    /// Chunk size for payload framing (validated at open).
+    #[must_use]
+    pub fn chunk_size(mut self, chunk_size: usize) -> StoreOptions {
+        self.chunk_size = chunk_size;
+        self
+    }
+
+    /// Tolerate at-rest damage in the newest snapshot: a snapshot whose
+    /// superblock verifies is recovered even if chunk frames are
+    /// damaged, with the affected blobs quarantined
+    /// ([`Generation::quarantined`]). Off (strict) by default.
+    #[must_use]
+    pub fn degraded(mut self, degraded: bool) -> StoreOptions {
+        self.degraded = degraded;
+        self
+    }
+
+    /// Delta replay policy (see [`ReplayPolicy`]).
+    #[must_use]
+    pub fn replay(mut self, replay: ReplayPolicy) -> StoreOptions {
+        self.replay = replay;
+        self
+    }
+
+    /// Open (or create) the durable store in `io`'s directory.
+    ///
+    /// Recovers the newest fully-valid snapshot (torn newer snapshots
+    /// are skipped, deleted and counted in `durable.recoveries`), then
+    /// applies the replay policy to the delta chain above it. A fresh
+    /// directory opens at generation 0 with an empty snapshot; the
+    /// first commit writes generation 1.
+    ///
+    /// All inputs are untrusted: damaged or forged files surface as
+    /// recoveries or [`DecodeError`]s, never as panics.
+    pub fn open<I: StoreIo>(self, io: I) -> DecodeResult<DurableStore<I>> {
+        let (mut store, img) = DurableStore::open_inner(io, self.chunk_size, self.degraded)?;
+        store.state = match img {
+            None => StoreState::Empty,
+            Some(img) => DurableStore::<I>::state_from_image(img, self.degraded)?,
+        };
+        match self.replay {
+            ReplayPolicy::Deltas => store.replay_deltas()?,
+            ReplayPolicy::SnapshotOnly => {
+                for name in store.io.list()? {
+                    if parse_delta_name(&name).is_some() {
+                        let _ = store.io.remove(&name);
+                    }
+                }
+            }
+        }
+        Ok(store)
+    }
+}
+
+/// A crash-consistent store of committed generations over a [`StoreIo`]
+/// directory (see the module docs for the protocols and the recovery
+/// invariant). Open with [`DurableStore::options`]; commit through
+/// [`DurableStore::begin`]; read through [`DurableStore::snapshot`].
 pub struct DurableStore<I: StoreIo> {
     io: I,
     chunk_size: usize,
     generation: u64,
+    state: StoreState,
 }
 
 /// Result payload of [`DurableStore::open_store_file_degraded`]: the
 /// store handle plus, when a committed snapshot exists, the decoded
 /// [`StoreFile`] and the ids of the blobs quarantined by at-rest damage.
+#[deprecated(note = "use DurableStore::options().degraded(true).open(io) and snapshot()")]
 pub type DegradedOpen<I> = (DurableStore<I>, Option<(StoreFile, Vec<usize>)>);
+
+/// Staged content of a full-image commit.
+enum Staged {
+    /// Arbitrary payload bytes.
+    Payload(Vec<u8>),
+    /// A serialized [`StoreFile`] plus an owned copy that becomes the
+    /// new current [`Generation`].
+    File(Vec<u8>, StoreFile),
+}
+
+/// An explicit transaction handle: the single commit entry point for
+/// both full-image and delta commits (see [`DurableStore::begin`]).
+///
+/// Stage either a full image ([`Txn::put_store_file`] /
+/// [`Txn::put_payload`]) or appended units ([`Txn::append_units`]), then
+/// [`Txn::commit`]. Mixing both in one transaction is an error, as is
+/// committing an empty transaction. Dropping the handle without
+/// committing abandons the staged work (no I/O has happened).
+pub struct Txn<'a, I: StoreIo> {
+    store: &'a mut DurableStore<I>,
+    image: Option<Staged>,
+    appends: Vec<(String, Vec<UPointRecord>)>,
+}
+
+impl<I: StoreIo> Txn<'_, I> {
+    /// Stage arbitrary payload bytes as a full-image commit (replacing
+    /// any previously staged image).
+    pub fn put_payload(&mut self, payload: &[u8]) {
+        self.image = Some(Staged::Payload(payload.to_vec()));
+    }
+
+    /// Stage a [`StoreFile`] as a full-image commit (replacing any
+    /// previously staged image). The file is serialized now — encoding
+    /// errors surface here, before any I/O.
+    pub fn put_store_file(&mut self, file: &StoreFile) -> DecodeResult<()> {
+        let bytes = file.to_bytes()?;
+        let copy = StoreFile::from_parts(file.store().fork(), file.entries().to_vec());
+        self.image = Some(Staged::File(bytes, copy));
+        Ok(())
+    }
+
+    /// Stage units appended to the `moving(point)` root `name` (the
+    /// delta commit path). Batches accumulate in call order; the same
+    /// root may appear multiple times.
+    pub fn append_units(&mut self, name: &str, units: &[UPoint]) {
+        let records: Vec<UPointRecord> = units
+            .iter()
+            .map(|u| UPointRecord {
+                interval: *u.interval(),
+                motion: *u.motion(),
+            })
+            .collect();
+        self.appends.push((name.to_string(), records));
+    }
+
+    /// Number of staged appended units across all batches.
+    #[must_use]
+    pub fn staged_units(&self) -> usize {
+        self.appends.iter().map(|(_, r)| r.len()).sum()
+    }
+
+    /// Commit the staged work as the next generation and return its
+    /// number. Consumes the transaction.
+    ///
+    /// On an error return the commit may or may not have become durable
+    /// (exactly like a real crashed process); reopening the directory
+    /// yields either the previous or the new state, never a mix.
+    pub fn commit(self) -> DecodeResult<u64> {
+        match (self.image, self.appends.is_empty()) {
+            (Some(_), false) => Err(DecodeError::BadStructure {
+                what: "durable transaction",
+                detail: "a transaction stages either a full image or appends, not both".into(),
+            }),
+            (None, true) => Err(DecodeError::BadStructure {
+                what: "durable transaction",
+                detail: "empty transaction (stage an image or appends before commit)".into(),
+            }),
+            (Some(staged), true) => self.store.commit_full(staged),
+            (None, false) => self.store.commit_delta(&self.appends),
+        }
+    }
+}
+
+impl DurableStore<crate::io::MemIo> {
+    /// Options builder — the one open/create entry point (see
+    /// [`StoreOptions`]). Anchored on one concrete `I` so that
+    /// `DurableStore::options()` needs no turbofish; the builder itself
+    /// is I/O-agnostic and [`StoreOptions::open`] accepts any
+    /// [`StoreIo`].
+    #[must_use]
+    pub fn options() -> StoreOptions {
+        StoreOptions::new()
+    }
+}
 
 impl<I: StoreIo> DurableStore<I> {
     /// Start a durable store in a **fresh** directory.
-    ///
-    /// Fails if the directory already contains snapshot files — reopen
-    /// those with [`DurableStore::open`] instead. The first
-    /// [`commit`](DurableStore::commit) writes generation 1.
+    #[deprecated(note = "use DurableStore::options().open(io); a fresh directory opens empty")]
     pub fn create(io: I, chunk_size: usize) -> DecodeResult<DurableStore<I>> {
         let chunk_size = validate_page_size(chunk_size)?;
         if io.list()?.iter().any(|n| parse_snapshot_name(n).is_some()) {
@@ -311,38 +565,43 @@ impl<I: StoreIo> DurableStore<I> {
             io,
             chunk_size,
             generation: 0,
+            state: StoreState::Empty,
         })
     }
 
-    /// Recover the latest fully-valid committed payload.
-    ///
-    /// Scans snapshot files in descending generation order and returns
-    /// the payload of the first one whose every frame verifies. Newer
-    /// snapshots that fail verification (a commit torn by a crash) are
-    /// skipped, deleted, and counted in the `durable.recoveries` metric;
-    /// stale `tmp-` shadow files are cleaned up. `Ok((store, None))`
-    /// means no committed generation exists (a fresh directory).
+    /// Recover the latest fully-valid committed payload (pre-WAL API:
+    /// delta files are ignored).
+    #[deprecated(note = "use DurableStore::options().open(io) and snapshot()/raw_payload()")]
     pub fn open(io: I, chunk_size: usize) -> DecodeResult<(DurableStore<I>, Option<Vec<u8>>)> {
-        let (store, img) = DurableStore::open_inner(io, chunk_size, false)?;
-        Ok((store, img.map(|i| i.payload)))
+        let (mut store, img) = DurableStore::open_inner(io, chunk_size, false)?;
+        let payload = img.map(|i| i.payload);
+        store.state = match &payload {
+            Some(p) => StoreState::Raw(p.clone()),
+            None => StoreState::Empty,
+        };
+        Ok((store, payload))
     }
 
     /// Recover the latest snapshot whose *superblock* is intact, even if
-    /// some chunk frames are damaged (bit rot on a committed file).
-    ///
-    /// Damaged chunks are zero-filled and their payload byte ranges
-    /// reported in the returned [`DecodedImage::damaged`], ready to feed
-    /// into
-    /// [`StoreFile::from_bytes_with_damage`](crate::store_file::StoreFile::from_bytes_with_damage).
-    /// Corrupt chunk frames are counted in the `store.pages_corrupt`
-    /// metric.
+    /// some chunk frames are damaged (pre-WAL API: delta files are
+    /// ignored).
+    #[deprecated(note = "use DurableStore::options().degraded(true).open(io)")]
     pub fn open_degraded(
         io: I,
         chunk_size: usize,
     ) -> DecodeResult<(DurableStore<I>, Option<DecodedImage>)> {
-        DurableStore::open_inner(io, chunk_size, true)
+        let (mut store, img) = DurableStore::open_inner(io, chunk_size, true)?;
+        store.state = match &img {
+            Some(i) => StoreState::Raw(i.payload.clone()),
+            None => StoreState::Empty,
+        };
+        Ok((store, img))
     }
 
+    /// Shared recovery scan: newest valid snapshot wins, torn snapshots
+    /// and stale shadow files are removed. Returns the store (state
+    /// [`StoreState::Empty`], to be set by the caller) and the decoded
+    /// image, if any.
     fn open_inner(
         io: I,
         chunk_size: usize,
@@ -395,34 +654,178 @@ impl<I: StoreIo> DurableStore<I> {
                 io,
                 chunk_size,
                 generation,
+                state: StoreState::Empty,
             },
             found,
         ))
     }
 
-    /// Commit a payload as the next generation (shadow write → fsync →
-    /// atomic rename), then prune snapshots older than the previous
-    /// generation. Returns the committed generation number.
-    ///
-    /// On an error return the commit may or may not have become durable
-    /// (exactly like a real crashed process); reopening the directory
-    /// yields either the previous or the new payload, never a mix.
-    pub fn commit(&mut self, payload: &[u8]) -> DecodeResult<u64> {
+    /// Classify a recovered image: a [`StoreFile`] payload becomes a
+    /// [`Generation`] (with damaged blobs quarantined in degraded mode),
+    /// anything else is raw bytes.
+    fn state_from_image(img: DecodedImage, degraded: bool) -> DecodeResult<StoreState> {
+        if !img.payload.starts_with(crate::store_file::MAGIC) {
+            // Degraded recovery zero-fills damaged chunks; if the damage
+            // covers the payload magic we cannot tell a raw payload from
+            // a store file whose identity got shot off — refuse loudly
+            // rather than misclassify.
+            if img.damaged.iter().any(|&(from, _)| from < 8) {
+                return Err(DecodeError::BadStructure {
+                    what: "durable payload",
+                    detail: "payload magic bytes are damaged".to_string(),
+                });
+            }
+            return Ok(StoreState::Raw(img.payload));
+        }
+        if degraded {
+            let (file, quarantined) =
+                StoreFile::from_bytes_with_damage(&img.payload, &img.damaged)?;
+            Ok(StoreState::Gen(Arc::new(Generation::from_store_file(
+                img.generation,
+                file,
+                quarantined,
+            ))))
+        } else {
+            let file = StoreFile::from_bytes(&img.payload)?;
+            Ok(StoreState::Gen(Arc::new(Generation::from_store_file(
+                img.generation,
+                file,
+                Vec::new(),
+            ))))
+        }
+    }
+
+    /// Replay the contiguous delta chain above the current generation
+    /// (see [`ReplayPolicy::Deltas`]). Stale deltas at or below the
+    /// base are removed silently; the first invalid delta and everything
+    /// above it are removed and counted in `durable.recoveries`.
+    fn replay_deltas(&mut self) -> DecodeResult<()> {
+        let names = self.io.list()?;
+        let mut deltas: Vec<(u64, &String)> = names
+            .iter()
+            .filter_map(|n| parse_delta_name(n).map(|g| (g, n)))
+            .collect();
+        deltas.sort_by_key(|&(g, _)| g);
+        let mut skipped = 0u64;
+        let mut failed = false;
+        let mut expect = self.generation.checked_add(1);
+        for (g, name) in deltas {
+            if g <= self.generation {
+                // Superseded by the snapshot we recovered from.
+                let _ = self.io.remove(name);
+                continue;
+            }
+            let ok = !failed && Some(g) == expect && self.replay_one_delta(g, name);
+            if ok {
+                expect = g.checked_add(1);
+            } else {
+                failed = true;
+                skipped += 1;
+                let _ = self.io.remove(name);
+            }
+        }
+        if skipped > 0 {
+            mob_obs::metric!("durable.recoveries").add(skipped);
+        }
+        Ok(())
+    }
+
+    /// Try to apply one delta file on top of the current state. `false`
+    /// (damaged, forged, or inapplicable) means the caller discards it.
+    fn replay_one_delta(&mut self, g: u64, name: &str) -> bool {
+        match self.decode_and_apply_delta(g, name) {
+            Ok(next) => {
+                self.state = StoreState::Gen(next);
+                self.generation = g;
+                mob_obs::metric!("durable.delta_replays").add(1);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn decode_and_apply_delta(&self, g: u64, name: &str) -> DecodeResult<Arc<Generation>> {
+        let bytes = self.io.read_file(name)?;
+        // Deltas are always decoded strictly: a damaged delta is
+        // discarded, never partially applied.
+        let img = decode_image_strict(&bytes)?;
+        if img.generation != g {
+            return Err(DecodeError::BadStructure {
+                what: "delta file",
+                detail: format!("file {name:?} claims generation {}", img.generation),
+            });
+        }
+        let payload = decode_delta_payload(&img.payload)?;
+        if payload.base_generation.checked_add(1) != Some(g) {
+            return Err(DecodeError::BadStructure {
+                what: "delta file",
+                detail: format!(
+                    "delta for generation {g} applies on top of {}",
+                    payload.base_generation
+                ),
+            });
+        }
+        let base: Arc<Generation> = match &self.state {
+            StoreState::Empty => Arc::new(Generation::empty(self.generation)),
+            StoreState::Gen(gen) => Arc::clone(gen),
+            StoreState::Raw(_) => {
+                return Err(DecodeError::BadStructure {
+                    what: "delta file",
+                    detail: "cannot apply a delta over a raw (non store-file) payload".into(),
+                })
+            }
+        };
+        Ok(Arc::new(base.apply_appends(g, &payload.appends)?))
+    }
+
+    /// Begin a transaction (see [`Txn`]).
+    pub fn begin(&mut self) -> Txn<'_, I> {
+        Txn {
+            store: self,
+            image: None,
+            appends: Vec::new(),
+        }
+    }
+
+    /// Full-image commit: shadow write → fsync → atomic rename, then
+    /// prune snapshots older than the previous generation and every
+    /// delta the new snapshot supersedes.
+    fn commit_full(&mut self, staged: Staged) -> DecodeResult<u64> {
         let generation = self.generation + 1;
-        let image = encode_image(generation, self.chunk_size, payload);
+        let (payload, state) = match staged {
+            Staged::Payload(bytes) => {
+                let state = StoreState::Raw(bytes.clone());
+                (bytes, state)
+            }
+            Staged::File(bytes, file) => {
+                let state = StoreState::Gen(Arc::new(Generation::from_store_file(
+                    generation,
+                    file,
+                    Vec::new(),
+                )));
+                (bytes, state)
+            }
+        };
+        let image = encode_image(generation, self.chunk_size, &payload);
         let tmp = tmp_name(generation);
         let fin = snapshot_name(generation);
         self.io.write_file(&tmp, &image)?;
         self.io.sync(&tmp)?;
         self.io.rename(&tmp, &fin)?;
         self.generation = generation;
+        self.state = state;
         mob_obs::metric!("durable.commits").add(1);
+        mob_obs::metric!("durable.bytes_committed").add(image.len() as u64);
         // Keep the current and the previous generation; everything older
-        // is garbage (and every prune happens *after* the new snapshot
-        // is durable).
+        // is garbage, as is every delta folded into this snapshot (and
+        // every prune happens *after* the new snapshot is durable).
         for name in self.io.list()? {
             if let Some(g) = parse_snapshot_name(&name) {
                 if g + 1 < generation {
+                    self.io.remove(&name)?;
+                }
+            } else if let Some(g) = parse_delta_name(&name) {
+                if g <= generation {
                     self.io.remove(&name)?;
                 }
             }
@@ -430,41 +833,162 @@ impl<I: StoreIo> DurableStore<I> {
         Ok(generation)
     }
 
+    /// Delta commit: validate the appends against the current generation
+    /// in memory, then append + fsync one `delta-<g>.mob` file. I/O cost
+    /// is proportional to the appended units, not the store.
+    fn commit_delta(&mut self, appends: &[(String, Vec<UPointRecord>)]) -> DecodeResult<u64> {
+        let base: Arc<Generation> = match &self.state {
+            StoreState::Empty => Arc::new(Generation::empty(self.generation)),
+            StoreState::Gen(gen) => Arc::clone(gen),
+            StoreState::Raw(_) => {
+                return Err(DecodeError::BadStructure {
+                    what: "durable transaction",
+                    detail: "cannot append to a raw (non store-file) payload".into(),
+                })
+            }
+        };
+        let generation = self.generation + 1;
+        // Apply in memory first: a bad batch fails before any I/O.
+        let next = Arc::new(base.apply_appends(generation, appends)?);
+        let payload = encode_delta_payload(self.generation, appends)?;
+        let image = encode_image(generation, self.chunk_size, &payload);
+        let name = delta_name(generation);
+        if self.io.exists(&name) {
+            // Garbage from a previous writer that died before this
+            // generation became durable.
+            self.io.remove(&name)?;
+        }
+        self.io.append_file(&name, &image)?;
+        self.io.sync(&name)?;
+        self.generation = generation;
+        self.state = StoreState::Gen(next);
+        mob_obs::metric!("durable.commits").add(1);
+        mob_obs::metric!("durable.delta_commits").add(1);
+        mob_obs::metric!("durable.bytes_committed").add(image.len() as u64);
+        Ok(generation)
+    }
+
+    /// Fold the delta chain into a fresh full snapshot: rewrite every
+    /// live root of the current generation into a new store file and
+    /// commit it through the full-image protocol. Superseded blobs and
+    /// delta files are dropped; the new generation has no stale roots.
+    ///
+    /// Requires a current generation ([`StoreState::Gen`]); an empty or
+    /// raw-payload store has nothing to compact.
+    pub fn compact(&mut self) -> DecodeResult<u64> {
+        let gen_obj = match &self.state {
+            StoreState::Gen(g) => Arc::clone(g),
+            StoreState::Empty => {
+                return Err(DecodeError::BadStructure {
+                    what: "durable compact",
+                    detail: "no committed generation to compact".into(),
+                })
+            }
+            StoreState::Raw(_) => {
+                return Err(DecodeError::BadStructure {
+                    what: "durable compact",
+                    detail: "raw payload stores cannot be compacted".into(),
+                })
+            }
+        };
+        let file = gen_obj.rebuild_store_file()?;
+        let bytes = file.to_bytes()?;
+        let committed = self.commit_full(Staged::File(bytes, file))?;
+        mob_obs::metric!("durable.compactions").add(1);
+        Ok(committed)
+    }
+
+    /// Pin the current committed generation for reading. The returned
+    /// [`Generation`] is immutable: it keeps serving byte-identical
+    /// results while later commits and compactions advance the store.
+    ///
+    /// An empty store pins an empty generation; a raw-payload store
+    /// (bytes committed through [`Txn::put_payload`]) has no generation
+    /// to pin and errors.
+    pub fn snapshot(&self) -> DecodeResult<Arc<Generation>> {
+        match &self.state {
+            StoreState::Empty => Ok(Arc::new(Generation::empty(self.generation))),
+            StoreState::Gen(g) => Ok(Arc::clone(g)),
+            StoreState::Raw(_) => Err(DecodeError::BadStructure {
+                what: "durable snapshot",
+                detail: "store holds a raw payload, not a store-file generation".into(),
+            }),
+        }
+    }
+
+    /// The committed payload bytes when the store holds raw (non
+    /// store-file) bytes; `None` for empty stores and generations.
+    #[must_use]
+    pub fn raw_payload(&self) -> Option<&[u8]> {
+        match &self.state {
+            StoreState::Raw(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Commit a payload as the next generation.
+    #[deprecated(note = "use store.begin(), Txn::put_payload and Txn::commit")]
+    pub fn commit(&mut self, payload: &[u8]) -> DecodeResult<u64> {
+        self.commit_full(Staged::Payload(payload.to_vec()))
+    }
+
     /// Commit a whole [`StoreFile`] (its serialized bytes) as the next
     /// generation.
+    #[deprecated(note = "use store.begin(), Txn::put_store_file and Txn::commit")]
     pub fn commit_store_file(&mut self, file: &StoreFile) -> DecodeResult<u64> {
         let bytes = file.to_bytes()?;
-        self.commit(&bytes)
+        let copy = StoreFile::from_parts(file.store().fork(), file.entries().to_vec());
+        self.commit_full(Staged::File(bytes, copy))
     }
 
     /// Open the latest committed [`StoreFile`] strictly (any damage
-    /// anywhere is an error). `Ok(None)` for a fresh directory.
+    /// anywhere is an error). `Ok(None)` for a fresh directory. Pre-WAL
+    /// API: delta files are ignored.
+    #[deprecated(note = "use DurableStore::options().open(io) and snapshot()")]
     pub fn open_store_file(
         io: I,
         chunk_size: usize,
     ) -> DecodeResult<(DurableStore<I>, Option<StoreFile>)> {
-        let (store, payload) = DurableStore::open(io, chunk_size)?;
-        let file = match payload {
-            Some(bytes) => Some(StoreFile::from_bytes(&bytes)?),
+        let (mut store, img) = DurableStore::open_inner(io, chunk_size, false)?;
+        let file = match img {
+            Some(img) => Some(StoreFile::from_bytes(&img.payload)?),
             None => None,
+        };
+        store.state = match &file {
+            Some(f) => StoreState::Gen(Arc::new(Generation::from_store_file(
+                store.generation,
+                StoreFile::from_parts(f.store().fork(), f.entries().to_vec()),
+                Vec::new(),
+            ))),
+            None => StoreState::Empty,
         };
         Ok((store, file))
     }
 
-    /// Open the latest committed [`StoreFile`] in degraded mode
-    /// (see [`DegradedOpen`]): blobs
+    /// Open the latest committed [`StoreFile`] in degraded mode: blobs
     /// whose bytes were damaged at rest are quarantined (reads surface
     /// [`DecodeError::Quarantined`]) and their indices returned, while
     /// the catalog and every healthy blob stay fully readable. Damage in
-    /// structural bytes still fails the open.
+    /// structural bytes still fails the open. Pre-WAL API: delta files
+    /// are ignored.
+    #[deprecated(note = "use DurableStore::options().degraded(true).open(io) and snapshot()")]
+    #[allow(deprecated)]
     pub fn open_store_file_degraded(io: I, chunk_size: usize) -> DecodeResult<DegradedOpen<I>> {
-        let (store, img) = DurableStore::open_degraded(io, chunk_size)?;
+        let (mut store, img) = DurableStore::open_inner(io, chunk_size, true)?;
         let file = match img {
             Some(img) => Some(StoreFile::from_bytes_with_damage(
                 &img.payload,
                 &img.damaged,
             )?),
             None => None,
+        };
+        store.state = match &file {
+            Some((f, quarantined)) => StoreState::Gen(Arc::new(Generation::from_store_file(
+                store.generation,
+                StoreFile::from_parts(f.store().fork(), f.entries().to_vec()),
+                quarantined.clone(),
+            ))),
+            None => StoreState::Empty,
         };
         Ok((store, file))
     }
@@ -496,6 +1020,17 @@ impl<I: StoreIo> DurableStore<I> {
 mod tests {
     use super::*;
     use crate::io::MemIo;
+    use crate::store_file::RootRecord;
+    use mob_base::t;
+    use mob_core::MovingPoint;
+    use mob_spatial::pt;
+
+    fn open_mem(dir: &MemIo) -> DurableStore<MemIo> {
+        DurableStore::options()
+            .chunk_size(32)
+            .open(dir.clone())
+            .unwrap()
+    }
 
     #[test]
     fn snapshot_names_roundtrip_and_reject_noise() {
@@ -514,6 +1049,7 @@ mod tests {
             "snap-00000000000000zz.mob",
             "tmp-0000000000000001.mob",
             "snap-0000000000000001.tmp",
+            "delta-0000000000000001.mob",
             "other",
         ] {
             assert_eq!(parse_snapshot_name(bad), None, "{bad}");
@@ -575,11 +1111,13 @@ mod tests {
     #[test]
     fn commit_open_roundtrip_and_generation_sequence() {
         let dir = MemIo::new();
-        let mut store = DurableStore::create(dir.clone(), 32).unwrap();
+        let mut store = open_mem(&dir);
         assert_eq!(store.generation(), 0);
-        assert_eq!(store.commit(b"alpha").unwrap(), 1);
-        assert_eq!(store.commit(b"beta").unwrap(), 2);
-        assert_eq!(store.commit(b"gamma").unwrap(), 3);
+        for (i, payload) in [&b"alpha"[..], b"beta", b"gamma"].iter().enumerate() {
+            let mut txn = store.begin();
+            txn.put_payload(payload);
+            assert_eq!(txn.commit().unwrap(), i as u64 + 1);
+        }
         // Prune keeps exactly the current and previous generation.
         let names = dir.list().unwrap();
         assert_eq!(
@@ -587,25 +1125,32 @@ mod tests {
             vec![snapshot_name(2), snapshot_name(3)],
             "prune keeps current + previous"
         );
-        let (reopened, payload) = DurableStore::open(dir.clone(), 32).unwrap();
+        let reopened = open_mem(&dir);
         assert_eq!(reopened.generation(), 3);
-        assert_eq!(payload.as_deref(), Some(&b"gamma"[..]));
-        // create refuses a populated directory.
-        assert!(DurableStore::create(dir, 32).is_err());
+        assert_eq!(reopened.raw_payload(), Some(&b"gamma"[..]));
+        assert!(
+            reopened.snapshot().is_err(),
+            "raw payloads pin no generation"
+        );
     }
 
     #[test]
-    fn open_fresh_directory_yields_none() {
-        let (store, payload) = DurableStore::open(MemIo::new(), 64).unwrap();
+    fn open_fresh_directory_yields_empty_generation() {
+        let store = DurableStore::options().open(MemIo::new()).unwrap();
         assert_eq!(store.generation(), 0);
-        assert!(payload.is_none());
+        assert!(store.raw_payload().is_none());
+        let snap = store.snapshot().unwrap();
+        assert_eq!(snap.number(), 0);
+        assert!(snap.entries().is_empty());
     }
 
     #[test]
     fn open_skips_a_torn_newest_snapshot() {
         let dir = MemIo::new();
-        let mut store = DurableStore::create(dir.clone(), 32).unwrap();
-        store.commit(b"good old state").unwrap();
+        let mut store = open_mem(&dir);
+        let mut txn = store.begin();
+        txn.put_payload(b"good old state");
+        txn.commit().unwrap();
         // Forge a torn generation-2 snapshot: valid name, damaged bytes.
         let mut image = encode_image(2, 32, b"half-written new state");
         let mid = image.len() / 2;
@@ -613,8 +1158,8 @@ mod tests {
         dir.write_file(&snapshot_name(2), &image).unwrap();
         // And a stale shadow file.
         dir.write_file(&tmp_name(3), b"junk").unwrap();
-        let (reopened, payload) = DurableStore::open(dir.clone(), 32).unwrap();
-        assert_eq!(payload.as_deref(), Some(&b"good old state"[..]));
+        let reopened = open_mem(&dir);
+        assert_eq!(reopened.raw_payload(), Some(&b"good old state"[..]));
         assert_eq!(reopened.generation(), 1);
         // The torn snapshot and the shadow file were cleaned up.
         assert_eq!(dir.list().unwrap(), vec![snapshot_name(1)]);
@@ -627,14 +1172,21 @@ mod tests {
         // generation 5: the mismatch must not be trusted.
         let image = encode_image(1, 32, b"impostor");
         dir.write_file(&snapshot_name(5), &image).unwrap();
-        let (_, payload) = DurableStore::open(dir, 32).unwrap();
-        assert!(payload.is_none());
+        let store = open_mem(&dir);
+        assert_eq!(store.generation(), 0);
+        assert!(store.raw_payload().is_none());
     }
 
     #[test]
     fn zero_or_absurd_chunk_sizes_are_errors() {
-        assert!(DurableStore::create(MemIo::new(), 0).is_err());
-        assert!(DurableStore::open(MemIo::new(), usize::MAX).is_err());
+        assert!(DurableStore::options()
+            .chunk_size(0)
+            .open(MemIo::new())
+            .is_err());
+        assert!(DurableStore::options()
+            .chunk_size(usize::MAX)
+            .open(MemIo::new())
+            .is_err());
         // And arriving from a corrupt superblock: patch chunk_size to 0
         // and re-seal the superblock frame so only the field is wrong.
         let image = encode_image(1, 32, b"payload");
@@ -647,5 +1199,196 @@ mod tests {
             decode_image(&forged, false),
             Err(DecodeError::BadStructure { .. })
         ));
+    }
+
+    #[test]
+    fn legacy_constructors_still_work() {
+        #![allow(deprecated)]
+        let dir = MemIo::new();
+        let mut store = DurableStore::create(dir.clone(), 32).unwrap();
+        assert_eq!(store.commit(b"alpha").unwrap(), 1);
+        let (reopened, payload) = DurableStore::open(dir.clone(), 32).unwrap();
+        assert_eq!(reopened.generation(), 1);
+        assert_eq!(payload.as_deref(), Some(&b"alpha"[..]));
+        assert!(DurableStore::create(dir, 32).is_err());
+    }
+
+    // ---- delta commit / replay / compaction --------------------------
+
+    fn units_for(samples: &[(f64, f64)]) -> Vec<UPoint> {
+        let s: Vec<_> = samples.iter().map(|&(ti, x)| (t(ti), pt(x, 0.0))).collect();
+        MovingPoint::from_samples(&s).units().to_vec()
+    }
+
+    #[test]
+    fn delta_commits_replay_on_open() {
+        let dir = MemIo::new();
+        let mut store = open_mem(&dir);
+        let mut txn = store.begin();
+        txn.append_units("car", &units_for(&[(0.0, 0.0), (1.0, 1.0)]));
+        assert_eq!(txn.commit().unwrap(), 1);
+        let mut txn = store.begin();
+        txn.append_units("car", &units_for(&[(1.0, 1.0), (2.0, 5.0)]));
+        txn.append_units("bus", &units_for(&[(0.0, 9.0), (2.0, 7.0)]));
+        assert_eq!(txn.commit().unwrap(), 2);
+        // On-disk layout: no snapshots yet, two delta files.
+        assert_eq!(dir.list().unwrap(), vec![delta_name(1), delta_name(2)],);
+        let live = store.snapshot().unwrap();
+        // Reopen replays to the same state.
+        let reopened = open_mem(&dir);
+        assert_eq!(reopened.generation(), 2);
+        let replayed = reopened.snapshot().unwrap();
+        assert_eq!(replayed.number(), 2);
+        assert_eq!(replayed.entries().len(), live.entries().len());
+        for ((ln, lr), (rn, rr)) in live.entries().iter().zip(replayed.entries()) {
+            assert_eq!(ln, rn);
+            match (lr, rr) {
+                (RootRecord::MPoint(a), RootRecord::MPoint(b)) => {
+                    assert_eq!(
+                        crate::dbarray::load_array::<UPointRecord>(&a.units, live.store()).unwrap(),
+                        crate::dbarray::load_array::<UPointRecord>(&b.units, replayed.store())
+                            .unwrap()
+                    );
+                }
+                other => panic!("unexpected roots {other:?}"),
+            }
+        }
+        assert!(replayed.is_stale("car") && replayed.is_stale("bus"));
+    }
+
+    #[test]
+    fn torn_delta_recovers_to_the_previous_generation() {
+        let dir = MemIo::new();
+        let mut store = open_mem(&dir);
+        let mut txn = store.begin();
+        txn.append_units("car", &units_for(&[(0.0, 0.0), (1.0, 1.0)]));
+        txn.commit().unwrap();
+        // Tear the second delta by hand.
+        let mut txn = store.begin();
+        txn.append_units("car", &units_for(&[(1.0, 1.0), (2.0, 2.0)]));
+        txn.commit().unwrap();
+        let good = dir.read_file(&delta_name(2)).unwrap();
+        dir.write_file(&delta_name(2), &good[..good.len() / 2])
+            .unwrap();
+        let reopened = open_mem(&dir);
+        assert_eq!(reopened.generation(), 1, "torn delta rolled back");
+        assert!(!dir.exists(&delta_name(2)), "torn delta removed");
+        // A gap in the chain also ends replay: forge delta 5.
+        dir.write_file(&delta_name(5), &good).unwrap();
+        let reopened = open_mem(&dir);
+        assert_eq!(reopened.generation(), 1);
+        assert!(!dir.exists(&delta_name(5)));
+    }
+
+    #[test]
+    fn snapshot_pins_are_immutable_across_commits() {
+        let dir = MemIo::new();
+        let mut store = open_mem(&dir);
+        let mut txn = store.begin();
+        txn.append_units("car", &units_for(&[(0.0, 0.0), (1.0, 1.0)]));
+        txn.commit().unwrap();
+        let pinned = store.snapshot().unwrap();
+        let before = crate::dbarray::load_array::<UPointRecord>(
+            match pinned.get("car").unwrap() {
+                RootRecord::MPoint(m) => &m.units,
+                other => panic!("{other:?}"),
+            },
+            pinned.store(),
+        )
+        .unwrap();
+        // Writer keeps committing and compacting.
+        let mut txn = store.begin();
+        txn.append_units("car", &units_for(&[(1.0, 1.0), (5.0, 9.0)]));
+        txn.commit().unwrap();
+        store.compact().unwrap();
+        // The pinned generation still reads the original bytes.
+        assert_eq!(pinned.number(), 1);
+        let after = crate::dbarray::load_array::<UPointRecord>(
+            match pinned.get("car").unwrap() {
+                RootRecord::MPoint(m) => &m.units,
+                other => panic!("{other:?}"),
+            },
+            pinned.store(),
+        )
+        .unwrap();
+        assert_eq!(before, after);
+        // While the store's current state moved on.
+        assert_eq!(store.snapshot().unwrap().number(), 3);
+    }
+
+    #[test]
+    fn compact_folds_deltas_into_a_snapshot() {
+        let dir = MemIo::new();
+        let mut store = open_mem(&dir);
+        for k in 0..4 {
+            let t0 = f64::from(k);
+            let mut txn = store.begin();
+            txn.append_units("car", &units_for(&[(t0, t0), (t0 + 1.0, t0 + 1.0)]));
+            txn.commit().unwrap();
+        }
+        assert_eq!(store.generation(), 4);
+        let before = store.snapshot().unwrap();
+        assert_eq!(store.compact().unwrap(), 5);
+        // All deltas folded; one snapshot on disk.
+        assert_eq!(dir.list().unwrap(), vec![snapshot_name(5)]);
+        let after = store.snapshot().unwrap();
+        assert!(after.stale().is_empty(), "compaction clears staleness");
+        // Reopen agrees, without any replay.
+        let reopened = open_mem(&dir);
+        assert_eq!(reopened.generation(), 5);
+        let m_before = match before.get("car").unwrap() {
+            RootRecord::MPoint(m) => {
+                crate::dbarray::load_array::<UPointRecord>(&m.units, before.store()).unwrap()
+            }
+            other => panic!("{other:?}"),
+        };
+        for g in [&after, &reopened.snapshot().unwrap()] {
+            let m = match g.get("car").unwrap() {
+                RootRecord::MPoint(m) => {
+                    crate::dbarray::load_array::<UPointRecord>(&m.units, g.store()).unwrap()
+                }
+                other => panic!("{other:?}"),
+            };
+            assert_eq!(m, m_before);
+        }
+    }
+
+    #[test]
+    fn snapshot_only_replay_discards_the_delta_chain() {
+        let dir = MemIo::new();
+        let mut store = open_mem(&dir);
+        let mut txn = store.begin();
+        txn.put_store_file(&StoreFile::new()).unwrap();
+        txn.commit().unwrap();
+        let mut txn = store.begin();
+        txn.append_units("car", &units_for(&[(0.0, 0.0), (1.0, 1.0)]));
+        txn.commit().unwrap();
+        let reopened = DurableStore::options()
+            .chunk_size(32)
+            .replay(ReplayPolicy::SnapshotOnly)
+            .open(dir.clone())
+            .unwrap();
+        assert_eq!(reopened.generation(), 1, "deltas ignored");
+        assert!(reopened.snapshot().unwrap().get("car").is_none());
+        assert!(!dir.exists(&delta_name(2)), "deltas deleted");
+    }
+
+    #[test]
+    fn transactions_reject_empty_and_mixed_stages() {
+        let mut store = DurableStore::options().open(MemIo::new()).unwrap();
+        assert!(store.begin().commit().is_err(), "empty transaction");
+        let mut txn = store.begin();
+        txn.put_payload(b"image");
+        txn.append_units("car", &units_for(&[(0.0, 0.0), (1.0, 1.0)]));
+        assert!(txn.commit().is_err(), "mixed transaction");
+        // Appending to a raw-payload store is rejected.
+        let mut txn = store.begin();
+        txn.put_payload(b"raw");
+        txn.commit().unwrap();
+        let mut txn = store.begin();
+        txn.append_units("car", &units_for(&[(0.0, 0.0), (1.0, 1.0)]));
+        assert!(txn.commit().is_err());
+        // As is compacting it.
+        assert!(store.compact().is_err());
     }
 }

@@ -25,6 +25,12 @@
 //! * `write_file` lands in the **cache** only. If the crash budget runs
 //!   out mid-write, a prefix of the bytes lands (a torn write) and the
 //!   process is dead: every later operation fails with a crashed error.
+//! * `append_file` also lands in the cache, but with **append-unit
+//!   granularity**: the previously durable prefix of the file is
+//!   recorded as a watermark, and no crash mask may damage bytes below
+//!   it — only the un-synced appended suffix is at risk. This is what
+//!   makes crash points inside a WAL delta append meaningful instead of
+//!   all-or-nothing.
 //! * `sync` flushes one file's cached content to the **disk** image.
 //! * `rename` is atomic in the cache; it flushes through to disk only
 //!   what the cache holds — renaming a never-synced file moves whatever
@@ -54,6 +60,24 @@ pub trait StoreIo {
     /// Write (create or truncate) a whole file. Not durable until
     /// [`StoreIo::sync`] — a crash may tear or drop it.
     fn write_file(&self, name: &str, bytes: &[u8]) -> DecodeResult<()>;
+
+    /// Append bytes to a file, creating it if missing. Not durable until
+    /// [`StoreIo::sync`]. Unlike a whole-file rewrite, the previously
+    /// *synced* content of the file is never at risk: appends only add
+    /// blocks, so a crash can damage at most the un-synced suffix — the
+    /// property the WAL delta commit protocol relies on.
+    ///
+    /// The default implementation is read + concat + rewrite, which is
+    /// semantically correct for implementations without a cheaper path.
+    fn append_file(&self, name: &str, bytes: &[u8]) -> DecodeResult<()> {
+        let mut existing = if self.exists(name) {
+            self.read_file(name)?
+        } else {
+            Vec::new()
+        };
+        existing.extend_from_slice(bytes);
+        self.write_file(name, &existing)
+    }
 
     /// Make a previously written file durable (fsync).
     fn sync(&self, name: &str) -> DecodeResult<()>;
@@ -127,6 +151,15 @@ impl StoreIo for MemIo {
     fn write_file(&self, name: &str, bytes: &[u8]) -> DecodeResult<()> {
         self.with(|f| {
             f.insert(name.to_string(), bytes.to_vec());
+        });
+        Ok(())
+    }
+
+    fn append_file(&self, name: &str, bytes: &[u8]) -> DecodeResult<()> {
+        self.with(|f| {
+            f.entry(name.to_string())
+                .or_default()
+                .extend_from_slice(bytes);
         });
         Ok(())
     }
@@ -223,6 +256,17 @@ impl StoreIo for FsIo {
         Ok(())
     }
 
+    fn append_file(&self, name: &str, bytes: &[u8]) -> DecodeResult<()> {
+        let path = self.path_of(name)?;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| io_err("append-open", name, e))?;
+        f.write_all(bytes).map_err(|e| io_err("append", name, e))?;
+        Ok(())
+    }
+
     fn sync(&self, name: &str) -> DecodeResult<()> {
         let path = self.path_of(name)?;
         let f = std::fs::File::open(&path).map_err(|e| io_err("open", name, e))?;
@@ -285,8 +329,12 @@ pub const FAULT_MASKS: [FaultMask; 3] = [
 struct FaultState {
     /// Un-flushed file contents (the page cache).
     cache: BTreeMap<String, Vec<u8>>,
-    /// Names written since their last sync (what a crash may damage).
-    dirty: BTreeMap<String, ()>,
+    /// Names written since their last sync, mapped to the length of the
+    /// prefix that *was* durable when the file first went dirty. A
+    /// whole-file rewrite puts everything at risk (prefix 0); an append
+    /// to a synced file risks only the appended suffix — the crash mask
+    /// never damages bytes below this watermark.
+    dirty: BTreeMap<String, usize>,
     /// Write units consumed so far.
     spent: u64,
     /// Whether the crash point has fired.
@@ -364,10 +412,13 @@ impl FaultyIo {
         let seed = self.seed;
         let mask = self.mask;
         let disk = self.disk;
-        for (name, ()) in &state.dirty {
+        for (name, &synced) in &state.dirty {
             let Some(cached) = state.cache.get(name) else {
                 continue;
             };
+            // Bytes below the watermark were durable before the file
+            // went dirty: no mask may touch them.
+            let synced = synced.min(cached.len());
             let file_seed = checksum64_seeded(name.as_bytes(), seed);
             match mask {
                 FaultMask::KeepUnsynced => {
@@ -375,18 +426,21 @@ impl FaultyIo {
                 }
                 FaultMask::DropUnsynced => {
                     // Keep a seed-chosen prefix (possibly empty, possibly
-                    // everything — the filesystem wrote some pages).
+                    // everything — the filesystem wrote some pages), but
+                    // never less than the synced watermark.
                     let keep = if cached.is_empty() {
                         0
                     } else {
                         usize::try_from(file_seed % (cached.len() as u64 + 1)).unwrap_or(0)
                     };
+                    let keep = keep.max(synced);
                     let _ = disk.write_file(name, &cached[..keep]);
                 }
                 FaultMask::ScrambleUnsynced => {
                     let mut bytes = cached.clone();
                     if !bytes.is_empty() {
                         let from = usize::try_from(file_seed % (bytes.len() as u64)).unwrap_or(0);
+                        let from = from.max(synced);
                         for (i, b) in bytes.iter_mut().enumerate().skip(from) {
                             let r = checksum64_seeded(&(i as u64).to_le_bytes(), file_seed);
                             *b ^= u8::try_from(r & 0xff).unwrap_or(1);
@@ -461,7 +515,39 @@ impl StoreIo for FaultyIo {
         let landed = usize::try_from(granted).unwrap_or(bytes.len());
         self.with_state(|s| {
             s.cache.insert(name.to_string(), bytes[..landed].to_vec());
-            s.dirty.insert(name.to_string(), ());
+            // A rewrite truncates: everything is at risk, watermark 0.
+            s.dirty.insert(name.to_string(), 0);
+        });
+        if torn {
+            Err(Self::crashed_err())
+        } else {
+            Ok(())
+        }
+    }
+
+    fn append_file(&self, name: &str, bytes: &[u8]) -> DecodeResult<()> {
+        // Snapshot the visible content before spending: if this call
+        // crashes, the cache must still record the torn prefix.
+        let prior = {
+            let cached = self.with_state(|s| s.cache.get(name).cloned());
+            match cached {
+                Some(b) => b,
+                None if self.disk.exists(name) => self.disk.read_file(name)?,
+                None => Vec::new(),
+            }
+        };
+        let granted = self.spend(bytes.len() as u64)?;
+        let torn = granted < bytes.len() as u64;
+        let landed = usize::try_from(granted).unwrap_or(bytes.len());
+        let base = prior.len();
+        let mut content = prior;
+        content.extend_from_slice(&bytes[..landed]);
+        self.with_state(|s| {
+            s.cache.insert(name.to_string(), content);
+            // First dirtying append on a clean file: everything visible
+            // so far is durable, so the watermark is its length. A file
+            // already dirty keeps its (lower) watermark.
+            s.dirty.entry(name.to_string()).or_insert(base);
         });
         if torn {
             Err(Self::crashed_err())
@@ -495,20 +581,21 @@ impl StoreIo for FaultyIo {
         // caller skipped the fsync).
         let content = self.visible(from)?;
         let was_dirty = self.with_state(|s| {
-            let dirty = s.dirty.remove(from).is_some();
+            let dirty = s.dirty.remove(from);
             s.cache.remove(from);
             dirty
         });
         if self.disk.exists(from) {
             self.disk.remove(from)?;
         }
-        if was_dirty {
+        if let Some(watermark) = was_dirty {
             // The rename's directory update is durable (journaled
             // metadata), but the *data* it points at keeps its un-synced
-            // status: model by re-dirtying under the new name.
+            // status: model by re-dirtying under the new name, carrying
+            // the synced watermark along.
             self.with_state(|s| {
                 s.cache.insert(to.to_string(), content.clone());
-                s.dirty.insert(to.to_string(), ());
+                s.dirty.insert(to.to_string(), watermark);
             });
             // Ensure the name exists on disk even if the data is later
             // damaged by the crash mask.
@@ -642,6 +729,103 @@ mod tests {
             let survivor = io.into_survivor();
             assert_eq!(survivor.read_file("f").unwrap(), vec![1, 2, 3], "{mask:?}");
         }
+    }
+
+    #[test]
+    fn append_preserves_synced_prefix_under_every_mask() {
+        for mask in FAULT_MASKS {
+            for seed in 0..8u64 {
+                // 6 synced bytes, then an un-synced 6-byte append; the
+                // crash fires on the sync that would cover the append.
+                let io = FaultyIo::new(MemIo::new(), 12, mask, seed);
+                io.write_file("wal", &[0x11; 6]).unwrap();
+                io.sync("wal").unwrap();
+                let _ = io.append_file("wal", &[0x22; 6]);
+                assert!(io.sync("wal").is_err());
+                let survivor = io.into_survivor();
+                let got = survivor.read_file("wal").unwrap_or_default();
+                assert!(
+                    got.len() >= 6 && got[..6] == [0x11; 6],
+                    "synced prefix damaged under {mask:?} seed {seed}: {got:?}"
+                );
+                // Whatever suffix survives is a prefix of the append
+                // (possibly scrambled under ScrambleUnsynced).
+                assert!(got.len() <= 12, "{mask:?} seed {seed}");
+                if mask != FaultMask::ScrambleUnsynced {
+                    assert!(got[6..].iter().all(|&b| b == 0x22), "{mask:?} seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torn_append_lands_a_prefix_after_the_synced_base() {
+        // Budget 8: 6-byte write + sync leaves 1 unit, so a 6-byte
+        // append tears after 1 byte.
+        let io = FaultyIo::new(MemIo::new(), 8, FaultMask::KeepUnsynced, 5);
+        io.write_file("wal", &[0x11; 6]).unwrap();
+        io.sync("wal").unwrap();
+        assert!(io.append_file("wal", &[0x22; 6]).is_err());
+        assert!(io.crashed());
+        let survivor = io.into_survivor();
+        let got = survivor.read_file("wal").unwrap();
+        assert_eq!(got, vec![0x11, 0x11, 0x11, 0x11, 0x11, 0x11, 0x22]);
+    }
+
+    #[test]
+    fn append_then_rename_carries_the_watermark() {
+        for mask in FAULT_MASKS {
+            // Synced 4 bytes, un-synced 4-byte append, rename, crash.
+            let io = FaultyIo::new(MemIo::new(), 10, mask, 11);
+            io.write_file("a", &[0x33; 4]).unwrap();
+            io.sync("a").unwrap();
+            io.append_file("a", &[0x44; 4]).unwrap();
+            io.rename("a", "b").unwrap();
+            let _ = io.write_file("spill", &[0; 64]);
+            let survivor = io.into_survivor();
+            let got = survivor.read_file("b").unwrap();
+            assert!(
+                got.len() >= 4 && got[..4] == [0x33; 4],
+                "watermark lost across rename under {mask:?}: {got:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rewrite_resets_the_watermark() {
+        // A whole-file rewrite of a previously synced file puts all of
+        // it back at risk: DropUnsynced may truncate below the old
+        // synced length.
+        let mut saw_truncation_below_old_len = false;
+        for seed in 0..32u64 {
+            let io = FaultyIo::new(MemIo::new(), 13, FaultMask::DropUnsynced, seed);
+            io.write_file("f", &[0x55; 6]).unwrap();
+            io.sync("f").unwrap();
+            io.write_file("f", &[0x66; 6]).unwrap();
+            assert!(io.sync("f").is_err());
+            let survivor = io.into_survivor();
+            let got = survivor.read_file("f").unwrap_or_default();
+            if got.len() < 6 {
+                saw_truncation_below_old_len = true;
+            }
+            assert!(got.iter().all(|&b| b == 0x66), "seed {seed}: {got:?}");
+        }
+        assert!(saw_truncation_below_old_len);
+    }
+
+    #[test]
+    fn mem_and_fs_append_create_and_extend() {
+        let io = MemIo::new();
+        io.append_file("log", &[1, 2]).unwrap();
+        io.append_file("log", &[3]).unwrap();
+        assert_eq!(io.read_file("log").unwrap(), vec![1, 2, 3]);
+
+        let dir = std::env::temp_dir().join(format!("mob-io-append-{}", std::process::id()));
+        let io = FsIo::open(&dir).unwrap();
+        io.append_file("log", &[1, 2]).unwrap();
+        io.append_file("log", &[3]).unwrap();
+        assert_eq!(io.read_file("log").unwrap(), vec![1, 2, 3]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -10,10 +10,20 @@
 //! * [`io`](mod@crate::io) — the [`io::StoreIo`] gate to the outside
 //!   world: in-memory, real-filesystem, and deterministic
 //!   fault-injecting ([`io::FaultyIo`]) implementations;
-//! * [`durable`](mod@crate::durable) — crash-consistent snapshot files
-//!   ([`durable::DurableStore`]): shadow write → fsync → atomic rename,
-//!   generation-numbered immutable snapshots, strict and degraded
-//!   recovery;
+//! * [`durable`](mod@crate::durable) — transactional, crash-consistent
+//!   storage ([`durable::DurableStore`]): builder opens
+//!   (`options().open(io)`), full-image commits (shadow write → fsync →
+//!   atomic rename) and O(appended-units) WAL delta commits through
+//!   [`durable::Txn`], generation-numbered immutable MVCC snapshots
+//!   ([`durable::DurableStore::snapshot`]), compaction, strict and
+//!   degraded recovery;
+//! * [`delta`](mod@crate::delta) — the WAL record format linking each
+//!   delta to its base generation;
+//! * [`generation`](mod@crate::generation) — immutable catalog +
+//!   page-store pairs ([`generation::Generation`]) that commits fork
+//!   copy-on-write, with the paper's ι endpoint cleanup at append seams;
+//! * [`ingest`](mod@crate::ingest) — [`ingest::Ingestor`], per-object
+//!   trajectory tails sealed into delta transactions;
 //! * [`checksum`](mod@crate::checksum) — the dependency-free 64-bit
 //!   content checksum sealing every durable byte;
 //! * [`record::FixedRecord`] — pointer-free fixed-size records;
@@ -35,8 +45,11 @@
 pub mod checked;
 pub mod checksum;
 pub mod dbarray;
+pub mod delta;
 pub mod durable;
+pub mod generation;
 pub mod index_store;
+pub mod ingest;
 pub mod io;
 pub mod line_store;
 pub mod mapping_store;
@@ -53,11 +66,18 @@ pub use dbarray::{
     load_array, read_array_bytes, read_subarray, save_array, Placement, SavedArray, SubArrayRef,
     INLINE_THRESHOLD,
 };
-pub use durable::{
-    decode_image_degraded, decode_image_strict, DecodedImage, DurableStore, DEFAULT_CHUNK_SIZE,
-    DURABLE_MAGIC, DURABLE_VERSION,
+pub use delta::{
+    decode_delta_payload, delta_name, encode_delta_payload, parse_delta_name, DeltaPayload,
+    DELTA_MAGIC,
 };
+pub use durable::{
+    decode_image_degraded, decode_image_strict, parse_snapshot_name, snapshot_name, DecodedImage,
+    DurableStore, ReplayPolicy, StoreOptions, Txn, DEFAULT_CHUNK_SIZE, DURABLE_MAGIC,
+    DURABLE_VERSION,
+};
+pub use generation::{splice_units, Generation};
 pub use index_store::{load_index, save_index, StoredIndex};
+pub use ingest::Ingestor;
 pub use io::{FaultMask, FaultyIo, FsIo, MemIo, StoreIo, FAULT_MASKS};
 pub use page::{
     open_frame, seal_frame, validate_page_size, BlobId, PageStore, DEFAULT_PAGE_SIZE,

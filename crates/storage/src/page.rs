@@ -9,6 +9,7 @@
 use crate::checksum::checksum64;
 use mob_base::{DecodeError, DecodeResult};
 use mob_obs::SharedCounter;
+use std::sync::Arc;
 
 /// Default page size (bytes), matching common DBMS pages.
 pub const DEFAULT_PAGE_SIZE: usize = 4096;
@@ -55,8 +56,10 @@ impl BlobId {
 }
 
 struct Blob {
-    /// Page images; all but the last are full.
-    pages: Vec<Vec<u8>>,
+    /// Page images; all but the last are full. Shared via `Arc` so a
+    /// [`PageStore::fork`] is O(#blobs) pointer copies, not a byte copy
+    /// — the mechanism behind cheap immutable generations.
+    pages: Arc<Vec<Vec<u8>>>,
     /// Exact byte length.
     len: usize,
     /// Set when the blob's backing storage failed an integrity check
@@ -131,11 +134,38 @@ impl PageStore {
         };
         self.pages_written.add(pages.len() as u64);
         self.blobs.push(Blob {
-            pages,
+            pages: Arc::new(pages),
             len: bytes.len(),
             quarantined: false,
         });
         BlobId(self.blobs.len() - 1)
+    }
+
+    /// Fork the store: a new `PageStore` sharing every existing blob's
+    /// page data by `Arc` pointer copy (no byte copies, no page-write
+    /// accounting) with fresh I/O counters.
+    ///
+    /// This is the generational-MVCC snapshot primitive: a writer forks
+    /// the current generation's store, appends re-saved mappings as new
+    /// blobs, and publishes the fork as the next immutable generation
+    /// while readers keep using the old one. Blob ids carry over
+    /// unchanged, so root records referencing old blobs stay valid in
+    /// the fork; quarantine flags are preserved.
+    pub fn fork(&self) -> PageStore {
+        PageStore {
+            page_size: self.page_size,
+            blobs: self
+                .blobs
+                .iter()
+                .map(|b| Blob {
+                    pages: Arc::clone(&b.pages),
+                    len: b.len,
+                    quarantined: b.quarantined,
+                })
+                .collect(),
+            pages_written: SharedCounter::new(mob_obs::metric!("store.pages_written")),
+            pages_read: SharedCounter::new(mob_obs::metric!("store.pages_read")),
+        }
     }
 
     /// Quarantine a blob: its backing storage failed an integrity check
@@ -216,7 +246,7 @@ impl PageStore {
         };
         self.pages_read.add(blob.pages.len() as u64);
         let mut out = Vec::with_capacity(blob.len);
-        for p in &blob.pages {
+        for p in blob.pages.iter() {
             out.extend_from_slice(p);
         }
         Ok(out)
@@ -254,7 +284,7 @@ impl PageStore {
         let blob = &self.blobs[id.0];
         self.pages_read.add(blob.pages.len() as u64);
         let mut out = Vec::with_capacity(blob.len);
-        for p in &blob.pages {
+        for p in blob.pages.iter() {
             out.extend_from_slice(p);
         }
         out
@@ -521,6 +551,31 @@ mod tests {
             Err(DecodeError::OutOfBounds { .. })
         ));
         assert!(!store.is_quarantined(BlobId::from_index(9)));
+    }
+
+    #[test]
+    fn fork_shares_blobs_and_isolates_appends() {
+        let mut base = small_store(4);
+        let a = base.write_blob(&[1, 2, 3, 4, 5]);
+        let bad = base.write_blob(&[9]);
+        base.mark_quarantined(bad).unwrap_or(());
+        let mut fork = base.fork();
+        // Existing blobs carry over: same ids, same bytes, same flags,
+        // and no page writes were counted for the fork.
+        assert_eq!(fork.num_blobs(), 2);
+        assert_eq!(fork.pages_written(), 0);
+        assert_eq!(fork.read_blob(a), vec![1, 2, 3, 4, 5]);
+        assert!(fork.is_quarantined(bad));
+        // New blobs in the fork do not appear in the base.
+        let c = fork.write_blob(&[7, 7, 7]);
+        assert_eq!(c.index(), 2);
+        assert_eq!(fork.num_blobs(), 3);
+        assert_eq!(base.num_blobs(), 2);
+        // And the base can keep evolving independently.
+        let d = base.write_blob(&[8]);
+        assert_eq!(d.index(), 2);
+        assert_eq!(base.read_blob(d), vec![8]);
+        assert_eq!(fork.read_blob(c), vec![7, 7, 7]);
     }
 
     #[test]

@@ -164,6 +164,18 @@ impl StoreFile {
         (self.store, self.entries)
     }
 
+    /// Reassemble a store file from an owning page store and a catalog —
+    /// the inverse of [`StoreFile::into_parts`]. Used by generation
+    /// compaction, which rewrites every root into a fresh store and
+    /// needs the result serializable as one full snapshot.
+    ///
+    /// The caller is responsible for the catalog's blob references being
+    /// valid in `store`; dangling references surface as [`DecodeError`]s
+    /// at serialization or read time, exactly as for a decoded file.
+    pub fn from_parts(store: PageStore, entries: Vec<(String, RootRecord)>) -> StoreFile {
+        StoreFile { store, entries }
+    }
+
     /// Resolve a catalog entry fallibly: a missing name is a
     /// [`DecodeError::BadStructure`], not an `Option` to unwrap.
     fn resolve(&self, name: &str) -> DecodeResult<&RootRecord> {

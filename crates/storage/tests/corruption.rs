@@ -422,8 +422,13 @@ fn durable_bit_flips_are_caught_by_checksums_not_the_decoder() {
 
     let payload = all_kinds_bytes();
     let dir = MemIo::new();
-    let mut store = DurableStore::create(dir.clone(), 128).expect("create");
-    store.commit(&payload).expect("commit");
+    let mut store = DurableStore::options()
+        .chunk_size(128)
+        .open(dir.clone())
+        .expect("open");
+    let mut txn = store.begin();
+    txn.put_payload(&payload);
+    txn.commit().expect("commit");
     let snap_name = dir
         .list()
         .expect("list")
@@ -485,8 +490,13 @@ fn absurd_sizes_in_headers_are_rejected() {
     // Durable superblock: re-seal with a forged chunk_size field so the
     // checksum passes and only validation can save us.
     let dir = MemIo::new();
-    let mut store = DurableStore::create(dir.clone(), 128).expect("create");
-    store.commit(b"some payload bytes").expect("commit");
+    let mut store = DurableStore::options()
+        .chunk_size(128)
+        .open(dir.clone())
+        .expect("open");
+    let mut txn = store.begin();
+    txn.put_payload(b"some payload bytes");
+    txn.commit().expect("commit");
     let snap_name = dir
         .list()
         .expect("list")

@@ -1,0 +1,238 @@
+//! Properties of the generational MVCC surface.
+//!
+//! 1. **Snapshot isolation**: a reader that pins `snapshot()` at
+//!    generation G sees byte-identical query results no matter how many
+//!    delta commits and compactions a concurrent writer performs — on
+//!    the in-memory and the filesystem backend, read from real threads
+//!    while the writer runs.
+//! 2. **Seal equivalence**: ticked ingestion through [`Ingestor`] with
+//!    arbitrary seal cadences stores exactly the units one
+//!    `MovingPoint::from_samples` call per object would produce — the
+//!    paper's ι endpoint cleanup happens at the seams too.
+
+use mob_base::t;
+use mob_core::{MovingPoint, Unit};
+use mob_storage::mapping_store::UPointRecord;
+use mob_storage::store_file::RootRecord;
+use mob_storage::{DurableStore, FsIo, Generation, Ingestor, MemIo, StoreIo};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// One object's sample stream: object index, origin, leg count.
+type Spec = (u8, f64, f64, usize);
+
+/// Deterministic samples for one spec (strictly increasing instants).
+fn samples_for(spec: &Spec) -> Vec<(mob_base::Instant, mob_spatial::Point)> {
+    let &(_, x0, y0, legs) = spec;
+    (0..=legs)
+        .map(|i| {
+            let i = i as f64;
+            (t(i * 1.5), mob_spatial::pt(x0 + i * 0.75, y0 - i))
+        })
+        .collect()
+}
+
+fn oid(spec: &Spec) -> String {
+    format!("obj/{}", spec.0)
+}
+
+/// Every object's stored units, in catalog order — the whole readable
+/// content of a generation, decoded down to records.
+fn generation_units(snap: &Generation) -> Vec<(String, Vec<UPointRecord>)> {
+    snap.entries()
+        .iter()
+        .filter_map(|(name, root)| match root {
+            RootRecord::MPoint(m) => Some((
+                name.clone(),
+                mob_storage::load_array::<UPointRecord>(&m.units, snap.store())
+                    .expect("pinned generation decodes"),
+            )),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Drive `store` through `ticks` delta commits (one sample per object
+/// per tick, sealed every tick) and a final compaction, while two
+/// reader threads continuously re-read the pinned snapshot and compare
+/// against its first answer.
+fn writer_cannot_move_a_pinned_snapshot<I: StoreIo>(mut store: DurableStore<I>, specs: &[Spec]) {
+    // Base commit: half of every object's stream.
+    let mut ingest = Ingestor::new();
+    for spec in specs {
+        let samples = samples_for(spec);
+        for (when, at) in &samples[..samples.len() / 2 + 1] {
+            ingest
+                .append(&oid(spec), *when, *at)
+                .expect("fresh instants");
+        }
+    }
+    let mut txn = store.begin();
+    ingest.seal_into(&mut txn);
+    txn.commit().expect("base commit");
+
+    let pinned = store.snapshot().expect("pin the base generation");
+    let baseline = generation_units(&pinned);
+    let pinned_gen = pinned.number();
+
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..reader_threads())
+            .map(|_| {
+                let pinned = Arc::clone(&pinned);
+                let baseline = &baseline;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut reads = 0u32;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) || reads == 0 {
+                        assert_eq!(
+                            generation_units(&pinned),
+                            *baseline,
+                            "pinned snapshot changed under a concurrent writer"
+                        );
+                        reads += 1;
+                    }
+                    reads
+                })
+            })
+            .collect();
+
+        // The writer ingests the remaining samples tick by tick.
+        for spec in specs {
+            let samples = samples_for(spec);
+            for (when, at) in &samples[samples.len() / 2 + 1..] {
+                ingest
+                    .append(&oid(spec), *when, *at)
+                    .expect("fresh instants");
+                let mut txn = store.begin();
+                if ingest.seal_into(&mut txn) > 0 {
+                    txn.commit().expect("delta commit");
+                }
+            }
+        }
+        store.compact().expect("compact");
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().expect("reader thread") > 0);
+        }
+    });
+
+    // The pinned view still answers from its own generation...
+    assert_eq!(pinned.number(), pinned_gen);
+    assert_eq!(generation_units(&pinned), baseline);
+    // ...while a fresh snapshot sees every object's full stream.
+    let head = store.snapshot().expect("head snapshot");
+    assert!(head.number() > pinned_gen);
+    let full = generation_units(&head);
+    for spec in specs {
+        let whole: Vec<UPointRecord> = MovingPoint::from_samples(&samples_for(spec))
+            .units()
+            .iter()
+            .map(|u| UPointRecord {
+                interval: *u.interval(),
+                motion: *u.motion(),
+            })
+            .collect();
+        let got = full
+            .iter()
+            .find(|(name, _)| *name == oid(spec))
+            .map(|(_, units)| units.clone());
+        assert_eq!(got.as_deref(), Some(&whole[..]), "{}", oid(spec));
+    }
+}
+
+/// Reader-thread count: honors `MOB_THREADS` (the repo's parallel-test
+/// knob), defaulting to 2.
+fn reader_threads() -> usize {
+    std::env::var("MOB_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(2)
+}
+
+/// Deduplicate specs by object id, keeping the first occurrence —
+/// generated streams must target distinct objects.
+fn dedup_specs(mut specs: Vec<Spec>) -> Vec<Spec> {
+    specs.sort_by_key(|s| s.0);
+    specs.dedup_by_key(|s| s.0);
+    specs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn pinned_snapshots_are_immutable_under_concurrent_ingestion(
+        raw in proptest::collection::vec(
+            (0u8..6, -20.0f64..20.0, -20.0f64..20.0, 3usize..9),
+            1..6,
+        ),
+    ) {
+        let specs = dedup_specs(raw);
+        writer_cannot_move_a_pinned_snapshot(
+            DurableStore::options().chunk_size(128).open(MemIo::new()).unwrap(),
+            &specs,
+        );
+        let dir = std::env::temp_dir().join(format!(
+            "mob-mvcc-{}-{}",
+            std::process::id(),
+            specs.iter().map(|s| s.3).sum::<usize>()
+        ));
+        let fs = FsIo::open(&dir).expect("temp dir");
+        writer_cannot_move_a_pinned_snapshot(
+            DurableStore::options().chunk_size(128).open(fs).unwrap(),
+            &specs,
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ticked_seals_store_exactly_from_samples(
+        raw in proptest::collection::vec(
+            (0u8..6, -20.0f64..20.0, -20.0f64..20.0, 2usize..10),
+            1..6,
+        ),
+        cadence in 1usize..5,
+    ) {
+        let specs = dedup_specs(raw);
+        let mut store = DurableStore::options().open(MemIo::new()).unwrap();
+        let mut ingest = Ingestor::new();
+        let longest = specs.iter().map(|s| s.3 + 1).max().unwrap_or(0);
+        for k in 0..longest {
+            for spec in &specs {
+                let samples = samples_for(spec);
+                if let Some((when, at)) = samples.get(k) {
+                    ingest.append(&oid(spec), *when, *at).unwrap();
+                }
+            }
+            if k % cadence == cadence - 1 {
+                let mut txn = store.begin();
+                if ingest.seal_into(&mut txn) > 0 {
+                    txn.commit().unwrap();
+                }
+            }
+        }
+        let mut txn = store.begin();
+        if ingest.seal_into(&mut txn) > 0 {
+            txn.commit().unwrap();
+        }
+        prop_assert_eq!(ingest.pending(), 0);
+
+        let snap = store.snapshot().unwrap();
+        for spec in &specs {
+            let whole: Vec<UPointRecord> = MovingPoint::from_samples(&samples_for(spec))
+                .units()
+                .iter()
+                .map(|u| UPointRecord { interval: *u.interval(), motion: *u.motion() })
+                .collect();
+            let got = match snap.get(&oid(spec)) {
+                Some(RootRecord::MPoint(m)) => {
+                    mob_storage::load_array::<UPointRecord>(&m.units, snap.store()).unwrap()
+                }
+                other => panic!("missing mpoint for {}: {other:?}", oid(spec)),
+            };
+            prop_assert_eq!(got, whole, "object {}", oid(spec));
+        }
+    }
+}

@@ -441,7 +441,11 @@ pub fn is_seed(f: &FnItem) -> bool {
         || f.name == "load_index"
         || (q == Some("Index") && f.name == "from_parts")
         || (q == Some("DurableStore") && f.name.starts_with("open"))
+        || (q == Some("StoreOptions") && f.name.starts_with("open"))
         || f.name.starts_with("decode_image")
+        || f.name.starts_with("decode_delta")
+        || f.name.starts_with("decode_and_apply_delta")
+        || f.name.starts_with("replay_")
 }
 
 /// How a call site resolved.

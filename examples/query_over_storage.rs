@@ -9,7 +9,7 @@
 
 use mob::core::UnitSeq;
 use mob::prelude::*;
-use mob::rel::{long_flights, planes_relation, save_relation};
+use mob::rel::{long_flights, planes_relation, save_relation, OnError};
 use mob::storage::PageStore;
 use std::sync::Arc;
 
@@ -43,7 +43,7 @@ fn main() {
     // MPointRef handles over the store.
     let store = Arc::new(store);
     store.reset_counters();
-    let lazy = Relation::from_store(&stored, store.clone()).expect("opens");
+    let lazy = Relation::from_stored(&stored, store.clone(), OnError::Fail).expect("opens");
     println!(
         "opened for query-in-place: {} pages read",
         store.pages_read()

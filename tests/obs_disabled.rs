@@ -16,7 +16,7 @@
 use mob::core::{batch_at_instant, UnitSeq};
 use mob::obs::{Registry, OBS_ENV};
 use mob::prelude::*;
-use mob::rel::{planes_relation, save_relation, ScanOpts};
+use mob::rel::{planes_relation, save_relation, OnError, ScanOpts};
 use mob::storage::mapping_store::save_mpoint;
 use mob::storage::{open_mpoint, PageStore, Verify};
 use std::sync::Arc;
@@ -64,7 +64,8 @@ fn disabled_observability_registers_nothing_and_changes_nothing() {
         ("BA".to_string(), "F01".to_string(), east),
     ]);
     let stored_rel = save_relation(&rel, &mut store).expect("fleet saves");
-    let opened = Relation::from_store(&stored_rel, Arc::new(store)).expect("fleet reopens");
+    let opened =
+        Relation::from_stored(&stored_rel, Arc::new(store), OnError::Fail).expect("fleet reopens");
 
     let probe = t(1.0);
     let zone = Region::from_ring(rect_ring(-1.0, -1.0, 4.0, 5.0));

@@ -14,7 +14,7 @@
 use mob::core::batch_at_instant;
 use mob::obs::Registry;
 use mob::prelude::*;
-use mob::rel::{planes_relation, save_relation, ScanOpts};
+use mob::rel::{planes_relation, save_relation, OnError, ScanOpts};
 use mob::storage::mapping_store::save_mpoint;
 use mob::storage::{open_mpoint, PageStore, Verify};
 use proptest::prelude::*;
@@ -112,7 +112,7 @@ proptest! {
         let stored_m = save_mpoint(&m, &mut store);
         let store = Arc::new(store);
         let opened =
-            Relation::from_store(&stored_rel, Arc::clone(&store)).expect("fleet reopens");
+            Relation::from_stored(&stored_rel, Arc::clone(&store), OnError::Fail).expect("fleet reopens");
 
         let reg = Registry::global();
         let mut baseline = None;

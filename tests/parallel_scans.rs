@@ -12,7 +12,7 @@
 use mob::core::{batch_at_instant, UnitSeq};
 use mob::par::Pool;
 use mob::prelude::*;
-use mob::rel::{planes_relation, save_relation, ScanOpts};
+use mob::rel::{planes_relation, save_relation, OnError, ScanOpts};
 use mob::storage::mapping_store::save_mpoint;
 use mob::storage::{open_mpoint, PageStore, Verify};
 use proptest::prelude::*;
@@ -138,7 +138,7 @@ proptest! {
         // attributes, so the results must be *equal*, not just alike.
         let mut store = PageStore::new();
         let stored = save_relation(&rel, &mut store).expect("fleet saves");
-        let opened = Relation::from_store(&stored, Arc::new(store)).expect("fleet reopens");
+        let opened = Relation::from_stored(&stored, Arc::new(store), OnError::Fail).expect("fleet reopens");
         for threads in 1..=4usize {
             let got = opened.snapshot_at(ti, &ScanOpts::new().threads(threads)).unwrap().0;
             prop_assert_eq!(&got, &expect, "stored, {} threads", threads);
@@ -159,7 +159,7 @@ proptest! {
         // the selected tuple identities.
         let mut store = PageStore::new();
         let stored = save_relation(&rel, &mut store).expect("fleet saves");
-        let opened = Relation::from_store(&stored, Arc::new(store)).expect("fleet reopens");
+        let opened = Relation::from_stored(&stored, Arc::new(store), OnError::Fail).expect("fleet reopens");
         for threads in 1..=4usize {
             let got = opened.filter_inside("flight", &zone, &ScanOpts::new().threads(threads)).expect("flight is an attribute").0;
             prop_assert_eq!(ids(&got), ids(&expect), "stored, {} threads", threads);

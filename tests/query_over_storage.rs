@@ -7,13 +7,14 @@
 //!   ⊥ outside the deftime) for `moving(point)`, `moving(real)` and
 //!   `moving(region)`.
 //! * End-to-end: the Section-2 queries run over a relation opened with
-//!   `Relation::from_store` (flights left as lazy `MPointRef`s) and
+//!   `Relation::from_stored` (flights left as lazy `MPointRef`s) and
 //!   over the fully materialized relation, with identical answers.
 
 use mob::core::UnitSeq;
 use mob::prelude::*;
 use mob::rel::{
     close_encounters, load_relation, long_flights, planes_relation, save_relation, storm_exposure,
+    OnError,
 };
 use mob::storage::mapping_store::{save_mpoint, save_mreal, save_mregion};
 use mob::storage::{open_mpoint, open_mreal, open_mregion, PageStore, Verify};
@@ -148,7 +149,7 @@ fn section2_queries_identical_on_both_backends() {
     // structural verification scan per flight (untrusted bytes are never
     // probed blindly), then flights stay as lazy MPointRef handles.
     store.reset_counters();
-    let lazy = Relation::from_store(&stored, store.clone()).expect("opens");
+    let lazy = Relation::from_stored(&stored, store.clone(), OnError::Fail).expect("opens");
     let open_cost = store.pages_read();
     assert!(lazy.tuples()[0].at(2).as_mpoint_ref().is_some());
 
