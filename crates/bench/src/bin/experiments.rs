@@ -469,7 +469,7 @@ fn e10() {
             .build_index("flight")
             .expect("flight is an mpoint attr");
         let off = ScanOpts::new().stats(true).index(IndexPolicy::Off);
-        let on = off.index(IndexPolicy::Force);
+        let on = off.clone().index(IndexPolicy::Force);
         let (expect, _) = fleet
             .passes("flight", &zone, &window, &off)
             .expect("full scan");

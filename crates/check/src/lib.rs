@@ -619,6 +619,10 @@ impl ChainReport {
                 "chain: base snapshot g={b}, replays to g={h} ({} files)\n",
                 self.files.len()
             )),
+            (None, Some(h)) => out.push_str(&format!(
+                "chain: genesis delta chain, replays to g={h} ({} files)\n",
+                self.files.len()
+            )),
             _ => out.push_str(&format!(
                 "chain: no intact snapshot ({} files)\n",
                 self.files.len()
@@ -636,7 +640,10 @@ impl ChainReport {
 ///
 /// Shadowed deltas (generation ≤ base) and stale snapshots are reported
 /// as failures — recovery would silently discard them, and an operator
-/// auditing a directory should know bytes are about to be dropped.
+/// auditing a directory should know bytes are about to be dropped. The
+/// one exception is the snapshot exactly one generation below the base:
+/// `commit_full` keeps it on purpose as the recovery fallback, so it is
+/// reported healthy.
 pub fn audit_chain<I: mob_storage::StoreIo>(io: &I) -> Result<ChainReport, String> {
     use mob_storage::{decode_delta_payload, decode_image_strict, parse_delta_name};
 
@@ -660,8 +667,11 @@ pub fn audit_chain<I: mob_storage::StoreIo>(io: &I) -> Result<ChainReport, Strin
         }
     }
 
-    // Pass 2: walk the delta chain upward from the base.
-    let mut expect = base.and_then(|b| b.checked_add(1));
+    // Pass 2: walk the delta chain upward from the base. With no
+    // snapshot at all the chain is a *genesis* chain: recovery replays
+    // deltas from generation 1 over the empty store, so that is where
+    // the walk starts.
+    let mut expect = base.map_or(Some(1), |b| b.checked_add(1));
     let mut head = base;
     let mut deltas: Vec<(u64, String)> = names
         .iter()
@@ -741,6 +751,13 @@ pub fn audit_chain<I: mob_storage::StoreIo>(io: &I) -> Result<ChainReport, Strin
                         Err(format!(
                             "name/superblock mismatch: superblock says g={}",
                             img.generation
+                        ))
+                    } else if base.is_some_and(|b| g.checked_add(1) == Some(b)) {
+                        // `commit_full` deliberately keeps exactly one
+                        // older snapshot as the recovery fallback.
+                        Ok(format!(
+                            "previous snapshot (recovery fallback), {} payload bytes",
+                            img.payload.len()
                         ))
                     } else if base.is_some_and(|b| g < b) {
                         Err(format!("stale: shadowed by base snapshot g={base:?}"))
@@ -898,6 +915,72 @@ mod tests {
         assert_eq!(report.base, Some(1));
         assert_eq!(report.head, Some(2));
         assert!(report.render().contains("replays to g=2"));
+    }
+
+    /// Two full commits leave the base snapshot plus exactly one older
+    /// snapshot — the recovery fallback `commit_full` keeps on purpose.
+    /// The audit must report that directory clean, not "stale".
+    #[test]
+    fn chain_audit_accepts_the_previous_snapshot_fallback() {
+        use mob_storage::{DurableStore, MemIo, StoreIo};
+
+        let dir = MemIo::new();
+        let mut store = DurableStore::options().open(dir.clone()).unwrap();
+        let mut txn = store.begin();
+        txn.put_store_file(&demo_store_file(5)).unwrap();
+        txn.commit().unwrap();
+        let mut txn = store.begin();
+        txn.put_store_file(&demo_store_file(6)).unwrap();
+        txn.commit().unwrap();
+
+        let names = dir.list().unwrap();
+        assert!(
+            names.iter().any(|n| n.contains("snap-0000000000000001")),
+            "premise: the previous snapshot survives the prune ({names:?})"
+        );
+        let report = audit_chain(&dir).unwrap();
+        assert!(
+            report.all_ok(),
+            "fallback snapshot must audit clean:\n{}",
+            report.render()
+        );
+        assert_eq!(report.base, Some(2));
+        assert!(report.render().contains("recovery fallback"));
+    }
+
+    /// A store that has only ever committed deltas (never compacted)
+    /// has no snapshot: recovery replays the chain from generation 1
+    /// over the empty store, and the audit must agree.
+    #[test]
+    fn chain_audit_accepts_a_genesis_delta_chain() {
+        use mob_base::t;
+        use mob_core::MovingPoint;
+        use mob_spatial::pt;
+        use mob_storage::{DurableStore, MemIo};
+
+        let dir = MemIo::new();
+        let mut store = DurableStore::options().open(dir.clone()).unwrap();
+        for k in 0..3u64 {
+            let k = k as f64;
+            let units = MovingPoint::from_samples(&[
+                (t(k * 2.0), pt(k, 0.0)),
+                (t(k * 2.0 + 1.0), pt(k + 1.0, 1.0)),
+            ])
+            .units()
+            .to_vec();
+            let mut txn = store.begin();
+            txn.append_units(&format!("obj{k}"), &units);
+            txn.commit().unwrap();
+        }
+
+        let report = audit_chain(&dir).unwrap();
+        assert!(
+            report.all_ok(),
+            "genesis chain must audit clean:\n{}",
+            report.render()
+        );
+        assert_eq!((report.base, report.head), (None, Some(3)));
+        assert!(report.render().contains("genesis delta chain"));
     }
 
     /// Gaps, torn deltas, and leftover tmp files are all called out.

@@ -12,7 +12,12 @@
 //! * [`Pool::chunked_map`] / [`Pool::chunked_for_each`] — split a slice
 //!   into contiguous chunks, process chunks on the workers (dynamic
 //!   chunk stealing over an atomic cursor), and reassemble results **in
-//!   input order**.
+//!   input order**;
+//! * [`Pool::try_chunked_map_cancel`] + [`CancelToken`] — the same
+//!   dispatch with cooperative cancellation at chunk boundaries, for
+//!   deadline-bounded scans: once the token fires no new chunk is
+//!   claimed and the call reports how many items were actually mapped
+//!   ([`Cancellable::Cancelled`]).
 //!
 //! # Determinism guarantee
 //!
@@ -83,6 +88,67 @@ impl std::fmt::Display for PoolError {
 }
 
 impl std::error::Error for PoolError {}
+
+/// A cooperative cancellation signal checked at **chunk boundaries**:
+/// workers consult the token before claiming each chunk, never
+/// mid-chunk, so a cancelled dispatch still finishes the chunks already
+/// in flight and stops claiming new ones. Clones share the underlying
+/// predicate.
+///
+/// The token is just a predicate — the pool has no notion of time.
+/// Deadline-bounded scans in `mob-rel` build one over the storage
+/// clock (`CancelToken::new(move || clock.now() >= deadline)`), so a
+/// virtual clock cancels deterministically in tests.
+#[derive(Clone)]
+pub struct CancelToken {
+    check: std::sync::Arc<dyn Fn() -> bool + Send + Sync>,
+}
+
+impl CancelToken {
+    /// A token driven by an arbitrary predicate: `check` returns `true`
+    /// once the dispatch should stop claiming chunks.
+    pub fn new(check: impl Fn() -> bool + Send + Sync + 'static) -> CancelToken {
+        CancelToken {
+            check: std::sync::Arc::new(check),
+        }
+    }
+
+    /// A token that never cancels (the infallible fast path).
+    #[must_use]
+    pub fn never() -> CancelToken {
+        CancelToken::new(|| false)
+    }
+
+    /// Has the token fired? Workers call this before each chunk claim.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        (self.check)()
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
+}
+
+/// The outcome of a cancellable dispatch: either every item was mapped,
+/// or the token fired first and the pool stopped at a chunk boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Cancellable<V> {
+    /// The token never fired; the full result is here.
+    Done(V),
+    /// The token fired before every chunk was claimed. Partial results
+    /// are discarded; `items_done` reports how many items were actually
+    /// mapped before the pool stopped, for honest progress accounting.
+    Cancelled {
+        /// Number of input items whose chunks completed before the
+        /// cancellation took effect.
+        items_done: usize,
+    },
+}
 
 /// Stringify a caught panic payload (`&str` and `String` payloads keep
 /// their text; anything else gets a placeholder).
@@ -192,6 +258,33 @@ impl Pool {
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
+        match self.try_chunked_map_cancel(items, &CancelToken::never(), f)? {
+            Cancellable::Done(out) => Ok(out),
+            // Unreachable: `never()` cannot fire. Return the empty
+            // mapping rather than panicking in the containment path.
+            Cancellable::Cancelled { .. } => Ok(Vec::new()),
+        }
+    }
+
+    /// [`Pool::try_chunked_map`] with **cooperative cancellation**: the
+    /// `cancel` token is consulted before every chunk claim (in both
+    /// the sequential and the scoped-threads path). Once it fires, no
+    /// new chunk starts; chunks already in flight finish, their results
+    /// are discarded, and the call reports
+    /// [`Cancellable::Cancelled`]`{ items_done }` — the number of items
+    /// actually mapped — instead of a complete result. Panics still
+    /// take precedence and surface as [`PoolError`].
+    pub fn try_chunked_map_cancel<T, R, F>(
+        &self,
+        items: &[T],
+        cancel: &CancelToken,
+        f: F,
+    ) -> Result<Cancellable<Vec<R>>, PoolError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
         let workers = self.threads.min(items.len()).max(1);
         mob_obs::metric!("par.items").add(items.len() as u64);
         // A few chunks per worker so a slow chunk does not serialize the
@@ -205,7 +298,12 @@ impl Pool {
             let mut out = Vec::with_capacity(items.len());
             let mut errors = Vec::new();
             let mut n_chunks = 0u64;
+            let mut stopped = false;
             for (k, chunk) in items.chunks(chunk_size).enumerate() {
+                if cancel.is_cancelled() {
+                    stopped = true;
+                    break;
+                }
                 n_chunks += 1;
                 match catch_unwind(AssertUnwindSafe(|| {
                     chunk.iter().map(&f).collect::<Vec<R>>()
@@ -221,7 +319,12 @@ impl Pool {
             if let Some(e) = first_error(errors) {
                 return Err(e);
             }
-            return Ok(out);
+            if stopped {
+                return Ok(Cancellable::Cancelled {
+                    items_done: out.len(),
+                });
+            }
+            return Ok(Cancellable::Done(out));
         }
         let _span = mob_obs::span("par.chunked_map");
         let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
@@ -233,11 +336,16 @@ impl Pool {
         let shards: Mutex<Vec<(usize, Vec<mob_obs::SpanStat>)>> =
             Mutex::new(Vec::with_capacity(workers));
         std::thread::scope(|scope| {
-            let (chunks, cursor, done, errors, shards, f) =
-                (&chunks, &cursor, &done, &errors, &shards, &f);
+            let (chunks, cursor, done, errors, shards, f, cancel) =
+                (&chunks, &cursor, &done, &errors, &shards, &f, cancel);
             for w in 0..workers {
                 scope.spawn(move || {
                     loop {
+                        // Cooperative stop: consult the token before
+                        // claiming — a chunk already claimed finishes.
+                        if cancel.is_cancelled() {
+                            break;
+                        }
                         // AcqRel: the Release half publishes this worker's
                         // claim before it touches chunk k; the Acquire half
                         // pairs with the other workers' claims so no two
@@ -284,13 +392,19 @@ impl Pool {
             Ok(p) => p,
             Err(poison) => poison.into_inner(),
         };
+        // No chunk panicked (checked above), so a shortfall in completed
+        // chunks can only mean the token stopped the claim loop early.
+        if parts.len() < chunks.len() {
+            let items_done = parts.iter().map(|(_, part)| part.len()).sum();
+            return Ok(Cancellable::Cancelled { items_done });
+        }
         parts.sort_by_key(|(k, _)| *k);
         let mut out = Vec::with_capacity(items.len());
         for (_, mut part) in parts.drain(..) {
             out.append(&mut part);
         }
         debug_assert_eq!(out.len(), items.len(), "every chunk must be mapped");
-        Ok(out)
+        Ok(Cancellable::Done(out))
     }
 
     /// Run `f` on every item, in parallel, for its side effects only
@@ -476,6 +590,90 @@ mod tests {
             assert!(x != 5, "contained");
             x
         });
+    }
+
+    #[test]
+    fn never_token_completes_and_matches_plain_map() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1usize, 4] {
+            let pool = Pool::with_threads(threads);
+            let got = pool
+                .try_chunked_map_cancel(&items, &CancelToken::never(), |x| x * 2)
+                .unwrap();
+            let expect: Vec<u64> = items.iter().map(|x| x * 2).collect();
+            assert_eq!(got, Cancellable::Done(expect), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn pre_fired_token_maps_nothing() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1usize, 4] {
+            let calls = AtomicU64::new(0);
+            let got = Pool::with_threads(threads)
+                .try_chunked_map_cancel(&items, &CancelToken::new(|| true), |x| {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    *x
+                })
+                .unwrap();
+            assert_eq!(got, Cancellable::Cancelled { items_done: 0 }, "{threads}");
+            assert_eq!(calls.load(Ordering::Relaxed), 0, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_at_the_next_chunk_boundary() {
+        // The closure trips the flag mid-chunk; the chunk in flight
+        // still finishes, the next boundary check stops the dispatch.
+        let items: Vec<u64> = (0..100).collect();
+        let flag = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let token = {
+            let flag = flag.clone();
+            CancelToken::new(move || flag.load(Ordering::Acquire))
+        };
+        let pool = Pool::with_threads(1);
+        let got = pool
+            .try_chunked_map_cancel(&items, &token, |&x| {
+                if x == 37 {
+                    flag.store(true, Ordering::Release);
+                }
+                x
+            })
+            .unwrap();
+        // One worker over 100 items: chunk size 25. Item 37 sits in
+        // chunk 1, which completes; chunk 2 is never claimed.
+        assert_eq!(got, Cancellable::Cancelled { items_done: 50 });
+        assert!(token.is_cancelled());
+
+        // Multi-threaded: items_done is scheduling-dependent but always
+        // honest — a multiple of completed chunks, never more than all.
+        flag.store(false, Ordering::Release);
+        match Pool::with_threads(4)
+            .try_chunked_map_cancel(&items, &token, |&x| {
+                if x == 0 {
+                    flag.store(true, Ordering::Release);
+                }
+                x
+            })
+            .unwrap()
+        {
+            Cancellable::Done(out) => assert_eq!(out.len(), 100),
+            Cancellable::Cancelled { items_done } => assert!(items_done <= 100),
+        }
+    }
+
+    #[test]
+    fn panics_take_precedence_over_cancellation() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1usize, 4] {
+            let err = Pool::with_threads(threads)
+                .try_chunked_map_cancel(&items, &CancelToken::new(|| false), |&x| {
+                    assert!(x != 3, "early boom");
+                    x
+                })
+                .unwrap_err();
+            assert!(err.message.contains("early boom"), "{threads}: {err}");
+        }
     }
 
     #[test]

@@ -504,6 +504,63 @@ pub fn tuple_layout(t: &StoredTuple, store: &PageStore) -> TupleLayout {
     layout
 }
 
+/// Rebuild the R-tree index of a pinned [`Generation`] from scratch:
+/// open the generation as a relation (no stale index attached), bulk-load
+/// a fresh tree over every `moving(point)` root, and return a new
+/// [`StoreFile`] carrying the same data plus the tree committed under
+/// `index_root` (a tag-11 [`RootRecord::Index`] entry).
+///
+/// Returns `Ok(None)` when the generation holds no `moving(point)`
+/// roots — there is nothing to index, so the caller (typically the
+/// maintenance supervisor) skips the commit.
+///
+/// # Errors
+///
+/// Structural damage opening the generation. Quarantined roots do *not*
+/// fail the rebuild: they open under [`OnError::SkipAndRecord`] and the
+/// tree's `always` list keeps them visible to pruned scans.
+///
+/// [`StoreFile`]: mob_storage::StoreFile
+pub fn rebuild_index_root(
+    generation: &Generation,
+    opts: &OpenRelOpts,
+    index_root: &str,
+) -> DecodeResult<Option<mob_storage::StoreFile>> {
+    let open = OpenRelOpts::new()
+        .name_attr(&opts.name_attr)
+        .mpoint_attr(&opts.mpoint_attr)
+        .on_error(OnError::SkipAndRecord);
+    let mut rel = Relation::open(generation, &open)?;
+    if rel.is_empty() {
+        return Ok(None);
+    }
+    rel.build_index(&opts.mpoint_attr)
+        .map_err(|e| DecodeError::BadStructure {
+            what: "index rebuild",
+            detail: e.to_string(),
+        })?;
+    let tree = rel.index_tree().ok_or_else(|| DecodeError::BadStructure {
+        what: "index rebuild",
+        detail: "build_index left no tree attached".to_string(),
+    })?;
+    let mut file = generation.to_store_file();
+    let stored = mob_storage::save_index(tree, file.store_mut());
+    file.put(index_root, RootRecord::Index(stored));
+    mob_obs::metric!("rel.index_rebuilt").add(1);
+    Ok(Some(file))
+}
+
+/// Package [`rebuild_index_root`] as a maintenance-supervisor
+/// [`Rebuilder`]: the closure the supervisor runs (under its retry
+/// policy) after every compaction, closing the stale-index degradation
+/// window — scans over the next generation prune through a tree that
+/// covers every appended unit again.
+///
+/// [`Rebuilder`]: mob_storage::Rebuilder
+pub fn index_rebuilder(opts: OpenRelOpts, index_root: String) -> mob_storage::Rebuilder {
+    Arc::new(move |generation: &Generation| rebuild_index_root(generation, &opts, &index_root))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,13 +18,15 @@ pub mod scan;
 pub mod schema;
 pub mod value;
 
-pub use catalog::{load_relation, save_relation, OpenRelOpts, StoredRelation};
+pub use catalog::{
+    index_rebuilder, load_relation, rebuild_index_root, save_relation, OpenRelOpts, StoredRelation,
+};
 pub use plan::{Plan, PlanReport, Probe};
 pub use queries::{
     close_encounters, closest_approach, closest_approach_seq, long_flights, planes_relation,
     planes_schema, storm_exposure,
 };
 pub use relation::{RelIndex, Relation, Tuple};
-pub use scan::{IndexPolicy, OnError, QueryStats, ScanOpts};
+pub use scan::{IndexPolicy, OnError, QueryStats, ScanError, ScanOpts, ScanResult};
 pub use schema::Schema;
 pub use value::{AttrType, AttrValue, MPointRef, MPointSeq};

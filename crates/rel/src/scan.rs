@@ -33,8 +33,107 @@ use mob_base::error::{DecodeError, DecodeResult};
 use mob_base::{Instant, Periods, TimeInterval, Val};
 use mob_core::{inside_region_seq, UnitSeq};
 use mob_obs::{Registry, Snapshot};
-use mob_par::Pool;
+use mob_par::{CancelToken, Cancellable, Pool};
 use mob_spatial::{Cube, Region};
+use mob_storage::Clock;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A relation scan failed — either the tuples themselves are damaged
+/// ([`ScanError::Decode`], the pre-existing error surface) or the
+/// scan's deadline expired before every tuple was probed
+/// ([`ScanError::Deadline`]).
+///
+/// `From<DecodeError>` keeps `?` working inside the scan kernels, and
+/// `Display` preserves every message callers already match on.
+#[derive(Debug)]
+pub enum ScanError {
+    /// The underlying decode/quarantine error (everything scans could
+    /// fail with before deadlines existed).
+    Decode(DecodeError),
+    /// The [`ScanOpts::deadline`] expired. The scan stopped at a chunk
+    /// boundary — no partial relation is returned (answers are never
+    /// silently truncated), but the progress made is reported honestly.
+    Deadline {
+        /// Which scan operator hit the deadline (span name).
+        what: &'static str,
+        /// Tuples actually probed before the scan stopped.
+        items_done: usize,
+        /// The partial [`QueryStats`] (when [`ScanOpts::stats`] was
+        /// on): wall time and metric deltas up to the expiry.
+        stats: Option<QueryStats>,
+    },
+}
+
+impl std::fmt::Display for ScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScanError::Decode(e) => e.fmt(f),
+            ScanError::Deadline {
+                what, items_done, ..
+            } => write!(
+                f,
+                "{what}: deadline exceeded after {items_done} tuples; \
+                 results withheld (rerun with a larger budget)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScanError::Decode(e) => Some(e),
+            ScanError::Deadline { .. } => None,
+        }
+    }
+}
+
+impl From<DecodeError> for ScanError {
+    fn from(e: DecodeError) -> ScanError {
+        ScanError::Decode(e)
+    }
+}
+
+impl From<mob_base::error::InvariantViolation> for ScanError {
+    fn from(e: mob_base::error::InvariantViolation) -> ScanError {
+        ScanError::Decode(e.into())
+    }
+}
+
+/// Result alias for the relation scans: [`ScanError`] instead of the
+/// bare [`DecodeError`].
+pub type ScanResult<T> = Result<T, ScanError>;
+
+/// The deadline attached to a scan: a wall-clock expiry measured on an
+/// injectable [`Clock`], so tests drive expiry through a
+/// `VirtualClock` deterministically.
+#[derive(Clone)]
+struct ScanDeadline {
+    clock: Arc<dyn Clock>,
+    expires_at: Duration,
+}
+
+impl ScanDeadline {
+    fn expired(&self) -> bool {
+        self.clock.now() >= self.expires_at
+    }
+
+    /// The chunk-boundary token handed to `mob-par`.
+    fn token(&self) -> CancelToken {
+        let d = self.clone();
+        CancelToken::new(move || d.expired())
+    }
+}
+
+impl std::fmt::Debug for ScanDeadline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScanDeadline")
+            .field("expires_at", &self.expires_at)
+            .field("expired", &self.expired())
+            .finish()
+    }
+}
 
 /// Options for the relation-wide scans — one struct instead of the old
 /// `snapshot_at` / `snapshot_at_with(pool, ..)` method matrix.
@@ -42,12 +141,14 @@ use mob_spatial::{Cube, Region};
 /// The default is **sequential, no stats**: one worker thread, results
 /// only. Opt into parallelism with [`ScanOpts::parallel`] (honors
 /// `MOB_THREADS`) or an explicit [`ScanOpts::pool`], and into
-/// per-query observability with [`ScanOpts::stats`].
-#[derive(Clone, Copy, Debug)]
+/// per-query observability with [`ScanOpts::stats`]. A
+/// [`ScanOpts::deadline`] bounds the scan's wall time cooperatively.
+#[derive(Clone, Debug)]
 pub struct ScanOpts {
     pool: Pool,
     stats: bool,
     on_error: OnError,
+    deadline: Option<ScanDeadline>,
     pub(crate) index: IndexPolicy,
 }
 
@@ -92,6 +193,7 @@ impl Default for ScanOpts {
             pool: Pool::with_threads(1),
             stats: false,
             on_error: OnError::Fail,
+            deadline: None,
             index: IndexPolicy::Auto,
         }
     }
@@ -145,6 +247,30 @@ impl ScanOpts {
     pub fn index(mut self, policy: IndexPolicy) -> ScanOpts {
         self.index = policy;
         self
+    }
+
+    /// Bound the scan's wall time: `budget` from now, measured on
+    /// `clock`. The deadline is **cooperative** — it is checked between
+    /// the plan/prune/execute stages and before every worker chunk
+    /// claim ([`mob_par::CancelToken`]), so an expired scan stops at
+    /// the next boundary, returns [`ScanError::Deadline`] (counting
+    /// `scan.deadline_exceeded`), and never hangs or returns a
+    /// silently-truncated relation. Pass a
+    /// [`mob_storage::VirtualClock`] to drive expiry deterministically
+    /// in tests.
+    #[must_use]
+    pub fn deadline(mut self, clock: Arc<dyn Clock>, budget: Duration) -> ScanOpts {
+        let expires_at = clock.now() + budget;
+        self.deadline = Some(ScanDeadline { clock, expires_at });
+        self
+    }
+
+    /// Stage-boundary deadline check (plan → prune → execute).
+    fn check_deadline(&self, what: &'static str) -> ScanResult<()> {
+        match &self.deadline {
+            Some(d) if d.expired() => Err(deadline_exceeded(what, 0)),
+            _ => Ok(()),
+        }
     }
 }
 
@@ -228,6 +354,41 @@ fn observed<R>(
     )
 }
 
+/// A deadline tripped: count it (`scan.deadline_exceeded` — inside the
+/// observed section, so it shows in the query's own metric delta) and
+/// build the typed error. Partial stats are attached by [`finish`]
+/// once the observed section closes.
+fn deadline_exceeded(what: &'static str, items_done: usize) -> ScanError {
+    mob_obs::metric!("scan.deadline_exceeded").add(1);
+    ScanError::Deadline {
+        what,
+        items_done,
+        stats: None,
+    }
+}
+
+/// Close out one scan: merge the per-scan tallies into the stats on
+/// success, attach the partial stats to a deadline error.
+fn finish(
+    res: ScanResult<(Relation, u64, PlanReport)>,
+    stats: Option<QueryStats>,
+) -> ScanResult<(Relation, Option<QueryStats>)> {
+    match res {
+        Ok((rel, quarantined, report)) => Ok((
+            rel,
+            stats.map(|s| s.with_quarantined(quarantined).with_plan(&report)),
+        )),
+        Err(ScanError::Deadline {
+            what, items_done, ..
+        }) => Err(ScanError::Deadline {
+            what,
+            items_done,
+            stats,
+        }),
+        Err(e) => Err(e),
+    }
+}
+
 /// Apply the scan's [`OnError`] policy to per-tuple outcomes where
 /// `None` marks a tuple that carries a quarantined attribute: under
 /// [`OnError::Fail`] the first damaged tuple aborts the scan, under
@@ -261,8 +422,9 @@ fn execute_scan<T: Send>(
     pool: Pool,
     tuples: &[Tuple],
     plan: &Plan,
+    deadline: Option<&ScanDeadline>,
     f: impl Fn(&Tuple, bool) -> T + Sync,
-) -> Vec<T> {
+) -> Cancellable<Vec<T>> {
     let _span = mob_obs::span("scan.execute");
     mob_obs::metric!("scan.tuples").add(tuples.len() as u64);
     let probed = match plan {
@@ -271,7 +433,13 @@ fn execute_scan<T: Send>(
     };
     mob_obs::metric!("scan.tuples_probed").add(probed as u64);
     let idxs: Vec<usize> = (0..tuples.len()).collect();
-    pool.chunked_map(&idxs, |&i| f(&tuples[i], plan.is_candidate(i)))
+    let token = deadline.map_or_else(CancelToken::never, ScanDeadline::token);
+    match pool.try_chunked_map_cancel(&idxs, &token, |&i| f(&tuples[i], plan.is_candidate(i))) {
+        Ok(out) => out,
+        // Keep the `chunked_map` contract: a worker panic resurfaces on
+        // the caller's thread with the contained message.
+        Err(e) => panic!("{e}"),
+    }
 }
 
 impl Relation {
@@ -296,12 +464,13 @@ impl Relation {
         &self,
         t: Instant,
         opts: &ScanOpts,
-    ) -> DecodeResult<(Relation, Option<QueryStats>)> {
+    ) -> ScanResult<(Relation, Option<QueryStats>)> {
         let (res, stats) = observed(
             "rel.snapshot_at",
             opts,
             self.len(),
-            |pool| -> DecodeResult<(Relation, u64, PlanReport)> {
+            |pool| -> ScanResult<(Relation, u64, PlanReport)> {
+                opts.check_deadline("rel.snapshot_at")?;
                 let attrs: Vec<(String, AttrType)> = self
                     .schema()
                     .attrs()
@@ -320,32 +489,41 @@ impl Relation {
                 let schema = Schema::new(&refs)?;
                 let (plan, report) =
                     plan_scan(self, &Probe::At(t), AttrNeed::AllMPoints, opts.index);
-                let outcomes = execute_scan(pool, self.tuples(), &plan, |tup, candidate| {
-                    if tup.values().iter().any(AttrValue::is_quarantined) {
-                        return None;
+                opts.check_deadline("rel.snapshot_at")?;
+                let outcomes = execute_scan(
+                    pool,
+                    self.tuples(),
+                    &plan,
+                    opts.deadline.as_ref(),
+                    |tup, candidate| {
+                        if tup.values().iter().any(AttrValue::is_quarantined) {
+                            return None;
+                        }
+                        Some(Tuple::new(
+                            tup.values()
+                                .iter()
+                                .map(|v| match v.as_mpoint_seq() {
+                                    // A non-candidate has no unit alive at
+                                    // `t` — ⊥ without touching its units.
+                                    Some(_) if !candidate => AttrValue::Point(Val::Undef),
+                                    Some(seq) => AttrValue::Point(seq.at_instant(t)),
+                                    None => v.clone(),
+                                })
+                                .collect(),
+                        ))
+                    },
+                );
+                let outcomes = match outcomes {
+                    Cancellable::Done(o) => o,
+                    Cancellable::Cancelled { items_done } => {
+                        return Err(deadline_exceeded("rel.snapshot_at", items_done))
                     }
-                    Some(Tuple::new(
-                        tup.values()
-                            .iter()
-                            .map(|v| match v.as_mpoint_seq() {
-                                // A non-candidate has no unit alive at
-                                // `t` — ⊥ without touching its units.
-                                Some(_) if !candidate => AttrValue::Point(Val::Undef),
-                                Some(seq) => AttrValue::Point(seq.at_instant(t)),
-                                None => v.clone(),
-                            })
-                            .collect(),
-                    ))
-                });
+                };
                 let (tuples, quarantined) = apply_on_error(outcomes, opts.on_error)?;
                 Ok((Relation::from_parts(schema, tuples), quarantined, report))
             },
         );
-        let (rel, quarantined, report) = res?;
-        Ok((
-            rel,
-            stats.map(|s| s.with_quarantined(quarantined).with_plan(&report)),
-        ))
+        finish(res, stats)
     }
 
     /// Keep the tuples whose `moving(point)` attribute `attr` is ever
@@ -365,37 +543,51 @@ impl Relation {
         attr: &str,
         region: &Region,
         opts: &ScanOpts,
-    ) -> DecodeResult<(Relation, Option<QueryStats>)> {
+    ) -> ScanResult<(Relation, Option<QueryStats>)> {
         let idx = self.try_attr(attr)?;
         let (res, stats) = observed(
             "rel.filter_inside",
             opts,
             self.len(),
-            |pool| -> DecodeResult<(Relation, u64, PlanReport)> {
+            |pool| -> ScanResult<(Relation, u64, PlanReport)> {
+                opts.check_deadline("rel.filter_inside")?;
                 let (plan, report) = plan_scan(
                     self,
                     &Probe::Window(region.bbox()),
                     AttrNeed::Exactly(idx),
                     opts.index,
                 );
+                opts.check_deadline("rel.filter_inside")?;
                 // Three-way per-tuple outcome: quarantined (None), kept
                 // (Some(Some(tuple))), filtered out (Some(None)).
-                let outcomes = execute_scan(pool, self.tuples(), &plan, |tup, candidate| {
-                    if tup.values().iter().any(AttrValue::is_quarantined) {
-                        return None;
+                let outcomes = execute_scan(
+                    pool,
+                    self.tuples(),
+                    &plan,
+                    opts.deadline.as_ref(),
+                    |tup, candidate| {
+                        if tup.values().iter().any(AttrValue::is_quarantined) {
+                            return None;
+                        }
+                        if !candidate {
+                            // Pruned: its trajectory never meets the
+                            // region's bounding box.
+                            return Some(None);
+                        }
+                        let keep = tup
+                            .at(idx)
+                            .as_mpoint_seq()
+                            .map(|seq| !inside_region_seq(&seq, region).when_true().is_empty())
+                            .unwrap_or(false);
+                        Some(if keep { Some(tup.clone()) } else { None })
+                    },
+                );
+                let outcomes = match outcomes {
+                    Cancellable::Done(o) => o,
+                    Cancellable::Cancelled { items_done } => {
+                        return Err(deadline_exceeded("rel.filter_inside", items_done))
                     }
-                    if !candidate {
-                        // Pruned: its trajectory never meets the
-                        // region's bounding box.
-                        return Some(None);
-                    }
-                    let keep = tup
-                        .at(idx)
-                        .as_mpoint_seq()
-                        .map(|seq| !inside_region_seq(&seq, region).when_true().is_empty())
-                        .unwrap_or(false);
-                    Some(if keep { Some(tup.clone()) } else { None })
-                });
+                };
                 let (kept, quarantined) = apply_on_error(outcomes, opts.on_error)?;
                 let tuples = kept.into_iter().flatten().collect();
                 Ok((
@@ -405,11 +597,7 @@ impl Relation {
                 ))
             },
         );
-        let (rel, quarantined, report) = res?;
-        Ok((
-            rel,
-            stats.map(|s| s.with_quarantined(quarantined).with_plan(&report)),
-        ))
+        finish(res, stats)
     }
 
     /// Keep the tuples whose `moving(point)` attribute `attr` is inside
@@ -428,32 +616,46 @@ impl Relation {
         region: &Region,
         window: &TimeInterval,
         opts: &ScanOpts,
-    ) -> DecodeResult<(Relation, Option<QueryStats>)> {
+    ) -> ScanResult<(Relation, Option<QueryStats>)> {
         let idx = self.try_attr(attr)?;
         let (res, stats) = observed(
             "rel.passes",
             opts,
             self.len(),
-            |pool| -> DecodeResult<(Relation, u64, PlanReport)> {
+            |pool| -> ScanResult<(Relation, u64, PlanReport)> {
+                opts.check_deadline("rel.passes")?;
                 let probe = Probe::Volume(Cube::new(region.bbox(), window));
                 let (plan, report) = plan_scan(self, &probe, AttrNeed::Exactly(idx), opts.index);
-                let outcomes = execute_scan(pool, self.tuples(), &plan, |tup, candidate| {
-                    if tup.values().iter().any(AttrValue::is_quarantined) {
-                        return None;
+                opts.check_deadline("rel.passes")?;
+                let outcomes = execute_scan(
+                    pool,
+                    self.tuples(),
+                    &plan,
+                    opts.deadline.as_ref(),
+                    |tup, candidate| {
+                        if tup.values().iter().any(AttrValue::is_quarantined) {
+                            return None;
+                        }
+                        if !candidate {
+                            return Some(None);
+                        }
+                        let keep = tup
+                            .at(idx)
+                            .as_mpoint_seq()
+                            .map(|seq| {
+                                let clipped = seq.at_periods(&Periods::single(*window));
+                                !inside_region_seq(&clipped, region).when_true().is_empty()
+                            })
+                            .unwrap_or(false);
+                        Some(if keep { Some(tup.clone()) } else { None })
+                    },
+                );
+                let outcomes = match outcomes {
+                    Cancellable::Done(o) => o,
+                    Cancellable::Cancelled { items_done } => {
+                        return Err(deadline_exceeded("rel.passes", items_done))
                     }
-                    if !candidate {
-                        return Some(None);
-                    }
-                    let keep = tup
-                        .at(idx)
-                        .as_mpoint_seq()
-                        .map(|seq| {
-                            let clipped = seq.at_periods(&Periods::single(*window));
-                            !inside_region_seq(&clipped, region).when_true().is_empty()
-                        })
-                        .unwrap_or(false);
-                    Some(if keep { Some(tup.clone()) } else { None })
-                });
+                };
                 let (kept, quarantined) = apply_on_error(outcomes, opts.on_error)?;
                 let tuples = kept.into_iter().flatten().collect();
                 Ok((
@@ -463,11 +665,7 @@ impl Relation {
                 ))
             },
         );
-        let (rel, quarantined, report) = res?;
-        Ok((
-            rel,
-            stats.map(|s| s.with_quarantined(quarantined).with_plan(&report)),
-        ))
+        finish(res, stats)
     }
 }
 
@@ -765,6 +963,144 @@ mod tests {
             let (hit, stats) = rel.filter_inside("flight", &tiny, &opts).unwrap();
             assert!(hit.is_empty());
             assert_eq!(stats.unwrap().tuples_quarantined, 1, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_fails_typed_before_any_work() {
+        let rel = fleet(20);
+        let clock = Arc::new(mob_storage::VirtualClock::new());
+        // Budget zero: already expired at the first stage boundary.
+        let opts = ScanOpts::new()
+            .stats(true)
+            .deadline(clock.clone(), Duration::ZERO);
+        let before = mob_obs::Registry::global()
+            .snapshot()
+            .get("scan.deadline_exceeded");
+        let err = rel.snapshot_at(t(5.0), &opts).unwrap_err();
+        match &err {
+            ScanError::Deadline {
+                what,
+                items_done,
+                stats,
+            } => {
+                assert_eq!(*what, "rel.snapshot_at");
+                assert_eq!(*items_done, 0, "no tuple was probed");
+                let stats = stats.as_ref().expect("stats requested");
+                assert_eq!(stats.tuples, 20, "input cardinality is honest");
+                if mob_obs::enabled() {
+                    assert!(stats.metrics.get("scan.deadline_exceeded") >= 1);
+                    let after = mob_obs::Registry::global()
+                        .snapshot()
+                        .get("scan.deadline_exceeded");
+                    assert!(after > before, "registry counter advanced");
+                }
+            }
+            other => panic!("expected a deadline error, got {other:?}"),
+        }
+        assert!(err.to_string().contains("deadline exceeded"), "{err}");
+
+        // The other operators trip the same way.
+        let zone = Region::from_ring(rect_ring(0.0, 0.0, 9.0, 9.0));
+        let opts2 = ScanOpts::new().deadline(clock.clone(), Duration::ZERO);
+        assert!(matches!(
+            rel.filter_inside("flight", &zone, &opts2),
+            Err(ScanError::Deadline {
+                what: "rel.filter_inside",
+                ..
+            })
+        ));
+        let window = mob_base::Interval::closed(t(0.0), t(9.0));
+        let opts3 = ScanOpts::new().deadline(clock, Duration::ZERO);
+        assert!(matches!(
+            rel.passes("flight", &zone, &window, &opts3),
+            Err(ScanError::Deadline {
+                what: "rel.passes",
+                ..
+            })
+        ));
+    }
+
+    /// A clock whose time is the number of `now()` calls made so far —
+    /// each deadline check observably advances it, so the expiry lands
+    /// at a *deterministic* chunk boundary with no real sleeping.
+    struct StepClock {
+        calls: std::sync::Mutex<u32>,
+        step: Duration,
+    }
+
+    impl StepClock {
+        fn new(step: Duration) -> StepClock {
+            StepClock {
+                calls: std::sync::Mutex::new(0),
+                step,
+            }
+        }
+    }
+
+    impl mob_storage::Clock for StepClock {
+        fn now(&self) -> Duration {
+            let mut calls = match self.calls.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            let n = *calls;
+            *calls += 1;
+            self.step * n
+        }
+
+        fn sleep(&self, _d: Duration) {}
+    }
+
+    #[test]
+    fn deadline_expiring_mid_scan_reports_honest_progress() {
+        let rel = fleet(100);
+        // One worker over 100 tuples: chunk size 25, four chunks, and
+        // `now()` is consulted once building the deadline (t=0), twice
+        // at the stage boundaries (t=1,2 steps) and once before each
+        // chunk claim (t=3,4,5,...). A budget of 4.5 steps lets chunks
+        // 0 and 1 run (claims at 3 and 4 steps) and trips the claim at
+        // 5 steps — exactly 50 tuples probed, deterministically.
+        let step = Duration::from_millis(10);
+        let clock = Arc::new(StepClock::new(step));
+        let opts = ScanOpts::new().stats(true).deadline(clock, step * 9 / 2);
+        let zone = Region::from_ring(rect_ring(-1.0, -1.0, 200.0, 200.0));
+        match rel.filter_inside("flight", &zone, &opts) {
+            Err(ScanError::Deadline {
+                what,
+                items_done,
+                stats,
+            }) => {
+                assert_eq!(what, "rel.filter_inside");
+                assert_eq!(items_done, 50, "two of four chunks completed");
+                let stats = stats.expect("stats requested");
+                assert_eq!(stats.tuples, 100);
+                assert!(stats.wall_ns > 0, "partial stats carry real wall time");
+            }
+            other => panic!("expected a mid-scan deadline, got {other:?}"),
+        }
+
+        // The same scan with a clock that never reaches the budget
+        // completes normally on the same options shape.
+        let roomy = ScanOpts::new().deadline(
+            Arc::new(mob_storage::VirtualClock::new()),
+            Duration::from_secs(3600),
+        );
+        let (hit, _) = rel.filter_inside("flight", &zone, &roomy).unwrap();
+        assert_eq!(hit.len(), 100);
+    }
+
+    #[test]
+    fn deadline_answers_match_undeadlined_scans_when_not_expired() {
+        let rel = fleet(23);
+        let (expect, _) = rel.snapshot_at(t(3.25), &ScanOpts::default()).unwrap();
+        let clock = Arc::new(mob_storage::SystemClock::new());
+        for threads in [1usize, 4] {
+            let opts = ScanOpts::new()
+                .threads(threads)
+                .deadline(clock.clone(), Duration::from_secs(3600));
+            let (got, _) = rel.snapshot_at(t(3.25), &opts).unwrap();
+            assert_eq!(got, expect, "{threads} threads");
         }
     }
 

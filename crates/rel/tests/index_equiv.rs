@@ -87,7 +87,7 @@ fn assert_equivalent(
             .stats(true)
             .on_error(policy)
             .index(IndexPolicy::Off);
-        let pruned = full.index(IndexPolicy::Force);
+        let pruned = full.clone().index(IndexPolicy::Force);
 
         let a = rel.snapshot_at(t(probe_t), &full);
         let b = rel.snapshot_at(t(probe_t), &pruned);

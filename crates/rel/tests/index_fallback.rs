@@ -113,7 +113,7 @@ fn recovered_index_prunes_the_committed_fleet() {
 
     let (zone, window) = probe();
     let full = ScanOpts::new().stats(true).index(IndexPolicy::Off);
-    let pruned = full.index(IndexPolicy::Force);
+    let pruned = full.clone().index(IndexPolicy::Force);
     let (a, _) = rel.passes("trip", &zone, &window, &full).unwrap();
     let (b, stats) = rel.passes("trip", &zone, &window, &pruned).unwrap();
     assert_eq!(a, b, "pruning must not change the answer");

@@ -449,6 +449,11 @@ pub struct DurableStore<I: StoreIo> {
     chunk_size: usize,
     generation: u64,
     state: StoreState,
+    /// Delta commits applied (or replayed) on top of the newest full
+    /// snapshot — the maintenance supervisor's compaction trigger.
+    deltas_since_snapshot: u64,
+    /// Encoded bytes of those deltas.
+    delta_bytes_since_snapshot: u64,
 }
 
 /// Result payload of [`DurableStore::open_store_file_degraded`]: the
@@ -566,6 +571,8 @@ impl<I: StoreIo> DurableStore<I> {
             chunk_size,
             generation: 0,
             state: StoreState::Empty,
+            deltas_since_snapshot: 0,
+            delta_bytes_since_snapshot: 0,
         })
     }
 
@@ -642,19 +649,38 @@ impl<I: StoreIo> DurableStore<I> {
                 mob_obs::metric!("store.pages_corrupt").add(img.chunks_corrupt as u64);
             }
         }
-        // Shadow files from interrupted commits are dead weight.
+        // Shadow files from interrupted commits are dead weight — and so
+        // are snapshots and deltas the recovered base supersedes: a
+        // compaction that crashed mid-prune leaves them behind, and no
+        // later commit is obliged to come back for them. Sweep them all
+        // here so every open heals the directory (`mob-check chain`
+        // would otherwise flag the shadowed files forever). The
+        // previous-generation snapshot (`g + 1 == base`) is the
+        // recovery fallback and is deliberately kept.
+        let base = found.as_ref().map_or(0, |img| img.generation);
         for name in &names {
-            if name.starts_with("tmp-") {
+            let dead = if name.starts_with("tmp-") {
+                true
+            } else if let Some(g) = parse_snapshot_name(name) {
+                g + 1 < base
+            } else if let Some(g) = parse_delta_name(name) {
+                g <= base
+            } else {
+                false
+            };
+            if dead {
                 let _ = io.remove(name);
             }
         }
-        let generation = found.as_ref().map_or(0, |img| img.generation);
+        let generation = base;
         Ok((
             DurableStore {
                 io,
                 chunk_size,
                 generation,
                 state: StoreState::Empty,
+                deltas_since_snapshot: 0,
+                delta_bytes_since_snapshot: 0,
             },
             found,
         ))
@@ -734,9 +760,11 @@ impl<I: StoreIo> DurableStore<I> {
     /// (damaged, forged, or inapplicable) means the caller discards it.
     fn replay_one_delta(&mut self, g: u64, name: &str) -> bool {
         match self.decode_and_apply_delta(g, name) {
-            Ok(next) => {
+            Ok((next, bytes)) => {
                 self.state = StoreState::Gen(next);
                 self.generation = g;
+                self.deltas_since_snapshot += 1;
+                self.delta_bytes_since_snapshot += bytes;
                 mob_obs::metric!("durable.delta_replays").add(1);
                 true
             }
@@ -744,7 +772,7 @@ impl<I: StoreIo> DurableStore<I> {
         }
     }
 
-    fn decode_and_apply_delta(&self, g: u64, name: &str) -> DecodeResult<Arc<Generation>> {
+    fn decode_and_apply_delta(&self, g: u64, name: &str) -> DecodeResult<(Arc<Generation>, u64)> {
         let bytes = self.io.read_file(name)?;
         // Deltas are always decoded strictly: a damaged delta is
         // discarded, never partially applied.
@@ -775,7 +803,10 @@ impl<I: StoreIo> DurableStore<I> {
                 })
             }
         };
-        Ok(Arc::new(base.apply_appends(g, &payload.appends)?))
+        Ok((
+            Arc::new(base.apply_appends(g, &payload.appends)?),
+            bytes.len() as u64,
+        ))
     }
 
     /// Begin a transaction (see [`Txn`]).
@@ -814,21 +845,37 @@ impl<I: StoreIo> DurableStore<I> {
         self.io.rename(&tmp, &fin)?;
         self.generation = generation;
         self.state = state;
+        self.deltas_since_snapshot = 0;
+        self.delta_bytes_since_snapshot = 0;
         mob_obs::metric!("durable.commits").add(1);
         mob_obs::metric!("durable.bytes_committed").add(image.len() as u64);
         // Keep the current and the previous generation; everything older
         // is garbage, as is every delta folded into this snapshot (and
         // every prune happens *after* the new snapshot is durable).
-        for name in self.io.list()? {
-            if let Some(g) = parse_snapshot_name(&name) {
-                if g + 1 < generation {
-                    self.io.remove(&name)?;
-                }
-            } else if let Some(g) = parse_delta_name(&name) {
-                if g <= generation {
-                    self.io.remove(&name)?;
-                }
+        // Pruning is best-effort: the commit above already landed, so a
+        // failed remove must not turn a durable success into an error —
+        // the shadowed file is swept by the next open or the next
+        // commit's prune, and the failure is counted.
+        let mut prune_failures = 0u64;
+        let names = match self.io.list() {
+            Ok(names) => names,
+            Err(_) => {
+                prune_failures += 1;
+                Vec::new()
             }
+        };
+        for name in names {
+            let dead = match (parse_snapshot_name(&name), parse_delta_name(&name)) {
+                (Some(g), _) => g + 1 < generation,
+                (_, Some(g)) => g <= generation,
+                _ => false,
+            };
+            if dead && self.io.remove(&name).is_err() {
+                prune_failures += 1;
+            }
+        }
+        if prune_failures > 0 {
+            mob_obs::metric!("durable.prune_failures").add(prune_failures);
         }
         Ok(generation)
     }
@@ -862,6 +909,8 @@ impl<I: StoreIo> DurableStore<I> {
         self.io.sync(&name)?;
         self.generation = generation;
         self.state = StoreState::Gen(next);
+        self.deltas_since_snapshot += 1;
+        self.delta_bytes_since_snapshot += image.len() as u64;
         mob_obs::metric!("durable.commits").add(1);
         mob_obs::metric!("durable.delta_commits").add(1);
         mob_obs::metric!("durable.bytes_committed").add(image.len() as u64);
@@ -996,6 +1045,19 @@ impl<I: StoreIo> DurableStore<I> {
     /// The last committed generation (0 if none).
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Delta commits sitting on top of the newest full snapshot (both
+    /// freshly committed and replayed on open). Compaction resets this
+    /// to zero — it is the supervisor's primary trigger.
+    pub fn pending_deltas(&self) -> u64 {
+        self.deltas_since_snapshot
+    }
+
+    /// Encoded bytes of the pending delta chain (the supervisor's
+    /// secondary, size-based trigger).
+    pub fn pending_delta_bytes(&self) -> u64 {
+        self.delta_bytes_since_snapshot
     }
 
     /// The chunk size used for payload framing on future commits.

@@ -166,6 +166,15 @@ impl Generation {
         let mut dst = PageStore::with_page_size(self.store.page_size())?;
         let mut entries = Vec::with_capacity(self.entries.len());
         for (name, root) in &self.entries {
+            // A stored index built before this generation's appends no
+            // longer covers every unit, and the compacted snapshot
+            // starts with an empty stale list — carrying the old index
+            // over would let later opens attach it as fully trusted and
+            // silently prune appended data. Drop it; the maintenance
+            // rebuild step re-derives a fresh one.
+            if matches!(root, RootRecord::Index(_)) && !self.stale.is_empty() {
+                continue;
+            }
             entries.push((name.clone(), rewrite_root(&self.store, &mut dst, root)?));
         }
         Ok(StoreFile::from_parts(dst, entries))

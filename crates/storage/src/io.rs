@@ -99,6 +99,13 @@ fn io_err(op: &str, name: &str, detail: impl std::fmt::Display) -> DecodeError {
     DecodeError::Io(format!("{op} {name}: {detail}"))
 }
 
+/// Marker substring carried by every **permanent** storage-full error a
+/// [`FaultyIo`] injects. The maintenance retry classifier
+/// ([`crate::supervisor::classify`]) treats any I/O error containing
+/// this text as not worth retrying; everything else I/O-shaped is
+/// presumed transient.
+pub const STORAGE_FULL_MARKER: &str = "storage full: no space left on device";
+
 // ---------------------------------------------------------------------
 // MemIo
 // ---------------------------------------------------------------------
@@ -339,6 +346,9 @@ struct FaultState {
     spent: u64,
     /// Whether the crash point has fired.
     crashed: bool,
+    /// Transient-fault bookkeeping: how many injected failures each
+    /// `(file, operation)` pair has already seen.
+    transient_seen: BTreeMap<(String, &'static str), u32>,
 }
 
 /// A deterministic fault-injecting [`StoreIo`] wrapper (see the module
@@ -352,6 +362,15 @@ pub struct FaultyIo {
     seed: u64,
     /// Flip this many read-side bits per `read_file` (bit rot).
     read_flips: u32,
+    /// Fail each `(file, op)` pair this many times before letting it
+    /// through (0 = transient injection off). Failed attempts consume
+    /// no write units and leave no state behind.
+    transient_fails: u32,
+    /// Permanent storage-full threshold in write units (`u64::MAX` =
+    /// unlimited disk). Once the *next* operation would push `spent`
+    /// past it, mutating operations fail forever with a
+    /// [`STORAGE_FULL_MARKER`] error — without crashing the process.
+    full_after: u64,
 }
 
 impl FaultyIo {
@@ -369,6 +388,8 @@ impl FaultyIo {
             mask,
             seed,
             read_flips: 0,
+            transient_fails: 0,
+            full_after: u64::MAX,
         }
     }
 
@@ -383,7 +404,51 @@ impl FaultyIo {
             mask: FaultMask::KeepUnsynced,
             seed,
             read_flips: flips,
+            transient_fails: 0,
+            full_after: u64::MAX,
         }
+    }
+
+    /// A wrapper that never crashes but fails every `(file, operation)`
+    /// pair `fails_per_op` times before letting it through — the
+    /// transient-fault mode the maintenance retry loop trains against.
+    /// Counting is exact and per pair, so a retried operation succeeds
+    /// on attempt `fails_per_op + 1` while a *different* file or
+    /// operation still owes its own failures. Only mutating operations
+    /// (write, append, sync, rename, remove) are gated: failing reads
+    /// would make *recovery* discard committed deltas it merely could
+    /// not read, which is a different fault class (see
+    /// [`FaultyIo::with_read_flips`]). Deterministic: the same call
+    /// sequence produces the same outcomes under any seed.
+    #[must_use]
+    pub fn transient(disk: MemIo, fails_per_op: u32, seed: u64) -> FaultyIo {
+        FaultyIo::new(disk, u64::MAX, FaultMask::KeepUnsynced, seed).with_transient(fails_per_op)
+    }
+
+    /// A wrapper modelling a disk with `budget` write units of free
+    /// space: once an operation would push the total spent past it,
+    /// every mutating operation fails forever with a permanent
+    /// [`STORAGE_FULL_MARKER`] error. Reads keep working — the store is
+    /// wedged, not dead.
+    #[must_use]
+    pub fn storage_full(disk: MemIo, budget: u64, seed: u64) -> FaultyIo {
+        FaultyIo::new(disk, u64::MAX, FaultMask::KeepUnsynced, seed).with_storage_full(budget)
+    }
+
+    /// Add transient injection (see [`FaultyIo::transient`]) to this
+    /// wrapper, composing with any crash budget already configured.
+    #[must_use]
+    pub fn with_transient(mut self, fails_per_op: u32) -> FaultyIo {
+        self.transient_fails = fails_per_op;
+        self
+    }
+
+    /// Add a storage-full threshold (see [`FaultyIo::storage_full`]) to
+    /// this wrapper, composing with any crash budget already configured.
+    #[must_use]
+    pub fn with_storage_full(mut self, budget: u64) -> FaultyIo {
+        self.full_after = budget;
+        self
     }
 
     /// Total write units a workload would consume (run it against a
@@ -462,6 +527,44 @@ impl FaultyIo {
         }
     }
 
+    /// Transient gate: fail the first `transient_fails` calls for each
+    /// `(file, op)` pair, then let every later call through. Runs before
+    /// any write units are spent, so rejected attempts leave no trace.
+    fn transient_gate(&self, op: &'static str, name: &str) -> DecodeResult<()> {
+        if self.transient_fails == 0 {
+            return Ok(());
+        }
+        self.with_state(|s| {
+            let seen = s.transient_seen.entry((name.to_string(), op)).or_insert(0);
+            if *seen < self.transient_fails {
+                *seen += 1;
+                Err(DecodeError::Io(format!(
+                    "transient fault injected: {op} {name} (failure {seen} of {})",
+                    self.transient_fails
+                )))
+            } else {
+                Ok(())
+            }
+        })
+    }
+
+    /// Storage-full gate: a mutating operation that would push the
+    /// spent-unit total past `full_after` fails permanently — forever,
+    /// for every file — without crashing the process or spending units.
+    fn full_gate(&self, op: &'static str, name: &str, cost: u64) -> DecodeResult<()> {
+        if self.full_after == u64::MAX {
+            return Ok(());
+        }
+        let over = self.with_state(|s| s.spent.saturating_add(cost) > self.full_after);
+        if over {
+            Err(DecodeError::Io(format!(
+                "{op} {name}: {STORAGE_FULL_MARKER}"
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
     /// Spend `cost` write units; returns how many were granted before
     /// the crash point (and marks the crash once the budget is gone).
     fn spend(&self, cost: u64) -> DecodeResult<u64> {
@@ -510,6 +613,9 @@ impl StoreIo for FaultyIo {
     }
 
     fn write_file(&self, name: &str, bytes: &[u8]) -> DecodeResult<()> {
+        self.spend(0)?; // dead processes do not write
+        self.transient_gate("write", name)?;
+        self.full_gate("write", name, bytes.len() as u64)?;
         let granted = self.spend(bytes.len() as u64)?;
         let torn = granted < bytes.len() as u64;
         let landed = usize::try_from(granted).unwrap_or(bytes.len());
@@ -526,6 +632,9 @@ impl StoreIo for FaultyIo {
     }
 
     fn append_file(&self, name: &str, bytes: &[u8]) -> DecodeResult<()> {
+        self.spend(0)?; // dead processes do not write
+        self.transient_gate("append", name)?;
+        self.full_gate("append", name, bytes.len() as u64)?;
         // Snapshot the visible content before spending: if this call
         // crashes, the cache must still record the torn prefix.
         let prior = {
@@ -557,6 +666,9 @@ impl StoreIo for FaultyIo {
     }
 
     fn sync(&self, name: &str) -> DecodeResult<()> {
+        self.spend(0)?; // dead processes do not sync
+        self.transient_gate("sync", name)?;
+        self.full_gate("sync", name, 1)?;
         let granted = self.spend(1)?;
         if granted < 1 {
             return Err(Self::crashed_err());
@@ -572,6 +684,9 @@ impl StoreIo for FaultyIo {
     }
 
     fn rename(&self, from: &str, to: &str) -> DecodeResult<()> {
+        self.spend(0)?; // dead processes do not rename
+        self.transient_gate("rename", from)?;
+        self.full_gate("rename", from, 1)?;
         let granted = self.spend(1)?;
         if granted < 1 {
             return Err(Self::crashed_err());
@@ -607,6 +722,9 @@ impl StoreIo for FaultyIo {
     }
 
     fn remove(&self, name: &str) -> DecodeResult<()> {
+        self.spend(0)?; // dead processes do not remove
+                        // Removing frees space, so the full gate does not apply here.
+        self.transient_gate("remove", name)?;
         let granted = self.spend(1)?;
         if granted < 1 {
             return Err(Self::crashed_err());
@@ -826,6 +944,59 @@ mod tests {
         io.append_file("log", &[3]).unwrap();
         assert_eq!(io.read_file("log").unwrap(), vec![1, 2, 3]);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_faults_count_per_file_and_op() {
+        let io = FaultyIo::transient(MemIo::new(), 2, 42);
+        // Writing "a" fails exactly twice, then succeeds; the failed
+        // attempts spend no write units.
+        assert!(io.write_file("a", b"x").is_err());
+        assert!(io.write_file("a", b"x").is_err());
+        io.write_file("a", b"x").unwrap();
+        assert_eq!(io.write_units(), 1);
+        // A different op on the same file owes its own failures...
+        assert!(io.sync("a").is_err());
+        assert!(io.sync("a").is_err());
+        io.sync("a").unwrap();
+        // ...as does the same op on a different file.
+        assert!(io.write_file("b", b"y").is_err());
+        assert!(io.write_file("b", b"y").is_err());
+        io.write_file("b", b"y").unwrap();
+        // Once paid off, the pair stays healthy; nothing crashed.
+        io.write_file("a", b"z").unwrap();
+        assert!(!io.crashed());
+    }
+
+    #[test]
+    fn transient_outcomes_are_stable_under_a_fixed_seed() {
+        let run = |seed| {
+            let io = FaultyIo::transient(MemIo::new(), 1, seed);
+            let mut outcomes = Vec::new();
+            for k in 0..4u8 {
+                outcomes.push(io.write_file("f", &[k]).is_ok());
+                outcomes.push(io.sync("f").is_ok());
+            }
+            (outcomes, io.into_survivor().dump())
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn storage_full_is_permanent_and_leaves_reads_working() {
+        let io = FaultyIo::storage_full(MemIo::new(), 8, 3);
+        io.write_file("f", &[1; 6]).unwrap();
+        io.sync("f").unwrap(); // 7 of 8 units spent
+                               // The next write would cross the threshold: permanent failure
+                               // carrying the classifier's marker...
+        let err = io.write_file("g", &[2; 4]).unwrap_err();
+        assert!(err.to_string().contains(STORAGE_FULL_MARKER), "{err}");
+        // ...and every later mutation fails too, without a crash.
+        assert!(io.write_file("f", &[0; 100]).is_err());
+        assert!(!io.crashed());
+        // Reads still serve, and removing (freeing space) is allowed.
+        assert_eq!(io.read_file("f").unwrap(), vec![1; 6]);
+        io.remove("f").unwrap();
     }
 
     #[test]

@@ -24,6 +24,14 @@
 //!   copy-on-write, with the paper's ι endpoint cleanup at append seams;
 //! * [`ingest`](mod@crate::ingest) — [`ingest::Ingestor`], per-object
 //!   trajectory tails sealed into delta transactions;
+//! * [`supervisor`](mod@crate::supervisor) — fault-tolerant background
+//!   maintenance: a [`supervisor::Supervisor`] watches the delta chain
+//!   and runs compaction + index rebuild through a
+//!   [`supervisor::RetryPolicy`] (transient/permanent classification,
+//!   bounded seeded-jitter backoff), degrading to manual mode instead
+//!   of panicking;
+//! * [`clock`](mod@crate::clock) — the injectable [`clock::Clock`]
+//!   behind every maintenance sleep (virtual time in tests);
 //! * [`checksum`](mod@crate::checksum) — the dependency-free 64-bit
 //!   content checksum sealing every durable byte;
 //! * [`record::FixedRecord`] — pointer-free fixed-size records;
@@ -44,6 +52,7 @@
 
 pub mod checked;
 pub mod checksum;
+pub mod clock;
 pub mod dbarray;
 pub mod delta;
 pub mod durable;
@@ -58,10 +67,12 @@ pub mod range_store;
 pub mod record;
 pub mod region_store;
 pub mod store_file;
+pub mod supervisor;
 pub mod tuple;
 pub mod view;
 
 pub use checksum::{checksum64, checksum64_seeded, CHECKSUM_SEED};
+pub use clock::{Clock, SystemClock, VirtualClock};
 pub use dbarray::{
     load_array, read_array_bytes, read_subarray, save_array, Placement, SavedArray, SubArrayRef,
     INLINE_THRESHOLD,
@@ -78,13 +89,17 @@ pub use durable::{
 pub use generation::{splice_units, Generation};
 pub use index_store::{load_index, save_index, StoredIndex};
 pub use ingest::Ingestor;
-pub use io::{FaultMask, FaultyIo, FsIo, MemIo, StoreIo, FAULT_MASKS};
+pub use io::{FaultMask, FaultyIo, FsIo, MemIo, StoreIo, FAULT_MASKS, STORAGE_FULL_MARKER};
 pub use page::{
     open_frame, seal_frame, validate_page_size, BlobId, PageStore, DEFAULT_PAGE_SIZE,
     FRAME_OVERHEAD, MAX_PAGE_SIZE,
 };
 pub use record::FixedRecord;
 pub use store_file::{RootRecord, StoreFile};
+pub use supervisor::{
+    classify, FaultClass, MaintStatus, MaintTick, Rebuilder, RetryOutcome, RetryPolicy, Supervisor,
+    SupervisorConfig, SupervisorHandle,
+};
 pub use tuple::TupleLayout;
 pub use view::{
     open_mbool, open_mline, open_mpoint, open_mpoints, open_mreal, open_mregion, MappingView,

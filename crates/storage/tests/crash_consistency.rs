@@ -443,6 +443,63 @@ fn randomized_delta_crash_sweep_with_printed_seed() {
 }
 
 #[test]
+fn open_sweeps_shadowed_files_left_by_a_mid_prune_crash() {
+    // A compaction that died between the snapshot rename and the prune
+    // leaves fully-shadowed files behind: deltas at or below the new
+    // base and snapshots more than one generation old. Recovery must
+    // remove them (like tmp- files) while keeping the previous-snapshot
+    // recovery fallback.
+    let dir = MemIo::new();
+    let mut store = DurableStore::options()
+        .chunk_size(CHUNK)
+        .open(dir.clone())
+        .expect("open");
+    for step in 1..=3u64 {
+        let mut txn = store.begin();
+        for (name, units) in batch(step - 1) {
+            txn.append_units(&name, &units);
+        }
+        txn.commit().expect("delta commit");
+    }
+    store.compact().expect("compact");
+    assert_eq!(store.generation(), 4);
+    drop(store);
+
+    // Forge the mid-prune crash remnants (the sweep is name-driven, so
+    // torn content must not matter).
+    dir.write_file("delta-0000000000000002.mob", b"shadowed torn delta")
+        .expect("forge");
+    dir.write_file("snap-0000000000000001.mob", b"shadowed torn snap")
+        .expect("forge");
+    dir.write_file("snap-0000000000000003.mob", b"previous snapshot")
+        .expect("forge");
+    dir.write_file("tmp-0000000000000005.mob", b"partial shadow write")
+        .expect("forge");
+
+    let reopened = DurableStore::options()
+        .chunk_size(CHUNK)
+        .open(dir.clone())
+        .expect("reopen sweeps, never fails");
+    assert_eq!(reopened.generation(), 4);
+    let mut names = dir.list().expect("list");
+    names.sort();
+    assert_eq!(
+        names,
+        vec![
+            "snap-0000000000000003.mob".to_string(),
+            "snap-0000000000000004.mob".to_string(),
+        ],
+        "shadowed delta/snap/tmp files swept; base + fallback kept"
+    );
+
+    // The recovered content is exactly the compacted state, and the
+    // store keeps working.
+    let states = delta_states();
+    let got = snapshot_units(&reopened.snapshot().expect("snapshot"));
+    assert_eq!(&got, states[4].as_ref().expect("state 4"));
+}
+
+#[test]
 fn crashed_writer_leftover_delta_is_replaced_on_recommit() {
     // A writer that died after partially writing delta-2 must not poison
     // a successor that re-commits generation 2: the stale file is

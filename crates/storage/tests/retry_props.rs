@@ -1,0 +1,169 @@
+//! Property tests for the maintenance [`RetryPolicy`] (DESIGN.md §14):
+//!
+//! * the backoff schedule is a pure function of (policy, seed) — two
+//!   identical policies produce identical schedules;
+//! * every delay is bounded by the cap, and jitter only ever *shaves*
+//!   (≤ 25%) — it never pushes a delay above the deterministic curve;
+//! * a permanent fault gives up on the first attempt without sleeping;
+//! * transient faults never exceed the attempt budget, and an op that
+//!   heals within the budget succeeds with exactly the expected number
+//!   of retries and exactly the scheduled sleeps (virtual time — the
+//!   whole suite runs without one real sleep).
+
+use mob_base::error::DecodeError;
+use mob_storage::supervisor::{RetryOutcome, RetryPolicy};
+use mob_storage::{Clock, VirtualClock, STORAGE_FULL_MARKER};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// A policy from generated raw parts (kept in ranges where the
+/// doubling curve stays interesting but finite).
+fn policy(max_attempts: u32, base_ms: u64, cap_ms: u64, seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts,
+        base_delay: Duration::from_millis(base_ms),
+        cap: Duration::from_millis(cap_ms.max(base_ms)),
+        seed,
+    }
+}
+
+fn transient_error(n: u32) -> DecodeError {
+    DecodeError::Io(format!("transient fault injected: test op {n}"))
+}
+
+fn permanent_error() -> DecodeError {
+    DecodeError::Io(format!("write snap: {STORAGE_FULL_MARKER}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded(
+        max_attempts in 1u32..12,
+        base_ms in 1u64..200,
+        cap_ms in 1u64..5_000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let p = policy(max_attempts, base_ms, cap_ms, seed);
+        let q = policy(max_attempts, base_ms, cap_ms, seed);
+        for attempt in 1..=max_attempts {
+            let d = p.backoff(attempt);
+            // Same inputs, same schedule.
+            prop_assert_eq!(d, q.backoff(attempt), "attempt {}", attempt);
+            // Bounded by the cap (jitter only shaves).
+            let raw = p.raw_backoff(attempt);
+            prop_assert!(raw <= p.cap, "raw exceeds cap at attempt {}", attempt);
+            prop_assert!(d <= raw, "jitter must never extend the delay");
+            // Jitter shaves at most 255/1024 < 25%.
+            prop_assert!(
+                d >= raw - raw * 255 / 1024,
+                "jitter shaved more than 25% at attempt {}: {:?} of {:?}",
+                attempt, d, raw
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_may_differ_but_stay_on_the_curve(
+        base_ms in 1u64..100,
+        seed_a in 0u64..u64::MAX,
+        seed_b in 0u64..u64::MAX,
+    ) {
+        let a = policy(8, base_ms, 10_000, seed_a);
+        let b = policy(8, base_ms, 10_000, seed_b);
+        for attempt in 1..=8u32 {
+            // Whatever the seeds, both schedules live in the same
+            // [raw - 25%, raw] band — seeds change jitter, not shape.
+            prop_assert_eq!(a.raw_backoff(attempt), b.raw_backoff(attempt));
+            let raw = a.raw_backoff(attempt);
+            for d in [a.backoff(attempt), b.backoff(attempt)] {
+                prop_assert!(d <= raw && d >= raw - raw * 255 / 1024);
+            }
+        }
+    }
+
+    #[test]
+    fn permanent_faults_give_up_immediately(
+        max_attempts in 1u32..10,
+        seed in 0u64..u64::MAX,
+    ) {
+        let p = policy(max_attempts, 10, 1_000, seed);
+        let clock = VirtualClock::new();
+        let mut calls = 0u32;
+        let out: RetryOutcome<()> = p.run(&clock, || {
+            calls += 1;
+            Err(permanent_error())
+        });
+        match out {
+            RetryOutcome::GaveUp { attempts, .. } => {
+                prop_assert_eq!(attempts, 1, "permanent ⇒ no second attempt");
+            }
+            RetryOutcome::Ok { .. } => prop_assert!(false, "op always fails"),
+        }
+        prop_assert_eq!(calls, 1);
+        prop_assert!(clock.slept().is_empty(), "no backoff for permanent faults");
+    }
+
+    #[test]
+    fn transient_faults_never_exceed_the_attempt_budget(
+        max_attempts in 1u32..10,
+        base_ms in 1u64..50,
+        seed in 0u64..u64::MAX,
+    ) {
+        let p = policy(max_attempts, base_ms, 1_000, seed);
+        let clock = VirtualClock::new();
+        let mut calls = 0u32;
+        let out: RetryOutcome<()> = p.run(&clock, || {
+            calls += 1;
+            Err(transient_error(calls))
+        });
+        match out {
+            RetryOutcome::GaveUp { attempts, .. } => {
+                prop_assert_eq!(attempts, max_attempts);
+            }
+            RetryOutcome::Ok { .. } => prop_assert!(false, "op always fails"),
+        }
+        prop_assert_eq!(calls, max_attempts, "attempt budget is exact");
+        // One sleep between consecutive attempts, none after the last.
+        let want: Vec<Duration> =
+            (1..max_attempts).map(|n| p.backoff(n)).collect();
+        prop_assert_eq!(clock.slept(), want);
+    }
+
+    #[test]
+    fn healing_within_the_budget_succeeds_with_exact_retries(
+        max_attempts in 2u32..10,
+        fail_first in 1u32..9,
+        base_ms in 1u64..50,
+        seed in 0u64..u64::MAX,
+    ) {
+        // Heal strictly inside the budget.
+        let fail_first = fail_first.min(max_attempts - 1);
+        let p = policy(max_attempts, base_ms, 1_000, seed);
+        let clock = VirtualClock::new();
+        let mut calls = 0u32;
+        let out = p.run(&clock, || {
+            calls += 1;
+            if calls <= fail_first {
+                Err(transient_error(calls))
+            } else {
+                Ok(calls)
+            }
+        });
+        match out {
+            RetryOutcome::Ok { value, retries } => {
+                prop_assert_eq!(value, fail_first + 1);
+                prop_assert_eq!(retries, fail_first);
+            }
+            RetryOutcome::GaveUp { .. } => {
+                prop_assert!(false, "op heals within the budget")
+            }
+        }
+        let want: Vec<Duration> =
+            (1..=fail_first).map(|n| p.backoff(n)).collect();
+        prop_assert_eq!(clock.slept(), want, "exactly the scheduled sleeps");
+        // Virtual now == total scheduled sleep: no hidden time source.
+        prop_assert_eq!(clock.now(), want.iter().sum::<Duration>());
+    }
+}

@@ -1,6 +1,6 @@
 //! The repo-specific lint rules, token-based since mob-audit v3.
 //!
-//! Nine rules, each with an allowlist file under `crates/xtask/allow/`
+//! Ten rules, each with an allowlist file under `crates/xtask/allow/`
 //! and a fixture under `crates/xtask/fixtures/` proving it fires:
 //!
 //! | rule             | scope                              | forbids |
@@ -14,6 +14,7 @@
 //! | `panic_reach`    | whole workspace call graph         | any path from an untrusted decode entry point to a panic sink ([`crate::passes`]) |
 //! | `atomics_order`  | every crate except `obs` and shims | `Ordering::Relaxed` (counters live in mob-obs; hand-off uses Acquire/Release) |
 //! | `determinism`    | mob-core, mob-rel, mob-storage     | `HashMap`/`HashSet` (iteration order is randomized; results are contractually byte-identical) |
+//! | `no_raw_sleep`   | every `crates/*/src` except shims and `storage/src/clock.rs` (non-test) | `thread::sleep(` / `Instant::now(` (tell time through the `Clock` trait) |
 //!
 //! All rules operate on the real token stream from [`crate::lex`]:
 //! comments and string interiors simply do not produce tokens, multiline
@@ -64,7 +65,7 @@ impl std::fmt::Display for Violation {
 }
 
 /// Names of all rules (used by the self-test driver and `run_all`).
-pub const RULES: [&str; 9] = [
+pub const RULES: [&str; 10] = [
     "no_panic",
     "narrowing_cast",
     "float_eq",
@@ -74,6 +75,7 @@ pub const RULES: [&str; 9] = [
     "panic_reach",
     "atomics_order",
     "determinism",
+    "no_raw_sleep",
 ];
 
 const NARROWING_TARGETS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
@@ -130,6 +132,15 @@ pub fn run_rule(root: &Path, rule: &'static str, errors: &mut Vec<String>) -> Ve
             // `storage::io` is the one sanctioned raw-filesystem site: it
             // *implements* the checked I/O everything else must use.
             v.retain(|x| x.path != "crates/storage/src/io.rs");
+            v
+        }
+        "no_raw_sleep" => {
+            let owned = sleep_scope(root, errors);
+            let scope: Vec<&str> = owned.iter().map(String::as_str).collect();
+            let mut v = scan_scope(root, rule, &scope, errors, scan_no_raw_sleep);
+            // `storage::clock` is the one sanctioned raw-time site: it
+            // *implements* the Clock everything else must tell time by.
+            v.retain(|x| x.path != "crates/storage/src/clock.rs");
             v
         }
         "panic_reach" => passes::panic_reach(root, errors),
@@ -384,6 +395,48 @@ pub fn scan_no_unchecked_io(sf: &SourceFile) -> Vec<(usize, String)> {
                 "write through StoreIo (FsIo for real disks) — bare fs writes \
                  skip fsync, atomic rename and fault injection; \
                  storage/src/io.rs is the only sanctioned raw site"
+                    .to_string(),
+            )
+        })
+        .collect()
+}
+
+// ---- rule: no_raw_sleep ----------------------------------------------
+
+/// `crates/*/src` for every crate except the `shim-*` stand-ins (whose
+/// vendored APIs time things however their real counterparts do). The
+/// sanctioned `storage/src/clock.rs` is filtered by the caller.
+fn sleep_scope(root: &Path, errors: &mut Vec<String>) -> Vec<String> {
+    let mut dirs = all_crate_src_dirs(root, errors);
+    dirs.retain(|d| !d.starts_with("crates/shim-"));
+    dirs
+}
+
+/// Match raw time sources (`thread::sleep(`, `Instant::now(`) on
+/// non-test tokens. Path-segment matching catches the `std::`-qualified
+/// spellings too; a backoff or deadline that tells time this way cannot
+/// be driven by a `VirtualClock` and turns every test into a real wait.
+pub fn scan_no_raw_sleep(sf: &SourceFile) -> Vec<(usize, String)> {
+    let mut lines = BTreeSet::new();
+    for (i, t) in code_tokens(sf) {
+        let path_call = |head: &str, leaf: &str| {
+            t.is_ident(head)
+                && sf.toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                && sf.toks.get(i + 2).is_some_and(|n| n.is_ident(leaf))
+                && sf.toks.get(i + 3).is_some_and(|n| n.is_open('('))
+        };
+        if path_call("thread", "sleep") || path_call("Instant", "now") {
+            lines.insert(t.line);
+        }
+    }
+    lines
+        .into_iter()
+        .map(|n| {
+            (
+                n,
+                "tell time through the Clock trait (mob_storage::clock) so \
+                 virtual clocks can drive backoff and deadlines in tests; \
+                 storage/src/clock.rs is the only sanctioned raw site"
                     .to_string(),
             )
         })
@@ -646,6 +699,7 @@ pub fn self_test(root: &Path) -> Result<(), Vec<String>> {
         "no_unchecked_io",
         "atomics_order",
         "determinism",
+        "no_raw_sleep",
     ] {
         let Some(src) = fixture_source(root, &format!("{rule}.rs.fixture"), &mut errors) else {
             continue;
@@ -660,6 +714,7 @@ pub fn self_test(root: &Path) -> Result<(), Vec<String>> {
             "narrowing_cast" => to_lines(scan_narrowing_cast(&sf)),
             "no_raw_counter" => to_lines(scan_no_raw_counter(&sf)),
             "no_unchecked_io" => to_lines(scan_no_unchecked_io(&sf)),
+            "no_raw_sleep" => to_lines(scan_no_raw_sleep(&sf)),
             "float_eq" => to_lines(scan_float_eq(&sf)),
             "atomics_order" => passes::scan_atomics(&sf).into_iter().collect(),
             _ => passes::scan_determinism(&sf).into_iter().collect(),
